@@ -1,0 +1,87 @@
+// Ablation: command granularity (§4.2). "The more complex a command is, the less overhead it
+// creates because the policy executor does not need to fetch and interpret many commands
+// during execution. While the simple commands induce more overhead ... they are flexible."
+//
+// Same workload, three expressions of eviction policy:
+//   * one complex FIFO command per eviction,
+//   * the equivalent one-simple-command program (DeQueue head),
+//   * the full FIFO-with-second-chance program (many simple commands, amortized over faults).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "policies/policies.h"
+
+namespace {
+
+using namespace hipec;  // NOLINT: bench driver
+using mach::kPageSize;
+
+struct RunStats {
+  double commands_per_fault;
+  double interp_ns_per_fault;
+  int64_t faults;
+};
+
+RunStats Run(const core::PolicyProgram& program, int64_t free_target, int64_t inactive_target) {
+  mach::KernelParams params;
+  params.hipec_build = true;
+  mach::Kernel kernel(params);
+  core::HipecEngine engine(&kernel);
+  mach::Task* task = kernel.CreateTask("app");
+  core::HipecOptions options;
+  options.min_frames = 2048;
+  options.free_target = free_target;
+  options.inactive_target = inactive_target;
+  core::HipecRegion region =
+      engine.VmAllocateHipec(task, 4096 * kPageSize, program, options);
+  if (!region.ok) {
+    std::fprintf(stderr, "registration failed: %s\n", region.error.c_str());
+    return {};
+  }
+  int64_t commands_before = engine.executor().counters().Get("executor.commands");
+  // Three sweeps: heavy eviction traffic through 2048 frames.
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (uint64_t p = 0; p < 4096; ++p) {
+      kernel.Touch(task, region.addr + p * kPageSize, true);
+    }
+  }
+  int64_t commands = engine.executor().counters().Get("executor.commands") - commands_before;
+  int64_t faults = engine.counters().Get("engine.faults_handled");
+  const sim::CostModel& costs = kernel.costs();
+  RunStats stats;
+  stats.faults = faults;
+  stats.commands_per_fault = static_cast<double>(commands) / static_cast<double>(faults);
+  stats.interp_ns_per_fault =
+      static_cast<double>(commands * costs.command_decode_ns) / static_cast<double>(faults);
+  return stats;
+}
+
+void Row(const char* label, const RunStats& stats) {
+  std::printf("%-44s %10.1f %14.0f %10lld\n", label, stats.commands_per_fault,
+              stats.interp_ns_per_fault, static_cast<long long>(stats.faults));
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Ablation — command granularity: complex vs simple commands");
+  bench::Rule();
+  std::printf("%-44s %10s %14s %10s\n", "policy expression", "cmds/flt", "decode ns/flt",
+              "faults");
+  bench::Rule();
+  Row("FIFO, one complex command",
+      Run(policies::FifoPolicy(policies::CommandStyle::kComplex), 0, 0));
+  Row("FIFO, one simple command (DeQueue head)",
+      Run(policies::FifoPolicy(policies::CommandStyle::kSimple), 0, 0));
+  Row("FIFO-2nd-chance, full simple-command program",
+      Run(policies::FifoSecondChancePolicy(), 64, 128));
+  bench::Rule();
+  bench::Note("Expected shape: the two FIFO rows tie (either way one command evicts); the");
+  bench::Note("second-chance program interprets ~3x more commands per fault, yet even that");
+  bench::Note("is ~1 us — far below one kernel crossing (Table 4). Note also that true");
+  bench::Note("LRU/MRU are *only* expressible as complex commands: no simple command reads");
+  bench::Note("a page's recency, which is exactly why Table 1 includes FIFO/LRU/MRU.");
+  return 0;
+}

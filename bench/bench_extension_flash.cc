@@ -1,0 +1,59 @@
+// Extension bench (§6): "The new hardware architecture, such as flash RAM, can be managed
+// efficiently if each specific application can control the device". The Figure 6 join on a
+// mechanical disk versus a 1994-class flash card: flash shrinks the *cost* of every fault by
+// ~15x, but the *number* of faults is a property of the replacement policy alone — the right
+// policy still wins, and by the same fault ratio.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/join_workload.h"
+
+namespace {
+
+using namespace hipec;  // NOLINT: bench driver
+using workloads::JoinConfig;
+using workloads::JoinMode;
+using workloads::JoinResult;
+using workloads::RunJoin;
+
+constexpr int64_t kMb = 1024 * 1024;
+
+}  // namespace
+
+int main() {
+  bench::Title("Extension — the Figure 6 join on disk vs flash backing store");
+  bench::Rule();
+  std::printf("%10s %12s %12s %12s %12s %13s %13s\n", "outer(MB)", "disk LRU", "disk MRU",
+              "flash LRU", "flash MRU", "LRU faults", "MRU faults");
+  std::printf("%10s %12s %12s %12s %12s\n", "", "(min)", "(min)", "(min)", "(min)");
+  bench::Rule();
+  for (int64_t outer_mb : {45, 50, 55, 60}) {
+    JoinConfig config;
+    config.outer_bytes = outer_mb * kMb;
+    config.memory_bytes = 40 * kMb;
+
+    config.flash_backing = false;
+    config.mode = JoinMode::kMachDefault;
+    JoinResult disk_lru = RunJoin(config);
+    config.mode = JoinMode::kHipecMru;
+    JoinResult disk_mru = RunJoin(config);
+
+    config.flash_backing = true;
+    config.mode = JoinMode::kMachDefault;
+    JoinResult flash_lru = RunJoin(config);
+    config.mode = JoinMode::kHipecMru;
+    JoinResult flash_mru = RunJoin(config);
+
+    std::printf("%10lld %12.2f %12.2f %12.2f %12.2f %13lld %13lld\n",
+                static_cast<long long>(outer_mb), disk_lru.minutes, disk_mru.minutes,
+                flash_lru.minutes, flash_mru.minutes,
+                static_cast<long long>(flash_lru.page_faults),
+                static_cast<long long>(flash_mru.page_faults));
+  }
+  bench::Rule();
+  bench::Note("Expected shape: flash compresses both curves ~15x in time; the LRU/MRU fault");
+  bench::Note("ratio is identical on both devices — policy control stays worthwhile even on");
+  bench::Note("fast storage, and the flash write-erase penalty rewards policies that avoid");
+  bench::Note("dirty evictions.");
+  return 0;
+}

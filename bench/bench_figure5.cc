@@ -1,0 +1,66 @@
+// Figure 5 reproduction: AIM-III-like system throughput (jobs/minute) versus the number of
+// simulated concurrent users, on the unmodified Mach kernel and the modified HiPEC kernel,
+// for three workload mixes (standard, disk-weighted, memory-weighted).
+//
+// Paper result: the two kernels provide essentially the same throughput under all three
+// mixes; throughput degrades beyond ~5-6 users as jobs compete for system resources.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/aim_suite.h"
+
+namespace {
+
+using namespace hipec;  // NOLINT: bench driver
+using workloads::AimConfig;
+using workloads::AimResult;
+using workloads::RunAim;
+using workloads::WorkloadMix;
+
+void RunMix(const WorkloadMix& mix) {
+  std::printf("\nWorkload mix: %s (compute %.1f / disk %.1f / memory %.1f)\n",
+              mix.name.c_str(), mix.compute_weight, mix.disk_weight, mix.memory_weight);
+  bench::Rule();
+  std::printf("%6s %16s %16s %10s %12s\n", "users", "Mach jobs/min", "HiPEC jobs/min",
+              "delta", "faults(HiPEC)");
+  bench::Rule();
+  double peak = 0;
+  int peak_users = 0;
+  for (int users : {1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20}) {
+    AimConfig config;
+    config.mix = mix;
+    config.users = users;
+    config.hipec_kernel = false;
+    AimResult mach = RunAim(config);
+    config.hipec_kernel = true;
+    AimResult hipec = RunAim(config);
+    double delta = 100.0 * (hipec.jobs_per_minute - mach.jobs_per_minute) /
+                   (mach.jobs_per_minute > 0 ? mach.jobs_per_minute : 1.0);
+    std::printf("%6d %16.1f %16.1f %9.2f%% %12lld\n", users, mach.jobs_per_minute,
+                hipec.jobs_per_minute, delta, static_cast<long long>(hipec.page_faults));
+    if (mach.jobs_per_minute > peak) {
+      peak = mach.jobs_per_minute;
+      peak_users = users;
+    }
+  }
+  bench::Rule();
+  std::printf("Throughput peaks near %d users, then declines under contention.\n", peak_users);
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 5 — AIM throughput on the Mach kernel and the HiPEC kernel");
+  bench::Note("The HiPEC kernel adds a per-fault specific-region check and the security-");
+  bench::Note("checker thread; with no specific applications running, both should cost");
+  bench::Note("almost nothing (the paper: 'almost provide the same throughput').");
+
+  RunMix(WorkloadMix::Standard());
+  RunMix(WorkloadMix::DiskHeavy());
+  RunMix(WorkloadMix::MemoryHeavy());
+
+  bench::Note("\nExpected shape: HiPEC-vs-Mach delta within a fraction of a percent at every");
+  bench::Note("point; rise to a peak around 5-6 users, then decline.");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 6 reproduction: elapsed time (in minutes) of the nested-loops join as the outer
+// table grows from 20 MB to 60 MB, with a 40 MB frame budget.
+//
+// Paper result: under the conventional LRU-like policy the join degrades sharply once the
+// outer table exceeds the 40 MB of available frames (cyclic thrashing: PF_l faults); under
+// HiPEC with an MRU policy the join only faults on the part that does not fit (PF_m faults).
+// "A great response time gap occurs when data size is larger than available frames."
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/join_workload.h"
+
+namespace {
+
+using namespace hipec;  // NOLINT: bench driver
+using workloads::JoinConfig;
+using workloads::JoinMode;
+using workloads::JoinResult;
+using workloads::RunJoin;
+
+constexpr int64_t kMb = 1024 * 1024;
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 6 — elapsed time (minutes) for the nested-loops join");
+  bench::Note("Inner table: 4 KB, pinned. Outer table: 20-60 MB, 64-byte tuples, memory-");
+  bench::Note("mapped, scanned 64 times. Frame budget (MSize): 40 MB.");
+  bench::Rule();
+  std::printf("%10s %14s %14s %12s %12s %14s %14s\n", "outer(MB)", "LRU(min)", "MRU(min)",
+              "LRU faults", "MRU faults", "PF_l analytic", "PF_m analytic");
+  bench::Rule();
+
+  for (int64_t outer_mb : {20, 30, 40, 45, 50, 55, 60}) {
+    JoinConfig config;
+    config.outer_bytes = outer_mb * kMb;
+    config.memory_bytes = 40 * kMb;
+
+    config.mode = JoinMode::kMachDefault;
+    JoinResult lru = RunJoin(config);
+    config.mode = JoinMode::kHipecMru;
+    JoinResult mru = RunJoin(config);
+
+    std::printf("%10lld %14.2f %14.2f %12lld %12lld %14lld %14lld\n",
+                static_cast<long long>(outer_mb), lru.minutes, mru.minutes,
+                static_cast<long long>(lru.page_faults),
+                static_cast<long long>(mru.page_faults),
+                static_cast<long long>(lru.analytic_faults),
+                static_cast<long long>(mru.analytic_faults));
+    if (lru.terminated || mru.terminated) {
+      std::printf("  !! run terminated: %s %s\n", lru.termination_reason.c_str(),
+                  mru.termination_reason.c_str());
+    }
+  }
+  bench::Rule();
+  bench::Note("Expected shape: both curves near-flat and equal up to 40 MB; beyond it the");
+  bench::Note("LRU curve climbs with PF_l = outer*64/page while the MRU curve climbs only");
+  bench::Note("with PF_m — a widening multi-x response-time gap, matching the analysis.");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Policy-library comparison: fault counts of every shipped replacement policy across four
+// canonical access patterns, each through the full HiPEC stack (bytecode interpretation on
+// every fault). This is the practical payoff the paper argues for: no single row of this
+// table wins every column, so applications must be able to choose — and with HiPEC they can.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "policies/policies.h"
+#include "workloads/access_patterns.h"
+
+namespace {
+
+using namespace hipec;  // NOLINT: bench driver
+using mach::kPageSize;
+using policies::CommandStyle;
+
+constexpr size_t kFrames = 128;
+constexpr uint64_t kRegionPages = 256;
+
+int64_t Run(const core::PolicyProgram& program, core::HipecOptions options,
+            const std::vector<uint64_t>& trace) {
+  mach::KernelParams params;
+  params.total_frames = 1024;
+  params.kernel_reserved_frames = 128;
+  params.hipec_build = true;
+  mach::Kernel kernel(params);
+  core::HipecEngine engine(&kernel);
+  mach::Task* task = kernel.CreateTask("app");
+  options.min_frames = kFrames;
+  core::HipecRegion region =
+      engine.VmAllocateHipec(task, kRegionPages * kPageSize, program, options);
+  if (!region.ok) {
+    std::fprintf(stderr, "registration failed: %s\n", region.error.c_str());
+    return -1;
+  }
+  for (uint64_t page : trace) {
+    if (!kernel.Touch(task, region.addr + page * kPageSize, false)) {
+      std::fprintf(stderr, "terminated: %s\n", task->termination_reason().c_str());
+      return -1;
+    }
+  }
+  return engine.counters().Get("engine.faults_handled");
+}
+
+struct PolicyRow {
+  const char* name;
+  core::PolicyProgram program;
+  core::HipecOptions options;
+};
+
+}  // namespace
+
+int main() {
+  bench::Title("Policy library — faults by policy and access pattern");
+  bench::Note("256-page region, 128-frame private pool, every fault interpreted in bytecode.");
+
+  // Patterns. Mixed = Zipf lookups with an interleaved one-shot scan (the 2Q showcase).
+  std::vector<uint64_t> cyclic = workloads::CyclicScan(192, 6);
+  std::vector<uint64_t> zipf = workloads::ZipfTrace(kRegionPages, 4000, 0.9, 17);
+  std::vector<uint64_t> uniform = workloads::UniformRandom(kRegionPages, 4000, 23);
+  std::vector<uint64_t> mixed;
+  {
+    sim::ZipfGenerator hot(96, 0.9, 31);
+    for (int i = 0; i < 1200; ++i) {
+      mixed.push_back(hot.Next());
+    }
+    for (uint64_t s = 96; s < 246; ++s) {
+      mixed.push_back(s);
+      mixed.push_back(hot.Next());
+    }
+    for (int i = 0; i < 1200; ++i) {
+      mixed.push_back(hot.Next());
+    }
+  }
+
+  std::vector<PolicyRow> rows;
+  rows.push_back({"FIFO", policies::FifoPolicy(CommandStyle::kSimple), {}});
+  rows.push_back({"FIFO-2nd-chance", policies::FifoSecondChancePolicy(), {}});
+  rows.push_back({"CLOCK", policies::ClockPolicy(), {}});
+  rows.push_back({"2Q (scan-resistant)", policies::TwoQueuePolicy(),
+                  policies::TwoQueueOptions()});
+  rows.push_back({"LRU", policies::LruPolicy(CommandStyle::kComplex), {}});
+  rows.push_back({"MRU", policies::MruPolicy(CommandStyle::kComplex), {}});
+
+  bench::Rule();
+  std::printf("%-22s %10s %10s %10s %10s\n", "policy", "cyclic", "zipf", "uniform", "mixed");
+  bench::Rule();
+  for (PolicyRow& row : rows) {
+    core::HipecOptions options = row.options;
+    options.free_target = 4;
+    options.inactive_target = 16;
+    std::printf("%-22s %10lld %10lld %10lld %10lld\n", row.name,
+                static_cast<long long>(Run(row.program, options, cyclic)),
+                static_cast<long long>(Run(row.program, options, zipf)),
+                static_cast<long long>(Run(row.program, options, uniform)),
+                static_cast<long long>(Run(row.program, options, mixed)));
+  }
+  bench::Rule();
+  bench::Note("Expected shape: MRU wins the cyclic column by a wide margin and loses the");
+  bench::Note("skewed columns; LRU/CLOCK win zipf; 2Q wins mixed (scan resistance); no");
+  bench::Note("policy dominates — the case for application-specific control.");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Table 3 reproduction: page-fault handling time for a 40 MB virtual address range, with and
+// without disk I/O, under stock Mach and under HiPEC running the *same* FIFO-with-second-
+// chance policy that the Mach kernel uses.
+//
+// Paper values (Acer Altos 10000, i486-50):
+//   without disk I/O:  Mach 4016.5 ms, HiPEC 4088.6 ms (1.8% overhead)
+//   with disk I/O:     Mach 82485.5 ms, HiPEC 82505.6 ms (0.024% overhead)
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "policies/policies.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+
+namespace {
+
+using namespace hipec;  // NOLINT: bench driver
+using mach::kPageSize;
+
+constexpr uint64_t kRegionBytes = 40ull * 1024 * 1024;  // 40 MB
+constexpr uint64_t kPages = kRegionBytes / kPageSize;   // 10 240 faults
+
+mach::KernelParams Machine(bool hipec_build) {
+  mach::KernelParams params;
+  params.total_frames = 16384;           // 64 MB machine
+  params.kernel_reserved_frames = 2048;  // kernel text/data/buffers
+  params.hipec_build = hipec_build;
+  return params;
+}
+
+// Touch order: sequential for the zero-fill case; shuffled for the disk case so reads seek
+// like paging against a fragmented backing store (the paper's 8.05 ms/fault implies
+// random-access service times).
+std::vector<uint64_t> TouchOrder(bool shuffled) {
+  std::vector<uint64_t> order(kPages);
+  for (uint64_t i = 0; i < kPages; ++i) {
+    order[i] = i;
+  }
+  if (shuffled) {
+    sim::Rng rng(0xF00D);
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.Below(i)]);
+    }
+  }
+  return order;
+}
+
+sim::Nanos RunMach(bool with_disk) {
+  mach::Kernel kernel(Machine(/*hipec_build=*/false));
+  mach::Task* task = kernel.CreateTask("sweep");
+  uint64_t addr;
+  if (with_disk) {
+    mach::VmObject* file = kernel.CreateFileObject("data", kRegionBytes);
+    addr = kernel.VmMapFile(task, file);
+  } else {
+    addr = kernel.VmAllocate(task, kRegionBytes);
+  }
+  sim::Nanos start = kernel.clock().now();
+  for (uint64_t p : TouchOrder(with_disk)) {
+    kernel.Touch(task, addr + p * kPageSize, /*is_write=*/false);
+  }
+  return kernel.clock().now() - start;
+}
+
+sim::Nanos RunHipec(bool with_disk) {
+  mach::Kernel kernel(Machine(/*hipec_build=*/true));
+  // The join of minFrame=10240 against 14336 boot-free frames needs a watermark above 50%.
+  core::HipecEngine engine(&kernel, core::FrameManagerConfig{0.75, 64});
+  mach::Task* task = kernel.CreateTask("sweep");
+  core::HipecOptions options;
+  options.min_frames = kPages;
+  options.free_target = 64;
+  options.inactive_target = 128;
+  core::HipecRegion region;
+  if (with_disk) {
+    mach::VmObject* file = kernel.CreateFileObject("data", kRegionBytes);
+    region = engine.VmMapHipec(task, file, policies::FifoSecondChancePolicy(), options);
+  } else {
+    region = engine.VmAllocateHipec(task, kRegionBytes, policies::FifoSecondChancePolicy(),
+                                    options);
+  }
+  if (!region.ok) {
+    std::fprintf(stderr, "registration failed: %s\n", region.error.c_str());
+    return -1;
+  }
+  sim::Nanos start = kernel.clock().now();
+  for (uint64_t p : TouchOrder(with_disk)) {
+    kernel.Touch(task, region.addr + p * kPageSize, /*is_write=*/false);
+  }
+  return kernel.clock().now() - start;
+}
+
+void Row(const char* label, sim::Nanos mach_ns, sim::Nanos hipec_ns, double paper_mach_ms,
+         double paper_hipec_ms, double paper_overhead_pct) {
+  double overhead = 100.0 * static_cast<double>(hipec_ns - mach_ns) /
+                    static_cast<double>(mach_ns);
+  std::printf("%-28s %14s %14s %9.3f%%   (paper: %9.1f ms %9.1f ms %7.3f%%)\n", label,
+              sim::FormatNanos(mach_ns).c_str(), sim::FormatNanos(hipec_ns).c_str(), overhead,
+              paper_mach_ms, paper_hipec_ms, paper_overhead_pct);
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Table 3 — 40 MB page-fault sweep: Mach kernel vs HiPEC mechanism");
+  bench::Note("HiPEC runs the same FIFO-with-second-chance policy as the Mach kernel;");
+  bench::Note("the overhead is command fetch/decode + dispatch + the per-fault region check.");
+  bench::Rule();
+  std::printf("%-28s %14s %14s %10s\n", "case", "Mach 3.0", "HiPEC", "overhead");
+  bench::Rule();
+
+  sim::Nanos mach_fast = RunMach(/*with_disk=*/false);
+  sim::Nanos hipec_fast = RunHipec(/*with_disk=*/false);
+  Row("without disk I/O", mach_fast, hipec_fast, 4016.5, 4088.6, 1.8);
+
+  sim::Nanos mach_disk = RunMach(/*with_disk=*/true);
+  sim::Nanos hipec_disk = RunHipec(/*with_disk=*/true);
+  Row("with disk I/O", mach_disk, hipec_disk, 82485.5, 82505.6, 0.024);
+
+  bench::Rule();
+  bench::Note("Expected shape: ~1-2% overhead without I/O; vanishing overhead (<0.1%) once");
+  bench::Note("each fault pays a multi-millisecond disk read.");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Shared console-table helpers for the paper-reproduction benches.
+#ifndef HIPEC_BENCH_BENCH_UTIL_H_
+#define HIPEC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace hipec::bench {
+
+inline void Title(const std::string& text) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", text.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void Note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+inline void Rule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+}  // namespace hipec::bench
+
+#endif  // HIPEC_BENCH_BENCH_UTIL_H_

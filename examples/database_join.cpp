@@ -1,0 +1,55 @@
+// The paper's motivating database scenario (§5.3): a nested-loops join whose outer table is
+// larger than physical memory. Under the kernel's LRU-like default the join thrashes
+// cyclically; a HiPEC MRU policy turns most of each scan into hits.
+//
+// Usage: database_join [outer_mb] [memory_mb]     (defaults: 50 40)
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/join_workload.h"
+
+using namespace hipec;  // NOLINT: example
+using workloads::JoinConfig;
+using workloads::JoinMode;
+using workloads::JoinResult;
+using workloads::RunJoin;
+
+int main(int argc, char** argv) {
+  constexpr int64_t kMb = 1024 * 1024;
+  int64_t outer_mb = argc > 1 ? std::atoll(argv[1]) : 50;
+  int64_t memory_mb = argc > 2 ? std::atoll(argv[2]) : 40;
+  if (outer_mb <= 0 || memory_mb <= 0 || memory_mb > 60) {
+    std::fprintf(stderr, "usage: %s [outer_mb] [memory_mb<=60]\n", argv[0]);
+    return 1;
+  }
+
+  JoinConfig config;
+  config.outer_bytes = outer_mb * kMb;
+  config.memory_bytes = memory_mb * kMb;
+
+  std::printf("Nested-loops join: %lld MB outer table, 4 KB pinned inner table,\n"
+              "64-byte tuples, 64 scans, %lld MB frame budget.\n\n",
+              static_cast<long long>(outer_mb), static_cast<long long>(memory_mb));
+
+  config.mode = JoinMode::kMachDefault;
+  JoinResult lru = RunJoin(config);
+  std::printf("Default kernel (LRU-like):  %8.2f min, %9lld faults  (PF_l analytic %lld)\n",
+              lru.minutes, static_cast<long long>(lru.page_faults),
+              static_cast<long long>(lru.analytic_faults));
+
+  config.mode = JoinMode::kHipecMru;
+  JoinResult mru = RunJoin(config);
+  std::printf("HiPEC MRU policy:           %8.2f min, %9lld faults  (PF_m analytic %lld)\n",
+              mru.minutes, static_cast<long long>(mru.page_faults),
+              static_cast<long long>(mru.analytic_faults));
+
+  if (mru.elapsed > 0) {
+    std::printf("\nSpeedup from the right policy: %.2fx\n",
+                static_cast<double>(lru.elapsed) / static_cast<double>(mru.elapsed));
+  }
+  if (outer_mb <= memory_mb) {
+    std::printf("(The outer table fits in memory, so both policies only pay the cold scan;\n"
+                "try an outer table larger than the budget, e.g. `database_join 55 40`.)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// hipecc — the stand-alone pseudo-code translator (§4.3.4: "The translator is implemented as
+// a stand alone program and is also incorporated into the user level library").
+//
+// Reads a policy written in the pseudo-code language and emits the compiled HiPEC command
+// streams as a human-readable disassembly and/or the hex exchange format that applications
+// can load at run time.
+//
+// Usage: hipecc [--hex] [--disasm] [file.hp]      (reads stdin without a file;
+//                                                  both outputs by default)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "lang/assembler.h"
+#include "lang/compiler.h"
+
+int main(int argc, char** argv) {
+  bool want_hex = false;
+  bool want_disasm = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hex") == 0) {
+      want_hex = true;
+    } else if (std::strcmp(argv[i], "--disasm") == 0) {
+      want_disasm = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--hex] [--disasm] [file.hp]\n", argv[0]);
+      return 0;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (!want_hex && !want_disasm) {
+    want_hex = want_disasm = true;
+  }
+
+  std::string source;
+  if (path.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "hipecc: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+
+  try {
+    hipec::lang::CompiledPolicy compiled = hipec::lang::CompilePolicy(source);
+    if (want_disasm) {
+      std::printf("# disassembly\n%s", compiled.program.ToString().c_str());
+      std::printf("# events:");
+      for (const auto& [name, number] : compiled.events) {
+        std::printf(" %s=%d", name.c_str(), number);
+      }
+      std::printf("\n# user operands: %zu queues, %zu ints, %zu pages\n",
+                  compiled.options.user_queue_count, compiled.options.user_int_count,
+                  compiled.options.user_page_count);
+    }
+    if (want_hex) {
+      std::printf("%s", hipec::lang::DumpHex(compiled.program).c_str());
+    }
+  } catch (const hipec::lang::CompileError& e) {
+    std::fprintf(stderr, "hipecc: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// A continuous-media scenario from the paper's introduction (§1 cites multimedia file
+// systems as victims of fixed LRU-like replacement): a jukebox server plays a looping video
+// clip with a real-time frame deadline while a background indexer scans a large data set.
+//
+// Under the default kernel the indexer's pressure evicts the player's pages — frames miss
+// their 33 ms deadline. Under HiPEC the player's private frame list isolates it completely.
+//
+// Usage: multimedia_stream [loops]     (default 4)
+#include <cstdio>
+#include <cstdlib>
+
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "policies/policies.h"
+#include "sim/stats.h"
+
+using namespace hipec;  // NOLINT: example
+using mach::kPageSize;
+
+namespace {
+
+constexpr uint64_t kClipPages = 5120;     // 20 MB clip
+constexpr uint64_t kPlayerPool = 6144;    // 24 MB private pool: the clip fits
+constexpr uint64_t kIndexerPages = 25000; // ~100 MB background scan
+constexpr int kPagesPerFrame = 8;         // 32 KB per video frame
+constexpr sim::Nanos kDecodeNs = 5 * sim::kMillisecond;
+constexpr sim::Nanos kDeadlineNs = 33 * sim::kMillisecond;  // 30 fps
+
+struct PlaybackStats {
+  int64_t frames = 0;
+  int64_t deadline_misses = 0;
+  int64_t faults = 0;
+  sim::Nanos worst_frame = 0;
+};
+
+PlaybackStats Play(bool use_hipec, int loops) {
+  mach::KernelParams params;
+  params.total_frames = 16384;  // 64 MB machine
+  params.kernel_reserved_frames = 2048;
+  params.hipec_build = use_hipec;
+  mach::Kernel kernel(params);
+
+  mach::Task* player = kernel.CreateTask("player");
+  mach::VmObject* clip = kernel.CreateFileObject("clip", kClipPages * kPageSize);
+
+  std::unique_ptr<core::HipecEngine> engine;
+  uint64_t clip_addr;
+  if (use_hipec) {
+    engine = std::make_unique<core::HipecEngine>(&kernel, core::FrameManagerConfig{0.6, 64});
+    core::HipecOptions options;
+    options.min_frames = kPlayerPool;
+    core::HipecRegion region = engine->VmMapHipec(
+        player, clip, policies::FifoPolicy(policies::CommandStyle::kSimple), options);
+    if (!region.ok) {
+      std::fprintf(stderr, "registration failed: %s\n", region.error.c_str());
+      std::exit(1);
+    }
+    clip_addr = region.addr;
+  } else {
+    clip_addr = kernel.VmMapFile(player, clip);
+  }
+
+  mach::Task* indexer = kernel.CreateTask("indexer");
+  uint64_t index_addr = kernel.VmAllocate(indexer, kIndexerPages * kPageSize);
+  uint64_t index_pos = 0;
+
+  // Warm the clip once (initial buffering; not counted against deadlines).
+  for (uint64_t p = 0; p < kClipPages; ++p) {
+    kernel.Touch(player, clip_addr + p * kPageSize, false);
+  }
+
+  PlaybackStats stats;
+  for (int loop = 0; loop < loops; ++loop) {
+    for (uint64_t frame = 0; frame < kClipPages / kPagesPerFrame; ++frame) {
+      sim::Nanos start = kernel.clock().now();
+      int64_t faults_before = kernel.counters().Get("kernel.page_faults");
+      for (int p = 0; p < kPagesPerFrame; ++p) {
+        kernel.Touch(player,
+                     clip_addr + (frame * kPagesPerFrame + static_cast<uint64_t>(p)) * kPageSize,
+                     false);
+      }
+      stats.faults += kernel.counters().Get("kernel.page_faults") - faults_before;
+      kernel.clock().Advance(kDecodeNs);
+      sim::Nanos frame_time = kernel.clock().now() - start;
+      ++stats.frames;
+      if (frame_time > kDeadlineNs) {
+        ++stats.deadline_misses;
+      }
+      if (frame_time > stats.worst_frame) {
+        stats.worst_frame = frame_time;
+      }
+      // The indexer keeps grinding between frames.
+      for (int p = 0; p < 24; ++p) {
+        kernel.Touch(indexer, index_addr + (index_pos % kIndexerPages) * kPageSize, true);
+        ++index_pos;
+      }
+    }
+  }
+  return stats;
+}
+
+void Report(const char* label, const PlaybackStats& stats) {
+  std::printf("%-28s frames %6lld   misses %5lld (%.2f%%)   mid-play faults %6lld   "
+              "worst frame %s\n",
+              label, static_cast<long long>(stats.frames),
+              static_cast<long long>(stats.deadline_misses),
+              100.0 * static_cast<double>(stats.deadline_misses) /
+                  static_cast<double>(stats.frames),
+              static_cast<long long>(stats.faults),
+              sim::FormatNanos(stats.worst_frame).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int loops = argc > 1 ? std::atoi(argv[1]) : 4;
+  std::printf("Jukebox server: 20 MB looping clip at 30 fps (33 ms deadline) against a\n"
+              "100 MB background indexer on a 64 MB machine, %d loops.\n\n", loops);
+  Report("default kernel:", Play(/*use_hipec=*/false, loops));
+  Report("HiPEC private pool:", Play(/*use_hipec=*/true, loops));
+  std::printf("\nWith a private frame list the indexer cannot evict the player's pages, so\n"
+              "playback runs fault-free after the initial buffering.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Quickstart: install your own page-replacement policy in five steps.
+//
+//   1. Boot a simulated machine (the Mach-like kernel with the HiPEC extension).
+//   2. Write a replacement policy in the pseudo-code language and compile it.
+//   3. Register a region under specific control with vm_allocate_hipec().
+//   4. Touch memory; the kernel interprets *your* commands on every fault.
+//   5. Read the statistics.
+//
+// Build: cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "hipec/engine.h"
+#include "lang/compiler.h"
+#include "mach/kernel.h"
+#include "sim/stats.h"
+
+using namespace hipec;  // NOLINT: example
+using mach::kPageSize;
+
+int main() {
+  // 1. A 64 MB machine running the HiPEC-modified kernel.
+  mach::KernelParams params;
+  params.hipec_build = true;
+  mach::Kernel kernel(params);
+  core::HipecEngine engine(&kernel);
+  mach::Task* task = kernel.CreateTask("quickstart");
+
+  // 2. A most-recently-used policy, right for cyclic scans: serve faults from the private
+  //    free list; once it is empty, evict the page used most recently (flushing it first if
+  //    dirty). Every specific application must also say how it gives frames back when the
+  //    kernel asks (the ReclaimFrame event).
+  const char* policy_source = R"(
+    Event PageFault() {
+      if (_free_count > 0)
+        page = de_queue_head(_free_queue)
+      else begin
+        page = mru(_active_queue)
+        if (page.dirty) flush(page)
+      endif
+      return(page)
+    }
+    Event ReclaimFrame() {
+      while (reclaim_count > 0) {
+        release(_free_queue)
+        reclaim_count = reclaim_count - 1
+      }
+    }
+  )";
+  lang::CompiledPolicy compiled = lang::CompilePolicy(policy_source);
+  std::printf("Compiled policy:\n%s\n", compiled.program.ToString().c_str());
+
+  // 3. A 256-page region under specific control, with 128 private frames (minFrame).
+  core::HipecOptions options = compiled.options;
+  options.min_frames = 128;
+  core::HipecRegion region =
+      engine.VmAllocateHipec(task, 256 * kPageSize, compiled.program, options);
+  if (!region.ok) {
+    std::fprintf(stderr, "registration failed: %s\n", region.error.c_str());
+    return 1;
+  }
+  std::printf("Region at 0x%llx, %zu private frames, command buffer wired at 0x%llx\n\n",
+              static_cast<unsigned long long>(region.addr), region.container->allocated_frames,
+              static_cast<unsigned long long>(region.container->buffer_vaddr));
+
+  // 4. Scan the region three times: 256 pages through 128 frames. Under MRU the second and
+  //    third scans keep the front of the region resident (LRU would fault on everything).
+  sim::Nanos start = kernel.clock().now();
+  for (int scan = 0; scan < 3; ++scan) {
+    for (uint64_t p = 0; p < 256; ++p) {
+      kernel.Touch(task, region.addr + p * kPageSize, /*is_write=*/true);
+    }
+  }
+
+  // 5. Statistics.
+  std::printf("3 scans of 256 pages through 128 frames (MRU policy):\n");
+  std::printf("  faults handled by the policy : %lld (LRU-like would take %d)\n",
+              static_cast<long long>(engine.counters().Get("engine.faults_handled")), 3 * 256);
+  std::printf("  commands interpreted         : %lld\n",
+              static_cast<long long>(region.container->commands_executed));
+  std::printf("  asynchronous flushes         : %lld\n",
+              static_cast<long long>(engine.manager().counters().Get("manager.flushes_async")));
+  std::printf("  virtual time elapsed         : %s\n",
+              sim::FormatNanos(kernel.clock().now() - start).c_str());
+  return 0;
+}

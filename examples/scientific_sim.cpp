@@ -1,0 +1,114 @@
+// A scientific-simulation scenario from the paper's introduction (§1 cites particle
+// simulators): a particle-in-cell code alternates between sweeping a large field grid
+// sequentially and updating a particle list with skewed random access.
+//
+// The two data structures want *different* policies: MRU for the cyclically-swept grid,
+// LRU for the hot-set particle list. HiPEC attaches one container — one policy — per region,
+// which no single kernel-wide policy can match. This example also shows one task running two
+// specific regions at once.
+//
+// Usage: scientific_sim [timesteps]     (default 6)
+#include <cstdio>
+#include <cstdlib>
+
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "policies/policies.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+#include "workloads/access_patterns.h"
+
+using namespace hipec;  // NOLINT: example
+using mach::kPageSize;
+
+namespace {
+
+constexpr uint64_t kGridPages = 3000;      // the field grid (swept every timestep)
+constexpr uint64_t kParticlePages = 1200;  // the particle list (Zipf-hot)
+constexpr uint64_t kGridPool = 2000;       // private frames for the grid (grid doesn't fit)
+constexpr uint64_t kParticlePool = 1100;   // private frames for the particles (hot set fits)
+
+struct SimStats {
+  int64_t grid_faults = 0;
+  int64_t particle_faults = 0;
+  sim::Nanos elapsed = 0;
+};
+
+SimStats Run(bool use_hipec, int timesteps) {
+  mach::KernelParams params;
+  params.total_frames = 8192;
+  params.kernel_reserved_frames = 4892;  // ~3300 usable frames << 4200-page working set
+  params.hipec_build = use_hipec;
+  mach::Kernel kernel(params);
+  mach::Task* task = kernel.CreateTask("pic_sim");
+
+  std::unique_ptr<core::HipecEngine> engine;
+  uint64_t grid_addr, particle_addr;
+  if (use_hipec) {
+    engine = std::make_unique<core::HipecEngine>(&kernel, core::FrameManagerConfig{0.97, 64});
+    core::HipecOptions grid_options;
+    grid_options.min_frames = kGridPool;
+    core::HipecRegion grid = engine->VmAllocateHipec(
+        task, kGridPages * kPageSize, policies::MruPolicy(policies::CommandStyle::kSimple),
+        grid_options);
+    core::HipecOptions particle_options;
+    particle_options.min_frames = kParticlePool;
+    core::HipecRegion particles = engine->VmAllocateHipec(
+        task, kParticlePages * kPageSize,
+        policies::LruPolicy(policies::CommandStyle::kComplex), particle_options);
+    if (!grid.ok || !particles.ok) {
+      std::fprintf(stderr, "registration failed: %s %s\n", grid.error.c_str(),
+                   particles.error.c_str());
+      std::exit(1);
+    }
+    grid_addr = grid.addr;
+    particle_addr = particles.addr;
+  } else {
+    grid_addr = kernel.VmAllocate(task, kGridPages * kPageSize);
+    particle_addr = kernel.VmAllocate(task, kParticlePages * kPageSize);
+  }
+
+  SimStats stats;
+  sim::ZipfGenerator hot_particles(kParticlePages, 0.85, 42);
+  sim::Nanos start = kernel.clock().now();
+  for (int step = 0; step < timesteps; ++step) {
+    // Phase 1: field solve — sequential sweep over the whole grid.
+    int64_t before = kernel.counters().Get("kernel.page_faults");
+    for (uint64_t p = 0; p < kGridPages; ++p) {
+      kernel.Touch(task, grid_addr + p * kPageSize, true);
+    }
+    stats.grid_faults += kernel.counters().Get("kernel.page_faults") - before;
+
+    // Phase 2: particle push — Zipf-skewed updates to the particle list.
+    before = kernel.counters().Get("kernel.page_faults");
+    for (int i = 0; i < 4000; ++i) {
+      kernel.Touch(task, particle_addr + hot_particles.Next() * kPageSize, true);
+    }
+    stats.particle_faults += kernel.counters().Get("kernel.page_faults") - before;
+  }
+  stats.elapsed = kernel.clock().now() - start;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int timesteps = argc > 1 ? std::atoi(argv[1]) : 6;
+  std::printf("Particle-in-cell simulation, %d timesteps: a 3000-page grid swept\n"
+              "sequentially + a 1200-page Zipf-hot particle list, ~3300 usable frames.\n\n",
+              timesteps);
+  SimStats mach_run = Run(false, timesteps);
+  SimStats hipec_run = Run(true, timesteps);
+  std::printf("%-24s %14s %18s %14s\n", "kernel", "grid faults", "particle faults", "elapsed");
+  std::printf("%-24s %14lld %18lld %14s\n", "default (one policy)",
+              static_cast<long long>(mach_run.grid_faults),
+              static_cast<long long>(mach_run.particle_faults),
+              sim::FormatNanos(mach_run.elapsed).c_str());
+  std::printf("%-24s %14lld %18lld %14s\n", "HiPEC (MRU + LRU)",
+              static_cast<long long>(hipec_run.grid_faults),
+              static_cast<long long>(hipec_run.particle_faults),
+              sim::FormatNanos(hipec_run.elapsed).c_str());
+  std::printf("\nPer-region policies cut the grid sweep's cyclic faults (MRU) while the\n"
+              "particle list's hot set stays resident in its own pool (LRU).\n");
+  return 0;
+}

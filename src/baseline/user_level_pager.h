@@ -1,0 +1,83 @@
+// Baseline application-controlled paging mechanisms the paper compares against (§2, §5.1):
+//
+//   * kUpcall — the kernel upcalls into the application for every replacement decision
+//     (Krueger-style). Cost per decision: two kernel/user crossings plus user-stack setup.
+//   * kIpc    — a Mach external pager making the decision via message passing (PREMO/V++
+//     style): one null-IPC round trip per decision.
+//   * kPremoSyscall — PREMO's actual structure: pages live in the *shared* global pool (no
+//     private frame list, so other applications' paging interferes), and the user-level
+//     policy queries reference/modify bits through PREMO-created system calls.
+//
+// All mechanisms execute the *same* replacement logic (a C++ "user-level" policy), so
+// experiments isolate the crossing/pooling cost — exactly the comparison of Table 4 and the
+// crossing-mechanism ablation.
+#ifndef HIPEC_BASELINE_USER_LEVEL_PAGER_H_
+#define HIPEC_BASELINE_USER_LEVEL_PAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mach/kernel.h"
+#include "policies/oracle.h"
+#include "sim/stats.h"
+
+namespace hipec::baseline {
+
+enum class Mechanism {
+  kUpcall,
+  kIpc,
+  kPremoSyscall,
+};
+
+struct PagerConfig {
+  Mechanism mechanism = Mechanism::kUpcall;
+  policies::OraclePolicy policy = policies::OraclePolicy::kFifo;
+  // User-level computation per replacement decision (list walking in the application).
+  sim::Nanos user_compute_ns = 2 * sim::kMicrosecond;
+  // PREMO: system calls issued per decision to fetch reference/modify information.
+  int premo_info_syscalls = 2;
+};
+
+// A user-level external memory manager. Registers as the kernel's fault interceptor; regions
+// it creates are marked via the VM object's opaque container pointer.
+class UserLevelPager final : public mach::FaultInterceptor {
+ public:
+  UserLevelPager(mach::Kernel* kernel, PagerConfig config);
+  ~UserLevelPager() override;
+  UserLevelPager(const UserLevelPager&) = delete;
+  UserLevelPager& operator=(const UserLevelPager&) = delete;
+
+  // Creates an application-controlled anonymous region. For upcall/IPC mechanisms
+  // `pool_frames` private frames are reserved up front; PREMO ignores it (shared pool).
+  uint64_t CreateRegion(mach::Task* task, uint64_t size_bytes, size_t pool_frames);
+
+  // mach::FaultInterceptor:
+  bool HandleFault(const mach::FaultContext& ctx) override;
+  void OnRegionTeardown(mach::Task* task, mach::VmMapEntry* entry) override;
+
+  int64_t decisions() const { return counters_.Get("pager.decisions"); }
+  sim::CounterSet& counters() { return counters_; }
+
+ private:
+  struct Region {
+    mach::Task* task = nullptr;
+    mach::VmObject* object = nullptr;
+    // Private pool (upcall/IPC): free frames plus resident frames in arrival order.
+    std::deque<mach::VmPage*> free_frames;
+    std::vector<mach::VmPage*> resident;  // arrival order
+  };
+
+  void ChargeCrossing();
+  mach::VmPage* ChooseVictim(std::vector<mach::VmPage*>& resident);
+
+  mach::Kernel* kernel_;
+  PagerConfig config_;
+  std::vector<std::unique_ptr<Region>> regions_;
+  sim::CounterSet counters_;
+};
+
+}  // namespace hipec::baseline
+
+#endif  // HIPEC_BASELINE_USER_LEVEL_PAGER_H_

@@ -1,0 +1,72 @@
+#include "hipec/checker.h"
+
+#include <algorithm>
+
+namespace hipec::core {
+
+SecurityChecker::SecurityChecker(mach::Kernel* kernel, GlobalFrameManager* manager,
+                                 sim::Nanos initial_wakeup_ns)
+    : kernel_(kernel), manager_(manager) {
+  wakeup_ns_ = initial_wakeup_ns > 0 ? initial_wakeup_ns : kernel_->costs().checker_wakeup_min_ns;
+}
+
+SecurityChecker::~SecurityChecker() { Stop(); }
+
+void SecurityChecker::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ScheduleNext();
+}
+
+void SecurityChecker::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  kernel_->clock().Cancel(pending_event_);
+  pending_event_ = 0;
+}
+
+void SecurityChecker::ScheduleNext() {
+  pending_event_ = kernel_->clock().ScheduleAfter(
+      wakeup_ns_, [this] { Wakeup(); }, "security-checker-wakeup");
+}
+
+void SecurityChecker::Wakeup() {
+  const sim::CostModel& costs = kernel_->costs();
+  counters_.Add("checker.wakeups");
+
+  // The checker steals CPU from whatever runs next; see Kernel::AddDeferredCharge.
+  sim::Nanos cpu = costs.checker_wakeup_ns +
+                   static_cast<sim::Nanos>(manager_->containers().size()) *
+                       costs.checker_scan_per_container_ns;
+  kernel_->AddDeferredCharge(cpu);
+  counters_.Add("checker.cpu_ns", cpu);
+
+  bool detected = false;
+  sim::Nanos now = kernel_->clock().now();
+  for (Container* c : manager_->containers()) {
+    if (c->exec_start_ns >= 0 && now - c->exec_start_ns > c->timeout_ns() &&
+        !c->kill_requested) {
+      c->kill_requested = true;  // the executor aborts at its next command fetch
+      detected = true;
+      counters_.Add("checker.timeouts_detected");
+    }
+  }
+
+  kernel_->tracer().Record(now, sim::TraceCategory::kChecker, detected ? 1 : 0,
+                           static_cast<uint64_t>(wakeup_ns_),
+                           static_cast<uint64_t>(manager_->containers().size()));
+  if (detected) {
+    wakeup_ns_ = std::max(costs.checker_wakeup_min_ns, wakeup_ns_ / 2);
+  } else {
+    wakeup_ns_ = std::min(costs.checker_wakeup_max_ns, wakeup_ns_ * 2);
+  }
+  if (running_) {
+    ScheduleNext();
+  }
+}
+
+}  // namespace hipec::core

@@ -1,0 +1,52 @@
+// The in-kernel security checker (§4.3.3): a kernel thread, modelled as a periodic virtual-
+// time event, that walks the container list looking for policy executions that have run
+// longer than the TimeOut period and marks them for termination. Its sleeping time adapts:
+//
+//   WakeUp = WakeUp/2   if a timeout was detected this wakeup
+//   WakeUp = WakeUp*2   if not
+//   clamped to [250 msec, 8 sec]
+//
+// (The static syntax/consistency pass of the checker lives in validator.h and runs at
+// registration time.)
+#ifndef HIPEC_HIPEC_CHECKER_H_
+#define HIPEC_HIPEC_CHECKER_H_
+
+#include "hipec/frame_manager.h"
+#include "mach/kernel.h"
+#include "sim/stats.h"
+
+namespace hipec::core {
+
+class SecurityChecker {
+ public:
+  // `initial_wakeup_ns` <= 0 means "start at the minimum interval".
+  SecurityChecker(mach::Kernel* kernel, GlobalFrameManager* manager,
+                  sim::Nanos initial_wakeup_ns = 0);
+  ~SecurityChecker();
+  SecurityChecker(const SecurityChecker&) = delete;
+  SecurityChecker& operator=(const SecurityChecker&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  sim::Nanos current_wakeup_interval() const { return wakeup_ns_; }
+  int64_t wakeups() const { return counters_.Get("checker.wakeups"); }
+  int64_t timeouts_detected() const { return counters_.Get("checker.timeouts_detected"); }
+  sim::CounterSet& counters() { return counters_; }
+
+ private:
+  void Wakeup();
+  void ScheduleNext();
+
+  mach::Kernel* kernel_;
+  GlobalFrameManager* manager_;
+  sim::Nanos wakeup_ns_;
+  bool running_ = false;
+  sim::VirtualClock::EventId pending_event_ = 0;
+  sim::CounterSet counters_;
+};
+
+}  // namespace hipec::core
+
+#endif  // HIPEC_HIPEC_CHECKER_H_

@@ -1,0 +1,96 @@
+// The container (§4.1): the kernel object mounted under a VM object when HiPEC is invoked.
+// Created from the zone system; records "pointer to next container, pointers to related VM
+// objects and threads, pointers to the HiPEC command buffers, pointers to allocated free
+// frame lists, operand array, and a timeout flag".
+#ifndef HIPEC_HIPEC_CONTAINER_H_
+#define HIPEC_HIPEC_CONTAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hipec/operand.h"
+#include "hipec/program.h"
+#include "mach/page_queue.h"
+#include "mach/vm_map.h"
+#include "mach/vm_object.h"
+#include "sim/clock.h"
+
+namespace hipec::core {
+
+class Container {
+ public:
+  Container(uint64_t id, mach::Task* task, mach::VmObject* object, PolicyProgram program,
+            size_t min_frames, sim::Nanos timeout_ns)
+      : id_(id),
+        task_(task),
+        object_(object),
+        program_(std::move(program)),
+        min_frames_(min_frames),
+        timeout_ns_(timeout_ns),
+        free_q_("hipec_free_" + std::to_string(id)),
+        active_q_("hipec_active_" + std::to_string(id)),
+        inactive_q_("hipec_inactive_" + std::to_string(id)) {}
+
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  uint64_t id() const { return id_; }
+  mach::Task* task() { return task_; }
+  mach::VmObject* object() { return object_; }
+  const PolicyProgram& program() const { return program_; }
+
+  // Private frame lists.
+  mach::PageQueue& free_q() { return free_q_; }
+  mach::PageQueue& active_q() { return active_q_; }
+  mach::PageQueue& inactive_q() { return inactive_q_; }
+  std::vector<std::unique_ptr<mach::PageQueue>>& user_queues() { return user_queues_; }
+
+  OperandArray& operands() { return operands_; }
+
+  // Frame accounting (maintained by the global frame manager).
+  size_t allocated_frames = 0;
+  size_t min_frames() const { return min_frames_; }
+
+  // Policy-execution timestamp: set by the executor at the start of every event, cleared on
+  // completion; the security checker compares it against the timeout period.
+  sim::Nanos exec_start_ns = -1;
+  // Set by the security checker when it detects a timeout; the executor aborts on sight.
+  bool kill_requested = false;
+  // The event currently being executed (diagnostics).
+  int executing_event = -1;
+
+  sim::Nanos timeout_ns() const { return timeout_ns_; }
+
+  // Command-buffer region in the owning task's address space (wired, read-only).
+  uint64_t buffer_vaddr = 0;
+  uint64_t buffer_size = 0;
+
+  // Extension (§6 future work): whether other applications may Migrate frames to this one.
+  bool accepts_migration = false;
+  // Extension: run the security checker's frame-accounting pass after every event.
+  bool strict_accounting = false;
+
+  // Lifetime statistics.
+  int64_t faults_handled = 0;
+  int64_t commands_executed = 0;
+  int64_t frames_reclaimed_from = 0;
+
+ private:
+  uint64_t id_;
+  mach::Task* task_;
+  mach::VmObject* object_;
+  PolicyProgram program_;
+  size_t min_frames_;
+  sim::Nanos timeout_ns_;
+  mach::PageQueue free_q_;
+  mach::PageQueue active_q_;
+  mach::PageQueue inactive_q_;
+  std::vector<std::unique_ptr<mach::PageQueue>> user_queues_;
+  OperandArray operands_;
+};
+
+}  // namespace hipec::core
+
+#endif  // HIPEC_HIPEC_CONTAINER_H_

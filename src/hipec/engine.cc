@@ -1,0 +1,233 @@
+#include "hipec/engine.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace hipec::core {
+
+HipecEngine::HipecEngine(mach::Kernel* kernel, FrameManagerConfig manager_config)
+    : kernel_(kernel),
+      manager_(kernel, manager_config),
+      executor_(kernel, &manager_),
+      checker_(kernel, &manager_) {
+  manager_.SetReclaimRunner(
+      [this](Container* c, size_t ask) { return RunReclaim(c, ask); });
+  kernel_->SetFaultInterceptor(this);
+  checker_.Start();
+}
+
+HipecEngine::~HipecEngine() {
+  checker_.Stop();
+  kernel_->SetFaultInterceptor(nullptr);
+}
+
+void SetupStandardOperands(Container* container, const HipecOptions& options) {
+  OperandArray& ops = container->operands();
+  ops.DefineInt(std_ops::kScratch0, 0);
+  ops.DefineQueue(std_ops::kFreeQueue, &container->free_q());
+  ops.DefineQueueCount(std_ops::kFreeCount, &container->free_q());
+  ops.DefineQueue(std_ops::kActiveQueue, &container->active_q());
+  ops.DefineQueueCount(std_ops::kActiveCount, &container->active_q());
+  ops.DefineQueue(std_ops::kInactiveQueue, &container->inactive_q());
+  ops.DefineQueueCount(std_ops::kInactiveCount, &container->inactive_q());
+  ops.DefineInt(std_ops::kFreeTarget, options.free_target);
+  ops.DefineInt(std_ops::kInactiveTarget, options.inactive_target);
+  ops.DefineInt(std_ops::kReservedTarget, options.reserved_target);
+  ops.DefineInt(std_ops::kRequestSize, options.request_size);
+  ops.DefinePage(std_ops::kPage);
+  ops.DefineInt(std_ops::kFaultAddr, 0, /*read_only=*/false);
+  ops.DefineInt(std_ops::kReclaimCount, 0);
+  ops.DefineInt(std_ops::kResult, 0);
+  ops.DefineInt(std_ops::kScratch1, 0);
+
+  uint8_t index = std_ops::kUserBase;
+  for (size_t i = 0; i < options.user_queue_count; ++i) {
+    container->user_queues().push_back(std::make_unique<mach::PageQueue>(
+        "hipec_user_q" + std::to_string(i) + "_" + std::to_string(container->id())));
+    ops.DefineQueue(index++, container->user_queues().back().get());
+  }
+  for (size_t i = 0; i < options.user_int_count; ++i) {
+    ops.DefineInt(index++, 0);
+  }
+  for (size_t i = 0; i < options.user_page_count; ++i) {
+    ops.DefinePage(index++);
+  }
+  for (const HipecOptions::IntInit& init : options.user_int_inits) {
+    ops.DefineInt(init.index, init.value, init.read_only);
+  }
+}
+
+HipecRegion HipecEngine::Register(mach::Task* task, mach::VmObject* object,
+                                  const PolicyProgram& program, const HipecOptions& options) {
+  HipecRegion region;
+
+  Container* container =
+      container_zone_.Alloc(next_container_id_++, task, object, program, options.min_frames,
+                            options.timeout_ns > 0 ? options.timeout_ns
+                                                   : kernel_->costs().policy_timeout_ns);
+  SetupStandardOperands(container, options);
+
+  // Static validation — the security checker's syntax/consistency pass. Charged per word
+  // (the checker reads the whole buffer once).
+  kernel_->clock().Advance(static_cast<sim::Nanos>(program.TotalWords()) *
+                           kernel_->costs().command_decode_ns);
+  std::vector<ValidationError> errors = ValidatePolicy(program, container->operands());
+  if (!errors.empty()) {
+    container_zone_.Free(container);
+    region.error = "policy rejected: " + FormatErrors(errors);
+    counters_.Add("engine.registrations_rejected");
+    return region;
+  }
+
+  // minFrame admission.
+  if (!manager_.AdmitContainer(container)) {
+    container_zone_.Free(container);
+    region.error = "minFrame request cannot be satisfied";
+    counters_.Add("engine.admissions_rejected");
+    return region;
+  }
+
+  // Wire the command buffer read-only into the application's address space.
+  uint64_t buffer_bytes = program.TotalWords() * sizeof(uint32_t);
+  container->buffer_vaddr = kernel_->MapWiredRegion(task, std::max<uint64_t>(buffer_bytes, 1));
+  container->buffer_size = buffer_bytes;
+
+  container->accepts_migration = options.accepts_migration;
+  container->strict_accounting = options.strict_accounting;
+
+  object->container = container;
+  region.ok = true;
+  region.container = container;
+  region.addr = task->map().Insert(object, 0, object->size());
+  counters_.Add("engine.registrations");
+  return region;
+}
+
+HipecRegion HipecEngine::VmAllocateHipec(mach::Task* task, uint64_t size,
+                                         const PolicyProgram& program,
+                                         const HipecOptions& options) {
+  kernel_->clock().Advance(kernel_->costs().null_syscall_ns);
+  return Register(task, kernel_->CreateAnonObject(size), program, options);
+}
+
+HipecRegion HipecEngine::VmMapHipec(mach::Task* task, mach::VmObject* object,
+                                    const PolicyProgram& program, const HipecOptions& options) {
+  kernel_->clock().Advance(kernel_->costs().null_syscall_ns);
+  return Register(task, object, program, options);
+}
+
+bool HipecEngine::HandleFault(const mach::FaultContext& ctx) {
+  auto* container = static_cast<Container*>(ctx.entry->object->container);
+  HIPEC_CHECK(container != nullptr);
+  mach::Task* task = ctx.task;
+
+  container->operands().WriteInt(std_ops::kFaultAddr, static_cast<int64_t>(ctx.vaddr));
+  ExecResult result = executor_.ExecuteEvent(container, kEventPageFault);
+  if (!result.ok()) {
+    counters_.Add(result.outcome == ExecOutcome::kTimeout ? "engine.policy_timeouts"
+                                                          : "engine.policy_errors");
+    kernel_->TerminateTask(task, "HiPEC: " + result.error);
+    return true;  // handled — by terminating the offender (container is freed now)
+  }
+  if (!EnforceAccounting(container)) {
+    return true;  // leak detected: offender terminated, frames recovered
+  }
+
+  mach::VmPage* page = nullptr;
+  try {
+    page = container->operands().ReadPageOrNull(result.return_operand);
+  } catch (const PolicyError&) {
+    page = nullptr;
+  }
+  if (page == nullptr || page->owner != container || page->queue != nullptr) {
+    counters_.Add("engine.bad_return_pages");
+    kernel_->TerminateTask(task, "HiPEC: PageFault policy did not return a usable frame");
+    return true;
+  }
+
+  // The frame may still cache other data (a reused victim the policy chose); evict it first.
+  if (page->object != nullptr) {
+    if (page->modified) {
+      counters_.Add("engine.dirty_evictions");
+    }
+    kernel_->EvictPage(page, /*flush_if_dirty=*/true);
+    counters_.Add("engine.reused_frames");
+  }
+
+  kernel_->InstallPage(task, ctx.entry, ctx.vaddr, page, ctx.is_write);
+  // Convention: the kernel appends the freshly faulted page to the container's active queue;
+  // the policy reorganizes its queues on subsequent events. The page variable named by Return
+  // is left pointing at the installed page, so a policy can classify "the previous fault's
+  // page" at its next event (see examples/buffer_manager.cpp).
+  container->active_q().EnqueueTail(page, kernel_->clock().now());
+  ++container->faults_handled;
+  counters_.Add("engine.faults_handled");
+  return true;
+}
+
+size_t HipecEngine::RunReclaim(Container* container, size_t ask) {
+  container->operands().WriteInt(std_ops::kReclaimCount, static_cast<int64_t>(ask));
+  size_t before = container->allocated_frames;
+  ExecResult result = executor_.ExecuteEvent(container, kEventReclaimFrame);
+  if (!result.ok()) {
+    counters_.Add("engine.reclaim_failures");
+    // Termination returns every remaining frame to the pool via OnRegionTeardown.
+    kernel_->TerminateTask(container->task(), "HiPEC: " + result.error);
+    return before;
+  }
+  size_t released = before - container->allocated_frames;
+  container->frames_reclaimed_from += static_cast<int64_t>(released);
+  counters_.Add("engine.reclaims_run");
+  if (!EnforceAccounting(container)) {
+    return before;  // terminated; everything it held is back in the pool
+  }
+  return released;
+}
+
+bool HipecEngine::AccountingConsistent(Container* container) const {
+  size_t reachable = container->free_q().count() + container->active_q().count() +
+                     container->inactive_q().count();
+  for (const auto& queue : container->user_queues()) {
+    reachable += queue->count();
+  }
+  // Off-queue frames referenced by page-variable operands (count each frame once).
+  std::unordered_set<const mach::VmPage*> seen;
+  for (size_t i = 0; i < OperandArray::kEntries; ++i) {
+    const OperandEntry& entry = container->operands().entry(static_cast<uint8_t>(i));
+    if (entry.type == OperandType::kPage && entry.page != nullptr &&
+        entry.page->owner == container && entry.page->queue == nullptr &&
+        seen.insert(entry.page).second) {
+      ++reachable;
+    }
+  }
+  return reachable == container->allocated_frames;
+}
+
+bool HipecEngine::EnforceAccounting(Container* container) {
+  if (!container->strict_accounting || AccountingConsistent(container)) {
+    return true;
+  }
+  counters_.Add("engine.leaks_detected");
+  kernel_->TerminateTask(container->task(),
+                         "HiPEC: policy leaked a frame (strict accounting)");
+  return false;
+}
+
+void HipecEngine::OnMemoryPressure() {
+  counters_.Add("engine.memory_pressure_notifications");
+  manager_.OnMemoryPressure();
+}
+
+void HipecEngine::OnRegionTeardown(mach::Task* task, mach::VmMapEntry* entry) {
+  (void)task;
+  auto* container = static_cast<Container*>(entry->object->container);
+  HIPEC_CHECK(container != nullptr);
+  manager_.RemoveContainer(container);
+  entry->object->container = nullptr;
+  container_zone_.Free(container);
+  counters_.Add("engine.teardowns");
+}
+
+}  // namespace hipec::core

@@ -1,0 +1,424 @@
+#include "hipec/executor.h"
+
+#include <algorithm>
+
+#include "sim/check.h"
+
+namespace hipec::core {
+namespace {
+
+// Internal signal: the security checker asked for this execution to die.
+struct TimeoutSignal {};
+
+}  // namespace
+
+PolicyExecutor::PolicyExecutor(mach::Kernel* kernel, GlobalFrameManager* manager)
+    : kernel_(kernel), manager_(manager) {}
+
+ExecResult PolicyExecutor::ExecuteEvent(Container* container, int event) {
+  ExecResult result;
+  // Dispatch: container lookup, CC reset, timestamp write (§4.3.2).
+  kernel_->clock().Advance(kernel_->costs().policy_invoke_ns);
+  container->exec_start_ns = kernel_->clock().now();
+  container->executing_event = event;
+  container->kill_requested = false;
+
+  // Nested executions (a Request triggering another container's ReclaimFrame) share this
+  // executor; keep their condition flags independent.
+  bool saved_condition = condition_;
+  condition_ = false;
+
+  int64_t budget = max_commands_;
+  try {
+    result.return_operand = RunEvent(container, event, /*depth=*/0, &budget);
+  } catch (const PolicyError& e) {
+    result.outcome = ExecOutcome::kError;
+    result.error = e.what();
+    counters_.Add("executor.policy_errors");
+  } catch (const TimeoutSignal&) {
+    result.outcome = ExecOutcome::kTimeout;
+    result.error = "policy execution timed out";
+    counters_.Add("executor.timeouts");
+  }
+
+  condition_ = saved_condition;
+  result.commands_executed = max_commands_ - budget;
+  container->commands_executed += result.commands_executed;
+  container->exec_start_ns = -1;
+  container->executing_event = -1;
+  kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kPolicy,
+                           static_cast<uint16_t>(result.outcome), container->id(),
+                           static_cast<uint64_t>(event));
+  counters_.Add("executor.events");
+  counters_.Add("executor.commands", result.commands_executed);
+  return result;
+}
+
+uint8_t PolicyExecutor::RunEvent(Container* c, int event, int depth, int64_t* budget) {
+  if (depth > 8) {
+    throw PolicyError("Activate recursion too deep");
+  }
+  if (!c->program().HasEvent(event)) {
+    throw PolicyError("Activate of an undefined event");
+  }
+  const EventProgram& stream = c->program().event(event);
+  const sim::CostModel& costs = kernel_->costs();
+
+  size_t cc = 1;  // word 0 is the magic number
+  for (;;) {
+    if (cc >= stream.words.size() || cc == 0) {
+      throw PolicyError("control fell outside the command stream");
+    }
+    if (c->kill_requested) {
+      throw TimeoutSignal{};
+    }
+    if (--(*budget) < 0) {
+      // Host backstop; semantically equivalent to the checker firing.
+      c->kill_requested = true;
+      throw TimeoutSignal{};
+    }
+    kernel_->clock().Advance(costs.command_decode_ns);
+    Instruction inst = stream.At(cc);
+
+    bool jumped = false;
+    switch (inst.op) {
+      case Opcode::kReturn:
+        return inst.op1;
+      case Opcode::kJump:
+        if (!condition_) {
+          cc = inst.op3;
+          jumped = true;
+        }
+        break;
+      case Opcode::kActivate:
+        RunEvent(c, inst.op1, depth + 1, budget);
+        break;
+      case Opcode::kArith:
+        DoArith(c, inst);
+        break;
+      case Opcode::kComp:
+        DoComp(c, inst);
+        break;
+      case Opcode::kLogic:
+        DoLogic(c, inst);
+        break;
+      case Opcode::kEmptyQ:
+        condition_ = c->operands().ReadQueue(inst.op1)->empty();
+        break;
+      case Opcode::kInQ:
+        condition_ = c->operands().ReadQueue(inst.op1)->Contains(
+            c->operands().ReadPage(inst.op2));
+        break;
+      case Opcode::kDeQueue:
+        DoDeQueue(c, inst);
+        break;
+      case Opcode::kEnQueue:
+        DoEnQueue(c, inst);
+        break;
+      case Opcode::kRequest:
+        DoRequest(c, inst);
+        break;
+      case Opcode::kRelease:
+        DoRelease(c, inst);
+        break;
+      case Opcode::kFlush:
+        DoFlush(c, inst);
+        break;
+      case Opcode::kSet:
+        DoSet(c, inst);
+        break;
+      case Opcode::kRef:
+        condition_ = c->operands().ReadPage(inst.op1)->reference;
+        break;
+      case Opcode::kMod:
+        condition_ = c->operands().ReadPage(inst.op1)->modified;
+        break;
+      case Opcode::kFind:
+        DoFind(c, inst);
+        break;
+      case Opcode::kFifo:
+      case Opcode::kLru:
+      case Opcode::kMru:
+        kernel_->clock().Advance(costs.complex_command_ns);
+        DoReplacementPolicy(c, inst);
+        break;
+      case Opcode::kMigrate: {
+        mach::VmPage* page = c->operands().ReadPage(inst.op1);
+        if (page->owner != c) {
+          throw PolicyError("Migrate of a frame the application does not own");
+        }
+        if (page->queue != nullptr) {
+          throw PolicyError("Migrate of a page still on a queue (DeQueue it first)");
+        }
+        int64_t target = c->operands().ReadInt(inst.op2);
+        condition_ = manager_->MigrateFrame(c, page, static_cast<uint64_t>(target));
+        if (condition_) {
+          c->operands().WritePage(inst.op1, nullptr);
+        }
+        break;
+      }
+      case Opcode::kUnlink: {
+        mach::VmPage* page = c->operands().ReadPage(inst.op1);
+        if (page->owner != c) {
+          throw PolicyError("Unlink of a frame the application does not own");
+        }
+        if (page->queue == nullptr) {
+          throw PolicyError("Unlink of a page that is not on a queue");
+        }
+        page->queue->Remove(page);
+        break;
+      }
+      default:
+        throw PolicyError("invalid operator code reached the executor");
+    }
+
+    if (!SetsCondition(inst.op)) {
+      // Non-test commands clear the condition flag (see instruction.h); test commands have
+      // just set it in their handlers.
+      condition_ = false;
+    }
+    if (!jumped) {
+      ++cc;
+    }
+  }
+}
+
+void PolicyExecutor::DoArith(Container* c, const Instruction& inst) {
+  OperandArray& ops = c->operands();
+  auto arith = static_cast<ArithOp>(inst.op3);
+  if (arith == ArithOp::kLoadImm) {
+    ops.WriteInt(inst.op1, inst.op2);
+    return;
+  }
+  int64_t lhs = ops.ReadInt(inst.op1);
+  int64_t rhs = ops.ReadInt(inst.op2);
+  int64_t out;
+  switch (arith) {
+    case ArithOp::kAdd:
+      out = lhs + rhs;
+      break;
+    case ArithOp::kSub:
+      out = lhs - rhs;
+      break;
+    case ArithOp::kMul:
+      out = lhs * rhs;
+      break;
+    case ArithOp::kDiv:
+      if (rhs == 0) {
+        throw PolicyError("Arith: division by zero");
+      }
+      out = lhs / rhs;
+      break;
+    case ArithOp::kMod:
+      if (rhs == 0) {
+        throw PolicyError("Arith: modulo by zero");
+      }
+      out = lhs % rhs;
+      break;
+    case ArithOp::kMov:
+      out = rhs;
+      break;
+    default:
+      throw PolicyError("Arith: invalid sub-operation");
+  }
+  ops.WriteInt(inst.op1, out);
+}
+
+void PolicyExecutor::DoComp(Container* c, const Instruction& inst) {
+  OperandArray& ops = c->operands();
+  int64_t lhs = ops.ReadInt(inst.op1);
+  int64_t rhs = ops.ReadInt(inst.op2);
+  switch (static_cast<CompOp>(inst.op3)) {
+    case CompOp::kGt:
+      condition_ = lhs > rhs;
+      break;
+    case CompOp::kLt:
+      condition_ = lhs < rhs;
+      break;
+    case CompOp::kEq:
+      condition_ = lhs == rhs;
+      break;
+    case CompOp::kNe:
+      condition_ = lhs != rhs;
+      break;
+    case CompOp::kGe:
+      condition_ = lhs >= rhs;
+      break;
+    case CompOp::kLe:
+      condition_ = lhs <= rhs;
+      break;
+    default:
+      throw PolicyError("Comp: invalid sub-operation");
+  }
+}
+
+void PolicyExecutor::DoLogic(Container* c, const Instruction& inst) {
+  OperandArray& ops = c->operands();
+  bool rhs = ops.ReadInt(inst.op2) != 0;
+  bool out;
+  switch (static_cast<LogicOp>(inst.op3)) {
+    case LogicOp::kAnd:
+      out = (ops.ReadInt(inst.op1) != 0) && rhs;
+      break;
+    case LogicOp::kOr:
+      out = (ops.ReadInt(inst.op1) != 0) || rhs;
+      break;
+    case LogicOp::kXor:
+      out = (ops.ReadInt(inst.op1) != 0) != rhs;
+      break;
+    case LogicOp::kNot:
+      out = !rhs;
+      break;
+    default:
+      throw PolicyError("Logic: invalid sub-operation");
+  }
+  ops.WriteInt(inst.op1, out ? 1 : 0);
+  condition_ = out;
+}
+
+void PolicyExecutor::DoSet(Container* c, const Instruction& inst) {
+  mach::VmPage* page = c->operands().ReadPage(inst.op1);
+  bool value = inst.op3 != 0;
+  switch (static_cast<PageBit>(inst.op2)) {
+    case PageBit::kReference:
+      page->reference = value;
+      break;
+    case PageBit::kModify:
+      page->modified = value;
+      break;
+    default:
+      throw PolicyError("Set: invalid bit selector");
+  }
+}
+
+void PolicyExecutor::DoDeQueue(Container* c, const Instruction& inst) {
+  mach::PageQueue* queue = c->operands().ReadQueue(inst.op2);
+  mach::VmPage* page = static_cast<QueueEnd>(inst.op3) == QueueEnd::kTail
+                           ? queue->DequeueTail()
+                           : queue->DequeueHead();
+  if (page == nullptr) {
+    throw PolicyError("DeQueue from an empty queue (guard with EmptyQ or a count)");
+  }
+  c->operands().WritePage(inst.op1, page);
+}
+
+void PolicyExecutor::DoEnQueue(Container* c, const Instruction& inst) {
+  mach::VmPage* page = c->operands().ReadPage(inst.op1);
+  if (page->owner != c) {
+    throw PolicyError("EnQueue of a frame the application does not own");
+  }
+  if (page->queue != nullptr) {
+    throw PolicyError("EnQueue of a page that is already on a queue");
+  }
+  mach::PageQueue* queue = c->operands().ReadQueue(inst.op2);
+  if (static_cast<QueueEnd>(inst.op3) == QueueEnd::kTail) {
+    queue->EnqueueTail(page, kernel_->clock().now());
+  } else {
+    queue->EnqueueHead(page, kernel_->clock().now());
+  }
+}
+
+void PolicyExecutor::DoRequest(Container* c, const Instruction& inst) {
+  int64_t n = c->operands().ReadInt(inst.op1);
+  if (n < 0) {
+    throw PolicyError("Request: negative size");
+  }
+  mach::PageQueue* dest = c->operands().ReadQueue(inst.op2);
+  condition_ = manager_->RequestFrames(c, static_cast<size_t>(n), dest);
+}
+
+void PolicyExecutor::DoRelease(Container* c, const Instruction& inst) {
+  OperandArray& ops = c->operands();
+  if (ops.TypeOf(inst.op1) == OperandType::kQueue) {
+    mach::VmPage* page = ops.ReadQueue(inst.op1)->DequeueHead();
+    if (page == nullptr) {
+      condition_ = false;
+      return;
+    }
+    manager_->ReleaseFrame(c, page);
+    condition_ = true;
+    return;
+  }
+  mach::VmPage* page = ops.ReadPageOrNull(inst.op1);
+  if (page == nullptr) {
+    condition_ = false;
+    return;
+  }
+  if (page->owner != c) {
+    throw PolicyError("Release of a frame the application does not own");
+  }
+  if (page->queue != nullptr) {
+    throw PolicyError("Release of a page still on a queue (DeQueue it first)");
+  }
+  manager_->ReleaseFrame(c, page);
+  ops.WritePage(inst.op1, nullptr);
+  condition_ = true;
+}
+
+void PolicyExecutor::DoFlush(Container* c, const Instruction& inst) {
+  mach::VmPage* page = c->operands().ReadPage(inst.op1);
+  if (page->owner != c) {
+    throw PolicyError("Flush of a frame the application does not own");
+  }
+  if (page->queue != nullptr) {
+    throw PolicyError("Flush of a page still on a queue (DeQueue it first)");
+  }
+  mach::VmPage* replacement = manager_->FlushExchange(c, page);
+  c->operands().WritePage(inst.op1, replacement);
+  condition_ = true;
+}
+
+void PolicyExecutor::DoFind(Container* c, const Instruction& inst) {
+  auto vaddr = static_cast<uint64_t>(c->operands().ReadInt(inst.op2));
+  mach::VmMapEntry* entry = c->task()->map().Lookup(vaddr);
+  mach::VmPage* page = nullptr;
+  if (entry != nullptr && entry->object == c->object()) {
+    page = c->object()->Lookup(entry->OffsetOf(vaddr));
+  }
+  c->operands().WritePage(inst.op1, page);
+  condition_ = page != nullptr && page->owner == c;
+}
+
+void PolicyExecutor::DoReplacementPolicy(Container* c, const Instruction& inst) {
+  mach::PageQueue* queue = c->operands().ReadQueue(inst.op1);
+  if (queue->empty()) {
+    throw PolicyError("replacement-policy command on an empty queue");
+  }
+  mach::VmPage* victim = nullptr;
+  switch (inst.op) {
+    case Opcode::kFifo:
+      // Arrival order: the head is the oldest.
+      victim = queue->DequeueHead();
+      break;
+    case Opcode::kLru: {
+      mach::VmPage* best = nullptr;
+      queue->ForEach([&](mach::VmPage* p) {
+        if (best == nullptr || p->last_reference_ns < best->last_reference_ns) {
+          best = p;
+        }
+        return true;
+      });
+      queue->Remove(best);
+      victim = best;
+      break;
+    }
+    case Opcode::kMru: {
+      mach::VmPage* best = nullptr;
+      queue->ForEach([&](mach::VmPage* p) {
+        if (best == nullptr || p->last_reference_ns >= best->last_reference_ns) {
+          best = p;
+        }
+        return true;
+      });
+      queue->Remove(best);
+      victim = best;
+      break;
+    }
+    default:
+      throw PolicyError("not a replacement-policy command");
+  }
+  c->operands().WritePage(inst.op2, victim);
+  counters_.Add("executor.policy_commands");
+}
+
+}  // namespace hipec::core

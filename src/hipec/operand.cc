@@ -1,0 +1,83 @@
+#include "hipec/operand.h"
+
+#include <sstream>
+
+namespace hipec::core {
+
+void OperandArray::Fail(uint8_t index, const std::string& message) {
+  std::ostringstream os;
+  os << "operand 0x" << std::hex << static_cast<int>(index) << ": " << message;
+  throw PolicyError(os.str());
+}
+
+void OperandArray::DefineInt(uint8_t index, int64_t value, bool read_only) {
+  entries_[index] = OperandEntry{OperandType::kInt, read_only, value, nullptr, nullptr};
+}
+
+void OperandArray::DefinePage(uint8_t index) {
+  entries_[index] = OperandEntry{OperandType::kPage, false, 0, nullptr, nullptr};
+}
+
+void OperandArray::DefineQueue(uint8_t index, mach::PageQueue* queue) {
+  entries_[index] = OperandEntry{OperandType::kQueue, false, 0, nullptr, queue};
+}
+
+void OperandArray::DefineQueueCount(uint8_t index, mach::PageQueue* queue) {
+  entries_[index] = OperandEntry{OperandType::kQueueCount, true, 0, nullptr, queue};
+}
+
+int64_t OperandArray::ReadInt(uint8_t index) const {
+  const OperandEntry& e = entries_[index];
+  if (e.type == OperandType::kInt) {
+    return e.int_value;
+  }
+  if (e.type == OperandType::kQueueCount) {
+    return static_cast<int64_t>(e.queue->count());
+  }
+  Fail(index, "expected an integer operand");
+}
+
+void OperandArray::WriteInt(uint8_t index, int64_t value) {
+  OperandEntry& e = entries_[index];
+  if (e.type != OperandType::kInt) {
+    Fail(index, "expected a writable integer operand");
+  }
+  if (e.read_only) {
+    Fail(index, "write to a read-only operand");
+  }
+  e.int_value = value;
+}
+
+mach::VmPage* OperandArray::ReadPage(uint8_t index) const {
+  mach::VmPage* page = ReadPageOrNull(index);
+  if (page == nullptr) {
+    Fail(index, "page variable is empty");
+  }
+  return page;
+}
+
+mach::VmPage* OperandArray::ReadPageOrNull(uint8_t index) const {
+  const OperandEntry& e = entries_[index];
+  if (e.type != OperandType::kPage) {
+    Fail(index, "expected a page operand");
+  }
+  return e.page;
+}
+
+void OperandArray::WritePage(uint8_t index, mach::VmPage* page) {
+  OperandEntry& e = entries_[index];
+  if (e.type != OperandType::kPage) {
+    Fail(index, "expected a page operand");
+  }
+  e.page = page;
+}
+
+mach::PageQueue* OperandArray::ReadQueue(uint8_t index) const {
+  const OperandEntry& e = entries_[index];
+  if (e.type != OperandType::kQueue) {
+    Fail(index, "expected a queue operand");
+  }
+  return e.queue;
+}
+
+}  // namespace hipec::core

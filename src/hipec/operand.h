@@ -1,0 +1,110 @@
+// The operand array (§4.2): up to 256 typed entries per container. Each entry is a pointer to
+// a variable — "as simple as an unsigned integer, or as complex as the virtual memory page
+// structure or page queue list". Commands reference entries by 8-bit index.
+//
+// Entry kinds:
+//   * kInt        — a mutable (or read-only) 64-bit integer (targets, counters, scratch).
+//   * kPage       — a vm_page pointer variable.
+//   * kQueue      — a page queue (private free/active/inactive or user-defined).
+//   * kQueueCount — a read-only integer *view* of a queue's length (e.g. _free_count).
+//
+// Policy programs run in kernel mode, so type confusion here is a kernel-integrity hazard;
+// typed accessors raise PolicyError, which the executor turns into application termination —
+// the security model of §4.3.3.
+//
+// This file also defines the *standard layout*: the canonical index assignments that the
+// engine configures for every container and the translator/policy builders rely on. (The
+// paper's Table 2 listing uses ad-hoc, internally inconsistent indices; see instruction.h.)
+#ifndef HIPEC_HIPEC_OPERAND_H_
+#define HIPEC_HIPEC_OPERAND_H_
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "mach/page_queue.h"
+#include "mach/vm_page.h"
+
+namespace hipec::core {
+
+// A runtime fault in a policy program (bad operand type, dequeue from empty queue, division
+// by zero, ...). Caught by the executor and converted into task termination.
+class PolicyError : public std::runtime_error {
+ public:
+  explicit PolicyError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class OperandType : uint8_t {
+  kUnset = 0,
+  kInt,
+  kPage,
+  kQueue,
+  kQueueCount,
+};
+
+struct OperandEntry {
+  OperandType type = OperandType::kUnset;
+  bool read_only = false;
+  int64_t int_value = 0;
+  mach::VmPage* page = nullptr;
+  mach::PageQueue* queue = nullptr;
+};
+
+class OperandArray {
+ public:
+  static constexpr size_t kEntries = 256;
+
+  // --- Definition (registration time) --------------------------------------------------------
+  void DefineInt(uint8_t index, int64_t value, bool read_only = false);
+  void DefinePage(uint8_t index);
+  void DefineQueue(uint8_t index, mach::PageQueue* queue);
+  void DefineQueueCount(uint8_t index, mach::PageQueue* queue);
+
+  // --- Typed access (run time; throws PolicyError on misuse) ---------------------------------
+  int64_t ReadInt(uint8_t index) const;           // kInt or kQueueCount
+  void WriteInt(uint8_t index, int64_t value);    // kInt, not read-only
+  mach::VmPage* ReadPage(uint8_t index) const;    // kPage, non-null
+  mach::VmPage* ReadPageOrNull(uint8_t index) const;
+  void WritePage(uint8_t index, mach::VmPage* page);
+  mach::PageQueue* ReadQueue(uint8_t index) const;
+
+  const OperandEntry& entry(uint8_t index) const { return entries_[index]; }
+  OperandType TypeOf(uint8_t index) const { return entries_[index].type; }
+
+ private:
+  [[noreturn]] static void Fail(uint8_t index, const std::string& message);
+
+  std::array<OperandEntry, kEntries> entries_{};
+};
+
+// Standard operand layout. The engine defines these for every container; user-defined
+// operands (extra queues, variables) start at kUserBase.
+namespace std_ops {
+inline constexpr uint8_t kScratch0 = 0x00;       // int scratch
+inline constexpr uint8_t kFreeQueue = 0x01;      // container private free list
+inline constexpr uint8_t kFreeCount = 0x02;      // read-only view: _free_count
+inline constexpr uint8_t kActiveQueue = 0x03;    // private active queue
+inline constexpr uint8_t kActiveCount = 0x04;    // read-only view
+inline constexpr uint8_t kInactiveQueue = 0x05;  // private inactive queue
+inline constexpr uint8_t kInactiveCount = 0x06;  // read-only view
+inline constexpr uint8_t kFreeTarget = 0x07;     // int: free_target
+inline constexpr uint8_t kInactiveTarget = 0x08;  // int: inactive_target
+inline constexpr uint8_t kReservedTarget = 0x09;  // int: reserved_target
+inline constexpr uint8_t kRequestSize = 0x0A;     // int: frames per Request
+inline constexpr uint8_t kPage = 0x0B;            // the page variable of Table 2
+inline constexpr uint8_t kFaultAddr = 0x0C;       // int: faulting address (set by kernel)
+inline constexpr uint8_t kReclaimCount = 0x0D;    // int: frames asked by ReclaimFrame event
+inline constexpr uint8_t kResult = 0x0E;          // int: status/return scratch
+inline constexpr uint8_t kScratch1 = 0x0F;        // int scratch
+inline constexpr uint8_t kUserBase = 0x10;
+}  // namespace std_ops
+
+// HiPEC-defined event numbers (§4.2). User events follow from kFirstUserEvent.
+inline constexpr int kEventPageFault = 0;
+inline constexpr int kEventReclaimFrame = 1;
+inline constexpr int kFirstUserEvent = 2;
+
+}  // namespace hipec::core
+
+#endif  // HIPEC_HIPEC_OPERAND_H_

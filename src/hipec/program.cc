@@ -1,0 +1,55 @@
+#include "hipec/program.h"
+
+#include <sstream>
+
+#include "sim/check.h"
+
+namespace hipec::core {
+
+void PolicyProgram::SetEvent(int event, const std::vector<Instruction>& commands) {
+  std::vector<uint32_t> words;
+  words.reserve(commands.size() + 1);
+  words.push_back(kHipecMagic);
+  for (const Instruction& inst : commands) {
+    words.push_back(inst.Encode());
+  }
+  SetEventRaw(event, std::move(words));
+}
+
+void PolicyProgram::SetEventRaw(int event, std::vector<uint32_t> words) {
+  HIPEC_CHECK_MSG(event >= 0 && event < 256, "event number out of range");
+  if (event >= static_cast<int>(events_.size())) {
+    events_.resize(static_cast<size_t>(event) + 1);
+  }
+  events_[static_cast<size_t>(event)].words = std::move(words);
+}
+
+size_t PolicyProgram::TotalWords() const {
+  size_t n = 0;
+  for (const EventProgram& e : events_) {
+    n += e.words.size();
+  }
+  return n;
+}
+
+std::string PolicyProgram::ToString() const {
+  std::ostringstream os;
+  static const char* kWellKnown[] = {"PageFault", "ReclaimFrame"};
+  for (size_t ev = 0; ev < events_.size(); ++ev) {
+    if (events_[ev].words.empty()) {
+      continue;
+    }
+    os << "Event " << ev;
+    if (ev < 2) {
+      os << " (" << kWellKnown[ev] << ")";
+    }
+    os << ":\n";
+    const EventProgram& program = events_[ev];
+    for (size_t cc = 1; cc < program.words.size(); ++cc) {
+      os << "  " << cc << ": " << program.At(cc).ToString() << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hipec::core

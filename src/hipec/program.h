@@ -1,0 +1,58 @@
+// Policy programs: per-event HiPEC command streams stored in the wired command buffer.
+//
+// Word 0 of every event's stream is the HiPEC magic number used by the security checker
+// (Table 2, "Magic number used for checking"); commands start at command counter 1.
+#ifndef HIPEC_HIPEC_PROGRAM_H_
+#define HIPEC_HIPEC_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hipec/instruction.h"
+
+namespace hipec::core {
+
+inline constexpr uint32_t kHipecMagic = 0x48695043;  // "HiPC"
+
+struct EventProgram {
+  // words[0] == kHipecMagic; words[1..] are encoded instructions; command counter CC indexes
+  // this vector directly (CC starts at 1, exactly as in Table 2).
+  std::vector<uint32_t> words;
+
+  bool empty() const { return words.size() <= 1; }
+  size_t CommandCount() const { return words.empty() ? 0 : words.size() - 1; }
+  Instruction At(size_t cc) const { return Instruction::Decode(words[cc]); }
+};
+
+class PolicyProgram {
+ public:
+  PolicyProgram() = default;
+
+  // Installs the command stream for `event` (0 = PageFault, 1 = ReclaimFrame, 2+ = user
+  // events). Prepends the magic word.
+  void SetEvent(int event, const std::vector<Instruction>& commands);
+
+  // Installs raw words (must already start with the magic). Used by tests that corrupt
+  // programs deliberately.
+  void SetEventRaw(int event, std::vector<uint32_t> words);
+
+  bool HasEvent(int event) const {
+    return event >= 0 && event < static_cast<int>(events_.size()) &&
+           !events_[static_cast<size_t>(event)].words.empty();
+  }
+  const EventProgram& event(int event) const { return events_[static_cast<size_t>(event)]; }
+  int event_limit() const { return static_cast<int>(events_.size()); }
+
+  size_t TotalWords() const;
+
+  // Human-readable listing of all events (disassembly).
+  std::string ToString() const;
+
+ private:
+  std::vector<EventProgram> events_;
+};
+
+}  // namespace hipec::core
+
+#endif  // HIPEC_HIPEC_PROGRAM_H_

@@ -1,0 +1,45 @@
+// Static validation of policy programs — the security checker's syntax/consistency pass
+// (§4.3.3): "the security checker only checks for illegal syntax of commands, such as the
+// wrong number or illegal type of operands". Run when a specific application invokes
+// vm_map_hipec()/vm_allocate_hipec(), before any command is ever executed.
+//
+// Checked per event stream:
+//   * the magic number in word 0;
+//   * every operator code is one of the 20 defined commands;
+//   * operand indices refer to operand-array entries of the type the command requires
+//     (integer / page / queue), and written operands are writable;
+//   * flag bytes are within range for the sub-operation they select;
+//   * Jump targets land on a command of the same event (CC in [1, len]);
+//   * Activate targets name an event that exists in the program;
+//   * every non-empty event contains at least one Return (a stream that can only fall off
+//     the end is rejected).
+#ifndef HIPEC_HIPEC_VALIDATOR_H_
+#define HIPEC_HIPEC_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "hipec/operand.h"
+#include "hipec/program.h"
+
+namespace hipec::core {
+
+struct ValidationError {
+  int event;
+  int cc;  // command counter within the event; 0 for stream-level errors
+  std::string message;
+
+  std::string ToString() const;
+};
+
+// Validates `program` against the operand-array layout it will run with. Empty result means
+// the program is accepted.
+std::vector<ValidationError> ValidatePolicy(const PolicyProgram& program,
+                                            const OperandArray& operands);
+
+// Convenience: formats all errors, one per line.
+std::string FormatErrors(const std::vector<ValidationError>& errors);
+
+}  // namespace hipec::core
+
+#endif  // HIPEC_HIPEC_VALIDATOR_H_

@@ -1,0 +1,82 @@
+#include "lang/assembler.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hipec::lang {
+
+std::string DumpHex(const core::PolicyProgram& program) {
+  std::ostringstream os;
+  for (int ev = 0; ev < program.event_limit(); ++ev) {
+    if (!program.HasEvent(ev)) {
+      continue;
+    }
+    os << "event " << ev << "\n";
+    char buf[16];
+    for (uint32_t word : program.event(ev).words) {
+      std::snprintf(buf, sizeof(buf), "%08X", word);
+      os << buf << "\n";
+    }
+  }
+  return os.str();
+}
+
+core::PolicyProgram ParseHex(const std::string& text) {
+  core::PolicyProgram program;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  int current_event = -1;
+  std::vector<uint32_t> words;
+
+  auto flush = [&] {
+    if (current_event >= 0) {
+      if (words.empty()) {
+        throw CompileError(line_no, "event with no words");
+      }
+      program.SetEventRaw(current_event, std::move(words));
+      words = {};
+    }
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    // Trim.
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+      continue;
+    }
+    size_t end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+
+    if (line.rfind("event", 0) == 0) {
+      flush();
+      try {
+        current_event = std::stoi(line.substr(5));
+      } catch (const std::exception&) {
+        throw CompileError(line_no, "bad event header: " + line);
+      }
+      if (current_event < 0 || current_event > 255) {
+        throw CompileError(line_no, "event number out of range");
+      }
+      continue;
+    }
+    if (current_event < 0) {
+      throw CompileError(line_no, "command word before any 'event' header");
+    }
+    uint32_t word = 0;
+    if (std::sscanf(line.c_str(), "%8X", &word) != 1 ||
+        line.find_first_not_of("0123456789abcdefABCDEF") != std::string::npos) {
+      throw CompileError(line_no, "bad command word: " + line);
+    }
+    words.push_back(word);
+  }
+  flush();
+  return program;
+}
+
+}  // namespace hipec::lang

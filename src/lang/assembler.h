@@ -1,0 +1,29 @@
+// A textual exchange format for compiled policies, so programs can be shipped between the
+// stand-alone translator (examples/hipecc) and applications:
+//
+//   # comment
+//   event 0
+//   48695043        <- magic
+//   02020C01        <- one 32-bit command word per line, hex
+//   ...
+//
+// DumpHex and ParseHex round-trip exactly; hipec/program.h's ToString() provides the
+// human-readable disassembly.
+#ifndef HIPEC_LANG_ASSEMBLER_H_
+#define HIPEC_LANG_ASSEMBLER_H_
+
+#include <string>
+
+#include "hipec/program.h"
+#include "lang/lexer.h"
+
+namespace hipec::lang {
+
+std::string DumpHex(const core::PolicyProgram& program);
+
+// Throws CompileError on malformed input.
+core::PolicyProgram ParseHex(const std::string& text);
+
+}  // namespace hipec::lang
+
+#endif  // HIPEC_LANG_ASSEMBLER_H_

@@ -1,0 +1,75 @@
+// AST for the HiPEC pseudo-code policy language (§4.3.4, Figure 4).
+//
+// The language is C-like: `Event Name() { ... }` declarations containing if/else (with either
+// braces or begin/end/endif, both appear in the paper), while loops, assignments, builtin
+// calls (de_queue_head, en_queue_tail, flush, reset, ...), and event activations written as
+// procedure calls. See lang/compiler.h for the full builtin list and name bindings.
+#ifndef HIPEC_LANG_AST_H_
+#define HIPEC_LANG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hipec::lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kInt,     // integer literal
+    kIdent,   // variable / queue / target name
+    kField,   // name.field (page.reference, page.dirty, page.modified)
+    kBinary,  // op in {+ - * / % > < >= <= == != && ||}
+    kNot,     // !x
+    kCall,    // builtin or event call
+  };
+
+  Kind kind;
+  int line = 0;
+  int64_t int_value = 0;
+  std::string name;   // ident / field base / callee
+  std::string field;  // for kField
+  std::string op;     // for kBinary
+  ExprPtr lhs, rhs;   // binary / not (rhs only)
+  std::vector<ExprPtr> args;  // call
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    kIf,
+    kWhile,
+    kAssign,
+    kExprStmt,  // builtin call or event activation
+    kReturn,
+  };
+
+  Kind kind;
+  int line = 0;
+  ExprPtr cond;                  // if / while
+  std::vector<StmtPtr> then_body;  // if-then / while-body
+  std::vector<StmtPtr> else_body;  // if-else
+  std::string target;            // assign lvalue
+  ExprPtr value;                 // assign RHS / expr-stmt / return value (may be null)
+};
+
+struct EventDecl {
+  std::string name;
+  int line = 0;
+  std::vector<StmtPtr> body;
+};
+
+struct PolicySource {
+  std::vector<std::string> queue_decls;  // `queue name` declarations
+  std::vector<std::pair<std::string, int64_t>> const_decls;  // `const name = value`
+  std::vector<EventDecl> events;
+};
+
+}  // namespace hipec::lang
+
+#endif  // HIPEC_LANG_AST_H_

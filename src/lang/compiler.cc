@@ -1,0 +1,721 @@
+#include "lang/compiler.h"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "hipec/builder.h"
+#include "lang/parser.h"
+
+namespace hipec::lang {
+namespace {
+
+using core::ArithOp;
+using core::CompOp;
+using core::EventBuilder;
+using core::PageBit;
+namespace ops = hipec::core::std_ops;
+
+enum class SymKind { kInt, kReadOnlyInt, kPage, kQueue };
+
+struct Symbol {
+  SymKind kind;
+  uint8_t index;
+};
+
+constexpr int kTempInts = 4;
+constexpr int kTempPages = 1;
+
+bool IsPageProducer(const std::string& callee) {
+  return callee == "de_queue_head" || callee == "de_queue_tail" || callee == "fifo" ||
+         callee == "lru" || callee == "mru" || callee == "find";
+}
+
+class Compiler {
+ public:
+  explicit Compiler(const PolicySource& source) : source_(source) {}
+
+  CompiledPolicy Run() {
+    CollectEvents();
+    CollectSymbols();
+    AssignIndices();
+    for (const EventDecl& event : source_.events) {
+      EventBuilder builder;
+      builder_ = &builder;
+      for (const StmtPtr& stmt : event.body) {
+        GenStmt(*stmt);
+      }
+      builder.Return(0);  // implicit fall-off return
+      result_.program.SetEvent(result_.events.at(event.name), builder.Build());
+      builder_ = nullptr;
+    }
+    for (const auto& [name, sym] : table_) {
+      result_.symbols[name] = sym.index;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  // --- pass A: events and symbols -------------------------------------------------------------
+
+  void CollectEvents() {
+    int next_user_event = core::kFirstUserEvent;
+    for (const EventDecl& event : source_.events) {
+      if (result_.events.contains(event.name)) {
+        throw CompileError(event.line, "event '" + event.name + "' declared twice");
+      }
+      if (event.name == "PageFault") {
+        result_.events[event.name] = core::kEventPageFault;
+      } else if (event.name == "ReclaimFrame") {
+        result_.events[event.name] = core::kEventReclaimFrame;
+      } else {
+        result_.events[event.name] = next_user_event++;
+      }
+    }
+    if (!result_.events.contains("PageFault") || !result_.events.contains("ReclaimFrame")) {
+      throw CompileError(1,
+                         "a specific application must handle at least the PageFault and "
+                         "ReclaimFrame events");
+    }
+  }
+
+  void Predefine(const std::string& name, SymKind kind, uint8_t index) {
+    table_[name] = Symbol{kind, index};
+  }
+
+  void CollectSymbols() {
+    Predefine("_free_queue", SymKind::kQueue, ops::kFreeQueue);
+    Predefine("_free_count", SymKind::kReadOnlyInt, ops::kFreeCount);
+    Predefine("_active_queue", SymKind::kQueue, ops::kActiveQueue);
+    Predefine("_active_count", SymKind::kReadOnlyInt, ops::kActiveCount);
+    Predefine("_inactive_queue", SymKind::kQueue, ops::kInactiveQueue);
+    Predefine("_inactive_count", SymKind::kReadOnlyInt, ops::kInactiveCount);
+    Predefine("free_target", SymKind::kInt, ops::kFreeTarget);
+    Predefine("inactive_target", SymKind::kInt, ops::kInactiveTarget);
+    Predefine("reserved_target", SymKind::kInt, ops::kReservedTarget);
+    Predefine("reserve_target", SymKind::kInt, ops::kReservedTarget);  // paper's other spelling
+    Predefine("request_size", SymKind::kInt, ops::kRequestSize);
+    Predefine("page", SymKind::kPage, ops::kPage);
+    Predefine("fault_addr", SymKind::kInt, ops::kFaultAddr);
+    Predefine("reclaim_count", SymKind::kInt, ops::kReclaimCount);
+    Predefine("result", SymKind::kInt, ops::kResult);
+
+    for (const std::string& queue : source_.queue_decls) {
+      if (table_.contains(queue)) {
+        throw CompileError(1, "queue '" + queue + "' redeclares an existing name");
+      }
+      user_queues_.push_back(queue);
+      table_[queue] = Symbol{SymKind::kQueue, 0};  // index assigned later
+    }
+    for (const auto& [name, value] : source_.const_decls) {
+      if (table_.contains(name)) {
+        throw CompileError(1, "const '" + name + "' redeclares an existing name");
+      }
+      const_values_[name] = value;
+      table_[name] = Symbol{SymKind::kReadOnlyInt, 0};
+    }
+    for (const EventDecl& event : source_.events) {
+      for (const StmtPtr& stmt : event.body) {
+        CollectStmt(*stmt);
+      }
+    }
+    for (const EventDecl& event : source_.events) {
+      for (const StmtPtr& stmt : event.body) {
+        CollectReads(*stmt);
+      }
+    }
+  }
+
+  // Reads of unknown names declare integer variables implicitly too: kernel-communication
+  // operands (like a migration partner's id) are often written only from outside the policy.
+  void CollectExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kIdent:
+        if (!table_.contains(expr.name)) {
+          user_ints_.push_back(expr.name);
+          table_[expr.name] = Symbol{SymKind::kInt, 0};
+        }
+        break;
+      case Expr::Kind::kInt:
+        // Literals beyond the 8-bit immediate range are hoisted into pooled read-only
+        // constant operands.
+        if (expr.int_value < 0 || expr.int_value > 255) {
+          std::string name = "$lit" + std::to_string(expr.int_value);
+          if (!table_.contains(name)) {
+            const_values_[name] = expr.int_value;
+            table_[name] = Symbol{SymKind::kReadOnlyInt, 0};
+          }
+        }
+        break;
+      case Expr::Kind::kBinary:
+        CollectExpr(*expr.lhs);
+        CollectExpr(*expr.rhs);
+        break;
+      case Expr::Kind::kNot:
+        CollectExpr(*expr.rhs);
+        break;
+      case Expr::Kind::kCall:
+        for (const ExprPtr& arg : expr.args) {
+          CollectExpr(*arg);
+        }
+        break;
+      default:
+        break;  // literals and fields (whose base must already be a page variable)
+    }
+  }
+
+  // Second collection pass: reads (the first pass has already typed every assigned name, so
+  // an ident that is assigned a page later in the source is correctly a page here).
+  void CollectReads(const Stmt& stmt) {
+    if (stmt.cond) {
+      CollectExpr(*stmt.cond);
+    }
+    if (stmt.value) {
+      CollectExpr(*stmt.value);
+    }
+    for (const StmtPtr& s : stmt.then_body) {
+      CollectReads(*s);
+    }
+    for (const StmtPtr& s : stmt.else_body) {
+      CollectReads(*s);
+    }
+  }
+
+  void CollectStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kAssign: {
+        bool is_page = stmt.value->kind == Expr::Kind::kCall && IsPageProducer(stmt.value->name);
+        auto it = table_.find(stmt.target);
+        if (it == table_.end()) {
+          if (is_page) {
+            user_pages_.push_back(stmt.target);
+            table_[stmt.target] = Symbol{SymKind::kPage, 0};
+          } else {
+            user_ints_.push_back(stmt.target);
+            table_[stmt.target] = Symbol{SymKind::kInt, 0};
+          }
+        } else {
+          const Symbol& sym = it->second;
+          if (is_page && sym.kind != SymKind::kPage) {
+            throw CompileError(stmt.line,
+                               "'" + stmt.target + "' holds an integer but is assigned a page");
+          }
+          if (!is_page && sym.kind == SymKind::kPage) {
+            throw CompileError(stmt.line,
+                               "'" + stmt.target + "' holds a page but is assigned an integer");
+          }
+          if (sym.kind == SymKind::kReadOnlyInt || sym.kind == SymKind::kQueue) {
+            throw CompileError(stmt.line, "'" + stmt.target + "' cannot be assigned");
+          }
+        }
+        break;
+      }
+      case Stmt::Kind::kIf:
+      case Stmt::Kind::kWhile:
+        for (const StmtPtr& s : stmt.then_body) {
+          CollectStmt(*s);
+        }
+        for (const StmtPtr& s : stmt.else_body) {
+          CollectStmt(*s);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void AssignIndices() {
+    // Must match HipecEngine::SetupStandardOperands: user queues, then ints, then pages.
+    int index = ops::kUserBase;
+    auto take = [&index, this](int line = 1) {
+      if (index > 255) {
+        throw CompileError(line, "too many user operands (operand array has 256 entries)");
+      }
+      return static_cast<uint8_t>(index++);
+    };
+    for (const std::string& name : user_queues_) {
+      table_[name].index = take();
+    }
+    for (const std::string& name : user_ints_) {
+      table_[name].index = take();
+    }
+    // Declared constants and pooled literals are user ints with read-only initial values.
+    for (auto& [name, value] : const_values_) {
+      uint8_t slot = take();
+      table_[name].index = slot;
+      result_.options.user_int_inits.push_back(
+          core::HipecOptions::IntInit{slot, value, /*read_only=*/true});
+    }
+    first_temp_int_ = index;
+    for (int i = 0; i < kTempInts; ++i) {
+      take();
+    }
+    for (const std::string& name : user_pages_) {
+      table_[name].index = take();
+    }
+    first_temp_page_ = index;
+    for (int i = 0; i < kTempPages; ++i) {
+      take();
+    }
+    result_.options.user_queue_count = user_queues_.size();
+    result_.options.user_int_count = user_ints_.size() + const_values_.size() + kTempInts;
+    result_.options.user_page_count = user_pages_.size() + kTempPages;
+  }
+
+  // --- symbol helpers -------------------------------------------------------------------------
+
+  const Symbol& Lookup(const std::string& name, int line) const {
+    auto it = table_.find(name);
+    if (it == table_.end()) {
+      throw CompileError(line, "unknown name '" + name + "'");
+    }
+    return it->second;
+  }
+
+  uint8_t QueueOf(const Expr& expr) const {
+    if (expr.kind != Expr::Kind::kIdent) {
+      throw CompileError(expr.line, "expected a queue name");
+    }
+    const Symbol& sym = Lookup(expr.name, expr.line);
+    if (sym.kind != SymKind::kQueue) {
+      throw CompileError(expr.line, "'" + expr.name + "' is not a queue");
+    }
+    return sym.index;
+  }
+
+  uint8_t PageOf(const Expr& expr) const {
+    if (expr.kind != Expr::Kind::kIdent) {
+      throw CompileError(expr.line, "expected a page variable");
+    }
+    const Symbol& sym = Lookup(expr.name, expr.line);
+    if (sym.kind != SymKind::kPage) {
+      throw CompileError(expr.line, "'" + expr.name + "' is not a page variable");
+    }
+    return sym.index;
+  }
+
+  uint8_t AllocTempInt(int line) {
+    if (temp_ints_used_ >= kTempInts) {
+      throw CompileError(line, "expression too complex (temporary limit)");
+    }
+    return static_cast<uint8_t>(first_temp_int_ + temp_ints_used_++);
+  }
+  uint8_t TempPage() const { return static_cast<uint8_t>(first_temp_page_); }
+  void ResetTemps() { temp_ints_used_ = 0; }
+
+  // --- expression codegen ---------------------------------------------------------------------
+
+  static ArithOp ArithOpFor(const std::string& op, int line) {
+    if (op == "+") return ArithOp::kAdd;
+    if (op == "-") return ArithOp::kSub;
+    if (op == "*") return ArithOp::kMul;
+    if (op == "/") return ArithOp::kDiv;
+    if (op == "%") return ArithOp::kMod;
+    throw CompileError(line, "'" + op + "' is not an arithmetic operator here");
+  }
+
+  static bool IsRelational(const std::string& op) {
+    return op == ">" || op == "<" || op == ">=" || op == "<=" || op == "==" || op == "!=";
+  }
+
+  static CompOp CompOpFor(const std::string& op) {
+    if (op == ">") return CompOp::kGt;
+    if (op == "<") return CompOp::kLt;
+    if (op == ">=") return CompOp::kGe;
+    if (op == "<=") return CompOp::kLe;
+    if (op == "==") return CompOp::kEq;
+    return CompOp::kNe;
+  }
+
+  // Materializes an integer-valued expression; returns the operand index holding it.
+  uint8_t GenInt(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kInt: {
+        if (expr.int_value < 0 || expr.int_value > 255) {
+          // A pooled constant operand (allocated during the collection pass).
+          auto it = table_.find("$lit" + std::to_string(expr.int_value));
+          if (it == table_.end()) {
+            throw CompileError(expr.line, "internal: literal missing from the constant pool");
+          }
+          return it->second.index;
+        }
+        uint8_t temp = AllocTempInt(expr.line);
+        builder_->LoadImm(temp, static_cast<uint8_t>(expr.int_value));
+        return temp;
+      }
+      case Expr::Kind::kIdent: {
+        const Symbol& sym = Lookup(expr.name, expr.line);
+        if (sym.kind != SymKind::kInt && sym.kind != SymKind::kReadOnlyInt) {
+          throw CompileError(expr.line, "'" + expr.name + "' is not an integer");
+        }
+        return sym.index;
+      }
+      case Expr::Kind::kBinary: {
+        if (IsRelational(expr.op) || expr.op == "&&" || expr.op == "||") {
+          throw CompileError(expr.line, "comparison used where a value is required");
+        }
+        uint8_t lhs = GenInt(*expr.lhs);
+        uint8_t rhs = GenInt(*expr.rhs);
+        uint8_t temp = AllocTempInt(expr.line);
+        builder_->Arith(temp, lhs, ArithOp::kMov);
+        builder_->Arith(temp, rhs, ArithOpFor(expr.op, expr.line));
+        return temp;
+      }
+      default:
+        throw CompileError(expr.line, "expected an integer expression");
+    }
+  }
+
+  // Emits a page-producing call with destination `dst`.
+  void GenPageProducer(const Expr& call, uint8_t dst) {
+    auto want_args = [&call](size_t n) {
+      if (call.args.size() != n) {
+        throw CompileError(call.line, call.name + " expects " + std::to_string(n) +
+                                          " argument(s)");
+      }
+    };
+    if (call.name == "de_queue_head") {
+      want_args(1);
+      builder_->DeQueueHead(dst, QueueOf(*call.args[0]));
+    } else if (call.name == "de_queue_tail") {
+      want_args(1);
+      builder_->DeQueueTail(dst, QueueOf(*call.args[0]));
+    } else if (call.name == "fifo") {
+      want_args(1);
+      builder_->Fifo(QueueOf(*call.args[0]), dst);
+    } else if (call.name == "lru") {
+      want_args(1);
+      builder_->Lru(QueueOf(*call.args[0]), dst);
+    } else if (call.name == "mru") {
+      want_args(1);
+      builder_->Mru(QueueOf(*call.args[0]), dst);
+    } else if (call.name == "find") {
+      want_args(1);
+      builder_->Find(dst, GenInt(*call.args[0]));
+    } else {
+      throw CompileError(call.line, "'" + call.name + "' does not produce a page");
+    }
+  }
+
+  // --- condition codegen ----------------------------------------------------------------------
+
+  // Emits a test command for an atomic condition; leaves its truth in the condition flag.
+  void GenTest(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kBinary:
+        if (!IsRelational(expr.op)) {
+          throw CompileError(expr.line, "expected a comparison");
+        }
+        {
+          uint8_t lhs = GenInt(*expr.lhs);
+          uint8_t rhs = GenInt(*expr.rhs);
+          builder_->Comp(lhs, rhs, CompOpFor(expr.op));
+        }
+        break;
+      case Expr::Kind::kField: {
+        uint8_t page = PageOf(*MakeIdent(expr.name, expr.line));
+        if (expr.field == "reference" || expr.field == "ref") {
+          builder_->Ref(page);
+        } else if (expr.field == "dirty" || expr.field == "modified" || expr.field == "mod") {
+          builder_->Mod(page);
+        } else {
+          throw CompileError(expr.line, "unknown page field '" + expr.field + "'");
+        }
+        break;
+      }
+      case Expr::Kind::kCall:
+        if (expr.name == "empty") {
+          if (expr.args.size() != 1) {
+            throw CompileError(expr.line, "empty expects one queue");
+          }
+          builder_->EmptyQ(QueueOf(*expr.args[0]));
+        } else if (expr.name == "in_queue") {
+          if (expr.args.size() != 2) {
+            throw CompileError(expr.line, "in_queue expects (queue, page)");
+          }
+          builder_->InQ(QueueOf(*expr.args[0]), PageOf(*expr.args[1]));
+        } else if (expr.name == "request") {
+          GenRequest(expr);  // condition = grant succeeded
+        } else if (expr.name == "migrate") {
+          if (expr.args.size() != 2) {
+            throw CompileError(expr.line, "migrate expects (page, target_id)");
+          }
+          builder_->Migrate(PageOf(*expr.args[0]), GenInt(*expr.args[1]));
+        } else {
+          throw CompileError(expr.line, "'" + expr.name + "' is not a condition");
+        }
+        break;
+      case Expr::Kind::kIdent: {
+        // Truthiness of an integer variable.
+        uint8_t value = GenInt(expr);
+        uint8_t zero = AllocTempInt(expr.line);
+        builder_->LoadImm(zero, 0);
+        builder_->Comp(value, zero, CompOp::kNe);
+        break;
+      }
+      default:
+        throw CompileError(expr.line, "expected a condition");
+    }
+  }
+
+  // Fallthrough when the condition is TRUE; jump to `target` when FALSE.
+  void GenCondJumpIfFalse(const Expr& expr, EventBuilder::Label target) {
+    if (expr.kind == Expr::Kind::kNot) {
+      GenCondJumpIfTrue(*expr.rhs, target);
+      return;
+    }
+    if (expr.kind == Expr::Kind::kBinary && expr.op == "&&") {
+      GenCondJumpIfFalse(*expr.lhs, target);
+      GenCondJumpIfFalse(*expr.rhs, target);
+      return;
+    }
+    if (expr.kind == Expr::Kind::kBinary && expr.op == "||") {
+      auto taken = builder_->NewLabel();
+      GenCondJumpIfTrue(*expr.lhs, taken);
+      GenCondJumpIfFalse(*expr.rhs, target);
+      builder_->Bind(taken);
+      return;
+    }
+    if (expr.kind == Expr::Kind::kInt) {
+      if (expr.int_value == 0) {
+        builder_->JumpAlways(target);
+      }
+      return;
+    }
+    GenTest(expr);
+    builder_->JumpIfFalse(target);
+  }
+
+  // Fallthrough when the condition is FALSE; jump to `target` when TRUE.
+  void GenCondJumpIfTrue(const Expr& expr, EventBuilder::Label target) {
+    if (expr.kind == Expr::Kind::kNot) {
+      GenCondJumpIfFalse(*expr.rhs, target);
+      return;
+    }
+    if (expr.kind == Expr::Kind::kBinary && expr.op == "&&") {
+      auto skip = builder_->NewLabel();
+      GenCondJumpIfFalse(*expr.lhs, skip);
+      GenCondJumpIfTrue(*expr.rhs, target);
+      builder_->Bind(skip);
+      return;
+    }
+    if (expr.kind == Expr::Kind::kBinary && expr.op == "||") {
+      GenCondJumpIfTrue(*expr.lhs, target);
+      GenCondJumpIfTrue(*expr.rhs, target);
+      return;
+    }
+    if (expr.kind == Expr::Kind::kInt) {
+      if (expr.int_value != 0) {
+        builder_->JumpAlways(target);
+      }
+      return;
+    }
+    GenTest(expr);
+    auto skip = builder_->NewLabel();
+    builder_->JumpIfFalse(skip);   // condition false -> fall through below
+    builder_->JumpIfFalse(target);  // flag was cleared by the untaken jump: always taken
+    builder_->Bind(skip);
+  }
+
+  // --- statements -----------------------------------------------------------------------------
+
+  void GenRequest(const Expr& call) {
+    if (call.args.size() != 2) {
+      throw CompileError(call.line, "request expects (count, queue)");
+    }
+    uint8_t count = GenInt(*call.args[0]);
+    builder_->Request(count, QueueOf(*call.args[1]));
+  }
+
+  void GenCallStmt(const Expr& call) {
+    auto event = result_.events.find(call.name);
+    if (event != result_.events.end()) {
+      if (!call.args.empty()) {
+        throw CompileError(call.line, "event activations take no arguments");
+      }
+      builder_->Activate(static_cast<uint8_t>(event->second));
+      return;
+    }
+    auto want_args = [&call](size_t lo, size_t hi) {
+      if (call.args.size() < lo || call.args.size() > hi) {
+        throw CompileError(call.line, "wrong number of arguments to " + call.name);
+      }
+    };
+    if (call.name == "en_queue_head" || call.name == "en_queue_tail") {
+      want_args(1, 2);
+      uint8_t queue = QueueOf(*call.args[0]);
+      // Figure 4 writes en_queue_tail(_inactive_queue) with the page implicit.
+      uint8_t page = call.args.size() == 2 ? PageOf(*call.args[1]) : ops::kPage;
+      if (call.name == "en_queue_head") {
+        builder_->EnQueueHead(page, queue);
+      } else {
+        builder_->EnQueueTail(page, queue);
+      }
+    } else if (call.name == "reset" || call.name == "set") {
+      want_args(1, 1);
+      const Expr& field = *call.args[0];
+      if (field.kind != Expr::Kind::kField) {
+        throw CompileError(call.line, call.name + " expects page.reference or page.dirty");
+      }
+      uint8_t page = PageOf(*MakeIdent(field.name, field.line));
+      PageBit bit;
+      if (field.field == "reference" || field.field == "ref") {
+        bit = PageBit::kReference;
+      } else if (field.field == "dirty" || field.field == "modified" || field.field == "mod") {
+        bit = PageBit::kModify;
+      } else {
+        throw CompileError(call.line, "unknown page field '" + field.field + "'");
+      }
+      builder_->SetBit(page, bit, call.name == "set");
+    } else if (call.name == "flush") {
+      want_args(1, 1);
+      builder_->Flush(PageOf(*call.args[0]));
+    } else if (call.name == "release") {
+      want_args(1, 1);
+      const Expr& arg = *call.args[0];
+      if (arg.kind != Expr::Kind::kIdent) {
+        throw CompileError(call.line, "release expects a page or queue name");
+      }
+      builder_->Release(Lookup(arg.name, arg.line).index);
+    } else if (call.name == "request") {
+      GenRequest(call);
+    } else if (call.name == "migrate") {
+      want_args(2, 2);
+      builder_->Migrate(PageOf(*call.args[0]), GenInt(*call.args[1]));
+    } else if (call.name == "unlink") {
+      want_args(1, 1);
+      builder_->Unlink(PageOf(*call.args[0]));
+    } else if (IsPageProducer(call.name)) {
+      // Result discarded into the default page variable.
+      GenPageProducer(call, ops::kPage);
+    } else {
+      throw CompileError(call.line, "unknown builtin or event '" + call.name + "'");
+    }
+  }
+
+  void GenStmt(const Stmt& stmt) {
+    ResetTemps();
+    switch (stmt.kind) {
+      case Stmt::Kind::kAssign: {
+        const Symbol& sym = Lookup(stmt.target, stmt.line);
+        if (sym.kind == SymKind::kPage) {
+          if (stmt.value->kind != Expr::Kind::kCall || !IsPageProducer(stmt.value->name)) {
+            throw CompileError(stmt.line,
+                               "page variables can only be assigned from queue operations");
+          }
+          GenPageProducer(*stmt.value, sym.index);
+          break;
+        }
+        const Expr& rhs = *stmt.value;
+        if (rhs.kind == Expr::Kind::kInt) {
+          if (rhs.int_value < 0 || rhs.int_value > 255) {
+            builder_->Arith(sym.index, GenInt(rhs), ArithOp::kMov);  // via the constant pool
+          } else {
+            builder_->LoadImm(sym.index, static_cast<uint8_t>(rhs.int_value));
+          }
+        } else if (rhs.kind == Expr::Kind::kIdent) {
+          builder_->Arith(sym.index, GenInt(rhs), ArithOp::kMov);
+        } else if (rhs.kind == Expr::Kind::kBinary) {
+          uint8_t lhs_idx = GenInt(*rhs.lhs);
+          uint8_t rhs_idx = GenInt(*rhs.rhs);
+          if (rhs_idx == sym.index && lhs_idx != sym.index) {
+            uint8_t temp = AllocTempInt(rhs.line);
+            builder_->Arith(temp, rhs_idx, ArithOp::kMov);
+            rhs_idx = temp;
+          }
+          if (lhs_idx != sym.index) {
+            builder_->Arith(sym.index, lhs_idx, ArithOp::kMov);
+          }
+          builder_->Arith(sym.index, rhs_idx, ArithOpFor(rhs.op, rhs.line));
+        } else {
+          throw CompileError(stmt.line, "unsupported assignment expression");
+        }
+        break;
+      }
+      case Stmt::Kind::kExprStmt:
+        if (stmt.value->kind != Expr::Kind::kCall) {
+          throw CompileError(stmt.line, "expression statement must be a call");
+        }
+        GenCallStmt(*stmt.value);
+        break;
+      case Stmt::Kind::kReturn: {
+        if (!stmt.value) {
+          builder_->Return(0);
+          break;
+        }
+        const Expr& value = *stmt.value;
+        if (value.kind == Expr::Kind::kIdent) {
+          builder_->Return(Lookup(value.name, value.line).index);
+        } else {
+          builder_->Return(GenInt(value));
+        }
+        break;
+      }
+      case Stmt::Kind::kIf: {
+        auto else_label = builder_->NewLabel();
+        GenCondJumpIfFalse(*stmt.cond, else_label);
+        for (const StmtPtr& s : stmt.then_body) {
+          GenStmt(*s);
+        }
+        if (stmt.else_body.empty()) {
+          builder_->Bind(else_label);
+        } else {
+          auto end_label = builder_->NewLabel();
+          builder_->JumpAlways(end_label);
+          builder_->Bind(else_label);
+          for (const StmtPtr& s : stmt.else_body) {
+            GenStmt(*s);
+          }
+          builder_->Bind(end_label);
+        }
+        break;
+      }
+      case Stmt::Kind::kWhile: {
+        auto loop = builder_->NewLabel();
+        auto end = builder_->NewLabel();
+        builder_->Bind(loop);
+        ResetTemps();  // the loop re-enters here; temps are per-iteration
+        GenCondJumpIfFalse(*stmt.cond, end);
+        for (const StmtPtr& s : stmt.then_body) {
+          GenStmt(*s);
+        }
+        builder_->JumpAlways(loop);
+        builder_->Bind(end);
+        break;
+      }
+    }
+  }
+
+  // Helper to reuse PageOf for field bases.
+  static ExprPtr MakeIdentPtr(const std::string& name, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kIdent;
+    e->name = name;
+    e->line = line;
+    return e;
+  }
+  // Keeps a scratch expression alive for the duration of the call.
+  const Expr* MakeIdent(const std::string& name, int line) {
+    scratch_exprs_.push_back(MakeIdentPtr(name, line));
+    return scratch_exprs_.back().get();
+  }
+
+  const PolicySource& source_;
+  CompiledPolicy result_;
+  std::unordered_map<std::string, Symbol> table_;
+  std::vector<std::string> user_queues_, user_ints_, user_pages_;
+  std::map<std::string, int64_t> const_values_;  // declared consts + pooled literals
+  int first_temp_int_ = 0;
+  int first_temp_page_ = 0;
+  int temp_ints_used_ = 0;
+  EventBuilder* builder_ = nullptr;
+  std::vector<ExprPtr> scratch_exprs_;
+};
+
+}  // namespace
+
+CompiledPolicy CompilePolicy(const PolicySource& ast) { return Compiler(ast).Run(); }
+
+CompiledPolicy CompilePolicy(const std::string& source) { return CompilePolicy(Parse(source)); }
+
+}  // namespace hipec::lang

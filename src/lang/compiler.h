@@ -1,0 +1,57 @@
+// The pseudo-code translator (§4.3.4): compiles the C-like policy language of Figure 4 into
+// HiPEC command streams, "implemented as a stand-alone program and also incorporated into the
+// user level library".
+//
+// Name bindings (standard operand layout, see hipec/operand.h):
+//   _free_queue / _active_queue / _inactive_queue           private page queues
+//   _free_count / _active_count / _inactive_count           read-only live counts
+//   free_target, inactive_target, reserved_target           policy targets (reserve_target is
+//                                                           accepted as an alias — the paper
+//                                                           itself uses both spellings)
+//   request_size, fault_addr, reclaim_count, result         kernel-communication integers
+//   page                                                    the page variable of Table 2
+//
+// Builtins:
+//   page producers:  de_queue_head(q), de_queue_tail(q), fifo(q), lru(q), mru(q), find(addr)
+//   statements:      en_queue_head(q[,p]), en_queue_tail(q[,p])   (p defaults to `page`),
+//                    reset(p.reference|p.dirty), set(p.reference|p.dirty),
+//                    flush(p), release(p|q), request(n, q)
+//   conditions:      empty(q), in_queue(q, p), p.reference, p.dirty / p.modified,
+//                    comparisons, !, &&, ||
+//
+// Events: `Event PageFault()` and `Event ReclaimFrame()` bind to the HiPEC-defined events;
+// other events get numbers from 2 in declaration order and are activated by calling them.
+// Undeclared identifiers become user integer variables; variables first assigned from a page
+// producer become page variables; `queue name` declares a private user queue.
+#ifndef HIPEC_LANG_COMPILER_H_
+#define HIPEC_LANG_COMPILER_H_
+
+#include <map>
+#include <string>
+
+#include "hipec/engine.h"
+#include "hipec/program.h"
+#include "lang/ast.h"
+#include "lang/lexer.h"
+
+namespace hipec::lang {
+
+struct CompiledPolicy {
+  core::PolicyProgram program;
+  // Template options with user_queue_count / user_int_count / user_page_count filled in so
+  // the engine lays out the operand array the compiler assumed. Callers still set
+  // min_frames, targets, and timeout.
+  core::HipecOptions options;
+  // name -> operand index, for diagnostics and tests.
+  std::map<std::string, uint8_t> symbols;
+  // event name -> event number.
+  std::map<std::string, int> events;
+};
+
+// Compiles policy source text. Throws CompileError on any lexical/syntax/semantic problem.
+CompiledPolicy CompilePolicy(const std::string& source);
+CompiledPolicy CompilePolicy(const PolicySource& ast);
+
+}  // namespace hipec::lang
+
+#endif  // HIPEC_LANG_COMPILER_H_

@@ -1,0 +1,165 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace hipec::lang {
+namespace {
+
+const std::unordered_map<std::string, TokenKind> kKeywords = {
+    {"event", TokenKind::kEvent},   {"Event", TokenKind::kEvent},
+    {"if", TokenKind::kIf},         {"else", TokenKind::kElse},
+    {"while", TokenKind::kWhile},   {"return", TokenKind::kReturn},
+    {"begin", TokenKind::kBegin},   {"end", TokenKind::kEndKw},
+    {"endif", TokenKind::kEndIf},   {"queue", TokenKind::kQueue},
+    {"const", TokenKind::kConst},
+    {"not", TokenKind::kNot},       {"and", TokenKind::kAnd},
+    {"or", TokenKind::kOr},
+};
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto push = [&](TokenKind kind, std::string text = "") {
+    tokens.push_back(Token{kind, std::move(text), 0, line});
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      if (i + 1 >= n) {
+        throw CompileError(line, "unterminated /* comment");
+      }
+      i += 2;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(source[i])) {
+        ++i;
+      }
+      std::string text = source.substr(start, i - start);
+      auto kw = kKeywords.find(text);
+      if (kw != kKeywords.end()) {
+        push(kw->second, text);
+      } else {
+        push(TokenKind::kIdent, text);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      Token token{TokenKind::kInt, source.substr(start, i - start), 0, line};
+      token.int_value = std::stoll(token.text);
+      tokens.push_back(token);
+      continue;
+    }
+    auto two = [&](char next) { return i + 1 < n && source[i + 1] == next; };
+    switch (c) {
+      case '(': push(TokenKind::kLParen); ++i; break;
+      case ')': push(TokenKind::kRParen); ++i; break;
+      case '{': push(TokenKind::kLBrace); ++i; break;
+      case '}': push(TokenKind::kRBrace); ++i; break;
+      case ',': push(TokenKind::kComma); ++i; break;
+      case ';': push(TokenKind::kSemi); ++i; break;
+      case '.': push(TokenKind::kDot); ++i; break;
+      case '+': push(TokenKind::kPlus); ++i; break;
+      case '-': push(TokenKind::kMinus); ++i; break;
+      case '*': push(TokenKind::kStar); ++i; break;
+      case '/': push(TokenKind::kSlash); ++i; break;
+      case '%': push(TokenKind::kPercent); ++i; break;
+      case '=':
+        if (two('=')) {
+          push(TokenKind::kEq);
+          i += 2;
+        } else {
+          push(TokenKind::kAssign);
+          ++i;
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenKind::kNe);
+          i += 2;
+        } else {
+          push(TokenKind::kNot);
+          ++i;
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenKind::kLe);
+          i += 2;
+        } else {
+          push(TokenKind::kLt);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::kGe);
+          i += 2;
+        } else {
+          push(TokenKind::kGt);
+          ++i;
+        }
+        break;
+      case '&':
+        if (two('&')) {
+          push(TokenKind::kAnd);
+          i += 2;
+        } else {
+          throw CompileError(line, "stray '&'");
+        }
+        break;
+      case '|':
+        if (two('|')) {
+          push(TokenKind::kOr);
+          i += 2;
+        } else {
+          throw CompileError(line, "stray '|'");
+        }
+        break;
+      default:
+        throw CompileError(line, std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokenKind::kEnd);
+  return tokens;
+}
+
+}  // namespace hipec::lang

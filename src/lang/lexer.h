@@ -1,0 +1,77 @@
+// Tokenizer for the pseudo-code policy language.
+#ifndef HIPEC_LANG_LEXER_H_
+#define HIPEC_LANG_LEXER_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hipec::lang {
+
+// A translation problem in user pseudo-code (lexing, parsing, or semantic). Reported with the
+// source line.
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+enum class TokenKind {
+  kEnd,
+  kIdent,
+  kInt,
+  // keywords
+  kEvent,
+  kIf,
+  kElse,
+  kWhile,
+  kReturn,
+  kBegin,
+  kEndKw,
+  kEndIf,
+  kQueue,
+  kConst,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemi,
+  kDot,
+  kAssign,  // =
+  kEq,      // ==
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kNot,   // ! or `not`
+  kAnd,   // && or `and`
+  kOr,    // || or `or`
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int64_t int_value = 0;
+  int line = 1;
+};
+
+// Tokenizes `source`. Supports //-comments, /* */-comments, and case-sensitive keywords with
+// the paper's capitalization quirks (`Event` and `event`, `endif`/`end`).
+std::vector<Token> Tokenize(const std::string& source);
+
+}  // namespace hipec::lang
+
+#endif  // HIPEC_LANG_LEXER_H_

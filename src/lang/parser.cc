@@ -1,0 +1,355 @@
+#include "lang/parser.h"
+
+#include <utility>
+
+namespace hipec::lang {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  PolicySource Run() {
+    PolicySource source;
+    while (!At(TokenKind::kEnd)) {
+      if (At(TokenKind::kQueue)) {
+        Next();
+        Token name = Expect(TokenKind::kIdent, "queue name");
+        source.queue_decls.push_back(name.text);
+        Accept(TokenKind::kSemi);
+        continue;
+      }
+      if (At(TokenKind::kConst)) {
+        Next();
+        Token name = Expect(TokenKind::kIdent, "constant name");
+        Expect(TokenKind::kAssign, "'=' in const declaration");
+        bool negative = Accept(TokenKind::kMinus);
+        Token value = Expect(TokenKind::kInt, "integer constant");
+        source.const_decls.emplace_back(name.text,
+                                        negative ? -value.int_value : value.int_value);
+        Accept(TokenKind::kSemi);
+        continue;
+      }
+      source.events.push_back(ParseEvent());
+    }
+    return source;
+  }
+
+ private:
+  // --- token helpers --------------------------------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  Token Next() { return tokens_[pos_++]; }
+  bool Accept(TokenKind kind) {
+    if (At(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Token Expect(TokenKind kind, const std::string& what) {
+    if (!At(kind)) {
+      throw CompileError(Peek().line, "expected " + what + ", found '" + Peek().text + "'");
+    }
+    return Next();
+  }
+
+  // --- grammar --------------------------------------------------------------------------------
+
+  EventDecl ParseEvent() {
+    Token kw = Expect(TokenKind::kEvent, "'Event'");
+    EventDecl event;
+    event.line = kw.line;
+    event.name = Expect(TokenKind::kIdent, "event name").text;
+    Expect(TokenKind::kLParen, "'('");
+    Expect(TokenKind::kRParen, "')'");
+    event.body = ParseBlock();
+    return event;
+  }
+
+  // A block: { ... } or begin ... end/endif.
+  std::vector<StmtPtr> ParseBlock() {
+    std::vector<StmtPtr> body;
+    if (Accept(TokenKind::kLBrace)) {
+      while (!Accept(TokenKind::kRBrace)) {
+        if (At(TokenKind::kEnd)) {
+          throw CompileError(Peek().line, "unterminated '{' block");
+        }
+        body.push_back(ParseStmt());
+      }
+      return body;
+    }
+    if (Accept(TokenKind::kBegin)) {
+      while (!Accept(TokenKind::kEndKw) && !Accept(TokenKind::kEndIf)) {
+        if (At(TokenKind::kEnd)) {
+          throw CompileError(Peek().line, "unterminated 'begin' block");
+        }
+        body.push_back(ParseStmt());
+      }
+      return body;
+    }
+    // A single statement acts as a one-statement block.
+    body.push_back(ParseStmt());
+    return body;
+  }
+
+  StmtPtr ParseStmt() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIf:
+        return ParseIf();
+      case TokenKind::kWhile:
+        return ParseWhile();
+      case TokenKind::kReturn:
+        return ParseReturn();
+      case TokenKind::kIdent:
+        return ParseAssignOrCall();
+      default:
+        throw CompileError(t.line, "expected a statement, found '" + t.text + "'");
+    }
+  }
+
+  StmtPtr ParseIf() {
+    Token kw = Next();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kIf;
+    stmt->line = kw.line;
+    Expect(TokenKind::kLParen, "'(' after if");
+    stmt->cond = ParseExpr();
+    Expect(TokenKind::kRParen, "')'");
+    stmt->then_body = ParseBlock();
+    if (Accept(TokenKind::kElse)) {
+      stmt->else_body = ParseBlock();
+    }
+    return stmt;
+  }
+
+  StmtPtr ParseWhile() {
+    Token kw = Next();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kWhile;
+    stmt->line = kw.line;
+    Expect(TokenKind::kLParen, "'(' after while");
+    stmt->cond = ParseExpr();
+    Expect(TokenKind::kRParen, "')'");
+    stmt->then_body = ParseBlock();
+    return stmt;
+  }
+
+  StmtPtr ParseReturn() {
+    Token kw = Next();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kReturn;
+    stmt->line = kw.line;
+    if (Accept(TokenKind::kLParen)) {
+      if (!At(TokenKind::kRParen)) {
+        stmt->value = ParseExpr();
+      }
+      Expect(TokenKind::kRParen, "')'");
+    } else if (At(TokenKind::kIdent) || At(TokenKind::kInt)) {
+      stmt->value = ParseExpr();
+    }
+    Accept(TokenKind::kSemi);
+    return stmt;
+  }
+
+  StmtPtr ParseAssignOrCall() {
+    Token name = Next();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = name.line;
+    if (Accept(TokenKind::kAssign)) {
+      stmt->kind = Stmt::Kind::kAssign;
+      stmt->target = name.text;
+      stmt->value = ParseExpr();
+    } else if (At(TokenKind::kLParen)) {
+      stmt->kind = Stmt::Kind::kExprStmt;
+      stmt->value = ParseCall(name);
+    } else {
+      throw CompileError(name.line, "expected '=' or '(' after '" + name.text + "'");
+    }
+    Accept(TokenKind::kSemi);
+    return stmt;
+  }
+
+  ExprPtr ParseCall(const Token& callee) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::kCall;
+    expr->line = callee.line;
+    expr->name = callee.text;
+    Expect(TokenKind::kLParen, "'('");
+    if (!At(TokenKind::kRParen)) {
+      expr->args.push_back(ParseExpr());
+      while (Accept(TokenKind::kComma)) {
+        expr->args.push_back(ParseExpr());
+      }
+    }
+    Expect(TokenKind::kRParen, "')'");
+    return expr;
+  }
+
+  // Expression precedence (lowest first): || , && , ! , relational , + - , * / %.
+  ExprPtr ParseExpr() { return ParseOr(); }
+
+  ExprPtr ParseOr() {
+    ExprPtr lhs = ParseAnd();
+    while (At(TokenKind::kOr)) {
+      int line = Next().line;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = "||";
+      node->line = line;
+      node->lhs = std::move(lhs);
+      node->rhs = ParseAnd();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr lhs = ParseNot();
+    while (At(TokenKind::kAnd)) {
+      int line = Next().line;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = "&&";
+      node->line = line;
+      node->lhs = std::move(lhs);
+      node->rhs = ParseNot();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseNot() {
+    if (At(TokenKind::kNot)) {
+      int line = Next().line;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNot;
+      node->line = line;
+      node->rhs = ParseNot();
+      return node;
+    }
+    return ParseRelational();
+  }
+
+  ExprPtr ParseRelational() {
+    ExprPtr lhs = ParseAdditive();
+    std::string op;
+    switch (Peek().kind) {
+      case TokenKind::kGt: op = ">"; break;
+      case TokenKind::kLt: op = "<"; break;
+      case TokenKind::kGe: op = ">="; break;
+      case TokenKind::kLe: op = "<="; break;
+      case TokenKind::kEq: op = "=="; break;
+      case TokenKind::kNe: op = "!="; break;
+      default:
+        return lhs;
+    }
+    int line = Next().line;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kBinary;
+    node->op = op;
+    node->line = line;
+    node->lhs = std::move(lhs);
+    node->rhs = ParseAdditive();
+    return node;
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr lhs = ParseTerm();
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      std::string op = At(TokenKind::kPlus) ? "+" : "-";
+      int line = Next().line;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = op;
+      node->line = line;
+      node->lhs = std::move(lhs);
+      node->rhs = ParseTerm();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseTerm() {
+    ExprPtr lhs = ParsePrimary();
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash) || At(TokenKind::kPercent)) {
+      std::string op = At(TokenKind::kStar) ? "*" : At(TokenKind::kSlash) ? "/" : "%";
+      int line = Next().line;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = op;
+      node->line = line;
+      node->lhs = std::move(lhs);
+      node->rhs = ParsePrimary();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kMinus) {
+      // Unary minus: -x parses as (0 - x).
+      int line = Next().line;
+      auto zero = std::make_unique<Expr>();
+      zero->kind = Expr::Kind::kInt;
+      zero->line = line;
+      zero->int_value = 0;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = "-";
+      node->line = line;
+      node->lhs = std::move(zero);
+      node->rhs = ParsePrimary();
+      return node;
+    }
+    if (t.kind == TokenKind::kInt) {
+      Next();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kInt;
+      node->line = t.line;
+      node->int_value = t.int_value;
+      return node;
+    }
+    if (t.kind == TokenKind::kLParen) {
+      Next();
+      ExprPtr inner = ParseExpr();
+      Expect(TokenKind::kRParen, "')'");
+      return inner;
+    }
+    if (t.kind == TokenKind::kIdent) {
+      Token name = Next();
+      if (At(TokenKind::kLParen)) {
+        return ParseCall(name);
+      }
+      if (Accept(TokenKind::kDot)) {
+        Token field = Expect(TokenKind::kIdent, "field name after '.'");
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::kField;
+        node->line = name.line;
+        node->name = name.text;
+        node->field = field.text;
+        return node;
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kIdent;
+      node->line = name.line;
+      node->name = name.text;
+      return node;
+    }
+    throw CompileError(t.line, "expected an expression, found '" + t.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+PolicySource Parse(const std::string& source) { return Parser(Tokenize(source)).Run(); }
+
+}  // namespace hipec::lang

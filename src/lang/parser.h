@@ -1,0 +1,17 @@
+// Recursive-descent parser for the pseudo-code policy language.
+#ifndef HIPEC_LANG_PARSER_H_
+#define HIPEC_LANG_PARSER_H_
+
+#include <string>
+
+#include "lang/ast.h"
+#include "lang/lexer.h"
+
+namespace hipec::lang {
+
+// Parses a whole policy source file. Throws CompileError on syntax errors.
+PolicySource Parse(const std::string& source);
+
+}  // namespace hipec::lang
+
+#endif  // HIPEC_LANG_PARSER_H_

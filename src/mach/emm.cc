@@ -1,0 +1,99 @@
+#include "mach/emm.h"
+
+#include "mach/kernel.h"
+#include "mach/vm_object.h"
+#include "sim/check.h"
+
+namespace hipec::mach {
+
+namespace {
+// User-level pager computation per serviced message (lookup tables, buffer headers).
+constexpr sim::Nanos kPagerComputeNs = 15 * sim::kMicrosecond;
+}  // namespace
+
+ExternalPager::ExternalPager(Kernel* kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)), port_(name_ + "_port") {}
+
+void ExternalPager::RunPager() {
+  IpcMessage message;
+  while (port_.TryReceive(&message)) {
+    // Receiving the message is the second half of an IPC exchange; the send was charged by
+    // the kernel side. The pager's own computation runs at user level.
+    kernel_->clock().Advance(kPagerComputeNs);
+    VmObject* object = kernel_->FindObject(message.object_id);
+    HIPEC_CHECK_MSG(object != nullptr, "pager message for an unknown object");
+    switch (message.id) {
+      case IpcMessage::Id::kMemoryObjectDataRequest: {
+        counters_.Add("pager.data_requests");
+        bool ok = ServiceDataRequest(object, message.offset);
+        (void)ok;
+        break;
+      }
+      case IpcMessage::Id::kMemoryObjectDataWrite:
+        counters_.Add("pager.data_writes");
+        ServiceDataWrite(object, message.offset);
+        break;
+      case IpcMessage::Id::kMemoryObjectTerminate:
+        counters_.Add("pager.terminates");
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+bool ExternalPager::RequestData(VmObject* object, uint64_t offset) {
+  // Kernel -> pager: one full IPC round trip (request + data_provided reply) plus the pager
+  // run. The faulting thread blocks for the reply, so all of it is synchronous virtual time.
+  kernel_->clock().Advance(kernel_->costs().null_ipc_ns);
+  port_.Send(IpcMessage{IpcMessage::Id::kMemoryObjectDataRequest, object->id(), offset, true});
+  RunPager();
+  counters_.Add("pager.fills");
+  return true;
+}
+
+void ExternalPager::WriteData(VmObject* object, uint64_t offset) {
+  // Page-outs are one-way messages; the pager services them when it runs. We run it
+  // immediately (its disk writes are asynchronous anyway), charging half a round trip.
+  kernel_->clock().Advance(kernel_->costs().null_ipc_ns / 2);
+  port_.Send(IpcMessage{IpcMessage::Id::kMemoryObjectDataWrite, object->id(), offset, true});
+  RunPager();
+}
+
+void ExternalPager::Terminate(VmObject* object) {
+  kernel_->clock().Advance(kernel_->costs().null_ipc_ns / 2);
+  port_.Send(IpcMessage{IpcMessage::Id::kMemoryObjectTerminate, object->id(), 0, true});
+  RunPager();
+}
+
+// ---------------------------------------------------------------- stock pagers
+
+DefaultPager::DefaultPager(Kernel* kernel) : ExternalPager(kernel, "default_pager") {}
+
+bool DefaultPager::ServiceDataRequest(VmObject* object, uint64_t offset) {
+  // Anonymous memory: data exists on swap only if it was paged out before; otherwise the
+  // kernel zero-fills and the pager provides nothing.
+  if (object->NeedsDiskRead(offset)) {
+    kernel_->disk().ReadPage(object->BlockFor(offset));
+  }
+  return true;
+}
+
+void DefaultPager::ServiceDataWrite(VmObject* object, uint64_t offset) {
+  object->MarkPagedOut(offset);
+  kernel_->disk().WritePageAsync(object->BlockFor(offset));
+}
+
+FilePager::FilePager(Kernel* kernel) : ExternalPager(kernel, "file_pager") {}
+
+bool FilePager::ServiceDataRequest(VmObject* object, uint64_t offset) {
+  kernel_->disk().ReadPage(object->BlockFor(offset));
+  return true;
+}
+
+void FilePager::ServiceDataWrite(VmObject* object, uint64_t offset) {
+  object->MarkPagedOut(offset);
+  kernel_->disk().WritePageAsync(object->BlockFor(offset));
+}
+
+}  // namespace hipec::mach

@@ -1,0 +1,96 @@
+// The external memory management (EMM) interface: Mach's memory_object protocol, through
+// which user-level *pagers* supply and store the contents of VM objects (Young et al., "The
+// Duality of Memory and Communication..."). HiPEC "extends the external memory management
+// interface of Mach kernel" (§4); this module provides that substrate:
+//
+//   * a VM object may name an ExternalPager; faults on such objects send
+//     memory_object_data_request messages and wait for memory_object_data_provided replies,
+//     paying the measured IPC round-trip cost per message exchange;
+//   * page-outs send memory_object_data_write messages, serviced asynchronously;
+//   * DefaultPager (anonymous memory / swap) and FilePager are the two stock pagers, both
+//     running "user-level" logic against the shared disk.
+//
+// Wang's result — that an EMM interface adds little overhead because disk time dominates —
+// is reproduced by bench_extension_emm.
+#ifndef HIPEC_MACH_EMM_H_
+#define HIPEC_MACH_EMM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mach/ipc.h"
+#include "sim/clock.h"
+#include "sim/stats.h"
+
+namespace hipec::mach {
+
+class Kernel;
+class VmObject;
+
+// A user-level pager task. The kernel talks to it exclusively through its port; servicing
+// happens at user level (charged pager compute + backing-store time).
+class ExternalPager {
+ public:
+  ExternalPager(Kernel* kernel, std::string name);
+  virtual ~ExternalPager() = default;
+  ExternalPager(const ExternalPager&) = delete;
+  ExternalPager& operator=(const ExternalPager&) = delete;
+
+  // Kernel-side entry points. Each performs the full message exchange on the virtual clock:
+  // request message, pager scheduling + service, reply message.
+
+  // Synchronous data fill for a faulting thread. Returns false on pager error.
+  bool RequestData(VmObject* object, uint64_t offset);
+
+  // Asynchronous page-out of dirty data.
+  void WriteData(VmObject* object, uint64_t offset);
+
+  // Object teardown notification.
+  void Terminate(VmObject* object);
+
+  IpcPort& port() { return port_; }
+  sim::CounterSet& counters() { return counters_; }
+  const std::string& name() const { return name_; }
+
+ protected:
+  // Pager policy: how long the user-level code takes and where the data lives.
+  // Implementations run "in the pager task": they may read/write the disk.
+  virtual bool ServiceDataRequest(VmObject* object, uint64_t offset) = 0;
+  virtual void ServiceDataWrite(VmObject* object, uint64_t offset) = 0;
+
+  Kernel* kernel_;
+
+ private:
+  // Drains the port and services every queued message (the pager task "runs").
+  void RunPager();
+
+  std::string name_;
+  IpcPort port_;
+  sim::CounterSet counters_;
+};
+
+// The default pager: backs anonymous memory with swap space, like the (moved-out-of-kernel)
+// Mach default memory manager.
+class DefaultPager final : public ExternalPager {
+ public:
+  explicit DefaultPager(Kernel* kernel);
+
+ protected:
+  bool ServiceDataRequest(VmObject* object, uint64_t offset) override;
+  void ServiceDataWrite(VmObject* object, uint64_t offset) override;
+};
+
+// A file pager: backs memory-mapped files; every fill is a read of the file's blocks.
+class FilePager final : public ExternalPager {
+ public:
+  explicit FilePager(Kernel* kernel);
+
+ protected:
+  bool ServiceDataRequest(VmObject* object, uint64_t offset) override;
+  void ServiceDataWrite(VmObject* object, uint64_t offset) override;
+};
+
+}  // namespace hipec::mach
+
+#endif  // HIPEC_MACH_EMM_H_

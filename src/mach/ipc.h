@@ -1,0 +1,66 @@
+// Minimal Mach-style IPC: ports carrying typed messages. Used by the external-memory-
+// management interface (emm.h) so kernel/pager traffic is real queued messages whose costs
+// and counts are observable — the paper's §2 critique of external pagers ("the IPC overhead
+// for communication between the kernel and external pager is high") becomes measurable.
+#ifndef HIPEC_MACH_IPC_H_
+#define HIPEC_MACH_IPC_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/stats.h"
+
+namespace hipec::mach {
+
+struct IpcMessage {
+  // Message ids follow Mach's memory_object protocol naming.
+  enum class Id {
+    kMemoryObjectDataRequest,   // kernel -> pager: page me this offset
+    kMemoryObjectDataWrite,     // kernel -> pager: here is a dirty page, keep it
+    kMemoryObjectDataProvided,  // pager -> kernel: here is the data you asked for
+    kMemoryObjectTerminate,     // kernel -> pager: the object is going away
+  };
+
+  Id id;
+  uint64_t object_id = 0;
+  uint64_t offset = 0;
+  bool ok = true;
+};
+
+// A message queue endpoint. Single-receiver, unbounded (the experiments never queue more
+// than a handful of messages).
+class IpcPort {
+ public:
+  explicit IpcPort(std::string name) : name_(std::move(name)) {}
+  IpcPort(const IpcPort&) = delete;
+  IpcPort& operator=(const IpcPort&) = delete;
+
+  void Send(const IpcMessage& message) {
+    queue_.push_back(message);
+    counters_.Add("port.sends");
+  }
+
+  bool TryReceive(IpcMessage* out) {
+    if (queue_.empty()) {
+      return false;
+    }
+    *out = queue_.front();
+    queue_.pop_front();
+    counters_.Add("port.receives");
+    return true;
+  }
+
+  size_t pending() const { return queue_.size(); }
+  const std::string& name() const { return name_; }
+  sim::CounterSet& counters() { return counters_; }
+
+ private:
+  std::string name_;
+  std::deque<IpcMessage> queue_;
+  sim::CounterSet counters_;
+};
+
+}  // namespace hipec::mach
+
+#endif  // HIPEC_MACH_IPC_H_

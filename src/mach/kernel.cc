@@ -1,0 +1,345 @@
+#include "mach/kernel.h"
+
+#include <utility>
+
+#include "sim/check.h"
+
+namespace hipec::mach {
+
+Kernel::Kernel(KernelParams params) : params_(params) {
+  HIPEC_CHECK(params_.total_frames > params_.kernel_reserved_frames);
+  disk_ = std::make_unique<disk::DiskModel>(&clock_, params_.disk, params_.seed);
+  daemon_ = std::make_unique<PageoutDaemon>(this, params_.pageout);
+
+  frames_.resize(params_.total_frames);
+  for (uint64_t i = 0; i < params_.total_frames; ++i) {
+    frames_[i].frame_number = static_cast<uint32_t>(i);
+    if (i < params_.kernel_reserved_frames) {
+      frames_[i].wired = true;  // kernel text/data/zones
+    } else {
+      daemon_->AddBootFrame(&frames_[i]);
+    }
+  }
+  boot_free_frames_ = params_.total_frames - params_.kernel_reserved_frames;
+}
+
+Kernel::~Kernel() = default;
+
+Task* Kernel::CreateTask(const std::string& name) {
+  tasks_.push_back(std::make_unique<Task>(next_task_id_++, name));
+  return tasks_.back().get();
+}
+
+void Kernel::TerminateTask(Task* task, const std::string& reason) {
+  if (task->terminated()) {
+    return;
+  }
+  task->Terminate(reason);
+  counters_.Add("kernel.task_terminations");
+  // Tear down the whole address space.
+  std::vector<uint64_t> starts;
+  task->map().ForEachEntry([&](const VmMapEntry& entry) { starts.push_back(entry.start); });
+  for (uint64_t start : starts) {
+    VmDeallocate(task, start);
+  }
+}
+
+VmObject* Kernel::CreateAnonObject(uint64_t size_bytes) {
+  uint64_t base = AllocSwapBlocks(size_bytes >> kPageShift);
+  objects_.push_back(std::make_unique<VmObject>(next_object_id_++, "anon", size_bytes,
+                                                /*file_backed=*/false, base));
+  return objects_.back().get();
+}
+
+VmObject* Kernel::CreateFileObject(const std::string& name, uint64_t size_bytes) {
+  HIPEC_CHECK_MSG(size_bytes % kPageSize == 0, "object size must be page aligned");
+  uint64_t base = AllocSwapBlocks(size_bytes >> kPageShift);
+  objects_.push_back(std::make_unique<VmObject>(next_object_id_++, name, size_bytes,
+                                                /*file_backed=*/true, base));
+  return objects_.back().get();
+}
+
+VmObject* Kernel::FindObject(uint64_t object_id) const {
+  for (const auto& object : objects_) {
+    if (object->id() == object_id) {
+      return object.get();
+    }
+  }
+  return nullptr;
+}
+
+uint64_t Kernel::AllocSwapBlocks(uint64_t n_pages) {
+  uint64_t base = next_disk_block_;
+  next_disk_block_ += n_pages;
+  return base;
+}
+
+uint64_t Kernel::VmAllocate(Task* task, uint64_t size_bytes) {
+  clock_.Advance(params_.costs.null_syscall_ns);
+  counters_.Add("kernel.vm_allocate");
+  VmObject* object = CreateAnonObject(size_bytes);
+  return task->map().Insert(object, 0, size_bytes);
+}
+
+uint64_t Kernel::VmMapFile(Task* task, VmObject* object) {
+  clock_.Advance(params_.costs.null_syscall_ns);
+  counters_.Add("kernel.vm_map");
+  return task->map().Insert(object, 0, object->size());
+}
+
+void Kernel::VmDeallocate(Task* task, uint64_t start) {
+  counters_.Add("kernel.vm_deallocate");
+  VmMapEntry* entry = task->map().Lookup(start);
+  HIPEC_CHECK_MSG(entry != nullptr && entry->start == start, "vm_deallocate: no such region");
+  VmObject* object = entry->object;
+
+  if (object->container != nullptr && interceptor_ != nullptr) {
+    // A specific region: the HiPEC engine returns the private frames itself.
+    interceptor_->OnRegionTeardown(task, entry);
+  } else {
+    // Free every frame of this object that is mapped through this task. Dirty anonymous pages
+    // are discarded (the region is going away); dirty file pages are flushed.
+    std::vector<VmPage*> resident;
+    object->ForEachResident([&](uint64_t, VmPage* page) { resident.push_back(page); });
+    for (VmPage* page : resident) {
+      if (page->queue != nullptr) {
+        page->queue->Remove(page);
+      }
+      page->wired = false;
+      EvictPage(page, /*flush_if_dirty=*/object->file_backed());
+      daemon_->ReturnFrame(page);
+    }
+  }
+  if (object->pager != nullptr) {
+    object->pager->Terminate(object);
+  }
+  task->map().Remove(start);
+}
+
+void Kernel::VmWire(Task* task, uint64_t vaddr, uint64_t size_bytes) {
+  clock_.Advance(params_.costs.null_syscall_ns);
+  for (uint64_t a = vaddr; a < vaddr + size_bytes; a += kPageSize) {
+    if (!Touch(task, a, /*is_write=*/false)) {
+      return;
+    }
+    VmPage* page = pmap_.Lookup(task, a);
+    HIPEC_CHECK(page != nullptr);
+    if (page->queue != nullptr) {
+      page->queue->Remove(page);
+    }
+    page->wired = true;
+  }
+  counters_.Add("kernel.wired_pages", static_cast<int64_t>(size_bytes >> kPageShift));
+}
+
+void Kernel::NullSyscall() {
+  clock_.Advance(params_.costs.null_syscall_ns);
+  counters_.Add("kernel.null_syscalls");
+}
+
+uint64_t Kernel::MapWiredRegion(Task* task, uint64_t size_bytes) {
+  clock_.Advance(params_.costs.null_syscall_ns);
+  size_bytes = (size_bytes + kPageSize - 1) & ~(kPageSize - 1);
+  VmObject* object = CreateAnonObject(size_bytes);
+  uint64_t start = task->map().Insert(object, 0, size_bytes, /*write_protected=*/true);
+  for (uint64_t offset = 0; offset < size_bytes; offset += kPageSize) {
+    VmPage* page = daemon_->AllocForFault();
+    HIPEC_CHECK_MSG(page != nullptr, "out of memory wiring a command buffer");
+    object->InsertPage(page, offset);
+    pmap_.Enter(task, start + offset, page, /*write_protected=*/true);
+    page->wired = true;
+  }
+  counters_.Add("kernel.wired_pages", static_cast<int64_t>(size_bytes >> kPageShift));
+  return start;
+}
+
+bool Kernel::Touch(Task* task, uint64_t vaddr, bool is_write) {
+  if (task->terminated()) {
+    return false;
+  }
+  if (pending_charge_ns_ > 0) {
+    sim::Nanos charge = pending_charge_ns_;
+    pending_charge_ns_ = 0;
+    clock_.Advance(charge);
+  }
+  clock_.Advance(params_.costs.memory_access_ns);
+
+  // TLB / page-table hit: no kernel involvement; the hardware sets reference/modify bits.
+  if (VmPage* page = pmap_.Lookup(task, vaddr); page != nullptr) {
+    if (is_write && pmap_.IsWriteProtected(page)) {
+      counters_.Add("kernel.protection_faults");
+      TerminateTask(task, "wrote to a write-protected region (wired HiPEC command buffer)");
+      return false;
+    }
+    page->reference = true;
+    if (is_write) {
+      page->modified = true;
+    }
+    page->last_reference_ns = clock_.now();
+    return true;
+  }
+
+  // Page fault.
+  counters_.Add("kernel.page_faults");
+  tracer_.Record(clock_.now(), sim::TraceCategory::kFault, 0, task->id(), vaddr);
+  if (params_.hipec_build) {
+    // The modified kernel checks every fault against the specific-region table (§5.2).
+    clock_.Advance(params_.costs.hipec_region_check_ns);
+  }
+  VmMapEntry* entry = task->map().Lookup(vaddr);
+  if (entry == nullptr) {
+    TerminateTask(task, "segmentation violation");
+    return false;
+  }
+  if (is_write && entry->write_protected) {
+    counters_.Add("kernel.protection_faults");
+    TerminateTask(task, "wrote to a write-protected region (wired HiPEC command buffer)");
+    return false;
+  }
+
+  if (entry->object->container != nullptr && interceptor_ != nullptr) {
+    FaultContext ctx{task, entry, vaddr, entry->OffsetOf(vaddr), is_write};
+    counters_.Add("kernel.hipec_faults");
+    if (!interceptor_->HandleFault(ctx)) {
+      if (!task->terminated()) {
+        TerminateTask(task, "HiPEC policy failed to resolve a fault");
+      }
+      return false;
+    }
+    return !task->terminated();
+  }
+
+  DefaultFault(task, entry, vaddr, is_write);
+  return !task->terminated();
+}
+
+bool Kernel::TouchRange(Task* task, uint64_t vaddr, uint64_t size_bytes, bool is_write) {
+  for (uint64_t a = vaddr; a < vaddr + size_bytes; a += kPageSize) {
+    if (!Touch(task, a, is_write)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Kernel::DefaultFault(Task* task, VmMapEntry* entry, uint64_t vaddr, bool is_write) {
+  VmObject* object = entry->object;
+  uint64_t offset = entry->OffsetOf(vaddr);
+
+  // Soft fault: the data is still resident (e.g. on the inactive queue); just re-map it.
+  if (VmPage* page = object->Lookup(offset); page != nullptr) {
+    clock_.Advance(params_.costs.fault_resident_ns);
+    counters_.Add("kernel.soft_faults");
+    if (page->queue == &daemon_->inactive_queue()) {
+      page->queue->Remove(page);
+      daemon_->Activate(page);
+    }
+    pmap_.Enter(task, vaddr, page, entry->write_protected);
+    page->reference = true;
+    if (is_write) {
+      page->modified = true;
+    }
+    page->last_reference_ns = clock_.now();
+    return;
+  }
+
+  VmPage* page = daemon_->AllocForFault();
+  if (page == nullptr) {
+    TerminateTask(task, "out of physical memory");
+    return;
+  }
+  InstallPage(task, entry, vaddr, page, is_write);
+  daemon_->Activate(page);
+}
+
+void Kernel::InstallPage(Task* task, VmMapEntry* entry, uint64_t vaddr, VmPage* page,
+                         bool is_write) {
+  clock_.Advance(params_.costs.fault_base_ns);
+  VmObject* object = entry->object;
+  uint64_t offset = entry->OffsetOf(vaddr);
+
+  if (object->NeedsDiskRead(offset)) {
+    if (object->pager != nullptr) {
+      // EMM path: ask the external pager (IPC round trip + user-level service).
+      object->pager->RequestData(object, offset);
+      counters_.Add("kernel.pager_fills");
+      tracer_.Record(clock_.now(), sim::TraceCategory::kFill, 2, object->id(), offset);
+    } else {
+      disk_->ReadPage(object->BlockFor(offset));
+      tracer_.Record(clock_.now(), sim::TraceCategory::kFill, 1, object->id(), offset);
+    }
+    counters_.Add("kernel.disk_fills");
+  } else {
+    counters_.Add("kernel.zero_fills");
+    tracer_.Record(clock_.now(), sim::TraceCategory::kFill, 0, object->id(), offset);
+  }
+
+  object->InsertPage(page, offset);
+  pmap_.Enter(task, vaddr & ~(kPageSize - 1), page, entry->write_protected);
+  page->reference = true;
+  page->modified = is_write;
+  page->last_reference_ns = clock_.now();
+}
+
+void Kernel::EvictPage(VmPage* page, bool flush_if_dirty) {
+  HIPEC_CHECK_MSG(page->queue == nullptr, "evicting a page still on a queue");
+  if (page->has_mapping) {
+    pmap_.RemovePage(page);
+  }
+  if (page->object != nullptr) {
+    tracer_.Record(clock_.now(), sim::TraceCategory::kEviction, page->modified ? 1 : 0,
+                   page->frame_number, page->object->id());
+  }
+  if (page->object != nullptr) {
+    if (page->modified && flush_if_dirty) {
+      FlushPageAsync(page);
+    }
+    page->object->RemovePage(page);
+  }
+  page->reference = false;
+  page->modified = false;
+  page->busy = false;
+}
+
+void Kernel::FlushPageAsync(VmPage* page) {
+  HIPEC_CHECK_MSG(page->object != nullptr, "flushing a page with no backing object");
+  VmObject* object = page->object;
+  if (object->pager != nullptr) {
+    // EMM path: memory_object_data_write to the external pager.
+    object->pager->WriteData(object, page->offset);
+    counters_.Add("kernel.pager_writes");
+  } else {
+    object->MarkPagedOut(page->offset);
+    disk_->WritePageAsync(object->BlockFor(page->offset));
+  }
+  page->modified = false;
+  counters_.Add("kernel.pageouts");
+}
+
+void Kernel::ChargePageoutScan(size_t pages_examined) {
+  clock_.Advance(static_cast<sim::Nanos>(pages_examined) *
+                 params_.costs.pageout_scan_per_page_ns);
+}
+
+FrameAccounting Kernel::ComputeFrameAccounting() const {
+  FrameAccounting acc;
+  acc.total = frames_.size();
+  for (const VmPage& page : frames_) {
+    if (page.wired) {
+      ++acc.wired;
+    } else if (page.queue == &daemon_->free_queue()) {
+      ++acc.global_free;
+    } else if (page.queue == &daemon_->active_queue()) {
+      ++acc.global_active;
+    } else if (page.queue == &daemon_->inactive_queue()) {
+      ++acc.global_inactive;
+    } else if (page.owner != nullptr) {
+      ++acc.container_owned;
+    } else {
+      ++acc.unaccounted;
+    }
+  }
+  return acc;
+}
+
+}  // namespace hipec::mach

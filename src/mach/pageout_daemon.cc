@@ -1,0 +1,121 @@
+#include "mach/pageout_daemon.h"
+
+#include "mach/kernel.h"
+#include "sim/check.h"
+
+namespace hipec::mach {
+
+PageoutDaemon::PageoutDaemon(Kernel* kernel, PageoutTargets targets)
+    : kernel_(kernel),
+      targets_(targets),
+      free_("vm_page_queue_free"),
+      active_("vm_page_queue_active"),
+      inactive_("vm_page_queue_inactive") {}
+
+void PageoutDaemon::AddBootFrame(VmPage* page) {
+  free_.EnqueueTail(page, 0);
+}
+
+void PageoutDaemon::Balance() {
+  sim::Nanos now = kernel_->clock().now();
+  size_t examined = 0;
+
+  // Refill the inactive queue from the active queue, clearing reference bits so a second
+  // reference can be detected (the "second chance").
+  while (inactive_.count() < targets_.inactive_target && !active_.empty()) {
+    VmPage* page = active_.DequeueHead();
+    page->reference = false;
+    inactive_.EnqueueTail(page, now);
+    ++examined;
+  }
+
+  // Refill the free queue from the inactive queue.
+  while (free_.count() < targets_.free_target && !inactive_.empty()) {
+    VmPage* page = inactive_.DequeueHead();
+    ++examined;
+    if (page->reference) {
+      // Referenced while inactive: give it a second chance on the active queue.
+      page->reference = false;
+      active_.EnqueueTail(page, now);
+      counters_.Add("pageout.second_chances");
+      continue;
+    }
+    kernel_->EvictPage(page, /*flush_if_dirty=*/true);
+    free_.EnqueueTail(page, now);
+    counters_.Add("pageout.evictions");
+  }
+
+  counters_.Add("pageout.balance_runs");
+  counters_.Add("pageout.pages_examined", static_cast<int64_t>(examined));
+  kernel_->ChargePageoutScan(examined);
+}
+
+VmPage* PageoutDaemon::AllocForFault() {
+  if (free_.count() <= targets_.free_min) {
+    Balance();
+    // The free pool ran dry while serving a non-specific fault: that is memory pressure.
+    // Tell the HiPEC layer (it may adapt partition_burst and reclaim specific frames).
+    kernel_->NotifyMemoryPressure();
+  }
+  VmPage* page = free_.DequeueHead();
+  if (page == nullptr) {
+    Balance();
+    page = free_.DequeueHead();
+  }
+  if (page == nullptr) {
+    // Desperation: reclaim ignoring reference bits.
+    page = inactive_.DequeueHead();
+    if (page == nullptr) {
+      page = active_.DequeueHead();
+    }
+    if (page != nullptr) {
+      kernel_->EvictPage(page, /*flush_if_dirty=*/true);
+      counters_.Add("pageout.desperation_reclaims");
+    }
+  }
+  if (page != nullptr) {
+    counters_.Add("pageout.alloc_for_fault");
+  }
+  return page;
+}
+
+bool PageoutDaemon::AllocFramesForManager(size_t n, PageQueue* out, void* owner) {
+  if (AvailableForManager() < n) {
+    Balance();
+  }
+  if (AvailableForManager() < n) {
+    return false;
+  }
+  sim::Nanos now = kernel_->clock().now();
+  for (size_t i = 0; i < n; ++i) {
+    VmPage* page = free_.DequeueHead();
+    HIPEC_CHECK(page != nullptr);
+    page->owner = owner;
+    out->EnqueueTail(page, now);
+  }
+  counters_.Add("pageout.frames_to_manager", static_cast<int64_t>(n));
+  return true;
+}
+
+void PageoutDaemon::ReturnFrame(VmPage* page) {
+  HIPEC_CHECK_MSG(page->queue == nullptr, "frame still on a queue");
+  HIPEC_CHECK_MSG(page->object == nullptr, "frame still resident in an object");
+  HIPEC_CHECK_MSG(!page->has_mapping, "frame still mapped");
+  page->owner = nullptr;
+  page->reference = false;
+  page->modified = false;
+  page->wired = false;
+  free_.EnqueueTail(page, kernel_->clock().now());
+}
+
+void PageoutDaemon::Activate(VmPage* page) {
+  active_.EnqueueTail(page, kernel_->clock().now());
+}
+
+size_t PageoutDaemon::AvailableForManager() const {
+  // The last free_min frames are reserved so the kernel's own fault path cannot starve.
+  size_t free = free_.count();
+  return free > targets_.free_min ? free - targets_.free_min : 0;
+}
+
+}  // namespace hipec::mach

@@ -1,0 +1,79 @@
+// The Mach pageout daemon: maintains the global free/active/inactive queues and runs the
+// default FIFO-with-second-chance replacement policy for non-specific applications (Draves,
+// "Page Replacement and Reference Bit Emulation in Mach"). Under HiPEC it doubles as the
+// substrate the global frame manager draws private frames from (§4.3.1).
+#ifndef HIPEC_MACH_PAGEOUT_DAEMON_H_
+#define HIPEC_MACH_PAGEOUT_DAEMON_H_
+
+#include <cstdint>
+
+#include "mach/page_queue.h"
+#include "sim/stats.h"
+
+namespace hipec::mach {
+
+class Kernel;
+
+struct PageoutTargets {
+  // Balance tries to keep at least this many frames on the free queue.
+  size_t free_target = 256;
+  // The fault path triggers balancing when the free queue drops to this level; the last
+  // free_min frames are reserved for the kernel itself.
+  size_t free_min = 64;
+  // Balance refills the inactive queue to this level from the active queue.
+  size_t inactive_target = 768;
+};
+
+class PageoutDaemon {
+ public:
+  PageoutDaemon(Kernel* kernel, PageoutTargets targets);
+  PageoutDaemon(const PageoutDaemon&) = delete;
+  PageoutDaemon& operator=(const PageoutDaemon&) = delete;
+
+  // Called at boot for every initially free frame.
+  void AddBootFrame(VmPage* page);
+
+  // Allocates a frame for a faulting non-specific application, balancing (and evicting) as
+  // needed. Returns nullptr only when memory is exhausted beyond recovery.
+  VmPage* AllocForFault();
+
+  // Allocates `n` frames for the HiPEC global frame manager (private pools). All-or-nothing:
+  // returns false without side effects if `n` frames cannot be freed while keeping free_min.
+  bool AllocFramesForManager(size_t n, PageQueue* out, void* owner);
+
+  // Returns a frame to the global free queue (from eviction, task teardown, or a HiPEC
+  // Release).
+  void ReturnFrame(VmPage* page);
+
+  // Hands a faulted-in page to the daemon's bookkeeping (global active queue).
+  void Activate(VmPage* page);
+
+  // Runs one balancing pass of the FIFO-second-chance policy.
+  void Balance();
+
+  // Frames the manager could still hand to specific applications right now.
+  size_t AvailableForManager() const;
+
+  size_t free_count() const { return free_.count(); }
+  size_t active_count() const { return active_.count(); }
+  size_t inactive_count() const { return inactive_.count(); }
+  const PageoutTargets& targets() const { return targets_; }
+
+  PageQueue& free_queue() { return free_; }
+  PageQueue& active_queue() { return active_; }
+  PageQueue& inactive_queue() { return inactive_; }
+
+  sim::CounterSet& counters() { return counters_; }
+
+ private:
+  Kernel* kernel_;
+  PageoutTargets targets_;
+  PageQueue free_;
+  PageQueue active_;
+  PageQueue inactive_;
+  sim::CounterSet counters_;
+};
+
+}  // namespace hipec::mach
+
+#endif  // HIPEC_MACH_PAGEOUT_DAEMON_H_

@@ -1,0 +1,68 @@
+#include "mach/pmap.h"
+
+#include "sim/check.h"
+
+namespace hipec::mach {
+
+void Pmap::Enter(Task* task, uint64_t vaddr, VmPage* page, bool write_protected) {
+  HIPEC_CHECK_MSG(!page->has_mapping,
+                  "frame " << page->frame_number << " is already mapped (single-mapping model)");
+  auto& task_map = maps_[task->id()];
+  auto [it, inserted] = task_map.emplace(Vpn(vaddr), Translation{page, write_protected});
+  HIPEC_CHECK_MSG(inserted, "vaddr already translated");
+  page->has_mapping = true;
+  page->mapped_task = task;
+  page->mapped_vaddr = vaddr & ~(kPageSize - 1);
+  ++count_;
+}
+
+VmPage* Pmap::Lookup(const Task* task, uint64_t vaddr) const {
+  auto tm = maps_.find(task->id());
+  if (tm == maps_.end()) {
+    return nullptr;
+  }
+  auto it = tm->second.find(Vpn(vaddr));
+  return it == tm->second.end() ? nullptr : it->second.page;
+}
+
+void Pmap::RemovePage(VmPage* page) {
+  if (!page->has_mapping) {
+    return;
+  }
+  auto tm = maps_.find(page->mapped_task->id());
+  HIPEC_CHECK(tm != maps_.end());
+  size_t erased = tm->second.erase(Vpn(page->mapped_vaddr));
+  HIPEC_CHECK(erased == 1);
+  page->has_mapping = false;
+  page->mapped_task = nullptr;
+  page->mapped_vaddr = 0;
+  --count_;
+}
+
+void Pmap::RemoveTask(Task* task) {
+  auto tm = maps_.find(task->id());
+  if (tm == maps_.end()) {
+    return;
+  }
+  for (auto& [vpn, translation] : tm->second) {
+    VmPage* page = translation.page;
+    page->has_mapping = false;
+    page->mapped_task = nullptr;
+    page->mapped_vaddr = 0;
+    --count_;
+  }
+  maps_.erase(tm);
+}
+
+bool Pmap::IsWriteProtected(const VmPage* page) const {
+  if (!page->has_mapping) {
+    return false;
+  }
+  auto tm = maps_.find(page->mapped_task->id());
+  HIPEC_CHECK(tm != maps_.end());
+  auto it = tm->second.find(Vpn(page->mapped_vaddr));
+  HIPEC_CHECK(it != tm->second.end());
+  return it->second.write_protected;
+}
+
+}  // namespace hipec::mach

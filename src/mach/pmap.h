@@ -1,0 +1,56 @@
+// Physical map (pmap) emulation: per-task virtual-to-physical translations plus the
+// reference/modify bits the HiPEC `Ref`/`Mod`/`Set` commands and the pageout daemon consult.
+//
+// The reproduction uses a single-mapping model — a frame is mapped into at most one task at a
+// time — which covers every experiment in the paper (no experiment shares pages).
+#ifndef HIPEC_MACH_PMAP_H_
+#define HIPEC_MACH_PMAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mach/vm_map.h"
+#include "mach/vm_page.h"
+
+namespace hipec::mach {
+
+class Pmap {
+ public:
+  Pmap() = default;
+  Pmap(const Pmap&) = delete;
+  Pmap& operator=(const Pmap&) = delete;
+
+  // Installs a translation. The page must not currently be mapped anywhere.
+  // `write_protected` records that writes through this mapping must fault.
+  void Enter(Task* task, uint64_t vaddr, VmPage* page, bool write_protected);
+
+  // Translation lookup; nullptr on miss.
+  VmPage* Lookup(const Task* task, uint64_t vaddr) const;
+
+  // Tears down the translation for `page` (no-op if unmapped).
+  void RemovePage(VmPage* page);
+
+  // Tears down all translations of a task; pages become unmapped but stay resident.
+  void RemoveTask(Task* task);
+
+  // True if writes through the current mapping of `page` must fault.
+  bool IsWriteProtected(const VmPage* page) const;
+
+  size_t mapping_count() const { return count_; }
+
+ private:
+  static uint64_t Vpn(uint64_t vaddr) { return vaddr >> kPageShift; }
+
+  struct Translation {
+    VmPage* page;
+    bool write_protected;
+  };
+
+  // task id -> (virtual page number -> translation)
+  std::unordered_map<uint64_t, std::unordered_map<uint64_t, Translation>> maps_;
+  size_t count_ = 0;
+};
+
+}  // namespace hipec::mach
+
+#endif  // HIPEC_MACH_PMAP_H_

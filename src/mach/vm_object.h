@@ -1,0 +1,73 @@
+// VM objects, modelled on Mach's `vm_object`: a pager-backed segment of data (a memory-mapped
+// file or an anonymous region backed by the default pager / swap). HiPEC mounts its container
+// under the VM object (§4.1), so the object carries an opaque container pointer.
+#ifndef HIPEC_MACH_VM_OBJECT_H_
+#define HIPEC_MACH_VM_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mach/vm_page.h"
+
+namespace hipec::mach {
+
+class ExternalPager;
+
+class VmObject {
+ public:
+  // `disk_base_block` is the first 4 KB block of this object's backing store. For anonymous
+  // objects the blocks are swap space, used only for offsets that have been paged out.
+  VmObject(uint64_t id, std::string name, uint64_t size_bytes, bool file_backed,
+           uint64_t disk_base_block);
+  VmObject(const VmObject&) = delete;
+  VmObject& operator=(const VmObject&) = delete;
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  uint64_t size() const { return size_bytes_; }
+  bool file_backed() const { return file_backed_; }
+
+  // Residency.
+  VmPage* Lookup(uint64_t offset) const;
+  void InsertPage(VmPage* page, uint64_t offset);
+  void RemovePage(VmPage* page);
+  size_t resident_count() const { return resident_.size(); }
+
+  // Backing store. A fault must read from disk when the data exists only on disk: always for
+  // file-backed objects, and for anonymous objects only at offsets previously paged out.
+  uint64_t BlockFor(uint64_t offset) const { return disk_base_block_ + (offset >> kPageShift); }
+  bool NeedsDiskRead(uint64_t offset) const {
+    return file_backed_ || paged_out_.contains(offset);
+  }
+  void MarkPagedOut(uint64_t offset) { paged_out_.insert(offset); }
+
+  // HiPEC container mounted under this object (opaque at this layer; owned by the engine).
+  void* container = nullptr;
+
+  // External pager supplying/storing this object's data through the EMM interface (emm.h);
+  // nullptr means the kernel pages the object directly against the disk.
+  ExternalPager* pager = nullptr;
+
+  // Walks resident pages; `fn` must not mutate residency.
+  template <typename Fn>
+  void ForEachResident(Fn&& fn) const {
+    for (const auto& [offset, page] : resident_) {
+      fn(offset, page);
+    }
+  }
+
+ private:
+  uint64_t id_;
+  std::string name_;
+  uint64_t size_bytes_;
+  bool file_backed_;
+  uint64_t disk_base_block_;
+  std::unordered_map<uint64_t, VmPage*> resident_;
+  std::unordered_set<uint64_t> paged_out_;
+};
+
+}  // namespace hipec::mach
+
+#endif  // HIPEC_MACH_VM_OBJECT_H_

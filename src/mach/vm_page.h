@@ -1,0 +1,67 @@
+// The machine-independent page structure, modelled on Mach's `struct vm_page`.
+//
+// One VmPage exists per physical frame. A page is linked onto at most one replacement queue
+// at a time (global free/active/inactive queues, or a HiPEC container's private queues), plus
+// — independently — the global allocation-ordered list the frame manager walks during forced
+// reclamation (§4.3.1 "Deallocation").
+#ifndef HIPEC_MACH_VM_PAGE_H_
+#define HIPEC_MACH_VM_PAGE_H_
+
+#include <cstdint>
+
+#include "sim/clock.h"
+
+namespace hipec::mach {
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr uint64_t kPageShift = 12;
+
+class VmObject;
+class PageQueue;
+class Task;
+
+struct VmPage {
+  // Identity.
+  uint32_t frame_number = 0;
+
+  // Object residency: which VM object (and offset within it) this frame currently caches.
+  VmObject* object = nullptr;
+  uint64_t offset = 0;  // page-aligned byte offset within `object`
+
+  // Replacement-queue linkage (intrusive, owned by PageQueue).
+  VmPage* q_prev = nullptr;
+  VmPage* q_next = nullptr;
+  PageQueue* queue = nullptr;
+
+  // State bits.
+  bool wired = false;     // never paged (kernel memory, command buffers, pinned tables)
+  bool busy = false;      // I/O in flight
+  bool reference = false;  // pmap-emulated reference bit
+  bool modified = false;   // pmap-emulated modify (dirty) bit
+
+  // Simulator-maintained recency, used by the LRU/MRU complex commands. On real Mach this is
+  // approximated with reference-bit sampling (Draves, "Page Replacement and Reference Bit
+  // Emulation in Mach"); the simulator can afford exact times.
+  sim::Nanos last_reference_ns = 0;
+  // Time this page was appended to its current queue (FIFO arrival order).
+  sim::Nanos enqueue_ns = 0;
+
+  // Private-pool ownership: the HiPEC container this frame is allocated to, or nullptr when
+  // the frame belongs to the global pool. Opaque at this layer.
+  void* owner = nullptr;
+
+  // Allocation-ordered list for FAFR forced reclamation (only frames with owner != nullptr).
+  VmPage* alloc_prev = nullptr;
+  VmPage* alloc_next = nullptr;
+  bool on_alloc_list = false;
+
+  // Reverse mapping. The reproduction uses a single-mapping model (no page sharing between
+  // tasks), which covers every experiment in the paper.
+  Task* mapped_task = nullptr;
+  uint64_t mapped_vaddr = 0;
+  bool has_mapping = false;
+};
+
+}  // namespace hipec::mach
+
+#endif  // HIPEC_MACH_VM_PAGE_H_

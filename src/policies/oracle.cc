@@ -1,0 +1,105 @@
+#include "policies/oracle.h"
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+
+#include "sim/check.h"
+
+namespace hipec::policies {
+
+OracleResult SimulateReplacement(const std::vector<uint64_t>& trace, size_t frames,
+                                 OraclePolicy policy) {
+  HIPEC_CHECK(frames > 0);
+  OracleResult result;
+  // Resident pages in *fault-arrival* order (FIFO/clock order); recency tracked separately.
+  std::list<uint64_t> arrival;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> where;
+  std::unordered_map<uint64_t, uint64_t> last_use;
+  std::unordered_map<uint64_t, bool> referenced;
+  uint64_t tick = 0;
+
+  for (uint64_t page : trace) {
+    ++tick;
+    auto hit = where.find(page);
+    if (hit != where.end()) {
+      last_use[page] = tick;
+      referenced[page] = true;
+      continue;
+    }
+    ++result.faults;
+    if (where.size() >= frames) {
+      uint64_t victim;
+      switch (policy) {
+        case OraclePolicy::kFifo:
+          victim = arrival.front();
+          break;
+        case OraclePolicy::kLru: {
+          victim = arrival.front();
+          uint64_t best = last_use[victim];
+          for (uint64_t p : arrival) {
+            if (last_use[p] < best) {
+              best = last_use[p];
+              victim = p;
+            }
+          }
+          break;
+        }
+        case OraclePolicy::kMru: {
+          victim = arrival.front();
+          uint64_t best = last_use[victim];
+          for (uint64_t p : arrival) {
+            if (last_use[p] >= best) {
+              best = last_use[p];
+              victim = p;
+            }
+          }
+          break;
+        }
+        case OraclePolicy::kClock: {
+          // Rotate: referenced pages get a second chance at the tail with the bit cleared.
+          for (;;) {
+            uint64_t head = arrival.front();
+            if (!referenced[head]) {
+              victim = head;
+              break;
+            }
+            referenced[head] = false;
+            arrival.pop_front();
+            arrival.push_back(head);
+            where[head] = std::prev(arrival.end());
+          }
+          break;
+        }
+      }
+      arrival.erase(where[victim]);
+      where.erase(victim);
+      last_use.erase(victim);
+      referenced.erase(victim);
+      result.evictions.push_back(victim);
+    }
+    arrival.push_back(page);
+    where[page] = std::prev(arrival.end());
+    last_use[page] = tick;
+    referenced[page] = true;  // installed referenced, as the kernel's InstallPage does
+  }
+  return result;
+}
+
+int64_t JoinFaultsLru(int64_t outer_bytes, int64_t memory_bytes, int64_t loops,
+                      int64_t page_size) {
+  if (outer_bytes <= memory_bytes) {
+    return outer_bytes / page_size;  // only the first scan faults
+  }
+  return outer_bytes * loops / page_size;
+}
+
+int64_t JoinFaultsMru(int64_t outer_bytes, int64_t memory_bytes, int64_t loops,
+                      int64_t page_size) {
+  if (outer_bytes <= memory_bytes) {
+    return outer_bytes / page_size;
+  }
+  return ((outer_bytes - memory_bytes) * (loops - 1) + outer_bytes) / page_size;
+}
+
+}  // namespace hipec::policies

@@ -1,0 +1,41 @@
+// Reference (oracle) implementations of the replacement policies, independent of the HiPEC
+// machinery. The property tests replay the same page trace through an oracle and through the
+// full kernel+engine+bytecode stack and require identical fault counts and eviction orders.
+#ifndef HIPEC_POLICIES_ORACLE_H_
+#define HIPEC_POLICIES_ORACLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hipec::policies {
+
+enum class OraclePolicy {
+  kFifo,   // evict in fault-arrival order
+  kLru,    // evict least recently used
+  kMru,    // evict most recently used
+  kClock,  // second chance over a circular list (reference bits set on hit and on install)
+};
+
+struct OracleResult {
+  size_t faults = 0;
+  std::vector<uint64_t> evictions;  // page numbers, in eviction order
+};
+
+// Replays `trace` (page numbers) against a pool of `frames` physical frames.
+OracleResult SimulateReplacement(const std::vector<uint64_t>& trace, size_t frames,
+                                 OraclePolicy policy);
+
+// The paper's analytic page-fault formulas for the nested-loops join (§5.3).
+//   PF_l = OutLSize * Loop / PageSize
+//   PF_m = ((OutLSize - MSize) * (Loop - 1) + OutLSize) / PageSize
+// Arguments in bytes; Loop is the number of outer-table scans. When the outer table fits in
+// memory (OutLSize <= MSize) both policies fault only on the first scan.
+int64_t JoinFaultsLru(int64_t outer_bytes, int64_t memory_bytes, int64_t loops,
+                      int64_t page_size = 4096);
+int64_t JoinFaultsMru(int64_t outer_bytes, int64_t memory_bytes, int64_t loops,
+                      int64_t page_size = 4096);
+
+}  // namespace hipec::policies
+
+#endif  // HIPEC_POLICIES_ORACLE_H_

@@ -1,0 +1,68 @@
+// Ready-made HiPEC policy programs, all using the standard operand layout (operand.h):
+//
+//   * FifoSecondChancePolicy() — the paper's reference program (Table 2 / Figure 4): Mach's
+//     own FIFO-with-second-chance, reimplemented as a user policy. Used by the Table 3
+//     overhead experiment.
+//   * MruPolicy()              — evict the most recently used page; the right policy for the
+//     nested-loops join of §5.3 (Figure 6).
+//   * LruPolicy()              — evict the least recently used page; the "popular in
+//     conventional operating systems" comparison policy.
+//   * FifoPolicy()             — plain FIFO.
+//
+// Each PageFault event first serves from the private free list and falls back to eviction;
+// each program also carries the shared ReclaimFrame event, which releases frames preferring
+// free -> inactive -> active. Variants exist using the *complex* commands (one FIFO/LRU/MRU
+// command) and equivalent *simple-command* sequences; the command-granularity ablation
+// (§4.2's flexibility-vs-overhead trade-off) compares them.
+#ifndef HIPEC_POLICIES_POLICIES_H_
+#define HIPEC_POLICIES_POLICIES_H_
+
+#include "hipec/engine.h"
+#include "hipec/program.h"
+
+namespace hipec::policies {
+
+// How the eviction step is expressed.
+enum class CommandStyle {
+  kComplex,  // one FIFO/LRU/MRU complex command
+  kSimple,   // equivalent sequence of simple commands (queue-order based)
+};
+
+// The Table 2 program: FIFO with second chance over private active/inactive/free queues.
+// Requires std-layout targets (free_target, inactive_target, reserved_target) to be set in
+// HipecOptions.
+core::PolicyProgram FifoSecondChancePolicy();
+
+// Evict-most-recently-used. kSimple expresses MRU as DeQueue-tail of the active queue (exact
+// when access order equals fault order, as in a sequential scan); kComplex uses the MRU
+// command (exact always).
+core::PolicyProgram MruPolicy(CommandStyle style = CommandStyle::kSimple);
+
+// Evict-least-recently-used.
+core::PolicyProgram LruPolicy(CommandStyle style = CommandStyle::kComplex);
+
+// Plain FIFO (evict oldest-faulted).
+core::PolicyProgram FifoPolicy(CommandStyle style = CommandStyle::kSimple);
+
+// CLOCK (second chance over a single circular list), written entirely in simple commands:
+// rotate the active queue clearing reference bits until an unreferenced victim appears.
+core::PolicyProgram ClockPolicy();
+
+// A 2Q-like policy: the engine's active queue serves as the probation FIFO (A1); pages found
+// referenced when they reach its head are *promoted* to a protected user queue (Am) instead
+// of being recycled. Victims come from unreferenced A1 heads first, then from Am. Scans pass
+// through A1 without ever displacing the protected set — the classic scan-resistance
+// argument, expressed in twenty HiPEC commands with one user-defined queue.
+core::PolicyProgram TwoQueuePolicy();
+
+// Options preset required by TwoQueuePolicy (one user queue).
+core::HipecOptions TwoQueueOptions();
+
+// The shared ReclaimFrame event used by all of the above (exposed for reuse by custom
+// policies): releases up to kReclaimCount frames, preferring free, then inactive, then
+// active pages.
+std::vector<core::Instruction> StandardReclaimEvent();
+
+}  // namespace hipec::policies
+
+#endif  // HIPEC_POLICIES_POLICIES_H_

@@ -1,0 +1,52 @@
+// Lightweight invariant checking for the simulator.
+//
+// Simulator invariant violations are programming errors, but the test suite needs to observe
+// them without aborting the process, so HIPEC_CHECK throws rather than calling std::abort().
+#ifndef HIPEC_SIM_CHECK_H_
+#define HIPEC_SIM_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hipec::sim {
+
+// Thrown when an internal simulator invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const std::string& message) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw CheckFailure(os.str());
+}
+
+}  // namespace internal
+}  // namespace hipec::sim
+
+#define HIPEC_CHECK(expr)                                                 \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::hipec::sim::internal::CheckFailed(#expr, __FILE__, __LINE__, ""); \
+    }                                                                     \
+  } while (false)
+
+#define HIPEC_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream hipec_check_os_;                                   \
+      hipec_check_os_ << msg;                                               \
+      ::hipec::sim::internal::CheckFailed(#expr, __FILE__, __LINE__,        \
+                                          hipec_check_os_.str());           \
+    }                                                                       \
+  } while (false)
+
+#endif  // HIPEC_SIM_CHECK_H_

@@ -1,0 +1,80 @@
+#include "sim/clock.h"
+
+#include <utility>
+
+#include "sim/check.h"
+
+namespace hipec::sim {
+
+void VirtualClock::Advance(Nanos delta) {
+  HIPEC_CHECK_MSG(delta >= 0, "cannot advance the clock backwards (delta=" << delta << ")");
+  HIPEC_CHECK_MSG(!dispatching_, "Advance() called from inside an event callback");
+  AdvanceTo(now_ + delta);
+}
+
+void VirtualClock::AdvanceTo(Nanos when) {
+  if (when <= now_) {
+    return;
+  }
+  HIPEC_CHECK_MSG(!dispatching_, "AdvanceTo() called from inside an event callback");
+  DispatchDueEvents(when);
+  now_ = when;
+}
+
+VirtualClock::EventId VirtualClock::ScheduleAt(Nanos when, Callback fn, std::string label) {
+  HIPEC_CHECK_MSG(when >= now_, "event scheduled in the past: " << label);
+  EventId id = next_id_++;
+  events_.emplace(Key{when, next_seq_++}, Event{id, std::move(fn), std::move(label)});
+  live_ids_.insert(id);
+  return id;
+}
+
+VirtualClock::EventId VirtualClock::ScheduleAfter(Nanos delta, Callback fn, std::string label) {
+  HIPEC_CHECK_MSG(delta >= 0, "negative delay for event: " << label);
+  return ScheduleAt(now_ + delta, std::move(fn), std::move(label));
+}
+
+bool VirtualClock::Cancel(EventId id) {
+  auto live = live_ids_.find(id);
+  if (live == live_ids_.end()) {
+    return false;
+  }
+  live_ids_.erase(live);
+  for (auto it = events_.begin(); it != events_.end(); ++it) {
+    if (it->second.id == id) {
+      events_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Nanos VirtualClock::next_deadline() const {
+  if (events_.empty()) {
+    return -1;
+  }
+  return events_.begin()->first.first;
+}
+
+void VirtualClock::DispatchDueEvents(Nanos horizon) {
+  // Events fired here may schedule new events, possibly also due before `horizon`; the loop
+  // re-inspects the queue head every iteration so those fire in correct order too.
+  while (!events_.empty() && events_.begin()->first.first <= horizon) {
+    auto it = events_.begin();
+    Nanos deadline = it->first.first;
+    Event event = std::move(it->second);
+    events_.erase(it);
+    live_ids_.erase(event.id);
+    now_ = deadline;  // Callbacks observe their own deadline as now().
+    dispatching_ = true;
+    try {
+      event.fn();
+    } catch (...) {
+      dispatching_ = false;
+      throw;
+    }
+    dispatching_ = false;
+  }
+}
+
+}  // namespace hipec::sim

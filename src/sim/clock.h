@@ -1,0 +1,97 @@
+// Discrete virtual-time clock.
+//
+// Every cost in the reproduction (syscall entry, command decode, disk service, ...) is charged
+// to a VirtualClock instead of being measured on the host. Components that the paper runs as
+// kernel threads (the security checker, the pageout daemon) and asynchronous completions (disk
+// write-back) are modelled as scheduled events that fire when simulated time passes their
+// deadline.
+#ifndef HIPEC_SIM_CLOCK_H_
+#define HIPEC_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_set>
+
+namespace hipec::sim {
+
+// Virtual nanoseconds. Signed so that subtraction of timestamps is safe.
+using Nanos = int64_t;
+
+constexpr Nanos kMicrosecond = 1'000;
+constexpr Nanos kMillisecond = 1'000'000;
+constexpr Nanos kSecond = 1'000'000'000;
+
+// A discrete-event virtual clock.
+//
+// The "foreground" computation (an application touching memory, the kernel handling a fault)
+// advances the clock with Advance(); any events whose deadline is crossed fire, in deadline
+// order, before Advance() returns. Event callbacks run *at* their deadline (now() reports the
+// deadline while the callback runs) and may schedule further events, but must not call
+// Advance() themselves — they represent instantaneous occurrences whose costs are modelled by
+// scheduling follow-up events.
+class VirtualClock {
+ public:
+  using EventId = uint64_t;
+  using Callback = std::function<void()>;
+
+  VirtualClock() = default;
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  // Current virtual time.
+  Nanos now() const { return now_; }
+
+  // Moves time forward by `delta` (>= 0), firing due events in deadline order.
+  void Advance(Nanos delta);
+
+  // Moves time forward to `when` if it is in the future; no-op otherwise.
+  void AdvanceTo(Nanos when);
+
+  // Schedules `fn` to run at absolute virtual time `when` (>= now()). Returns an id usable
+  // with Cancel(). `label` is kept for diagnostics.
+  EventId ScheduleAt(Nanos when, Callback fn, std::string label = "");
+
+  // Schedules `fn` to run `delta` ns from now.
+  EventId ScheduleAfter(Nanos delta, Callback fn, std::string label = "");
+
+  // Cancels a pending event. Returns false if it already fired or was never scheduled.
+  bool Cancel(EventId id);
+
+  // Number of events still pending.
+  size_t pending_events() const { return events_.size(); }
+
+  // Deadline of the earliest pending event, or -1 if none.
+  Nanos next_deadline() const;
+
+  // Runs pending events until none remain with deadline <= `until`, advancing time to each
+  // event in turn and finally to `until`.
+  void RunUntil(Nanos until) { AdvanceTo(until); }
+
+  // True while an event callback is executing (Advance() is then forbidden).
+  bool dispatching() const { return dispatching_; }
+
+ private:
+  struct Event {
+    EventId id;
+    Callback fn;
+    std::string label;
+  };
+
+  // Key: (deadline, sequence) so that same-deadline events fire in scheduling order.
+  using Key = std::pair<Nanos, uint64_t>;
+
+  void DispatchDueEvents(Nanos horizon);
+
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  bool dispatching_ = false;
+  std::map<Key, Event> events_;
+  std::unordered_set<EventId> live_ids_;
+};
+
+}  // namespace hipec::sim
+
+#endif  // HIPEC_SIM_CLOCK_H_

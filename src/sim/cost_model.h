@@ -1,0 +1,73 @@
+// Virtual-time cost model.
+//
+// All constants are calibrated from measurements the paper itself reports on the Acer Altos
+// 10000 (i486-50, 64 MB):
+//
+//   * Table 4: null system call 19 us, null IPC 292 us, "simple HiPEC page fault overhead"
+//     ~150 ns (= fetch+decode of Comp, DeQueue, Return -> ~50 ns per command).
+//   * Table 3: 40 MB (10 240 faults) without disk I/O takes 4016.5 ms on stock Mach
+//     -> ~392 us per fault for the non-I/O fault path (zero-fill, map enter, bookkeeping);
+//     82 485.5 ms with disk I/O -> ~8.05 ms per fault, i.e. ~7.66 ms of disk service.
+//
+// Derived experiments use only these constants plus algorithmic behaviour, so Table 3/4 rows
+// are reproduced near-exactly by construction and Figures 5/6 test whether the mechanisms
+// compose to the paper's shapes.
+#ifndef HIPEC_SIM_COST_MODEL_H_
+#define HIPEC_SIM_COST_MODEL_H_
+
+#include "sim/clock.h"
+
+namespace hipec::sim {
+
+struct CostModel {
+  // Kernel-crossing primitives (Table 4).
+  Nanos null_syscall_ns = 19 * kMicrosecond;
+  Nanos null_ipc_ns = 292 * kMicrosecond;
+  // An upcall is a kernel->user procedure invocation: allocate a user stack, switch to it,
+  // run, trap back. The paper uses the null-syscall time to describe one crossing; a policy
+  // decision needs the up-call and the return, plus stack setup.
+  Nanos upcall_stack_setup_ns = 4 * kMicrosecond;
+
+  // HiPEC interpreter.
+  Nanos command_decode_ns = 50;          // fetch + decode one 32-bit command
+  Nanos complex_command_ns = 300;        // extra body cost of FIFO/LRU/MRU complex commands
+  // Per-event dispatch: container lookup, CC reset, timestamp write, private-list
+  // bookkeeping — the "miscellaneous processings" of §5. Calibrated so the Table 3 no-I/O
+  // sweep lands at the paper's 1.8 % overhead (~7 us extra per fault); the ~150 ns figure in
+  // Table 4 counts only the command fetch+decode component, as the paper does.
+  Nanos policy_invoke_ns = 6'500;
+  Nanos hipec_region_check_ns = 180;     // per-fault "is this a HiPEC region?" test added
+                                         // to every fault on the modified kernel
+
+  // Mach fault path (Table 3, no-I/O row): page allocation, zero-fill/copyin, pmap enter.
+  Nanos fault_base_ns = 392'000;
+  // Resident-page fault (page already in the object; only map enter needed).
+  Nanos fault_resident_ns = 40 * kMicrosecond;
+  // Cost of the default in-kernel replacement scan, folded into fault_base for stock Mach.
+  Nanos pageout_scan_per_page_ns = 2 * kMicrosecond;
+
+  // Security checker.
+  Nanos checker_scan_per_container_ns = 2 * kMicrosecond;
+  Nanos checker_wakeup_ns = 5 * kMicrosecond;  // thread wakeup + walk setup
+  Nanos checker_wakeup_min_ns = 250 * kMillisecond;
+  Nanos checker_wakeup_max_ns = 8 * kSecond;
+  Nanos policy_timeout_ns = 500 * kMillisecond;  // TimeOut period (set by privileged user)
+
+  // User-level memory access (TLB hit, no fault).
+  Nanos memory_access_ns = 60;
+
+  // Scheduling (used by the AIM-like multiuser model).
+  Nanos context_switch_ns = 60 * kMicrosecond;
+
+  // Convenience: cost of one policy decision under each crossing mechanism, executing a
+  // policy whose in-kernel interpretation takes `commands` HiPEC commands.
+  Nanos HipecDecisionNs(int commands) const {
+    return policy_invoke_ns + static_cast<Nanos>(commands) * command_decode_ns;
+  }
+  Nanos UpcallDecisionNs() const { return 2 * null_syscall_ns + upcall_stack_setup_ns; }
+  Nanos IpcDecisionNs() const { return null_ipc_ns; }
+};
+
+}  // namespace hipec::sim
+
+#endif  // HIPEC_SIM_COST_MODEL_H_

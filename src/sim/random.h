@@ -1,0 +1,119 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// xoshiro256** seeded via SplitMix64. All workload generators take an explicit seed so every
+// table/figure regenerates identically run-to-run.
+#ifndef HIPEC_SIM_RANDOM_H_
+#define HIPEC_SIM_RANDOM_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/check.h"
+
+namespace hipec::sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x48695045'43313934ULL) {  // "HiPEC1994"
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Next raw 64-bit value (xoshiro256**).
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses rejection to avoid modulo bias.
+  uint64_t Below(uint64_t bound) {
+    HIPEC_CHECK(bound > 0);
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Between(int64_t lo, int64_t hi) {
+    HIPEC_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial.
+  bool Chance(double p) { return Uniform() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<uint64_t, 4> state_;
+};
+
+// Zipf-distributed ranks in [0, n): rank r drawn with probability proportional to
+// 1 / (r+1)^theta. Used by skewed memory-access workloads.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed) : n_(n), theta_(theta), rng_(seed) {
+    HIPEC_CHECK(n > 0);
+    zeta_n_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - FastPow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zeta_n_);
+  }
+
+  uint64_t Next() {
+    // Gray et al., "Quickly generating billion-record synthetic databases".
+    double u = rng_.Uniform();
+    double uz = u * zeta_n_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + FastPow(0.5, theta_)) {
+      return 1;
+    }
+    auto rank = static_cast<uint64_t>(static_cast<double>(n_) *
+                                      FastPow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  static double FastPow(double base, double exp) { return std::pow(base, exp); }
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / FastPow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zeta_n_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace hipec::sim
+
+#endif  // HIPEC_SIM_RANDOM_H_

@@ -1,0 +1,65 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/check.h"
+
+namespace hipec::sim {
+
+Nanos LatencyRecorder::Min() const {
+  HIPEC_CHECK(!samples_.empty());
+  Sort();
+  return samples_.front();
+}
+
+Nanos LatencyRecorder::Max() const {
+  HIPEC_CHECK(!samples_.empty());
+  Sort();
+  return samples_.back();
+}
+
+Nanos LatencyRecorder::Percentile(double p) const {
+  HIPEC_CHECK(!samples_.empty());
+  HIPEC_CHECK(p >= 0.0 && p <= 100.0);
+  Sort();
+  if (p == 0.0) {
+    return samples_.front();
+  }
+  auto rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[rank - 1];
+}
+
+void LatencyRecorder::Sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+std::string CounterSet::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << "=" << value << "\n";
+  }
+  return os.str();
+}
+
+std::string FormatNanos(Nanos ns) {
+  char buf[64];
+  double v = static_cast<double>(ns);
+  // The paper reports elapsed times in msec up to tens of seconds (Table 3); match that.
+  if (ns >= 100 * kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", v / kSecond);
+  } else if (ns >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", v / kMillisecond);
+  } else if (ns >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", v / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace hipec::sim

@@ -1,0 +1,69 @@
+// Counters and latency recording for experiments and tests.
+#ifndef HIPEC_SIM_STATS_H_
+#define HIPEC_SIM_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace hipec::sim {
+
+// Accumulates scalar samples and reports summary statistics. Keeps all samples (experiment
+// scale here is modest), so exact percentiles are available.
+class LatencyRecorder {
+ public:
+  void Record(Nanos value) {
+    samples_.push_back(value);
+    sum_ += value;
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  Nanos sum() const { return sum_; }
+  double Mean() const { return samples_.empty() ? 0.0 : static_cast<double>(sum_) / count(); }
+  Nanos Min() const;
+  Nanos Max() const;
+  // p in [0, 100]. Nearest-rank percentile.
+  Nanos Percentile(double p) const;
+  void Clear() {
+    samples_.clear();
+    sum_ = 0;
+    sorted_ = false;
+  }
+
+ private:
+  void Sort() const;
+
+  mutable std::vector<Nanos> samples_;
+  mutable bool sorted_ = false;
+  Nanos sum_ = 0;
+};
+
+// A named bag of monotonically increasing counters. Every subsystem exposes one so tests can
+// assert on event counts (faults taken, commands decoded, pages flushed, ...).
+class CounterSet {
+ public:
+  void Add(const std::string& name, int64_t delta = 1) { counters_[name] += delta; }
+  int64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, int64_t>& all() const { return counters_; }
+  void Clear() { counters_.clear(); }
+  // Renders "name=value" lines, sorted by name.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+};
+
+// Formats virtual nanoseconds as a human-readable duration ("4016.5 ms", "19.0 us").
+std::string FormatNanos(Nanos ns);
+
+}  // namespace hipec::sim
+
+#endif  // HIPEC_SIM_STATS_H_

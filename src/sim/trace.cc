@@ -1,0 +1,71 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+#include "sim/stats.h"
+
+namespace hipec::sim {
+
+namespace {
+const char* CategoryName(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kFault:
+      return "FAULT";
+    case TraceCategory::kFill:
+      return "FILL";
+    case TraceCategory::kEviction:
+      return "EVICT";
+    case TraceCategory::kPolicy:
+      return "POLICY";
+    case TraceCategory::kReclaim:
+      return "RECLAIM";
+    case TraceCategory::kChecker:
+      return "CHECKER";
+    case TraceCategory::kIpc:
+      return "IPC";
+    case TraceCategory::kManager:
+      return "MANAGER";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string TraceEvent::ToString() const {
+  std::ostringstream os;
+  os << "[" << FormatNanos(time) << "] " << CategoryName(category) << " code=" << code
+     << " a=0x" << std::hex << a << " b=0x" << b << std::dec;
+  return os.str();
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  if (events_.size() < capacity_) {
+    out = events_;
+  } else {
+    for (size_t i = 0; i < events_.size(); ++i) {
+      out.push_back(events_[(next_ + i) % events_.size()]);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot(TraceCategory category) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : Snapshot()) {
+    if (event.category == category) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::string Tracer::Dump() const {
+  std::ostringstream os;
+  for (const TraceEvent& event : Snapshot()) {
+    os << event.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hipec::sim

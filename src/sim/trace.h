@@ -1,0 +1,85 @@
+// A lightweight execution tracer: fixed-capacity ring buffer of typed events with virtual
+// timestamps. Free when disabled (one branch per hook); when enabled, subsystems record
+// faults, evictions, policy events, reclamations, checker activity, and IPC — the record a
+// policy author reads to understand what their replacement policy actually did.
+#ifndef HIPEC_SIM_TRACE_H_
+#define HIPEC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace hipec::sim {
+
+enum class TraceCategory : uint8_t {
+  kFault,     // page fault taken (a=task id, b=vaddr)
+  kFill,      // data fill (a=object id, b=offset; code 0=zero, 1=disk, 2=pager)
+  kEviction,  // page evicted (a=frame number, b=object id)
+  kPolicy,    // HiPEC event executed (a=container id, b=event number; code=outcome)
+  kReclaim,   // frames reclaimed (a=container id, b=count; code 0=normal 1=forced)
+  kChecker,   // checker activity (code 0=wakeup 1=timeout-detected; a=interval ns)
+  kIpc,       // pager message (a=object id, b=offset; code=message id)
+  kManager,   // frame-manager decision (code 0=grant 1=reject 2=migrate; a=container, b=n)
+};
+
+struct TraceEvent {
+  Nanos time;
+  TraceCategory category;
+  uint16_t code;
+  uint64_t a;
+  uint64_t b;
+
+  std::string ToString() const;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 4096) : capacity_(capacity) {}
+
+  bool enabled() const { return enabled_; }
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+
+  void Record(Nanos time, TraceCategory category, uint16_t code, uint64_t a, uint64_t b) {
+    if (!enabled_) {
+      return;
+    }
+    if (events_.size() < capacity_) {
+      events_.push_back(TraceEvent{time, category, code, a, b});
+    } else {
+      events_[next_] = TraceEvent{time, category, code, a, b};
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++total_recorded_;
+  }
+
+  // Events in chronological order (oldest surviving first).
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Only events of one category.
+  std::vector<TraceEvent> Snapshot(TraceCategory category) const;
+
+  // Text dump, one event per line.
+  std::string Dump() const;
+
+  size_t size() const { return events_.size(); }
+  uint64_t total_recorded() const { return total_recorded_; }
+  void Clear() {
+    events_.clear();
+    next_ = 0;
+    total_recorded_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+  size_t next_ = 0;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace hipec::sim
+
+#endif  // HIPEC_SIM_TRACE_H_

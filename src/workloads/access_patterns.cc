@@ -1,0 +1,56 @@
+#include "workloads/access_patterns.h"
+
+namespace hipec::workloads {
+
+std::vector<uint64_t> SequentialScan(uint64_t pages) {
+  std::vector<uint64_t> trace;
+  trace.reserve(pages);
+  for (uint64_t p = 0; p < pages; ++p) {
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+std::vector<uint64_t> CyclicScan(uint64_t pages, int loops) {
+  std::vector<uint64_t> trace;
+  trace.reserve(pages * static_cast<uint64_t>(loops));
+  for (int l = 0; l < loops; ++l) {
+    for (uint64_t p = 0; p < pages; ++p) {
+      trace.push_back(p);
+    }
+  }
+  return trace;
+}
+
+std::vector<uint64_t> UniformRandom(uint64_t pages, size_t count, uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<uint64_t> trace;
+  trace.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    trace.push_back(rng.Below(pages));
+  }
+  return trace;
+}
+
+std::vector<uint64_t> ZipfTrace(uint64_t pages, size_t count, double theta, uint64_t seed) {
+  sim::ZipfGenerator zipf(pages, theta, seed);
+  std::vector<uint64_t> trace;
+  trace.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    trace.push_back(zipf.Next());
+  }
+  return trace;
+}
+
+std::vector<uint64_t> StridedScan(uint64_t pages, uint64_t stride, size_t count) {
+  std::vector<uint64_t> trace;
+  trace.reserve(count);
+  uint64_t p = 0;
+  for (size_t i = 0; i < count; ++i) {
+    trace.push_back(p % pages);
+    p += stride;
+  }
+  return trace;
+}
+
+}  // namespace hipec::workloads

@@ -1,0 +1,29 @@
+// Synthetic page-reference trace generators for tests and ablation benches.
+#ifndef HIPEC_WORKLOADS_ACCESS_PATTERNS_H_
+#define HIPEC_WORKLOADS_ACCESS_PATTERNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace hipec::workloads {
+
+// 0, 1, ..., pages-1.
+std::vector<uint64_t> SequentialScan(uint64_t pages);
+
+// `loops` repetitions of a sequential scan — the nested-loops join pattern.
+std::vector<uint64_t> CyclicScan(uint64_t pages, int loops);
+
+// `count` uniform random references over `pages`.
+std::vector<uint64_t> UniformRandom(uint64_t pages, size_t count, uint64_t seed);
+
+// `count` Zipf-skewed references (database-index-like hot set).
+std::vector<uint64_t> ZipfTrace(uint64_t pages, size_t count, double theta, uint64_t seed);
+
+// Strided sweep: 0, s, 2s, ... wrapping over `pages`, `count` references (matrix-column walk).
+std::vector<uint64_t> StridedScan(uint64_t pages, uint64_t stride, size_t count);
+
+}  // namespace hipec::workloads
+
+#endif  // HIPEC_WORKLOADS_ACCESS_PATTERNS_H_

@@ -1,0 +1,224 @@
+#include "workloads/aim_suite.h"
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "disk/disk_model.h"
+#include "sim/check.h"
+#include "sim/cost_model.h"
+#include "sim/random.h"
+
+namespace hipec::workloads {
+namespace {
+
+// A single-server FIFO resource (the CPU, the disk) on the virtual clock.
+class Resource {
+ public:
+  explicit Resource(sim::VirtualClock* clock) : clock_(clock) {}
+
+  void Submit(sim::Nanos duration, std::function<void()> done) {
+    queue_.emplace_back(duration, std::move(done));
+    MaybeStart();
+  }
+
+  sim::Nanos busy_ns() const { return busy_ns_; }
+
+ private:
+  void MaybeStart() {
+    if (serving_ || queue_.empty()) {
+      return;
+    }
+    serving_ = true;
+    auto [duration, done] = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ns_ += duration;
+    clock_->ScheduleAfter(duration, [this, done = std::move(done)] {
+      serving_ = false;
+      done();
+      MaybeStart();
+    });
+  }
+
+  sim::VirtualClock* clock_;
+  bool serving_ = false;
+  std::deque<std::pair<sim::Nanos, std::function<void()>>> queue_;
+  sim::Nanos busy_ns_ = 0;
+};
+
+// The shared frame pool: per-user residency under global FIFO replacement. Exact counts, no
+// per-page bookkeeping — AIM only needs the fault *rate* under pressure.
+class SharedPool {
+ public:
+  SharedPool(size_t capacity, size_t working_set) : capacity_(capacity), ws_(working_set) {}
+
+  // One page reference by `user`; returns true on a page fault.
+  bool Touch(int user, sim::Rng& rng) {
+    if (static_cast<size_t>(user) >= resident_.size()) {
+      resident_.resize(static_cast<size_t>(user) + 1, 0);
+    }
+    double hit_probability =
+        static_cast<double>(resident_[static_cast<size_t>(user)]) / static_cast<double>(ws_);
+    if (rng.Uniform() < hit_probability) {
+      return false;
+    }
+    // Fault: take a frame, evicting the globally oldest-loaded frame when full.
+    if (owners_.size() >= capacity_) {
+      int victim_owner = owners_.front();
+      owners_.pop_front();
+      --resident_[static_cast<size_t>(victim_owner)];
+    }
+    owners_.push_back(user);
+    ++resident_[static_cast<size_t>(user)];
+    return true;
+  }
+
+ private:
+  size_t capacity_;
+  size_t ws_;
+  std::vector<size_t> resident_;
+  std::deque<int> owners_;  // frame load order; entry = owning user
+};
+
+struct AimSim {
+  AimSim(const AimConfig& config)
+      : config_(config),
+        cpu_(&clock_),
+        disk_resource_(&clock_),
+        disk_model_(&clock_, disk::DiskParams::Era1994(), config.seed ^ 0xD15C),
+        pool_(config.memory_frames, config.working_set_pages) {}
+
+  void Run(AimResult* out) {
+    for (int u = 0; u < config_.users; ++u) {
+      users_.push_back(std::make_unique<User>(User{
+          sim::Rng(config_.seed * 7919 + static_cast<uint64_t>(u)), 0}));
+      // Stagger starts slightly so users do not run in lockstep.
+      int user = u;
+      clock_.ScheduleAfter(static_cast<sim::Nanos>(u) * 977 * sim::kMicrosecond,
+                           [this, user] { NextOp(user); });
+    }
+    if (config_.hipec_kernel) {
+      ScheduleChecker(costs_.checker_wakeup_min_ns);
+    }
+    clock_.AdvanceTo(config_.duration);
+
+    out->jobs_completed = jobs_completed_;
+    out->jobs_per_minute = static_cast<double>(jobs_completed_) /
+                           (static_cast<double>(config_.duration) / (60.0 * sim::kSecond));
+    out->page_faults = page_faults_;
+    out->checker_wakeups = checker_wakeups_;
+    out->cpu_utilization =
+        static_cast<double>(cpu_.busy_ns()) / static_cast<double>(config_.duration);
+    out->disk_utilization =
+        static_cast<double>(disk_resource_.busy_ns()) / static_cast<double>(config_.duration);
+  }
+
+ private:
+  struct User {
+    sim::Rng rng;
+    int ops_done;
+  };
+
+  // Tunables for the job mix (see aim_suite.h for how the shape emerges).
+  static constexpr sim::Nanos kComputeOpNs = 8 * sim::kMillisecond;
+  static constexpr sim::Nanos kDiskSetupNs = 500 * sim::kMicrosecond;
+  static constexpr sim::Nanos kMemoryLoopNs = 700 * sim::kMicrosecond;
+  static constexpr sim::Nanos kThinkNs = 16 * sim::kMillisecond;
+  static constexpr int kTouchesPerMemoryOp = 60;
+
+  void ScheduleChecker(sim::Nanos interval) {
+    if (clock_.now() >= config_.duration) {
+      return;
+    }
+    clock_.ScheduleAfter(interval, [this, interval] {
+      ++checker_wakeups_;
+      // The checker steals CPU; with no specific applications it finds nothing and its
+      // interval doubles toward the 8 s cap (§4.3.3).
+      cpu_.Submit(costs_.checker_wakeup_ns, [] {});
+      ScheduleChecker(std::min(interval * 2, costs_.checker_wakeup_max_ns));
+    });
+  }
+
+  void NextOp(int user) {
+    if (clock_.now() >= config_.duration) {
+      return;
+    }
+    User& u = *users_[static_cast<size_t>(user)];
+    if (u.ops_done >= config_.ops_per_job) {
+      u.ops_done = 0;
+      ++jobs_completed_;
+    }
+    ++u.ops_done;
+
+    const WorkloadMix& mix = config_.mix;
+    double total = mix.compute_weight + mix.disk_weight + mix.memory_weight;
+    double draw = u.rng.Uniform() * total;
+    auto think_then_next = [this, user] {
+      clock_.ScheduleAfter(kThinkNs, [this, user] { NextOp(user); });
+    };
+
+    if (draw < mix.compute_weight) {
+      cpu_.Submit(kComputeOpNs, think_then_next);
+      return;
+    }
+    if (draw < mix.compute_weight + mix.disk_weight) {
+      cpu_.Submit(kDiskSetupNs, [this, user, think_then_next] {
+        sim::Nanos service = disk_model_.ServiceTimeNs(users_[static_cast<size_t>(user)]
+                                                           ->rng.Below(1'000'000));
+        disk_resource_.Submit(service, think_then_next);
+      });
+      return;
+    }
+    // Memory operation: touch pages of the user's working set; misses cost fault handling on
+    // the CPU plus disk reads.
+    User& usr = *users_[static_cast<size_t>(user)];
+    int misses = 0;
+    for (int i = 0; i < kTouchesPerMemoryOp; ++i) {
+      if (pool_.Touch(user, usr.rng)) {
+        ++misses;
+      }
+    }
+    page_faults_ += misses;
+    sim::Nanos cpu_cost =
+        kMemoryLoopNs + static_cast<sim::Nanos>(kTouchesPerMemoryOp) * costs_.memory_access_ns +
+        static_cast<sim::Nanos>(misses) *
+            (costs_.fault_base_ns +
+             (config_.hipec_kernel ? costs_.hipec_region_check_ns : 0));
+    if (misses == 0) {
+      cpu_.Submit(cpu_cost, think_then_next);
+      return;
+    }
+    int remaining = misses;
+    sim::Nanos disk_cost = 0;
+    for (int i = 0; i < remaining; ++i) {
+      disk_cost += disk_model_.ServiceTimeNs(usr.rng.Below(1'000'000));
+    }
+    cpu_.Submit(cpu_cost, [this, disk_cost, think_then_next] {
+      disk_resource_.Submit(disk_cost, think_then_next);
+    });
+  }
+
+  AimConfig config_;
+  sim::VirtualClock clock_;
+  sim::CostModel costs_;
+  Resource cpu_;
+  Resource disk_resource_;
+  disk::DiskModel disk_model_;
+  SharedPool pool_;
+  std::vector<std::unique_ptr<User>> users_;
+  int64_t jobs_completed_ = 0;
+  int64_t page_faults_ = 0;
+  int64_t checker_wakeups_ = 0;
+};
+
+}  // namespace
+
+AimResult RunAim(const AimConfig& config) {
+  HIPEC_CHECK(config.users > 0);
+  AimResult result;
+  AimSim(config).Run(&result);
+  return result;
+}
+
+}  // namespace hipec::workloads

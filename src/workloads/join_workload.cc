@@ -1,0 +1,110 @@
+#include "workloads/join_workload.h"
+
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "policies/oracle.h"
+#include "policies/policies.h"
+#include "sim/check.h"
+
+namespace hipec::workloads {
+namespace {
+
+using mach::kPageSize;
+
+mach::KernelParams JoinMachine(const JoinConfig& config) {
+  mach::KernelParams params;
+  // 64 MB machine; reserve everything beyond MSize + slack so the effective pool for the
+  // outer table matches the paper's 40 MB budget on both kernels.
+  params.total_frames = 16384;
+  uint64_t msize_frames = static_cast<uint64_t>(config.memory_bytes) >> mach::kPageShift;
+  uint64_t slack = 256;  // inner table, command buffer, manager reserve, daemon headroom
+  HIPEC_CHECK(msize_frames + slack < params.total_frames);
+  params.kernel_reserved_frames = params.total_frames - msize_frames - slack;
+  params.pageout.free_target = 64;
+  params.pageout.free_min = 16;
+  params.pageout.inactive_target = 128;
+  params.hipec_build = config.mode != JoinMode::kMachDefault;
+  if (config.flash_backing) {
+    params.disk = disk::DiskParams::Flash1994();
+  }
+  params.seed = config.seed;
+  return params;
+}
+
+}  // namespace
+
+JoinResult RunJoin(const JoinConfig& config) {
+  JoinResult result;
+  mach::KernelParams params = JoinMachine(config);
+  mach::Kernel kernel(params);
+
+  const int loops = static_cast<int>(config.inner_bytes / config.tuple_bytes);  // 64 scans
+  const int64_t tuples_per_page = static_cast<int64_t>(kPageSize) / config.tuple_bytes;
+  const uint64_t outer_pages = static_cast<uint64_t>(config.outer_bytes) >> mach::kPageShift;
+
+  result.analytic_faults =
+      config.mode == JoinMode::kHipecMru
+          ? policies::JoinFaultsMru(config.outer_bytes, config.memory_bytes, loops)
+          : policies::JoinFaultsLru(config.outer_bytes, config.memory_bytes, loops);
+
+  mach::Task* task = kernel.CreateTask("join");
+
+  // The pinned 4 KB inner table.
+  uint64_t inner_addr = kernel.VmAllocate(task, static_cast<uint64_t>(config.inner_bytes));
+  kernel.VmWire(task, inner_addr, static_cast<uint64_t>(config.inner_bytes));
+
+  // The memory-mapped outer table.
+  mach::VmObject* outer = kernel.CreateFileObject("outer_table", config.outer_bytes);
+
+  std::unique_ptr<core::HipecEngine> engine;
+  uint64_t outer_addr = 0;
+  if (config.mode == JoinMode::kMachDefault) {
+    outer_addr = kernel.VmMapFile(task, outer);
+  } else {
+    // The paper grants the join its full 40 MB request on a 64 MB machine, which exceeds a
+    // 50% partition_burst; the experiment evidently raised the watermark, so we do too.
+    engine = std::make_unique<core::HipecEngine>(&kernel, core::FrameManagerConfig{0.99, 64});
+    core::PolicyProgram program;
+    switch (config.mode) {
+      case JoinMode::kHipecMru:
+        // The simple-command MRU (DeQueue tail): exact for a sequential scan and O(1).
+        program = policies::MruPolicy(policies::CommandStyle::kSimple);
+        break;
+      case JoinMode::kHipecLru:
+        program = policies::LruPolicy(policies::CommandStyle::kSimple);
+        break;
+      default:
+        program = policies::FifoPolicy(policies::CommandStyle::kSimple);
+        break;
+    }
+    core::HipecOptions options;
+    options.min_frames = static_cast<size_t>(config.memory_bytes >> mach::kPageShift);
+    core::HipecRegion region = engine->VmMapHipec(task, outer, program, options);
+    HIPEC_CHECK_MSG(region.ok, "join: HiPEC registration failed: " << region.error);
+    outer_addr = region.addr;
+  }
+
+  sim::Nanos start = kernel.clock().now();
+  int64_t faults_before = kernel.counters().Get("kernel.page_faults");
+  int64_t reads_before = kernel.disk().counters().Get("disk.reads");
+
+  // One scan of the outer table per inner tuple. Accesses are modelled per outer *page*:
+  // the paging behaviour of 64 tuple touches on one page equals one touch, and the per-tuple
+  // join computation is charged in bulk.
+  for (int loop = 0; loop < loops && !task->terminated(); ++loop) {
+    for (uint64_t p = 0; p < outer_pages && !task->terminated(); ++p) {
+      kernel.Touch(task, outer_addr + p * kPageSize, /*is_write=*/false);
+      kernel.clock().Advance(tuples_per_page * config.tuple_join_ns);
+    }
+  }
+
+  result.elapsed = kernel.clock().now() - start;
+  result.minutes = static_cast<double>(result.elapsed) / (60.0 * sim::kSecond);
+  result.page_faults = kernel.counters().Get("kernel.page_faults") - faults_before;
+  result.disk_reads = kernel.disk().counters().Get("disk.reads") - reads_before;
+  result.terminated = task->terminated();
+  result.termination_reason = task->termination_reason();
+  return result;
+}
+
+}  // namespace hipec::workloads

@@ -1,0 +1,54 @@
+// The nested-loops join workload of §5.3 (Figure 6).
+//
+// A 4 KB inner table (64-byte tuples) is pinned in memory; the outer table (20-60 MB of
+// 64-byte tuples, memory-mapped from disk) is scanned once per inner tuple — Loop = 64 scans.
+// The output table is "dumped immediately", so only the outer table's paging matters. With a
+// 40 MB frame budget, an LRU-like policy thrashes cyclically on every scan once the outer
+// table exceeds memory, while MRU under HiPEC faults only on the part that does not fit.
+#ifndef HIPEC_WORKLOADS_JOIN_WORKLOAD_H_
+#define HIPEC_WORKLOADS_JOIN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/clock.h"
+
+namespace hipec::workloads {
+
+enum class JoinMode {
+  kMachDefault,  // unmodified kernel, global FIFO-second-chance ("LRU-like") replacement
+  kHipecMru,     // HiPEC with the MRU policy (the paper's solution)
+  kHipecLru,     // HiPEC with an explicit LRU policy (ablation)
+  kHipecFifo,    // HiPEC with plain FIFO (ablation)
+};
+
+struct JoinConfig {
+  int64_t outer_bytes = 20 * 1024 * 1024;
+  int64_t inner_bytes = 4096;
+  int64_t tuple_bytes = 64;
+  // MSize: the frame budget for the outer table (the paper pins this at 40 MB).
+  int64_t memory_bytes = 40 * 1024 * 1024;
+  JoinMode mode = JoinMode::kMachDefault;
+  // Computation per tuple-pair join.
+  sim::Nanos tuple_join_ns = 400;
+  // Back the tables with flash storage instead of a mechanical disk (the §6 "new hardware"
+  // extension): faults become ~16x cheaper, shrinking — but not closing — the policy gap.
+  bool flash_backing = false;
+  uint64_t seed = 1994;
+};
+
+struct JoinResult {
+  sim::Nanos elapsed = 0;
+  double minutes = 0.0;
+  int64_t page_faults = 0;
+  int64_t disk_reads = 0;
+  int64_t analytic_faults = 0;  // the paper's PF_l / PF_m formula for this configuration
+  bool terminated = false;
+  std::string termination_reason;
+};
+
+JoinResult RunJoin(const JoinConfig& config);
+
+}  // namespace hipec::workloads
+
+#endif  // HIPEC_WORKLOADS_JOIN_WORKLOAD_H_

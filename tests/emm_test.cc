@@ -1,0 +1,138 @@
+// Tests for the external memory management substrate: ports, pager message traffic, the
+// default/file pagers, and HiPEC layered over pager-backed objects.
+#include <gtest/gtest.h>
+
+#include "hipec/engine.h"
+#include "mach/emm.h"
+#include "mach/ipc.h"
+#include "mach/kernel.h"
+#include "policies/policies.h"
+
+namespace hipec::mach {
+namespace {
+
+using mach::kPageSize;
+
+KernelParams SmallParams() {
+  KernelParams params;
+  params.total_frames = 512;
+  params.kernel_reserved_frames = 64;
+  params.pageout.free_target = 32;
+  params.pageout.free_min = 8;
+  params.pageout.inactive_target = 96;
+  return params;
+}
+
+TEST(IpcPortTest, FifoDelivery) {
+  IpcPort port("p");
+  port.Send(IpcMessage{IpcMessage::Id::kMemoryObjectDataRequest, 1, 100, true});
+  port.Send(IpcMessage{IpcMessage::Id::kMemoryObjectDataWrite, 2, 200, true});
+  EXPECT_EQ(port.pending(), 2u);
+  IpcMessage m;
+  ASSERT_TRUE(port.TryReceive(&m));
+  EXPECT_EQ(m.id, IpcMessage::Id::kMemoryObjectDataRequest);
+  EXPECT_EQ(m.object_id, 1u);
+  ASSERT_TRUE(port.TryReceive(&m));
+  EXPECT_EQ(m.offset, 200u);
+  EXPECT_FALSE(port.TryReceive(&m));
+  EXPECT_EQ(port.counters().Get("port.sends"), 2);
+  EXPECT_EQ(port.counters().Get("port.receives"), 2);
+}
+
+TEST(EmmTest, FilePagerServicesEveryFill) {
+  Kernel kernel(SmallParams());
+  FilePager pager(&kernel);
+  Task* task = kernel.CreateTask("t");
+  VmObject* file = kernel.CreateFileObject("data", 16 * kPageSize);
+  kernel.AttachPager(file, &pager);
+  uint64_t addr = kernel.VmMapFile(task, file);
+
+  EXPECT_TRUE(kernel.TouchRange(task, addr, 16 * kPageSize, false));
+  EXPECT_EQ(pager.counters().Get("pager.data_requests"), 16);
+  EXPECT_EQ(kernel.counters().Get("kernel.pager_fills"), 16);
+  EXPECT_EQ(kernel.disk().counters().Get("disk.reads"), 16);  // the pager did the reads
+}
+
+TEST(EmmTest, DefaultPagerOnlyTouchedAfterPageout) {
+  Kernel kernel(SmallParams());
+  DefaultPager pager(&kernel);
+  Task* task = kernel.CreateTask("t");
+  uint64_t addr = kernel.VmAllocate(task, 600 * kPageSize);
+  VmMapEntry* entry = task->map().Lookup(addr);
+  kernel.AttachPager(entry->object, &pager);
+
+  // First-touch zero fills never contact the pager...
+  EXPECT_TRUE(kernel.TouchRange(task, addr, 600 * kPageSize, true));
+  EXPECT_EQ(pager.counters().Get("pager.data_requests"), 0);
+  // ...but evictions of dirty pages went to it as data_write messages...
+  EXPECT_GT(pager.counters().Get("pager.data_writes"), 0);
+  // ...and refaulting an evicted page asks it for the data back.
+  EXPECT_TRUE(kernel.Touch(task, addr, false));
+  EXPECT_GT(pager.counters().Get("pager.data_requests"), 0);
+}
+
+TEST(EmmTest, PagerFillCostsOneIpcRoundTripPlusService) {
+  // Same single-fill on two kernels; the difference must be exactly the IPC round trip plus
+  // the pager's user-level compute (the disk read happens either way and uses the same
+  // deterministic service sequence).
+  auto run = [](bool with_pager) {
+    Kernel kernel(SmallParams());
+    FilePager pager(&kernel);
+    Task* task = kernel.CreateTask("t");
+    VmObject* file = kernel.CreateFileObject("data", 4 * kPageSize);
+    if (with_pager) {
+      kernel.AttachPager(file, &pager);
+    }
+    uint64_t addr = kernel.VmMapFile(task, file);
+    sim::Nanos before = kernel.clock().now();
+    kernel.Touch(task, addr, false);
+    return kernel.clock().now() - before;
+  };
+  sim::Nanos direct = run(false);
+  sim::Nanos paged = run(true);
+  sim::CostModel costs;
+  EXPECT_EQ(paged - direct, costs.null_ipc_ns + 15 * sim::kMicrosecond);
+}
+
+TEST(EmmTest, TerminateSentOnDeallocate) {
+  Kernel kernel(SmallParams());
+  FilePager pager(&kernel);
+  Task* task = kernel.CreateTask("t");
+  VmObject* file = kernel.CreateFileObject("data", 4 * kPageSize);
+  kernel.AttachPager(file, &pager);
+  uint64_t addr = kernel.VmMapFile(task, file);
+  EXPECT_TRUE(kernel.Touch(task, addr, false));
+  kernel.VmDeallocate(task, addr);
+  EXPECT_EQ(pager.counters().Get("pager.terminates"), 1);
+  FrameAccounting acc = kernel.ComputeFrameAccounting();
+  EXPECT_EQ(acc.unaccounted, 0u);
+}
+
+TEST(EmmTest, HipecPolicyOverPagerBackedObject) {
+  // The paper's configuration: HiPEC controls the replacement policy of a region whose data
+  // moves through the external pager interface.
+  KernelParams params = SmallParams();
+  params.hipec_build = true;
+  Kernel kernel(params);
+  core::HipecEngine engine(&kernel);
+  FilePager pager(&kernel);
+  Task* task = kernel.CreateTask("db");
+  VmObject* table = kernel.CreateFileObject("table", 64 * kPageSize);
+  kernel.AttachPager(table, &pager);
+
+  core::HipecOptions options;
+  options.min_frames = 32;
+  core::HipecRegion region = engine.VmMapHipec(task, table, policies::MruPolicy(), options);
+  ASSERT_TRUE(region.ok) << region.error;
+  // Two sweeps over 64 pages through 32 frames: MRU faults 64 + (64-32+1).
+  EXPECT_TRUE(kernel.TouchRange(task, region.addr, 64 * kPageSize, false));
+  EXPECT_TRUE(kernel.TouchRange(task, region.addr, 64 * kPageSize, false));
+  EXPECT_FALSE(task->terminated()) << task->termination_reason();
+  EXPECT_EQ(pager.counters().Get("pager.data_requests"),
+            engine.counters().Get("engine.faults_handled"));
+  FrameAccounting acc = kernel.ComputeFrameAccounting();
+  EXPECT_EQ(acc.unaccounted, 0u);
+}
+
+}  // namespace
+}  // namespace hipec::mach

@@ -1,0 +1,384 @@
+// Tests for the §6 future-work extensions: the Migrate and Unlink commands, strict frame
+// accounting + leaked-frame recovery, the adaptive partition_burst, and flash backing.
+#include <gtest/gtest.h>
+
+#include "hipec/builder.h"
+#include "hipec/engine.h"
+#include "lang/compiler.h"
+#include "mach/kernel.h"
+#include "policies/policies.h"
+#include "workloads/join_workload.h"
+
+namespace hipec::core {
+namespace {
+
+namespace ops = std_ops;
+using mach::kPageSize;
+
+mach::KernelParams SmallParams() {
+  mach::KernelParams params;
+  params.total_frames = 1024;
+  params.kernel_reserved_frames = 128;
+  params.hipec_build = true;
+  return params;
+}
+
+PolicyProgram WithReclaim(std::vector<Instruction> fault_commands) {
+  PolicyProgram program;
+  program.SetEvent(kEventPageFault, fault_commands);
+  program.SetEvent(kEventReclaimFrame, policies::StandardReclaimEvent());
+  return program;
+}
+
+void ExpectConservation(mach::Kernel& kernel) {
+  mach::FrameAccounting acc = kernel.ComputeFrameAccounting();
+  EXPECT_EQ(acc.unaccounted, 0u);
+  EXPECT_EQ(acc.Sum(), acc.total);
+}
+
+// ---------------------------------------------------------------- Migrate
+
+struct MigrationSetup {
+  mach::Kernel kernel{SmallParams()};
+  HipecEngine engine{&kernel};
+  mach::Task* sender = nullptr;
+  mach::Task* receiver = nullptr;
+  HipecRegion sender_region;
+  HipecRegion receiver_region;
+
+  // `target_op` (a user int at kUserBase) holds the migration target id.
+  explicit MigrationSetup(bool receiver_accepts) {
+    sender = kernel.CreateTask("sender");
+    receiver = kernel.CreateTask("receiver");
+
+    HipecOptions receiver_options;
+    receiver_options.min_frames = 8;
+    receiver_options.accepts_migration = receiver_accepts;
+    receiver_region = engine.VmAllocateHipec(receiver, 16 * kPageSize,
+                                             policies::FifoSecondChancePolicy(),
+                                             receiver_options);
+    EXPECT_TRUE(receiver_region.ok) << receiver_region.error;
+
+    // Sender policy: take two frames off the free list, migrate one to the partner (id in
+    // the user int operand), return the other.
+    EventBuilder b;
+    auto keep = b.NewLabel();
+    b.DeQueueHead(ops::kPage, ops::kFreeQueue);
+    b.DeQueueHead(ops::kUserBase + 1, ops::kFreeQueue);  // user page var
+    b.Migrate(ops::kUserBase + 1, ops::kUserBase);       // target id in user int
+    b.JumpIfFalse(keep);
+    b.Return(ops::kPage);
+    b.Bind(keep);
+    b.EnQueueTail(ops::kUserBase + 1, ops::kFreeQueue);  // migration refused: keep the frame
+    b.Return(ops::kPage);
+
+    HipecOptions sender_options;
+    sender_options.min_frames = 16;
+    sender_options.user_int_count = 1;   // kUserBase: the partner id
+    sender_options.user_page_count = 1;  // kUserBase+1: the frame being migrated
+    sender_region = engine.VmAllocateHipec(sender, 16 * kPageSize, WithReclaim(b.Build()),
+                                           sender_options);
+    EXPECT_TRUE(sender_region.ok) << sender_region.error;
+    sender_region.container->operands().WriteInt(
+        ops::kUserBase, static_cast<int64_t>(receiver_region.container->id()));
+  }
+};
+
+TEST(MigrateTest, MovesFrameBetweenContainers) {
+  MigrationSetup setup(/*receiver_accepts=*/true);
+  size_t receiver_before = setup.receiver_region.container->allocated_frames;
+  size_t specific_before = setup.engine.manager().total_specific();
+
+  EXPECT_TRUE(setup.kernel.Touch(setup.sender, setup.sender_region.addr, false));
+
+  EXPECT_EQ(setup.sender_region.container->allocated_frames, 15u);
+  EXPECT_EQ(setup.receiver_region.container->allocated_frames, receiver_before + 1);
+  EXPECT_EQ(setup.receiver_region.container->free_q().count(), receiver_before + 1);
+  // Migration moves frames within the specific partition.
+  EXPECT_EQ(setup.engine.manager().total_specific(), specific_before);
+  EXPECT_EQ(setup.engine.manager().counters().Get("manager.migrations"), 1);
+  ExpectConservation(setup.kernel);
+}
+
+TEST(MigrateTest, RejectedWhenTargetDoesNotAccept) {
+  MigrationSetup setup(/*receiver_accepts=*/false);
+  EXPECT_TRUE(setup.kernel.Touch(setup.sender, setup.sender_region.addr, false));
+  EXPECT_EQ(setup.sender_region.container->allocated_frames, 16u);  // frame kept
+  EXPECT_EQ(setup.engine.manager().counters().Get("manager.migrations_rejected"), 1);
+  EXPECT_FALSE(setup.sender->terminated());
+  ExpectConservation(setup.kernel);
+}
+
+TEST(MigrateTest, RejectedForUnknownTargetId) {
+  MigrationSetup setup(/*receiver_accepts=*/true);
+  setup.sender_region.container->operands().WriteInt(ops::kUserBase, 424242);
+  EXPECT_TRUE(setup.kernel.Touch(setup.sender, setup.sender_region.addr, false));
+  EXPECT_EQ(setup.engine.manager().counters().Get("manager.migrations_rejected"), 1);
+  EXPECT_EQ(setup.sender_region.container->allocated_frames, 16u);
+}
+
+TEST(MigrateTest, SelfMigrationRejected) {
+  MigrationSetup setup(/*receiver_accepts=*/true);
+  setup.sender_region.container->operands().WriteInt(
+      ops::kUserBase, static_cast<int64_t>(setup.sender_region.container->id()));
+  EXPECT_TRUE(setup.kernel.Touch(setup.sender, setup.sender_region.addr, false));
+  EXPECT_EQ(setup.engine.manager().counters().Get("manager.migrations_rejected"), 1);
+}
+
+TEST(MigrateTest, PseudoCodeMigrateBuiltin) {
+  mach::Kernel kernel(SmallParams());
+  HipecEngine engine(&kernel);
+  mach::Task* receiver_task = kernel.CreateTask("receiver");
+  HipecOptions receiver_options;
+  receiver_options.min_frames = 8;
+  receiver_options.accepts_migration = true;
+  HipecRegion receiver = engine.VmAllocateHipec(receiver_task, 16 * kPageSize,
+                                                policies::FifoSecondChancePolicy(),
+                                                receiver_options);
+  ASSERT_TRUE(receiver.ok) << receiver.error;
+
+  lang::CompiledPolicy compiled = lang::CompilePolicy(R"(
+    Event PageFault() {
+      page = de_queue_head(_free_queue)
+      spare = de_queue_head(_free_queue)
+      if (!migrate(spare, partner))
+        en_queue_tail(_free_queue, spare)
+      return(page)
+    }
+    Event ReclaimFrame() { return }
+  )");
+  mach::Task* sender_task = kernel.CreateTask("sender");
+  HipecOptions options = compiled.options;
+  options.min_frames = 16;
+  HipecRegion sender = engine.VmAllocateHipec(sender_task, 16 * kPageSize, compiled.program,
+                                              options);
+  ASSERT_TRUE(sender.ok) << sender.error;
+  sender.container->operands().WriteInt(compiled.symbols.at("partner"),
+                                        static_cast<int64_t>(receiver.container->id()));
+
+  EXPECT_TRUE(kernel.Touch(sender_task, sender.addr, false));
+  EXPECT_EQ(engine.manager().counters().Get("manager.migrations"), 1);
+  EXPECT_EQ(receiver.container->allocated_frames, 9u);
+  ExpectConservation(kernel);
+}
+
+// ---------------------------------------------------------------- Unlink
+
+TEST(UnlinkTest, MovesPageBetweenQueuesViaPseudoCode) {
+  mach::Kernel kernel(SmallParams());
+  HipecEngine engine(&kernel);
+  mach::Task* task = kernel.CreateTask("app");
+  lang::CompiledPolicy compiled = lang::CompilePolicy(R"(
+    queue shelf
+    Event PageFault() {
+      page = de_queue_head(_free_queue)
+      en_queue_tail(_active_queue, page)
+      unlink(page)
+      en_queue_tail(shelf, page)
+      page = de_queue_head(shelf)
+      return(page)
+    }
+    Event ReclaimFrame() { return }
+  )");
+  HipecOptions options = compiled.options;
+  options.min_frames = 8;
+  HipecRegion region = engine.VmAllocateHipec(task, 16 * kPageSize, compiled.program, options);
+  ASSERT_TRUE(region.ok) << region.error;
+  EXPECT_TRUE(kernel.Touch(task, region.addr, false));
+  EXPECT_FALSE(task->terminated()) << task->termination_reason();
+  EXPECT_EQ(region.container->active_q().count(), 1u);  // engine re-enqueued the installed page
+  ExpectConservation(kernel);
+}
+
+TEST(UnlinkTest, UnlinkOfUnqueuedPageIsPolicyError) {
+  mach::Kernel kernel(SmallParams());
+  HipecEngine engine(&kernel);
+  mach::Task* task = kernel.CreateTask("app");
+  EventBuilder b;
+  b.DeQueueHead(ops::kPage, ops::kFreeQueue);
+  b.Unlink(ops::kPage);  // already off-queue: error
+  b.Return(ops::kPage);
+  HipecOptions options;
+  options.min_frames = 8;
+  HipecRegion region =
+      engine.VmAllocateHipec(task, 16 * kPageSize, WithReclaim(b.Build()), options);
+  ASSERT_TRUE(region.ok) << region.error;
+  EXPECT_FALSE(kernel.Touch(task, region.addr, false));
+  EXPECT_TRUE(task->terminated());
+  EXPECT_NE(task->termination_reason().find("not on a queue"), std::string::npos);
+  ExpectConservation(kernel);
+}
+
+// ---------------------------------------------------------------- strict accounting
+
+PolicyProgram LeakyPolicy() {
+  // Dequeues two frames into the same page variable: the first becomes unreachable.
+  EventBuilder b;
+  b.DeQueueHead(ops::kPage, ops::kFreeQueue);
+  b.DeQueueHead(ops::kPage, ops::kFreeQueue);
+  b.Return(ops::kPage);
+  return WithReclaim(b.Build());
+}
+
+TEST(StrictAccountingTest, LeakDetectedAndApplicationTerminated) {
+  mach::Kernel kernel(SmallParams());
+  HipecEngine engine(&kernel);
+  mach::Task* task = kernel.CreateTask("leaky");
+  HipecOptions options;
+  options.min_frames = 8;
+  options.strict_accounting = true;
+  HipecRegion region = engine.VmAllocateHipec(task, 16 * kPageSize, LeakyPolicy(), options);
+  ASSERT_TRUE(region.ok) << region.error;
+  EXPECT_FALSE(kernel.Touch(task, region.addr, false));
+  EXPECT_TRUE(task->terminated());
+  EXPECT_NE(task->termination_reason().find("leaked a frame"), std::string::npos);
+  EXPECT_EQ(engine.counters().Get("engine.leaks_detected"), 1);
+  // The leaked frame was recovered by the teardown sweep.
+  EXPECT_GT(engine.manager().counters().Get("manager.leaked_frames_recovered"), 0);
+  EXPECT_EQ(engine.manager().total_specific(), 0u);
+  ExpectConservation(kernel);
+}
+
+TEST(StrictAccountingTest, WithoutStrictModeLeakRecoveredAtTeardown) {
+  mach::Kernel kernel(SmallParams());
+  HipecEngine engine(&kernel);
+  mach::Task* task = kernel.CreateTask("leaky");
+  HipecOptions options;
+  options.min_frames = 8;
+  HipecRegion region = engine.VmAllocateHipec(task, 16 * kPageSize, LeakyPolicy(), options);
+  ASSERT_TRUE(region.ok) << region.error;
+  // Leaks one frame per fault but keeps running.
+  EXPECT_TRUE(kernel.Touch(task, region.addr, false));
+  EXPECT_TRUE(kernel.Touch(task, region.addr + kPageSize, false));
+  EXPECT_FALSE(task->terminated());
+  kernel.TerminateTask(task, "done");
+  EXPECT_EQ(engine.manager().counters().Get("manager.leaked_frames_recovered"), 2);
+  EXPECT_EQ(engine.manager().total_specific(), 0u);
+  ExpectConservation(kernel);
+}
+
+TEST(StrictAccountingTest, WellBehavedPolicyPasses) {
+  mach::Kernel kernel(SmallParams());
+  HipecEngine engine(&kernel);
+  mach::Task* task = kernel.CreateTask("app");
+  HipecOptions options;
+  options.min_frames = 32;
+  options.free_target = 4;
+  options.inactive_target = 8;
+  options.strict_accounting = true;
+  HipecRegion region = engine.VmAllocateHipec(task, 64 * kPageSize,
+                                              policies::FifoSecondChancePolicy(), options);
+  ASSERT_TRUE(region.ok) << region.error;
+  EXPECT_TRUE(kernel.TouchRange(task, region.addr, 64 * kPageSize, true));
+  EXPECT_FALSE(task->terminated()) << task->termination_reason();
+  EXPECT_EQ(engine.counters().Get("engine.leaks_detected"), 0);
+}
+
+// ---------------------------------------------------------------- adaptive burst
+
+TEST(AdaptiveBurstTest, RaisesUnderSpecificPressure) {
+  mach::Kernel kernel(SmallParams());  // 896 free after boot
+  FrameManagerConfig config;
+  config.partition_burst_fraction = 0.5;  // 448
+  config.adaptive_burst = true;
+  HipecEngine engine(&kernel, config);
+  mach::Task* task = kernel.CreateTask("app");
+  HipecOptions options;
+  options.min_frames = 300;
+  HipecRegion region = engine.VmAllocateHipec(task, 700 * kPageSize,
+                                              policies::FifoSecondChancePolicy(), options);
+  ASSERT_TRUE(region.ok) << region.error;
+
+  size_t initial_burst = engine.manager().partition_burst();
+  // Ask for more than the watermark permits; rejections drive the watermark up until the
+  // request fits. (Adjustments are rate-limited in virtual time, hence the Advance.)
+  int attempts = 0;
+  while (!engine.manager().RequestFrames(region.container, 250, &region.container->free_q())) {
+    kernel.clock().Advance(300 * sim::kMillisecond);
+    if (++attempts > 20) {
+      break;
+    }
+  }
+  EXPECT_LE(attempts, 20);
+  EXPECT_GT(engine.manager().partition_burst(), initial_burst);
+  EXPECT_EQ(region.container->allocated_frames, 550u);
+  EXPECT_GT(engine.manager().counters().Get("manager.burst_raised"), 0);
+}
+
+TEST(AdaptiveBurstTest, LowersUnderNonSpecificPressure) {
+  mach::Kernel kernel(SmallParams());
+  FrameManagerConfig config;
+  config.partition_burst_fraction = 0.7;  // 627
+  config.adaptive_burst = true;
+  HipecEngine engine(&kernel, config);
+  mach::Task* app = kernel.CreateTask("app");
+  HipecOptions options;
+  options.min_frames = 100;
+  HipecRegion region = engine.VmAllocateHipec(app, 700 * kPageSize,
+                                              policies::FifoSecondChancePolicy(), options);
+  ASSERT_TRUE(region.ok) << region.error;
+  ASSERT_TRUE(engine.manager().RequestFrames(region.container, 400, &region.container->free_q()));
+  size_t burst_before = engine.manager().partition_burst();
+
+  // A non-specific hog thrashes the remaining global pool; the daemon's low-memory
+  // notifications drive the watermark down (rate-limited, so sweep a few times).
+  mach::Task* hog = kernel.CreateTask("hog");
+  uint64_t hog_addr = kernel.VmAllocate(hog, 600 * kPageSize);
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_TRUE(kernel.TouchRange(hog, hog_addr, 600 * kPageSize, true));
+    kernel.clock().Advance(300 * sim::kMillisecond);
+  }
+  EXPECT_LT(engine.manager().partition_burst(), burst_before);
+  EXPECT_GT(engine.manager().counters().Get("manager.burst_lowered"), 0);
+  EXPECT_LE(engine.manager().total_specific(), engine.manager().partition_burst());
+  ExpectConservation(kernel);
+}
+
+// ---------------------------------------------------------------- flash backing
+
+TEST(FlashBackingTest, FaultsCheaperButPolicyGapPersists) {
+  constexpr int64_t kMb = 1024 * 1024;
+  workloads::JoinConfig config;
+  // outer = 1.5x memory: the MRU fault reduction is ~3x (see workloads_test.cc for sizing).
+  config.outer_bytes = 6 * kMb;
+  config.memory_bytes = 4 * kMb;
+
+  config.mode = workloads::JoinMode::kMachDefault;
+  workloads::JoinResult disk_lru = workloads::RunJoin(config);
+  config.flash_backing = true;
+  workloads::JoinResult flash_lru = workloads::RunJoin(config);
+  config.mode = workloads::JoinMode::kHipecMru;
+  workloads::JoinResult flash_mru = workloads::RunJoin(config);
+
+  // Flash shrinks the per-fault cost by an order of magnitude...
+  EXPECT_LT(flash_lru.elapsed, disk_lru.elapsed / 5);
+  // ...but the fault-count gap between the policies is device-independent.
+  EXPECT_EQ(flash_lru.page_faults, disk_lru.page_faults);
+  EXPECT_LT(flash_mru.page_faults, flash_lru.page_faults / 2);
+  EXPECT_LT(flash_mru.elapsed, flash_lru.elapsed);
+}
+
+TEST(FlashBackingTest, DeterministicServiceTimes) {
+  sim::VirtualClock clock;
+  disk::DiskModel flash(&clock, disk::DiskParams::Flash1994(), 1);
+  sim::Nanos read1 = flash.ServiceTimeNs(100);
+  sim::Nanos read2 = flash.ServiceTimeNs(999'999);
+  EXPECT_EQ(read1, read2);  // no seek/rotation variance
+  EXPECT_GT(flash.ServiceTimeNs(5, /*is_write=*/true), read1);
+}
+
+// ---------------------------------------------------------------- translator arity errors
+
+TEST(ExtensionLangTest, MigrateAndUnlinkArityErrors) {
+  const char* reclaim = "Event ReclaimFrame() { return }";
+  EXPECT_THROW(lang::CompilePolicy(std::string("Event PageFault() { migrate(page)\nreturn }") +
+                                   reclaim),
+               lang::CompileError);
+  EXPECT_THROW(
+      lang::CompilePolicy(std::string("Event PageFault() { unlink(page, page)\nreturn }") +
+                          reclaim),
+      lang::CompileError);
+}
+
+}  // namespace
+}  // namespace hipec::core

@@ -1,0 +1,258 @@
+// Randomized stress and property tests: many applications (specific and non-specific) doing
+// random operations against one kernel, with the global invariants checked throughout.
+//
+// Invariants exercised (DESIGN.md §5):
+//   1. frame conservation (free + queues + private pools + wired == total)
+//   2. queue sanity (counts match traversal; each page on <= 1 queue)
+//   3. the executor never crashes the "kernel" — worst case is application termination
+//   8. total specific frames never exceed partition_burst after a reclamation round
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hipec/builder.h"
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "policies/policies.h"
+#include "sim/random.h"
+
+namespace hipec::core {
+namespace {
+
+namespace ops = std_ops;
+using mach::kPageSize;
+
+struct App {
+  mach::Task* task = nullptr;
+  HipecRegion region;  // !ok for non-specific apps
+  uint64_t addr = 0;
+  uint64_t pages = 0;
+};
+
+class StressWorld {
+ public:
+  explicit StressWorld(uint64_t seed) : rng_(seed) {
+    mach::KernelParams params;
+    params.total_frames = 2048;
+    params.kernel_reserved_frames = 256;
+    params.pageout.free_target = 32;
+    params.pageout.free_min = 8;
+    params.pageout.inactive_target = 64;
+    params.hipec_build = true;
+    kernel_ = std::make_unique<mach::Kernel>(params);
+    engine_ = std::make_unique<HipecEngine>(kernel_.get(), FrameManagerConfig{0.6, 32});
+  }
+
+  void Step() {
+    switch (rng_.Below(20)) {
+      case 0:
+        SpawnSpecific();
+        break;
+      case 1:
+        SpawnNonSpecific();
+        break;
+      case 2:
+        KillSomeone();
+        break;
+      case 3:
+        RequestMore();
+        break;
+      default:
+        TouchSomething();
+        break;
+    }
+  }
+
+  void CheckInvariants() {
+    mach::FrameAccounting acc = kernel_->ComputeFrameAccounting();
+    ASSERT_EQ(acc.unaccounted, 0u);
+    ASSERT_EQ(acc.Sum(), acc.total);
+    // Queue counts match traversal.
+    auto& daemon = kernel_->daemon();
+    ASSERT_EQ(daemon.free_queue().count(), daemon.free_queue().CountByTraversal());
+    ASSERT_EQ(daemon.active_queue().count(), daemon.active_queue().CountByTraversal());
+    ASSERT_EQ(daemon.inactive_queue().count(), daemon.inactive_queue().CountByTraversal());
+    for (Container* c : engine_->manager().containers()) {
+      ASSERT_EQ(c->free_q().count(), c->free_q().CountByTraversal());
+      ASSERT_EQ(c->active_q().count(), c->active_q().CountByTraversal());
+    }
+    // The burst watermark bounds specific allocations.
+    ASSERT_LE(engine_->manager().total_specific(), engine_->manager().partition_burst());
+  }
+
+  void FinishAll() {
+    for (App& app : apps_) {
+      if (!app.task->terminated()) {
+        kernel_->TerminateTask(app.task, "stress teardown");
+      }
+    }
+    ASSERT_EQ(engine_->manager().total_specific(), 0u);
+  }
+
+  size_t live_apps() const { return apps_.size(); }
+  HipecEngine& engine() { return *engine_; }
+
+ private:
+  PolicyProgram RandomPolicy() {
+    switch (rng_.Below(4)) {
+      case 0:
+        return policies::FifoSecondChancePolicy();
+      case 1:
+        return policies::MruPolicy(policies::CommandStyle::kSimple);
+      case 2:
+        return policies::LruPolicy(policies::CommandStyle::kComplex);
+      default:
+        return policies::FifoPolicy(policies::CommandStyle::kSimple);
+    }
+  }
+
+  void SpawnSpecific() {
+    if (apps_.size() >= 12) {
+      return;
+    }
+    App app;
+    app.task = kernel_->CreateTask("specific");
+    app.pages = 32 + rng_.Below(96);
+    HipecOptions options;
+    options.min_frames = 16 + rng_.Below(64);
+    options.free_target = 4;
+    options.inactive_target = 8;
+    options.strict_accounting = rng_.Chance(0.5);
+    app.region = engine_->VmAllocateHipec(app.task, app.pages * kPageSize, RandomPolicy(),
+                                          options);
+    if (!app.region.ok) {
+      // Admission denied: runs as a non-specific application (the paper's §4.3.1 fallback).
+      app.addr = kernel_->VmAllocate(app.task, app.pages * kPageSize);
+    } else {
+      app.addr = app.region.addr;
+    }
+    apps_.push_back(app);
+  }
+
+  void SpawnNonSpecific() {
+    if (apps_.size() >= 12) {
+      return;
+    }
+    App app;
+    app.task = kernel_->CreateTask("plain");
+    app.pages = 64 + rng_.Below(256);
+    app.addr = kernel_->VmAllocate(app.task, app.pages * kPageSize);
+    apps_.push_back(app);
+  }
+
+  void KillSomeone() {
+    if (apps_.empty()) {
+      return;
+    }
+    size_t i = rng_.Below(apps_.size());
+    kernel_->TerminateTask(apps_[i].task, "stress kill");
+    apps_.erase(apps_.begin() + static_cast<ptrdiff_t>(i));
+  }
+
+  void RequestMore() {
+    for (App& app : apps_) {
+      if (app.region.ok && !app.task->terminated()) {
+        // Grant or reject — either is fine; the invariants must hold regardless.
+        engine_->manager().RequestFrames(app.region.container, 8 + rng_.Below(32),
+                                         &app.region.container->free_q());
+        return;
+      }
+    }
+  }
+
+  void TouchSomething() {
+    if (apps_.empty()) {
+      return;
+    }
+    App& app = apps_[rng_.Below(apps_.size())];
+    if (app.task->terminated()) {
+      return;
+    }
+    for (int i = 0; i < 16; ++i) {
+      uint64_t page = rng_.Below(app.pages);
+      if (!kernel_->Touch(app.task, app.addr + page * kPageSize, rng_.Chance(0.5))) {
+        break;  // terminated mid-burst (policy error etc.) — allowed
+      }
+    }
+  }
+
+  sim::Rng rng_;
+  std::unique_ptr<mach::Kernel> kernel_;
+  std::unique_ptr<HipecEngine> engine_;
+  std::vector<App> apps_;
+};
+
+class StressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StressTest, InvariantsHoldUnderRandomOperations) {
+  StressWorld world(static_cast<uint64_t>(GetParam()) * 0x9E3779B9ULL + 1);
+  for (int step = 0; step < 600; ++step) {
+    world.Step();
+    if (step % 25 == 0) {
+      world.CheckInvariants();
+    }
+  }
+  world.CheckInvariants();
+  world.FinishAll();
+  world.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest, ::testing::Range(1, 13));
+
+// Random *garbage* programs must never corrupt the kernel: either they are rejected
+// statically, or they run and the worst outcome is application termination. Frame
+// conservation holds either way.
+class GarbageProgramTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GarbageProgramTest, GarbagePoliciesCannotCorruptTheKernel) {
+  sim::Rng rng(static_cast<uint64_t>(GetParam()) * 77777ULL + 3);
+  mach::KernelParams params;
+  params.total_frames = 512;
+  params.kernel_reserved_frames = 64;
+  params.hipec_build = true;
+  mach::Kernel kernel(params);
+  HipecEngine engine(&kernel);
+  engine.executor().set_max_commands(100'000);  // keep runaway garbage cheap
+
+  int accepted = 0;
+  for (int round = 0; round < 40; ++round) {
+    PolicyProgram program;
+    for (int event = 0; event < 2; ++event) {
+      std::vector<uint32_t> words{kHipecMagic};
+      size_t n = 1 + rng.Below(12);
+      for (size_t i = 0; i < n; ++i) {
+        // Mostly-plausible garbage: valid opcodes with random operands, plus raw noise.
+        uint32_t word = rng.Chance(0.7)
+                            ? (rng.Below(kOpcodeCount) << 24) |
+                                  static_cast<uint32_t>(rng.Next() & 0x00FF'FFFF)
+                            : static_cast<uint32_t>(rng.Next());
+        words.push_back(word);
+      }
+      words.push_back(Instruction{Opcode::kReturn, 0, 0, 0}.Encode());
+      program.SetEventRaw(event, words);
+    }
+
+    mach::Task* task = kernel.CreateTask("garbage");
+    HipecOptions options;
+    options.min_frames = 8;
+    HipecRegion region = engine.VmAllocateHipec(task, 16 * kPageSize, program, options);
+    if (region.ok) {
+      ++accepted;
+      kernel.Touch(task, region.addr, false);   // may terminate the task; must not throw
+      kernel.Touch(task, region.addr + kPageSize, true);
+    }
+    kernel.TerminateTask(task, "round over");
+
+    mach::FrameAccounting acc = kernel.ComputeFrameAccounting();
+    ASSERT_EQ(acc.unaccounted, 0u);
+    ASSERT_EQ(acc.Sum(), acc.total);
+    ASSERT_EQ(engine.manager().total_specific(), 0u);
+  }
+  // The validator should reject most garbage outright.
+  EXPECT_LT(accepted, 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GarbageProgramTest, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace hipec::core

@@ -1,0 +1,102 @@
+// Tests for the execution tracer and its hooks across the kernel and the HiPEC engine.
+#include <gtest/gtest.h>
+
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "policies/policies.h"
+#include "sim/trace.h"
+
+namespace hipec::sim {
+namespace {
+
+using mach::kPageSize;
+
+TEST(TracerTest, DisabledByDefaultAndFree) {
+  Tracer tracer;
+  tracer.Record(1, TraceCategory::kFault, 0, 1, 2);
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+TEST(TracerTest, RecordsInOrder) {
+  Tracer tracer(8);
+  tracer.Enable();
+  for (uint64_t i = 0; i < 5; ++i) {
+    tracer.Record(static_cast<Nanos>(i * 10), TraceCategory::kFault, 0, i, 0);
+  }
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events.front().a, 0u);
+  EXPECT_EQ(events.back().a, 4u);
+}
+
+TEST(TracerTest, RingBufferKeepsNewest) {
+  Tracer tracer(4);
+  tracer.Enable();
+  for (uint64_t i = 0; i < 10; ++i) {
+    tracer.Record(static_cast<Nanos>(i), TraceCategory::kEviction, 0, i, 0);
+  }
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().a, 6u);  // oldest surviving
+  EXPECT_EQ(events.back().a, 9u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+}
+
+TEST(TracerTest, CategoryFilterAndDump) {
+  Tracer tracer(16);
+  tracer.Enable();
+  tracer.Record(1, TraceCategory::kFault, 0, 1, 0x1000);
+  tracer.Record(2, TraceCategory::kEviction, 1, 7, 3);
+  tracer.Record(3, TraceCategory::kFault, 0, 1, 0x2000);
+  EXPECT_EQ(tracer.Snapshot(TraceCategory::kFault).size(), 2u);
+  EXPECT_EQ(tracer.Snapshot(TraceCategory::kEviction).size(), 1u);
+  std::string dump = tracer.Dump();
+  EXPECT_NE(dump.find("FAULT"), std::string::npos);
+  EXPECT_NE(dump.find("EVICT"), std::string::npos);
+}
+
+TEST(TracerIntegrationTest, KernelAndEngineHooks) {
+  mach::KernelParams params;
+  params.total_frames = 512;
+  params.kernel_reserved_frames = 64;
+  params.hipec_build = true;
+  mach::Kernel kernel(params);
+  kernel.tracer().Enable();
+  core::HipecEngine engine(&kernel);
+  mach::Task* task = kernel.CreateTask("app");
+  core::HipecOptions options;
+  options.min_frames = 16;
+  core::HipecRegion region = engine.VmAllocateHipec(
+      task, 32 * kPageSize, policies::MruPolicy(policies::CommandStyle::kSimple), options);
+  ASSERT_TRUE(region.ok) << region.error;
+
+  // Two sweeps: faults, fills, policy events, evictions all traced.
+  kernel.TouchRange(task, region.addr, 32 * kPageSize, true);
+  kernel.TouchRange(task, region.addr, 32 * kPageSize, true);
+
+  auto& tracer = kernel.tracer();
+  EXPECT_GE(tracer.Snapshot(TraceCategory::kFault).size(), 32u);
+  EXPECT_GE(tracer.Snapshot(TraceCategory::kFill).size(), 32u);
+  EXPECT_GE(tracer.Snapshot(TraceCategory::kPolicy).size(), 32u);
+  EXPECT_GE(tracer.Snapshot(TraceCategory::kEviction).size(), 16u);
+  EXPECT_FALSE(tracer.Snapshot(TraceCategory::kManager).empty());  // the minFrame grant
+
+  // Policy events carry the container id and outcome 0 (Ok).
+  auto policy_events = tracer.Snapshot(TraceCategory::kPolicy);
+  EXPECT_EQ(policy_events.front().a, region.container->id());
+  EXPECT_EQ(policy_events.front().code, 0);
+}
+
+TEST(TracerIntegrationTest, CheckerWakeupsTraced) {
+  mach::KernelParams params;
+  params.hipec_build = true;
+  mach::Kernel kernel(params);
+  kernel.tracer().Enable();
+  core::HipecEngine engine(&kernel);
+  kernel.clock().Advance(5 * kSecond);
+  EXPECT_GE(kernel.tracer().Snapshot(TraceCategory::kChecker).size(), 3u);
+}
+
+}  // namespace
+}  // namespace hipec::sim

@@ -1,0 +1,180 @@
+// Tests for the workload generators, the nested-loops join experiment driver, and the
+// AIM-like multiuser throughput model.
+#include <gtest/gtest.h>
+
+#include "policies/oracle.h"
+#include "workloads/access_patterns.h"
+#include "workloads/aim_suite.h"
+#include "workloads/join_workload.h"
+
+namespace hipec::workloads {
+namespace {
+
+constexpr int64_t kMb = 1024 * 1024;
+
+// ---------------------------------------------------------------- access patterns
+
+TEST(AccessPatternsTest, SequentialAndCyclic) {
+  auto seq = SequentialScan(5);
+  EXPECT_EQ(seq, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+  auto cyc = CyclicScan(3, 2);
+  EXPECT_EQ(cyc, (std::vector<uint64_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(AccessPatternsTest, UniformRandomBounded) {
+  auto trace = UniformRandom(10, 1000, 7);
+  ASSERT_EQ(trace.size(), 1000u);
+  for (uint64_t p : trace) {
+    EXPECT_LT(p, 10u);
+  }
+  EXPECT_EQ(trace, UniformRandom(10, 1000, 7));  // deterministic
+  EXPECT_NE(trace, UniformRandom(10, 1000, 8));
+}
+
+TEST(AccessPatternsTest, ZipfSkew) {
+  auto trace = ZipfTrace(100, 5000, 0.9, 11);
+  size_t hot = 0;
+  for (uint64_t p : trace) {
+    if (p < 10) {
+      ++hot;
+    }
+  }
+  EXPECT_GT(hot, trace.size() / 3);
+}
+
+TEST(AccessPatternsTest, StridedWraps) {
+  auto trace = StridedScan(8, 3, 6);
+  EXPECT_EQ(trace, (std::vector<uint64_t>{0, 3, 6, 1, 4, 7}));
+}
+
+// ---------------------------------------------------------------- join workload
+
+JoinConfig SmallJoin(JoinMode mode, int64_t outer_mb) {
+  JoinConfig config;
+  config.mode = mode;
+  config.outer_bytes = outer_mb * kMb;
+  config.memory_bytes = 1 * kMb;  // 256-frame budget: fast to simulate
+  return config;
+}
+
+TEST(JoinWorkloadTest, FitsInMemoryOnlyColdFaults) {
+  for (JoinMode mode : {JoinMode::kMachDefault, JoinMode::kHipecMru}) {
+    JoinResult result = RunJoin(SmallJoin(mode, 1));
+    EXPECT_FALSE(result.terminated) << result.termination_reason;
+    // One cold scan: 256 pages (give the default kernel a little slack for daemon churn).
+    EXPECT_GE(result.page_faults, 256);
+    EXPECT_LE(result.page_faults, 300);
+  }
+}
+
+TEST(JoinWorkloadTest, MachDefaultThrashesPerTheLruFormula) {
+  JoinResult result = RunJoin(SmallJoin(JoinMode::kMachDefault, 2));
+  EXPECT_FALSE(result.terminated) << result.termination_reason;
+  // PF_l = outer_pages * loops = 512 * 64.
+  EXPECT_EQ(result.analytic_faults, 512 * 64);
+  EXPECT_NEAR(static_cast<double>(result.page_faults),
+              static_cast<double>(result.analytic_faults),
+              0.05 * static_cast<double>(result.analytic_faults));
+}
+
+TEST(JoinWorkloadTest, HipecMruMatchesTheMruFormula) {
+  JoinResult result = RunJoin(SmallJoin(JoinMode::kHipecMru, 2));
+  EXPECT_FALSE(result.terminated) << result.termination_reason;
+  // PF_m = (outer - memory) * (loops-1) / page + outer/page = 256*63 + 512.
+  EXPECT_EQ(result.analytic_faults, 256 * 63 + 512);
+  EXPECT_NEAR(static_cast<double>(result.page_faults),
+              static_cast<double>(result.analytic_faults),
+              0.05 * static_cast<double>(result.analytic_faults));
+}
+
+TEST(JoinWorkloadTest, MruBeatsDefaultBeyondMemorySize) {
+  // PF_m / PF_l ~= (outer - memory) / outer: the MRU win is largest just past the memory
+  // size. outer = 1.5x memory gives a ~3x fault reduction. Use a 4 MB budget so the default
+  // kernel's fixed frame slack (~256 frames) is proportionally irrelevant.
+  JoinConfig config = SmallJoin(JoinMode::kMachDefault, 6);
+  config.memory_bytes = 4 * kMb;
+  JoinResult lru = RunJoin(config);
+  config.mode = JoinMode::kHipecMru;
+  JoinResult mru = RunJoin(config);
+  EXPECT_LT(mru.page_faults, lru.page_faults / 2);
+  EXPECT_LT(mru.elapsed, lru.elapsed / 2);
+}
+
+TEST(JoinWorkloadTest, HipecLruThrashesLikeDefault) {
+  // An explicitly-LRU HiPEC policy is no better than the kernel default (ablation): the win
+  // comes from the *policy*, not from HiPEC itself.
+  JoinResult kernel_default = RunJoin(SmallJoin(JoinMode::kMachDefault, 2));
+  JoinResult hipec_lru = RunJoin(SmallJoin(JoinMode::kHipecLru, 2));
+  EXPECT_NEAR(static_cast<double>(hipec_lru.page_faults),
+              static_cast<double>(kernel_default.page_faults),
+              0.1 * static_cast<double>(kernel_default.page_faults));
+}
+
+// ---------------------------------------------------------------- AIM suite
+
+TEST(AimSuiteTest, Deterministic) {
+  AimConfig config;
+  config.users = 4;
+  AimResult a = RunAim(config);
+  AimResult b = RunAim(config);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.page_faults, b.page_faults);
+}
+
+TEST(AimSuiteTest, ThroughputRisesThenDeclines) {
+  AimConfig config;
+  auto tput = [&](int users) {
+    config.users = users;
+    return RunAim(config).jobs_per_minute;
+  };
+  double one = tput(1);
+  double mid = tput(6);
+  double many = tput(18);
+  EXPECT_GT(mid, 1.5 * one);  // multiprogramming overlap helps
+  EXPECT_LT(many, mid);       // paging + saturation hurt
+}
+
+TEST(AimSuiteTest, HipecKernelOverheadIsNegligible) {
+  // The Figure 5 claim: the modified kernel provides essentially the same throughput for
+  // non-specific applications under all three mixes.
+  for (const WorkloadMix& mix :
+       {WorkloadMix::Standard(), WorkloadMix::DiskHeavy(), WorkloadMix::MemoryHeavy()}) {
+    for (int users : {2, 8}) {
+      AimConfig config;
+      config.mix = mix;
+      config.users = users;
+      config.hipec_kernel = false;
+      AimResult mach = RunAim(config);
+      config.hipec_kernel = true;
+      AimResult hipec = RunAim(config);
+      EXPECT_GT(hipec.checker_wakeups, 0);
+      EXPECT_NEAR(hipec.jobs_per_minute, mach.jobs_per_minute,
+                  0.03 * mach.jobs_per_minute)
+          << "mix=" << mix.name << " users=" << users;
+    }
+  }
+}
+
+TEST(AimSuiteTest, MemoryMixFaultsMoreUnderPressure) {
+  AimConfig config;
+  config.mix = WorkloadMix::MemoryHeavy();
+  config.users = 2;
+  int64_t low = RunAim(config).page_faults;
+  config.users = 16;
+  int64_t high = RunAim(config).page_faults;
+  EXPECT_GT(high, low);
+}
+
+TEST(AimSuiteTest, UtilizationsAreSane) {
+  AimConfig config;
+  config.users = 10;
+  AimResult result = RunAim(config);
+  // At 10 users paging makes the disk the bottleneck; the CPU idles behind it.
+  EXPECT_GT(result.cpu_utilization, 0.03);
+  EXPECT_LE(result.cpu_utilization, 1.01);
+  EXPECT_GT(result.disk_utilization, 0.3);
+  EXPECT_LE(result.disk_utilization, 1.01);
+}
+
+}  // namespace
+}  // namespace hipec::workloads
