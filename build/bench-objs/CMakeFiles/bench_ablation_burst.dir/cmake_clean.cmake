@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_burst"
+  "../bench/bench_ablation_burst.pdb"
+  "CMakeFiles/bench_ablation_burst.dir/bench_ablation_burst.cc.o"
+  "CMakeFiles/bench_ablation_burst.dir/bench_ablation_burst.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

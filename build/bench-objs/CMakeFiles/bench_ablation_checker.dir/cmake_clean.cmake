@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_checker"
+  "../bench/bench_ablation_checker.pdb"
+  "CMakeFiles/bench_ablation_checker.dir/bench_ablation_checker.cc.o"
+  "CMakeFiles/bench_ablation_checker.dir/bench_ablation_checker.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

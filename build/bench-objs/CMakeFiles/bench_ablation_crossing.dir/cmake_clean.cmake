@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_crossing"
+  "../bench/bench_ablation_crossing.pdb"
+  "CMakeFiles/bench_ablation_crossing.dir/bench_ablation_crossing.cc.o"
+  "CMakeFiles/bench_ablation_crossing.dir/bench_ablation_crossing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

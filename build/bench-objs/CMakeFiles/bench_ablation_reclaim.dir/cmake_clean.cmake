@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_reclaim"
+  "../bench/bench_ablation_reclaim.pdb"
+  "CMakeFiles/bench_ablation_reclaim.dir/bench_ablation_reclaim.cc.o"
+  "CMakeFiles/bench_ablation_reclaim.dir/bench_ablation_reclaim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

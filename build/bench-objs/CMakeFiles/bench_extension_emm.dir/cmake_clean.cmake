@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_emm"
+  "../bench/bench_extension_emm.pdb"
+  "CMakeFiles/bench_extension_emm.dir/bench_extension_emm.cc.o"
+  "CMakeFiles/bench_extension_emm.dir/bench_extension_emm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_emm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_flash"
+  "../bench/bench_extension_flash.pdb"
+  "CMakeFiles/bench_extension_flash.dir/bench_extension_flash.cc.o"
+  "CMakeFiles/bench_extension_flash.dir/bench_extension_flash.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure6"
+  "../bench/bench_figure6.pdb"
+  "CMakeFiles/bench_figure6.dir/bench_figure6.cc.o"
+  "CMakeFiles/bench_figure6.dir/bench_figure6.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_interpreter.cc" "bench-objs/CMakeFiles/bench_interpreter.dir/bench_interpreter.cc.o" "gcc" "bench-objs/CMakeFiles/bench_interpreter.dir/bench_interpreter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/hipec_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hipec_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hipec_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/hipec_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/hipec/CMakeFiles/hipec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mach/CMakeFiles/hipec_mach.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/hipec_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hipec_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_interpreter"
+  "../bench/bench_interpreter.pdb"
+  "CMakeFiles/bench_interpreter.dir/bench_interpreter.cc.o"
+  "CMakeFiles/bench_interpreter.dir/bench_interpreter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_manager.dir/buffer_manager.cpp.o"
+  "CMakeFiles/buffer_manager.dir/buffer_manager.cpp.o.d"
+  "buffer_manager"
+  "buffer_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_join.dir/database_join.cpp.o"
+  "CMakeFiles/database_join.dir/database_join.cpp.o.d"
+  "database_join"
+  "database_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipecc.dir/hipecc.cpp.o"
+  "CMakeFiles/hipecc.dir/hipecc.cpp.o.d"
+  "hipecc"
+  "hipecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

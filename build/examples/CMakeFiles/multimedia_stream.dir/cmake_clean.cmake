@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_stream.dir/multimedia_stream.cpp.o"
+  "CMakeFiles/multimedia_stream.dir/multimedia_stream.cpp.o.d"
+  "multimedia_stream"
+  "multimedia_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scientific_sim.dir/scientific_sim.cpp.o"
+  "CMakeFiles/scientific_sim.dir/scientific_sim.cpp.o.d"
+  "scientific_sim"
+  "scientific_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scientific_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

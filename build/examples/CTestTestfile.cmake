@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_database_join "/root/repo/build/examples/database_join" "42" "40")
+set_tests_properties(example_database_join PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multimedia_stream "/root/repo/build/examples/multimedia_stream" "1")
+set_tests_properties(example_multimedia_stream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scientific_sim "/root/repo/build/examples/scientific_sim" "2")
+set_tests_properties(example_scientific_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_buffer_manager "/root/repo/build/examples/buffer_manager" "2000" "2")
+set_tests_properties(example_buffer_manager PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hipecc_mru "/root/repo/build/examples/hipecc" "/root/repo/examples/policies/mru_join.hp")
+set_tests_properties(example_hipecc_mru PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hipecc_fifo2nd "/root/repo/build/examples/hipecc" "/root/repo/examples/policies/fifo_second_chance.hp")
+set_tests_properties(example_hipecc_fifo2nd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hipecc_clock "/root/repo/build/examples/hipecc" "/root/repo/examples/policies/clock.hp")
+set_tests_properties(example_hipecc_clock PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipec_baseline.dir/user_level_pager.cc.o"
+  "CMakeFiles/hipec_baseline.dir/user_level_pager.cc.o.d"
+  "libhipec_baseline.a"
+  "libhipec_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipec_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

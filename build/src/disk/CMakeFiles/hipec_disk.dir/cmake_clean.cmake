@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipec_disk.dir/disk_model.cc.o"
+  "CMakeFiles/hipec_disk.dir/disk_model.cc.o.d"
+  "libhipec_disk.a"
+  "libhipec_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipec_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hipec/checker.cc" "src/hipec/CMakeFiles/hipec_core.dir/checker.cc.o" "gcc" "src/hipec/CMakeFiles/hipec_core.dir/checker.cc.o.d"
+  "/root/repo/src/hipec/engine.cc" "src/hipec/CMakeFiles/hipec_core.dir/engine.cc.o" "gcc" "src/hipec/CMakeFiles/hipec_core.dir/engine.cc.o.d"
+  "/root/repo/src/hipec/executor.cc" "src/hipec/CMakeFiles/hipec_core.dir/executor.cc.o" "gcc" "src/hipec/CMakeFiles/hipec_core.dir/executor.cc.o.d"
+  "/root/repo/src/hipec/frame_manager.cc" "src/hipec/CMakeFiles/hipec_core.dir/frame_manager.cc.o" "gcc" "src/hipec/CMakeFiles/hipec_core.dir/frame_manager.cc.o.d"
+  "/root/repo/src/hipec/instruction.cc" "src/hipec/CMakeFiles/hipec_core.dir/instruction.cc.o" "gcc" "src/hipec/CMakeFiles/hipec_core.dir/instruction.cc.o.d"
+  "/root/repo/src/hipec/operand.cc" "src/hipec/CMakeFiles/hipec_core.dir/operand.cc.o" "gcc" "src/hipec/CMakeFiles/hipec_core.dir/operand.cc.o.d"
+  "/root/repo/src/hipec/program.cc" "src/hipec/CMakeFiles/hipec_core.dir/program.cc.o" "gcc" "src/hipec/CMakeFiles/hipec_core.dir/program.cc.o.d"
+  "/root/repo/src/hipec/validator.cc" "src/hipec/CMakeFiles/hipec_core.dir/validator.cc.o" "gcc" "src/hipec/CMakeFiles/hipec_core.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hipec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/hipec_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mach/CMakeFiles/hipec_mach.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

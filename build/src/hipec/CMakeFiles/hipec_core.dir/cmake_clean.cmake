@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipec_core.dir/checker.cc.o"
+  "CMakeFiles/hipec_core.dir/checker.cc.o.d"
+  "CMakeFiles/hipec_core.dir/engine.cc.o"
+  "CMakeFiles/hipec_core.dir/engine.cc.o.d"
+  "CMakeFiles/hipec_core.dir/executor.cc.o"
+  "CMakeFiles/hipec_core.dir/executor.cc.o.d"
+  "CMakeFiles/hipec_core.dir/frame_manager.cc.o"
+  "CMakeFiles/hipec_core.dir/frame_manager.cc.o.d"
+  "CMakeFiles/hipec_core.dir/instruction.cc.o"
+  "CMakeFiles/hipec_core.dir/instruction.cc.o.d"
+  "CMakeFiles/hipec_core.dir/operand.cc.o"
+  "CMakeFiles/hipec_core.dir/operand.cc.o.d"
+  "CMakeFiles/hipec_core.dir/program.cc.o"
+  "CMakeFiles/hipec_core.dir/program.cc.o.d"
+  "CMakeFiles/hipec_core.dir/validator.cc.o"
+  "CMakeFiles/hipec_core.dir/validator.cc.o.d"
+  "libhipec_core.a"
+  "libhipec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/assembler.cc" "src/lang/CMakeFiles/hipec_lang.dir/assembler.cc.o" "gcc" "src/lang/CMakeFiles/hipec_lang.dir/assembler.cc.o.d"
+  "/root/repo/src/lang/compiler.cc" "src/lang/CMakeFiles/hipec_lang.dir/compiler.cc.o" "gcc" "src/lang/CMakeFiles/hipec_lang.dir/compiler.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/lang/CMakeFiles/hipec_lang.dir/lexer.cc.o" "gcc" "src/lang/CMakeFiles/hipec_lang.dir/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/hipec_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/hipec_lang.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hipec/CMakeFiles/hipec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mach/CMakeFiles/hipec_mach.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/hipec_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hipec_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipec_lang.dir/assembler.cc.o"
+  "CMakeFiles/hipec_lang.dir/assembler.cc.o.d"
+  "CMakeFiles/hipec_lang.dir/compiler.cc.o"
+  "CMakeFiles/hipec_lang.dir/compiler.cc.o.d"
+  "CMakeFiles/hipec_lang.dir/lexer.cc.o"
+  "CMakeFiles/hipec_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/hipec_lang.dir/parser.cc.o"
+  "CMakeFiles/hipec_lang.dir/parser.cc.o.d"
+  "libhipec_lang.a"
+  "libhipec_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipec_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mach/emm.cc" "src/mach/CMakeFiles/hipec_mach.dir/emm.cc.o" "gcc" "src/mach/CMakeFiles/hipec_mach.dir/emm.cc.o.d"
+  "/root/repo/src/mach/kernel.cc" "src/mach/CMakeFiles/hipec_mach.dir/kernel.cc.o" "gcc" "src/mach/CMakeFiles/hipec_mach.dir/kernel.cc.o.d"
+  "/root/repo/src/mach/page_queue.cc" "src/mach/CMakeFiles/hipec_mach.dir/page_queue.cc.o" "gcc" "src/mach/CMakeFiles/hipec_mach.dir/page_queue.cc.o.d"
+  "/root/repo/src/mach/pageout_daemon.cc" "src/mach/CMakeFiles/hipec_mach.dir/pageout_daemon.cc.o" "gcc" "src/mach/CMakeFiles/hipec_mach.dir/pageout_daemon.cc.o.d"
+  "/root/repo/src/mach/pmap.cc" "src/mach/CMakeFiles/hipec_mach.dir/pmap.cc.o" "gcc" "src/mach/CMakeFiles/hipec_mach.dir/pmap.cc.o.d"
+  "/root/repo/src/mach/vm_map.cc" "src/mach/CMakeFiles/hipec_mach.dir/vm_map.cc.o" "gcc" "src/mach/CMakeFiles/hipec_mach.dir/vm_map.cc.o.d"
+  "/root/repo/src/mach/vm_object.cc" "src/mach/CMakeFiles/hipec_mach.dir/vm_object.cc.o" "gcc" "src/mach/CMakeFiles/hipec_mach.dir/vm_object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hipec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/hipec_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

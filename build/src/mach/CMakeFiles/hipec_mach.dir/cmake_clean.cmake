@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipec_mach.dir/emm.cc.o"
+  "CMakeFiles/hipec_mach.dir/emm.cc.o.d"
+  "CMakeFiles/hipec_mach.dir/kernel.cc.o"
+  "CMakeFiles/hipec_mach.dir/kernel.cc.o.d"
+  "CMakeFiles/hipec_mach.dir/page_queue.cc.o"
+  "CMakeFiles/hipec_mach.dir/page_queue.cc.o.d"
+  "CMakeFiles/hipec_mach.dir/pageout_daemon.cc.o"
+  "CMakeFiles/hipec_mach.dir/pageout_daemon.cc.o.d"
+  "CMakeFiles/hipec_mach.dir/pmap.cc.o"
+  "CMakeFiles/hipec_mach.dir/pmap.cc.o.d"
+  "CMakeFiles/hipec_mach.dir/vm_map.cc.o"
+  "CMakeFiles/hipec_mach.dir/vm_map.cc.o.d"
+  "CMakeFiles/hipec_mach.dir/vm_object.cc.o"
+  "CMakeFiles/hipec_mach.dir/vm_object.cc.o.d"
+  "libhipec_mach.a"
+  "libhipec_mach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipec_mach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhipec_mach.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipec_policies.dir/oracle.cc.o"
+  "CMakeFiles/hipec_policies.dir/oracle.cc.o.d"
+  "CMakeFiles/hipec_policies.dir/policies.cc.o"
+  "CMakeFiles/hipec_policies.dir/policies.cc.o.d"
+  "libhipec_policies.a"
+  "libhipec_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipec_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipec_sim.dir/clock.cc.o"
+  "CMakeFiles/hipec_sim.dir/clock.cc.o.d"
+  "CMakeFiles/hipec_sim.dir/stats.cc.o"
+  "CMakeFiles/hipec_sim.dir/stats.cc.o.d"
+  "CMakeFiles/hipec_sim.dir/trace.cc.o"
+  "CMakeFiles/hipec_sim.dir/trace.cc.o.d"
+  "libhipec_sim.a"
+  "libhipec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipec_workloads.dir/access_patterns.cc.o"
+  "CMakeFiles/hipec_workloads.dir/access_patterns.cc.o.d"
+  "CMakeFiles/hipec_workloads.dir/aim_suite.cc.o"
+  "CMakeFiles/hipec_workloads.dir/aim_suite.cc.o.d"
+  "CMakeFiles/hipec_workloads.dir/join_workload.cc.o"
+  "CMakeFiles/hipec_workloads.dir/join_workload.cc.o.d"
+  "libhipec_workloads.a"
+  "libhipec_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipec_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

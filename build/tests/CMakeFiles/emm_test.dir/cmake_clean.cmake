@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emm_test.dir/emm_test.cc.o"
+  "CMakeFiles/emm_test.dir/emm_test.cc.o.d"
+  "emm_test"
+  "emm_test.pdb"
+  "emm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

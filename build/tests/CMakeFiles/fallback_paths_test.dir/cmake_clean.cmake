@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallback_paths_test.dir/fallback_paths_test.cc.o"
+  "CMakeFiles/fallback_paths_test.dir/fallback_paths_test.cc.o.d"
+  "fallback_paths_test"
+  "fallback_paths_test.pdb"
+  "fallback_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallback_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

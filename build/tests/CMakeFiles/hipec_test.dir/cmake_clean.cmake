@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipec_test.dir/hipec_test.cc.o"
+  "CMakeFiles/hipec_test.dir/hipec_test.cc.o.d"
+  "hipec_test"
+  "hipec_test.pdb"
+  "hipec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

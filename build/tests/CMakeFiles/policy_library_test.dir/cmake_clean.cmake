@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_library_test.dir/policy_library_test.cc.o"
+  "CMakeFiles/policy_library_test.dir/policy_library_test.cc.o.d"
+  "policy_library_test"
+  "policy_library_test.pdb"
+  "policy_library_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
