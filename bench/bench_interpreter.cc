@@ -2,7 +2,16 @@
 // instruction codec, page-queue operations, the policy executor's interpretation loop, and
 // the pseudo-code translator. These measure the *reproduction's* performance, not the
 // paper's virtual-time results (those live in bench_table*/bench_figure*).
+//
+// The executor benchmarks run under both dispatch modes so the decode-once IR interpreter can
+// be compared against the retained pre-refactor switch interpreter on the same workload.
+// After the google-benchmark tables, main() emits one JSON object per line summarizing
+// interpretation throughput (commands/sec, ns/command) per mode plus the speedup — grep for
+// lines starting with '{' to consume them from scripts.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 #include "hipec/builder.h"
 #include "hipec/engine.h"
@@ -41,7 +50,7 @@ void BM_PageQueueChurn(benchmark::State& state) {
 BENCHMARK(BM_PageQueueChurn);
 
 // One full PageFault-event interpretation (free-list fast path) per iteration.
-void BM_ExecutorSimpleFault(benchmark::State& state) {
+void RunExecutorSimpleFault(benchmark::State& state, core::DispatchMode mode) {
   mach::KernelParams params;
   params.hipec_build = true;
   mach::Kernel kernel(params);
@@ -54,6 +63,7 @@ void BM_ExecutorSimpleFault(benchmark::State& state) {
                              policies::FifoPolicy(policies::CommandStyle::kSimple), options);
   core::Container* container = region.container;
   core::PolicyExecutor& executor = engine.executor();
+  executor.set_dispatch_mode(mode);
   for (auto _ : state) {
     core::ExecResult result = executor.ExecuteEvent(container, core::kEventPageFault);
     // Put the page back so the free list never drains.
@@ -64,16 +74,20 @@ void BM_ExecutorSimpleFault(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_ExecutorSimpleFault);
 
-// Sustained interpretation throughput: a 100-iteration arithmetic loop per event.
-void BM_ExecutorArithLoop(benchmark::State& state) {
-  mach::KernelParams params;
-  params.hipec_build = true;
-  mach::Kernel kernel(params);
-  core::GlobalFrameManager manager(&kernel, {});
-  core::PolicyExecutor executor(&kernel, &manager);
+void BM_ExecutorSimpleFault_Ir(benchmark::State& state) {
+  RunExecutorSimpleFault(state, core::DispatchMode::kDecodedIr);
+}
+BENCHMARK(BM_ExecutorSimpleFault_Ir);
 
+void BM_ExecutorSimpleFault_Switch(benchmark::State& state) {
+  RunExecutorSimpleFault(state, core::DispatchMode::kReferenceSwitch);
+}
+BENCHMARK(BM_ExecutorSimpleFault_Switch);
+
+// The sustained-throughput workload: a 100-iteration compare/branch/arithmetic loop per
+// event (~400 commands). Shared by the google-benchmark cases and the JSON summary below.
+core::PolicyProgram ArithLoopProgram() {
   core::EventBuilder b;
   auto loop = b.NewLabel();
   auto done = b.NewLabel();
@@ -91,10 +105,21 @@ void BM_ExecutorArithLoop(benchmark::State& state) {
   core::EventBuilder reclaim;
   reclaim.Return(0);
   program.SetEvent(core::kEventReclaimFrame, reclaim.Build());
+  return program;
+}
+
+// Sustained interpretation throughput; items = HiPEC commands interpreted.
+void RunExecutorArithLoop(benchmark::State& state, core::DispatchMode mode) {
+  mach::KernelParams params;
+  params.hipec_build = true;
+  mach::Kernel kernel(params);
+  core::GlobalFrameManager manager(&kernel, {});
+  core::PolicyExecutor executor(&kernel, &manager);
+  executor.set_dispatch_mode(mode);
 
   mach::Task* task = kernel.CreateTask("bench");
   mach::VmObject* object = kernel.CreateAnonObject(4 * kPageSize);
-  core::Container container(1, task, object, program, 0, sim::kSecond);
+  core::Container container(1, task, object, ArithLoopProgram(), 0, sim::kSecond);
   core::SetupStandardOperands(&container, {});
 
   int64_t commands = 0;
@@ -102,9 +127,18 @@ void BM_ExecutorArithLoop(benchmark::State& state) {
     core::ExecResult result = executor.ExecuteEvent(&container, core::kEventPageFault);
     commands += result.commands_executed;
   }
-  state.SetItemsProcessed(commands);  // items = HiPEC commands interpreted
+  state.SetItemsProcessed(commands);
 }
-BENCHMARK(BM_ExecutorArithLoop);
+
+void BM_ExecutorArithLoop_Ir(benchmark::State& state) {
+  RunExecutorArithLoop(state, core::DispatchMode::kDecodedIr);
+}
+BENCHMARK(BM_ExecutorArithLoop_Ir);
+
+void BM_ExecutorArithLoop_Switch(benchmark::State& state) {
+  RunExecutorArithLoop(state, core::DispatchMode::kReferenceSwitch);
+}
+BENCHMARK(BM_ExecutorArithLoop_Switch);
 
 void BM_TranslatorCompile(benchmark::State& state) {
   const std::string source = R"(
@@ -143,6 +177,61 @@ void BM_KernelTouchTlbHit(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelTouchTlbHit);
 
+// Direct (host-clock) measurement of the arith-loop workload for the JSON summary.
+double MeasureCommandsPerSec(core::DispatchMode mode) {
+  mach::KernelParams params;
+  params.hipec_build = true;
+  mach::Kernel kernel(params);
+  core::GlobalFrameManager manager(&kernel, {});
+  core::PolicyExecutor executor(&kernel, &manager);
+  executor.set_dispatch_mode(mode);
+
+  mach::Task* task = kernel.CreateTask("bench");
+  mach::VmObject* object = kernel.CreateAnonObject(4 * kPageSize);
+  core::Container container(1, task, object, ArithLoopProgram(), 0, sim::kSecond);
+  core::SetupStandardOperands(&container, {});
+
+  for (int i = 0; i < 2'000; ++i) {  // warm up caches, branch predictors, lazy decode
+    executor.ExecuteEvent(&container, core::kEventPageFault);
+  }
+  constexpr int kEvents = 50'000;
+  int64_t commands = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEvents; ++i) {
+    commands += executor.ExecuteEvent(&container, core::kEventPageFault).commands_executed;
+  }
+  std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(commands) / elapsed.count();
+}
+
+const char* ModeName(core::DispatchMode mode) {
+  return mode == core::DispatchMode::kDecodedIr ? "decoded_ir" : "reference_switch";
+}
+
+void EmitJsonSummary() {
+  double per_mode[2] = {0, 0};
+  for (core::DispatchMode mode :
+       {core::DispatchMode::kDecodedIr, core::DispatchMode::kReferenceSwitch}) {
+    double cps = MeasureCommandsPerSec(mode);
+    per_mode[static_cast<int>(mode)] = cps;
+    std::printf(
+        "{\"bench\":\"executor_arith_loop\",\"mode\":\"%s\",\"commands_per_sec\":%.0f,"
+        "\"ns_per_command\":%.3f}\n",
+        ModeName(mode), cps, 1e9 / cps);
+  }
+  std::printf("{\"bench\":\"executor_arith_loop\",\"metric\":\"ir_speedup\",\"value\":%.3f}\n",
+              per_mode[0] / per_mode[1]);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  EmitJsonSummary();
+  return 0;
+}

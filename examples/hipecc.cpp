@@ -5,35 +5,95 @@
 // streams as a human-readable disassembly and/or the hex exchange format that applications
 // can load at run time.
 //
-// Usage: hipecc [--hex] [--disasm] [file.hp]      (reads stdin without a file;
-//                                                  both outputs by default)
+// With --check the compiled program is additionally run through the same decode-and-verify
+// pass the kernel applies at registration (against a placeholder of the standard operand
+// layout), so a policy can be vetted offline before it is ever installed.
+//
+// Usage: hipecc [--hex] [--disasm] [--check] [file.hp]   (reads stdin without a file;
+//                                                         both outputs by default)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "hipec/checker.h"
+#include "hipec/engine.h"
 #include "lang/assembler.h"
 #include "lang/compiler.h"
+
+namespace {
+
+namespace core = hipec::core;
+namespace ops = hipec::core::std_ops;
+
+// Mirrors the layout SetupStandardOperands installs for a real container, with placeholder
+// queues: the decode-and-verify pass only looks at operand *kinds*, so this is enough to
+// reproduce the kernel's install-time verdict offline.
+core::OperandArray PlaceholderLayout(const core::HipecOptions& options,
+                                     std::vector<std::unique_ptr<hipec::mach::PageQueue>>* queues) {
+  auto make_queue = [&](const std::string& name) {
+    queues->push_back(std::make_unique<hipec::mach::PageQueue>(name));
+    return queues->back().get();
+  };
+  core::OperandArray layout;
+  layout.DefineInt(ops::kScratch0, 0);
+  layout.DefineQueue(ops::kFreeQueue, make_queue("check_free"));
+  layout.DefineQueueCount(ops::kFreeCount, queues->back().get());
+  layout.DefineQueue(ops::kActiveQueue, make_queue("check_active"));
+  layout.DefineQueueCount(ops::kActiveCount, queues->back().get());
+  layout.DefineQueue(ops::kInactiveQueue, make_queue("check_inactive"));
+  layout.DefineQueueCount(ops::kInactiveCount, queues->back().get());
+  layout.DefineInt(ops::kFreeTarget, 0);
+  layout.DefineInt(ops::kInactiveTarget, 0);
+  layout.DefineInt(ops::kReservedTarget, 0);
+  layout.DefineInt(ops::kRequestSize, 0);
+  layout.DefinePage(ops::kPage);
+  layout.DefineInt(ops::kFaultAddr, 0);
+  layout.DefineInt(ops::kReclaimCount, 0);
+  layout.DefineInt(ops::kResult, 0);
+  layout.DefineInt(ops::kScratch1, 0);
+  uint8_t index = ops::kUserBase;
+  for (size_t i = 0; i < options.user_queue_count; ++i) {
+    layout.DefineQueue(index++, make_queue("check_user_q" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < options.user_int_count; ++i) {
+    layout.DefineInt(index++, 0);
+  }
+  for (size_t i = 0; i < options.user_page_count; ++i) {
+    layout.DefinePage(index++);
+  }
+  for (const core::HipecOptions::IntInit& init : options.user_int_inits) {
+    layout.DefineInt(init.index, init.value, init.read_only);
+  }
+  return layout;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bool want_hex = false;
   bool want_disasm = false;
+  bool want_check = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hex") == 0) {
       want_hex = true;
     } else if (std::strcmp(argv[i], "--disasm") == 0) {
       want_disasm = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      want_check = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--hex] [--disasm] [file.hp]\n", argv[0]);
+      std::printf("usage: %s [--hex] [--disasm] [--check] [file.hp]\n", argv[0]);
       return 0;
     } else {
       path = argv[i];
     }
   }
-  if (!want_hex && !want_disasm) {
+  if (!want_hex && !want_disasm && !want_check) {
     want_hex = want_disasm = true;
   }
 
@@ -67,6 +127,18 @@ int main(int argc, char** argv) {
     }
     if (want_hex) {
       std::printf("%s", hipec::lang::DumpHex(compiled.program).c_str());
+    }
+    if (want_check) {
+      std::vector<std::unique_ptr<hipec::mach::PageQueue>> queues;
+      core::OperandArray layout = PlaceholderLayout(compiled.options, &queues);
+      core::DecodeResult decoded = core::SecurityChecker::StaticScan(compiled.program, layout);
+      if (!decoded.errors.empty()) {
+        std::fprintf(stderr, "hipecc: policy rejected: %s\n",
+                     core::FormatErrors(decoded.errors).c_str());
+        return 1;
+      }
+      std::printf("# check: ok (%zu words decode and verify against the standard layout)\n",
+                  compiled.program.TotalWords());
     }
   } catch (const hipec::lang::CompileError& e) {
     std::fprintf(stderr, "hipecc: %s\n", e.what());

@@ -4,6 +4,11 @@
 
 namespace hipec::core {
 
+DecodeResult SecurityChecker::StaticScan(const PolicyProgram& program,
+                                         const OperandArray& operands) {
+  return DecodeAndValidate(program, operands);
+}
+
 SecurityChecker::SecurityChecker(mach::Kernel* kernel, GlobalFrameManager* manager,
                                  sim::Nanos initial_wakeup_ns)
     : kernel_(kernel), manager_(manager) {

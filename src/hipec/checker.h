@@ -6,12 +6,15 @@
 //   WakeUp = WakeUp*2   if not
 //   clamped to [250 msec, 8 sec]
 //
-// (The static syntax/consistency pass of the checker lives in validator.h and runs at
-// registration time.)
+// The checker's other half is static: the syntax/consistency scan run once at registration
+// (StaticScan below). Since the decode-once refactor that scan *is* the decode-and-verify
+// pass of validator.h — it produces the DecodedProgram IR the executor runs, so anything the
+// scan did not prove safe simply cannot reach the interpreter.
 #ifndef HIPEC_HIPEC_CHECKER_H_
 #define HIPEC_HIPEC_CHECKER_H_
 
 #include "hipec/frame_manager.h"
+#include "hipec/validator.h"
 #include "mach/kernel.h"
 #include "sim/stats.h"
 
@@ -19,6 +22,11 @@ namespace hipec::core {
 
 class SecurityChecker {
  public:
+  // The install-time static scan (§4.3.3): decodes and verifies the whole command buffer,
+  // returning the IR to cache on the container plus any rejection diagnostics. Pure; callable
+  // before any checker instance exists (the engine validates before admission).
+  static DecodeResult StaticScan(const PolicyProgram& program, const OperandArray& operands);
+
   // `initial_wakeup_ns` <= 0 means "start at the minimum interval".
   SecurityChecker(mach::Kernel* kernel, GlobalFrameManager* manager,
                   sim::Nanos initial_wakeup_ns = 0);

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "hipec/decoded.h"
 #include "hipec/operand.h"
 #include "hipec/program.h"
 #include "mach/page_queue.h"
@@ -40,6 +41,20 @@ class Container {
   mach::Task* task() { return task_; }
   mach::VmObject* object() { return object_; }
   const PolicyProgram& program() const { return program_; }
+
+  // The decode-once IR, cached beside the raw command buffer. The engine's install path
+  // adopts the IR produced by the decode-and-verify pass; harnesses that drive the executor
+  // directly (tests, benchmarks) get a lazy decode against this container's operand layout on
+  // first execution. The program is immutable after construction, so the IR never goes stale.
+  const DecodedProgram& decoded_program() {
+    if (decoded_ == nullptr) {
+      decoded_ = std::make_unique<DecodedProgram>(DecodePolicy(program_, operands_));
+    }
+    return *decoded_;
+  }
+  void AdoptDecodedProgram(DecodedProgram decoded) {
+    decoded_ = std::make_unique<DecodedProgram>(std::move(decoded));
+  }
 
   // Private frame lists.
   mach::PageQueue& free_q() { return free_q_; }
@@ -89,6 +104,7 @@ class Container {
   mach::PageQueue inactive_q_;
   std::vector<std::unique_ptr<mach::PageQueue>> user_queues_;
   OperandArray operands_;
+  std::unique_ptr<DecodedProgram> decoded_;
 };
 
 }  // namespace hipec::core

@@ -69,17 +69,19 @@ HipecRegion HipecEngine::Register(mach::Task* task, mach::VmObject* object,
                                                    : kernel_->costs().policy_timeout_ns);
   SetupStandardOperands(container, options);
 
-  // Static validation — the security checker's syntax/consistency pass. Charged per word
-  // (the checker reads the whole buffer once).
+  // Static validation — the security checker's decode-and-verify pass. Charged per word (the
+  // checker reads the whole buffer once). On success the decoded IR is cached on the
+  // container, so the executor never re-parses the raw command buffer.
   kernel_->clock().Advance(static_cast<sim::Nanos>(program.TotalWords()) *
                            kernel_->costs().command_decode_ns);
-  std::vector<ValidationError> errors = ValidatePolicy(program, container->operands());
-  if (!errors.empty()) {
+  DecodeResult decoded = SecurityChecker::StaticScan(program, container->operands());
+  if (!decoded.errors.empty()) {
     container_zone_.Free(container);
-    region.error = "policy rejected: " + FormatErrors(errors);
+    region.error = "policy rejected: " + FormatErrors(decoded.errors);
     counters_.Add("engine.registrations_rejected");
     return region;
   }
+  container->AdoptDecodedProgram(std::move(decoded.program));
 
   // minFrame admission.
   if (!manager_.AdmitContainer(container)) {

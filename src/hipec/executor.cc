@@ -1,6 +1,7 @@
 #include "hipec/executor.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "sim/check.h"
 
@@ -9,6 +10,33 @@ namespace {
 
 // Internal signal: the security checker asked for this execution to die.
 struct TimeoutSignal {};
+
+// The dispatch loop below has a case per DispatchKind; this fires when someone grows the IR
+// without teaching the interpreter the new kind.
+static_assert(kDispatchKindCount == 42,
+              "new DispatchKind: add a case to RunEventIr and update this tripwire");
+
+// Integer load from a decode-classified slot (kInt or kQueueCount — the only two kinds the
+// decoder accepts where an integer is read).
+inline int64_t LoadInt(const OperandEntry& e) {
+  return e.type == OperandType::kQueueCount ? static_cast<int64_t>(e.queue->count())
+                                            : e.int_value;
+}
+
+// Same failure text as OperandArray::Fail, for the value checks that remain at run time.
+[[noreturn]] void FailOperand(uint8_t index, const char* message) {
+  std::ostringstream os;
+  os << "operand 0x" << std::hex << static_cast<int>(index) << ": " << message;
+  throw PolicyError(os.str());
+}
+
+// The decoder proved the slot is a page variable; emptiness is a run-time property.
+inline mach::VmPage* RequirePage(uint8_t index, const OperandEntry& e) {
+  if (e.page == nullptr) [[unlikely]] {
+    FailOperand(index, "page variable is empty");
+  }
+  return e.page;
+}
 
 }  // namespace
 
@@ -30,7 +58,9 @@ ExecResult PolicyExecutor::ExecuteEvent(Container* container, int event) {
 
   int64_t budget = max_commands_;
   try {
-    result.return_operand = RunEvent(container, event, /*depth=*/0, &budget);
+    result.return_operand = mode_ == DispatchMode::kDecodedIr
+                                ? RunEventIr(container, event, /*depth=*/0, &budget)
+                                : RunEventSwitch(container, event, /*depth=*/0, &budget);
   } catch (const PolicyError& e) {
     result.outcome = ExecOutcome::kError;
     result.error = e.what();
@@ -54,7 +84,312 @@ ExecResult PolicyExecutor::ExecuteEvent(Container* container, int event) {
   return result;
 }
 
-uint8_t PolicyExecutor::RunEvent(Container* c, int event, int depth, int64_t* budget) {
+// ----------------------------------------------------------------------------------------
+// Production path: table-driven dispatch over the decode-once IR. Per command: one trap
+// check, the checker/backstop guards, the decode-cost charge, and a single dense switch (a
+// jump table); operator decode, operand classification and branch bounds checks all happened
+// at install time.
+// ----------------------------------------------------------------------------------------
+
+uint8_t PolicyExecutor::RunEventIr(Container* c, int event, int depth, int64_t* budget) {
+  if (depth > 8) {
+    throw PolicyError("Activate recursion too deep");
+  }
+  const DecodedProgram& program = c->decoded_program();
+  if (!program.HasEvent(event)) {
+    throw PolicyError("Activate of an undefined event");
+  }
+  const DecodedEvent& stream = program.event(event);
+  const DecodedInst* insts = stream.insts.data();
+  OperandEntry* slots = c->operands().slots();
+  sim::VirtualClock& clock = kernel_->clock();
+  const sim::CostModel& costs = kernel_->costs();
+  const sim::Nanos decode_ns = costs.command_decode_ns;
+
+  size_t cc = 1;  // slot 0 is the magic word's trap
+  for (;;) {
+    const DecodedInst d = insts[cc];
+    // Trap slots bracket the stream, so this single compare subsumes the legacy loop-top
+    // bounds check — and fires *before* the command is charged, exactly as that check did.
+    if (d.kind == DispatchKind::kTrapOutside) [[unlikely]] {
+      throw PolicyError("control fell outside the command stream");
+    }
+    if (c->kill_requested) [[unlikely]] {
+      throw TimeoutSignal{};
+    }
+    if (--(*budget) < 0) [[unlikely]] {
+      // Host backstop; semantically equivalent to the checker firing.
+      c->kill_requested = true;
+      throw TimeoutSignal{};
+    }
+    clock.Advance(decode_ns);
+
+    OperandEntry& A = slots[d.a];
+    OperandEntry& B = slots[d.b];
+    size_t next = cc + 1;
+    bool cond = false;  // non-test commands clear the condition flag (see instruction.h)
+    switch (d.kind) {
+      case DispatchKind::kReturn:
+        if (trace_ != nullptr) [[unlikely]] {
+          trace_->push_back(
+              ExecTrace{event, static_cast<uint16_t>(cc), d.raw_op, condition_});
+        }
+        return d.a;
+      case DispatchKind::kJump:
+        if (!condition_) {
+          next = d.target;  // invalid targets were redirected to trap slot 0 at decode time
+        }
+        break;
+      case DispatchKind::kActivate:
+        RunEventIr(c, d.a, depth + 1, budget);
+        break;
+      case DispatchKind::kArithAdd:
+        A.int_value += LoadInt(B);
+        break;
+      case DispatchKind::kArithSub:
+        A.int_value -= LoadInt(B);
+        break;
+      case DispatchKind::kArithMul:
+        A.int_value *= LoadInt(B);
+        break;
+      case DispatchKind::kArithDiv: {
+        int64_t rhs = LoadInt(B);
+        if (rhs == 0) {
+          throw PolicyError("Arith: division by zero");
+        }
+        A.int_value /= rhs;
+        break;
+      }
+      case DispatchKind::kArithMod: {
+        int64_t rhs = LoadInt(B);
+        if (rhs == 0) {
+          throw PolicyError("Arith: modulo by zero");
+        }
+        A.int_value %= rhs;
+        break;
+      }
+      case DispatchKind::kArithMov:
+        A.int_value = LoadInt(B);
+        break;
+      case DispatchKind::kArithLoadImm:
+        A.int_value = d.b;
+        break;
+      case DispatchKind::kCompGt:
+        cond = LoadInt(A) > LoadInt(B);
+        break;
+      case DispatchKind::kCompLt:
+        cond = LoadInt(A) < LoadInt(B);
+        break;
+      case DispatchKind::kCompEq:
+        cond = LoadInt(A) == LoadInt(B);
+        break;
+      case DispatchKind::kCompNe:
+        cond = LoadInt(A) != LoadInt(B);
+        break;
+      case DispatchKind::kCompGe:
+        cond = LoadInt(A) >= LoadInt(B);
+        break;
+      case DispatchKind::kCompLe:
+        cond = LoadInt(A) <= LoadInt(B);
+        break;
+      case DispatchKind::kLogicAnd:
+        cond = (A.int_value != 0) && (LoadInt(B) != 0);
+        A.int_value = cond ? 1 : 0;
+        break;
+      case DispatchKind::kLogicOr:
+        cond = (A.int_value != 0) || (LoadInt(B) != 0);
+        A.int_value = cond ? 1 : 0;
+        break;
+      case DispatchKind::kLogicXor:
+        cond = (A.int_value != 0) != (LoadInt(B) != 0);
+        A.int_value = cond ? 1 : 0;
+        break;
+      case DispatchKind::kLogicNot:
+        cond = LoadInt(B) == 0;
+        A.int_value = cond ? 1 : 0;
+        break;
+      case DispatchKind::kEmptyQ:
+        cond = A.queue->empty();
+        break;
+      case DispatchKind::kInQ:
+        cond = A.queue->Contains(RequirePage(d.b, B));
+        break;
+      case DispatchKind::kDeQueueHead:
+      case DispatchKind::kDeQueueTail: {
+        mach::VmPage* page = d.kind == DispatchKind::kDeQueueTail ? B.queue->DequeueTail()
+                                                                  : B.queue->DequeueHead();
+        if (page == nullptr) {
+          throw PolicyError("DeQueue from an empty queue (guard with EmptyQ or a count)");
+        }
+        A.page = page;
+        break;
+      }
+      case DispatchKind::kEnQueueHead:
+      case DispatchKind::kEnQueueTail: {
+        mach::VmPage* page = RequirePage(d.a, A);
+        if (page->owner != c) {
+          throw PolicyError("EnQueue of a frame the application does not own");
+        }
+        if (page->queue != nullptr) {
+          throw PolicyError("EnQueue of a page that is already on a queue");
+        }
+        if (d.kind == DispatchKind::kEnQueueTail) {
+          B.queue->EnqueueTail(page, clock.now());
+        } else {
+          B.queue->EnqueueHead(page, clock.now());
+        }
+        break;
+      }
+      case DispatchKind::kRequest: {
+        int64_t n = LoadInt(A);
+        if (n < 0) {
+          throw PolicyError("Request: negative size");
+        }
+        cond = manager_->RequestFrames(c, static_cast<size_t>(n), B.queue);
+        break;
+      }
+      case DispatchKind::kReleaseQueue: {
+        mach::VmPage* page = A.queue->DequeueHead();
+        if (page != nullptr) {
+          manager_->ReleaseFrame(c, page);
+          cond = true;
+        }
+        break;
+      }
+      case DispatchKind::kReleasePage: {
+        mach::VmPage* page = A.page;
+        if (page == nullptr) {
+          break;  // cond stays false
+        }
+        if (page->owner != c) {
+          throw PolicyError("Release of a frame the application does not own");
+        }
+        if (page->queue != nullptr) {
+          throw PolicyError("Release of a page still on a queue (DeQueue it first)");
+        }
+        manager_->ReleaseFrame(c, page);
+        A.page = nullptr;
+        cond = true;
+        break;
+      }
+      case DispatchKind::kFlush: {
+        mach::VmPage* page = RequirePage(d.a, A);
+        if (page->owner != c) {
+          throw PolicyError("Flush of a frame the application does not own");
+        }
+        if (page->queue != nullptr) {
+          throw PolicyError("Flush of a page still on a queue (DeQueue it first)");
+        }
+        A.page = manager_->FlushExchange(c, page);
+        cond = true;
+        break;
+      }
+      case DispatchKind::kSetReference:
+        RequirePage(d.a, A)->reference = d.b != 0;
+        break;
+      case DispatchKind::kSetModify:
+        RequirePage(d.a, A)->modified = d.b != 0;
+        break;
+      case DispatchKind::kRefBit:
+        cond = RequirePage(d.a, A)->reference;
+        break;
+      case DispatchKind::kModBit:
+        cond = RequirePage(d.a, A)->modified;
+        break;
+      case DispatchKind::kFind: {
+        auto vaddr = static_cast<uint64_t>(LoadInt(B));
+        mach::VmMapEntry* entry = c->task()->map().Lookup(vaddr);
+        mach::VmPage* page = nullptr;
+        if (entry != nullptr && entry->object == c->object()) {
+          page = c->object()->Lookup(entry->OffsetOf(vaddr));
+        }
+        A.page = page;
+        cond = page != nullptr && page->owner == c;
+        break;
+      }
+      case DispatchKind::kFifo:
+      case DispatchKind::kLru:
+      case DispatchKind::kMru: {
+        clock.Advance(costs.complex_command_ns);
+        mach::PageQueue* queue = A.queue;
+        if (queue->empty()) {
+          throw PolicyError("replacement-policy command on an empty queue");
+        }
+        mach::VmPage* victim;
+        if (d.kind == DispatchKind::kFifo) {
+          // Arrival order: the head is the oldest.
+          victim = queue->DequeueHead();
+        } else {
+          mach::VmPage* best = nullptr;
+          if (d.kind == DispatchKind::kLru) {
+            queue->ForEach([&](mach::VmPage* p) {
+              if (best == nullptr || p->last_reference_ns < best->last_reference_ns) {
+                best = p;
+              }
+              return true;
+            });
+          } else {
+            queue->ForEach([&](mach::VmPage* p) {
+              if (best == nullptr || p->last_reference_ns >= best->last_reference_ns) {
+                best = p;
+              }
+              return true;
+            });
+          }
+          queue->Remove(best);
+          victim = best;
+        }
+        B.page = victim;
+        counters_.Add("executor.policy_commands");
+        break;
+      }
+      case DispatchKind::kMigrate: {
+        mach::VmPage* page = RequirePage(d.a, A);
+        if (page->owner != c) {
+          throw PolicyError("Migrate of a frame the application does not own");
+        }
+        if (page->queue != nullptr) {
+          throw PolicyError("Migrate of a page still on a queue (DeQueue it first)");
+        }
+        int64_t target = LoadInt(B);
+        cond = manager_->MigrateFrame(c, page, static_cast<uint64_t>(target));
+        if (cond) {
+          A.page = nullptr;
+        }
+        break;
+      }
+      case DispatchKind::kUnlink: {
+        mach::VmPage* page = RequirePage(d.a, A);
+        if (page->owner != c) {
+          throw PolicyError("Unlink of a frame the application does not own");
+        }
+        if (page->queue == nullptr) {
+          throw PolicyError("Unlink of a page that is not on a queue");
+        }
+        page->queue->Remove(page);
+        break;
+      }
+      case DispatchKind::kTrapError:
+        throw PolicyError(stream.traps[d.target]);
+      case DispatchKind::kTrapOutside:
+        throw PolicyError("control fell outside the command stream");  // unreachable
+    }
+
+    condition_ = cond;
+    if (trace_ != nullptr) [[unlikely]] {
+      trace_->push_back(ExecTrace{event, static_cast<uint16_t>(cc), d.raw_op, cond});
+    }
+    cc = next;
+  }
+}
+
+// ----------------------------------------------------------------------------------------
+// Reference path: the pre-IR interpreter that re-decodes each raw word and re-classifies
+// operands on every event. Kept only so the dual-path tests and the before/after benchmarks
+// can compare it against the IR interpreter; scheduled for deletion after the transition.
+// ----------------------------------------------------------------------------------------
+
+uint8_t PolicyExecutor::RunEventSwitch(Container* c, int event, int depth, int64_t* budget) {
   if (depth > 8) {
     throw PolicyError("Activate recursion too deep");
   }
@@ -78,11 +413,16 @@ uint8_t PolicyExecutor::RunEvent(Container* c, int event, int depth, int64_t* bu
       throw TimeoutSignal{};
     }
     kernel_->clock().Advance(costs.command_decode_ns);
-    Instruction inst = stream.At(cc);
+    Instruction inst = Instruction::Decode(stream.words[cc]);
 
+    const size_t executed_cc = cc;  // kJump overwrites cc; the trace reports the jump's own CC
     bool jumped = false;
     switch (inst.op) {
       case Opcode::kReturn:
+        if (trace_ != nullptr) {
+          trace_->push_back(ExecTrace{event, static_cast<uint16_t>(cc),
+                                      static_cast<uint8_t>(inst.op), condition_});
+        }
         return inst.op1;
       case Opcode::kJump:
         if (!condition_) {
@@ -91,7 +431,7 @@ uint8_t PolicyExecutor::RunEvent(Container* c, int event, int depth, int64_t* bu
         }
         break;
       case Opcode::kActivate:
-        RunEvent(c, inst.op1, depth + 1, budget);
+        RunEventSwitch(c, inst.op1, depth + 1, budget);
         break;
       case Opcode::kArith:
         DoArith(c, inst);
@@ -176,6 +516,10 @@ uint8_t PolicyExecutor::RunEvent(Container* c, int event, int depth, int64_t* bu
       // Non-test commands clear the condition flag (see instruction.h); test commands have
       // just set it in their handlers.
       condition_ = false;
+    }
+    if (trace_ != nullptr) {
+      trace_->push_back(ExecTrace{event, static_cast<uint16_t>(executed_cc),
+                                  static_cast<uint8_t>(inst.op), condition_});
     }
     if (!jumped) {
       ++cc;

@@ -1,7 +1,15 @@
 // The application-specific policy executor (§4.3.2): invoked by the page-fault handler or the
-// global frame manager, it fetches HiPEC commands from the policy buffer, decodes them, and
-// executes the corresponding operations — entirely in kernel mode, with no kernel/user
-// crossing. Per command it charges only the fetch+decode cost (Table 4: ~50 ns each).
+// global frame manager, it runs the container's pre-decoded policy program — entirely in
+// kernel mode, with no kernel/user crossing. Per command it charges only the fetch+decode
+// cost (Table 4: ~50 ns each).
+//
+// Since the decode-once refactor the hot path is table-driven dispatch over the DecodedProgram
+// IR (decoded.h): raw words were classified and bounds-checked when the policy was installed,
+// so the interpreter does no per-event decoding, no operand re-classification, and no
+// per-iteration bounds check (control that leaves the stream lands on a trap slot). The
+// pre-IR switch interpreter is retained as a selectable reference path so every policy can be
+// run against both implementations and their command-by-command traces compared; it will be
+// deleted once the transition window closes.
 //
 // At the start of every event the executor writes a timestamp into the container; the
 // security checker uses it to detect runaway policies. The container's CC (command counter)
@@ -11,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "hipec/container.h"
 #include "hipec/frame_manager.h"
@@ -34,6 +43,26 @@ struct ExecResult {
   bool ok() const { return outcome == ExecOutcome::kOk; }
 };
 
+// Which interpreter runs the policy. kDecodedIr is the production path; kReferenceSwitch is
+// the pre-IR decode-per-event loop kept for dual-path equivalence testing and before/after
+// benchmarking.
+enum class DispatchMode {
+  kDecodedIr,
+  kReferenceSwitch,
+};
+
+// One executed command, as observed by an attached trace sink: the CC and operator code of
+// the command plus the condition flag *after* it ran. Both interpreters emit identical
+// streams for identical programs — the dual-path tests assert exactly that.
+struct ExecTrace {
+  int event;
+  uint16_t cc;
+  uint8_t opcode;
+  bool condition;
+
+  bool operator==(const ExecTrace&) const = default;
+};
+
 class PolicyExecutor {
  public:
   PolicyExecutor(mach::Kernel* kernel, GlobalFrameManager* manager);
@@ -49,13 +78,21 @@ class PolicyExecutor {
   // protects the simulation host.
   void set_max_commands(int64_t n) { max_commands_ = n; }
 
+  DispatchMode dispatch_mode() const { return mode_; }
+  void set_dispatch_mode(DispatchMode mode) { mode_ = mode; }
+
+  // Attaches (or detaches, with nullptr) a per-command trace sink. Tracing is off the hot
+  // path behind a single predicted-not-taken branch.
+  void set_trace_sink(std::vector<ExecTrace>* sink) { trace_ = sink; }
+
   sim::CounterSet& counters() { return counters_; }
 
  private:
-  // Returns the Return instruction's operand index. Depth guards Activate recursion.
-  uint8_t RunEvent(Container* container, int event, int depth, int64_t* budget);
+  // Both return the Return instruction's operand index. Depth guards Activate recursion.
+  uint8_t RunEventIr(Container* container, int event, int depth, int64_t* budget);
+  uint8_t RunEventSwitch(Container* container, int event, int depth, int64_t* budget);
 
-  // Individual command implementations. Each returns the next CC (or kReturnSentinel).
+  // Reference-path command implementations (decode-per-event interpreter only).
   void DoArith(Container* c, const Instruction& inst);
   void DoComp(Container* c, const Instruction& inst);
   void DoLogic(Container* c, const Instruction& inst);
@@ -72,6 +109,8 @@ class PolicyExecutor {
   GlobalFrameManager* manager_;
   int64_t max_commands_ = 50'000'000;
   bool condition_ = false;  // the condition flag (see instruction.h)
+  DispatchMode mode_ = DispatchMode::kDecodedIr;
+  std::vector<ExecTrace>* trace_ = nullptr;
   sim::CounterSet counters_;
 };
 

@@ -13,6 +13,18 @@ constexpr std::array<const char*, kOpcodeCount> kNames = {
     "Migrate", "Unlink",
 };
 
+// kOpcodeCount is derived from the enum; a new opcode that is not given a name here would
+// otherwise leave a silent nullptr hole in the table.
+constexpr bool AllOpcodesNamed() {
+  for (const char* name : kNames) {
+    if (name == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+static_assert(AllOpcodesNamed(), "every Opcode needs an entry in kNames");
+
 }  // namespace
 
 bool IsValidOpcode(uint8_t code) { return code < kOpcodeCount; }

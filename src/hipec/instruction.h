@@ -57,7 +57,10 @@ enum class Opcode : uint8_t {
   kUnlink = 0x15,
 };
 
-inline constexpr int kOpcodeCount = 22;
+// Derived from the enum (last opcode + 1) so adding a command cannot silently desynchronize
+// the name table or the decoder's dispatch mapping; static_asserts in instruction.cc and the
+// exhaustive classifier switch in decoded.cc both key off this. Keep kUnlink the last member.
+inline constexpr int kOpcodeCount = static_cast<int>(Opcode::kUnlink) + 1;
 // Commands 0x00..0x13 are the paper's original set (Table 1).
 inline constexpr int kPaperOpcodeCount = 20;
 

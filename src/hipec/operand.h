@@ -72,6 +72,11 @@ class OperandArray {
   const OperandEntry& entry(uint8_t index) const { return entries_[index]; }
   OperandType TypeOf(uint8_t index) const { return entries_[index].type; }
 
+  // Unchecked slot access for the executor's decoded-IR fast path: the decoder has already
+  // proven each command's operand kinds against this layout, so the interpreter may touch the
+  // entries directly without re-running the typed accessors above.
+  OperandEntry* slots() { return entries_.data(); }
+
  private:
   [[noreturn]] static void Fail(uint8_t index, const std::string& message);
 

@@ -1,7 +1,6 @@
 #include "hipec/program.h"
 
-#include <sstream>
-
+#include "hipec/decoded.h"
 #include "sim/check.h"
 
 namespace hipec::core {
@@ -32,24 +31,6 @@ size_t PolicyProgram::TotalWords() const {
   return n;
 }
 
-std::string PolicyProgram::ToString() const {
-  std::ostringstream os;
-  static const char* kWellKnown[] = {"PageFault", "ReclaimFrame"};
-  for (size_t ev = 0; ev < events_.size(); ++ev) {
-    if (events_[ev].words.empty()) {
-      continue;
-    }
-    os << "Event " << ev;
-    if (ev < 2) {
-      os << " (" << kWellKnown[ev] << ")";
-    }
-    os << ":\n";
-    const EventProgram& program = events_[ev];
-    for (size_t cc = 1; cc < program.words.size(); ++cc) {
-      os << "  " << cc << ": " << program.At(cc).ToString() << "\n";
-    }
-  }
-  return os.str();
-}
+std::string PolicyProgram::ToString() const { return Disassemble(*this); }
 
 }  // namespace hipec::core

@@ -22,7 +22,6 @@ struct EventProgram {
 
   bool empty() const { return words.size() <= 1; }
   size_t CommandCount() const { return words.empty() ? 0 : words.size() - 1; }
-  Instruction At(size_t cc) const { return Instruction::Decode(words[cc]); }
 };
 
 class PolicyProgram {
@@ -46,7 +45,8 @@ class PolicyProgram {
 
   size_t TotalWords() const;
 
-  // Human-readable listing of all events (disassembly).
+  // Human-readable listing of all events. Delegates to the decoder module's Disassemble()
+  // (decoded.h) — raw command words are interpreted in that one place only.
   std::string ToString() const;
 
  private:

@@ -1,209 +1,65 @@
 #include "hipec/validator.h"
 
 #include <sstream>
+#include <utility>
 
 namespace hipec::core {
-namespace {
 
-class EventValidator {
- public:
-  EventValidator(const PolicyProgram& program, const OperandArray& operands, int event,
-                 std::vector<ValidationError>* errors)
-      : program_(program), operands_(operands), event_(event), errors_(errors) {}
+DecodeResult DecodeAndValidate(const PolicyProgram& program, const OperandArray& operands) {
+  DecodeResult result;
+  if (!program.HasEvent(kEventPageFault)) {
+    result.errors.push_back(ValidationError{
+        kEventPageFault, 0, "a specific application must handle the PageFault event"});
+  }
+  if (!program.HasEvent(kEventReclaimFrame)) {
+    result.errors.push_back(ValidationError{
+        kEventReclaimFrame, 0, "a specific application must handle the ReclaimFrame event"});
+  }
 
-  void Run() {
-    const EventProgram& stream = program_.event(event_);
+  std::vector<DecodeDiag> diags;
+  result.program = DecodePolicy(program, operands, &diags);
+
+  size_t next_diag = 0;
+  for (int ev = 0; ev < program.event_limit(); ++ev) {
+    // The decoder emits diagnostics grouped by ascending event; collect this event's slice.
+    size_t begin = next_diag;
+    while (next_diag < diags.size() && diags[next_diag].event == ev) {
+      ++next_diag;
+    }
+    const EventProgram& stream = program.event(ev);
     if (stream.words.empty()) {
-      return;
+      continue;
     }
     if (stream.words[0] != kHipecMagic) {
-      Error(0, "bad magic number");
-      return;
+      // A stream that fails the magic check is rejected wholesale; per-command diagnostics
+      // would be noise.
+      result.errors.push_back(ValidationError{ev, 0, "bad magic number"});
+      continue;
     }
     if (stream.CommandCount() == 0) {
-      Error(0, "empty command stream");
-      return;
+      result.errors.push_back(ValidationError{ev, 0, "empty command stream"});
+      continue;
+    }
+    for (size_t i = begin; i < next_diag; ++i) {
+      result.errors.push_back(ValidationError{ev, diags[i].cc, diags[i].message});
     }
     bool has_return = false;
-    for (size_t cc = 1; cc < stream.words.size(); ++cc) {
-      cc_ = static_cast<int>(cc);
-      Instruction inst = stream.At(cc);
-      if (!IsValidOpcode(static_cast<uint8_t>(inst.op))) {
-        Error(cc_, "invalid operator code");
-        continue;
-      }
-      if (inst.op == Opcode::kReturn) {
+    for (const DecodedInst& inst : result.program.event(ev).insts) {
+      if (inst.kind == DispatchKind::kReturn) {
         has_return = true;
+        break;
       }
-      CheckInstruction(inst, stream);
     }
     if (!has_return) {
-      Error(0, "no Return command in event stream");
+      result.errors.push_back(ValidationError{ev, 0, "no Return command in event stream"});
     }
   }
-
- private:
-  void Error(int cc, const std::string& message) {
-    errors_->push_back(ValidationError{event_, cc, message});
-  }
-
-  // --- operand-kind checks -------------------------------------------------------------------
-
-  bool IsIntReadable(uint8_t index) const {
-    OperandType t = operands_.TypeOf(index);
-    return t == OperandType::kInt || t == OperandType::kQueueCount;
-  }
-  bool IsIntWritable(uint8_t index) const {
-    return operands_.TypeOf(index) == OperandType::kInt && !operands_.entry(index).read_only;
-  }
-  bool IsPage(uint8_t index) const { return operands_.TypeOf(index) == OperandType::kPage; }
-  bool IsQueue(uint8_t index) const { return operands_.TypeOf(index) == OperandType::kQueue; }
-
-  void WantIntReadable(uint8_t index, const char* role) {
-    if (!IsIntReadable(index)) {
-      Error(cc_, std::string(role) + ": operand is not an integer");
-    }
-  }
-  void WantIntWritable(uint8_t index, const char* role) {
-    if (!IsIntWritable(index)) {
-      Error(cc_, std::string(role) + ": operand is not a writable integer");
-    }
-  }
-  void WantPage(uint8_t index, const char* role) {
-    if (!IsPage(index)) {
-      Error(cc_, std::string(role) + ": operand is not a page variable");
-    }
-  }
-  void WantQueue(uint8_t index, const char* role) {
-    if (!IsQueue(index)) {
-      Error(cc_, std::string(role) + ": operand is not a queue");
-    }
-  }
-  void WantFlagRange(uint8_t flag, uint8_t lo, uint8_t hi, const char* role) {
-    if (flag < lo || flag > hi) {
-      Error(cc_, std::string(role) + ": flag out of range");
-    }
-  }
-
-  void CheckInstruction(const Instruction& inst, const EventProgram& stream) {
-    switch (inst.op) {
-      case Opcode::kReturn:
-        // Return's operand may be any defined entry (or 0 when nothing is returned).
-        if (inst.op1 != 0 && operands_.TypeOf(inst.op1) == OperandType::kUnset) {
-          Error(cc_, "Return: undefined operand");
-        }
-        break;
-      case Opcode::kArith:
-        WantIntWritable(inst.op1, "Arith dst");
-        WantFlagRange(inst.op3, 1, 7, "Arith op");
-        if (inst.op3 != static_cast<uint8_t>(ArithOp::kLoadImm)) {
-          WantIntReadable(inst.op2, "Arith src");
-        }
-        break;
-      case Opcode::kComp:
-        WantIntReadable(inst.op1, "Comp lhs");
-        WantIntReadable(inst.op2, "Comp rhs");
-        WantFlagRange(inst.op3, 1, 6, "Comp op");
-        break;
-      case Opcode::kLogic:
-        WantIntWritable(inst.op1, "Logic dst");
-        WantIntReadable(inst.op2, "Logic src");
-        WantFlagRange(inst.op3, 1, 4, "Logic op");
-        break;
-      case Opcode::kEmptyQ:
-        WantQueue(inst.op1, "EmptyQ");
-        break;
-      case Opcode::kInQ:
-        WantQueue(inst.op1, "InQ queue");
-        WantPage(inst.op2, "InQ page");
-        break;
-      case Opcode::kJump:
-        if (inst.op3 < 1 || static_cast<size_t>(inst.op3) >= stream.words.size()) {
-          Error(cc_, "Jump: target outside the event stream");
-        }
-        break;
-      case Opcode::kDeQueue:
-        WantPage(inst.op1, "DeQueue dst");
-        WantQueue(inst.op2, "DeQueue queue");
-        WantFlagRange(inst.op3, 1, 2, "DeQueue end");
-        break;
-      case Opcode::kEnQueue:
-        WantPage(inst.op1, "EnQueue page");
-        WantQueue(inst.op2, "EnQueue queue");
-        WantFlagRange(inst.op3, 1, 2, "EnQueue end");
-        break;
-      case Opcode::kRequest:
-        WantIntReadable(inst.op1, "Request size");
-        WantQueue(inst.op2, "Request dst queue");
-        break;
-      case Opcode::kRelease:
-        if (!IsPage(inst.op1) && !IsQueue(inst.op1)) {
-          Error(cc_, "Release: operand is neither a page nor a queue");
-        }
-        break;
-      case Opcode::kFlush:
-        WantPage(inst.op1, "Flush");
-        break;
-      case Opcode::kSet:
-        WantPage(inst.op1, "Set page");
-        WantFlagRange(inst.op2, 1, 2, "Set bit");
-        WantFlagRange(inst.op3, 0, 1, "Set value");
-        break;
-      case Opcode::kRef:
-        WantPage(inst.op1, "Ref");
-        break;
-      case Opcode::kMod:
-        WantPage(inst.op1, "Mod");
-        break;
-      case Opcode::kFind:
-        WantPage(inst.op1, "Find dst");
-        WantIntReadable(inst.op2, "Find vaddr");
-        break;
-      case Opcode::kActivate:
-        if (!program_.HasEvent(inst.op1)) {
-          Error(cc_, "Activate: no such event");
-        }
-        break;
-      case Opcode::kFifo:
-      case Opcode::kLru:
-      case Opcode::kMru:
-        WantQueue(inst.op1, "replacement-policy queue");
-        WantPage(inst.op2, "replacement-policy dst");
-        break;
-      case Opcode::kMigrate:
-        WantPage(inst.op1, "Migrate page");
-        WantIntReadable(inst.op2, "Migrate target container id");
-        break;
-      case Opcode::kUnlink:
-        WantPage(inst.op1, "Unlink");
-        break;
-    }
-  }
-
-  const PolicyProgram& program_;
-  const OperandArray& operands_;
-  int event_;
-  int cc_ = 0;
-  std::vector<ValidationError>* errors_;
-};
-
-}  // namespace
+  return result;
+}
 
 std::vector<ValidationError> ValidatePolicy(const PolicyProgram& program,
                                             const OperandArray& operands) {
-  std::vector<ValidationError> errors;
-  if (!program.HasEvent(kEventPageFault)) {
-    errors.push_back(ValidationError{kEventPageFault, 0,
-                                     "a specific application must handle the PageFault event"});
-  }
-  if (!program.HasEvent(kEventReclaimFrame)) {
-    errors.push_back(ValidationError{
-        kEventReclaimFrame, 0, "a specific application must handle the ReclaimFrame event"});
-  }
-  for (int ev = 0; ev < program.event_limit(); ++ev) {
-    EventValidator(program, operands, ev, &errors).Run();
-  }
-  return errors;
+  return DecodeAndValidate(program, operands).errors;
 }
 
 std::string ValidationError::ToString() const {

@@ -3,9 +3,14 @@
 // wrong number or illegal type of operands". Run when a specific application invokes
 // vm_map_hipec()/vm_allocate_hipec(), before any command is ever executed.
 //
+// Since the decode-once refactor this pass *is* the decoder: one walk over the raw command
+// buffer classifies every word into the DecodedProgram IR (decoded.h) and collects every
+// diagnostic. Accepting a policy therefore also yields the pre-validated instruction stream
+// the executor will run — the program is never decoded again.
+//
 // Checked per event stream:
 //   * the magic number in word 0;
-//   * every operator code is one of the 20 defined commands;
+//   * every operator code is one of the defined commands;
 //   * operand indices refer to operand-array entries of the type the command requires
 //     (integer / page / queue), and written operands are writable;
 //   * flag bytes are within range for the sub-operation they select;
@@ -19,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "hipec/decoded.h"
 #include "hipec/operand.h"
 #include "hipec/program.h"
 
@@ -32,8 +38,19 @@ struct ValidationError {
   std::string ToString() const;
 };
 
-// Validates `program` against the operand-array layout it will run with. Empty result means
-// the program is accepted.
+// The combined decode-and-verify result. `errors` empty means the policy is accepted and
+// `program` is the IR to install on the container.
+struct DecodeResult {
+  DecodedProgram program;
+  std::vector<ValidationError> errors;
+};
+
+// Decodes and validates `program` against the operand-array layout it will run with — the
+// single pass the engine's install path runs.
+DecodeResult DecodeAndValidate(const PolicyProgram& program, const OperandArray& operands);
+
+// Validation-only view of DecodeAndValidate (discards the IR). Empty result means the
+// program is accepted.
 std::vector<ValidationError> ValidatePolicy(const PolicyProgram& program,
                                             const OperandArray& operands);
 

@@ -6,7 +6,7 @@
 
 namespace hipec::sim {
 
-void VirtualClock::Advance(Nanos delta) {
+void VirtualClock::AdvanceSlow(Nanos delta) {
   HIPEC_CHECK_MSG(delta >= 0, "cannot advance the clock backwards (delta=" << delta << ")");
   HIPEC_CHECK_MSG(!dispatching_, "Advance() called from inside an event callback");
   AdvanceTo(now_ + delta);
