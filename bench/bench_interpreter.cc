@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "hipec/builder.h"
 #include "hipec/engine.h"
 #include "hipec/executor.h"
@@ -209,18 +210,22 @@ const char* ModeName(core::DispatchMode mode) {
 }
 
 void EmitJsonSummary() {
+  bench::JsonLine json;
   double per_mode[2] = {0, 0};
   for (core::DispatchMode mode :
        {core::DispatchMode::kDecodedIr, core::DispatchMode::kReferenceSwitch}) {
     double cps = MeasureCommandsPerSec(mode);
     per_mode[static_cast<int>(mode)] = cps;
-    std::printf(
-        "{\"bench\":\"executor_arith_loop\",\"mode\":\"%s\",\"commands_per_sec\":%.0f,"
-        "\"ns_per_command\":%.3f}\n",
-        ModeName(mode), cps, 1e9 / cps);
+    json.Str("bench", "executor_arith_loop")
+        .Str("mode", ModeName(mode))
+        .Num("commands_per_sec", cps, 0)
+        .Num("ns_per_command", 1e9 / cps)
+        .Emit();
   }
-  std::printf("{\"bench\":\"executor_arith_loop\",\"metric\":\"ir_speedup\",\"value\":%.3f}\n",
-              per_mode[0] / per_mode[1]);
+  json.Str("bench", "executor_arith_loop")
+      .Str("metric", "ir_speedup")
+      .Num("value", per_mode[0] / per_mode[1])
+      .Emit();
 }
 
 }  // namespace

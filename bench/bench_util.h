@@ -1,4 +1,4 @@
-// Shared console-table helpers for the paper-reproduction benches.
+// Shared console-table and JSON-emission helpers for the paper-reproduction benches.
 #ifndef HIPEC_BENCH_BENCH_UTIL_H_
 #define HIPEC_BENCH_BENCH_UTIL_H_
 
@@ -6,6 +6,53 @@
 #include <string>
 
 namespace hipec::bench {
+
+// Builds one machine-readable JSON object per line, keys in insertion order — the format the
+// benches print after their human-readable tables and scripts/CI consume by grepping for
+// lines starting with '{'. Values are escaped minimally (keys and string values in the
+// benches are plain identifiers).
+class JsonLine {
+ public:
+  JsonLine& Str(const char* key, const std::string& value) {
+    Key(key);
+    buf_ += '"';
+    buf_ += value;
+    buf_ += '"';
+    return *this;
+  }
+  JsonLine& Int(const char* key, long long value) {
+    char num[32];
+    std::snprintf(num, sizeof(num), "%lld", value);
+    Key(key);
+    buf_ += num;
+    return *this;
+  }
+  JsonLine& Num(const char* key, double value, int precision = 3) {
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.*f", precision, value);
+    Key(key);
+    buf_ += num;
+    return *this;
+  }
+  // Prints the finished object on its own line and resets for reuse.
+  void Emit() {
+    std::printf("%s}\n", buf_.c_str());
+    std::fflush(stdout);
+    buf_ = "{";
+  }
+
+ private:
+  void Key(const char* key) {
+    if (buf_.size() > 1) {
+      buf_ += ',';
+    }
+    buf_ += '"';
+    buf_ += key;
+    buf_ += "\":";
+  }
+
+  std::string buf_ = "{";
+};
 
 inline void Title(const std::string& text) {
   std::printf("\n==============================================================\n");

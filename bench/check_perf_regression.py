@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Perf smoke gate: compare bench JSON output against bench/baseline.json.
+
+Usage:
+    check_perf_regression.py --baseline bench/baseline.json \
+        --input faultpath.out [--input interpreter.out] [--factor 0.75]
+
+The benches emit one JSON object per line after their human-readable tables; everything
+that does not parse as a JSON object is ignored, so raw bench stdout can be fed in
+directly.
+
+Gate rules (a metric missing from either side is skipped, never a failure):
+  * faultpath normalized production throughput per policy: faults_per_sec divided by the
+    run's own calibration score, so the comparison tolerates machines of different speeds.
+    Fails when current < factor * baseline.
+  * faultpath speedup_vs_pre_pr per policy and the geomean: same-run relative numbers,
+    immune to machine speed. Fails when current < factor * baseline.
+  * interpreter ir_speedup: same-run relative. Fails when current < factor * baseline.
+
+Exit status 0 when every compared metric passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def parse_json_lines(path):
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(obj, dict):
+                records.append(obj)
+    return records
+
+
+def extract_metrics(records):
+    """Flattens bench records into {metric_name: value}."""
+    metrics = {}
+    for rec in records:
+        bench = rec.get("bench")
+        if bench == "faultpath" and rec.get("config") == "production":
+            policy = rec["policy"]
+            if "normalized_score" in rec:
+                metrics[f"faultpath.normalized.{policy}"] = rec["normalized_score"]
+        elif bench == "faultpath" and rec.get("metric") == "speedup_vs_pre_pr":
+            metrics[f"faultpath.speedup_vs_pre_pr.{rec['policy']}"] = rec["value"]
+        elif bench == "faultpath" and rec.get("metric") == "geomean_speedup_vs_pre_pr":
+            metrics["faultpath.geomean_speedup_vs_pre_pr"] = rec["value"]
+        elif bench == "executor_arith_loop" and rec.get("metric") == "ir_speedup":
+            metrics["interpreter.ir_speedup"] = rec["value"]
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="checked-in baseline JSON file")
+    parser.add_argument("--input", action="append", required=True,
+                        help="bench stdout capture (repeatable)")
+    parser.add_argument("--factor", type=float, default=0.75,
+                        help="fail when current < factor * baseline (default 0.75, "
+                             "i.e. a >25%% regression)")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    records = []
+    for path in args.input:
+        records.extend(parse_json_lines(path))
+    current = extract_metrics(records)
+    if not current:
+        print("check_perf_regression: no bench JSON lines found in inputs", file=sys.stderr)
+        return 1
+
+    failures = 0
+    compared = 0
+    print(f"{'metric':<45} {'baseline':>12} {'current':>12} {'min ok':>12}  verdict")
+    for name in sorted(baseline):
+        base = baseline[name]
+        cur = current.get(name)
+        if cur is None or not isinstance(base, (int, float)):
+            continue
+        compared += 1
+        floor = args.factor * base
+        ok = cur >= floor
+        failures += 0 if ok else 1
+        print(f"{name:<45} {base:>12.4f} {cur:>12.4f} {floor:>12.4f}  "
+              f"{'ok' if ok else 'REGRESSION'}")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<45} {'(no baseline)':>12} {current[name]:>12.4f}")
+
+    if compared == 0:
+        print("check_perf_regression: no metric overlapped the baseline", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\ncheck_perf_regression: {failures}/{compared} metric(s) regressed "
+              f"beyond the {1 - args.factor:.0%} allowance", file=sys.stderr)
+        return 1
+    print(f"\ncheck_perf_regression: all {compared} compared metric(s) within allowance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,17 @@
 
 namespace hipec::baseline {
 
+namespace {
+
+// Interned counter ids: array-indexed adds on the fault path, no string lookups.
+const sim::CounterId kCtrUpcalls = sim::InternCounter("pager.upcalls");
+const sim::CounterId kCtrIpcs = sim::InternCounter("pager.ipcs");
+const sim::CounterId kCtrPremoDecisions = sim::InternCounter("pager.premo_decisions");
+const sim::CounterId kCtrDecisions = sim::InternCounter("pager.decisions");
+const sim::CounterId kCtrFaults = sim::InternCounter("pager.faults");
+
+}  // namespace
+
 UserLevelPager::UserLevelPager(mach::Kernel* kernel, PagerConfig config)
     : kernel_(kernel), config_(config) {
   kernel_->SetFaultInterceptor(this);
@@ -42,12 +53,12 @@ void UserLevelPager::ChargeCrossing() {
     case Mechanism::kUpcall:
       // Kernel -> user upcall and the return trap, plus user stack setup.
       kernel_->clock().Advance(costs.UpcallDecisionNs());
-      counters_.Add("pager.upcalls");
+      counters_.Add(kCtrUpcalls);
       break;
     case Mechanism::kIpc:
       // One null-IPC round trip to the external pager.
       kernel_->clock().Advance(costs.IpcDecisionNs());
-      counters_.Add("pager.ipcs");
+      counters_.Add(kCtrIpcs);
       break;
     case Mechanism::kPremoSyscall:
       // The decision itself runs at user level after an upcall-equivalent notification; the
@@ -55,11 +66,11 @@ void UserLevelPager::ChargeCrossing() {
       kernel_->clock().Advance(costs.UpcallDecisionNs());
       kernel_->clock().Advance(static_cast<sim::Nanos>(config_.premo_info_syscalls) *
                                costs.null_syscall_ns);
-      counters_.Add("pager.premo_decisions");
+      counters_.Add(kCtrPremoDecisions);
       break;
   }
   kernel_->clock().Advance(config_.user_compute_ns);
-  counters_.Add("pager.decisions");
+  counters_.Add(kCtrDecisions);
 }
 
 mach::VmPage* UserLevelPager::ChooseVictim(std::vector<mach::VmPage*>& resident) {
@@ -94,7 +105,7 @@ mach::VmPage* UserLevelPager::ChooseVictim(std::vector<mach::VmPage*>& resident)
 bool UserLevelPager::HandleFault(const mach::FaultContext& ctx) {
   auto* region = static_cast<Region*>(ctx.entry->object->container);
   HIPEC_CHECK(region != nullptr);
-  counters_.Add("pager.faults");
+  counters_.Add(kCtrFaults);
 
   mach::VmPage* frame = nullptr;
   if (config_.mechanism == Mechanism::kPremoSyscall) {

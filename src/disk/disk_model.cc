@@ -8,6 +8,16 @@
 
 namespace hipec::disk {
 
+namespace {
+
+// Interned counter ids: array-indexed adds on the fault path, no string lookups.
+const sim::CounterId kCtrReads = sim::InternCounter("disk.reads");
+const sim::CounterId kCtrWritesQueued = sim::InternCounter("disk.writes_queued");
+const sim::CounterId kCtrWritesSync = sim::InternCounter("disk.writes_sync");
+const sim::CounterId kCtrWritesDone = sim::InternCounter("disk.writes_done");
+
+}  // namespace
+
 DiskModel::DiskModel(sim::VirtualClock* clock, DiskParams params, uint64_t seed,
                      WriteScheduling sched)
     : clock_(clock), params_(params), rng_(seed), sched_(sched) {
@@ -53,14 +63,14 @@ sim::Nanos DiskModel::ReadPage(uint64_t block) {
   }
   sim::Nanos service = ServiceTimeNs(block);
   clock_->Advance(service);
-  counters_.Add("disk.reads");
+  counters_.Add(kCtrReads);
   sim::Nanos total = clock_->now() - start;
   read_latency_.Record(total);
   return total;
 }
 
 void DiskModel::WritePageAsync(uint64_t block, std::function<void()> on_complete) {
-  counters_.Add("disk.writes_queued");
+  counters_.Add(kCtrWritesQueued);
   write_queue_.push_back(PendingWrite{block, std::move(on_complete)});
   MaybeStartWrite();
 }
@@ -68,7 +78,7 @@ void DiskModel::WritePageAsync(uint64_t block, std::function<void()> on_complete
 sim::Nanos DiskModel::WritePageSync(uint64_t block) {
   sim::Nanos service = ServiceTimeNs(block, /*is_write=*/true);
   clock_->Advance(service);
-  counters_.Add("disk.writes_sync");
+  counters_.Add(kCtrWritesSync);
   return service;
 }
 
@@ -105,7 +115,7 @@ void DiskModel::MaybeStartWrite() {
   clock_->ScheduleAfter(
       service,
       [this, on_complete = std::move(on_complete)]() {
-        counters_.Add("disk.writes_done");
+        counters_.Add(kCtrWritesDone);
         write_in_flight_ = false;
         if (on_complete) {
           on_complete();

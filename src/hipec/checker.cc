@@ -4,6 +4,15 @@
 
 namespace hipec::core {
 
+namespace {
+
+// Interned counter ids: array-indexed adds on the fault path, no string lookups.
+const sim::CounterId kCtrWakeups = sim::InternCounter("checker.wakeups");
+const sim::CounterId kCtrCpuNs = sim::InternCounter("checker.cpu_ns");
+const sim::CounterId kCtrTimeoutsDetected = sim::InternCounter("checker.timeouts_detected");
+
+}  // namespace
+
 DecodeResult SecurityChecker::StaticScan(const PolicyProgram& program,
                                          const OperandArray& operands) {
   return DecodeAndValidate(program, operands);
@@ -41,14 +50,14 @@ void SecurityChecker::ScheduleNext() {
 
 void SecurityChecker::Wakeup() {
   const sim::CostModel& costs = kernel_->costs();
-  counters_.Add("checker.wakeups");
+  counters_.Add(kCtrWakeups);
 
   // The checker steals CPU from whatever runs next; see Kernel::AddDeferredCharge.
   sim::Nanos cpu = costs.checker_wakeup_ns +
                    static_cast<sim::Nanos>(manager_->containers().size()) *
                        costs.checker_scan_per_container_ns;
   kernel_->AddDeferredCharge(cpu);
-  counters_.Add("checker.cpu_ns", cpu);
+  counters_.Add(kCtrCpuNs, cpu);
 
   bool detected = false;
   sim::Nanos now = kernel_->clock().now();
@@ -57,7 +66,7 @@ void SecurityChecker::Wakeup() {
         !c->kill_requested) {
       c->kill_requested = true;  // the executor aborts at its next command fetch
       detected = true;
-      counters_.Add("checker.timeouts_detected");
+      counters_.Add(kCtrTimeoutsDetected);
     }
   }
 

@@ -252,14 +252,74 @@ class EventDecoder {
   std::string trap_;
 };
 
+// Greedy left-to-right superinstruction pass over one decoded event. A pair (cc, cc+1) fuses
+// only when cc+1 is not a jump target anywhere in the event — fused execution never stops
+// between the two halves, so control must not be able to enter at the second one. The second
+// slot keeps its original decoding (jumps that do land on it execute it stand-alone), and the
+// fused record replaces the first slot, skipping the shadowed slot on fall-through.
+void FuseEvent(DecodedEvent* event) {
+  if (event->insts.size() < 4) {
+    return;  // fewer than two real commands: nothing to pair
+  }
+  std::vector<bool> is_jump_target(event->insts.size(), false);
+  for (const DecodedInst& inst : event->insts) {
+    if (inst.kind == DispatchKind::kJump) {
+      is_jump_target[inst.target] = true;
+    }
+  }
+  // Real commands occupy [1, insts.size() - 2]; the pair needs both in range.
+  for (size_t cc = 1; cc + 2 < event->insts.size(); ++cc) {
+    if (is_jump_target[cc + 1]) {
+      continue;
+    }
+    DecodedInst& first = event->insts[cc];
+    const DecodedInst& second = event->insts[cc + 1];
+    // Comp ; Jump → compare-and-branch. The jump's target is already resolved (including the
+    // redirect-to-trap-slot-0 for out-of-range targets), so it transfers verbatim.
+    if (first.kind >= DispatchKind::kCompGt && first.kind <= DispatchKind::kCompLe &&
+        second.kind == DispatchKind::kJump) {
+      first.kind = static_cast<DispatchKind>(
+          static_cast<int>(DispatchKind::kFusedCompGtJump) +
+          (static_cast<int>(first.kind) - static_cast<int>(DispatchKind::kCompGt)));
+      first.target = second.target;
+      ++cc;
+      continue;
+    }
+    // DeQueue head ; EnQueue of the page just dequeued → queue-to-queue move.
+    if (first.kind == DispatchKind::kDeQueueHead &&
+        (second.kind == DispatchKind::kEnQueueHead ||
+         second.kind == DispatchKind::kEnQueueTail) &&
+        second.a == first.a) {
+      first.kind = second.kind == DispatchKind::kEnQueueHead
+                       ? DispatchKind::kFusedDeqHeadEnqHead
+                       : DispatchKind::kFusedDeqHeadEnqTail;
+      first.target = second.b;
+      ++cc;
+      continue;
+    }
+    // Arith LoadImm ; Arith (non-LoadImm) → constant-feed arithmetic.
+    if (first.kind == DispatchKind::kArithLoadImm &&
+        second.kind >= DispatchKind::kArithAdd && second.kind <= DispatchKind::kArithMov) {
+      first.kind = DispatchKind::kFusedLoadImmArith;
+      first.target = static_cast<uint16_t>((static_cast<uint16_t>(second.a) << 8) | second.b);
+      first.reserved = static_cast<uint16_t>(second.kind);
+      ++cc;
+      continue;
+    }
+  }
+}
+
 }  // namespace
 
 DecodedProgram DecodePolicy(const PolicyProgram& program, const OperandArray& operands,
-                            std::vector<DecodeDiag>* diags) {
+                            std::vector<DecodeDiag>* diags, bool fuse_superinstructions) {
   DecodedProgram decoded;
   decoded.events.resize(static_cast<size_t>(program.event_limit()));
   for (int ev = 0; ev < program.event_limit(); ++ev) {
     decoded.events[static_cast<size_t>(ev)] = EventDecoder(program, operands, ev, diags).Run();
+    if (fuse_superinstructions) {
+      FuseEvent(&decoded.events[static_cast<size_t>(ev)]);
+    }
   }
   return decoded;
 }

@@ -86,6 +86,32 @@ enum class DispatchKind : uint8_t {
   kMru,
   kMigrate,
   kUnlink,
+  // --- superinstructions -----------------------------------------------------------------
+  // Adjacent command pairs the fusion pass (DecodePolicy with fuse_superinstructions) folds
+  // into one dispatch, halving loop overhead on the dominant fault-path idioms. The fused
+  // record lives in the *first* slot of the pair; the second slot keeps its original decoding
+  // and is reachable only via an explicit Jump (the pass refuses to fuse across jump
+  // targets). A fused handler still charges budget/decode-cost and emits a trace entry per
+  // original command, so counters and dual-path traces are identical to the unfused stream.
+  //
+  // Comp ; Jump — compare and branch on the result. One kind per CompOp, in CompOp order
+  // (kGt..kLe), so `base + sub` arithmetic mirrors the kCompGt..kCompLe block. a/b are the
+  // compare operands, raw_op the Comp operator byte, target the resolved jump target.
+  kFusedCompGtJump,
+  kFusedCompLtJump,
+  kFusedCompEqJump,
+  kFusedCompNeJump,
+  kFusedCompGeJump,
+  kFusedCompLeJump,
+  // DeQueue(head) ; EnQueue of the same page variable — the queue-to-queue migration step at
+  // the heart of every Table 2 policy. a is the page variable, b the source queue, target the
+  // destination queue.
+  kFusedDeqHeadEnqHead,
+  kFusedDeqHeadEnqTail,
+  // Arith LoadImm ; Arith — feed a constant straight into the next arithmetic op. a is the
+  // LoadImm destination, b the immediate; target packs (arith dst << 8) | arith src, and
+  // reserved holds the second command's own DispatchKind (kArithAdd..kArithMov).
+  kFusedLoadImmArith,
   // A command the decoder could not classify (invalid operator code, wrong operand kind, bad
   // flag). Charged like any command, then raises PolicyError with the decode-time diagnostic.
   kTrapError,
@@ -95,6 +121,13 @@ enum class DispatchKind : uint8_t {
 };
 
 inline constexpr int kDispatchKindCount = static_cast<int>(DispatchKind::kTrapOutside) + 1;
+
+// True for superinstruction kinds produced by the fusion pass (never by the classifier).
+// Fused kinds cover two source commands, so per-opcode predicates like KeepsCondition do not
+// map 1:1 onto them — callers reasoning per-opcode must treat them separately.
+inline constexpr bool IsFusedKind(DispatchKind k) {
+  return k >= DispatchKind::kFusedCompGtJump && k <= DispatchKind::kFusedLoadImmArith;
+}
 
 // Whether executing this kind leaves the condition flag to the handler (test commands set it;
 // everything else clears it). Must agree with SetsCondition() on the source opcode; the
@@ -179,8 +212,14 @@ struct DecodeDiag {
 // unclassifiable commands become traps and are additionally reported to `diags` (if
 // non-null). Purely stream-level problems that the legacy interpreter tolerated at run time
 // (bad magic word, missing Return) are reported to `diags` only and do not trap.
+//
+// With `fuse_superinstructions` (the default, and what every install path uses) a post-pass
+// folds eligible adjacent pairs into the kFused* kinds above. Pass false to get the plain
+// one-command-per-slot stream — the dual-path tests and benchmarks use this to compare the
+// two forms; semantics (traces, counters, outcomes) are identical either way.
 DecodedProgram DecodePolicy(const PolicyProgram& program, const OperandArray& operands,
-                            std::vector<DecodeDiag>* diags = nullptr);
+                            std::vector<DecodeDiag>* diags = nullptr,
+                            bool fuse_superinstructions = true);
 
 // Decoder-backed disassembly of a whole program ("Event 0 (PageFault): ..." listing).
 // PolicyProgram::ToString() delegates here so listings come from the same decode pass.

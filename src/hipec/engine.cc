@@ -6,6 +6,28 @@
 #include "sim/check.h"
 
 namespace hipec::core {
+namespace {
+
+// Interned counter ids — the fault path (HandleFault/RunReclaim) charges these on every
+// event, so they must not cost a string-keyed lookup.
+const sim::CounterId kCtrRegistrationsRejected =
+    sim::InternCounter("engine.registrations_rejected");
+const sim::CounterId kCtrAdmissionsRejected = sim::InternCounter("engine.admissions_rejected");
+const sim::CounterId kCtrRegistrations = sim::InternCounter("engine.registrations");
+const sim::CounterId kCtrPolicyTimeouts = sim::InternCounter("engine.policy_timeouts");
+const sim::CounterId kCtrPolicyErrors = sim::InternCounter("engine.policy_errors");
+const sim::CounterId kCtrBadReturnPages = sim::InternCounter("engine.bad_return_pages");
+const sim::CounterId kCtrDirtyEvictions = sim::InternCounter("engine.dirty_evictions");
+const sim::CounterId kCtrReusedFrames = sim::InternCounter("engine.reused_frames");
+const sim::CounterId kCtrFaultsHandled = sim::InternCounter("engine.faults_handled");
+const sim::CounterId kCtrReclaimFailures = sim::InternCounter("engine.reclaim_failures");
+const sim::CounterId kCtrReclaimsRun = sim::InternCounter("engine.reclaims_run");
+const sim::CounterId kCtrLeaksDetected = sim::InternCounter("engine.leaks_detected");
+const sim::CounterId kCtrMemoryPressure =
+    sim::InternCounter("engine.memory_pressure_notifications");
+const sim::CounterId kCtrTeardowns = sim::InternCounter("engine.teardowns");
+
+}  // namespace
 
 HipecEngine::HipecEngine(mach::Kernel* kernel, FrameManagerConfig manager_config)
     : kernel_(kernel),
@@ -78,7 +100,7 @@ HipecRegion HipecEngine::Register(mach::Task* task, mach::VmObject* object,
   if (!decoded.errors.empty()) {
     container_zone_.Free(container);
     region.error = "policy rejected: " + FormatErrors(decoded.errors);
-    counters_.Add("engine.registrations_rejected");
+    counters_.Add(kCtrRegistrationsRejected);
     return region;
   }
   container->AdoptDecodedProgram(std::move(decoded.program));
@@ -87,7 +109,7 @@ HipecRegion HipecEngine::Register(mach::Task* task, mach::VmObject* object,
   if (!manager_.AdmitContainer(container)) {
     container_zone_.Free(container);
     region.error = "minFrame request cannot be satisfied";
-    counters_.Add("engine.admissions_rejected");
+    counters_.Add(kCtrAdmissionsRejected);
     return region;
   }
 
@@ -103,7 +125,7 @@ HipecRegion HipecEngine::Register(mach::Task* task, mach::VmObject* object,
   region.ok = true;
   region.container = container;
   region.addr = task->map().Insert(object, 0, object->size());
-  counters_.Add("engine.registrations");
+  counters_.Add(kCtrRegistrations);
   return region;
 }
 
@@ -128,8 +150,8 @@ bool HipecEngine::HandleFault(const mach::FaultContext& ctx) {
   container->operands().WriteInt(std_ops::kFaultAddr, static_cast<int64_t>(ctx.vaddr));
   ExecResult result = executor_.ExecuteEvent(container, kEventPageFault);
   if (!result.ok()) {
-    counters_.Add(result.outcome == ExecOutcome::kTimeout ? "engine.policy_timeouts"
-                                                          : "engine.policy_errors");
+    counters_.Add(result.outcome == ExecOutcome::kTimeout ? kCtrPolicyTimeouts
+                                                          : kCtrPolicyErrors);
     kernel_->TerminateTask(task, "HiPEC: " + result.error);
     return true;  // handled — by terminating the offender (container is freed now)
   }
@@ -144,7 +166,7 @@ bool HipecEngine::HandleFault(const mach::FaultContext& ctx) {
     page = nullptr;
   }
   if (page == nullptr || page->owner != container || page->queue != nullptr) {
-    counters_.Add("engine.bad_return_pages");
+    counters_.Add(kCtrBadReturnPages);
     kernel_->TerminateTask(task, "HiPEC: PageFault policy did not return a usable frame");
     return true;
   }
@@ -152,10 +174,10 @@ bool HipecEngine::HandleFault(const mach::FaultContext& ctx) {
   // The frame may still cache other data (a reused victim the policy chose); evict it first.
   if (page->object != nullptr) {
     if (page->modified) {
-      counters_.Add("engine.dirty_evictions");
+      counters_.Add(kCtrDirtyEvictions);
     }
     kernel_->EvictPage(page, /*flush_if_dirty=*/true);
-    counters_.Add("engine.reused_frames");
+    counters_.Add(kCtrReusedFrames);
   }
 
   kernel_->InstallPage(task, ctx.entry, ctx.vaddr, page, ctx.is_write);
@@ -165,7 +187,7 @@ bool HipecEngine::HandleFault(const mach::FaultContext& ctx) {
   // page" at its next event (see examples/buffer_manager.cpp).
   container->active_q().EnqueueTail(page, kernel_->clock().now());
   ++container->faults_handled;
-  counters_.Add("engine.faults_handled");
+  counters_.Add(kCtrFaultsHandled);
   return true;
 }
 
@@ -174,14 +196,14 @@ size_t HipecEngine::RunReclaim(Container* container, size_t ask) {
   size_t before = container->allocated_frames;
   ExecResult result = executor_.ExecuteEvent(container, kEventReclaimFrame);
   if (!result.ok()) {
-    counters_.Add("engine.reclaim_failures");
+    counters_.Add(kCtrReclaimFailures);
     // Termination returns every remaining frame to the pool via OnRegionTeardown.
     kernel_->TerminateTask(container->task(), "HiPEC: " + result.error);
     return before;
   }
   size_t released = before - container->allocated_frames;
   container->frames_reclaimed_from += static_cast<int64_t>(released);
-  counters_.Add("engine.reclaims_run");
+  counters_.Add(kCtrReclaimsRun);
   if (!EnforceAccounting(container)) {
     return before;  // terminated; everything it held is back in the pool
   }
@@ -211,14 +233,14 @@ bool HipecEngine::EnforceAccounting(Container* container) {
   if (!container->strict_accounting || AccountingConsistent(container)) {
     return true;
   }
-  counters_.Add("engine.leaks_detected");
+  counters_.Add(kCtrLeaksDetected);
   kernel_->TerminateTask(container->task(),
                          "HiPEC: policy leaked a frame (strict accounting)");
   return false;
 }
 
 void HipecEngine::OnMemoryPressure() {
-  counters_.Add("engine.memory_pressure_notifications");
+  counters_.Add(kCtrMemoryPressure);
   manager_.OnMemoryPressure();
 }
 
@@ -229,7 +251,7 @@ void HipecEngine::OnRegionTeardown(mach::Task* task, mach::VmMapEntry* entry) {
   manager_.RemoveContainer(container);
   entry->object->container = nullptr;
   container_zone_.Free(container);
-  counters_.Add("engine.teardowns");
+  counters_.Add(kCtrTeardowns);
 }
 
 }  // namespace hipec::core

@@ -1,7 +1,7 @@
 #include "hipec/executor.h"
 
 #include <algorithm>
-#include <sstream>
+#include <cstdio>
 
 #include "sim/check.h"
 
@@ -11,10 +11,19 @@ namespace {
 // Internal signal: the security checker asked for this execution to die.
 struct TimeoutSignal {};
 
-// The dispatch loop below has a case per DispatchKind; this fires when someone grows the IR
-// without teaching the interpreter the new kind.
-static_assert(kDispatchKindCount == 42,
-              "new DispatchKind: add a case to RunEventIr and update this tripwire");
+// The dispatch loop (dispatch_loop.inc) has a case and a jump-table entry per DispatchKind;
+// this fires when someone grows the IR without teaching the interpreter the new kind.
+static_assert(kDispatchKindCount == 51,
+              "new DispatchKind: add a handler (and jump-table entry) to dispatch_loop.inc "
+              "and update this tripwire");
+
+// Interned counter ids: the per-event bookkeeping in ExecuteEvent and the replacement-policy
+// commands run on every fault, so they must not pay a string-keyed lookup.
+const sim::CounterId kCtrPolicyErrors = sim::InternCounter("executor.policy_errors");
+const sim::CounterId kCtrTimeouts = sim::InternCounter("executor.timeouts");
+const sim::CounterId kCtrEvents = sim::InternCounter("executor.events");
+const sim::CounterId kCtrCommands = sim::InternCounter("executor.commands");
+const sim::CounterId kCtrPolicyCommands = sim::InternCounter("executor.policy_commands");
 
 // Integer load from a decode-classified slot (kInt or kQueueCount — the only two kinds the
 // decoder accepts where an integer is read).
@@ -24,10 +33,12 @@ inline int64_t LoadInt(const OperandEntry& e) {
 }
 
 // Same failure text as OperandArray::Fail, for the value checks that remain at run time.
+// snprintf into a stack buffer: raising a PolicyError must not drag stream machinery into
+// the interpreter's translation unit or allocate before the throw.
 [[noreturn]] void FailOperand(uint8_t index, const char* message) {
-  std::ostringstream os;
-  os << "operand 0x" << std::hex << static_cast<int>(index) << ": " << message;
-  throw PolicyError(os.str());
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "operand 0x%x: %s", index, message);
+  throw PolicyError(buf);
 }
 
 // The decoder proved the slot is a page variable; emptiness is a run-time property.
@@ -64,11 +75,11 @@ ExecResult PolicyExecutor::ExecuteEvent(Container* container, int event) {
   } catch (const PolicyError& e) {
     result.outcome = ExecOutcome::kError;
     result.error = e.what();
-    counters_.Add("executor.policy_errors");
+    counters_.Add(kCtrPolicyErrors);
   } catch (const TimeoutSignal&) {
     result.outcome = ExecOutcome::kTimeout;
     result.error = "policy execution timed out";
-    counters_.Add("executor.timeouts");
+    counters_.Add(kCtrTimeouts);
   }
 
   condition_ = saved_condition;
@@ -79,308 +90,43 @@ ExecResult PolicyExecutor::ExecuteEvent(Container* container, int event) {
   kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kPolicy,
                            static_cast<uint16_t>(result.outcome), container->id(),
                            static_cast<uint64_t>(event));
-  counters_.Add("executor.events");
-  counters_.Add("executor.commands", result.commands_executed);
+  counters_.Add(kCtrEvents);
+  counters_.Add(kCtrCommands, result.commands_executed);
   return result;
 }
 
 // ----------------------------------------------------------------------------------------
 // Production path: table-driven dispatch over the decode-once IR. Per command: one trap
-// check, the checker/backstop guards, the decode-cost charge, and a single dense switch (a
-// jump table); operator decode, operand classification and branch bounds checks all happened
-// at install time.
+// check, the checker/backstop guards, the decode-cost charge, and a single dense dispatch;
+// operator decode, operand classification and branch bounds checks all happened at install
+// time, and the fusion pass folded hot adjacent pairs into superinstructions.
+//
+// The loop body lives in dispatch_loop.inc and is instantiated twice: a portable dense
+// switch, and (on GNU-compatible compilers) a computed-goto "threaded" loop whose per-handler
+// indirect branches give the predictor one history slot per command kind.
 // ----------------------------------------------------------------------------------------
 
+#define HIPEC_DISPATCH_NAME RunEventIrSwitch
+#define HIPEC_DISPATCH_THREADED 0
+#include "hipec/dispatch_loop.inc"  // NOLINT(build/include)
+#undef HIPEC_DISPATCH_NAME
+#undef HIPEC_DISPATCH_THREADED
+
+#if defined(__GNUC__)
+#define HIPEC_DISPATCH_NAME RunEventIrThreaded
+#define HIPEC_DISPATCH_THREADED 1
+#include "hipec/dispatch_loop.inc"  // NOLINT(build/include)
+#undef HIPEC_DISPATCH_NAME
+#undef HIPEC_DISPATCH_THREADED
+#endif
+
 uint8_t PolicyExecutor::RunEventIr(Container* c, int event, int depth, int64_t* budget) {
-  if (depth > 8) {
-    throw PolicyError("Activate recursion too deep");
+#if defined(__GNUC__)
+  if (threaded_dispatch_) {
+    return RunEventIrThreaded(c, event, depth, budget);
   }
-  const DecodedProgram& program = c->decoded_program();
-  if (!program.HasEvent(event)) {
-    throw PolicyError("Activate of an undefined event");
-  }
-  const DecodedEvent& stream = program.event(event);
-  const DecodedInst* insts = stream.insts.data();
-  OperandEntry* slots = c->operands().slots();
-  sim::VirtualClock& clock = kernel_->clock();
-  const sim::CostModel& costs = kernel_->costs();
-  const sim::Nanos decode_ns = costs.command_decode_ns;
-
-  size_t cc = 1;  // slot 0 is the magic word's trap
-  for (;;) {
-    const DecodedInst d = insts[cc];
-    // Trap slots bracket the stream, so this single compare subsumes the legacy loop-top
-    // bounds check — and fires *before* the command is charged, exactly as that check did.
-    if (d.kind == DispatchKind::kTrapOutside) [[unlikely]] {
-      throw PolicyError("control fell outside the command stream");
-    }
-    if (c->kill_requested) [[unlikely]] {
-      throw TimeoutSignal{};
-    }
-    if (--(*budget) < 0) [[unlikely]] {
-      // Host backstop; semantically equivalent to the checker firing.
-      c->kill_requested = true;
-      throw TimeoutSignal{};
-    }
-    clock.Advance(decode_ns);
-
-    OperandEntry& A = slots[d.a];
-    OperandEntry& B = slots[d.b];
-    size_t next = cc + 1;
-    bool cond = false;  // non-test commands clear the condition flag (see instruction.h)
-    switch (d.kind) {
-      case DispatchKind::kReturn:
-        if (trace_ != nullptr) [[unlikely]] {
-          trace_->push_back(
-              ExecTrace{event, static_cast<uint16_t>(cc), d.raw_op, condition_});
-        }
-        return d.a;
-      case DispatchKind::kJump:
-        if (!condition_) {
-          next = d.target;  // invalid targets were redirected to trap slot 0 at decode time
-        }
-        break;
-      case DispatchKind::kActivate:
-        RunEventIr(c, d.a, depth + 1, budget);
-        break;
-      case DispatchKind::kArithAdd:
-        A.int_value += LoadInt(B);
-        break;
-      case DispatchKind::kArithSub:
-        A.int_value -= LoadInt(B);
-        break;
-      case DispatchKind::kArithMul:
-        A.int_value *= LoadInt(B);
-        break;
-      case DispatchKind::kArithDiv: {
-        int64_t rhs = LoadInt(B);
-        if (rhs == 0) {
-          throw PolicyError("Arith: division by zero");
-        }
-        A.int_value /= rhs;
-        break;
-      }
-      case DispatchKind::kArithMod: {
-        int64_t rhs = LoadInt(B);
-        if (rhs == 0) {
-          throw PolicyError("Arith: modulo by zero");
-        }
-        A.int_value %= rhs;
-        break;
-      }
-      case DispatchKind::kArithMov:
-        A.int_value = LoadInt(B);
-        break;
-      case DispatchKind::kArithLoadImm:
-        A.int_value = d.b;
-        break;
-      case DispatchKind::kCompGt:
-        cond = LoadInt(A) > LoadInt(B);
-        break;
-      case DispatchKind::kCompLt:
-        cond = LoadInt(A) < LoadInt(B);
-        break;
-      case DispatchKind::kCompEq:
-        cond = LoadInt(A) == LoadInt(B);
-        break;
-      case DispatchKind::kCompNe:
-        cond = LoadInt(A) != LoadInt(B);
-        break;
-      case DispatchKind::kCompGe:
-        cond = LoadInt(A) >= LoadInt(B);
-        break;
-      case DispatchKind::kCompLe:
-        cond = LoadInt(A) <= LoadInt(B);
-        break;
-      case DispatchKind::kLogicAnd:
-        cond = (A.int_value != 0) && (LoadInt(B) != 0);
-        A.int_value = cond ? 1 : 0;
-        break;
-      case DispatchKind::kLogicOr:
-        cond = (A.int_value != 0) || (LoadInt(B) != 0);
-        A.int_value = cond ? 1 : 0;
-        break;
-      case DispatchKind::kLogicXor:
-        cond = (A.int_value != 0) != (LoadInt(B) != 0);
-        A.int_value = cond ? 1 : 0;
-        break;
-      case DispatchKind::kLogicNot:
-        cond = LoadInt(B) == 0;
-        A.int_value = cond ? 1 : 0;
-        break;
-      case DispatchKind::kEmptyQ:
-        cond = A.queue->empty();
-        break;
-      case DispatchKind::kInQ:
-        cond = A.queue->Contains(RequirePage(d.b, B));
-        break;
-      case DispatchKind::kDeQueueHead:
-      case DispatchKind::kDeQueueTail: {
-        mach::VmPage* page = d.kind == DispatchKind::kDeQueueTail ? B.queue->DequeueTail()
-                                                                  : B.queue->DequeueHead();
-        if (page == nullptr) {
-          throw PolicyError("DeQueue from an empty queue (guard with EmptyQ or a count)");
-        }
-        A.page = page;
-        break;
-      }
-      case DispatchKind::kEnQueueHead:
-      case DispatchKind::kEnQueueTail: {
-        mach::VmPage* page = RequirePage(d.a, A);
-        if (page->owner != c) {
-          throw PolicyError("EnQueue of a frame the application does not own");
-        }
-        if (page->queue != nullptr) {
-          throw PolicyError("EnQueue of a page that is already on a queue");
-        }
-        if (d.kind == DispatchKind::kEnQueueTail) {
-          B.queue->EnqueueTail(page, clock.now());
-        } else {
-          B.queue->EnqueueHead(page, clock.now());
-        }
-        break;
-      }
-      case DispatchKind::kRequest: {
-        int64_t n = LoadInt(A);
-        if (n < 0) {
-          throw PolicyError("Request: negative size");
-        }
-        cond = manager_->RequestFrames(c, static_cast<size_t>(n), B.queue);
-        break;
-      }
-      case DispatchKind::kReleaseQueue: {
-        mach::VmPage* page = A.queue->DequeueHead();
-        if (page != nullptr) {
-          manager_->ReleaseFrame(c, page);
-          cond = true;
-        }
-        break;
-      }
-      case DispatchKind::kReleasePage: {
-        mach::VmPage* page = A.page;
-        if (page == nullptr) {
-          break;  // cond stays false
-        }
-        if (page->owner != c) {
-          throw PolicyError("Release of a frame the application does not own");
-        }
-        if (page->queue != nullptr) {
-          throw PolicyError("Release of a page still on a queue (DeQueue it first)");
-        }
-        manager_->ReleaseFrame(c, page);
-        A.page = nullptr;
-        cond = true;
-        break;
-      }
-      case DispatchKind::kFlush: {
-        mach::VmPage* page = RequirePage(d.a, A);
-        if (page->owner != c) {
-          throw PolicyError("Flush of a frame the application does not own");
-        }
-        if (page->queue != nullptr) {
-          throw PolicyError("Flush of a page still on a queue (DeQueue it first)");
-        }
-        A.page = manager_->FlushExchange(c, page);
-        cond = true;
-        break;
-      }
-      case DispatchKind::kSetReference:
-        RequirePage(d.a, A)->reference = d.b != 0;
-        break;
-      case DispatchKind::kSetModify:
-        RequirePage(d.a, A)->modified = d.b != 0;
-        break;
-      case DispatchKind::kRefBit:
-        cond = RequirePage(d.a, A)->reference;
-        break;
-      case DispatchKind::kModBit:
-        cond = RequirePage(d.a, A)->modified;
-        break;
-      case DispatchKind::kFind: {
-        auto vaddr = static_cast<uint64_t>(LoadInt(B));
-        mach::VmMapEntry* entry = c->task()->map().Lookup(vaddr);
-        mach::VmPage* page = nullptr;
-        if (entry != nullptr && entry->object == c->object()) {
-          page = c->object()->Lookup(entry->OffsetOf(vaddr));
-        }
-        A.page = page;
-        cond = page != nullptr && page->owner == c;
-        break;
-      }
-      case DispatchKind::kFifo:
-      case DispatchKind::kLru:
-      case DispatchKind::kMru: {
-        clock.Advance(costs.complex_command_ns);
-        mach::PageQueue* queue = A.queue;
-        if (queue->empty()) {
-          throw PolicyError("replacement-policy command on an empty queue");
-        }
-        mach::VmPage* victim;
-        if (d.kind == DispatchKind::kFifo) {
-          // Arrival order: the head is the oldest.
-          victim = queue->DequeueHead();
-        } else {
-          mach::VmPage* best = nullptr;
-          if (d.kind == DispatchKind::kLru) {
-            queue->ForEach([&](mach::VmPage* p) {
-              if (best == nullptr || p->last_reference_ns < best->last_reference_ns) {
-                best = p;
-              }
-              return true;
-            });
-          } else {
-            queue->ForEach([&](mach::VmPage* p) {
-              if (best == nullptr || p->last_reference_ns >= best->last_reference_ns) {
-                best = p;
-              }
-              return true;
-            });
-          }
-          queue->Remove(best);
-          victim = best;
-        }
-        B.page = victim;
-        counters_.Add("executor.policy_commands");
-        break;
-      }
-      case DispatchKind::kMigrate: {
-        mach::VmPage* page = RequirePage(d.a, A);
-        if (page->owner != c) {
-          throw PolicyError("Migrate of a frame the application does not own");
-        }
-        if (page->queue != nullptr) {
-          throw PolicyError("Migrate of a page still on a queue (DeQueue it first)");
-        }
-        int64_t target = LoadInt(B);
-        cond = manager_->MigrateFrame(c, page, static_cast<uint64_t>(target));
-        if (cond) {
-          A.page = nullptr;
-        }
-        break;
-      }
-      case DispatchKind::kUnlink: {
-        mach::VmPage* page = RequirePage(d.a, A);
-        if (page->owner != c) {
-          throw PolicyError("Unlink of a frame the application does not own");
-        }
-        if (page->queue == nullptr) {
-          throw PolicyError("Unlink of a page that is not on a queue");
-        }
-        page->queue->Remove(page);
-        break;
-      }
-      case DispatchKind::kTrapError:
-        throw PolicyError(stream.traps[d.target]);
-      case DispatchKind::kTrapOutside:
-        throw PolicyError("control fell outside the command stream");  // unreachable
-    }
-
-    condition_ = cond;
-    if (trace_ != nullptr) [[unlikely]] {
-      trace_->push_back(ExecTrace{event, static_cast<uint16_t>(cc), d.raw_op, cond});
-    }
-    cc = next;
-  }
+#endif
+  return RunEventIrSwitch(c, event, depth, budget);
 }
 
 // ----------------------------------------------------------------------------------------
@@ -762,7 +508,7 @@ void PolicyExecutor::DoReplacementPolicy(Container* c, const Instruction& inst) 
       throw PolicyError("not a replacement-policy command");
   }
   c->operands().WritePage(inst.op2, victim);
-  counters_.Add("executor.policy_commands");
+  counters_.Add(kCtrPolicyCommands);
 }
 
 }  // namespace hipec::core

@@ -81,6 +81,13 @@ class PolicyExecutor {
   DispatchMode dispatch_mode() const { return mode_; }
   void set_dispatch_mode(DispatchMode mode) { mode_ = mode; }
 
+  // Selects the computed-goto ("threaded") IR loop. Only compiled on GNU-compatible
+  // compilers, where it is the default; elsewhere the setting is accepted and ignored and
+  // the portable dense-switch loop runs. Both loops are instantiated from the same body
+  // (dispatch_loop.inc), so behavior is identical either way.
+  bool threaded_dispatch() const { return threaded_dispatch_; }
+  void set_threaded_dispatch(bool on) { threaded_dispatch_ = on; }
+
   // Attaches (or detaches, with nullptr) a per-command trace sink. Tracing is off the hot
   // path behind a single predicted-not-taken branch.
   void set_trace_sink(std::vector<ExecTrace>* sink) { trace_ = sink; }
@@ -88,8 +95,14 @@ class PolicyExecutor {
   sim::CounterSet& counters() { return counters_; }
 
  private:
-  // Both return the Return instruction's operand index. Depth guards Activate recursion.
+  // All return the Return instruction's operand index. Depth guards Activate recursion.
+  // RunEventIr picks the IR loop variant per threaded_dispatch_; the two variants are the
+  // same body (dispatch_loop.inc) instantiated with different dispatch mechanisms.
   uint8_t RunEventIr(Container* container, int event, int depth, int64_t* budget);
+  uint8_t RunEventIrSwitch(Container* container, int event, int depth, int64_t* budget);
+#if defined(__GNUC__)
+  uint8_t RunEventIrThreaded(Container* container, int event, int depth, int64_t* budget);
+#endif
   uint8_t RunEventSwitch(Container* container, int event, int depth, int64_t* budget);
 
   // Reference-path command implementations (decode-per-event interpreter only).
@@ -110,6 +123,11 @@ class PolicyExecutor {
   int64_t max_commands_ = 50'000'000;
   bool condition_ = false;  // the condition flag (see instruction.h)
   DispatchMode mode_ = DispatchMode::kDecodedIr;
+#if defined(__GNUC__)
+  bool threaded_dispatch_ = true;
+#else
+  bool threaded_dispatch_ = false;
+#endif
   std::vector<ExecTrace>* trace_ = nullptr;
   sim::CounterSet counters_;
 };

@@ -7,6 +7,32 @@
 
 namespace hipec::core {
 
+namespace {
+
+// Interned counter ids: array-indexed adds on the fault path, no string lookups.
+const sim::CounterId kCtrFramesGranted = sim::InternCounter("manager.frames_granted");
+const sim::CounterId kCtrBurstHits = sim::InternCounter("manager.burst_hits");
+const sim::CounterId kCtrBurstRaised = sim::InternCounter("manager.burst_raised");
+const sim::CounterId kCtrBurstLowered = sim::InternCounter("manager.burst_lowered");
+const sim::CounterId kCtrAdmissionsRejected = sim::InternCounter("manager.admissions_rejected");
+const sim::CounterId kCtrAdmissions = sim::InternCounter("manager.admissions");
+const sim::CounterId kCtrRequests = sim::InternCounter("manager.requests");
+const sim::CounterId kCtrRequestsRejected = sim::InternCounter("manager.requests_rejected");
+const sim::CounterId kCtrFramesReleased = sim::InternCounter("manager.frames_released");
+const sim::CounterId kCtrFlushes = sim::InternCounter("manager.flushes");
+const sim::CounterId kCtrFlushesClean = sim::InternCounter("manager.flushes_clean");
+const sim::CounterId kCtrFlushesSync = sim::InternCounter("manager.flushes_sync");
+const sim::CounterId kCtrLaundryDone = sim::InternCounter("manager.laundry_done");
+const sim::CounterId kCtrFlushesAsync = sim::InternCounter("manager.flushes_async");
+const sim::CounterId kCtrMigrationsRejected = sim::InternCounter("manager.migrations_rejected");
+const sim::CounterId kCtrMigrations = sim::InternCounter("manager.migrations");
+const sim::CounterId kCtrNormalReclaims = sim::InternCounter("manager.normal_reclaims");
+const sim::CounterId kCtrForcedReclaims = sim::InternCounter("manager.forced_reclaims");
+const sim::CounterId kCtrLeakedFramesRecovered = sim::InternCounter("manager.leaked_frames_recovered");
+const sim::CounterId kCtrContainersRemoved = sim::InternCounter("manager.containers_removed");
+
+}  // namespace
+
 GlobalFrameManager::GlobalFrameManager(mach::Kernel* kernel, FrameManagerConfig config)
     : kernel_(kernel),
       config_(config),
@@ -73,7 +99,7 @@ void GlobalFrameManager::GrantFrames(Container* container, size_t n, mach::PageQ
   }
   container->allocated_frames += n;
   total_specific_ += n;
-  counters_.Add("manager.frames_granted", static_cast<int64_t>(n));
+  counters_.Add(kCtrFramesGranted, static_cast<int64_t>(n));
   kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kManager, 0,
                            container->id(), n);
 }
@@ -99,7 +125,7 @@ bool GlobalFrameManager::CheckBurst(Container* requester, size_t n) {
   if (total_specific_ + n <= partition_burst_) {
     return true;
   }
-  counters_.Add("manager.burst_hits");
+  counters_.Add(kCtrBurstHits);
   NormalReclaim(total_specific_ + n - partition_burst_, requester);
   if (total_specific_ + n <= partition_burst_) {
     return true;
@@ -134,10 +160,10 @@ void GlobalFrameManager::MaybeAdaptBurst() {
       static_cast<double>(partition_burst_) / static_cast<double>(boot_free_frames_);
   if (specific_pressure && !nonspecific_pressure) {
     partition_burst_ = clamp(current + config_.burst_step_fraction);
-    counters_.Add("manager.burst_raised");
+    counters_.Add(kCtrBurstRaised);
   } else if (nonspecific_pressure && !specific_pressure) {
     partition_burst_ = clamp(current - config_.burst_step_fraction);
-    counters_.Add("manager.burst_lowered");
+    counters_.Add(kCtrBurstLowered);
     // Enforce the lowered watermark right away.
     if (total_specific_ > partition_burst_) {
       size_t excess = total_specific_ - partition_burst_;
@@ -152,20 +178,20 @@ bool GlobalFrameManager::AdmitContainer(Container* container) {
   MaybeAdaptBurst();
   size_t n = container->min_frames();
   if (!CheckBurst(container, n) || !EnsureManagerFrames(n, container)) {
-    counters_.Add("manager.admissions_rejected");
+    counters_.Add(kCtrAdmissionsRejected);
     return false;
   }
   GrantFrames(container, n, &container->free_q());
   containers_.push_back(container);
-  counters_.Add("manager.admissions");
+  counters_.Add(kCtrAdmissions);
   return true;
 }
 
 bool GlobalFrameManager::RequestFrames(Container* container, size_t n, mach::PageQueue* dest) {
   MaybeAdaptBurst();
-  counters_.Add("manager.requests");
+  counters_.Add(kCtrRequests);
   if (!CheckBurst(container, n) || !EnsureManagerFrames(n, container)) {
-    counters_.Add("manager.requests_rejected");
+    counters_.Add(kCtrRequestsRejected);
     return false;
   }
   GrantFrames(container, n, dest);
@@ -183,12 +209,12 @@ void GlobalFrameManager::ReleaseFrame(Container* container, mach::VmPage* page) 
   HIPEC_CHECK(container->allocated_frames > 0);
   --container->allocated_frames;
   --total_specific_;
-  counters_.Add("manager.frames_released");
+  counters_.Add(kCtrFramesReleased);
 }
 
 mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPage* page) {
   HIPEC_CHECK_MSG(page->owner == container, "Flush of a frame the application does not own");
-  counters_.Add("manager.flushes");
+  counters_.Add(kCtrFlushes);
 
   bool was_dirty = page->modified;
   uint64_t block = 0;
@@ -200,7 +226,7 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
     kernel_->EvictPage(page, /*flush_if_dirty=*/false);  // detach; we handle the write
   }
   if (!was_dirty) {
-    counters_.Add("manager.flushes_clean");
+    counters_.Add(kCtrFlushesClean);
     return page;
   }
 
@@ -208,7 +234,7 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
   if (replacement == nullptr) {
     // Reserve exhausted: fall back to a synchronous write. This is exactly the executor-
     // stalling situation the exchange design exists to avoid (§4.3.1), so count it loudly.
-    counters_.Add("manager.flushes_sync");
+    counters_.Add(kCtrFlushesSync);
     kernel_->disk().WritePageSync(block);
     page->modified = false;
     return page;
@@ -225,9 +251,9 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
   kernel_->disk().WritePageAsync(block, [this, page] {
     laundry_.Remove(page);
     reserve_.EnqueueTail(page, kernel_->clock().now());
-    counters_.Add("manager.laundry_done");
+    counters_.Add(kCtrLaundryDone);
   });
-  counters_.Add("manager.flushes_async");
+  counters_.Add(kCtrFlushesAsync);
   return replacement;
 }
 
@@ -243,7 +269,7 @@ bool GlobalFrameManager::MigrateFrame(Container* from, mach::VmPage* page, uint6
   }
   if (target == nullptr || target == from || !target->accepts_migration ||
       target->task()->terminated()) {
-    counters_.Add("manager.migrations_rejected");
+    counters_.Add(kCtrMigrationsRejected);
     return false;
   }
   if (page->object != nullptr) {
@@ -254,7 +280,7 @@ bool GlobalFrameManager::MigrateFrame(Container* from, mach::VmPage* page, uint6
   ++target->allocated_frames;  // total_specific_ unchanged: the frame stays specific
   page->owner = target;
   target->free_q().EnqueueTail(page, kernel_->clock().now());
-  counters_.Add("manager.migrations");
+  counters_.Add(kCtrMigrations);
   return true;
 }
 
@@ -299,7 +325,7 @@ size_t GlobalFrameManager::NormalReclaim(size_t needed, Container* exclude) {
     uint64_t victim_id = c->id();
     size_t released = reclaim_runner_(c, ask);  // may free c; do not touch c afterwards
     got += released;
-    counters_.Add("manager.normal_reclaims", static_cast<int64_t>(released));
+    counters_.Add(kCtrNormalReclaims, static_cast<int64_t>(released));
     kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kReclaim, 0,
                              victim_id, released);
   }
@@ -330,7 +356,7 @@ size_t GlobalFrameManager::ForcedReclaim(size_t needed, Container* exclude) {
       --total_specific_;
       kernel_->daemon().ReturnFrame(page);
       ++got;
-      counters_.Add("manager.forced_reclaims");
+      counters_.Add(kCtrForcedReclaims);
     }
     page = next;
   }
@@ -393,7 +419,7 @@ void GlobalFrameManager::RemoveContainer(Container* container) {
         HIPEC_CHECK(container->allocated_frames > 0);
         --container->allocated_frames;
         --total_specific_;
-        counters_.Add("manager.leaked_frames_recovered");
+        counters_.Add(kCtrLeakedFramesRecovered);
       }
     });
   }
@@ -401,7 +427,7 @@ void GlobalFrameManager::RemoveContainer(Container* container) {
                   "container still holds " << container->allocated_frames
                                            << " frames after teardown");
   std::erase(containers_, container);
-  counters_.Add("manager.containers_removed");
+  counters_.Add(kCtrContainersRemoved);
 }
 
 }  // namespace hipec::core

@@ -1,13 +1,15 @@
 #include "hipec/operand.h"
 
-#include <sstream>
+#include <cstdio>
 
 namespace hipec::core {
 
-void OperandArray::Fail(uint8_t index, const std::string& message) {
-  std::ostringstream os;
-  os << "operand 0x" << std::hex << static_cast<int>(index) << ": " << message;
-  throw PolicyError(os.str());
+void OperandArray::Fail(uint8_t index, const char* message) {
+  // snprintf into a stack buffer: the accessors above sit on the interpreter's hot path, and
+  // a cold throw must not pull stream machinery (or a heap allocation) into their callers.
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "operand 0x%x: %s", index, message);
+  throw PolicyError(buf);
 }
 
 void OperandArray::DefineInt(uint8_t index, int64_t value, bool read_only) {

@@ -78,7 +78,7 @@ class OperandArray {
   OperandEntry* slots() { return entries_.data(); }
 
  private:
-  [[noreturn]] static void Fail(uint8_t index, const std::string& message);
+  [[noreturn]] static void Fail(uint8_t index, const char* message);
 
   std::array<OperandEntry, kEntries> entries_{};
 };

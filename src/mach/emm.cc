@@ -7,6 +7,16 @@
 namespace hipec::mach {
 
 namespace {
+
+// Interned counter ids: array-indexed adds on the fault path, no string lookups.
+const sim::CounterId kCtrDataRequests = sim::InternCounter("pager.data_requests");
+const sim::CounterId kCtrDataWrites = sim::InternCounter("pager.data_writes");
+const sim::CounterId kCtrTerminates = sim::InternCounter("pager.terminates");
+const sim::CounterId kCtrFills = sim::InternCounter("pager.fills");
+
+}  // namespace
+
+namespace {
 // User-level pager computation per serviced message (lookup tables, buffer headers).
 constexpr sim::Nanos kPagerComputeNs = 15 * sim::kMicrosecond;
 }  // namespace
@@ -24,17 +34,17 @@ void ExternalPager::RunPager() {
     HIPEC_CHECK_MSG(object != nullptr, "pager message for an unknown object");
     switch (message.id) {
       case IpcMessage::Id::kMemoryObjectDataRequest: {
-        counters_.Add("pager.data_requests");
+        counters_.Add(kCtrDataRequests);
         bool ok = ServiceDataRequest(object, message.offset);
         (void)ok;
         break;
       }
       case IpcMessage::Id::kMemoryObjectDataWrite:
-        counters_.Add("pager.data_writes");
+        counters_.Add(kCtrDataWrites);
         ServiceDataWrite(object, message.offset);
         break;
       case IpcMessage::Id::kMemoryObjectTerminate:
-        counters_.Add("pager.terminates");
+        counters_.Add(kCtrTerminates);
         break;
       default:
         break;
@@ -48,7 +58,7 @@ bool ExternalPager::RequestData(VmObject* object, uint64_t offset) {
   kernel_->clock().Advance(kernel_->costs().null_ipc_ns);
   port_.Send(IpcMessage{IpcMessage::Id::kMemoryObjectDataRequest, object->id(), offset, true});
   RunPager();
-  counters_.Add("pager.fills");
+  counters_.Add(kCtrFills);
   return true;
 }
 

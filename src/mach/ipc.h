@@ -37,17 +37,19 @@ class IpcPort {
   IpcPort& operator=(const IpcPort&) = delete;
 
   void Send(const IpcMessage& message) {
+    static const sim::CounterId kCtrSends = sim::InternCounter("port.sends");
     queue_.push_back(message);
-    counters_.Add("port.sends");
+    counters_.Add(kCtrSends);
   }
 
   bool TryReceive(IpcMessage* out) {
+    static const sim::CounterId kCtrReceives = sim::InternCounter("port.receives");
     if (queue_.empty()) {
       return false;
     }
     *out = queue_.front();
     queue_.pop_front();
-    counters_.Add("port.receives");
+    counters_.Add(kCtrReceives);
     return true;
   }
 

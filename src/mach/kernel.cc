@@ -5,6 +5,27 @@
 #include "sim/check.h"
 
 namespace hipec::mach {
+namespace {
+
+// Interned once at startup; the fault path then bumps counters with an array index instead
+// of a string-keyed map lookup per event (see sim::CounterRegistry).
+const sim::CounterId kCtrTaskTerminations = sim::InternCounter("kernel.task_terminations");
+const sim::CounterId kCtrVmAllocate = sim::InternCounter("kernel.vm_allocate");
+const sim::CounterId kCtrVmMap = sim::InternCounter("kernel.vm_map");
+const sim::CounterId kCtrVmDeallocate = sim::InternCounter("kernel.vm_deallocate");
+const sim::CounterId kCtrWiredPages = sim::InternCounter("kernel.wired_pages");
+const sim::CounterId kCtrNullSyscalls = sim::InternCounter("kernel.null_syscalls");
+const sim::CounterId kCtrProtectionFaults = sim::InternCounter("kernel.protection_faults");
+const sim::CounterId kCtrPageFaults = sim::InternCounter("kernel.page_faults");
+const sim::CounterId kCtrHipecFaults = sim::InternCounter("kernel.hipec_faults");
+const sim::CounterId kCtrSoftFaults = sim::InternCounter("kernel.soft_faults");
+const sim::CounterId kCtrPagerFills = sim::InternCounter("kernel.pager_fills");
+const sim::CounterId kCtrDiskFills = sim::InternCounter("kernel.disk_fills");
+const sim::CounterId kCtrZeroFills = sim::InternCounter("kernel.zero_fills");
+const sim::CounterId kCtrPagerWrites = sim::InternCounter("kernel.pager_writes");
+const sim::CounterId kCtrPageouts = sim::InternCounter("kernel.pageouts");
+
+}  // namespace
 
 Kernel::Kernel(KernelParams params) : params_(params) {
   HIPEC_CHECK(params_.total_frames > params_.kernel_reserved_frames);
@@ -35,7 +56,7 @@ void Kernel::TerminateTask(Task* task, const std::string& reason) {
     return;
   }
   task->Terminate(reason);
-  counters_.Add("kernel.task_terminations");
+  counters_.Add(kCtrTaskTerminations);
   // Tear down the whole address space.
   std::vector<uint64_t> starts;
   task->map().ForEachEntry([&](const VmMapEntry& entry) { starts.push_back(entry.start); });
@@ -76,19 +97,19 @@ uint64_t Kernel::AllocSwapBlocks(uint64_t n_pages) {
 
 uint64_t Kernel::VmAllocate(Task* task, uint64_t size_bytes) {
   clock_.Advance(params_.costs.null_syscall_ns);
-  counters_.Add("kernel.vm_allocate");
+  counters_.Add(kCtrVmAllocate);
   VmObject* object = CreateAnonObject(size_bytes);
   return task->map().Insert(object, 0, size_bytes);
 }
 
 uint64_t Kernel::VmMapFile(Task* task, VmObject* object) {
   clock_.Advance(params_.costs.null_syscall_ns);
-  counters_.Add("kernel.vm_map");
+  counters_.Add(kCtrVmMap);
   return task->map().Insert(object, 0, object->size());
 }
 
 void Kernel::VmDeallocate(Task* task, uint64_t start) {
-  counters_.Add("kernel.vm_deallocate");
+  counters_.Add(kCtrVmDeallocate);
   VmMapEntry* entry = task->map().Lookup(start);
   HIPEC_CHECK_MSG(entry != nullptr && entry->start == start, "vm_deallocate: no such region");
   VmObject* object = entry->object;
@@ -129,12 +150,12 @@ void Kernel::VmWire(Task* task, uint64_t vaddr, uint64_t size_bytes) {
     }
     page->wired = true;
   }
-  counters_.Add("kernel.wired_pages", static_cast<int64_t>(size_bytes >> kPageShift));
+  counters_.Add(kCtrWiredPages, static_cast<int64_t>(size_bytes >> kPageShift));
 }
 
 void Kernel::NullSyscall() {
   clock_.Advance(params_.costs.null_syscall_ns);
-  counters_.Add("kernel.null_syscalls");
+  counters_.Add(kCtrNullSyscalls);
 }
 
 uint64_t Kernel::MapWiredRegion(Task* task, uint64_t size_bytes) {
@@ -149,7 +170,7 @@ uint64_t Kernel::MapWiredRegion(Task* task, uint64_t size_bytes) {
     pmap_.Enter(task, start + offset, page, /*write_protected=*/true);
     page->wired = true;
   }
-  counters_.Add("kernel.wired_pages", static_cast<int64_t>(size_bytes >> kPageShift));
+  counters_.Add(kCtrWiredPages, static_cast<int64_t>(size_bytes >> kPageShift));
   return start;
 }
 
@@ -167,7 +188,7 @@ bool Kernel::Touch(Task* task, uint64_t vaddr, bool is_write) {
   // TLB / page-table hit: no kernel involvement; the hardware sets reference/modify bits.
   if (VmPage* page = pmap_.Lookup(task, vaddr); page != nullptr) {
     if (is_write && pmap_.IsWriteProtected(page)) {
-      counters_.Add("kernel.protection_faults");
+      counters_.Add(kCtrProtectionFaults);
       TerminateTask(task, "wrote to a write-protected region (wired HiPEC command buffer)");
       return false;
     }
@@ -180,7 +201,7 @@ bool Kernel::Touch(Task* task, uint64_t vaddr, bool is_write) {
   }
 
   // Page fault.
-  counters_.Add("kernel.page_faults");
+  counters_.Add(kCtrPageFaults);
   tracer_.Record(clock_.now(), sim::TraceCategory::kFault, 0, task->id(), vaddr);
   if (params_.hipec_build) {
     // The modified kernel checks every fault against the specific-region table (§5.2).
@@ -192,14 +213,14 @@ bool Kernel::Touch(Task* task, uint64_t vaddr, bool is_write) {
     return false;
   }
   if (is_write && entry->write_protected) {
-    counters_.Add("kernel.protection_faults");
+    counters_.Add(kCtrProtectionFaults);
     TerminateTask(task, "wrote to a write-protected region (wired HiPEC command buffer)");
     return false;
   }
 
   if (entry->object->container != nullptr && interceptor_ != nullptr) {
     FaultContext ctx{task, entry, vaddr, entry->OffsetOf(vaddr), is_write};
-    counters_.Add("kernel.hipec_faults");
+    counters_.Add(kCtrHipecFaults);
     if (!interceptor_->HandleFault(ctx)) {
       if (!task->terminated()) {
         TerminateTask(task, "HiPEC policy failed to resolve a fault");
@@ -229,7 +250,7 @@ void Kernel::DefaultFault(Task* task, VmMapEntry* entry, uint64_t vaddr, bool is
   // Soft fault: the data is still resident (e.g. on the inactive queue); just re-map it.
   if (VmPage* page = object->Lookup(offset); page != nullptr) {
     clock_.Advance(params_.costs.fault_resident_ns);
-    counters_.Add("kernel.soft_faults");
+    counters_.Add(kCtrSoftFaults);
     if (page->queue == &daemon_->inactive_queue()) {
       page->queue->Remove(page);
       daemon_->Activate(page);
@@ -262,15 +283,15 @@ void Kernel::InstallPage(Task* task, VmMapEntry* entry, uint64_t vaddr, VmPage* 
     if (object->pager != nullptr) {
       // EMM path: ask the external pager (IPC round trip + user-level service).
       object->pager->RequestData(object, offset);
-      counters_.Add("kernel.pager_fills");
+      counters_.Add(kCtrPagerFills);
       tracer_.Record(clock_.now(), sim::TraceCategory::kFill, 2, object->id(), offset);
     } else {
       disk_->ReadPage(object->BlockFor(offset));
       tracer_.Record(clock_.now(), sim::TraceCategory::kFill, 1, object->id(), offset);
     }
-    counters_.Add("kernel.disk_fills");
+    counters_.Add(kCtrDiskFills);
   } else {
-    counters_.Add("kernel.zero_fills");
+    counters_.Add(kCtrZeroFills);
     tracer_.Record(clock_.now(), sim::TraceCategory::kFill, 0, object->id(), offset);
   }
 
@@ -307,13 +328,13 @@ void Kernel::FlushPageAsync(VmPage* page) {
   if (object->pager != nullptr) {
     // EMM path: memory_object_data_write to the external pager.
     object->pager->WriteData(object, page->offset);
-    counters_.Add("kernel.pager_writes");
+    counters_.Add(kCtrPagerWrites);
   } else {
     object->MarkPagedOut(page->offset);
     disk_->WritePageAsync(object->BlockFor(page->offset));
   }
   page->modified = false;
-  counters_.Add("kernel.pageouts");
+  counters_.Add(kCtrPageouts);
 }
 
 void Kernel::ChargePageoutScan(size_t pages_examined) {

@@ -5,6 +5,19 @@
 
 namespace hipec::mach {
 
+namespace {
+
+// Interned counter ids: array-indexed adds on the fault path, no string lookups.
+const sim::CounterId kCtrSecondChances = sim::InternCounter("pageout.second_chances");
+const sim::CounterId kCtrEvictions = sim::InternCounter("pageout.evictions");
+const sim::CounterId kCtrBalanceRuns = sim::InternCounter("pageout.balance_runs");
+const sim::CounterId kCtrPagesExamined = sim::InternCounter("pageout.pages_examined");
+const sim::CounterId kCtrDesperationReclaims = sim::InternCounter("pageout.desperation_reclaims");
+const sim::CounterId kCtrAllocForFault = sim::InternCounter("pageout.alloc_for_fault");
+const sim::CounterId kCtrFramesToManager = sim::InternCounter("pageout.frames_to_manager");
+
+}  // namespace
+
 PageoutDaemon::PageoutDaemon(Kernel* kernel, PageoutTargets targets)
     : kernel_(kernel),
       targets_(targets),
@@ -37,16 +50,16 @@ void PageoutDaemon::Balance() {
       // Referenced while inactive: give it a second chance on the active queue.
       page->reference = false;
       active_.EnqueueTail(page, now);
-      counters_.Add("pageout.second_chances");
+      counters_.Add(kCtrSecondChances);
       continue;
     }
     kernel_->EvictPage(page, /*flush_if_dirty=*/true);
     free_.EnqueueTail(page, now);
-    counters_.Add("pageout.evictions");
+    counters_.Add(kCtrEvictions);
   }
 
-  counters_.Add("pageout.balance_runs");
-  counters_.Add("pageout.pages_examined", static_cast<int64_t>(examined));
+  counters_.Add(kCtrBalanceRuns);
+  counters_.Add(kCtrPagesExamined, static_cast<int64_t>(examined));
   kernel_->ChargePageoutScan(examined);
 }
 
@@ -70,11 +83,11 @@ VmPage* PageoutDaemon::AllocForFault() {
     }
     if (page != nullptr) {
       kernel_->EvictPage(page, /*flush_if_dirty=*/true);
-      counters_.Add("pageout.desperation_reclaims");
+      counters_.Add(kCtrDesperationReclaims);
     }
   }
   if (page != nullptr) {
-    counters_.Add("pageout.alloc_for_fault");
+    counters_.Add(kCtrAllocForFault);
   }
   return page;
 }
@@ -93,7 +106,7 @@ bool PageoutDaemon::AllocFramesForManager(size_t n, PageQueue* out, void* owner)
     page->owner = owner;
     out->EnqueueTail(page, now);
   }
-  counters_.Add("pageout.frames_to_manager", static_cast<int64_t>(n));
+  counters_.Add(kCtrFramesToManager, static_cast<int64_t>(n));
   return true;
 }
 

@@ -1,5 +1,6 @@
 #include "sim/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -10,14 +11,12 @@ namespace hipec::sim {
 
 Nanos LatencyRecorder::Min() const {
   HIPEC_CHECK(!samples_.empty());
-  Sort();
-  return samples_.front();
+  return min_;
 }
 
 Nanos LatencyRecorder::Max() const {
   HIPEC_CHECK(!samples_.empty());
-  Sort();
-  return samples_.back();
+  return max_;
 }
 
 Nanos LatencyRecorder::Percentile(double p) const {
@@ -38,9 +37,59 @@ void LatencyRecorder::Sort() const {
   }
 }
 
+CounterRegistry& CounterRegistry::Instance() {
+  static CounterRegistry registry;
+  return registry;
+}
+
+CounterId CounterRegistry::Intern(const std::string& name) {
+  auto [it, inserted] = index_.try_emplace(name, static_cast<CounterId>(names_.size()));
+  if (inserted) {
+    names_.push_back(name);
+  }
+  return it->second;
+}
+
+CounterId CounterRegistry::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalid : it->second;
+}
+
+void CounterSet::AddViaLegacyLookup(CounterId id, int64_t delta) {
+  // Faithfully re-do what the string-keyed implementation did per Add: materialize the key
+  // (call sites passed string literals, so every call constructed a std::string — heap
+  // allocation for names past the SSO limit) and hash it into a string-keyed map. The delta
+  // still lands in the dense slot so Get()/all() are oblivious to the mode.
+  std::string key(CounterRegistry::Instance().NameOf(id).c_str());
+  auto [it, inserted] = legacy_index_.try_emplace(std::move(key), id);
+  CounterId slot = it->second;
+  if (slot >= values_.size()) [[unlikely]] {
+    Grow(slot);
+  }
+  values_[slot] += delta;
+}
+
+void CounterSet::Grow(CounterId id) {
+  // Size to the whole registry (not just id+1): after static init the registry rarely grows,
+  // so one resize typically covers every counter this set will ever see.
+  size_t want = std::max<size_t>(CounterRegistry::Instance().size(), static_cast<size_t>(id) + 1);
+  values_.resize(want, 0);
+}
+
+std::map<std::string, int64_t> CounterSet::all() const {
+  std::map<std::string, int64_t> out;
+  const CounterRegistry& registry = CounterRegistry::Instance();
+  for (CounterId id = 0; id < values_.size(); ++id) {
+    if (values_[id] != 0) {
+      out.emplace(registry.NameOf(id), values_[id]);
+    }
+  }
+  return out;
+}
+
 std::string CounterSet::ToString() const {
   std::ostringstream os;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : all()) {
     os << name << "=" << value << "\n";
   }
   return os.str();

@@ -2,10 +2,10 @@
 #ifndef HIPEC_SIM_STATS_H_
 #define HIPEC_SIM_STATS_H_
 
-#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/clock.h"
@@ -13,10 +13,17 @@
 namespace hipec::sim {
 
 // Accumulates scalar samples and reports summary statistics. Keeps all samples (experiment
-// scale here is modest), so exact percentiles are available.
+// scale here is modest), so exact percentiles are available. Min/Max are running values
+// maintained by Record — querying them never forces the percentile sort.
 class LatencyRecorder {
  public:
   void Record(Nanos value) {
+    if (samples_.empty() || value < min_) {
+      min_ = value;
+    }
+    if (samples_.empty() || value > max_) {
+      max_ = value;
+    }
     samples_.push_back(value);
     sum_ += value;
     sorted_ = false;
@@ -32,6 +39,8 @@ class LatencyRecorder {
   void Clear() {
     samples_.clear();
     sum_ = 0;
+    min_ = 0;
+    max_ = 0;
     sorted_ = false;
   }
 
@@ -41,24 +50,99 @@ class LatencyRecorder {
   mutable std::vector<Nanos> samples_;
   mutable bool sorted_ = false;
   Nanos sum_ = 0;
+  Nanos min_ = 0;
+  Nanos max_ = 0;
 };
+
+// A dense counter index. Names are interned into small integers exactly once (normally by a
+// namespace-scope initializer in the subsystem's .cc file), and every CounterSet stores its
+// values in a plain array indexed by id — the fault path never touches a string or a tree.
+using CounterId = uint32_t;
+
+// The process-wide name <-> id table. Single-threaded like the rest of the simulation; ids
+// are dense, stable for the process lifetime, and shared by every CounterSet.
+class CounterRegistry {
+ public:
+  static CounterRegistry& Instance();
+
+  // Returns the id for `name`, interning it on first sight. Idempotent: re-registering an
+  // existing name returns the same id.
+  CounterId Intern(const std::string& name);
+
+  // Returns the id for `name` if it was ever interned, or kInvalid.
+  static constexpr CounterId kInvalid = ~CounterId{0};
+  CounterId Find(const std::string& name) const;
+
+  const std::string& NameOf(CounterId id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  CounterRegistry() = default;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, CounterId> index_;
+};
+
+// Call-site shorthand for static-initializer interning:
+//   const sim::CounterId kFaults = sim::InternCounter("kernel.page_faults");
+inline CounterId InternCounter(const char* name) {
+  return CounterRegistry::Instance().Intern(name);
+}
 
 // A named bag of monotonically increasing counters. Every subsystem exposes one so tests can
 // assert on event counts (faults taken, commands decoded, pages flushed, ...).
+//
+// The hot path is Add(CounterId): one bounds check (taken only when the registry grew since
+// this set last resized, or never for sets touched after static init) plus an indexed add.
+// The string-keyed API is a thin wrapper kept for tests, ad-hoc probes and ToString().
 class CounterSet {
  public:
-  void Add(const std::string& name, int64_t delta = 1) { counters_[name] += delta; }
-  int64_t Get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+  void Add(CounterId id, int64_t delta = 1) {
+    if (legacy_string_lookups_) [[unlikely]] {
+      AddViaLegacyLookup(id, delta);
+      return;
+    }
+    if (id >= values_.size()) [[unlikely]] {
+      Grow(id);
+    }
+    values_[id] += delta;
   }
-  const std::map<std::string, int64_t>& all() const { return counters_; }
-  void Clear() { counters_.clear(); }
-  // Renders "name=value" lines, sorted by name.
+
+  // A/B switch for benchmarking: when enabled, every Add(CounterId) re-does the work the
+  // pre-interning implementation did per call — construct the key string and look it up in a
+  // string-keyed hash map — before landing the delta in the same dense slot. Values stay
+  // identical either way; only the per-call cost changes. bench_faultpath's pre_pr
+  // configuration turns this on so "faults/sec before interning" is measured, not estimated.
+  static void SetLegacyStringLookups(bool enabled) { legacy_string_lookups_ = enabled; }
+  static bool legacy_string_lookups() { return legacy_string_lookups_; }
+  int64_t Get(CounterId id) const {
+    return id < values_.size() ? values_[id] : 0;
+  }
+
+  // String-keyed wrappers over the interned fast path.
+  void Add(const std::string& name, int64_t delta = 1) {
+    Add(CounterRegistry::Instance().Intern(name), delta);
+  }
+  int64_t Get(const std::string& name) const {
+    CounterId id = CounterRegistry::Instance().Find(name);
+    return id == CounterRegistry::kInvalid ? 0 : Get(id);
+  }
+
+  // Materializes the non-zero counters, keyed by name (sorted). Zero-valued counters are
+  // indistinguishable from never-touched ones in the dense representation, so they do not
+  // appear — Get() still reports 0 for both.
+  std::map<std::string, int64_t> all() const;
+  void Clear() { values_.assign(values_.size(), 0); }
+  // Renders "name=value" lines, sorted by name (non-zero counters only).
   std::string ToString() const;
 
  private:
-  std::map<std::string, int64_t> counters_;
+  void Grow(CounterId id);
+  void AddViaLegacyLookup(CounterId id, int64_t delta);
+
+  std::vector<int64_t> values_;
+  // Pre-interning cost emulation: name -> id, populated lazily while the legacy switch is on.
+  std::unordered_map<std::string, CounterId> legacy_index_;
+  static inline bool legacy_string_lookups_ = false;
 };
 
 // Formats virtual nanoseconds as a human-readable duration ("4016.5 ms", "19.0 us").

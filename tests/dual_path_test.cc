@@ -104,15 +104,36 @@ void ExpectTracesIdentical(const World& ir, const World& sw) {
   }
 }
 
+// One interpreter configuration for a parity check: which loop runs, whether the IR loop
+// uses computed-goto dispatch, and whether the stream was decoded with superinstruction
+// fusion. The default is the production path.
+struct PathConfig {
+  DispatchMode mode = DispatchMode::kDecodedIr;
+  bool threaded = true;
+  bool fuse = true;
+};
+
+Container* MakePathContainer(World& w, PolicyProgram program, const HipecOptions& options,
+                             const PathConfig& config) {
+  w.executor.set_threaded_dispatch(config.threaded);
+  Container* c = w.MakeContainer(std::move(program), options);
+  if (!config.fuse) {
+    c->AdoptDecodedProgram(
+        DecodePolicy(c->program(), c->operands(), nullptr, /*fuse_superinstructions=*/false));
+  }
+  return c;
+}
+
 // Drives a policy the way the engine does — repeated PageFaults with the returned frame
 // pushed onto the active queue, reference/modify bits toggled deterministically, then a
 // ReclaimFrame pass — far enough to drain the free list and exercise the replacement path.
-void ExerciseTable2Policy(const std::function<PolicyProgram()>& make_program,
-                          HipecOptions options) {
-  World ir(DispatchMode::kDecodedIr);
-  World sw(DispatchMode::kReferenceSwitch);
-  Container* ca = ir.MakeContainer(make_program(), options);
-  Container* cb = sw.MakeContainer(make_program(), options);
+void ExerciseTable2PolicyPaths(const std::function<PolicyProgram()>& make_program,
+                               HipecOptions options, const PathConfig& a,
+                               const PathConfig& b) {
+  World ir(a.mode);
+  World sw(b.mode);
+  Container* ca = MakePathContainer(ir, make_program(), options, a);
+  Container* cb = MakePathContainer(sw, make_program(), options, b);
 
   auto after_fault = [](World& w, Container* c, const ExecResult& result, int round) {
     if (c->operands().TypeOf(result.return_operand) != OperandType::kPage) {
@@ -145,6 +166,14 @@ void ExerciseTable2Policy(const std::function<PolicyProgram()>& make_program,
 
   ExpectTracesIdentical(ir, sw);
   EXPECT_GT(ir.trace.size(), 0u);
+}
+
+// The headline pairing: production IR (fused, threaded where available) vs the pre-IR
+// reference interpreter.
+void ExerciseTable2Policy(const std::function<PolicyProgram()>& make_program,
+                          HipecOptions options) {
+  ExerciseTable2PolicyPaths(make_program, options, PathConfig{},
+                            PathConfig{DispatchMode::kReferenceSwitch});
 }
 
 TEST(DualPathTable2Test, FifoSecondChance) {
@@ -191,6 +220,152 @@ TEST(DualPathTable2Test, TwoQueue) {
   HipecOptions options = policies::TwoQueueOptions();
   options.min_frames = 8;
   ExerciseTable2Policy([] { return policies::TwoQueuePolicy(); }, options);
+}
+
+// --------------------------------------------------------- superinstruction fusion parity
+
+// Fused vs unfused decodings of the same policy, both on the IR loop: the fusion pass must
+// be invisible in every observable (trace, outcome, command count, virtual time effects).
+TEST(DualPathFusionTest, FusedVsUnfusedIrFifoSecondChance) {
+  HipecOptions options;
+  options.min_frames = 8;
+  ExerciseTable2PolicyPaths([] { return policies::FifoSecondChancePolicy(); }, options,
+                            PathConfig{.fuse = true}, PathConfig{.fuse = false});
+}
+
+TEST(DualPathFusionTest, FusedVsUnfusedIrClock) {
+  HipecOptions options;
+  options.min_frames = 8;
+  ExerciseTable2PolicyPaths([] { return policies::ClockPolicy(); }, options,
+                            PathConfig{.fuse = true}, PathConfig{.fuse = false});
+}
+
+TEST(DualPathFusionTest, FusedVsUnfusedIrTwoQueue) {
+  HipecOptions options = policies::TwoQueueOptions();
+  options.min_frames = 8;
+  ExerciseTable2PolicyPaths([] { return policies::TwoQueuePolicy(); }, options,
+                            PathConfig{.fuse = true}, PathConfig{.fuse = false});
+}
+
+// The unfused IR stream must also still match the pre-IR reference interpreter (closes the
+// triangle: fused == unfused == reference).
+TEST(DualPathFusionTest, UnfusedIrVsReferenceSwitchLru) {
+  HipecOptions options;
+  options.min_frames = 8;
+  ExerciseTable2PolicyPaths([] { return policies::LruPolicy(policies::CommandStyle::kComplex); },
+                            options, PathConfig{.fuse = false},
+                            PathConfig{.mode = DispatchMode::kReferenceSwitch});
+}
+
+// Computed-goto vs dense-switch instantiations of the IR loop, both fused.
+TEST(DualPathFusionTest, ThreadedVsSwitchDispatchFifoSecondChance) {
+  HipecOptions options;
+  options.min_frames = 8;
+  ExerciseTable2PolicyPaths([] { return policies::FifoSecondChancePolicy(); }, options,
+                            PathConfig{.threaded = true}, PathConfig{.threaded = false});
+}
+
+TEST(DualPathFusionTest, ThreadedVsSwitchDispatchTwoQueue) {
+  HipecOptions options = policies::TwoQueueOptions();
+  options.min_frames = 8;
+  ExerciseTable2PolicyPaths([] { return policies::TwoQueuePolicy(); }, options,
+                            PathConfig{.threaded = true}, PathConfig{.threaded = false});
+}
+
+// Guard against the equivalence tests above becoming vacuous: the Table 2 policies must
+// actually contain fused pairs after decoding with fusion on.
+TEST(DualPathFusionTest, Table2PoliciesActuallyFuse) {
+  World w(DispatchMode::kDecodedIr);
+  Container* c = w.MakeContainer(OneEvent({Instruction{Opcode::kReturn, 0, 0, 0}}),
+                                 policies::TwoQueueOptions());
+  for (const PolicyProgram& program :
+       {policies::FifoSecondChancePolicy(), policies::ClockPolicy(),
+        policies::TwoQueuePolicy(), policies::LruPolicy(policies::CommandStyle::kComplex)}) {
+    DecodedProgram fused = DecodePolicy(program, c->operands());
+    int fused_count = 0;
+    for (const DecodedEvent& ev : fused.events) {
+      for (const DecodedInst& d : ev.insts) {
+        fused_count += IsFusedKind(d.kind) ? 1 : 0;
+      }
+    }
+    EXPECT_GT(fused_count, 0) << "policy decoded without a single superinstruction";
+    DecodedProgram unfused =
+        DecodePolicy(program, c->operands(), nullptr, /*fuse_superinstructions=*/false);
+    for (const DecodedEvent& ev : unfused.events) {
+      for (const DecodedInst& d : ev.insts) {
+        EXPECT_FALSE(IsFusedKind(d.kind));
+      }
+    }
+  }
+}
+
+// A jump that targets the second half of an otherwise-fusable Comp;Jump pair must block the
+// fusion: control enters at the Jump alone, so folding it into the Comp would change both
+// the trace and the branch behavior.
+TEST(DualPathFusionTest, JumpIntoPairSecondHalfBlocksFusionAndStaysEquivalent) {
+  auto make_program = [] {
+    std::vector<Instruction> commands = {
+        // 1: Comp s0 == s1 (both 0 → true, so the next Jump falls through)
+        Instruction{Opcode::kComp, ops::kScratch0, ops::kScratch1,
+                    static_cast<uint8_t>(CompOp::kEq)},
+        // 2: Jump → 4 (not taken on first pass; taken when re-entered from 3)
+        Instruction{Opcode::kJump, 0, 0, 4},
+        // 3: Jump → 2 (flag is clear after 2 executed untaken → taken; makes 2 a jump target)
+        Instruction{Opcode::kJump, 0, 0, 2},
+        // 4: Return
+        Instruction{Opcode::kReturn, 0, 0, 0},
+    };
+    return OneEvent(commands);
+  };
+
+  World ir(DispatchMode::kDecodedIr);
+  World sw(DispatchMode::kReferenceSwitch);
+  Container* ca = ir.MakeContainer(make_program());
+  Container* cb = sw.MakeContainer(make_program());
+
+  // Slot 2 is a jump target, so pair (1,2) must not fuse.
+  const DecodedEvent& decoded = ca->decoded_program().event(kEventPageFault);
+  EXPECT_EQ(decoded.insts[1].kind, DispatchKind::kCompEq);
+  EXPECT_EQ(decoded.insts[2].kind, DispatchKind::kJump);
+
+  ExecResult result;
+  RunBothAndCompare(ir, ca, sw, cb, kEventPageFault, &result);
+  EXPECT_EQ(result.outcome, ExecOutcome::kOk);
+  EXPECT_EQ(result.commands_executed, 5);  // 1, 2, 3, 2(taken), 4
+  ExpectTracesIdentical(ir, sw);
+}
+
+// A fused Comp;Jump whose jump target was redirected to the trap slot at decode time must
+// fail at the moment the branch is taken — identically to the unfused and reference paths.
+TEST(DualPathFusionTest, FusedJumpOutOfRangeFailsIdentically) {
+  auto make_program = [] {
+    std::vector<Instruction> commands = {
+        // 1: Comp s0 != s1 (both 0 → false, so the Jump is taken)
+        Instruction{Opcode::kComp, ops::kScratch0, ops::kScratch1,
+                    static_cast<uint8_t>(CompOp::kNe)},
+        // 2: Jump → 99 (out of range; decode redirects to trap slot 0)
+        Instruction{Opcode::kJump, 0, 0, 99},
+        // 3: Return (never reached)
+        Instruction{Opcode::kReturn, 0, 0, 0},
+    };
+    return OneEvent(commands);
+  };
+
+  World ir(DispatchMode::kDecodedIr);
+  World sw(DispatchMode::kReferenceSwitch);
+  Container* ca = ir.MakeContainer(make_program());
+  Container* cb = sw.MakeContainer(make_program());
+
+  // The pair is eligible (slot 2 is not a jump target) and must have fused.
+  const DecodedEvent& decoded = ca->decoded_program().event(kEventPageFault);
+  EXPECT_EQ(decoded.insts[1].kind, DispatchKind::kFusedCompNeJump);
+
+  ExecResult result;
+  RunBothAndCompare(ir, ca, sw, cb, kEventPageFault, &result);
+  EXPECT_EQ(result.outcome, ExecOutcome::kError);
+  EXPECT_EQ(result.error, "control fell outside the command stream");
+  EXPECT_EQ(result.commands_executed, 2);  // both halves charged before the trap fires
+  ExpectTracesIdentical(ir, sw);
 }
 
 // Sustained control flow: the 100-iteration compare/branch/arithmetic loop. Checks the exact
@@ -398,24 +573,32 @@ TEST(DecodedIrTest, KeepsConditionAgreesWithSetsConditionForEveryOpcode) {
 
   World w(DispatchMode::kDecodedIr);
   Container* c = w.MakeContainer(OneEvent(commands));
-  const DecodedEvent& decoded = c->decoded_program().event(kEventPageFault);
+  // Decode without superinstruction fusion so every opcode maps 1:1 onto an unfused kind —
+  // a fused kind covers two opcodes and is checked separately (trace-equivalence tests).
+  DecodedProgram unfused =
+      DecodePolicy(c->program(), c->operands(), nullptr, /*fuse_superinstructions=*/false);
+  const DecodedEvent& decoded = unfused.event(kEventPageFault);
   ASSERT_EQ(decoded.insts.size(), commands.size() + 2);  // + magic slot + end trap slot
 
   for (size_t cc = 1; cc <= commands.size(); ++cc) {
     const DecodedInst& d = decoded.insts[cc];
     ASSERT_NE(d.kind, DispatchKind::kTrapError)
         << "cc=" << cc << ": expected a cleanly decodable instruction";
+    ASSERT_FALSE(IsFusedKind(d.kind)) << "cc=" << cc << ": unfused decode produced a fused kind";
     EXPECT_EQ(KeepsCondition(d.kind), SetsCondition(static_cast<Opcode>(d.raw_op)))
         << "cc=" << cc << " kind=" << static_cast<int>(d.kind);
   }
-  // Library policies too, for good measure (they exercise fused sub-operations).
+  // Library policies too, for good measure (they exercise fused sub-operations). These
+  // decode with fusion on, as installed; fused kinds span two opcodes (e.g. Comp;Jump, where
+  // SetsCondition differs between the halves), so the 1:1 agreement check skips them.
   for (const PolicyProgram& program :
        {policies::FifoSecondChancePolicy(), policies::ClockPolicy(),
         policies::TwoQueuePolicy()}) {
     DecodedProgram dp = DecodePolicy(program, c->operands());
     for (const DecodedEvent& ev : dp.events) {
       for (const DecodedInst& d : ev.insts) {
-        if (d.kind == DispatchKind::kTrapError || d.kind == DispatchKind::kTrapOutside) {
+        if (d.kind == DispatchKind::kTrapError || d.kind == DispatchKind::kTrapOutside ||
+            IsFusedKind(d.kind)) {
           continue;
         }
         EXPECT_EQ(KeepsCondition(d.kind), SetsCondition(static_cast<Opcode>(d.raw_op)));

@@ -125,6 +125,38 @@ TEST(EngineTest, SecondChancePolicyRecyclesUnderPressure) {
   ExpectConservation(kernel);
 }
 
+// The interned-counter fast path and the retained string-keyed API must observe the same
+// values — across a real fault storm that exercises the converted call sites in the kernel,
+// engine, manager and executor.
+TEST(EngineTest, CounterApisAgreeAcrossFaultStorm) {
+  mach::Kernel kernel(SmallParams());
+  HipecEngine engine(&kernel);
+  mach::Task* task = kernel.CreateTask("app");
+  HipecRegion region = engine.VmAllocateHipec(task, 128 * kPageSize,
+                                              policies::FifoSecondChancePolicy(),
+                                              DefaultOptions(64));
+  ASSERT_TRUE(region.ok) << region.error;
+  EXPECT_TRUE(kernel.TouchRange(task, region.addr, 128 * kPageSize, true));
+
+  // String-keyed Get resolves through the registry onto the same slots the interned-id adds
+  // hit on the fault path.
+  EXPECT_EQ(engine.counters().Get("engine.faults_handled"), 128);
+  EXPECT_EQ(engine.counters().Get(sim::InternCounter("engine.faults_handled")), 128);
+  EXPECT_EQ(kernel.counters().Get("kernel.page_faults"),
+            kernel.counters().Get(sim::InternCounter("kernel.page_faults")));
+  EXPECT_GT(kernel.counters().Get("kernel.hipec_faults"), 0);
+  EXPECT_GT(engine.executor().counters().Get("executor.events"), 0);
+  EXPECT_EQ(engine.executor().counters().Get("executor.events"),
+            engine.executor().counters().Get(sim::InternCounter("executor.events")));
+
+  // The materialized view lists exactly what Get reports.
+  auto all = engine.counters().all();
+  EXPECT_EQ(all.at("engine.faults_handled"), 128);
+  EXPECT_NE(engine.counters().ToString().find("engine.faults_handled=128"),
+            std::string::npos);
+  ExpectConservation(kernel);
+}
+
 TEST(EngineTest, WriteToCommandBufferTerminatesApplication) {
   mach::Kernel kernel(SmallParams());
   HipecEngine engine(&kernel);

@@ -221,6 +221,78 @@ TEST(CounterSetTest, AddAndGet) {
   EXPECT_EQ(counters.Get("x"), 5);
 }
 
+TEST(CounterRegistryTest, InternIsIdempotentAndRoundTrips) {
+  CounterRegistry& registry = CounterRegistry::Instance();
+  CounterId id = registry.Intern("registry_test.round_trip");
+  EXPECT_EQ(registry.Intern("registry_test.round_trip"), id);  // duplicate registration
+  EXPECT_EQ(registry.NameOf(id), "registry_test.round_trip");
+  EXPECT_EQ(registry.Find("registry_test.round_trip"), id);
+
+  CounterId other = registry.Intern("registry_test.other");
+  EXPECT_NE(other, id);
+  EXPECT_EQ(registry.NameOf(other), "registry_test.other");
+}
+
+TEST(CounterRegistryTest, FindOfUnknownNameDoesNotIntern) {
+  CounterRegistry& registry = CounterRegistry::Instance();
+  size_t size_before = registry.size();
+  EXPECT_EQ(registry.Find("registry_test.never_interned"), CounterRegistry::kInvalid);
+  EXPECT_EQ(registry.size(), size_before);
+
+  // Get() by an unknown string reports 0 without registering the name.
+  CounterSet counters;
+  EXPECT_EQ(counters.Get("registry_test.never_interned"), 0);
+  EXPECT_EQ(registry.size(), size_before);
+}
+
+TEST(CounterRegistryTest, IdAndStringApisHitTheSameCounter) {
+  CounterId id = InternCounter("registry_test.same_counter");
+  CounterSet counters;
+  counters.Add(id, 3);
+  counters.Add("registry_test.same_counter", 4);
+  EXPECT_EQ(counters.Get(id), 7);
+  EXPECT_EQ(counters.Get("registry_test.same_counter"), 7);
+  EXPECT_EQ(counters.all().at("registry_test.same_counter"), 7);
+}
+
+TEST(CounterSetTest, ClearZeroesEverything) {
+  CounterSet counters;
+  CounterId id = InternCounter("registry_test.clear_me");
+  counters.Add(id, 41);
+  counters.Add("registry_test.clear_me_too", 1);
+  counters.Clear();
+  EXPECT_EQ(counters.Get(id), 0);
+  EXPECT_EQ(counters.Get("registry_test.clear_me_too"), 0);
+  EXPECT_TRUE(counters.all().empty());
+  counters.Add(id);  // still usable after Clear
+  EXPECT_EQ(counters.Get(id), 1);
+}
+
+TEST(CounterSetTest, LegacyStringLookupModeKeepsValuesIdentical) {
+  // The A/B switch bench_faultpath uses to price the pre-interning counter path must only
+  // change per-call cost, never observable values.
+  CounterId id = InternCounter("registry_test.legacy_mode");
+  CounterSet counters;
+  counters.Add(id, 2);
+  CounterSet::SetLegacyStringLookups(true);
+  EXPECT_TRUE(CounterSet::legacy_string_lookups());
+  counters.Add(id, 3);
+  counters.Add("registry_test.legacy_mode", 4);
+  CounterSet::SetLegacyStringLookups(false);
+  counters.Add(id, 5);
+  EXPECT_EQ(counters.Get(id), 14);
+  EXPECT_EQ(counters.Get("registry_test.legacy_mode"), 14);
+  EXPECT_EQ(counters.all().at("registry_test.legacy_mode"), 14);
+}
+
+TEST(CounterSetTest, ToStringListsNonZeroCountersSorted) {
+  CounterSet counters;
+  counters.Add("registry_test.b_second", 2);
+  counters.Add("registry_test.a_first", 1);
+  EXPECT_EQ(counters.ToString(),
+            "registry_test.a_first=1\nregistry_test.b_second=2\n");
+}
+
 TEST(FormatNanosTest, PicksUnits) {
   EXPECT_EQ(FormatNanos(150), "150 ns");
   EXPECT_EQ(FormatNanos(19 * kMicrosecond), "19.0 us");
