@@ -1,0 +1,108 @@
+// Multi-tenant scenario benchmark: runs the canned contention scenarios (scenario/canned.h)
+// end to end — invariant auditing on — and reports per-tenant fault throughput, Request
+// reject rates, and forced-reclamation counts, as a human table and as JSON lines for the CI
+// perf-smoke gate.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "scenario/canned.h"
+#include "scenario/scenario.h"
+
+namespace {
+
+using hipec::bench::JsonLine;
+using hipec::scenario::ScenarioResult;
+using hipec::scenario::ScenarioSpec;
+using hipec::scenario::TenantResult;
+
+double RejectRate(int64_t made, int64_t rejected) {
+  return made > 0 ? static_cast<double>(rejected) / static_cast<double>(made) : 0.0;
+}
+
+void RunOne(const ScenarioSpec& spec) {
+  auto start = std::chrono::steady_clock::now();
+  ScenarioResult result = hipec::scenario::RunScenario(spec);
+  std::chrono::duration<double> host = std::chrono::steady_clock::now() - start;
+  double host_sec = host.count();
+  double virtual_sec = static_cast<double>(result.virtual_ns) / 1e9;
+
+  int64_t faults = 0;
+  int64_t requests = 0;
+  int64_t rejects = 0;
+  int64_t forced = 0;
+  for (const TenantResult& t : result.tenants) {
+    faults += t.faults_handled;
+    requests += t.requests_made;
+    rejects += t.requests_rejected;
+    forced += t.frames_force_reclaimed;
+  }
+
+  hipec::bench::Title("scenario: " + result.name);
+  std::printf("  virtual time %.3f s, host time %.3f s, audits %lld, checker kills %lld\n",
+              virtual_sec, host_sec, static_cast<long long>(result.audits_run),
+              static_cast<long long>(result.checker_kills));
+  std::printf("  %-18s %8s %8s %8s %8s %8s %8s\n", "tenant", "faults", "req", "rej", "forced",
+              "peak", "done");
+  for (const TenantResult& t : result.tenants) {
+    std::printf("  %-18s %8lld %8lld %8lld %8lld %8zu %8s\n", t.name.c_str(),
+                static_cast<long long>(t.faults_handled),
+                static_cast<long long>(t.requests_made),
+                static_cast<long long>(t.requests_rejected),
+                static_cast<long long>(t.frames_force_reclaimed), t.frames_peak,
+                t.completed         ? "yes"
+                : t.killed_by_checker ? "killed"
+                : t.torn_down         ? "torn"
+                                      : "no");
+  }
+
+  JsonLine json;
+  json.Str("bench", "scenario")
+      .Str("scenario", result.name)
+      .Int("tenants", static_cast<long long>(result.tenants.size()))
+      .Int("background", static_cast<long long>(result.background.size()))
+      .Int("faults", faults)
+      .Int("requests", requests)
+      .Int("requests_rejected", rejects)
+      .Num("reject_rate", RejectRate(requests, rejects), 4)
+      .Int("forced_reclaims", forced)
+      .Int("flush_exchange", result.Decision("flush-exchange"))
+      .Int("flush_sync", result.Decision("flush-sync"))
+      .Int("burst_watermark_final", static_cast<long long>(result.burst_watermark_final))
+      .Int("checker_kills", result.checker_kills)
+      .Int("audits", result.audits_run)
+      .Num("virtual_sec", virtual_sec, 3)
+      .Num("host_sec", host_sec, 3)
+      .Emit();
+  json.Str("bench", "scenario")
+      .Str("scenario", result.name)
+      .Str("metric", "faults_per_host_sec")
+      .Num("value", host_sec > 0 ? static_cast<double>(faults) / host_sec : 0.0, 0)
+      .Emit();
+  for (const TenantResult& t : result.tenants) {
+    json.Str("bench", "scenario_tenant")
+        .Str("scenario", result.name)
+        .Str("tenant", t.name)
+        .Int("faults", t.faults_handled)
+        .Num("faults_per_virtual_sec",
+             virtual_sec > 0 ? static_cast<double>(t.faults_handled) / virtual_sec : 0.0, 1)
+        .Int("requests", t.requests_made)
+        .Int("requests_rejected", t.requests_rejected)
+        .Num("reject_rate", RejectRate(t.requests_made, t.requests_rejected), 4)
+        .Int("forced_reclaims", t.frames_force_reclaimed)
+        .Int("frames_peak", static_cast<long long>(t.frames_peak))
+        .Int("completed", t.completed ? 1 : 0)
+        .Int("killed_by_checker", t.killed_by_checker ? 1 : 0)
+        .Emit();
+  }
+}
+
+}  // namespace
+
+int main() {
+  for (const ScenarioSpec& spec : hipec::scenario::AllCannedScenarios()) {
+    RunOne(spec);
+  }
+  return 0;
+}

@@ -9,14 +9,14 @@ namespace hipec::bench {
 
 // Builds one machine-readable JSON object per line, keys in insertion order — the format the
 // benches print after their human-readable tables and scripts/CI consume by grepping for
-// lines starting with '{'. Values are escaped minimally (keys and string values in the
-// benches are plain identifiers).
+// lines starting with '{'. String values are escaped, so scenario names carrying quotes,
+// backslashes, or control characters still emit valid JSON.
 class JsonLine {
  public:
   JsonLine& Str(const char* key, const std::string& value) {
     Key(key);
     buf_ += '"';
-    buf_ += value;
+    AppendEscaped(value);
     buf_ += '"';
     return *this;
   }
@@ -36,9 +36,15 @@ class JsonLine {
   }
   // Prints the finished object on its own line and resets for reuse.
   void Emit() {
-    std::printf("%s}\n", buf_.c_str());
+    std::printf("%s\n", Finish().c_str());
     std::fflush(stdout);
+  }
+
+  // Returns the finished object and resets for reuse (tests use this instead of Emit).
+  std::string Finish() {
+    std::string out = buf_ + "}";
     buf_ = "{";
+    return out;
   }
 
  private:
@@ -47,8 +53,38 @@ class JsonLine {
       buf_ += ',';
     }
     buf_ += '"';
-    buf_ += key;
+    AppendEscaped(key);
     buf_ += "\":";
+  }
+
+  void AppendEscaped(const std::string& value) {
+    for (char ch : value) {
+      switch (ch) {
+        case '"':
+          buf_ += "\\\"";
+          break;
+        case '\\':
+          buf_ += "\\\\";
+          break;
+        case '\n':
+          buf_ += "\\n";
+          break;
+        case '\t':
+          buf_ += "\\t";
+          break;
+        case '\r':
+          buf_ += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char hex[8];
+            std::snprintf(hex, sizeof(hex), "\\u%04x", static_cast<unsigned char>(ch));
+            buf_ += hex;
+          } else {
+            buf_ += ch;
+          }
+      }
+    }
   }
 
   std::string buf_ = "{";

@@ -61,7 +61,7 @@ sim::Nanos DiskModel::ReadPage(uint64_t block) {
     HIPEC_CHECK_MSG(deadline >= 0, "write queue saturated with no drain event pending");
     clock_->AdvanceTo(deadline);
   }
-  sim::Nanos service = ServiceTimeNs(block);
+  sim::Nanos service = ServiceTimeNs(block) + injected_read_ns_;
   clock_->Advance(service);
   counters_.Add(kCtrReads);
   sim::Nanos total = clock_->now() - start;

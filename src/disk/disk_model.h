@@ -103,6 +103,11 @@ class DiskModel {
   // the modelled head state.
   sim::Nanos ServiceTimeNs(uint64_t block, bool is_write = false);
 
+  // Fault injection (scenario engine): every read pays this much extra service time until the
+  // injection is cleared with 0. Models a degraded drive / saturated bus latency spike.
+  void InjectReadLatency(sim::Nanos extra_ns) { injected_read_ns_ = extra_ns; }
+  sim::Nanos injected_read_latency() const { return injected_read_ns_; }
+
   const DiskParams& params() const { return params_; }
   sim::CounterSet& counters() { return counters_; }
   const sim::LatencyRecorder& read_latency() const { return read_latency_; }
@@ -127,6 +132,7 @@ class DiskModel {
   sim::Rng rng_;
   WriteScheduling sched_;
   int64_t head_cylinder_ = 0;
+  sim::Nanos injected_read_ns_ = 0;
   bool write_in_flight_ = false;
   std::deque<PendingWrite> write_queue_;
   sim::CounterSet counters_;

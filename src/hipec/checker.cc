@@ -67,6 +67,9 @@ void SecurityChecker::Wakeup() {
       c->kill_requested = true;  // the executor aborts at its next command fetch
       detected = true;
       counters_.Add(kCtrTimeoutsDetected);
+      if (timeout_observer_) {
+        timeout_observer_(c->id());
+      }
     }
   }
 

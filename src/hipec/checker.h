@@ -13,6 +13,9 @@
 #ifndef HIPEC_HIPEC_CHECKER_H_
 #define HIPEC_HIPEC_CHECKER_H_
 
+#include <cstdint>
+#include <functional>
+
 #include "hipec/frame_manager.h"
 #include "hipec/validator.h"
 #include "mach/kernel.h"
@@ -38,6 +41,13 @@ class SecurityChecker {
   void Stop();
   bool running() const { return running_; }
 
+  // Invoked with the container id each time the checker marks a policy execution for
+  // termination. The container may be freed shortly afterwards (the executor aborts and the
+  // engine terminates the task), so the observer must not hold onto the pointer — hence the
+  // id. The scenario engine uses this to attribute kills to tenants.
+  using TimeoutObserver = std::function<void(uint64_t container_id)>;
+  void SetTimeoutObserver(TimeoutObserver observer) { timeout_observer_ = std::move(observer); }
+
   sim::Nanos current_wakeup_interval() const { return wakeup_ns_; }
   int64_t wakeups() const { return counters_.Get("checker.wakeups"); }
   int64_t timeouts_detected() const { return counters_.Get("checker.timeouts_detected"); }
@@ -50,6 +60,7 @@ class SecurityChecker {
   mach::Kernel* kernel_;
   GlobalFrameManager* manager_;
   sim::Nanos wakeup_ns_;
+  TimeoutObserver timeout_observer_;
   bool running_ = false;
   sim::VirtualClock::EventId pending_event_ = 0;
   sim::CounterSet counters_;

@@ -91,6 +91,11 @@ class Container {
   int64_t faults_handled = 0;
   int64_t commands_executed = 0;
   int64_t frames_reclaimed_from = 0;
+  // Per-tenant allocation pressure, maintained by the global frame manager so multi-tenant
+  // scenarios can report per-application grant/reject/forced-reclaim rates.
+  int64_t requests_made = 0;
+  int64_t requests_rejected = 0;
+  int64_t frames_force_reclaimed = 0;
 
  private:
   uint64_t id_;

@@ -44,6 +44,7 @@ GlobalFrameManager::GlobalFrameManager(mach::Kernel* kernel, FrameManagerConfig 
   // Stock the clean reserve used by Flush exchanges.
   bool ok = kernel_->daemon().AllocFramesForManager(config_.reserve_frames, &reserve_, this);
   HIPEC_CHECK_MSG(ok, "boot: cannot stock the flush reserve");
+  stocked_reserve_ = reserve_.count();
 }
 
 // ------------------------------------------------------------------ allocation-ordered list
@@ -51,6 +52,7 @@ GlobalFrameManager::GlobalFrameManager(mach::Kernel* kernel, FrameManagerConfig 
 void GlobalFrameManager::TrackAlloc(mach::VmPage* page) {
   HIPEC_CHECK(!page->on_alloc_list);
   page->on_alloc_list = true;
+  page->alloc_seq = next_alloc_seq_++;
   page->alloc_prev = alloc_tail_;
   page->alloc_next = nullptr;
   if (alloc_tail_ != nullptr) {
@@ -179,22 +181,28 @@ bool GlobalFrameManager::AdmitContainer(Container* container) {
   size_t n = container->min_frames();
   if (!CheckBurst(container, n) || !EnsureManagerFrames(n, container)) {
     counters_.Add(kCtrAdmissionsRejected);
+    NotifyDecision("admit-reject");
     return false;
   }
   GrantFrames(container, n, &container->free_q());
   containers_.push_back(container);
   counters_.Add(kCtrAdmissions);
+  NotifyDecision("admit");
   return true;
 }
 
 bool GlobalFrameManager::RequestFrames(Container* container, size_t n, mach::PageQueue* dest) {
   MaybeAdaptBurst();
   counters_.Add(kCtrRequests);
+  ++container->requests_made;
   if (!CheckBurst(container, n) || !EnsureManagerFrames(n, container)) {
     counters_.Add(kCtrRequestsRejected);
+    ++container->requests_rejected;
+    NotifyDecision("request-reject");
     return false;
   }
   GrantFrames(container, n, dest);
+  NotifyDecision("request");
   return true;
 }
 
@@ -210,6 +218,7 @@ void GlobalFrameManager::ReleaseFrame(Container* container, mach::VmPage* page) 
   --container->allocated_frames;
   --total_specific_;
   counters_.Add(kCtrFramesReleased);
+  NotifyDecision("release");
 }
 
 mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPage* page) {
@@ -227,6 +236,7 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
   }
   if (!was_dirty) {
     counters_.Add(kCtrFlushesClean);
+    NotifyDecision("flush-clean");
     return page;
   }
 
@@ -237,6 +247,7 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
     counters_.Add(kCtrFlushesSync);
     kernel_->disk().WritePageSync(block);
     page->modified = false;
+    NotifyDecision("flush-sync");
     return page;
   }
 
@@ -254,6 +265,7 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
     counters_.Add(kCtrLaundryDone);
   });
   counters_.Add(kCtrFlushesAsync);
+  NotifyDecision("flush-exchange");
   return replacement;
 }
 
@@ -270,6 +282,7 @@ bool GlobalFrameManager::MigrateFrame(Container* from, mach::VmPage* page, uint6
   if (target == nullptr || target == from || !target->accepts_migration ||
       target->task()->terminated()) {
     counters_.Add(kCtrMigrationsRejected);
+    NotifyDecision("migrate-reject");
     return false;
   }
   if (page->object != nullptr) {
@@ -281,6 +294,7 @@ bool GlobalFrameManager::MigrateFrame(Container* from, mach::VmPage* page, uint6
   page->owner = target;
   target->free_q().EnqueueTail(page, kernel_->clock().now());
   counters_.Add(kCtrMigrations);
+  NotifyDecision("migrate");
   return true;
 }
 
@@ -353,6 +367,7 @@ size_t GlobalFrameManager::ForcedReclaim(size_t needed, Container* exclude) {
       kernel_->EvictPage(page, /*flush_if_dirty=*/false);
       UntrackAlloc(page);
       --owner->allocated_frames;
+      ++owner->frames_force_reclaimed;
       --total_specific_;
       kernel_->daemon().ReturnFrame(page);
       ++got;
@@ -428,6 +443,7 @@ void GlobalFrameManager::RemoveContainer(Container* container) {
                                            << " frames after teardown");
   std::erase(containers_, container);
   counters_.Add(kCtrContainersRemoved);
+  NotifyDecision("remove-container");
 }
 
 }  // namespace hipec::core

@@ -68,6 +68,14 @@ class GlobalFrameManager {
   using ReclaimRunner = std::function<size_t(Container*, size_t)>;
   void SetReclaimRunner(ReclaimRunner runner) { reclaim_runner_ = std::move(runner); }
 
+  // Invoked after every completed manager decision (admission, request, release, flush,
+  // migration, container removal) with a short decision name. The scenario engine's invariant
+  // auditor hangs off this hook; it must not allocate or free frames. Decisions nested inside
+  // reclamation (a victim policy Releasing frames mid-Request) fire the hook too — manager
+  // state is consistent at each of those boundaries.
+  using DecisionHook = std::function<void(const char* decision)>;
+  void SetDecisionHook(DecisionHook hook) { decision_hook_ = std::move(hook); }
+
   // --- Registration ---------------------------------------------------------------------------
 
   // Grants the container its minFrame pages onto its private free list. All-or-nothing; on
@@ -117,6 +125,14 @@ class GlobalFrameManager {
   // Frames owned by the manager itself (reserve + laundry); for the conservation invariant.
   size_t manager_owned() const { return reserve_.count() + laundry_.count(); }
 
+  // Frames stocked into the Flush reserve at boot. Flush exchanges swap frames one-for-one,
+  // so reserve + laundry must equal this at every decision boundary (audited invariant).
+  size_t stocked_reserve() const { return stocked_reserve_; }
+
+  // Head of the global allocation-time-ordered frame list (FAFR forced-reclamation order);
+  // walk with VmPage::alloc_next. Exposed for the invariant auditor.
+  const mach::VmPage* alloc_head() const { return alloc_head_; }
+
  private:
   // Makes >= n frames available in the daemon's free pool (balance, then normal reclamation,
   // then forced reclamation). Returns false if even that fails.
@@ -135,6 +151,12 @@ class GlobalFrameManager {
   void TrackAlloc(mach::VmPage* page);
   void UntrackAlloc(mach::VmPage* page);
 
+  void NotifyDecision(const char* decision) {
+    if (decision_hook_) {
+      decision_hook_(decision);
+    }
+  }
+
   mach::Kernel* kernel_;
   FrameManagerConfig config_;
   size_t partition_burst_;
@@ -152,7 +174,10 @@ class GlobalFrameManager {
   mach::VmPage* alloc_tail_ = nullptr;
 
   ReclaimRunner reclaim_runner_;
+  DecisionHook decision_hook_;
   size_t reclaim_cursor_ = 0;
+  size_t stocked_reserve_ = 0;
+  uint64_t next_alloc_seq_ = 1;
 
   // Adaptive-burst state.
   size_t boot_free_frames_ = 0;

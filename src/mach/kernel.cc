@@ -342,7 +342,7 @@ void Kernel::ChargePageoutScan(size_t pages_examined) {
                  params_.costs.pageout_scan_per_page_ns);
 }
 
-FrameAccounting Kernel::ComputeFrameAccounting() const {
+FrameAccounting Kernel::ComputeFrameAccounting(const void* manager_owner) const {
   FrameAccounting acc;
   acc.total = frames_.size();
   for (const VmPage& page : frames_) {
@@ -354,6 +354,8 @@ FrameAccounting Kernel::ComputeFrameAccounting() const {
       ++acc.global_active;
     } else if (page.queue == &daemon_->inactive_queue()) {
       ++acc.global_inactive;
+    } else if (manager_owner != nullptr && page.owner == manager_owner) {
+      ++acc.manager_owned;
     } else if (page.owner != nullptr) {
       ++acc.container_owned;
     } else {

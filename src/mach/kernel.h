@@ -74,12 +74,13 @@ struct FrameAccounting {
   size_t global_active = 0;
   size_t global_inactive = 0;
   size_t container_owned = 0;  // frames on HiPEC private queues (owner != nullptr)
+  size_t manager_owned = 0;    // frames held by the frame manager itself (reserve + laundry)
   size_t wired = 0;
   size_t unaccounted = 0;  // should be 0 between operations
 
   size_t Sum() const {
-    return global_free + global_active + global_inactive + container_owned + wired +
-           unaccounted;
+    return global_free + global_active + global_inactive + container_owned + manager_owned +
+           wired + unaccounted;
   }
 };
 
@@ -184,7 +185,10 @@ class Kernel {
   // Frames that were free once the kernel finished booting; partition_burst derives from it.
   uint64_t boot_free_frames() const { return boot_free_frames_; }
 
-  FrameAccounting ComputeFrameAccounting() const;
+  // `manager_owner` (when non-null) is the frame manager's self-ownership tag: frames whose
+  // owner equals it are classified manager_owned instead of container_owned, letting the
+  // scenario auditor state the conservation invariant per pool.
+  FrameAccounting ComputeFrameAccounting(const void* manager_owner = nullptr) const;
 
   // Visits every physical frame (wired or not). Used by recovery paths (leaked-frame sweeps)
   // and invariant checks; `fn` must not allocate or free frames.

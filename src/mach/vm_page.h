@@ -54,6 +54,9 @@ struct VmPage {
   VmPage* alloc_prev = nullptr;
   VmPage* alloc_next = nullptr;
   bool on_alloc_list = false;
+  // Monotonic stamp assigned when the frame manager appends the frame to the allocation
+  // list; the scenario invariant auditor verifies the list stays sorted by it (FAFR order).
+  uint64_t alloc_seq = 0;
 
   // Reverse mapping. The reproduction uses a single-mapping model (no page sharing between
   // tasks), which covers every experiment in the paper.

@@ -1,0 +1,46 @@
+// The canned multi-tenant scenario library: named, deterministic contention stories used by
+// the scenario tests, the bench_scenario benchmark, and the CI perf-smoke gate. Each returns
+// a fully-specified ScenarioSpec; run it with RunScenario().
+#ifndef HIPEC_SCENARIO_CANNED_H_
+#define HIPEC_SCENARIO_CANNED_H_
+
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace hipec::scenario {
+
+// 8 specific tenants (mixed policies) arriving two steps apart over 4 non-specific tasks:
+// the acceptance scenario — everything completes with invariants intact.
+ScenarioSpec RampUp();
+
+// 8 greedy tenants all arriving at step 0: the burst watermark must reject a large share of
+// their Requests while every tenant still completes on its minFrame grant.
+ScenarioSpec ThunderingHerd();
+
+// One stubborn hog (refuses cooperative reclamation) that grabs early, then 6 small tenants
+// arrive: the manager must take the hog's frames back by forced reclamation (FAFR order).
+ScenarioSpec HogVsMany();
+
+// Tenants arrive and depart throughout, and one region is torn down mid-scenario by fault
+// injection: exercises admission/removal churn and teardown under load.
+ScenarioSpec Churn();
+
+// Three infinite-loop policies injected at different times among well-behaved tenants: the
+// security checker must kill each looper while the others finish unharmed. Raises the
+// per-command decode cost so the loopers cross their TimeOut within few commands.
+ScenarioSpec CheckerKillStorm();
+
+// Tiny Flush reserve + write-heavy flusher injection: the clean reserve runs dry and Flush
+// degrades to synchronous writes (decision "flush-sync") without breaking solvency.
+ScenarioSpec ReserveStarvation();
+
+// A disk latency spike hits mid-scenario and clears: throughput dips, nothing breaks.
+ScenarioSpec DiskSpike();
+
+// All of the above, in a stable order.
+std::vector<ScenarioSpec> AllCannedScenarios();
+
+}  // namespace hipec::scenario
+
+#endif  // HIPEC_SCENARIO_CANNED_H_

@@ -1,0 +1,189 @@
+#include "scenario/invariants.h"
+
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "sim/check.h"
+
+namespace hipec::scenario {
+
+namespace {
+
+// Walks `queue` checking ownership and link/count agreement; adds its length to `*queued`.
+void AuditPrivateQueue(const mach::PageQueue& queue, const core::Container* owner,
+                       size_t* queued, AuditReport* report) {
+  size_t walked = 0;
+  const core::Container* foreign = nullptr;
+  queue.ForEach([&](mach::VmPage* page) {
+    ++walked;
+    if (page->owner != owner) {
+      foreign = static_cast<const core::Container*>(page->owner);
+      return false;
+    }
+    return true;
+  });
+  if (foreign != nullptr && report->ok) {
+    report->ok = false;
+    std::ostringstream os;
+    os << "queue " << queue.name() << " of container " << owner->id()
+       << " holds a frame owned elsewhere (double grant)";
+    report->violation = os.str();
+    return;
+  }
+  if (walked != queue.count() && report->ok) {
+    report->ok = false;
+    std::ostringstream os;
+    os << "queue " << queue.name() << ": count() says " << queue.count() << " but traversal saw "
+       << walked;
+    report->violation = os.str();
+    return;
+  }
+  *queued += walked;
+}
+
+}  // namespace
+
+AuditReport AuditFrameInvariants(core::HipecEngine& engine) {
+  AuditReport report;
+  auto fail = [&report](const std::string& message) {
+    if (report.ok) {
+      report.ok = false;
+      report.violation = message;
+    }
+  };
+  auto failf = [&fail](const auto&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    fail(os.str());
+  };
+
+  core::GlobalFrameManager& manager = engine.manager();
+  mach::Kernel& kernel = engine.kernel();
+
+  // --- 1. Conservation ------------------------------------------------------------------------
+  mach::FrameAccounting acc = kernel.ComputeFrameAccounting(&manager);
+  if (acc.unaccounted != 0) {
+    failf("conservation: ", acc.unaccounted, " frame(s) in no pool");
+  }
+  if (acc.Sum() != acc.total) {
+    failf("conservation: pools sum to ", acc.Sum(), " but the machine has ", acc.total,
+          " frames");
+  }
+  if (acc.container_owned != manager.total_specific()) {
+    failf("conservation: sweep found ", acc.container_owned,
+          " container-owned frames but total_specific is ", manager.total_specific());
+  }
+  if (acc.manager_owned != manager.manager_owned()) {
+    failf("conservation: sweep found ", acc.manager_owned,
+          " manager-owned frames but reserve+laundry is ", manager.manager_owned());
+  }
+
+  // --- 4. Reserve solvency (checked early: cheap, and 2/3 assume it) --------------------------
+  if (manager.reserve_count() + manager.laundry_count() != manager.stocked_reserve()) {
+    failf("reserve: reserve(", manager.reserve_count(), ") + laundry(", manager.laundry_count(),
+          ") != stocked(", manager.stocked_reserve(), ")");
+  }
+
+  // --- 2. Per-container ownership / no double grant -------------------------------------------
+  // One sweep gives the true per-owner frame counts; queue walks then prove each container's
+  // holdings are reachable through its own lists (or page variables, which the sweep covers
+  // as owned-but-off-queue).
+  std::unordered_map<const void*, size_t> owned_by;
+  size_t owned_total = 0;
+  kernel.ForEachFrame([&](mach::VmPage* page) {
+    if (page->owner != nullptr) {
+      ++owned_by[page->owner];
+      ++owned_total;
+    }
+  });
+
+  size_t sum_allocated = 0;
+  size_t owned_known = owned_by[&manager];
+  for (core::Container* container : manager.containers()) {
+    sum_allocated += container->allocated_frames;
+    size_t swept = owned_by[container];
+    owned_known += swept;
+    if (swept != container->allocated_frames) {
+      failf("ownership: container ", container->id(), " has allocated_frames=",
+            container->allocated_frames, " but the sweep found ", swept,
+            " frame(s) owned by it");
+    }
+    size_t queued = 0;
+    AuditPrivateQueue(container->free_q(), container, &queued, &report);
+    AuditPrivateQueue(container->active_q(), container, &queued, &report);
+    AuditPrivateQueue(container->inactive_q(), container, &queued, &report);
+    for (const auto& user_q : container->user_queues()) {
+      AuditPrivateQueue(*user_q, container, &queued, &report);
+    }
+    if (queued > container->allocated_frames) {
+      failf("ownership: container ", container->id(), " queues hold ", queued,
+            " frames but only ", container->allocated_frames, " are allocated to it");
+    }
+  }
+  if (sum_allocated != manager.total_specific()) {
+    failf("ownership: per-container allocations sum to ", sum_allocated,
+          " but total_specific is ", manager.total_specific());
+  }
+  if (owned_known != owned_total) {
+    failf("ownership: ", owned_total - owned_known,
+          " frame(s) owned by something that is neither a live container nor the manager "
+          "(stale owner pointer)");
+  }
+
+  // --- 3. FAFR order --------------------------------------------------------------------------
+  size_t list_len = 0;
+  uint64_t prev_seq = 0;
+  const mach::VmPage* prev = nullptr;
+  for (const mach::VmPage* page = manager.alloc_head(); page != nullptr;
+       page = page->alloc_next) {
+    if (!page->on_alloc_list) {
+      failf("fafr: frame ", page->frame_number, " is linked but not flagged on_alloc_list");
+      break;
+    }
+    if (page->owner == nullptr || page->owner == &manager) {
+      failf("fafr: frame ", page->frame_number,
+            " is on the allocation list but not owned by a container");
+      break;
+    }
+    if (page->alloc_prev != prev) {
+      failf("fafr: back-link broken at frame ", page->frame_number);
+      break;
+    }
+    if (page->alloc_seq <= prev_seq) {
+      failf("fafr: alloc_seq not strictly increasing at frame ", page->frame_number, " (",
+            page->alloc_seq, " after ", prev_seq, ")");
+      break;
+    }
+    prev_seq = page->alloc_seq;
+    prev = page;
+    if (++list_len > acc.total) {
+      fail("fafr: allocation list cycles");
+      break;
+    }
+  }
+  if (report.ok && list_len != manager.total_specific()) {
+    failf("fafr: allocation list holds ", list_len, " frames but total_specific is ",
+          manager.total_specific());
+  }
+
+  return report;
+}
+
+void InvariantAuditor::Install() {
+  engine_->manager().SetDecisionHook([this](const char* decision) { AuditNow(decision); });
+}
+
+void InvariantAuditor::AuditNow(const char* decision) {
+  ++audits_run_;
+  AuditReport report = AuditFrameInvariants(*engine_);
+  if (!report.ok) {
+    std::fprintf(stderr, "[scenario-audit] invariant violated after decision '%s': %s\n",
+                 decision, report.violation.c_str());
+    std::fprintf(stderr, "%s\n", engine_->kernel().tracer().DumpJson().c_str());
+    HIPEC_CHECK_MSG(false, "frame invariant violated after '" << decision
+                               << "': " << report.violation);
+  }
+}
+
+}  // namespace hipec::scenario

@@ -1,0 +1,61 @@
+// Frame-level invariant auditing for multi-tenant scenarios.
+//
+// The auditor hangs off GlobalFrameManager's decision hook and re-proves, after every
+// completed manager decision, the properties the paper's design depends on:
+//
+//   1. Conservation — every physical frame is in exactly one pool: global queues, a
+//      container's private lists (or a page variable), the manager's reserve/laundry, or
+//      wired. Nothing unaccounted, and the pools sum to the machine size.
+//   2. No double grant — each container owns exactly `allocated_frames` frames (by sweep),
+//      every page on its private queues is owned by it, and the per-container totals sum to
+//      the manager's total_specific.
+//   3. FAFR order — the global allocation-ordered list is well linked, covers exactly the
+//      specific frames, and its alloc_seq stamps are strictly increasing (First Allocated,
+//      First Reclaimed victim order is real, not aspirational).
+//   4. Reserve solvency — Flush exchanges swap frames one-for-one, so reserve + laundry
+//      equals the boot-time stocking at every decision boundary (the reserve can never go
+//      negative or leak).
+//
+// A violation fails loudly: the kernel's trace ring is dumped as JSON to stderr and a
+// sim::CheckFailure is thrown with the first violated invariant.
+#ifndef HIPEC_SCENARIO_INVARIANTS_H_
+#define HIPEC_SCENARIO_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hipec/engine.h"
+
+namespace hipec::scenario {
+
+struct AuditReport {
+  bool ok = true;
+  std::string violation;  // first violated invariant; empty when ok
+};
+
+// One full pass over invariants 1-4. Pure observation: allocates no frames, mutates nothing.
+AuditReport AuditFrameInvariants(core::HipecEngine& engine);
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(core::HipecEngine* engine) : engine_(engine) {}
+
+  // Convenience for standalone use: installs AuditNow as the manager's decision hook.
+  // The scenario engine instead composes AuditNow into its own hook (it also counts
+  // decisions), so it does not call this.
+  void Install();
+
+  // Runs one audit; `decision` names the manager decision that just completed (for the
+  // failure message). Dumps the trace and throws sim::CheckFailure on a violation.
+  void AuditNow(const char* decision);
+
+  int64_t audits_run() const { return audits_run_; }
+
+ private:
+  core::HipecEngine* engine_;
+  int64_t audits_run_ = 0;
+};
+
+}  // namespace hipec::scenario
+
+#endif  // HIPEC_SCENARIO_INVARIANTS_H_

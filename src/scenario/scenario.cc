@@ -1,0 +1,424 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "policies/policies.h"
+#include "scenario/invariants.h"
+#include "scenario/tenant_policies.h"
+#include "sim/random.h"
+#include "workloads/access_patterns.h"
+
+namespace hipec::scenario {
+
+using mach::kPageSize;
+
+namespace {
+
+// Stable per-tenant stream seed: mixes the scenario seed with the tenant's ordinal so traces
+// are independent of each other but fully determined by the spec.
+uint64_t TenantSeed(uint64_t scenario_seed, uint64_t ordinal) {
+  uint64_t x = scenario_seed * 0x9E3779B97F4A7C15ULL + (ordinal + 1) * 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 31;
+  return x;
+}
+
+core::PolicyProgram MakePolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFifoSecondChance:
+      return policies::FifoSecondChancePolicy();
+    case PolicyKind::kFifo:
+      return policies::FifoPolicy();
+    case PolicyKind::kLru:
+      return policies::LruPolicy();
+    case PolicyKind::kMru:
+      return policies::MruPolicy();
+    case PolicyKind::kClock:
+      return policies::ClockPolicy();
+    case PolicyKind::kTwoQueue:
+      return policies::TwoQueuePolicy();
+    case PolicyKind::kGreedy:
+      return GreedyPolicy();
+    case PolicyKind::kStubborn:
+      return StubbornPolicy();
+    case PolicyKind::kLooping:
+      return LoopingPolicy();
+  }
+  return GreedyPolicy();
+}
+
+// Runtime state for one tenant (specific application).
+struct TenantState {
+  TenantSpec spec;
+  TenantResult result;
+  std::vector<std::pair<uint64_t, bool>> trace;
+  mach::Task* task = nullptr;
+  core::HipecRegion region;
+  uint64_t addr = 0;
+  uint64_t container_id = 0;
+  size_t pos = 0;
+  bool arrived = false;
+  bool done = false;  // no further slices (completed, terminated, departed, or torn down)
+};
+
+struct BackgroundState {
+  BackgroundSpec spec;
+  BackgroundResult result;
+  std::vector<std::pair<uint64_t, bool>> trace;
+  mach::Task* task = nullptr;
+  uint64_t addr = 0;
+  size_t pos = 0;
+  bool done = false;
+};
+
+class ScenarioRun {
+ public:
+  explicit ScenarioRun(const ScenarioSpec& spec) : spec_(spec) {
+    mach::KernelParams params;
+    params.total_frames = spec.total_frames;
+    params.kernel_reserved_frames = spec.kernel_reserved_frames;
+    params.hipec_build = true;
+    params.seed = spec.seed;
+    if (spec.command_decode_ns > 0) {
+      params.costs.command_decode_ns = spec.command_decode_ns;
+    }
+    kernel_ = std::make_unique<mach::Kernel>(params);
+    if (spec.trace) {
+      kernel_->tracer().Enable();
+    }
+    engine_ = std::make_unique<core::HipecEngine>(kernel_.get(), spec.manager);
+    auditor_ = std::make_unique<InvariantAuditor>(engine_.get());
+
+    engine_->manager().SetDecisionHook([this](const char* decision) {
+      ++result_.decisions[decision];
+      if (spec_.audit) {
+        auditor_->AuditNow(decision);
+      }
+    });
+    engine_->checker().SetTimeoutObserver(
+        [this](uint64_t container_id) { killed_.insert(container_id); });
+  }
+
+  ScenarioResult Run() {
+    result_.name = spec_.name;
+    SetUpTenants();
+    for (int step = 0; step < spec_.steps; ++step) {
+      ApplyInjections(step);
+      for (TenantState& t : tenants_) {
+        if (!t.arrived && t.spec.arrival_step == step) {
+          Spawn(t);
+        }
+        if (t.arrived && !t.done && t.spec.departure_step == step) {
+          Depart(t);
+        }
+      }
+      for (TenantState& t : tenants_) {
+        RunTenantSlice(t);
+      }
+      for (BackgroundState& b : background_) {
+        RunBackgroundSlice(b);
+      }
+    }
+    Finish();
+    return std::move(result_);
+  }
+
+ private:
+  void SetUpTenants() {
+    uint64_t ordinal = 0;
+    for (const TenantSpec& spec : spec_.tenants) {
+      TenantState t;
+      t.spec = spec;
+      t.result.name = spec.name;
+      t.trace = MaterializeTrace(spec, spec_.seed, ordinal++);
+      tenants_.push_back(std::move(t));
+    }
+    // The fault-injection layer materializes its loop/flusher tenants up front so the
+    // schedule (and therefore the fingerprint) is fixed by the spec alone.
+    int injected = 0;
+    for (const InjectionSpec& inj : spec_.injections) {
+      TenantSpec spec;
+      if (inj.kind == InjectionKind::kPolicyLoop) {
+        spec.name = "inject-loop-" + std::to_string(injected++);
+        spec.policy = PolicyKind::kLooping;
+        spec.pattern = PatternKind::kSequential;
+        spec.write_fraction = 0.0;
+      } else if (inj.kind == InjectionKind::kReserveStarvation) {
+        spec.name = "inject-flusher-" + std::to_string(injected++);
+        spec.policy = PolicyKind::kGreedy;
+        spec.pattern = PatternKind::kBursty;
+        spec.write_fraction = 0.95;
+      } else {
+        continue;
+      }
+      spec.pages = inj.pages;
+      spec.min_frames = inj.min_frames;
+      spec.accesses = inj.accesses;
+      spec.arrival_step = inj.at_step;
+      TenantState t;
+      t.spec = spec;
+      t.result.name = spec.name;
+      t.result.injected = true;
+      t.trace = MaterializeTrace(spec, spec_.seed, ordinal++);
+      tenants_.push_back(std::move(t));
+    }
+    for (const BackgroundSpec& spec : spec_.background) {
+      BackgroundState b;
+      b.spec = spec;
+      b.result.name = spec.name;
+      uint64_t seed = TenantSeed(spec_.seed, ordinal++);
+      std::vector<uint64_t> pages =
+          workloads::UniformRandom(spec.pages, spec.accesses, seed);
+      sim::Rng write_rng(seed + 1);
+      b.trace.reserve(pages.size());
+      for (uint64_t page : pages) {
+        b.trace.emplace_back(page, write_rng.Chance(spec.write_fraction));
+      }
+      b.task = kernel_->CreateTask(spec.name);
+      b.addr = kernel_->VmAllocate(b.task, spec.pages * kPageSize);
+      background_.push_back(std::move(b));
+    }
+  }
+
+  void Spawn(TenantState& t) {
+    t.arrived = true;
+    t.task = kernel_->CreateTask(t.spec.name);
+    core::HipecOptions options;
+    options.min_frames = t.spec.min_frames;
+    options.timeout_ns = t.spec.timeout_ns;
+    options.request_size = t.spec.request_size;
+    options.free_target = 4;
+    options.inactive_target = 8;
+    options.reserved_target = 0;
+    if (t.spec.policy == PolicyKind::kTwoQueue) {
+      options.user_queue_count = 2;
+    }
+    t.region = engine_->VmAllocateHipec(t.task, t.spec.pages * kPageSize,
+                                        MakePolicy(t.spec.policy), options);
+    t.result.admitted = t.region.ok;
+    if (t.region.ok) {
+      t.addr = t.region.addr;
+      t.container_id = t.region.container->id();
+    } else {
+      // Admission denied: "can either run as a non-specific application or terminate and
+      // retry later" (§4.3.1). The scenario keeps it running non-specific.
+      t.addr = kernel_->VmAllocate(t.task, t.spec.pages * kPageSize);
+    }
+  }
+
+  void Depart(TenantState& t) {
+    Snapshot(t);
+    kernel_->TerminateTask(t.task, "scenario departure");
+    t.result.terminated = true;
+    t.done = true;
+  }
+
+  // Copies the container's live counters into the result. Called after every access so the
+  // numbers survive the container being freed by a kill or teardown.
+  void Snapshot(TenantState& t) {
+    if (!t.region.ok || t.result.torn_down || t.task == nullptr || t.task->terminated()) {
+      return;
+    }
+    core::Container* c = t.region.container;
+    t.result.faults_handled = c->faults_handled;
+    t.result.commands_executed = c->commands_executed;
+    t.result.requests_made = c->requests_made;
+    t.result.requests_rejected = c->requests_rejected;
+    t.result.frames_force_reclaimed = c->frames_force_reclaimed;
+    t.result.frames_reclaimed_from = c->frames_reclaimed_from;
+    t.result.frames_peak = std::max(t.result.frames_peak, c->allocated_frames);
+  }
+
+  void RunTenantSlice(TenantState& t) {
+    if (!t.arrived || t.done) {
+      return;
+    }
+    for (size_t i = 0; i < spec_.slice_accesses && t.pos < t.trace.size(); ++i) {
+      if (t.task->terminated()) {
+        break;
+      }
+      const auto& [page, is_write] = t.trace[t.pos];
+      if (!kernel_->Touch(t.task, t.addr + page * kPageSize, is_write)) {
+        break;  // terminated mid-access (checker kill or policy error)
+      }
+      ++t.pos;
+      ++t.result.accesses_done;
+      Snapshot(t);
+    }
+    if (t.task->terminated()) {
+      t.result.terminated = true;
+      t.done = true;
+    } else if (t.pos == t.trace.size()) {
+      t.result.completed = true;
+      t.done = true;
+    }
+  }
+
+  void RunBackgroundSlice(BackgroundState& b) {
+    if (b.done) {
+      return;
+    }
+    for (size_t i = 0; i < spec_.slice_accesses && b.pos < b.trace.size(); ++i) {
+      const auto& [page, is_write] = b.trace[b.pos];
+      if (!kernel_->Touch(b.task, b.addr + page * kPageSize, is_write)) {
+        break;
+      }
+      ++b.pos;
+      ++b.result.accesses_done;
+    }
+    if (b.task->terminated()) {
+      b.done = true;
+    } else if (b.pos == b.trace.size()) {
+      b.result.completed = true;
+      b.done = true;
+    }
+  }
+
+  void ApplyInjections(int step) {
+    // Clears first, so a spike re-applied at its own clear step wins.
+    if (spike_clear_step_ == step) {
+      kernel_->disk().InjectReadLatency(0);
+      spike_clear_step_ = -1;
+    }
+    for (const InjectionSpec& inj : spec_.injections) {
+      if (inj.at_step != step) {
+        continue;
+      }
+      switch (inj.kind) {
+        case InjectionKind::kDiskLatencySpike:
+          kernel_->disk().InjectReadLatency(inj.extra_latency_ns);
+          spike_clear_step_ = step + inj.duration_steps;
+          break;
+        case InjectionKind::kTeardown:
+          if (inj.tenant_index < tenants_.size()) {
+            TenantState& t = tenants_[inj.tenant_index];
+            if (t.arrived && !t.done && t.region.ok && !t.task->terminated()) {
+              Snapshot(t);
+              kernel_->VmDeallocate(t.task, t.addr);
+              t.result.torn_down = true;
+              t.done = true;
+            }
+          }
+          break;
+        case InjectionKind::kPolicyLoop:
+        case InjectionKind::kReserveStarvation:
+          break;  // materialized as tenants in SetUpTenants
+      }
+    }
+  }
+
+  void Finish() {
+    for (TenantState& t : tenants_) {
+      if (t.arrived && t.task != nullptr && !t.task->terminated()) {
+        Snapshot(t);
+        kernel_->TerminateTask(t.task, "scenario end");
+      }
+      t.result.killed_by_checker = killed_.contains(t.container_id) && t.container_id != 0;
+      result_.tenants.push_back(t.result);
+    }
+    for (BackgroundState& b : background_) {
+      if (!b.task->terminated()) {
+        kernel_->TerminateTask(b.task, "scenario end");
+      }
+      result_.background.push_back(b.result);
+    }
+    kernel_->disk().DrainWrites();
+    if (spec_.audit) {
+      auditor_->AuditNow("scenario-end");
+    }
+    result_.virtual_ns = kernel_->clock().now();
+    result_.audits_run = auditor_->audits_run();
+    result_.checker_kills = static_cast<int64_t>(killed_.size());
+    result_.burst_watermark_final = engine_->manager().partition_burst();
+  }
+
+  ScenarioSpec spec_;
+  std::unique_ptr<mach::Kernel> kernel_;
+  std::unique_ptr<core::HipecEngine> engine_;
+  std::unique_ptr<InvariantAuditor> auditor_;
+  std::vector<TenantState> tenants_;
+  std::vector<BackgroundState> background_;
+  std::unordered_set<uint64_t> killed_;
+  int spike_clear_step_ = -1;
+  ScenarioResult result_;
+};
+
+}  // namespace
+
+std::vector<std::pair<uint64_t, bool>> MaterializeTrace(const TenantSpec& tenant,
+                                                        uint64_t scenario_seed,
+                                                        uint64_t tenant_ordinal) {
+  uint64_t seed = TenantSeed(scenario_seed, tenant_ordinal);
+  std::vector<uint64_t> pages;
+  switch (tenant.pattern) {
+    case PatternKind::kSequential:
+      pages = workloads::StridedScan(tenant.pages, 1, tenant.accesses);
+      break;
+    case PatternKind::kCyclic: {
+      pages = workloads::CyclicScan(tenant.pages, tenant.cyclic_loops);
+      // Pad or truncate to the requested length by continuing the cycle.
+      size_t n = pages.size();
+      pages.resize(tenant.accesses);
+      for (size_t i = n; i < pages.size(); ++i) {
+        pages[i] = pages[i % std::max<size_t>(n, 1)];
+      }
+      break;
+    }
+    case PatternKind::kUniform:
+      pages = workloads::UniformRandom(tenant.pages, tenant.accesses, seed);
+      break;
+    case PatternKind::kZipf:
+      pages = workloads::ZipfTrace(tenant.pages, tenant.accesses, tenant.zipf_theta, seed);
+      break;
+    case PatternKind::kStrided:
+      pages = workloads::StridedScan(tenant.pages, tenant.stride, tenant.accesses);
+      break;
+    case PatternKind::kHotCold:
+      pages = workloads::HotColdTrace(tenant.pages, tenant.hot_pages, tenant.hot_fraction,
+                                      tenant.accesses, seed);
+      break;
+    case PatternKind::kBursty:
+      pages = workloads::BurstyTrace(tenant.pages, tenant.burst_phase, tenant.accesses, seed);
+      break;
+  }
+  sim::Rng write_rng(seed + 1);
+  std::vector<std::pair<uint64_t, bool>> trace;
+  trace.reserve(pages.size());
+  for (uint64_t page : pages) {
+    trace.emplace_back(page, write_rng.Chance(tenant.write_fraction));
+  }
+  return trace;
+}
+
+std::string ScenarioResult::Fingerprint() const {
+  std::ostringstream os;
+  os << name << "|vt=" << virtual_ns << "|kills=" << checker_kills
+     << "|burst=" << burst_watermark_final;
+  for (const TenantResult& t : tenants) {
+    os << "|" << t.name << ":adm=" << t.admitted << ",done=" << t.completed
+       << ",term=" << t.terminated << ",kill=" << t.killed_by_checker
+       << ",torn=" << t.torn_down << ",acc=" << t.accesses_done << ",flt=" << t.faults_handled
+       << ",cmd=" << t.commands_executed << ",req=" << t.requests_made
+       << ",rej=" << t.requests_rejected << ",forced=" << t.frames_force_reclaimed
+       << ",recl=" << t.frames_reclaimed_from << ",peak=" << t.frames_peak;
+  }
+  for (const BackgroundResult& b : background) {
+    os << "|" << b.name << ":acc=" << b.accesses_done << ",done=" << b.completed;
+  }
+  for (const auto& [decision, count] : decisions) {
+    os << "|" << decision << "=" << count;
+  }
+  return os.str();
+}
+
+ScenarioResult RunScenario(const ScenarioSpec& spec) {
+  ScenarioRun run(spec);
+  return run.Run();
+}
+
+}  // namespace hipec::scenario

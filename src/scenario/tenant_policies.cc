@@ -1,0 +1,81 @@
+#include "scenario/tenant_policies.h"
+
+#include "hipec/builder.h"
+#include "policies/policies.h"
+
+namespace hipec::scenario {
+
+namespace ops = hipec::core::std_ops;
+using core::EventBuilder;
+using core::PolicyProgram;
+
+namespace {
+
+// PageFault shared by Greedy and Stubborn: free list -> Request -> local FIFO eviction.
+std::vector<core::Instruction> GreedyPageFaultEvent() {
+  EventBuilder b;
+  auto take_free = b.NewLabel();
+  auto evict = b.NewLabel();
+  auto have_active = b.NewLabel();
+  auto flush = b.NewLabel();
+  auto clean = b.NewLabel();
+
+  b.EmptyQ(ops::kFreeQueue);
+  b.JumpIfFalse(take_free);  // private free list non-empty: use it
+  b.Request(ops::kRequestSize, ops::kFreeQueue);
+  b.JumpIfFalse(evict);  // manager said no: recycle locally
+  b.Bind(take_free);
+  b.DeQueueHead(ops::kPage, ops::kFreeQueue);
+  b.Return(ops::kPage);
+
+  b.Bind(evict);
+  b.EmptyQ(ops::kActiveQueue);
+  b.JumpIfFalse(have_active);
+  // Active empty (all frames parked elsewhere): last resort, the inactive queue. An empty
+  // dequeue here raises PolicyError and terminates the tenant — acceptable, since a tenant
+  // with no recyclable frame at all cannot make progress anyway.
+  b.DeQueueHead(ops::kPage, ops::kInactiveQueue);
+  b.JumpAlways(flush);
+  b.Bind(have_active);
+  b.DeQueueHead(ops::kPage, ops::kActiveQueue);
+  b.Bind(flush);
+  b.Mod(ops::kPage);
+  b.JumpIfFalse(clean);
+  b.Flush(ops::kPage);  // dirty victim: exchange for a clean reserve frame
+  b.Bind(clean);
+  b.Return(ops::kPage);
+  return b.Build();
+}
+
+}  // namespace
+
+PolicyProgram GreedyPolicy() {
+  PolicyProgram program;
+  program.SetEvent(core::kEventPageFault, GreedyPageFaultEvent());
+  program.SetEvent(core::kEventReclaimFrame, policies::StandardReclaimEvent());
+  return program;
+}
+
+PolicyProgram StubbornPolicy() {
+  PolicyProgram program;
+  program.SetEvent(core::kEventPageFault, GreedyPageFaultEvent());
+  // Refuse cooperative reclamation: return immediately, releasing nothing.
+  EventBuilder b;
+  b.Return(0);
+  program.SetEvent(core::kEventReclaimFrame, b.Build());
+  return program;
+}
+
+PolicyProgram LoopingPolicy() {
+  PolicyProgram program;
+  EventBuilder b;
+  auto loop = b.NewLabel();
+  b.Bind(loop);
+  b.JumpAlways(loop);
+  b.Return(0);  // unreachable; present so the stream has a terminator
+  program.SetEvent(core::kEventPageFault, b.Build());
+  program.SetEvent(core::kEventReclaimFrame, policies::StandardReclaimEvent());
+  return program;
+}
+
+}  // namespace hipec::scenario

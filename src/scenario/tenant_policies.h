@@ -1,0 +1,30 @@
+// Policy programs written for multi-tenant contention scenarios. The library policies
+// (src/policies) are self-contained — they recycle within their minFrame grant and never
+// call Request — so they cannot exercise the manager's grant/reject, burst-pressure, or
+// forced-reclamation paths. These three do, each stressing a different manager behaviour.
+#ifndef HIPEC_SCENARIO_TENANT_POLICIES_H_
+#define HIPEC_SCENARIO_TENANT_POLICIES_H_
+
+#include "hipec/program.h"
+
+namespace hipec::scenario {
+
+// Greedy grower: serve from the private free list when possible; when it runs dry, Request
+// kRequestSize more frames from the global manager, and only on rejection fall back to FIFO
+// eviction from its own active queue. A population of these generates continuous allocation
+// pressure against the burst watermark.
+core::PolicyProgram GreedyPolicy();
+
+// Greedy on faults, but its ReclaimFrame event returns without releasing anything — normal
+// (cooperative) reclamation gets nothing from it, so the manager must fall back to forced
+// reclamation to claw frames back. The "hog" in hog-vs-many scenarios.
+core::PolicyProgram StubbornPolicy();
+
+// PageFault spins in a tight jump loop forever; only the security checker's timeout kill can
+// end the event. Used by the fault-injection layer to prove a runaway policy is killed while
+// other tenants keep running.
+core::PolicyProgram LoopingPolicy();
+
+}  // namespace hipec::scenario
+
+#endif  // HIPEC_SCENARIO_TENANT_POLICIES_H_

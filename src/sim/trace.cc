@@ -68,4 +68,21 @@ std::string Tracer::Dump() const {
   return os.str();
 }
 
+std::string Tracer::DumpJson() const {
+  std::ostringstream os;
+  os << "{\"total_recorded\":" << total_recorded_ << ",\"dropped\":" << dropped()
+     << ",\"events\":[";
+  bool first = true;
+  for (const TraceEvent& event : Snapshot()) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"t\":" << event.time << ",\"cat\":\"" << CategoryName(event.category)
+       << "\",\"code\":" << event.code << ",\"a\":" << event.a << ",\"b\":" << event.b << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 }  // namespace hipec::sim

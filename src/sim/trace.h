@@ -64,8 +64,15 @@ class Tracer {
   // Text dump, one event per line.
   std::string Dump() const;
 
+  // Machine-readable dump: one JSON object with drop accounting plus the surviving events in
+  // chronological order. This is what the scenario invariant auditor prints on a violation,
+  // so failures carry an ingestible record of what led up to them.
+  std::string DumpJson() const;
+
   size_t size() const { return events_.size(); }
   uint64_t total_recorded() const { return total_recorded_; }
+  // Events overwritten because the ring wrapped; Snapshot() can never return them.
+  uint64_t dropped() const { return total_recorded_ - events_.size(); }
   void Clear() {
     events_.clear();
     next_ = 0;

@@ -53,4 +53,40 @@ std::vector<uint64_t> StridedScan(uint64_t pages, uint64_t stride, size_t count)
   return trace;
 }
 
+std::vector<uint64_t> HotColdTrace(uint64_t pages, uint64_t hot_pages, double hot_fraction,
+                                   size_t count, uint64_t seed) {
+  if (hot_pages == 0 || hot_pages > pages) {
+    hot_pages = pages;
+  }
+  sim::Rng rng(seed);
+  std::vector<uint64_t> trace;
+  trace.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (pages == hot_pages || rng.Chance(hot_fraction)) {
+      trace.push_back(rng.Below(hot_pages));
+    } else {
+      trace.push_back(hot_pages + rng.Below(pages - hot_pages));
+    }
+  }
+  return trace;
+}
+
+std::vector<uint64_t> BurstyTrace(uint64_t pages, size_t phase_len, size_t count,
+                                  uint64_t seed) {
+  if (phase_len == 0) {
+    phase_len = 1;
+  }
+  sim::Rng rng(seed);
+  std::vector<uint64_t> trace;
+  trace.reserve(count);
+  uint64_t base = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i % phase_len == 0) {
+      base = rng.Below(pages);
+    }
+    trace.push_back((base + (i % phase_len)) % pages);
+  }
+  return trace;
+}
+
 }  // namespace hipec::workloads

@@ -24,6 +24,17 @@ std::vector<uint64_t> ZipfTrace(uint64_t pages, size_t count, double theta, uint
 // Strided sweep: 0, s, 2s, ... wrapping over `pages`, `count` references (matrix-column walk).
 std::vector<uint64_t> StridedScan(uint64_t pages, uint64_t stride, size_t count);
 
+// Hot/cold mix: `hot_fraction` of references hit a small hot set at the front of the region
+// (`hot_pages` pages), the rest are uniform over the cold remainder. The working-set pattern
+// multi-tenant scenarios use for "well-behaved" tenants.
+std::vector<uint64_t> HotColdTrace(uint64_t pages, uint64_t hot_pages, double hot_fraction,
+                                   size_t count, uint64_t seed);
+
+// Bursty phases: alternating phases of `phase_len` references; each phase picks a random base
+// page and walks sequentially from it, so tenants slam a fresh region every phase (the
+// thundering-herd / churn pattern).
+std::vector<uint64_t> BurstyTrace(uint64_t pages, size_t phase_len, size_t count, uint64_t seed);
+
 }  // namespace hipec::workloads
 
 #endif  // HIPEC_WORKLOADS_ACCESS_PATTERNS_H_

@@ -1,0 +1,108 @@
+// Adaptive partition_burst watermark (§4.3.1 future work): the drift directions are covered
+// in extensions_test.cc; these tests pin down the [min, max] clamp — sustained pressure in
+// either direction parks the watermark exactly at the configured bound, never beyond.
+#include <gtest/gtest.h>
+
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "policies/policies.h"
+#include "sim/clock.h"
+
+namespace hipec::core {
+namespace {
+
+using mach::kPageSize;
+
+mach::KernelParams SmallParams() {
+  mach::KernelParams params;
+  params.total_frames = 1024;
+  params.kernel_reserved_frames = 128;  // 896 free after boot
+  params.hipec_build = true;
+  return params;
+}
+
+HipecRegion Allocate(HipecEngine& engine, mach::Task* task, uint64_t pages,
+                     size_t min_frames) {
+  HipecOptions options;
+  options.min_frames = min_frames;
+  options.free_target = 4;
+  options.inactive_target = 8;
+  options.reserved_target = 0;
+  return engine.VmAllocateHipec(task, pages * kPageSize,
+                                policies::FifoSecondChancePolicy(), options);
+}
+
+TEST(AdaptiveBurstClampTest, SustainedRejectionParksAtMaxFraction) {
+  mach::Kernel kernel(SmallParams());
+  FrameManagerConfig config;
+  config.partition_burst_fraction = 0.5;  // 448
+  config.adaptive_burst = true;
+  config.burst_max_fraction = 0.60;  // hard ceiling: 537 of 896
+  HipecEngine engine(&kernel, config);
+  mach::Task* task = kernel.CreateTask("app");
+  HipecRegion region = Allocate(engine, task, 800, 100);
+  ASSERT_TRUE(region.ok) << region.error;
+
+  // A request that can never fit (100 held + 600 asked > any admissible watermark) is
+  // rejected every round; each rejection nudges the watermark up one step until the clamp.
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_FALSE(
+        engine.manager().RequestFrames(region.container, 600, &region.container->free_q()));
+    kernel.clock().Advance(300 * sim::kMillisecond);
+  }
+  EXPECT_EQ(engine.manager().partition_burst(),
+            static_cast<size_t>(0.60 * 896));  // at the ceiling...
+  int64_t raises = engine.manager().counters().Get("manager.burst_raised");
+  EXPECT_GT(raises, 0);
+
+  // ...and pinned there: further rejections do not move it.
+  EXPECT_FALSE(
+      engine.manager().RequestFrames(region.container, 600, &region.container->free_q()));
+  kernel.clock().Advance(300 * sim::kMillisecond);
+  EXPECT_FALSE(
+      engine.manager().RequestFrames(region.container, 600, &region.container->free_q()));
+  EXPECT_EQ(engine.manager().partition_burst(), static_cast<size_t>(0.60 * 896));
+}
+
+TEST(AdaptiveBurstClampTest, SustainedGlobalPressureParksAtMinFraction) {
+  mach::Kernel kernel(SmallParams());
+  FrameManagerConfig config;
+  config.partition_burst_fraction = 0.70;  // 627
+  config.adaptive_burst = true;
+  config.burst_min_fraction = 0.45;  // hard floor: 403 of 896
+  HipecEngine engine(&kernel, config);
+  mach::Task* app = kernel.CreateTask("app");
+  HipecRegion region = Allocate(engine, app, 700, 100);
+  ASSERT_TRUE(region.ok) << region.error;
+  ASSERT_TRUE(
+      engine.manager().RequestFrames(region.container, 400, &region.container->free_q()));
+  ASSERT_EQ(region.container->allocated_frames, 500u);
+
+  // A non-specific hog keeps the daemon paging; every rate-limit window lowers the
+  // watermark one step until the floor, clawing back specific frames above it.
+  mach::Task* hog = kernel.CreateTask("hog");
+  uint64_t hog_addr = kernel.VmAllocate(hog, 600 * kPageSize);
+  for (int round = 0; round < 12; ++round) {
+    EXPECT_TRUE(kernel.TouchRange(hog, hog_addr, 600 * kPageSize, true));
+    kernel.clock().Advance(300 * sim::kMillisecond);
+  }
+  size_t floor = static_cast<size_t>(0.45 * 896);
+  EXPECT_EQ(engine.manager().partition_burst(), floor);
+  EXPECT_GT(engine.manager().counters().Get("manager.burst_lowered"), 0);
+  // The lowered watermark was enforced, but never below the container's minimum.
+  EXPECT_LE(engine.manager().total_specific(), floor);
+  EXPECT_GE(region.container->allocated_frames, 100u);
+
+  // Pinned at the floor: more global pressure changes nothing.
+  EXPECT_TRUE(kernel.TouchRange(hog, hog_addr, 600 * kPageSize, true));
+  kernel.clock().Advance(300 * sim::kMillisecond);
+  EXPECT_TRUE(kernel.TouchRange(hog, hog_addr, 600 * kPageSize, true));
+  EXPECT_EQ(engine.manager().partition_burst(), floor);
+
+  mach::FrameAccounting acc = kernel.ComputeFrameAccounting(&engine.manager());
+  EXPECT_EQ(acc.unaccounted, 0u);
+  EXPECT_EQ(acc.Sum(), acc.total);
+}
+
+}  // namespace
+}  // namespace hipec::core

@@ -43,6 +43,44 @@ TEST(TracerTest, RingBufferKeepsNewest) {
   EXPECT_EQ(tracer.total_recorded(), 10u);
 }
 
+TEST(TracerTest, DroppedCountsOverwrittenEvents) {
+  Tracer tracer(4);
+  tracer.Enable();
+  for (uint64_t i = 0; i < 3; ++i) {
+    tracer.Record(static_cast<Nanos>(i), TraceCategory::kFault, 0, i, 0);
+  }
+  EXPECT_EQ(tracer.dropped(), 0u);  // ring not yet full
+  for (uint64_t i = 3; i < 10; ++i) {
+    tracer.Record(static_cast<Nanos>(i), TraceCategory::kFault, 0, i, 0);
+  }
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, DumpJsonCarriesDropAccountingAndEvents) {
+  Tracer tracer(2);
+  tracer.Enable();
+  tracer.Record(5, TraceCategory::kFault, 0, 1, 0x1000);
+  tracer.Record(6, TraceCategory::kReclaim, 1, 7, 3);
+  tracer.Record(7, TraceCategory::kChecker, 1, 9, 0);
+  std::string json = tracer.DumpJson();
+  // Drop accounting is the point: a reader must be able to tell the record is partial.
+  EXPECT_NE(json.find("\"total_recorded\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped\":1"), std::string::npos) << json;
+  // Surviving events appear in chronological order with their fields.
+  size_t reclaim = json.find("\"cat\":\"RECLAIM\"");
+  size_t checker = json.find("\"cat\":\"CHECKER\"");
+  ASSERT_NE(reclaim, std::string::npos) << json;
+  ASSERT_NE(checker, std::string::npos) << json;
+  EXPECT_LT(reclaim, checker);
+  EXPECT_EQ(json.find("\"cat\":\"FAULT\""), std::string::npos);  // overwritten
+  EXPECT_NE(json.find("\"t\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"a\":7"), std::string::npos);
+}
+
 TEST(TracerTest, CategoryFilterAndDump) {
   Tracer tracer(16);
   tracer.Enable();
