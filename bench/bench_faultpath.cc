@@ -31,6 +31,7 @@
 #include "hipec/engine.h"
 #include "hipec/executor.h"
 #include "mach/kernel.h"
+#include "obs/probe.h"
 #include "policies/policies.h"
 
 namespace {
@@ -413,5 +414,39 @@ int main() {
   std::printf("geomean speedup (production vs pre_pr): %.2fx\n", geomean);
   json.Str("bench", "faultpath").Str("metric", "geomean_speedup_vs_pre_pr")
       .Num("value", geomean).Emit();
+
+  // Observability-probe overhead on the production path: the storms above ran with probes
+  // compiled in but runtime-disabled (the default, gated by the CI regression check against
+  // bench/baseline.json); here the same storm runs once in each mode so the cost of turning
+  // observability *on* is a first-class metric rather than folklore.
+  {
+    const PolicyCase probe_policy = Table2Policies().front();
+    StormResult probes_off;
+    StormResult probes_on;
+    {
+      obs::ScopedProbes scoped(false);
+      probes_off = RunFaultStorm(probe_policy, kConfigs[0]);
+    }
+    {
+      obs::ScopedProbes scoped(true);
+      probes_on = RunFaultStorm(probe_policy, kConfigs[0]);
+    }
+    double overhead_pct =
+        probes_off.ns_per_fault > 0
+            ? 100.0 * (probes_on.ns_per_fault - probes_off.ns_per_fault) / probes_off.ns_per_fault
+            : 0.0;
+    std::printf("probe overhead (%s, production): off %.0f ns/fault, on %.0f ns/fault "
+                "(%+.2f%%, compiled %s)\n",
+                probe_policy.name, probes_off.ns_per_fault, probes_on.ns_per_fault,
+                overhead_pct, obs::ProbesCompiledIn() ? "in" : "out");
+    json.Str("bench", "faultpath")
+        .Str("metric", "probe_overhead_pct")
+        .Str("policy", probe_policy.name)
+        .Num("value", overhead_pct, 3)
+        .Num("ns_per_fault_probes_off", probes_off.ns_per_fault, 1)
+        .Num("ns_per_fault_probes_on", probes_on.ns_per_fault, 1)
+        .Int("probes_compiled_in", obs::ProbesCompiledIn() ? 1 : 0)
+        .Emit();
+  }
   return 0;
 }

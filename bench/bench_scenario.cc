@@ -21,7 +21,10 @@ double RejectRate(int64_t made, int64_t rejected) {
   return made > 0 ? static_cast<double>(rejected) / static_cast<double>(made) : 0.0;
 }
 
-void RunOne(const ScenarioSpec& spec) {
+void RunOne(ScenarioSpec spec, const std::string& trace_dir) {
+  if (!trace_dir.empty()) {
+    spec.chrome_trace_path = trace_dir + "/" + spec.name + ".trace.json";
+  }
   auto start = std::chrono::steady_clock::now();
   ScenarioResult result = hipec::scenario::RunScenario(spec);
   std::chrono::duration<double> host = std::chrono::steady_clock::now() - start;
@@ -72,6 +75,7 @@ void RunOne(const ScenarioSpec& spec) {
       .Int("burst_watermark_final", static_cast<long long>(result.burst_watermark_final))
       .Int("checker_kills", result.checker_kills)
       .Int("audits", result.audits_run)
+      .Int("trace_dropped", static_cast<long long>(result.trace_dropped))
       .Num("virtual_sec", virtual_sec, 3)
       .Num("host_sec", host_sec, 3)
       .Emit();
@@ -100,9 +104,21 @@ void RunOne(const ScenarioSpec& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-dir DIR: also export each scenario as Chrome trace-event JSON (Perfetto-loadable)
+  // into DIR, one <scenario>.trace.json per canned scenario.
+  std::string trace_dir;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace-dir" && i + 1 < argc) {
+      trace_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-dir DIR]\n", argv[0]);
+      return 2;
+    }
+  }
   for (const ScenarioSpec& spec : hipec::scenario::AllCannedScenarios()) {
-    RunOne(spec);
+    RunOne(spec, trace_dir);
   }
   return 0;
 }

@@ -4,10 +4,13 @@
 Usage:
     check_perf_regression.py --baseline bench/baseline.json \
         --input faultpath.out [--input interpreter.out] [--factor 0.75]
+    check_perf_regression.py --baseline bench/baseline.json --report report.json
 
 The benches emit one JSON object per line after their human-readable tables; everything
 that does not parse as a JSON object is ignored, so raw bench stdout can be fed in
-directly.
+directly. Alternatively (or additionally), --report accepts machine-readable reports
+produced by `hipec-report --json`, whose top-level "metrics" object uses the same
+flattened names as extract_metrics below; both sources merge into one metric set.
 
 Gate rules (a metric missing from either side is skipped, never a failure — so feeding a
 bench that baseline.json knows nothing about, or a baseline entry for a bench that was not
@@ -69,8 +72,11 @@ def extract_metrics(records):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True, help="checked-in baseline JSON file")
-    parser.add_argument("--input", action="append", required=True,
+    parser.add_argument("--input", action="append", default=[],
                         help="bench stdout capture (repeatable)")
+    parser.add_argument("--report", action="append", default=[],
+                        help="hipec-report --json output (repeatable); its 'metrics' "
+                             "object merges with metrics extracted from --input files")
     parser.add_argument("--factor", type=float, default=0.75,
                         help="fail when current < factor * baseline (default 0.75, "
                              "i.e. a >25%% regression)")
@@ -79,10 +85,25 @@ def main():
     with open(args.baseline, encoding="utf-8") as fh:
         baseline = json.load(fh)
 
+    if not args.input and not args.report:
+        print("check_perf_regression: need at least one --input or --report", file=sys.stderr)
+        return 1
+
     records = []
     for path in args.input:
         records.extend(parse_json_lines(path))
     current = extract_metrics(records)
+    for path in args.report:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+        metrics = report.get("metrics")
+        if not isinstance(metrics, dict):
+            print(f"check_perf_regression: {path} has no 'metrics' object "
+                  "(expected hipec-report --json output)", file=sys.stderr)
+            return 1
+        for name, value in metrics.items():
+            if isinstance(value, (int, float)):
+                current[name] = value
     if not current:
         print("check_perf_regression: no bench JSON lines found in inputs", file=sys.stderr)
         return 1

@@ -16,6 +16,9 @@ const sim::CounterId kCtrWritesQueued = sim::InternCounter("disk.writes_queued")
 const sim::CounterId kCtrWritesSync = sim::InternCounter("disk.writes_sync");
 const sim::CounterId kCtrWritesDone = sim::InternCounter("disk.writes_done");
 
+// Probe ids: read service-time distribution (including queue-wait and injected latency).
+const obs::ProbeId kPrbReadNs = obs::InternProbe("disk.read_ns");
+
 }  // namespace
 
 DiskModel::DiskModel(sim::VirtualClock* clock, DiskParams params, uint64_t seed,
@@ -66,6 +69,9 @@ sim::Nanos DiskModel::ReadPage(uint64_t block) {
   counters_.Add(kCtrReads);
   sim::Nanos total = clock_->now() - start;
   read_latency_.Record(total);
+  if (obs::ProbesEnabled()) {
+    probes_.Record(kPrbReadNs, total);
+  }
   return total;
 }
 

@@ -17,6 +17,7 @@
 #include <deque>
 #include <functional>
 
+#include "obs/probe.h"
 #include "sim/clock.h"
 #include "sim/random.h"
 #include "sim/stats.h"
@@ -110,6 +111,7 @@ class DiskModel {
 
   const DiskParams& params() const { return params_; }
   sim::CounterSet& counters() { return counters_; }
+  obs::ProbeSet& probes() { return probes_; }
   const sim::LatencyRecorder& read_latency() const { return read_latency_; }
 
  private:
@@ -136,6 +138,7 @@ class DiskModel {
   bool write_in_flight_ = false;
   std::deque<PendingWrite> write_queue_;
   sim::CounterSet counters_;
+  obs::ProbeSet probes_;
   sim::LatencyRecorder read_latency_;
 };
 

@@ -11,6 +11,10 @@ const sim::CounterId kCtrWakeups = sim::InternCounter("checker.wakeups");
 const sim::CounterId kCtrCpuNs = sim::InternCounter("checker.cpu_ns");
 const sim::CounterId kCtrTimeoutsDetected = sim::InternCounter("checker.timeouts_detected");
 
+// Probe ids: per-wakeup scan cost and the adaptive interval's trajectory.
+const obs::ProbeId kPrbScanNs = obs::InternProbe("checker.scan_ns");
+const obs::ProbeId kPrbWakeupIntervalNs = obs::InternProbe("checker.wakeup_interval_ns");
+
 }  // namespace
 
 DecodeResult SecurityChecker::StaticScan(const PolicyProgram& program,
@@ -58,6 +62,10 @@ void SecurityChecker::Wakeup() {
                        costs.checker_scan_per_container_ns;
   kernel_->AddDeferredCharge(cpu);
   counters_.Add(kCtrCpuNs, cpu);
+  if (obs::ProbesEnabled()) {
+    probes_.Record(kPrbScanNs, cpu);
+    probes_.Record(kPrbWakeupIntervalNs, wakeup_ns_);
+  }
 
   bool detected = false;
   sim::Nanos now = kernel_->clock().now();
@@ -67,6 +75,8 @@ void SecurityChecker::Wakeup() {
       c->kill_requested = true;  // the executor aborts at its next command fetch
       detected = true;
       counters_.Add(kCtrTimeoutsDetected);
+      kernel_->tracer().Record(now, sim::TraceCategory::kChecker, 2, c->id(),
+                               static_cast<uint64_t>(now - c->exec_start_ns));
       if (timeout_observer_) {
         timeout_observer_(c->id());
       }

@@ -19,6 +19,7 @@
 #include "hipec/frame_manager.h"
 #include "hipec/validator.h"
 #include "mach/kernel.h"
+#include "obs/probe.h"
 #include "sim/stats.h"
 
 namespace hipec::core {
@@ -52,6 +53,7 @@ class SecurityChecker {
   int64_t wakeups() const { return counters_.Get("checker.wakeups"); }
   int64_t timeouts_detected() const { return counters_.Get("checker.timeouts_detected"); }
   sim::CounterSet& counters() { return counters_; }
+  obs::ProbeSet& probes() { return probes_; }
 
  private:
   void Wakeup();
@@ -64,6 +66,7 @@ class SecurityChecker {
   bool running_ = false;
   sim::VirtualClock::EventId pending_event_ = 0;
   sim::CounterSet counters_;
+  obs::ProbeSet probes_;
 };
 
 }  // namespace hipec::core

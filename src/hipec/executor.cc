@@ -25,6 +25,12 @@ const sim::CounterId kCtrEvents = sim::InternCounter("executor.events");
 const sim::CounterId kCtrCommands = sim::InternCounter("executor.commands");
 const sim::CounterId kCtrPolicyCommands = sim::InternCounter("executor.policy_commands");
 
+// Probe ids: histograms of per-event virtual latency and command counts. Recording is gated
+// behind obs::ProbesEnabled() so the fault path pays one predicted branch when observability
+// is off.
+const obs::ProbeId kPrbEventNs = obs::InternProbe("executor.event_ns");
+const obs::ProbeId kPrbEventCommands = obs::InternProbe("executor.event_commands");
+
 // Integer load from a decode-classified slot (kInt or kQueueCount — the only two kinds the
 // decoder accepts where an integer is read).
 inline int64_t LoadInt(const OperandEntry& e) {
@@ -85,6 +91,10 @@ ExecResult PolicyExecutor::ExecuteEvent(Container* container, int event) {
   condition_ = saved_condition;
   result.commands_executed = max_commands_ - budget;
   container->commands_executed += result.commands_executed;
+  if (obs::ProbesEnabled()) {
+    probes_.Record(kPrbEventNs, kernel_->clock().now() - container->exec_start_ns);
+    probes_.Record(kPrbEventCommands, result.commands_executed);
+  }
   container->exec_start_ns = -1;
   container->executing_event = -1;
   kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kPolicy,

@@ -24,6 +24,7 @@
 #include "hipec/container.h"
 #include "hipec/frame_manager.h"
 #include "mach/kernel.h"
+#include "obs/probe.h"
 
 namespace hipec::core {
 
@@ -93,6 +94,7 @@ class PolicyExecutor {
   void set_trace_sink(std::vector<ExecTrace>* sink) { trace_ = sink; }
 
   sim::CounterSet& counters() { return counters_; }
+  obs::ProbeSet& probes() { return probes_; }
 
  private:
   // All return the Return instruction's operand index. Depth guards Activate recursion.
@@ -130,6 +132,7 @@ class PolicyExecutor {
 #endif
   std::vector<ExecTrace>* trace_ = nullptr;
   sim::CounterSet counters_;
+  obs::ProbeSet probes_;
 };
 
 }  // namespace hipec::core

@@ -31,6 +31,12 @@ const sim::CounterId kCtrForcedReclaims = sim::InternCounter("manager.forced_rec
 const sim::CounterId kCtrLeakedFramesRecovered = sim::InternCounter("manager.leaked_frames_recovered");
 const sim::CounterId kCtrContainersRemoved = sim::InternCounter("manager.containers_removed");
 
+// Probe ids: allocation latency, pool occupancy after each grant, and forced-reclamation
+// batch sizes. All recording sites are guarded by obs::ProbesEnabled().
+const obs::ProbeId kPrbRequestNs = obs::InternProbe("manager.request_ns");
+const obs::ProbeId kPrbOccupancyFrames = obs::InternProbe("manager.occupancy_frames");
+const obs::ProbeId kPrbForcedReclaimFrames = obs::InternProbe("manager.forced_reclaim_frames");
+
 }  // namespace
 
 GlobalFrameManager::GlobalFrameManager(mach::Kernel* kernel, FrameManagerConfig config)
@@ -102,6 +108,9 @@ void GlobalFrameManager::GrantFrames(Container* container, size_t n, mach::PageQ
   container->allocated_frames += n;
   total_specific_ += n;
   counters_.Add(kCtrFramesGranted, static_cast<int64_t>(n));
+  if (obs::ProbesEnabled()) {
+    probes_.Record(kPrbOccupancyFrames, static_cast<int64_t>(total_specific_));
+  }
   kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kManager, 0,
                            container->id(), n);
 }
@@ -192,16 +201,25 @@ bool GlobalFrameManager::AdmitContainer(Container* container) {
 }
 
 bool GlobalFrameManager::RequestFrames(Container* container, size_t n, mach::PageQueue* dest) {
+  const sim::Nanos start_ns = kernel_->clock().now();
   MaybeAdaptBurst();
   counters_.Add(kCtrRequests);
   ++container->requests_made;
   if (!CheckBurst(container, n) || !EnsureManagerFrames(n, container)) {
     counters_.Add(kCtrRequestsRejected);
     ++container->requests_rejected;
+    if (obs::ProbesEnabled()) {
+      probes_.Record(kPrbRequestNs, kernel_->clock().now() - start_ns);
+    }
+    kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kManager, 1,
+                             container->id(), n);
     NotifyDecision("request-reject");
     return false;
   }
   GrantFrames(container, n, dest);
+  if (obs::ProbesEnabled()) {
+    probes_.Record(kPrbRequestNs, kernel_->clock().now() - start_ns);
+  }
   NotifyDecision("request");
   return true;
 }
@@ -236,6 +254,8 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
   }
   if (!was_dirty) {
     counters_.Add(kCtrFlushesClean);
+    kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kManager, 5,
+                             container->id(), 0);
     NotifyDecision("flush-clean");
     return page;
   }
@@ -247,6 +267,8 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
     counters_.Add(kCtrFlushesSync);
     kernel_->disk().WritePageSync(block);
     page->modified = false;
+    kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kManager, 4,
+                             container->id(), block);
     NotifyDecision("flush-sync");
     return page;
   }
@@ -265,6 +287,8 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
     counters_.Add(kCtrLaundryDone);
   });
   counters_.Add(kCtrFlushesAsync);
+  kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kManager, 3,
+                           container->id(), block);
   NotifyDecision("flush-exchange");
   return replacement;
 }
@@ -348,12 +372,28 @@ size_t GlobalFrameManager::NormalReclaim(size_t needed, Container* exclude) {
 
 size_t GlobalFrameManager::ForcedReclaim(size_t needed, Container* exclude) {
   size_t got = 0;
+  // One kReclaim(code=1) trace event per run of consecutive seizures from the same victim,
+  // so a large seizure does not flood the ring with per-frame events.
+  uint64_t run_victim = 0;
+  uint64_t run_frames = 0;
+  auto emit_run = [&] {
+    if (run_frames > 0) {
+      kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kReclaim, 1,
+                               run_victim, run_frames);
+      run_frames = 0;
+    }
+  };
   mach::VmPage* page = alloc_head_;
   while (page != nullptr && got < needed) {
     mach::VmPage* next = page->alloc_next;
     auto* owner = static_cast<Container*>(page->owner);
     if (owner != nullptr && owner != exclude && owner != reinterpret_cast<Container*>(this) &&
         owner->allocated_frames > owner->min_frames()) {
+      if (run_frames > 0 && run_victim != owner->id()) {
+        emit_run();
+      }
+      run_victim = owner->id();
+      ++run_frames;
       if (page->queue != nullptr) {
         page->queue->Remove(page);
       }
@@ -374,6 +414,10 @@ size_t GlobalFrameManager::ForcedReclaim(size_t needed, Container* exclude) {
       counters_.Add(kCtrForcedReclaims);
     }
     page = next;
+  }
+  emit_run();
+  if (got > 0 && obs::ProbesEnabled()) {
+    probes_.Record(kPrbForcedReclaimFrames, static_cast<int64_t>(got));
   }
   return got;
 }

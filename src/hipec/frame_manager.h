@@ -21,6 +21,7 @@
 
 #include "hipec/container.h"
 #include "mach/kernel.h"
+#include "obs/probe.h"
 #include "sim/stats.h"
 
 namespace hipec::core {
@@ -121,6 +122,7 @@ class GlobalFrameManager {
   size_t reserve_count() const { return reserve_.count(); }
   size_t laundry_count() const { return laundry_.count(); }
   sim::CounterSet& counters() { return counters_; }
+  obs::ProbeSet& probes() { return probes_; }
 
   // Frames owned by the manager itself (reserve + laundry); for the conservation invariant.
   size_t manager_owned() const { return reserve_.count() + laundry_.count(); }
@@ -186,6 +188,7 @@ class GlobalFrameManager {
   sim::Nanos last_adapt_ns_ = -1;
 
   sim::CounterSet counters_;
+  obs::ProbeSet probes_;
 };
 
 }  // namespace hipec::core

@@ -1,0 +1,182 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+
+namespace hipec::obs {
+
+namespace {
+
+// Builds the args object for one event; category-specific field names beat raw a/b.
+void AppendArgs(std::string* out, const sim::TraceEvent& e) {
+  char buf[128];
+  const char* a_name = "a";
+  const char* b_name = "b";
+  switch (e.category) {
+    case sim::TraceCategory::kFault:
+      a_name = "task";
+      b_name = "vaddr";
+      break;
+    case sim::TraceCategory::kFill:
+    case sim::TraceCategory::kIpc:
+      a_name = "object";
+      b_name = "offset";
+      break;
+    case sim::TraceCategory::kEviction:
+      a_name = "frame";
+      b_name = "object";
+      break;
+    case sim::TraceCategory::kPolicy:
+      a_name = "container";
+      b_name = "event";
+      break;
+    case sim::TraceCategory::kReclaim:
+    case sim::TraceCategory::kManager:
+      a_name = "container";
+      b_name = "frames";
+      break;
+    case sim::TraceCategory::kChecker:
+      a_name = "interval_ns";
+      b_name = "containers";
+      break;
+  }
+  std::snprintf(buf, sizeof(buf), "{\"%s\":%llu,\"%s\":%llu,\"code\":%u}", a_name,
+                static_cast<unsigned long long>(e.a), b_name,
+                static_cast<unsigned long long>(e.b), static_cast<unsigned>(e.code));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceEventName(const sim::TraceEvent& e) {
+  switch (e.category) {
+    case sim::TraceCategory::kFault:
+      return "fault";
+    case sim::TraceCategory::kFill:
+      return e.code == 0 ? "fill-zero" : e.code == 1 ? "fill-disk" : "fill-pager";
+    case sim::TraceCategory::kEviction:
+      return e.code == 1 ? "evict-dirty" : "evict";
+    case sim::TraceCategory::kPolicy:
+      return e.code == 0 ? "policy" : e.code == 1 ? "policy-timeout" : "policy-error";
+    case sim::TraceCategory::kReclaim:
+      return e.code == 1 ? "forced-reclaim" : "reclaim";
+    case sim::TraceCategory::kChecker:
+      return e.code == 0   ? "checker-wakeup"
+             : e.code == 1 ? "checker-timeout"
+                           : "checker-kill";
+    case sim::TraceCategory::kIpc:
+      return "ipc";
+    case sim::TraceCategory::kManager:
+      switch (e.code) {
+        case 0: return "grant";
+        case 1: return "request-reject";
+        case 2: return "migrate";
+        case 3: return "flush-exchange";
+        case 4: return "flush-sync";
+        case 5: return "flush-clean";
+        default: return "manager";
+      }
+  }
+  return "event";
+}
+
+std::string ExportChromeTrace(const std::vector<sim::TraceEvent>& events,
+                              const std::vector<ChromeTraceTrack>& tracks,
+                              const std::string& process_name) {
+  // tid routing tables. tid 0 is the kernel track; declared tracks get 1..N in order.
+  std::unordered_map<uint64_t, int> task_tid;
+  std::unordered_map<uint64_t, int> container_tid;
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    int tid = static_cast<int>(i) + 1;
+    if (tracks[i].task_id != 0) {
+      task_tid.emplace(tracks[i].task_id, tid);
+    }
+    if (tracks[i].container_id != 0) {
+      container_tid.emplace(tracks[i].container_id, tid);
+    }
+  }
+  auto tid_of = [&](const sim::TraceEvent& e) -> int {
+    switch (e.category) {
+      case sim::TraceCategory::kFault: {
+        auto it = task_tid.find(e.a);
+        return it == task_tid.end() ? 0 : it->second;
+      }
+      case sim::TraceCategory::kPolicy:
+      case sim::TraceCategory::kReclaim:
+      case sim::TraceCategory::kManager: {
+        auto it = container_tid.find(e.a);
+        return it == container_tid.end() ? 0 : it->second;
+      }
+      case sim::TraceCategory::kChecker:
+        // Kill events carry the victim container id in `a`; route them onto its track so the
+        // kill shows up where the tenant's timeline ends.
+        if (e.code == 2) {
+          auto it = container_tid.find(e.a);
+          return it == container_tid.end() ? 0 : it->second;
+        }
+        return 0;
+      default:
+        return 0;
+    }
+  };
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+
+  // Metadata: process name, then one thread_name per track (kernel first).
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"";
+  AppendJsonEscaped(&out, process_name);
+  out += "\"}}";
+  out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"kernel\"}}";
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                  "\"args\":{\"name\":\"",
+                  static_cast<int>(i) + 1);
+    out += buf;
+    AppendJsonEscaped(&out, tracks[i].name);
+    out += "\"}}";
+  }
+
+  for (const sim::TraceEvent& e : events) {
+    out += ",{\"name\":\"";
+    AppendJsonEscaped(&out, ChromeTraceEventName(e));
+    // ts is microseconds; keep nanosecond precision as a fraction.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"i\",\"s\":\"t\",\"cat\":\"%s\",\"ts\":%lld.%03lld,"
+                  "\"pid\":1,\"tid\":%d,\"args\":",
+                  TraceCategoryName(e.category), static_cast<long long>(e.time / 1000),
+                  static_cast<long long>(e.time % 1000), tid_of(e));
+    out += buf;
+    AppendArgs(&out, e);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteChromeTraceFile(const std::string& path,
+                          const std::vector<sim::TraceEvent>& events,
+                          const std::vector<ChromeTraceTrack>& tracks,
+                          const std::string& process_name, std::string* error) {
+  std::string json = ExportChromeTrace(events, tracks, process_name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + " for writing";
+    }
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = std::fclose(f) == 0 && written == json.size();
+  if (!ok && error != nullptr) {
+    *error = "short write to " + path;
+  }
+  return ok;
+}
+
+}  // namespace hipec::obs

@@ -1,0 +1,58 @@
+// Chrome trace-event exporter: renders a Tracer snapshot as the JSON Object Format that
+// chrome://tracing and ui.perfetto.dev load directly, with one timeline track per tenant.
+//
+// Emitted schema (documented in docs/OBSERVABILITY.md and validated by the golden test):
+//
+//   {"displayTimeUnit":"ms","traceEvents":[
+//     {"name":"process_name","ph":"M","pid":1,"args":{"name":"<process name>"}},
+//     {"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"kernel"}},
+//     {"name":"thread_name","ph":"M","pid":1,"tid":<k+1>,"args":{"name":"<track k name>"}},
+//     {"name":"<event>","ph":"i","s":"t","cat":"<category>","ts":<microseconds>,
+//      "pid":1,"tid":<track>,"args":{"a":...,"b":...,"code":...}},
+//     ...]}
+//
+// All simulation events are instantaneous on the virtual clock (costs are charged as clock
+// advances, not as spans), so everything exports as thread-scoped instant events ("ph":"i");
+// "ts" is virtual nanoseconds divided by 1000 with fractional precision preserved.
+//
+// Track routing: kFault events carry a task id in `a`; kPolicy, kReclaim, and kManager carry
+// a container id in `a`. A ChromeTraceTrack matches either id and claims the event for its
+// tid; everything unmatched (checker wakeups, evictions, fills, IPC, background tasks with
+// no declared track) lands on tid 0, the "kernel" track.
+#ifndef HIPEC_OBS_CHROME_TRACE_H_
+#define HIPEC_OBS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace hipec::obs {
+
+// One named timeline track (a tenant, usually). Either id may be 0 (= matches nothing);
+// container_id 0 covers tenants that were denied admission and ran non-specific.
+struct ChromeTraceTrack {
+  uint64_t task_id = 0;
+  uint64_t container_id = 0;
+  std::string name;
+};
+
+// Renders the whole trace as one JSON document.
+std::string ExportChromeTrace(const std::vector<sim::TraceEvent>& events,
+                              const std::vector<ChromeTraceTrack>& tracks,
+                              const std::string& process_name);
+
+// ExportChromeTrace + write to `path`. False (with *error set) on I/O failure.
+bool WriteChromeTraceFile(const std::string& path,
+                          const std::vector<sim::TraceEvent>& events,
+                          const std::vector<ChromeTraceTrack>& tracks,
+                          const std::string& process_name, std::string* error);
+
+// Human-readable label for one event ("fault", "request-reject", "forced-reclaim", ...).
+// Exposed so tests can assert on names without duplicating the mapping.
+std::string ChromeTraceEventName(const sim::TraceEvent& event);
+
+}  // namespace hipec::obs
+
+#endif  // HIPEC_OBS_CHROME_TRACE_H_

@@ -1,0 +1,105 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace hipec::obs {
+
+const char* TraceCategoryName(sim::TraceCategory category) {
+  switch (category) {
+    case sim::TraceCategory::kFault: return "fault";
+    case sim::TraceCategory::kFill: return "fill";
+    case sim::TraceCategory::kEviction: return "eviction";
+    case sim::TraceCategory::kPolicy: return "policy";
+    case sim::TraceCategory::kReclaim: return "reclaim";
+    case sim::TraceCategory::kChecker: return "checker";
+    case sim::TraceCategory::kIpc: return "ipc";
+    case sim::TraceCategory::kManager: return "manager";
+  }
+  return "unknown";
+}
+
+void FlightRecorder::AddProbeSource(std::string name, const ProbeSet* probes) {
+  probe_sources_.push_back(ProbeSource{std::move(name), probes});
+}
+
+void FlightRecorder::AddCounterSource(std::string name, const sim::CounterSet* counters) {
+  counter_sources_.push_back(CounterSource{std::move(name), counters});
+}
+
+std::string FlightRecorder::Snapshot(const std::string& reason) const {
+  std::string out = "{\"flight_recorder\":{\"reason\":\"";
+  AppendJsonEscaped(&out, reason);
+  out += '"';
+
+  char buf[192];
+  if (tracer_ != nullptr) {
+    std::vector<sim::TraceEvent> events = tracer_->Snapshot();
+    size_t keep = events.size() < last_events_ ? events.size() : last_events_;
+    size_t from = events.size() - keep;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"trace_total_recorded\":%llu,\"trace_dropped\":%llu,"
+                  "\"trace_window\":%zu,\"events\":[",
+                  static_cast<unsigned long long>(tracer_->total_recorded()),
+                  static_cast<unsigned long long>(tracer_->dropped()), keep);
+    out += buf;
+    for (size_t i = from; i < events.size(); ++i) {
+      const sim::TraceEvent& e = events[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"t\":%lld,\"cat\":\"%s\",\"code\":%u,\"a\":%llu,\"b\":%llu}",
+                    i == from ? "" : ",", static_cast<long long>(e.time),
+                    TraceCategoryName(e.category), static_cast<unsigned>(e.code),
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      out += buf;
+    }
+    out += ']';
+  }
+
+  out += ",\"probes\":{";
+  for (size_t i = 0; i < probe_sources_.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += '"';
+    AppendJsonEscaped(&out, probe_sources_[i].name);
+    out += "\":";
+    probe_sources_[i].probes->AppendJson(&out);
+  }
+  out += "},\"counters\":{";
+  for (size_t i = 0; i < counter_sources_.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += '"';
+    AppendJsonEscaped(&out, counter_sources_[i].name);
+    out += "\":{";
+    bool first = true;
+    for (const auto& [name, value] : counter_sources_[i].counters->all()) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      AppendJsonEscaped(&out, name);
+      std::snprintf(buf, sizeof(buf), "\":%lld", static_cast<long long>(value));
+      out += buf;
+    }
+    out += '}';
+  }
+  out += "}}}";
+  return out;
+}
+
+void FlightRecorder::Dump(const std::string& reason) {
+  ++dumps_;
+  std::string json = Snapshot(reason);
+  if (sink_) {
+    sink_(json);
+  } else {
+    std::fprintf(stderr, "%s\n", json.c_str());
+  }
+}
+
+}  // namespace hipec::obs

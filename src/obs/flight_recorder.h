@@ -1,0 +1,79 @@
+// The flight recorder: a crash-dump view over the kernel's trace ring and the per-subsystem
+// probe histograms. Subsystems register their ProbeSets and CounterSets once at scenario
+// setup; when something goes wrong — the invariant auditor finds a violated frame invariant,
+// or the security checker kills a tenant — Dump() renders one JSON object holding:
+//
+//   * the dump reason and the virtual timestamp,
+//   * the last N trace events (newest slice of the ring; N defaults to 64 so a
+//     checker-kill-storm scenario does not flood CI logs with megabytes of ring),
+//   * total-recorded / dropped accounting for the ring, so a reader knows whether the
+//     window is complete,
+//   * every registered probe histogram (count/min/max/mean/p50/p90/p99 + buckets), and
+//   * every registered counter set (non-zero counters only).
+//
+// Dumps go to a pluggable sink (stderr by default — bench stdout stays pure JSON lines).
+// The recorder observes; it never mutates the tracer or the probe sets.
+#ifndef HIPEC_OBS_FLIGHT_RECORDER_H_
+#define HIPEC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/probe.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace hipec::obs {
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const sim::Tracer* tracer, size_t last_events = 64)
+      : tracer_(tracer), last_events_(last_events) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Registers a subsystem's probe histograms / counters under `name`. The pointee must
+  // outlive the recorder (the scenario engine owns both and tears down together).
+  void AddProbeSource(std::string name, const ProbeSet* probes);
+  void AddCounterSource(std::string name, const sim::CounterSet* counters);
+
+  // Renders the dump JSON for `reason` without emitting it (tests, and callers that attach
+  // dumps to their own reports).
+  std::string Snapshot(const std::string& reason) const;
+
+  // Snapshot + emit through the sink. Counts dumps so tests can assert trigger wiring.
+  void Dump(const std::string& reason);
+
+  using Sink = std::function<void(const std::string& json)>;
+  // Replaces the stderr sink (nullptr restores it).
+  void SetSink(Sink sink) { sink_ = std::move(sink); }
+
+  int64_t dumps() const { return dumps_; }
+
+ private:
+  struct ProbeSource {
+    std::string name;
+    const ProbeSet* probes;
+  };
+  struct CounterSource {
+    std::string name;
+    const sim::CounterSet* counters;
+  };
+
+  const sim::Tracer* tracer_;
+  size_t last_events_;
+  std::vector<ProbeSource> probe_sources_;
+  std::vector<CounterSource> counter_sources_;
+  Sink sink_;
+  int64_t dumps_ = 0;
+};
+
+// Short lowercase name for a trace category ("fault", "policy", ...). Shared by the flight
+// recorder and the Chrome trace exporter.
+const char* TraceCategoryName(sim::TraceCategory category);
+
+}  // namespace hipec::obs
+
+#endif  // HIPEC_OBS_FLIGHT_RECORDER_H_

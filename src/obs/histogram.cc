@@ -1,0 +1,101 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hipec::obs {
+
+uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank: the smallest rank r (1-based) with r >= q * count.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) {
+    ++rank;
+  }
+  rank = std::max<uint64_t>(rank, 1);
+
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    if (cumulative + buckets_[i] < rank) {
+      cumulative += buckets_[i];
+      continue;
+    }
+    if (i == kOverflowBucket) {
+      return max_;  // unbounded bucket: interpolation is meaningless, the max is exact
+    }
+    // Interpolate inside [lo, hi], both clamped to the observed range.
+    uint64_t lo = std::max(BucketLo(i), min_);
+    uint64_t hi = std::min(BucketHi(i), max_);
+    if (hi <= lo || buckets_[i] == 1) {
+      return hi;
+    }
+    double within = static_cast<double>(rank - cumulative - 1) /
+                    static_cast<double>(buckets_[i] - 1);
+    return lo + static_cast<uint64_t>(within * static_cast<double>(hi - lo));
+  }
+  return max_;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (count_ == 0 || other.max_ > max_) {
+    max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p90=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Quantile(0.50)),
+                static_cast<unsigned long long>(Quantile(0.90)),
+                static_cast<unsigned long long>(Quantile(0.99)),
+                static_cast<unsigned long long>(Max()));
+  return buf;
+}
+
+void Histogram::AppendJson(std::string* out) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"min\":%llu,\"max\":%llu,\"mean\":%.3f,"
+                "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,\"buckets\":[",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(Min()),
+                static_cast<unsigned long long>(Max()), Mean(),
+                static_cast<unsigned long long>(Quantile(0.50)),
+                static_cast<unsigned long long>(Quantile(0.90)),
+                static_cast<unsigned long long>(Quantile(0.99)));
+  *out += buf;
+  bool first = true;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%s[%llu,%llu,%llu]", first ? "" : ",",
+                  static_cast<unsigned long long>(BucketLo(i)),
+                  static_cast<unsigned long long>(BucketHi(i)),
+                  static_cast<unsigned long long>(buckets_[i]));
+    *out += buf;
+    first = false;
+  }
+  *out += "]}";
+}
+
+}  // namespace hipec::obs

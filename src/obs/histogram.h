@@ -1,0 +1,103 @@
+// Fixed-bucket log-scale histograms for latency and occupancy distributions.
+//
+// A Histogram is a plain struct of fixed arrays: Record() is one bit_width, one clamp, and a
+// handful of indexed adds — no allocation ever, so probes can sit on the fault path. Buckets
+// are powers of two: bucket 0 holds the value 0, bucket i (1 <= i < 63) holds [2^(i-1), 2^i),
+// and bucket 63 is the overflow bucket for everything at or above 2^62 (quantiles falling in
+// it report the exact running maximum instead of interpolating).
+//
+// Quantile estimates interpolate linearly inside the chosen bucket, clamped to the running
+// min/max, so p50/p90/p99 are exact for single-bucket distributions and within one bucket
+// width (a factor of two) otherwise — the standard log-histogram trade: bounded error,
+// constant memory, mergeable across subsystems.
+#ifndef HIPEC_OBS_HISTOGRAM_H_
+#define HIPEC_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace hipec::obs {
+
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+  static constexpr size_t kOverflowBucket = kBuckets - 1;
+
+  // Negative samples clamp to 0 (durations on the virtual clock are never negative; the
+  // clamp keeps a miscomputed delta from indexing off the array).
+  void Record(int64_t value) {
+    uint64_t v = value < 0 ? 0 : static_cast<uint64_t>(value);
+    ++buckets_[BucketOf(v)];
+    if (count_ == 0 || v < min_) {
+      min_ = v;
+    }
+    if (count_ == 0 || v > max_) {
+      max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+  }
+
+  // Bucket index for a value: 0 for 0, bit_width otherwise, clamped into the overflow bucket.
+  static constexpr size_t BucketOf(uint64_t v) {
+    size_t b = static_cast<size_t>(std::bit_width(v));
+    return b < kOverflowBucket ? b : kOverflowBucket;
+  }
+  // Inclusive lower bound of bucket i.
+  static constexpr uint64_t BucketLo(size_t i) {
+    return i <= 1 ? 0 : uint64_t{1} << (i - 1);
+  }
+  // Inclusive upper bound of bucket i (the overflow bucket tops out at UINT64_MAX).
+  static constexpr uint64_t BucketHi(size_t i) {
+    if (i == 0) {
+      return 0;
+    }
+    if (i >= kOverflowBucket) {
+      return ~uint64_t{0};
+    }
+    return (uint64_t{1} << i) - 1;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t Min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t Max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  uint64_t BucketCount(size_t i) const { return i < kBuckets ? buckets_[i] : 0; }
+
+  // Nearest-rank quantile estimate, q in [0, 1]. 0 with no samples; exact for q=1 (the
+  // running max) and whenever the chosen rank falls in the overflow bucket.
+  uint64_t Quantile(double q) const;
+
+  void Clear() {
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+  }
+
+  void MergeFrom(const Histogram& other);
+
+  // One-line human summary: "count=12 mean=340.1 p50=256 p90=1023 p99=2047 max=2311".
+  std::string Summary() const;
+
+  // Appends one JSON object: count/min/max/mean/p50/p90/p99 plus the non-empty buckets as
+  // [lo, hi, count] triples. Machine-readable end of the flight-recorder dump.
+  void AppendJson(std::string* out) const;
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace hipec::obs
+
+#endif  // HIPEC_OBS_HISTOGRAM_H_

@@ -1,0 +1,55 @@
+// A minimal JSON reader/writer for the observability layer: hipec-report parses bench
+// JSON-line output with it, the Perfetto golden test validates exported traces with it, and
+// the flight recorder uses the escaping helper when rendering dumps. Deliberately small —
+// no external dependency, no DOM mutation API, parse-and-inspect only.
+#ifndef HIPEC_OBS_JSON_H_
+#define HIPEC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hipec::obs {
+
+// A parsed JSON value. Objects keep insertion order (bench JSON lines are ordered and the
+// report echoes them back in a stable order).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsNull() const { return kind == Kind::kNull; }
+  bool IsBool() const { return kind == Kind::kBool; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsObject() const { return kind == Kind::kObject; }
+
+  // Object member lookup; nullptr when absent or this is not an object.
+  const JsonValue* Get(std::string_view key) const;
+
+  // Convenience accessors with defaults (missing member / wrong kind -> fallback).
+  double NumberOr(std::string_view key, double fallback) const;
+  int64_t IntOr(std::string_view key, int64_t fallback) const;
+  std::string StringOr(std::string_view key, std::string fallback) const;
+};
+
+// Parses one complete JSON document (trailing whitespace allowed, trailing garbage is an
+// error). On failure returns false and describes the problem and byte offset in *error.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+// Appends `s` with JSON string escaping ("", \\, control characters) — the writer-side
+// counterpart, shared by the flight recorder and the Chrome trace exporter.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+}  // namespace hipec::obs
+
+#endif  // HIPEC_OBS_JSON_H_

@@ -1,0 +1,60 @@
+#include "obs/probe.h"
+
+#include "obs/json.h"
+
+namespace hipec::obs {
+
+ProbeRegistry& ProbeRegistry::Instance() {
+  static ProbeRegistry* registry = new ProbeRegistry();
+  return *registry;
+}
+
+ProbeId ProbeRegistry::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  ProbeId id = static_cast<ProbeId>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return id;
+}
+
+ProbeId ProbeRegistry::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalid : it->second;
+}
+
+std::map<std::string, const Histogram*> ProbeSet::all() const {
+  std::map<std::string, const Histogram*> out;
+  const ProbeRegistry& registry = ProbeRegistry::Instance();
+  for (ProbeId id = 0; id < hists_.size(); ++id) {
+    if (hists_[id].count() > 0) {
+      out.emplace(registry.NameOf(id), &hists_[id]);
+    }
+  }
+  return out;
+}
+
+void ProbeSet::AppendJson(std::string* out) const {
+  *out += '{';
+  bool first = true;
+  for (const auto& [name, hist] : all()) {
+    if (!first) {
+      *out += ',';
+    }
+    first = false;
+    *out += '"';
+    AppendJsonEscaped(out, name);
+    *out += "\":";
+    hist->AppendJson(out);
+  }
+  *out += '}';
+}
+
+void ProbeSet::Grow(ProbeId id) {
+  size_t want = ProbeRegistry::Instance().size();
+  hists_.resize(want > id ? want : id + 1);
+}
+
+}  // namespace hipec::obs

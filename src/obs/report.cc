@@ -1,0 +1,319 @@
+#include "obs/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hipec::obs {
+
+namespace {
+
+ScenarioSummary ScenarioFromRecord(const JsonValue& rec) {
+  ScenarioSummary s;
+  s.name = rec.StringOr("scenario", "?");
+  s.tenants = rec.IntOr("tenants", 0);
+  s.background = rec.IntOr("background", 0);
+  s.faults = rec.IntOr("faults", 0);
+  s.requests = rec.IntOr("requests", 0);
+  s.requests_rejected = rec.IntOr("requests_rejected", 0);
+  s.forced_reclaims = rec.IntOr("forced_reclaims", 0);
+  s.flush_exchange = rec.IntOr("flush_exchange", 0);
+  s.flush_sync = rec.IntOr("flush_sync", 0);
+  s.checker_kills = rec.IntOr("checker_kills", 0);
+  s.audits = rec.IntOr("audits", 0);
+  s.trace_dropped = rec.IntOr("trace_dropped", 0);
+  s.reject_rate = rec.NumberOr("reject_rate", 0.0);
+  s.virtual_sec = rec.NumberOr("virtual_sec", 0.0);
+  s.host_sec = rec.NumberOr("host_sec", 0.0);
+  return s;
+}
+
+void AppendNumber(std::string* out, double value) {
+  char buf[64];
+  // Integral values print without a fraction so counts stay counts in the JSON report.
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+void ParseJsonLines(std::istream& in, std::vector<JsonValue>* records, size_t* ignored,
+                    std::vector<ReportWarning>* parse_warnings) {
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim leading whitespace only; the benches print objects flush-left.
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] != '{') {
+      if (ignored != nullptr) {
+        ++*ignored;
+      }
+      continue;
+    }
+    JsonValue value;
+    std::string error;
+    if (!ParseJson(std::string_view(line).substr(start), &value, &error) ||
+        !value.IsObject()) {
+      if (parse_warnings != nullptr) {
+        std::string snippet = line.substr(start, 40);
+        parse_warnings->push_back(
+            ReportWarning{"parser", "unparseable JSON line '" + snippet + "...': " + error});
+      }
+      continue;
+    }
+    records->push_back(std::move(value));
+  }
+}
+
+Report BuildReport(const std::vector<JsonValue>& records) {
+  Report report;
+  report.records = records.size();
+  for (const JsonValue& rec : records) {
+    std::string bench = rec.StringOr("bench", "");
+    bool has_metric = rec.Get("metric") != nullptr;
+
+    if (bench == "scenario" && !has_metric) {
+      ScenarioSummary s = ScenarioFromRecord(rec);
+      if (s.trace_dropped > 0) {
+        report.warnings.push_back(ReportWarning{
+            s.name, "trace ring dropped " + std::to_string(s.trace_dropped) +
+                        " event(s); exported timelines are incomplete — raise the tracer "
+                        "capacity or shorten the run"});
+      }
+      // Flatten the countable fields so the gate (and diffs between runs) can reference them
+      // by name, alongside the explicit metric records.
+      const std::string prefix = "scenario." + s.name + ".";
+      report.metrics[prefix + "faults"] = static_cast<double>(s.faults);
+      report.metrics[prefix + "requests"] = static_cast<double>(s.requests);
+      report.metrics[prefix + "requests_rejected"] = static_cast<double>(s.requests_rejected);
+      report.metrics[prefix + "forced_reclaims"] = static_cast<double>(s.forced_reclaims);
+      report.metrics[prefix + "flush_exchange"] = static_cast<double>(s.flush_exchange);
+      report.metrics[prefix + "flush_sync"] = static_cast<double>(s.flush_sync);
+      report.metrics[prefix + "checker_kills"] = static_cast<double>(s.checker_kills);
+      report.metrics[prefix + "trace_dropped"] = static_cast<double>(s.trace_dropped);
+      report.scenarios.push_back(std::move(s));
+    } else if (bench == "scenario" && has_metric) {
+      report.metrics["scenario." + rec.StringOr("scenario", "?") + "." +
+                     rec.StringOr("metric", "?")] = rec.NumberOr("value", 0.0);
+    } else if (bench == "faultpath" && rec.StringOr("config", "") == "production" &&
+               rec.Get("normalized_score") != nullptr) {
+      report.metrics["faultpath.normalized." + rec.StringOr("policy", "?")] =
+          rec.NumberOr("normalized_score", 0.0);
+    } else if (bench == "faultpath" && has_metric && rec.Get("policy") != nullptr) {
+      report.metrics["faultpath." + rec.StringOr("metric", "?") + "." +
+                     rec.StringOr("policy", "?")] = rec.NumberOr("value", 0.0);
+    } else if (bench == "faultpath" && has_metric) {
+      report.metrics["faultpath." + rec.StringOr("metric", "?")] = rec.NumberOr("value", 0.0);
+    } else if (bench == "executor_arith_loop" &&
+               rec.StringOr("metric", "") == "ir_speedup") {
+      report.metrics["interpreter.ir_speedup"] = rec.NumberOr("value", 0.0);
+    }
+  }
+  return report;
+}
+
+std::string RenderReportTable(const Report& report) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "hipec-report: %zu JSON record(s), %zu other line(s)\n",
+                report.records, report.ignored_lines);
+  os << buf;
+
+  if (!report.scenarios.empty()) {
+    std::snprintf(buf, sizeof(buf), "\n%-20s %9s %8s %8s %6s %7s %7s %7s %6s %8s %8s\n",
+                  "scenario", "faults", "req", "rej", "rej%", "forced", "flushx", "flushs",
+                  "kills", "vsec", "dropped");
+    os << buf;
+    for (const ScenarioSummary& s : report.scenarios) {
+      std::snprintf(buf, sizeof(buf),
+                    "%-20s %9lld %8lld %8lld %5.1f%% %7lld %7lld %7lld %6lld %8.3f %8lld\n",
+                    s.name.c_str(), static_cast<long long>(s.faults),
+                    static_cast<long long>(s.requests),
+                    static_cast<long long>(s.requests_rejected), 100.0 * s.reject_rate,
+                    static_cast<long long>(s.forced_reclaims),
+                    static_cast<long long>(s.flush_exchange),
+                    static_cast<long long>(s.flush_sync),
+                    static_cast<long long>(s.checker_kills), s.virtual_sec,
+                    static_cast<long long>(s.trace_dropped));
+      os << buf;
+    }
+  }
+
+  if (!report.metrics.empty()) {
+    os << "\nmetrics (check_perf_regression.py names):\n";
+    for (const auto& [name, value] : report.metrics) {
+      std::snprintf(buf, sizeof(buf), "  %-50s %14.4f\n", name.c_str(), value);
+      os << buf;
+    }
+  }
+
+  if (!report.warnings.empty()) {
+    os << "\nWARNINGS:\n";
+    for (const ReportWarning& w : report.warnings) {
+      os << "  [" << w.source << "] " << w.message << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string RenderReportJson(const Report& report) {
+  std::string out = "{\"report_version\":1,\"records\":";
+  AppendNumber(&out, static_cast<double>(report.records));
+  out += ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : report.metrics) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    AppendJsonEscaped(&out, name);
+    out += "\":";
+    AppendNumber(&out, value);
+  }
+  out += "},\"scenarios\":[";
+  first = true;
+  for (const ScenarioSummary& s : report.scenarios) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    char buf[512];
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, s.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"tenants\":%lld,\"background\":%lld,\"faults\":%lld,"
+                  "\"requests\":%lld,\"requests_rejected\":%lld,\"reject_rate\":%.4f,"
+                  "\"forced_reclaims\":%lld,\"flush_exchange\":%lld,\"flush_sync\":%lld,"
+                  "\"checker_kills\":%lld,\"audits\":%lld,\"trace_dropped\":%lld,"
+                  "\"virtual_sec\":%.3f,\"host_sec\":%.3f}",
+                  static_cast<long long>(s.tenants), static_cast<long long>(s.background),
+                  static_cast<long long>(s.faults), static_cast<long long>(s.requests),
+                  static_cast<long long>(s.requests_rejected), s.reject_rate,
+                  static_cast<long long>(s.forced_reclaims),
+                  static_cast<long long>(s.flush_exchange),
+                  static_cast<long long>(s.flush_sync),
+                  static_cast<long long>(s.checker_kills),
+                  static_cast<long long>(s.audits),
+                  static_cast<long long>(s.trace_dropped), s.virtual_sec, s.host_sec);
+    out += buf;
+  }
+  out += "],\"warnings\":[";
+  first = true;
+  for (const ReportWarning& w : report.warnings) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"source\":\"";
+    AppendJsonEscaped(&out, w.source);
+    out += "\",\"message\":\"";
+    AppendJsonEscaped(&out, w.message);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool SelfCheck(std::string* diagnostics) {
+  auto fail = [diagnostics](const std::string& what) {
+    if (diagnostics != nullptr) {
+      *diagnostics = "selfcheck: " + what;
+    }
+    return false;
+  };
+
+  // A miniature bench capture: a human table line, a scenario summary with dropped events,
+  // a scenario metric, faultpath production + speedup + bare-metric lines, an interpreter
+  // line, and one corrupt JSON line.
+  static const char kSample[] =
+      "scenario: sample — human table line, must be skipped\n"
+      "{\"bench\":\"scenario\",\"scenario\":\"sample\",\"tenants\":3,\"background\":1,"
+      "\"faults\":1200,\"requests\":40,\"requests_rejected\":10,\"reject_rate\":0.2500,"
+      "\"forced_reclaims\":7,\"flush_exchange\":5,\"flush_sync\":2,"
+      "\"burst_watermark_final\":512,\"checker_kills\":1,\"audits\":99,"
+      "\"trace_dropped\":3,\"virtual_sec\":1.500,\"host_sec\":0.050}\n"
+      "{\"bench\":\"scenario\",\"scenario\":\"sample\",\"metric\":\"faults_per_host_sec\","
+      "\"value\":24000}\n"
+      "{\"bench\":\"faultpath\",\"policy\":\"fifo\",\"config\":\"production\","
+      "\"faults\":64000,\"faults_per_sec\":100000,\"ns_per_fault\":10000.0,"
+      "\"normalized_score\":0.004321}\n"
+      "{\"bench\":\"faultpath\",\"policy\":\"fifo\",\"metric\":\"speedup_vs_pre_pr\","
+      "\"value\":2.210}\n"
+      "{\"bench\":\"faultpath\",\"metric\":\"probe_overhead_pct\",\"value\":3.100}\n"
+      "{\"bench\":\"executor_arith_loop\",\"metric\":\"ir_speedup\",\"value\":2.900}\n"
+      "{this line is corrupt json\n";
+
+  std::istringstream in(kSample);
+  std::vector<JsonValue> records;
+  size_t ignored = 0;
+  std::vector<ReportWarning> parse_warnings;
+  ParseJsonLines(in, &records, &ignored, &parse_warnings);
+  if (records.size() != 6) {
+    return fail("expected 6 records, parsed " + std::to_string(records.size()));
+  }
+  if (ignored != 1) {
+    return fail("expected 1 ignored line, saw " + std::to_string(ignored));
+  }
+  if (parse_warnings.size() != 1) {
+    return fail("expected 1 parse warning for the corrupt line");
+  }
+
+  Report report = BuildReport(records);
+  report.ignored_lines = ignored;
+  report.warnings.insert(report.warnings.end(), parse_warnings.begin(), parse_warnings.end());
+
+  if (report.scenarios.size() != 1) {
+    return fail("expected 1 scenario summary");
+  }
+  const ScenarioSummary& s = report.scenarios[0];
+  if (s.name != "sample" || s.faults != 1200 || s.requests_rejected != 10 ||
+      s.forced_reclaims != 7 || s.flush_sync != 2 || s.checker_kills != 1 ||
+      s.trace_dropped != 3) {
+    return fail("scenario summary fields do not match the sample");
+  }
+  auto metric_is = [&](const char* name, double want) {
+    auto it = report.metrics.find(name);
+    return it != report.metrics.end() && std::abs(it->second - want) < 1e-9;
+  };
+  if (!metric_is("scenario.sample.faults_per_host_sec", 24000) ||
+      !metric_is("scenario.sample.forced_reclaims", 7) ||
+      !metric_is("scenario.sample.requests_rejected", 10) ||
+      !metric_is("faultpath.normalized.fifo", 0.004321) ||
+      !metric_is("faultpath.speedup_vs_pre_pr.fifo", 2.210) ||
+      !metric_is("faultpath.probe_overhead_pct", 3.100) ||
+      !metric_is("interpreter.ir_speedup", 2.900)) {
+    return fail("flattened metrics do not match the sample");
+  }
+  bool dropped_flagged = false;
+  for (const ReportWarning& w : report.warnings) {
+    if (w.source == "sample" && w.message.find("dropped 3") != std::string::npos) {
+      dropped_flagged = true;
+    }
+  }
+  if (!dropped_flagged) {
+    return fail("nonzero trace_dropped was not flagged as a warning");
+  }
+
+  // The machine report must round-trip through our own parser.
+  std::string json = RenderReportJson(report);
+  JsonValue parsed;
+  std::string error;
+  if (!ParseJson(json, &parsed, &error)) {
+    return fail("report JSON does not parse: " + error);
+  }
+  const JsonValue* metrics = parsed.Get("metrics");
+  if (metrics == nullptr || !metrics->IsObject() ||
+      std::abs(metrics->NumberOr("interpreter.ir_speedup", 0) - 2.9) > 1e-9) {
+    return fail("report JSON round-trip lost metrics");
+  }
+  if (diagnostics != nullptr) {
+    diagnostics->clear();
+  }
+  return true;
+}
+
+}  // namespace hipec::obs

@@ -180,7 +180,11 @@ void InvariantAuditor::AuditNow(const char* decision) {
   if (!report.ok) {
     std::fprintf(stderr, "[scenario-audit] invariant violated after decision '%s': %s\n",
                  decision, report.violation.c_str());
-    std::fprintf(stderr, "%s\n", engine_->kernel().tracer().DumpJson().c_str());
+    if (recorder_ != nullptr) {
+      recorder_->Dump(std::string("invariant-violation: ") + report.violation);
+    } else {
+      std::fprintf(stderr, "%s\n", engine_->kernel().tracer().DumpJson().c_str());
+    }
     HIPEC_CHECK_MSG(false, "frame invariant violated after '" << decision
                                << "': " << report.violation);
   }

@@ -16,8 +16,9 @@
 //      equals the boot-time stocking at every decision boundary (the reserve can never go
 //      negative or leak).
 //
-// A violation fails loudly: the kernel's trace ring is dumped as JSON to stderr and a
-// sim::CheckFailure is thrown with the first violated invariant.
+// A violation fails loudly: the flight recorder (when attached) dumps the last trace events
+// plus every registered probe histogram, otherwise the raw trace ring is dumped as JSON to
+// stderr; either way a sim::CheckFailure is thrown with the first violated invariant.
 #ifndef HIPEC_SCENARIO_INVARIANTS_H_
 #define HIPEC_SCENARIO_INVARIANTS_H_
 
@@ -25,6 +26,7 @@
 #include <string>
 
 #include "hipec/engine.h"
+#include "obs/flight_recorder.h"
 
 namespace hipec::scenario {
 
@@ -49,10 +51,15 @@ class InvariantAuditor {
   // failure message). Dumps the trace and throws sim::CheckFailure on a violation.
   void AuditNow(const char* decision);
 
+  // Attaches a flight recorder; on a violation Dump() renders the richer crash snapshot
+  // (trace window + probe histograms) instead of the raw ring dump. Not owned; may be null.
+  void SetFlightRecorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
   int64_t audits_run() const { return audits_run_; }
 
  private:
   core::HipecEngine* engine_;
+  obs::FlightRecorder* recorder_ = nullptr;
   int64_t audits_run_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "scenario/scenario.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <unordered_set>
@@ -8,6 +9,9 @@
 
 #include "hipec/engine.h"
 #include "mach/kernel.h"
+#include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/probe.h"
 #include "policies/policies.h"
 #include "scenario/invariants.h"
 #include "scenario/tenant_policies.h"
@@ -27,6 +31,9 @@ uint64_t TenantSeed(uint64_t scenario_seed, uint64_t ordinal) {
   x ^= x >> 31;
   return x;
 }
+
+// Probe id: virtual time consumed by each tenant scheduling slice.
+const obs::ProbeId kPrbSliceNs = obs::InternProbe("scenario.slice_ns");
 
 core::PolicyProgram MakePolicy(PolicyKind kind) {
   switch (kind) {
@@ -94,14 +101,36 @@ class ScenarioRun {
     engine_ = std::make_unique<core::HipecEngine>(kernel_.get(), spec.manager);
     auditor_ = std::make_unique<InvariantAuditor>(engine_.get());
 
+    if (spec.flight_recorder_window > 0) {
+      recorder_ = std::make_unique<obs::FlightRecorder>(&kernel_->tracer(),
+                                                        spec.flight_recorder_window);
+      recorder_->AddProbeSource("executor", &engine_->executor().probes());
+      recorder_->AddProbeSource("manager", &engine_->manager().probes());
+      recorder_->AddProbeSource("checker", &engine_->checker().probes());
+      recorder_->AddProbeSource("disk", &kernel_->disk().probes());
+      recorder_->AddProbeSource("scenario", &probes_);
+      recorder_->AddCounterSource("manager", &engine_->manager().counters());
+      recorder_->AddCounterSource("checker", &engine_->checker().counters());
+      recorder_->AddCounterSource("executor", &engine_->executor().counters());
+      if (spec.flight_recorder_sink) {
+        recorder_->SetSink(spec.flight_recorder_sink);
+      }
+      auditor_->SetFlightRecorder(recorder_.get());
+    }
+
     engine_->manager().SetDecisionHook([this](const char* decision) {
       ++result_.decisions[decision];
       if (spec_.audit) {
         auditor_->AuditNow(decision);
       }
     });
-    engine_->checker().SetTimeoutObserver(
-        [this](uint64_t container_id) { killed_.insert(container_id); });
+    engine_->checker().SetTimeoutObserver([this](uint64_t container_id) {
+      // One dump per distinct victim: the checker can re-detect the same runaway policy on
+      // consecutive wakeups before the executor reaches its next command fetch.
+      if (killed_.insert(container_id).second && recorder_ != nullptr) {
+        recorder_->Dump("checker-kill: container " + std::to_string(container_id));
+      }
+    });
   }
 
   ScenarioResult Run() {
@@ -238,6 +267,7 @@ class ScenarioRun {
     if (!t.arrived || t.done) {
       return;
     }
+    const sim::Nanos slice_start_ns = kernel_->clock().now();
     for (size_t i = 0; i < spec_.slice_accesses && t.pos < t.trace.size(); ++i) {
       if (t.task->terminated()) {
         break;
@@ -249,6 +279,9 @@ class ScenarioRun {
       ++t.pos;
       ++t.result.accesses_done;
       Snapshot(t);
+    }
+    if (obs::ProbesEnabled()) {
+      probes_.Record(kPrbSliceNs, kernel_->clock().now() - slice_start_ns);
     }
     if (t.task->terminated()) {
       t.result.terminated = true;
@@ -335,12 +368,32 @@ class ScenarioRun {
     result_.audits_run = auditor_->audits_run();
     result_.checker_kills = static_cast<int64_t>(killed_.size());
     result_.burst_watermark_final = engine_->manager().partition_burst();
+    result_.trace_dropped = kernel_->tracer().dropped();
+    result_.flight_recorder_dumps = recorder_ != nullptr ? recorder_->dumps() : 0;
+    if (!spec_.chrome_trace_path.empty()) {
+      std::vector<obs::ChromeTraceTrack> tracks;
+      for (const TenantState& t : tenants_) {
+        if (t.task != nullptr) {
+          tracks.push_back(obs::ChromeTraceTrack{t.task->id(), t.container_id, t.spec.name});
+        }
+      }
+      for (const BackgroundState& b : background_) {
+        tracks.push_back(obs::ChromeTraceTrack{b.task->id(), 0, b.spec.name});
+      }
+      std::string error;
+      if (!obs::WriteChromeTraceFile(spec_.chrome_trace_path, kernel_->tracer().Snapshot(),
+                                     tracks, spec_.name, &error)) {
+        std::fprintf(stderr, "[scenario] chrome trace export failed: %s\n", error.c_str());
+      }
+    }
   }
 
   ScenarioSpec spec_;
   std::unique_ptr<mach::Kernel> kernel_;
   std::unique_ptr<core::HipecEngine> engine_;
   std::unique_ptr<InvariantAuditor> auditor_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  obs::ProbeSet probes_;
   std::vector<TenantState> tenants_;
   std::vector<BackgroundState> background_;
   std::unordered_set<uint64_t> killed_;

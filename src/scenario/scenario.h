@@ -18,6 +18,7 @@
 #define HIPEC_SCENARIO_SCENARIO_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -118,6 +119,15 @@ struct ScenarioSpec {
   size_t slice_accesses = 64;
   bool audit = true;  // run the invariant auditor after every manager decision
   bool trace = true;  // enable the kernel trace ring (dumped on audit failure)
+  // Observability (src/obs/). When non-empty, the finished run is exported to this path as
+  // Chrome trace-event JSON (loadable in ui.perfetto.dev / chrome://tracing) with one
+  // timeline track per tenant; requires trace = true to have events to export.
+  std::string chrome_trace_path;
+  // Trace events included in each flight-recorder crash dump (auditor violation or checker
+  // kill). 0 disables the recorder entirely.
+  size_t flight_recorder_window = 64;
+  // Test hook: flight-recorder dumps go here instead of stderr when set.
+  std::function<void(const std::string& json)> flight_recorder_sink;
   std::vector<TenantSpec> tenants;
   std::vector<BackgroundSpec> background;
   std::vector<InjectionSpec> injections;
@@ -155,6 +165,11 @@ struct ScenarioResult {
   int64_t audits_run = 0;
   int64_t checker_kills = 0;      // distinct containers killed by the security checker
   size_t burst_watermark_final = 0;
+  // Trace events overwritten because the ring wrapped (exported timelines are missing that
+  // many events). Deliberately not part of Fingerprint(): ring capacity is an observer
+  // setting, not simulation state.
+  uint64_t trace_dropped = 0;
+  int64_t flight_recorder_dumps = 0;
   // Manager decisions by name ("request", "request-reject", "flush-sync", ...), counted by
   // the same hook that drives the auditor.
   std::map<std::string, int64_t> decisions;

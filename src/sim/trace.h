@@ -19,9 +19,11 @@ enum class TraceCategory : uint8_t {
   kEviction,  // page evicted (a=frame number, b=object id)
   kPolicy,    // HiPEC event executed (a=container id, b=event number; code=outcome)
   kReclaim,   // frames reclaimed (a=container id, b=count; code 0=normal 1=forced)
-  kChecker,   // checker activity (code 0=wakeup 1=timeout-detected; a=interval ns)
+  kChecker,   // checker activity (code 0=wakeup 1=timeout-detected, a=interval ns;
+              //                   code 2=kill, a=victim container id, b=overrun ns)
   kIpc,       // pager message (a=object id, b=offset; code=message id)
-  kManager,   // frame-manager decision (code 0=grant 1=reject 2=migrate; a=container, b=n)
+  kManager,   // frame-manager decision (a=container, b=n; code 0=grant 1=reject 2=migrate
+              //                         3=flush-exchange 4=flush-sync 5=flush-clean)
 };
 
 struct TraceEvent {

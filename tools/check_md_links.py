@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the repo's docs.
+
+Walks every *.md file under the repository root (plus docs/), extracts inline links
+[text](target) and reference definitions [id]: target, and verifies:
+
+  * relative file targets exist (resolved against the file's directory),
+  * #anchor fragments match a heading in the target file (GitHub slug rules:
+    lowercase, spaces -> dashes, punctuation stripped),
+  * bare #anchors resolve within the same file.
+
+External links (http/https/mailto) are deliberately NOT fetched — CI must pass with no
+network — but their syntax is still validated. Exit 1 with one line per broken link.
+
+Usage: check_md_links.py [root]   (default: the repo root containing this script)
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading):
+    """The anchor GitHub generates for a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)            # strip inline formatting markers
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)  # links render as their text
+    slug = re.sub(r"[^\w\- ]", "", slug)           # drop punctuation
+    slug = slug.replace(" ", "-")
+    return slug
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = CODE_FENCE.sub("", fh.read())
+        except OSError:
+            cache[path] = set()
+            return cache[path]
+        seen = {}
+        anchors = set()
+        for match in HEADING.finditer(text):
+            slug = github_slug(match.group(1))
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = anchors
+    return cache[path]
+
+
+def check_file(md_path, root):
+    problems = []
+    with open(md_path, encoding="utf-8") as fh:
+        text = fh.read()
+    text = CODE_FENCE.sub("", text)
+
+    targets = []
+    for regex in (INLINE_LINK, IMAGE_LINK, REF_DEF):
+        targets.extend(m.group(1) for m in regex.finditer(text))
+
+    for target in targets:
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            anchor = target[1:]
+            if anchor and anchor not in anchors_of(md_path):
+                problems.append(f"{os.path.relpath(md_path, root)}: broken anchor '{target}'")
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = os.path.normpath(os.path.join(os.path.dirname(md_path), path_part))
+        if not os.path.exists(resolved):
+            problems.append(f"{os.path.relpath(md_path, root)}: missing file '{target}'")
+            continue
+        if fragment and resolved.endswith(".md") and fragment not in anchors_of(resolved):
+            problems.append(
+                f"{os.path.relpath(md_path, root)}: anchor '#{fragment}' not found in "
+                f"'{path_part}'")
+    return problems
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    md_files = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in {".git", "build", "third_party"} and not d.startswith("build")]
+        md_files.extend(os.path.join(dirpath, f) for f in filenames if f.endswith(".md"))
+
+    problems = []
+    for md in sorted(md_files):
+        problems.extend(check_file(md, root))
+
+    for line in problems:
+        print(line, file=sys.stderr)
+    print(f"check_md_links: {len(md_files)} file(s), {len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+// hipec-report: turns bench/scenario JSON-line output into a human summary table and a
+// machine-readable report (see src/obs/report.h for both formats).
+//
+//   hipec-report [files...]            summary table to stdout (no files: read stdin)
+//   hipec-report --json [files...]     machine report JSON to stdout
+//   hipec-report --out PATH ...        write the chosen rendering to PATH instead
+//   hipec-report --strict ...          exit 2 when the report carries warnings
+//                                      (e.g. nonzero trace_dropped in any scenario)
+//   hipec-report --selfcheck [files]   run the embedded parser/builder validation; with
+//                                      files, additionally require each to yield at least
+//                                      one recognized bench record. Exit 0/1. CI runs this
+//                                      against the perf-smoke bench output.
+//
+// The machine report's "metrics" map uses check_perf_regression.py's flattened names, so
+//   hipec-report --json bench_scenario.out > report.json
+//   check_perf_regression.py --baseline bench/baseline.json --report report.json
+// gates on exactly the numbers the report shows.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--out PATH] [--strict] [--selfcheck] [files...]\n",
+               argv0);
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool strict = false;
+  bool selfcheck = false;
+  std::string out_path;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--selfcheck") {
+      selfcheck = true;
+    } else if (arg == "--out") {
+      if (++i >= argc) {
+        return Usage(argv[0]);
+      }
+      out_path = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "hipec-report: unknown flag '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (selfcheck) {
+    std::string diagnostics;
+    if (!hipec::obs::SelfCheck(&diagnostics)) {
+      std::fprintf(stderr, "hipec-report: SELFCHECK FAILED: %s\n", diagnostics.c_str());
+      return 1;
+    }
+    std::printf("hipec-report: embedded selfcheck ok\n");
+    for (const std::string& path : files) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "hipec-report: cannot open %s\n", path.c_str());
+        return 1;
+      }
+      std::vector<hipec::obs::JsonValue> records;
+      size_t ignored = 0;
+      std::vector<hipec::obs::ReportWarning> parse_warnings;
+      hipec::obs::ParseJsonLines(in, &records, &ignored, &parse_warnings);
+      hipec::obs::Report report = hipec::obs::BuildReport(records);
+      if (!parse_warnings.empty()) {
+        std::fprintf(stderr, "hipec-report: %s: %zu unparseable JSON line(s): %s\n",
+                     path.c_str(), parse_warnings.size(),
+                     parse_warnings[0].message.c_str());
+        return 1;
+      }
+      if (report.metrics.empty() && report.scenarios.empty()) {
+        std::fprintf(stderr, "hipec-report: %s: no recognized bench records — report "
+                             "parsing and bench output have drifted apart\n",
+                     path.c_str());
+        return 1;
+      }
+      std::printf("hipec-report: %s ok (%zu record(s), %zu metric(s), %zu warning(s))\n",
+                  path.c_str(), records.size(), report.metrics.size(),
+                  report.warnings.size());
+    }
+    return 0;
+  }
+
+  std::vector<hipec::obs::JsonValue> records;
+  size_t ignored = 0;
+  std::vector<hipec::obs::ReportWarning> parse_warnings;
+  if (files.empty()) {
+    hipec::obs::ParseJsonLines(std::cin, &records, &ignored, &parse_warnings);
+  } else {
+    for (const std::string& path : files) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "hipec-report: cannot open %s\n", path.c_str());
+        return 1;
+      }
+      hipec::obs::ParseJsonLines(in, &records, &ignored, &parse_warnings);
+    }
+  }
+
+  hipec::obs::Report report = hipec::obs::BuildReport(records);
+  report.ignored_lines = ignored;
+  report.warnings.insert(report.warnings.end(), parse_warnings.begin(),
+                         parse_warnings.end());
+
+  std::string rendered = json ? hipec::obs::RenderReportJson(report) + "\n"
+                              : hipec::obs::RenderReportTable(report);
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "hipec-report: cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    out << rendered;
+  }
+
+  // Warnings always reach stderr too, so they are visible even when stdout is redirected
+  // into a report file.
+  for (const hipec::obs::ReportWarning& w : report.warnings) {
+    std::fprintf(stderr, "hipec-report: WARNING [%s] %s\n", w.source.c_str(),
+                 w.message.c_str());
+  }
+  if (strict && !report.warnings.empty()) {
+    return 2;
+  }
+  return 0;
+}
