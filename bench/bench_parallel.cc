@@ -1,0 +1,111 @@
+// Parallel fault-throughput benchmark: runs the real-threads scenario driver
+// (scenario/threaded.h) at 1/2/4/8 tenant threads and reports aggregate faults/sec, as a
+// human table and as JSON lines for the CI perf-smoke gate.
+//
+// Weak scaling: each thread gets an identical tenant (same trace length, same working set)
+// and the machine grows with the thread count, so perfect scaling is a flat per-thread
+// throughput — i.e. aggregate faults/sec proportional to threads. The speedup_N_vs_1 metrics
+// carry a hardware_threads field; check_perf_regression.py only gates them on hosts with at
+// least 8 hardware threads (a 1-core CI runner cannot exhibit parallel speedup, only
+// lock-contention overhead, and gating there would measure the scheduler, not the kernel).
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "scenario/threaded.h"
+
+namespace {
+
+using hipec::bench::JsonLine;
+using hipec::scenario::PatternKind;
+using hipec::scenario::PolicyKind;
+using hipec::scenario::TenantSpec;
+using hipec::scenario::ThreadedScenarioResult;
+using hipec::scenario::ThreadedScenarioSpec;
+
+ThreadedScenarioSpec MakeSpec(size_t threads, size_t accesses) {
+  ThreadedScenarioSpec spec;
+  spec.name = "parallel-" + std::to_string(threads) + "t";
+  // Weak scaling: per-thread slice of the machine is constant across runs.
+  spec.total_frames = 512 + 160 * threads;
+  spec.kernel_reserved_frames = 128;
+  spec.audit = true;
+  spec.audit_interval_ms = 10;
+  for (size_t i = 0; i < threads; ++i) {
+    TenantSpec t;
+    t.name = "worker-" + std::to_string(i);
+    t.policy = PolicyKind::kFifoSecondChance;
+    t.pattern = PatternKind::kHotCold;
+    t.pages = 256;
+    t.min_frames = 48;
+    t.accesses = accesses;
+    t.write_fraction = 0.1;
+    t.hot_pages = 48;
+    t.hot_fraction = 0.9;
+    spec.tenants.push_back(t);
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --accesses N: references per tenant thread (default 8000).
+  size_t accesses = 8000;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--accesses" && i + 1 < argc) {
+      accesses = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--accesses N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  hipec::bench::Title("parallel fault throughput (real threads, weak scaling)");
+  hipec::bench::Note("host reports " + std::to_string(hardware_threads) +
+                     " hardware thread(s)");
+  std::printf("  %8s %10s %10s %10s %12s %10s %8s\n", "threads", "faults", "accesses",
+              "wall_sec", "faults/sec", "acc/sec", "audits");
+
+  std::map<size_t, double> faults_per_sec;
+  JsonLine json;
+  for (size_t threads : {1, 2, 4, 8}) {
+    ThreadedScenarioResult r =
+        hipec::scenario::RunThreadedScenario(MakeSpec(threads, accesses));
+    faults_per_sec[threads] = r.faults_per_sec;
+    std::printf("  %8zu %10lld %10llu %10.3f %12.0f %10.0f %8lld\n", r.threads,
+                static_cast<long long>(r.total_faults),
+                static_cast<unsigned long long>(r.total_accesses), r.wall_seconds,
+                r.faults_per_sec, r.accesses_per_sec, static_cast<long long>(r.audits_run));
+    json.Str("bench", "parallel")
+        .Int("threads", static_cast<long long>(r.threads))
+        .Int("hardware_threads", hardware_threads)
+        .Int("faults", r.total_faults)
+        .Int("accesses", static_cast<long long>(r.total_accesses))
+        .Num("wall_sec", r.wall_seconds, 4)
+        .Num("faults_per_sec", r.faults_per_sec, 0)
+        .Num("accesses_per_sec", r.accesses_per_sec, 0)
+        .Int("audits", r.audits_run)
+        .Int("checker_wakeups", r.checker_wakeups)
+        .Int("checker_kills", r.checker_kills)
+        .Emit();
+  }
+
+  const double base = faults_per_sec[1];
+  for (size_t threads : {2, 4, 8}) {
+    double speedup = base > 0.0 ? faults_per_sec[threads] / base : 0.0;
+    std::printf("  speedup %zut vs 1t: %.2fx\n", threads, speedup);
+    json.Str("bench", "parallel")
+        .Str("metric", "speedup_" + std::to_string(threads) + "_vs_1")
+        .Num("value", speedup, 3)
+        .Int("hardware_threads", hardware_threads)
+        .Emit();
+  }
+  return 0;
+}

@@ -5,18 +5,21 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/json.h"
+
 namespace hipec::bench {
 
 // Builds one machine-readable JSON object per line, keys in insertion order — the format the
 // benches print after their human-readable tables and scripts/CI consume by grepping for
-// lines starting with '{'. String values are escaped, so scenario names carrying quotes,
-// backslashes, or control characters still emit valid JSON.
+// lines starting with '{'. Escaping delegates to obs::AppendJsonEscaped (src/obs/json.h),
+// the single writer-side escaper in the tree, so bench output and flight-recorder dumps can
+// never drift apart.
 class JsonLine {
  public:
   JsonLine& Str(const char* key, const std::string& value) {
     Key(key);
     buf_ += '"';
-    AppendEscaped(value);
+    obs::AppendJsonEscaped(&buf_, value);
     buf_ += '"';
     return *this;
   }
@@ -53,38 +56,8 @@ class JsonLine {
       buf_ += ',';
     }
     buf_ += '"';
-    AppendEscaped(key);
+    obs::AppendJsonEscaped(&buf_, key);
     buf_ += "\":";
-  }
-
-  void AppendEscaped(const std::string& value) {
-    for (char ch : value) {
-      switch (ch) {
-        case '"':
-          buf_ += "\\\"";
-          break;
-        case '\\':
-          buf_ += "\\\\";
-          break;
-        case '\n':
-          buf_ += "\\n";
-          break;
-        case '\t':
-          buf_ += "\\t";
-          break;
-        case '\r':
-          buf_ += "\\r";
-          break;
-        default:
-          if (static_cast<unsigned char>(ch) < 0x20) {
-            char hex[8];
-            std::snprintf(hex, sizeof(hex), "\\u%04x", static_cast<unsigned char>(ch));
-            buf_ += hex;
-          } else {
-            buf_ += ch;
-          }
-      }
-    }
   }
 
   std::string buf_ = "{";

@@ -21,11 +21,18 @@ const obs::ProbeId kPrbReadNs = obs::InternProbe("disk.read_ns");
 
 }  // namespace
 
-DiskModel::DiskModel(sim::VirtualClock* clock, DiskParams params, uint64_t seed,
+DiskModel::DiskModel(sim::Clock* clock, DiskParams params, uint64_t seed,
                      WriteScheduling sched)
     : clock_(clock), params_(params), rng_(seed), sched_(sched) {
   HIPEC_CHECK(clock != nullptr);
   HIPEC_CHECK(params_.cylinders > 0 && params_.heads > 0 && params_.sectors_per_track > 0);
+}
+
+void DiskModel::EnableConcurrent() {
+  mu_.Enable(true);
+  counters_.EnableConcurrent();
+  probes_.EnableConcurrent();
+  read_latency_.EnableConcurrent();
 }
 
 sim::Nanos DiskModel::SeekNs(int64_t from_cyl, int64_t to_cyl) const {
@@ -39,6 +46,7 @@ sim::Nanos DiskModel::SeekNs(int64_t from_cyl, int64_t to_cyl) const {
 }
 
 sim::Nanos DiskModel::ServiceTimeNs(uint64_t block, bool is_write) {
+  sim::ScopedLock lock(mu_);
   if (params_.solid_state) {
     sim::Nanos transfer =
         is_write ? static_cast<sim::Nanos>(static_cast<double>(params_.flash_read_ns) *
@@ -56,18 +64,22 @@ sim::Nanos DiskModel::ServiceTimeNs(uint64_t block, bool is_write) {
 }
 
 sim::Nanos DiskModel::ReadPage(uint64_t block) {
+  sim::ScopedLock lock(mu_);
   sim::Nanos start = clock_->now();
   // Reads wait only if the write queue is saturated (back-pressure), mirroring how the global
-  // frame manager's laundry throttles under heavy flushing.
-  while (write_queue_.size() >= params_.write_queue_limit) {
-    sim::Nanos deadline = clock_->next_deadline();
-    HIPEC_CHECK_MSG(deadline >= 0, "write queue saturated with no drain event pending");
-    clock_->AdvanceTo(deadline);
+  // frame manager's laundry throttles under heavy flushing. Waiting on the event queue is a
+  // virtual-time construct; under a real clock the queue simply grows until polled.
+  if (clock_->deterministic()) {
+    while (write_queue_.size() >= params_.write_queue_limit) {
+      sim::Nanos deadline = clock_->next_deadline();
+      HIPEC_CHECK_MSG(deadline >= 0, "write queue saturated with no drain event pending");
+      clock_->AdvanceTo(deadline);
+    }
   }
   sim::Nanos service = ServiceTimeNs(block) + injected_read_ns_;
   clock_->Advance(service);
   counters_.Add(kCtrReads);
-  sim::Nanos total = clock_->now() - start;
+  sim::Nanos total = clock_->deterministic() ? clock_->now() - start : service;
   read_latency_.Record(total);
   if (obs::ProbesEnabled()) {
     probes_.Record(kPrbReadNs, total);
@@ -76,12 +88,14 @@ sim::Nanos DiskModel::ReadPage(uint64_t block) {
 }
 
 void DiskModel::WritePageAsync(uint64_t block, std::function<void()> on_complete) {
+  sim::ScopedLock lock(mu_);
   counters_.Add(kCtrWritesQueued);
   write_queue_.push_back(PendingWrite{block, std::move(on_complete)});
-  MaybeStartWrite();
+  MaybeStartWriteLocked();
 }
 
 sim::Nanos DiskModel::WritePageSync(uint64_t block) {
+  sim::ScopedLock lock(mu_);
   sim::Nanos service = ServiceTimeNs(block, /*is_write=*/true);
   clock_->Advance(service);
   counters_.Add(kCtrWritesSync);
@@ -110,7 +124,7 @@ DiskModel::PendingWrite DiskModel::PopNextWrite() {
   return w;
 }
 
-void DiskModel::MaybeStartWrite() {
+void DiskModel::MaybeStartWriteLocked() {
   if (write_in_flight_ || write_queue_.empty()) {
     return;
   }
@@ -118,24 +132,38 @@ void DiskModel::MaybeStartWrite() {
   PendingWrite w = PopNextWrite();
   sim::Nanos service = ServiceTimeNs(w.block, /*is_write=*/true);
   auto on_complete = std::move(w.on_complete);
+  // The completion releases the disk lock before running on_complete: completion handlers
+  // re-enter higher layers (frame manager laundry) whose locks rank below kDisk.
   clock_->ScheduleAfter(
       service,
       [this, on_complete = std::move(on_complete)]() {
-        counters_.Add(kCtrWritesDone);
-        write_in_flight_ = false;
+        {
+          sim::ScopedLock lock(mu_);
+          counters_.Add(kCtrWritesDone);
+          write_in_flight_ = false;
+        }
         if (on_complete) {
           on_complete();
         }
-        MaybeStartWrite();
+        sim::ScopedLock lock(mu_);
+        MaybeStartWriteLocked();
       },
       "disk-write-complete");
 }
 
 void DiskModel::DrainWrites() {
+  if (clock_->deterministic()) {
+    while (pending_writes() > 0) {
+      sim::Nanos deadline = clock_->next_deadline();
+      HIPEC_CHECK_MSG(deadline >= 0, "pending writes but no completion event");
+      clock_->AdvanceTo(deadline);
+    }
+    return;
+  }
+  // Real clock: force-fire scheduled completions until the chain is exhausted (each
+  // completion may start the next queued write).
   while (pending_writes() > 0) {
-    sim::Nanos deadline = clock_->next_deadline();
-    HIPEC_CHECK_MSG(deadline >= 0, "pending writes but no completion event");
-    clock_->AdvanceTo(deadline);
+    clock_->PollDue(/*fire_all=*/true);
   }
 }
 

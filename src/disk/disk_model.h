@@ -19,6 +19,7 @@
 
 #include "obs/probe.h"
 #include "sim/clock.h"
+#include "sim/lock.h"
 #include "sim/random.h"
 #include "sim/stats.h"
 
@@ -76,14 +77,23 @@ enum class WriteScheduling {
 
 class DiskModel {
  public:
-  DiskModel(sim::VirtualClock* clock, DiskParams params, uint64_t seed,
+  // Works against either clock flavour: with a VirtualClock, reads advance virtual time and
+  // write completions are discrete events; with a RealClock, service times stamp deadlines
+  // and completions fire when some thread polls the clock (the frame manager does, at its
+  // entry points). One rank-kDisk lock serializes the mechanical state — there is one head.
+  DiskModel(sim::Clock* clock, DiskParams params, uint64_t seed,
             WriteScheduling sched = WriteScheduling::kFifo);
   DiskModel(const DiskModel&) = delete;
   DiskModel& operator=(const DiskModel&) = delete;
 
+  // Arms the disk lock and the stats sinks for real-threads mode.
+  void EnableConcurrent();
+
   // Reads one 4 KB page at `block` (block = page-sized unit). Advances the virtual clock by
   // the full service time and returns it. If the write queue is over its limit, the read also
-  // waits for it to drain below the limit first (charged to the caller).
+  // waits for it to drain below the limit first (charged to the caller). The wait is a
+  // virtual-time construct: under a real clock a saturated queue is simply allowed to grow
+  // (completions drain as they are polled).
   sim::Nanos ReadPage(uint64_t block);
 
   // Queues one 4 KB page write at `block` and returns immediately. The write is performed by
@@ -94,10 +104,14 @@ class DiskModel {
   // paths (e.g. a HiPEC Flush when the frame manager's clean reserve is empty).
   sim::Nanos WritePageSync(uint64_t block);
 
-  // Blocks (in virtual time) until all queued writes have completed.
+  // Blocks until all queued writes have completed: advances virtual time event by event, or
+  // (real clock) force-fires every scheduled completion.
   void DrainWrites();
 
-  size_t pending_writes() const { return write_queue_.size() + (write_in_flight_ ? 1 : 0); }
+  size_t pending_writes() const {
+    sim::ScopedLock lock(mu_);
+    return write_queue_.size() + (write_in_flight_ ? 1 : 0);
+  }
 
   // Deterministic service time for moving the head from its current position to `block` and
   // transferring one page (or, in solid-state mode, the flat flash access time). Advances
@@ -106,8 +120,14 @@ class DiskModel {
 
   // Fault injection (scenario engine): every read pays this much extra service time until the
   // injection is cleared with 0. Models a degraded drive / saturated bus latency spike.
-  void InjectReadLatency(sim::Nanos extra_ns) { injected_read_ns_ = extra_ns; }
-  sim::Nanos injected_read_latency() const { return injected_read_ns_; }
+  void InjectReadLatency(sim::Nanos extra_ns) {
+    sim::ScopedLock lock(mu_);
+    injected_read_ns_ = extra_ns;
+  }
+  sim::Nanos injected_read_latency() const {
+    sim::ScopedLock lock(mu_);
+    return injected_read_ns_;
+  }
 
   const DiskParams& params() const { return params_; }
   sim::CounterSet& counters() { return counters_; }
@@ -125,11 +145,13 @@ class DiskModel {
            params_.cylinders;
   }
   sim::Nanos SeekNs(int64_t from_cyl, int64_t to_cyl) const;
-  // Starts the next queued write if none is in flight.
-  void MaybeStartWrite();
+  // Starts the next queued write if none is in flight; mu_ must be held.
+  void MaybeStartWriteLocked();
   PendingWrite PopNextWrite();
 
-  sim::VirtualClock* clock_;
+  sim::Clock* clock_;
+  // Serializes head position, RNG, the write queue, and the stats sinks (one spindle).
+  mutable sim::OrderedMutex mu_{sim::LockRank::kDisk};
   DiskParams params_;
   sim::Rng rng_;
   WriteScheduling sched_;

@@ -1,6 +1,8 @@
-// The in-kernel security checker (§4.3.3): a kernel thread, modelled as a periodic virtual-
-// time event, that walks the container list looking for policy executions that have run
-// longer than the TimeOut period and marks them for termination. Its sleeping time adapts:
+// The in-kernel security checker (§4.3.3): a kernel thread that walks the container list
+// looking for policy executions that have run longer than the TimeOut period and marks them
+// for termination. In deterministic mode it is modelled as a periodic virtual-time event; in
+// real-threads mode it IS a thread — a std::thread sleeping on a condition variable and
+// scanning under the manager lock. Either way its sleeping time adapts:
 //
 //   WakeUp = WakeUp/2   if a timeout was detected this wakeup
 //   WakeUp = WakeUp*2   if not
@@ -13,8 +15,12 @@
 #ifndef HIPEC_HIPEC_CHECKER_H_
 #define HIPEC_HIPEC_CHECKER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <thread>
 
 #include "hipec/frame_manager.h"
 #include "hipec/validator.h"
@@ -38,9 +44,14 @@ class SecurityChecker {
   SecurityChecker(const SecurityChecker&) = delete;
   SecurityChecker& operator=(const SecurityChecker&) = delete;
 
+  // Arms the stats sinks for real-threads mode. Must precede Start().
+  void EnableConcurrent();
+
+  // Deterministic mode: schedules the periodic wakeup event. Real-threads mode: spawns the
+  // checker thread (adaptive condition-variable sleep; Stop() joins it).
   void Start();
   void Stop();
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
 
   // Invoked with the container id each time the checker marks a policy execution for
   // termination. The container may be freed shortly afterwards (the executor aborts and the
@@ -49,22 +60,35 @@ class SecurityChecker {
   using TimeoutObserver = std::function<void(uint64_t container_id)>;
   void SetTimeoutObserver(TimeoutObserver observer) { timeout_observer_ = std::move(observer); }
 
-  sim::Nanos current_wakeup_interval() const { return wakeup_ns_; }
+  sim::Nanos current_wakeup_interval() const {
+    return wakeup_ns_.load(std::memory_order_relaxed);
+  }
   int64_t wakeups() const { return counters_.Get("checker.wakeups"); }
   int64_t timeouts_detected() const { return counters_.Get("checker.timeouts_detected"); }
   sim::CounterSet& counters() { return counters_; }
   obs::ProbeSet& probes() { return probes_; }
 
  private:
+  // One scan + interval adaptation. Shared by both modes; takes the manager lock (a no-op in
+  // deterministic mode) to freeze the container list while walking it.
   void Wakeup();
   void ScheduleNext();
+  void ThreadMain();
 
   mach::Kernel* kernel_;
   GlobalFrameManager* manager_;
-  sim::Nanos wakeup_ns_;
+  // Atomic: the checker thread adapts it while foreground threads read it for reporting.
+  std::atomic<sim::Nanos> wakeup_ns_;
   TimeoutObserver timeout_observer_;
-  bool running_ = false;
+  std::atomic<bool> running_{false};
   sim::VirtualClock::EventId pending_event_ = 0;
+
+  // Real-threads mode only. cv_mu_ is internal to the sleep/wake handshake (never held while
+  // touching kernel state), so it sits outside the documented hierarchy.
+  std::thread thread_;
+  std::mutex cv_mu_;
+  std::condition_variable cv_;
+
   sim::CounterSet counters_;
   obs::ProbeSet probes_;
 };

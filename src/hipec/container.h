@@ -5,6 +5,7 @@
 #ifndef HIPEC_HIPEC_CONTAINER_H_
 #define HIPEC_HIPEC_CONTAINER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -69,12 +70,14 @@ class Container {
   size_t min_frames() const { return min_frames_; }
 
   // Policy-execution timestamp: set by the executor at the start of every event, cleared on
-  // completion; the security checker compares it against the timeout period.
-  sim::Nanos exec_start_ns = -1;
+  // completion; the security checker compares it against the timeout period. Atomic: in
+  // real-threads mode the checker thread reads it while the executor runs — the only
+  // cross-thread traffic on a container that bypasses its task lock.
+  std::atomic<sim::Nanos> exec_start_ns{-1};
   // Set by the security checker when it detects a timeout; the executor aborts on sight.
-  bool kill_requested = false;
+  std::atomic<bool> kill_requested{false};
   // The event currently being executed (diagnostics).
-  int executing_event = -1;
+  std::atomic<int> executing_event{-1};
 
   sim::Nanos timeout_ns() const { return timeout_ns_; }
 

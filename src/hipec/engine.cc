@@ -37,7 +37,19 @@ HipecEngine::HipecEngine(mach::Kernel* kernel, FrameManagerConfig manager_config
   manager_.SetReclaimRunner(
       [this](Container* c, size_t ask) { return RunReclaim(c, ask); });
   kernel_->SetFaultInterceptor(this);
+  if (kernel_->concurrent()) {
+    EnableConcurrent();
+  }
   checker_.Start();
+}
+
+void HipecEngine::EnableConcurrent() {
+  mu_.Enable(true);
+  manager_.EnableConcurrent();
+  executor_.EnableConcurrent();
+  checker_.EnableConcurrent();
+  container_zone_.EnableConcurrent();
+  counters_.EnableConcurrent();
 }
 
 HipecEngine::~HipecEngine() {
@@ -83,19 +95,23 @@ void SetupStandardOperands(Container* container, const HipecOptions& options) {
 
 HipecRegion HipecEngine::Register(mach::Task* task, mach::VmObject* object,
                                   const PolicyProgram& program, const HipecOptions& options) {
+  sim::ScopedLock lock(mu_);
+  // Registration mutates the task's address map (buffer wiring, region insert) — own it for
+  // the duration. Rank kTask > kEngine, and the manager lock (admission) nests above both.
+  sim::ScopedLock task_lock(task->mutex());
   HipecRegion region;
 
-  Container* container =
-      container_zone_.Alloc(next_container_id_++, task, object, program, options.min_frames,
-                            options.timeout_ns > 0 ? options.timeout_ns
-                                                   : kernel_->costs().policy_timeout_ns);
+  Container* container = container_zone_.Alloc(
+      next_container_id_.fetch_add(1, std::memory_order_relaxed), task, object, program,
+      options.min_frames,
+      options.timeout_ns > 0 ? options.timeout_ns : kernel_->costs().policy_timeout_ns);
   SetupStandardOperands(container, options);
 
   // Static validation — the security checker's decode-and-verify pass. Charged per word (the
   // checker reads the whole buffer once). On success the decoded IR is cached on the
   // container, so the executor never re-parses the raw command buffer.
-  kernel_->clock().Advance(static_cast<sim::Nanos>(program.TotalWords()) *
-                           kernel_->costs().command_decode_ns);
+  kernel_->ctx().Charge(static_cast<sim::Nanos>(program.TotalWords()) *
+                        kernel_->costs().command_decode_ns);
   DecodeResult decoded = SecurityChecker::StaticScan(program, container->operands());
   if (!decoded.errors.empty()) {
     container_zone_.Free(container);
@@ -132,13 +148,13 @@ HipecRegion HipecEngine::Register(mach::Task* task, mach::VmObject* object,
 HipecRegion HipecEngine::VmAllocateHipec(mach::Task* task, uint64_t size,
                                          const PolicyProgram& program,
                                          const HipecOptions& options) {
-  kernel_->clock().Advance(kernel_->costs().null_syscall_ns);
+  kernel_->ctx().Charge(kernel_->costs().null_syscall_ns);
   return Register(task, kernel_->CreateAnonObject(size), program, options);
 }
 
 HipecRegion HipecEngine::VmMapHipec(mach::Task* task, mach::VmObject* object,
                                     const PolicyProgram& program, const HipecOptions& options) {
-  kernel_->clock().Advance(kernel_->costs().null_syscall_ns);
+  kernel_->ctx().Charge(kernel_->costs().null_syscall_ns);
   return Register(task, object, program, options);
 }
 
@@ -172,11 +188,14 @@ bool HipecEngine::HandleFault(const mach::FaultContext& ctx) {
   }
 
   // The frame may still cache other data (a reused victim the policy chose); evict it first.
+  // The victim frame belongs to this container, so any mapping it has is into this task —
+  // whose lock the fault path holds — and the evict cannot miss.
   if (page->object != nullptr) {
     if (page->modified) {
       counters_.Add(kCtrDirtyEvictions);
     }
-    kernel_->EvictPage(page, /*flush_if_dirty=*/true);
+    bool evicted = kernel_->EvictPage(page, /*flush_if_dirty=*/true);
+    HIPEC_CHECK(evicted);
     counters_.Add(kCtrReusedFrames);
   }
 
@@ -185,13 +204,21 @@ bool HipecEngine::HandleFault(const mach::FaultContext& ctx) {
   // the policy reorganizes its queues on subsequent events. The page variable named by Return
   // is left pointing at the installed page, so a policy can classify "the previous fault's
   // page" at its next event (see examples/buffer_manager.cpp).
-  container->active_q().EnqueueTail(page, kernel_->clock().now());
+  container->active_q().EnqueueTail(page, kernel_->ctx().now());
   ++container->faults_handled;
   counters_.Add(kCtrFaultsHandled);
   return true;
 }
 
 size_t HipecEngine::RunReclaim(Container* container, size_t ask) {
+  // The manager calls in holding its own lock; running the victim's policy mutates the
+  // victim's container state, which its task lock owns. Manager → task is an inverted edge,
+  // so it must be a try-lock (DESIGN.md §10): a victim mid-fault is simply skipped this
+  // round — the manager walks on to the next candidate or forced reclamation.
+  sim::ScopedTryLock victim_lock(container->task()->mutex());
+  if (!victim_lock.owns()) {
+    return 0;
+  }
   container->operands().WriteInt(std_ops::kReclaimCount, static_cast<int64_t>(ask));
   size_t before = container->allocated_frames;
   ExecResult result = executor_.ExecuteEvent(container, kEventReclaimFrame);

@@ -9,6 +9,7 @@
 #ifndef HIPEC_HIPEC_ENGINE_H_
 #define HIPEC_HIPEC_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -95,6 +96,11 @@ class HipecEngine final : public mach::FaultInterceptor {
   sim::CounterSet& counters() { return counters_; }
   mach::Kernel& kernel() { return *kernel_; }
 
+  // Arms the engine's registration lock (rank kEngine — taken before any task lock, since
+  // registration wires buffers and admits containers) plus every owned component. Called by
+  // the constructor when the kernel runs real threads.
+  void EnableConcurrent();
+
  private:
   HipecRegion Register(mach::Task* task, mach::VmObject* object, const PolicyProgram& program,
                        const HipecOptions& options);
@@ -106,11 +112,16 @@ class HipecEngine final : public mach::FaultInterceptor {
   bool EnforceAccounting(Container* container);
 
   mach::Kernel* kernel_;
+  // Serializes registrations (container id assignment, static validation, admission). Rank
+  // kEngine: the lowest rank, acquired before the task/manager locks registration takes.
+  // Teardown does NOT take it (it arrives holding a task lock); teardown touches only the
+  // zone, which has its own leaf lock.
+  sim::OrderedMutex mu_{sim::LockRank::kEngine};
   GlobalFrameManager manager_;
   PolicyExecutor executor_;
   SecurityChecker checker_;
   mach::Zone<Container> container_zone_{"hipec_containers"};
-  uint64_t next_container_id_ = 1;
+  std::atomic<uint64_t> next_container_id_{1};
   sim::CounterSet counters_;
 };
 

@@ -57,14 +57,22 @@ inline mach::VmPage* RequirePage(uint8_t index, const OperandEntry& e) {
 
 }  // namespace
 
+thread_local bool PolicyExecutor::condition_ = false;
+
 PolicyExecutor::PolicyExecutor(mach::Kernel* kernel, GlobalFrameManager* manager)
     : kernel_(kernel), manager_(manager) {}
+
+void PolicyExecutor::EnableConcurrent() {
+  counters_.EnableConcurrent();
+  probes_.EnableConcurrent();
+}
 
 ExecResult PolicyExecutor::ExecuteEvent(Container* container, int event) {
   ExecResult result;
   // Dispatch: container lookup, CC reset, timestamp write (§4.3.2).
-  kernel_->clock().Advance(kernel_->costs().policy_invoke_ns);
-  container->exec_start_ns = kernel_->clock().now();
+  kernel_->ctx().Charge(kernel_->costs().policy_invoke_ns);
+  const sim::Nanos start_ns = kernel_->ctx().now();
+  container->exec_start_ns = start_ns;
   container->executing_event = event;
   container->kill_requested = false;
 
@@ -92,12 +100,12 @@ ExecResult PolicyExecutor::ExecuteEvent(Container* container, int event) {
   result.commands_executed = max_commands_ - budget;
   container->commands_executed += result.commands_executed;
   if (obs::ProbesEnabled()) {
-    probes_.Record(kPrbEventNs, kernel_->clock().now() - container->exec_start_ns);
+    probes_.Record(kPrbEventNs, kernel_->ctx().now() - start_ns);
     probes_.Record(kPrbEventCommands, result.commands_executed);
   }
   container->exec_start_ns = -1;
   container->executing_event = -1;
-  kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kPolicy,
+  kernel_->tracer().Record(kernel_->ctx().now(), sim::TraceCategory::kPolicy,
                            static_cast<uint16_t>(result.outcome), container->id(),
                            static_cast<uint64_t>(event));
   counters_.Add(kCtrEvents);
@@ -168,7 +176,7 @@ uint8_t PolicyExecutor::RunEventSwitch(Container* c, int event, int depth, int64
       c->kill_requested = true;
       throw TimeoutSignal{};
     }
-    kernel_->clock().Advance(costs.command_decode_ns);
+    kernel_->ctx().Charge(costs.command_decode_ns);
     Instruction inst = Instruction::Decode(stream.words[cc]);
 
     const size_t executed_cc = cc;  // kJump overwrites cc; the trace reports the jump's own CC
@@ -235,7 +243,7 @@ uint8_t PolicyExecutor::RunEventSwitch(Container* c, int event, int depth, int64
       case Opcode::kFifo:
       case Opcode::kLru:
       case Opcode::kMru:
-        kernel_->clock().Advance(costs.complex_command_ns);
+        kernel_->ctx().Charge(costs.complex_command_ns);
         DoReplacementPolicy(c, inst);
         break;
       case Opcode::kMigrate: {
@@ -412,9 +420,9 @@ void PolicyExecutor::DoEnQueue(Container* c, const Instruction& inst) {
   }
   mach::PageQueue* queue = c->operands().ReadQueue(inst.op2);
   if (static_cast<QueueEnd>(inst.op3) == QueueEnd::kTail) {
-    queue->EnqueueTail(page, kernel_->clock().now());
+    queue->EnqueueTail(page, kernel_->ctx().now());
   } else {
-    queue->EnqueueHead(page, kernel_->clock().now());
+    queue->EnqueueHead(page, kernel_->ctx().now());
   }
 }
 

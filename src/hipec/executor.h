@@ -96,6 +96,11 @@ class PolicyExecutor {
   sim::CounterSet& counters() { return counters_; }
   obs::ProbeSet& probes() { return probes_; }
 
+  // Arms the stats sinks for real-threads mode. The executor itself needs no lock: every
+  // event runs under the owning container's task lock (faults) or a try-lock on the victim's
+  // task (reclaim), and the condition flag is thread-local.
+  void EnableConcurrent();
+
  private:
   // All return the Return instruction's operand index. Depth guards Activate recursion.
   // RunEventIr picks the IR loop variant per threaded_dispatch_; the two variants are the
@@ -123,7 +128,9 @@ class PolicyExecutor {
   mach::Kernel* kernel_;
   GlobalFrameManager* manager_;
   int64_t max_commands_ = 50'000'000;
-  bool condition_ = false;  // the condition flag (see instruction.h)
+  // The condition flag (see instruction.h). Thread-local: in real-threads mode each fault
+  // thread interprets its own container's policy; the flag is pure per-execution state.
+  static thread_local bool condition_;
   DispatchMode mode_ = DispatchMode::kDecodedIr;
 #if defined(__GNUC__)
   bool threaded_dispatch_ = true;

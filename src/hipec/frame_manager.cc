@@ -53,6 +53,18 @@ GlobalFrameManager::GlobalFrameManager(mach::Kernel* kernel, FrameManagerConfig 
   stocked_reserve_ = reserve_.count();
 }
 
+void GlobalFrameManager::EnableConcurrent() {
+  mu_.Enable(true);
+  counters_.EnableConcurrent();
+  probes_.EnableConcurrent();
+}
+
+void GlobalFrameManager::PollCompletions() {
+  if (!kernel_->clock().deterministic()) {
+    kernel_->clock().PollDue();
+  }
+}
+
 // ------------------------------------------------------------------ allocation-ordered list
 
 void GlobalFrameManager::TrackAlloc(mach::VmPage* page) {
@@ -89,9 +101,12 @@ void GlobalFrameManager::UntrackAlloc(mach::VmPage* page) {
 
 // ------------------------------------------------------------------ grants
 
-void GlobalFrameManager::GrantFrames(Container* container, size_t n, mach::PageQueue* dest) {
-  bool ok = kernel_->daemon().AllocFramesForManager(n, dest, container);
-  HIPEC_CHECK_MSG(ok, "GrantFrames called without EnsureManagerFrames");
+bool GlobalFrameManager::GrantFrames(Container* container, size_t n, mach::PageQueue* dest) {
+  if (!kernel_->daemon().AllocFramesForManager(n, dest, container)) {
+    // Deterministic mode cannot get here (EnsureManagerFrames just succeeded); with real
+    // threads, concurrent non-specific faults may have drained the pool in between.
+    return false;
+  }
   // The n new pages are the queue's last n entries; track them on the allocation-ordered
   // list oldest-first so FAFR's forced reclamation sees true allocation order.
   std::vector<mach::VmPage*> granted;
@@ -113,6 +128,7 @@ void GlobalFrameManager::GrantFrames(Container* container, size_t n, mach::PageQ
   }
   kernel_->tracer().Record(kernel_->clock().now(), sim::TraceCategory::kManager, 0,
                            container->id(), n);
+  return true;
 }
 
 bool GlobalFrameManager::EnsureManagerFrames(size_t n, Container* requester) {
@@ -186,14 +202,16 @@ void GlobalFrameManager::MaybeAdaptBurst() {
 }
 
 bool GlobalFrameManager::AdmitContainer(Container* container) {
+  PollCompletions();
+  sim::ScopedLock lock(mu_);
   MaybeAdaptBurst();
   size_t n = container->min_frames();
-  if (!CheckBurst(container, n) || !EnsureManagerFrames(n, container)) {
+  if (!CheckBurst(container, n) || !EnsureManagerFrames(n, container) ||
+      !GrantFrames(container, n, &container->free_q())) {
     counters_.Add(kCtrAdmissionsRejected);
     NotifyDecision("admit-reject");
     return false;
   }
-  GrantFrames(container, n, &container->free_q());
   containers_.push_back(container);
   counters_.Add(kCtrAdmissions);
   NotifyDecision("admit");
@@ -201,11 +219,14 @@ bool GlobalFrameManager::AdmitContainer(Container* container) {
 }
 
 bool GlobalFrameManager::RequestFrames(Container* container, size_t n, mach::PageQueue* dest) {
+  PollCompletions();
+  sim::ScopedLock lock(mu_);
   const sim::Nanos start_ns = kernel_->clock().now();
   MaybeAdaptBurst();
   counters_.Add(kCtrRequests);
   ++container->requests_made;
-  if (!CheckBurst(container, n) || !EnsureManagerFrames(n, container)) {
+  if (!CheckBurst(container, n) || !EnsureManagerFrames(n, container) ||
+      !GrantFrames(container, n, dest)) {
     counters_.Add(kCtrRequestsRejected);
     ++container->requests_rejected;
     if (obs::ProbesEnabled()) {
@@ -216,7 +237,6 @@ bool GlobalFrameManager::RequestFrames(Container* container, size_t n, mach::Pag
     NotifyDecision("request-reject");
     return false;
   }
-  GrantFrames(container, n, dest);
   if (obs::ProbesEnabled()) {
     probes_.Record(kPrbRequestNs, kernel_->clock().now() - start_ns);
   }
@@ -224,11 +244,22 @@ bool GlobalFrameManager::RequestFrames(Container* container, size_t n, mach::Pag
   return true;
 }
 
+void GlobalFrameManager::OnMemoryPressure() {
+  PollCompletions();
+  sim::ScopedLock lock(mu_);
+  MaybeAdaptBurst();
+}
+
 void GlobalFrameManager::ReleaseFrame(Container* container, mach::VmPage* page) {
+  PollCompletions();
+  sim::ScopedLock lock(mu_);
   HIPEC_CHECK_MSG(page->owner == container, "Release of a frame the application does not own");
   HIPEC_CHECK_MSG(page->queue == nullptr, "Release of a frame still on a queue");
   if (page->object != nullptr) {
-    kernel_->EvictPage(page, /*flush_if_dirty=*/true);
+    // The caller executes on behalf of the owning task and already holds its lock (its own
+    // fault, or a reclaim runner that try-locked the victim), so the try edge cannot fail.
+    bool evicted = kernel_->EvictPage(page, /*flush_if_dirty=*/true);
+    HIPEC_CHECK(evicted);
   }
   UntrackAlloc(page);
   kernel_->daemon().ReturnFrame(page);
@@ -240,6 +271,8 @@ void GlobalFrameManager::ReleaseFrame(Container* container, mach::VmPage* page) 
 }
 
 mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPage* page) {
+  PollCompletions();
+  sim::ScopedLock lock(mu_);
   HIPEC_CHECK_MSG(page->owner == container, "Flush of a frame the application does not own");
   counters_.Add(kCtrFlushes);
 
@@ -250,7 +283,9 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
       page->object->MarkPagedOut(page->offset);
       block = page->object->BlockFor(page->offset);
     }
-    kernel_->EvictPage(page, /*flush_if_dirty=*/false);  // detach; we handle the write
+    // Caller holds the owning task's lock (see ReleaseFrame).
+    bool evicted = kernel_->EvictPage(page, /*flush_if_dirty=*/false);  // we handle the write
+    HIPEC_CHECK(evicted);
   }
   if (!was_dirty) {
     counters_.Add(kCtrFlushesClean);
@@ -282,6 +317,9 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
   page->modified = false;  // contents are en route to disk
   laundry_.EnqueueTail(page, kernel_->clock().now());
   kernel_->disk().WritePageAsync(block, [this, page] {
+    // Deterministic: fires during a foreground Advance. Real threads: fires from
+    // PollCompletions (before mu_ is taken) or DrainWrites, so take the manager lock here.
+    sim::ScopedLock lock(mu_);
     laundry_.Remove(page);
     reserve_.EnqueueTail(page, kernel_->clock().now());
     counters_.Add(kCtrLaundryDone);
@@ -294,6 +332,8 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
 }
 
 bool GlobalFrameManager::MigrateFrame(Container* from, mach::VmPage* page, uint64_t target_id) {
+  PollCompletions();
+  sim::ScopedLock lock(mu_);
   HIPEC_CHECK_MSG(page->owner == from, "Migrate of a frame the application does not own");
   HIPEC_CHECK_MSG(page->queue == nullptr, "Migrate of a page still on a queue");
   Container* target = nullptr;
@@ -310,7 +350,9 @@ bool GlobalFrameManager::MigrateFrame(Container* from, mach::VmPage* page, uint6
     return false;
   }
   if (page->object != nullptr) {
-    kernel_->EvictPage(page, /*flush_if_dirty=*/true);
+    // Caller holds the owning task's lock (see ReleaseFrame).
+    bool evicted = kernel_->EvictPage(page, /*flush_if_dirty=*/true);
+    HIPEC_CHECK(evicted);
   }
   HIPEC_CHECK(from->allocated_frames > 0);
   --from->allocated_frames;
@@ -389,6 +431,15 @@ size_t GlobalFrameManager::ForcedReclaim(size_t needed, Container* exclude) {
     auto* owner = static_cast<Container*>(page->owner);
     if (owner != nullptr && owner != exclude && owner != reinterpret_cast<Container*>(this) &&
         owner->allocated_frames > owner->min_frames()) {
+      // Seizing touches the victim's private queues and pmap state, all guarded by the
+      // victim's task lock — which ranks below the manager lock held here, so it may only
+      // be try-locked (the Linux-shrinker escape). A busy victim's frame is skipped; the
+      // FAFR walk continues with the next-oldest frame. Always succeeds deterministically.
+      sim::ScopedTryLock victim_lock(owner->task()->mutex());
+      if (!victim_lock.owns()) {
+        page = next;
+        continue;
+      }
       if (run_frames > 0 && run_victim != owner->id()) {
         emit_run();
       }
@@ -404,7 +455,8 @@ size_t GlobalFrameManager::ForcedReclaim(size_t needed, Container* exclude) {
         uint64_t block = page->object->BlockFor(page->offset);
         kernel_->disk().WritePageSync(block);
       }
-      kernel_->EvictPage(page, /*flush_if_dirty=*/false);
+      bool evicted = kernel_->EvictPage(page, /*flush_if_dirty=*/false);
+      HIPEC_CHECK(evicted);  // victim task lock held
       UntrackAlloc(page);
       --owner->allocated_frames;
       ++owner->frames_force_reclaimed;
@@ -423,12 +475,18 @@ size_t GlobalFrameManager::ForcedReclaim(size_t needed, Container* exclude) {
 }
 
 void GlobalFrameManager::RemoveContainer(Container* container) {
+  // Recursive entry is sanctioned: reclamation can terminate a victim whose teardown lands
+  // back here while the reclaiming thread still holds mu_. The caller executes on behalf of
+  // the container's task and holds its lock, so every EvictPage below must succeed.
+  sim::ScopedLock lock(mu_);
   // Collect every frame the container holds: its three standard queues, user queues, and any
   // page variables holding off-queue pages.
   auto drain_queue = [&](mach::PageQueue& q) {
     while (mach::VmPage* page = q.DequeueHead()) {
       if (page->object != nullptr) {
-        kernel_->EvictPage(page, /*flush_if_dirty=*/container->object()->file_backed());
+        bool evicted =
+            kernel_->EvictPage(page, /*flush_if_dirty=*/container->object()->file_backed());
+        HIPEC_CHECK(evicted);
       }
       UntrackAlloc(page);
       kernel_->daemon().ReturnFrame(page);
@@ -450,7 +508,9 @@ void GlobalFrameManager::RemoveContainer(Container* container) {
         e.page->queue == nullptr) {
       mach::VmPage* page = e.page;
       if (page->object != nullptr) {
-        kernel_->EvictPage(page, /*flush_if_dirty=*/container->object()->file_backed());
+        bool evicted =
+            kernel_->EvictPage(page, /*flush_if_dirty=*/container->object()->file_backed());
+        HIPEC_CHECK(evicted);
       }
       UntrackAlloc(page);
       kernel_->daemon().ReturnFrame(page);
@@ -471,7 +531,8 @@ void GlobalFrameManager::RemoveContainer(Container* container) {
           page->queue->Remove(page);
         }
         if (page->object != nullptr) {
-          kernel_->EvictPage(page, /*flush_if_dirty=*/false);
+          bool evicted = kernel_->EvictPage(page, /*flush_if_dirty=*/false);
+          HIPEC_CHECK(evicted);
         }
         UntrackAlloc(page);
         kernel_->daemon().ReturnFrame(page);

@@ -22,6 +22,7 @@
 #include "hipec/container.h"
 #include "mach/kernel.h"
 #include "obs/probe.h"
+#include "sim/lock.h"
 #include "sim/stats.h"
 
 namespace hipec::core {
@@ -60,6 +61,14 @@ class GlobalFrameManager {
   GlobalFrameManager(mach::Kernel* kernel, FrameManagerConfig config);
   GlobalFrameManager(const GlobalFrameManager&) = delete;
   GlobalFrameManager& operator=(const GlobalFrameManager&) = delete;
+
+  // Arms the manager lock and stats sinks for real-threads mode. The lock (rank kManager,
+  // recursive — victim teardown re-enters RemoveContainer) serializes every manager
+  // decision; reaching *into* a victim task happens only through try-lock edges
+  // (DESIGN.md §10). Real-mode disk completions are polled at each entry point, before the
+  // manager lock is taken, so laundry returns need no extra thread.
+  void EnableConcurrent();
+  sim::OrderedMutex& mutex() const { return mu_; }
 
   // Runs a container's ReclaimFrame event asking it to release up to `n` frames and returns
   // how many were actually released; installed by the engine (the manager cannot depend on
@@ -106,7 +115,7 @@ class GlobalFrameManager {
   // Low-memory signal from the pageout daemon (via the engine): the adaptive watermark
   // reacts here, so non-specific pressure is seen even when no specific application is
   // making allocation calls.
-  void OnMemoryPressure() { MaybeAdaptBurst(); }
+  void OnMemoryPressure();
 
   // Extension (§6): migrates one frame (off-queue, owned by `from`) to the container whose
   // id is `target_id`. Succeeds only if the target exists, is not the source, and registered
@@ -136,13 +145,17 @@ class GlobalFrameManager {
   const mach::VmPage* alloc_head() const { return alloc_head_; }
 
  private:
+  // Real-threads mode: fire any due disk completions (laundry returns) before a decision.
+  // Called before mu_ is taken — the completion callbacks acquire it themselves.
+  void PollCompletions();
   // Makes >= n frames available in the daemon's free pool (balance, then normal reclamation,
   // then forced reclamation). Returns false if even that fails.
   bool EnsureManagerFrames(size_t n, Container* requester);
   // Keeps total_specific_ + n within partition_burst, reclaiming from other applications.
   bool CheckBurst(Container* requester, size_t n);
   // Moves `n` frames from the daemon onto `dest`, owned and accounted to `container`.
-  void GrantFrames(Container* container, size_t n, mach::PageQueue* dest);
+  // False only when a concurrent allocator won the race after EnsureManagerFrames.
+  [[nodiscard]] bool GrantFrames(Container* container, size_t n, mach::PageQueue* dest);
 
   size_t NormalReclaim(size_t needed, Container* exclude);
   size_t ForcedReclaim(size_t needed, Container* exclude);
@@ -161,6 +174,10 @@ class GlobalFrameManager {
 
   mach::Kernel* kernel_;
   FrameManagerConfig config_;
+  // One lock for every manager decision: burst accounting, the FAFR list, reserve/laundry,
+  // and the container list all mutate together within a decision, so finer locks would buy
+  // contention-prone consistency repair, not parallelism (decisions are rare next to faults).
+  mutable sim::OrderedMutex mu_{sim::LockRank::kManager};
   size_t partition_burst_;
   size_t total_specific_ = 0;
 

@@ -1,0 +1,71 @@
+#include "mach/frame_pool.h"
+
+#include <string>
+
+#include "sim/check.h"
+
+namespace hipec::mach {
+
+ShardedFramePool::ShardedFramePool(size_t shards) {
+  HIPEC_CHECK(shards > 0);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>("vm_page_queue_free." + std::to_string(i)));
+  }
+}
+
+void ShardedFramePool::EnableConcurrent() {
+  concurrent_ = true;
+  for (auto& shard : shards_) {
+    shard->mu.Enable(true);
+  }
+}
+
+size_t ShardedFramePool::HomeShard() const {
+  if (!concurrent_) {
+    // Deterministic mode is single-threaded: a fixed home keeps drain order reproducible.
+    return 0;
+  }
+  static std::atomic<size_t> next_thread{0};
+  thread_local size_t thread_stripe = next_thread.fetch_add(1, std::memory_order_relaxed);
+  return thread_stripe % shards_.size();
+}
+
+void ShardedFramePool::AddBootFrame(VmPage* page) {
+  Shard& shard = *shards_[next_boot_++ % shards_.size()];
+  sim::ScopedLock lock(shard.mu);
+  shard.queue.EnqueueTail(page, 0);
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+VmPage* ShardedFramePool::Take() {
+  size_t home = HomeShard();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[(home + i) % shards_.size()];
+    sim::ScopedLock lock(shard.mu);
+    VmPage* page = shard.queue.DequeueHead();
+    if (page != nullptr) {
+      total_.fetch_sub(1, std::memory_order_relaxed);
+      return page;
+    }
+  }
+  return nullptr;
+}
+
+void ShardedFramePool::Put(VmPage* page, sim::Nanos now) {
+  Shard& shard = *shards_[HomeShard()];
+  sim::ScopedLock lock(shard.mu);
+  shard.queue.EnqueueTail(page, now);
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ShardedFramePool::Owns(const PageQueue* q) const {
+  for (const auto& shard : shards_) {
+    if (&shard->queue == q) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hipec::mach

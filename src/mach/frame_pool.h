@@ -1,0 +1,83 @@
+// The sharded free-frame pool: the centralized free queue split into N shards, each behind
+// its own rank-kShard lock, so concurrent fault threads allocating and returning frames do
+// not serialize on one list head.
+//
+// Placement: a thread has a home shard (thread-striped in real-threads mode, shard 0 in the
+// deterministic mode, which keeps single-threaded draining order fixed). Take() drains the
+// home shard first and work-steals from the others when it runs dry; Put() returns to the
+// home shard. The pool-wide count is a relaxed atomic maintained alongside the queues, so
+// watermark checks (`free_count <= free_min`) never take a lock — they are admission
+// heuristics, and the allocation paths below them re-verify under the shard locks (Take()
+// returning nullptr is the authoritative "empty").
+//
+// Frame conservation — the property the invariant auditor proves — is global: the sum of
+// shard counts plus everything resident/granted must equal total_frames, regardless of how
+// frames are distributed over shards.
+#ifndef HIPEC_MACH_FRAME_POOL_H_
+#define HIPEC_MACH_FRAME_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mach/page_queue.h"
+#include "sim/clock.h"
+#include "sim/lock.h"
+
+namespace hipec::mach {
+
+class ShardedFramePool {
+ public:
+  static constexpr size_t kDefaultShards = 8;
+
+  explicit ShardedFramePool(size_t shards = kDefaultShards);
+  ShardedFramePool(const ShardedFramePool&) = delete;
+  ShardedFramePool& operator=(const ShardedFramePool&) = delete;
+
+  // Arms the per-shard locks for real-threads mode. Call before worker threads exist.
+  void EnableConcurrent();
+  bool concurrent() const { return concurrent_; }
+
+  // Boot-time distribution: frames spread round-robin over the shards.
+  void AddBootFrame(VmPage* page);
+
+  // Takes one free frame: home shard first, then steals round-robin from the others.
+  // Returns nullptr when every shard is empty.
+  VmPage* Take();
+
+  // Returns a frame to the caller's home shard. `now` stamps the queue entry.
+  void Put(VmPage* page, sim::Nanos now);
+
+  // Pool-wide free count (relaxed; exact when writers are quiesced, an admission heuristic
+  // while they run).
+  size_t count() const { return total_.load(std::memory_order_relaxed); }
+
+  // True if `q` is one of this pool's shard queues — the accounting layer's "is this frame
+  // free" test, replacing identity comparison against the old single queue.
+  bool Owns(const PageQueue* q) const;
+
+  size_t shard_count() const { return shards_.size(); }
+  // Per-shard inspection for tests and the auditor; hold no frames while iterating in real
+  // mode (the auditor runs stop-the-world).
+  const PageQueue& shard_queue(size_t i) const { return shards_[i]->queue; }
+
+ private:
+  struct alignas(64) Shard {
+    explicit Shard(std::string name)
+        : mu(sim::LockRank::kShard), queue(std::move(name)) {}
+    sim::OrderedMutex mu;
+    PageQueue queue;
+  };
+
+  size_t HomeShard() const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> total_{0};
+  size_t next_boot_ = 0;
+  bool concurrent_ = false;
+};
+
+}  // namespace hipec::mach
+
+#endif  // HIPEC_MACH_FRAME_POOL_H_

@@ -29,8 +29,35 @@ const sim::CounterId kCtrPageouts = sim::InternCounter("kernel.pageouts");
 
 Kernel::Kernel(KernelParams params) : params_(params) {
   HIPEC_CHECK(params_.total_frames > params_.kernel_reserved_frames);
-  disk_ = std::make_unique<disk::DiskModel>(&clock_, params_.disk, params_.seed);
-  daemon_ = std::make_unique<PageoutDaemon>(this, params_.pageout);
+
+  // Exactly one clock, chosen by mode: the virtual clock is also reachable through vclock_
+  // so hot paths charge time without a virtual call.
+  if (params_.exec_mode == sim::ExecMode::kDeterministic) {
+    vclock_ = std::make_unique<sim::VirtualClock>();
+    clock_ptr_ = vclock_.get();
+  } else {
+    rclock_ = std::make_unique<sim::RealClock>();
+    clock_ptr_ = rclock_.get();
+  }
+
+  disk_ = std::make_unique<disk::DiskModel>(clock_ptr_, params_.disk, params_.seed);
+  daemon_ = std::make_unique<PageoutDaemon>(this, params_.pageout, params_.free_pool_shards);
+
+  if (concurrent()) {
+    // Arm every lock before any worker thread can exist (locks must not flip while held).
+    structure_mu_.Enable(true);
+    world_.Enable(true);
+    daemon_->EnableConcurrent();
+    disk_->EnableConcurrent();
+    counters_.EnableConcurrent();
+    tracer_.EnableConcurrent();
+  }
+
+  ctx_.clock = clock_ptr_;
+  ctx_.vclock = vclock_.get();
+  ctx_.tracer = &tracer_;
+  ctx_.costs = &params_.costs;
+  ctx_.mode = params_.exec_mode;
 
   frames_.resize(params_.total_frames);
   for (uint64_t i = 0; i < params_.total_frames; ++i) {
@@ -47,11 +74,20 @@ Kernel::Kernel(KernelParams params) : params_(params) {
 Kernel::~Kernel() = default;
 
 Task* Kernel::CreateTask(const std::string& name) {
+  sim::ScopedLock lock(structure_mu_);
   tasks_.push_back(std::make_unique<Task>(next_task_id_++, name));
-  return tasks_.back().get();
+  Task* task = tasks_.back().get();
+  if (concurrent()) {
+    task->mutex().Enable(true);
+  }
+  // Pre-create the pmap slot so the outer translation table never rehashes while other
+  // tasks fault concurrently.
+  pmap_.EnsureTask(task);
+  return task;
 }
 
 void Kernel::TerminateTask(Task* task, const std::string& reason) {
+  sim::ScopedLock task_lock(task->mutex());
   if (task->terminated()) {
     return;
   }
@@ -66,7 +102,8 @@ void Kernel::TerminateTask(Task* task, const std::string& reason) {
 }
 
 VmObject* Kernel::CreateAnonObject(uint64_t size_bytes) {
-  uint64_t base = AllocSwapBlocks(size_bytes >> kPageShift);
+  sim::ScopedLock lock(structure_mu_);
+  uint64_t base = AllocSwapBlocksLocked(size_bytes >> kPageShift);
   objects_.push_back(std::make_unique<VmObject>(next_object_id_++, "anon", size_bytes,
                                                 /*file_backed=*/false, base));
   return objects_.back().get();
@@ -74,13 +111,15 @@ VmObject* Kernel::CreateAnonObject(uint64_t size_bytes) {
 
 VmObject* Kernel::CreateFileObject(const std::string& name, uint64_t size_bytes) {
   HIPEC_CHECK_MSG(size_bytes % kPageSize == 0, "object size must be page aligned");
-  uint64_t base = AllocSwapBlocks(size_bytes >> kPageShift);
+  sim::ScopedLock lock(structure_mu_);
+  uint64_t base = AllocSwapBlocksLocked(size_bytes >> kPageShift);
   objects_.push_back(std::make_unique<VmObject>(next_object_id_++, name, size_bytes,
                                                 /*file_backed=*/true, base));
   return objects_.back().get();
 }
 
 VmObject* Kernel::FindObject(uint64_t object_id) const {
+  sim::ScopedLock lock(structure_mu_);
   for (const auto& object : objects_) {
     if (object->id() == object_id) {
       return object.get();
@@ -90,25 +129,33 @@ VmObject* Kernel::FindObject(uint64_t object_id) const {
 }
 
 uint64_t Kernel::AllocSwapBlocks(uint64_t n_pages) {
+  sim::ScopedLock lock(structure_mu_);
+  return AllocSwapBlocksLocked(n_pages);
+}
+
+uint64_t Kernel::AllocSwapBlocksLocked(uint64_t n_pages) {
   uint64_t base = next_disk_block_;
   next_disk_block_ += n_pages;
   return base;
 }
 
 uint64_t Kernel::VmAllocate(Task* task, uint64_t size_bytes) {
-  clock_.Advance(params_.costs.null_syscall_ns);
+  sim::ScopedLock task_lock(task->mutex());
+  ctx_.Charge(params_.costs.null_syscall_ns);
   counters_.Add(kCtrVmAllocate);
   VmObject* object = CreateAnonObject(size_bytes);
   return task->map().Insert(object, 0, size_bytes);
 }
 
 uint64_t Kernel::VmMapFile(Task* task, VmObject* object) {
-  clock_.Advance(params_.costs.null_syscall_ns);
+  sim::ScopedLock task_lock(task->mutex());
+  ctx_.Charge(params_.costs.null_syscall_ns);
   counters_.Add(kCtrVmMap);
   return task->map().Insert(object, 0, object->size());
 }
 
 void Kernel::VmDeallocate(Task* task, uint64_t start) {
+  sim::ScopedLock task_lock(task->mutex());
   counters_.Add(kCtrVmDeallocate);
   VmMapEntry* entry = task->map().Lookup(start);
   HIPEC_CHECK_MSG(entry != nullptr && entry->start == start, "vm_deallocate: no such region");
@@ -123,11 +170,11 @@ void Kernel::VmDeallocate(Task* task, uint64_t start) {
     std::vector<VmPage*> resident;
     object->ForEachResident([&](uint64_t, VmPage* page) { resident.push_back(page); });
     for (VmPage* page : resident) {
-      if (page->queue != nullptr) {
-        page->queue->Remove(page);
-      }
+      daemon_->Unqueue(page);
       page->wired = false;
-      EvictPage(page, /*flush_if_dirty=*/object->file_backed());
+      // Holding the task lock, so the try edge inside EvictPage cannot fail.
+      bool evicted = EvictPage(page, /*flush_if_dirty=*/object->file_backed());
+      HIPEC_CHECK(evicted);
       daemon_->ReturnFrame(page);
     }
   }
@@ -138,28 +185,28 @@ void Kernel::VmDeallocate(Task* task, uint64_t start) {
 }
 
 void Kernel::VmWire(Task* task, uint64_t vaddr, uint64_t size_bytes) {
-  clock_.Advance(params_.costs.null_syscall_ns);
+  ctx_.Charge(params_.costs.null_syscall_ns);
+  sim::ScopedLock task_lock(task->mutex());
   for (uint64_t a = vaddr; a < vaddr + size_bytes; a += kPageSize) {
     if (!Touch(task, a, /*is_write=*/false)) {
       return;
     }
     VmPage* page = pmap_.Lookup(task, a);
     HIPEC_CHECK(page != nullptr);
-    if (page->queue != nullptr) {
-      page->queue->Remove(page);
-    }
+    daemon_->Unqueue(page);
     page->wired = true;
   }
   counters_.Add(kCtrWiredPages, static_cast<int64_t>(size_bytes >> kPageShift));
 }
 
 void Kernel::NullSyscall() {
-  clock_.Advance(params_.costs.null_syscall_ns);
+  ctx_.Charge(params_.costs.null_syscall_ns);
   counters_.Add(kCtrNullSyscalls);
 }
 
 uint64_t Kernel::MapWiredRegion(Task* task, uint64_t size_bytes) {
-  clock_.Advance(params_.costs.null_syscall_ns);
+  sim::ScopedLock task_lock(task->mutex());
+  ctx_.Charge(params_.costs.null_syscall_ns);
   size_bytes = (size_bytes + kPageSize - 1) & ~(kPageSize - 1);
   VmObject* object = CreateAnonObject(size_bytes);
   uint64_t start = task->map().Insert(object, 0, size_bytes, /*write_protected=*/true);
@@ -178,12 +225,15 @@ bool Kernel::Touch(Task* task, uint64_t vaddr, bool is_write) {
   if (task->terminated()) {
     return false;
   }
-  if (pending_charge_ns_ > 0) {
-    sim::Nanos charge = pending_charge_ns_;
-    pending_charge_ns_ = 0;
-    clock_.Advance(charge);
+  // Real-threads mode: participate in stop-the-world audits, then own this task's address
+  // space for the duration of the access. Both are no-op branches in deterministic mode.
+  sim::SharedWorldGuard world(world_);
+  sim::ScopedLock task_lock(task->mutex());
+  if (pending_charge_ns_.load(std::memory_order_relaxed) > 0) {
+    sim::Nanos charge = pending_charge_ns_.exchange(0, std::memory_order_relaxed);
+    ctx_.Charge(charge);
   }
-  clock_.Advance(params_.costs.memory_access_ns);
+  ctx_.Charge(params_.costs.memory_access_ns);
 
   // TLB / page-table hit: no kernel involvement; the hardware sets reference/modify bits.
   if (VmPage* page = pmap_.Lookup(task, vaddr); page != nullptr) {
@@ -196,16 +246,16 @@ bool Kernel::Touch(Task* task, uint64_t vaddr, bool is_write) {
     if (is_write) {
       page->modified = true;
     }
-    page->last_reference_ns = clock_.now();
+    page->last_reference_ns = ctx_.now();
     return true;
   }
 
   // Page fault.
   counters_.Add(kCtrPageFaults);
-  tracer_.Record(clock_.now(), sim::TraceCategory::kFault, 0, task->id(), vaddr);
+  tracer_.Record(ctx_.now(), sim::TraceCategory::kFault, 0, task->id(), vaddr);
   if (params_.hipec_build) {
     // The modified kernel checks every fault against the specific-region table (§5.2).
-    clock_.Advance(params_.costs.hipec_region_check_ns);
+    ctx_.Charge(params_.costs.hipec_region_check_ns);
   }
   VmMapEntry* entry = task->map().Lookup(vaddr);
   if (entry == nullptr) {
@@ -249,18 +299,15 @@ void Kernel::DefaultFault(Task* task, VmMapEntry* entry, uint64_t vaddr, bool is
 
   // Soft fault: the data is still resident (e.g. on the inactive queue); just re-map it.
   if (VmPage* page = object->Lookup(offset); page != nullptr) {
-    clock_.Advance(params_.costs.fault_resident_ns);
+    ctx_.Charge(params_.costs.fault_resident_ns);
     counters_.Add(kCtrSoftFaults);
-    if (page->queue == &daemon_->inactive_queue()) {
-      page->queue->Remove(page);
-      daemon_->Activate(page);
-    }
+    daemon_->ReactivateIfInactive(page);
     pmap_.Enter(task, vaddr, page, entry->write_protected);
     page->reference = true;
     if (is_write) {
       page->modified = true;
     }
-    page->last_reference_ns = clock_.now();
+    page->last_reference_ns = ctx_.now();
     return;
   }
 
@@ -275,7 +322,7 @@ void Kernel::DefaultFault(Task* task, VmMapEntry* entry, uint64_t vaddr, bool is
 
 void Kernel::InstallPage(Task* task, VmMapEntry* entry, uint64_t vaddr, VmPage* page,
                          bool is_write) {
-  clock_.Advance(params_.costs.fault_base_ns);
+  ctx_.Charge(params_.costs.fault_base_ns);
   VmObject* object = entry->object;
   uint64_t offset = entry->OffsetOf(vaddr);
 
@@ -284,31 +331,48 @@ void Kernel::InstallPage(Task* task, VmMapEntry* entry, uint64_t vaddr, VmPage* 
       // EMM path: ask the external pager (IPC round trip + user-level service).
       object->pager->RequestData(object, offset);
       counters_.Add(kCtrPagerFills);
-      tracer_.Record(clock_.now(), sim::TraceCategory::kFill, 2, object->id(), offset);
+      tracer_.Record(ctx_.now(), sim::TraceCategory::kFill, 2, object->id(), offset);
     } else {
       disk_->ReadPage(object->BlockFor(offset));
-      tracer_.Record(clock_.now(), sim::TraceCategory::kFill, 1, object->id(), offset);
+      tracer_.Record(ctx_.now(), sim::TraceCategory::kFill, 1, object->id(), offset);
     }
     counters_.Add(kCtrDiskFills);
   } else {
     counters_.Add(kCtrZeroFills);
-    tracer_.Record(clock_.now(), sim::TraceCategory::kFill, 0, object->id(), offset);
+    tracer_.Record(ctx_.now(), sim::TraceCategory::kFill, 0, object->id(), offset);
   }
 
   object->InsertPage(page, offset);
   pmap_.Enter(task, vaddr & ~(kPageSize - 1), page, entry->write_protected);
   page->reference = true;
   page->modified = is_write;
-  page->last_reference_ns = clock_.now();
+  page->last_reference_ns = ctx_.now();
 }
 
-void Kernel::EvictPage(VmPage* page, bool flush_if_dirty) {
+bool Kernel::EvictPage(VmPage* page, bool flush_if_dirty) {
+  // The page's state (bits, pmap entry) belongs to the task it is mapped into; callers off
+  // the fault path (daemon balance, manager reclaim) may only try-lock that task — blocking
+  // would invert the hierarchy. A caller already holding the task lock (fault path,
+  // teardown) re-enters recursively and always succeeds; so does deterministic mode.
+  if (Task* task = page->has_mapping ? page->mapped_task : nullptr; task != nullptr) {
+    sim::ScopedTryLock task_lock(task->mutex());
+    if (!task_lock.owns()) {
+      return false;
+    }
+    EvictPageLocked(page, flush_if_dirty);
+    return true;
+  }
+  EvictPageLocked(page, flush_if_dirty);
+  return true;
+}
+
+void Kernel::EvictPageLocked(VmPage* page, bool flush_if_dirty) {
   HIPEC_CHECK_MSG(page->queue == nullptr, "evicting a page still on a queue");
   if (page->has_mapping) {
     pmap_.RemovePage(page);
   }
   if (page->object != nullptr) {
-    tracer_.Record(clock_.now(), sim::TraceCategory::kEviction, page->modified ? 1 : 0,
+    tracer_.Record(ctx_.now(), sim::TraceCategory::kEviction, page->modified ? 1 : 0,
                    page->frame_number, page->object->id());
   }
   if (page->object != nullptr) {
@@ -338,17 +402,18 @@ void Kernel::FlushPageAsync(VmPage* page) {
 }
 
 void Kernel::ChargePageoutScan(size_t pages_examined) {
-  clock_.Advance(static_cast<sim::Nanos>(pages_examined) *
-                 params_.costs.pageout_scan_per_page_ns);
+  ctx_.Charge(static_cast<sim::Nanos>(pages_examined) *
+              params_.costs.pageout_scan_per_page_ns);
 }
 
 FrameAccounting Kernel::ComputeFrameAccounting(const void* manager_owner) const {
   FrameAccounting acc;
   acc.total = frames_.size();
+  const ShardedFramePool& pool = daemon_->free_pool();
   for (const VmPage& page : frames_) {
     if (page.wired) {
       ++acc.wired;
-    } else if (page.queue == &daemon_->free_queue()) {
+    } else if (pool.Owns(page.queue)) {
       ++acc.global_free;
     } else if (page.queue == &daemon_->active_queue()) {
       ++acc.global_active;

@@ -9,6 +9,7 @@
 #ifndef HIPEC_MACH_KERNEL_H_
 #define HIPEC_MACH_KERNEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -23,6 +24,7 @@
 #include "mach/vm_page.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
+#include "sim/lock.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 
@@ -39,6 +41,36 @@ struct KernelParams {
   sim::CostModel costs;
   disk::DiskParams disk;
   uint64_t seed = 0x1994;
+  // Execution mode (sim/clock.h): the deterministic virtual-clock reference mode, or real
+  // threads on a monotonic clock with the lock hierarchy armed (DESIGN.md §10).
+  sim::ExecMode exec_mode = sim::ExecMode::kDeterministic;
+  // Shards in the global free-frame pool (mach/frame_pool.h).
+  size_t free_pool_shards = ShardedFramePool::kDefaultShards;
+};
+
+// The execution context threaded through every kernel-side component (frame manager,
+// checker, engine, executor) in place of reaching back into kernel singletons: which clock
+// time comes from, which tracer events go to, which cost model charges derive from, and
+// which execution mode — and therefore locking discipline — is in force.
+//
+// The vclock/clock split is the hot-path contract: `vclock` is non-null exactly in
+// deterministic mode, so per-command charging is a devirtualized inline call behind one
+// predictable branch, and real-threads mode (where host time passes by itself) pays nothing.
+struct KernelContext {
+  sim::Clock* clock = nullptr;
+  sim::VirtualClock* vclock = nullptr;  // non-null iff deterministic
+  sim::Tracer* tracer = nullptr;
+  const sim::CostModel* costs = nullptr;
+  sim::ExecMode mode = sim::ExecMode::kDeterministic;
+
+  bool concurrent() const { return mode == sim::ExecMode::kRealThreads; }
+  sim::Nanos now() const { return vclock != nullptr ? vclock->now() : clock->now(); }
+  // Charges modelled cost: advances virtual time, or does nothing under a real clock.
+  void Charge(sim::Nanos ns) const {
+    if (vclock != nullptr) {
+      vclock->Advance(ns);
+    }
+  }
 };
 
 // Context handed to the HiPEC engine when a fault lands in a specific region.
@@ -142,7 +174,12 @@ class Kernel {
 
   // Unmaps, optionally flushes (if dirty), and removes the page from its object. The page must
   // already be off all queues. After this the frame is free to reuse.
-  void EvictPage(VmPage* page, bool flush_if_dirty);
+  //
+  // Returns false only in real-threads mode, when the mapping task's lock could not be
+  // acquired without inverting the hierarchy (manager/daemon → task is a try-lock edge,
+  // DESIGN.md §10); the caller must requeue the page and pick another victim. Always true in
+  // deterministic mode and whenever the caller already holds the task lock.
+  [[nodiscard]] bool EvictPage(VmPage* page, bool flush_if_dirty);
 
   // Asynchronously writes a resident dirty page to its backing store and clears the dirty bit.
   void FlushPageAsync(VmPage* page);
@@ -155,13 +192,25 @@ class Kernel {
 
   // CPU time consumed by kernel threads (the security checker) while no foreground
   // computation is running. Event callbacks cannot advance the clock themselves, so they
-  // accumulate their cost here and the next foreground operation pays it.
-  void AddDeferredCharge(sim::Nanos ns) { pending_charge_ns_ += ns; }
-  sim::Nanos pending_deferred_charge() const { return pending_charge_ns_; }
+  // accumulate their cost here and the next foreground operation pays it. Atomic because the
+  // real-threads checker charges from its own thread.
+  void AddDeferredCharge(sim::Nanos ns) {
+    pending_charge_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  sim::Nanos pending_deferred_charge() const {
+    return pending_charge_ns_.load(std::memory_order_relaxed);
+  }
 
   // --- Components ----------------------------------------------------------------------------
 
-  sim::VirtualClock& clock() { return clock_; }
+  sim::Clock& clock() { return *clock_ptr_; }
+  // The virtual clock, or nullptr in real-threads mode. Hot paths that charge modelled time
+  // use this (one null check instead of a virtual call); code that needs RunUntil() or
+  // dispatching() must run in deterministic mode and may CHECK it non-null.
+  sim::VirtualClock* virtual_clock() { return vclock_.get(); }
+  const KernelContext& ctx() const { return ctx_; }
+  sim::ExecMode exec_mode() const { return params_.exec_mode; }
+  bool concurrent() const { return params_.exec_mode == sim::ExecMode::kRealThreads; }
   sim::Tracer& tracer() { return tracer_; }
   const sim::CostModel& costs() const { return params_.costs; }
   disk::DiskModel& disk() { return *disk_; }
@@ -171,15 +220,27 @@ class Kernel {
   const KernelParams& params() const { return params_; }
   bool hipec_build() const { return params_.hipec_build; }
 
+  // The stop-the-world lock for cross-cutting audits in real-threads mode: fault threads
+  // hold it shared for the duration of each kernel entry point; the invariant auditor takes
+  // it exclusive to see a quiesced machine. No-op in deterministic mode.
+  sim::WorldLock& world() { return world_; }
+
   void SetFaultInterceptor(FaultInterceptor* interceptor) { interceptor_ = interceptor; }
 
-  // Forwards the daemon's low-memory signal to the interceptor (re-entrancy guarded).
+  // Forwards the daemon's low-memory signal to the interceptor (re-entrancy guarded; in
+  // real-threads mode the guard is per-machine, so concurrent notifications coalesce —
+  // pressure handling is advisory and the loser's fault path re-checks the watermarks).
   void NotifyMemoryPressure() {
-    if (interceptor_ != nullptr && !in_pressure_notification_) {
-      in_pressure_notification_ = true;
-      interceptor_->OnMemoryPressure();
-      in_pressure_notification_ = false;
+    if (interceptor_ == nullptr) {
+      return;
     }
+    bool expected = false;
+    if (!in_pressure_notification_.compare_exchange_strong(expected, true,
+                                                           std::memory_order_acq_rel)) {
+      return;
+    }
+    interceptor_->OnMemoryPressure();
+    in_pressure_notification_.store(false, std::memory_order_release);
   }
 
   // Frames that were free once the kernel finished booting; partition_burst derives from it.
@@ -203,13 +264,22 @@ class Kernel {
 
  private:
   void DefaultFault(Task* task, VmMapEntry* entry, uint64_t vaddr, bool is_write);
+  // EvictPage with the task-lock edge already resolved by the caller.
+  void EvictPageLocked(VmPage* page, bool flush_if_dirty);
+  uint64_t AllocSwapBlocksLocked(uint64_t n_pages);
 
   KernelParams params_;
-  sim::VirtualClock clock_;
+  // Exactly one clock exists per kernel; clock_ptr_ is the erased view, vclock_ the
+  // deterministic fast path (null in real-threads mode).
+  std::unique_ptr<sim::VirtualClock> vclock_;
+  std::unique_ptr<sim::RealClock> rclock_;
+  sim::Clock* clock_ptr_ = nullptr;
   std::unique_ptr<disk::DiskModel> disk_;
   std::vector<VmPage> frames_;
   std::unique_ptr<PageoutDaemon> daemon_;
   Pmap pmap_;
+  // Guards tasks_/objects_/id counters/swap cursor — pure bookkeeping, rank kLeaf.
+  mutable sim::OrderedMutex structure_mu_{sim::LockRank::kLeaf};
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::unique_ptr<VmObject>> objects_;
   FaultInterceptor* interceptor_ = nullptr;
@@ -218,9 +288,11 @@ class Kernel {
   uint64_t next_task_id_ = 1;
   uint64_t next_disk_block_ = 1'000'000;  // swap + file blocks allocated upward from here
   uint64_t boot_free_frames_ = 0;
-  sim::Nanos pending_charge_ns_ = 0;
-  bool in_pressure_notification_ = false;
+  std::atomic<sim::Nanos> pending_charge_ns_{0};
+  std::atomic<bool> in_pressure_notification_{false};
+  sim::WorldLock world_;
   sim::Tracer tracer_;
+  KernelContext ctx_;
 };
 
 }  // namespace hipec::mach

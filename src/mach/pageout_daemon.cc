@@ -1,5 +1,7 @@
 #include "mach/pageout_daemon.h"
 
+#include <vector>
+
 #include "mach/kernel.h"
 #include "sim/check.h"
 
@@ -15,21 +17,33 @@ const sim::CounterId kCtrPagesExamined = sim::InternCounter("pageout.pages_exami
 const sim::CounterId kCtrDesperationReclaims = sim::InternCounter("pageout.desperation_reclaims");
 const sim::CounterId kCtrAllocForFault = sim::InternCounter("pageout.alloc_for_fault");
 const sim::CounterId kCtrFramesToManager = sim::InternCounter("pageout.frames_to_manager");
+const sim::CounterId kCtrEvictLockMisses = sim::InternCounter("pageout.evict_lock_misses");
 
 }  // namespace
 
-PageoutDaemon::PageoutDaemon(Kernel* kernel, PageoutTargets targets)
+PageoutDaemon::PageoutDaemon(Kernel* kernel, PageoutTargets targets, size_t free_pool_shards)
     : kernel_(kernel),
       targets_(targets),
-      free_("vm_page_queue_free"),
+      pool_(free_pool_shards),
       active_("vm_page_queue_active"),
       inactive_("vm_page_queue_inactive") {}
 
+void PageoutDaemon::EnableConcurrent() {
+  mu_.Enable(true);
+  pool_.EnableConcurrent();
+  counters_.EnableConcurrent();
+}
+
 void PageoutDaemon::AddBootFrame(VmPage* page) {
-  free_.EnqueueTail(page, 0);
+  pool_.AddBootFrame(page);
 }
 
 void PageoutDaemon::Balance() {
+  sim::ScopedLock lock(mu_);
+  BalanceLocked();
+}
+
+void PageoutDaemon::BalanceLocked() {
   sim::Nanos now = kernel_->clock().now();
   size_t examined = 0;
 
@@ -42,8 +56,8 @@ void PageoutDaemon::Balance() {
     ++examined;
   }
 
-  // Refill the free queue from the inactive queue.
-  while (free_.count() < targets_.free_target && !inactive_.empty()) {
+  // Refill the free pool from the inactive queue.
+  while (pool_.count() < targets_.free_target && !inactive_.empty()) {
     VmPage* page = inactive_.DequeueHead();
     ++examined;
     if (page->reference) {
@@ -53,8 +67,14 @@ void PageoutDaemon::Balance() {
       counters_.Add(kCtrSecondChances);
       continue;
     }
-    kernel_->EvictPage(page, /*flush_if_dirty=*/true);
-    free_.EnqueueTail(page, now);
+    if (!kernel_->EvictPage(page, /*flush_if_dirty=*/true)) {
+      // Real-threads mode only: the mapping task's lock was busy (try edge). Park the page
+      // on the active queue and move on; the inactive queue shrank, so the loop terminates.
+      active_.EnqueueTail(page, now);
+      counters_.Add(kCtrEvictLockMisses);
+      continue;
+    }
+    pool_.Put(page, now);
     counters_.Add(kCtrEvictions);
   }
 
@@ -64,26 +84,41 @@ void PageoutDaemon::Balance() {
 }
 
 VmPage* PageoutDaemon::AllocForFault() {
-  if (free_.count() <= targets_.free_min) {
+  if (pool_.count() <= targets_.free_min) {
     Balance();
     // The free pool ran dry while serving a non-specific fault: that is memory pressure.
     // Tell the HiPEC layer (it may adapt partition_burst and reclaim specific frames).
+    // Deliberately outside mu_: the notification re-enters the frame manager at rank
+    // kManager < kDaemon, which would invert the hierarchy under the daemon lock.
     kernel_->NotifyMemoryPressure();
   }
-  VmPage* page = free_.DequeueHead();
+  VmPage* page = pool_.Take();
   if (page == nullptr) {
-    Balance();
-    page = free_.DequeueHead();
-  }
-  if (page == nullptr) {
-    // Desperation: reclaim ignoring reference bits.
-    page = inactive_.DequeueHead();
+    sim::ScopedLock lock(mu_);
+    BalanceLocked();
+    page = pool_.Take();
     if (page == nullptr) {
-      page = active_.DequeueHead();
-    }
-    if (page != nullptr) {
-      kernel_->EvictPage(page, /*flush_if_dirty=*/true);
-      counters_.Add(kCtrDesperationReclaims);
+      // Desperation: reclaim ignoring reference bits. EvictPage can fail only in
+      // real-threads mode (task-lock try edge); park such pages on the active queue and
+      // keep scanning — each iteration shortens inactive_ + active_ or succeeds.
+      size_t budget = inactive_.count() + active_.count();
+      sim::Nanos now = kernel_->clock().now();
+      for (size_t i = 0; i < budget && page == nullptr; ++i) {
+        VmPage* victim = inactive_.DequeueHead();
+        if (victim == nullptr) {
+          victim = active_.DequeueHead();
+        }
+        if (victim == nullptr) {
+          break;
+        }
+        if (kernel_->EvictPage(victim, /*flush_if_dirty=*/true)) {
+          counters_.Add(kCtrDesperationReclaims);
+          page = victim;
+        } else {
+          active_.EnqueueTail(victim, now);
+          counters_.Add(kCtrEvictLockMisses);
+        }
+      }
     }
   }
   if (page != nullptr) {
@@ -93,16 +128,32 @@ VmPage* PageoutDaemon::AllocForFault() {
 }
 
 bool PageoutDaemon::AllocFramesForManager(size_t n, PageQueue* out, void* owner) {
+  sim::ScopedLock lock(mu_);
   if (AvailableForManager() < n) {
-    Balance();
+    BalanceLocked();
   }
   if (AvailableForManager() < n) {
     return false;
   }
   sim::Nanos now = kernel_->clock().now();
-  for (size_t i = 0; i < n; ++i) {
-    VmPage* page = free_.DequeueHead();
-    HIPEC_CHECK(page != nullptr);
+  // Collect first, commit second: concurrent fault threads can race the admission check
+  // above (it reads the relaxed pool count), so a shortfall puts everything back.
+  std::vector<VmPage*> got;
+  got.reserve(n);
+  while (got.size() < n) {
+    VmPage* page = pool_.Take();
+    if (page == nullptr) {
+      break;
+    }
+    got.push_back(page);
+  }
+  if (got.size() < n) {
+    for (VmPage* page : got) {
+      pool_.Put(page, now);
+    }
+    return false;
+  }
+  for (VmPage* page : got) {
     page->owner = owner;
     out->EnqueueTail(page, now);
   }
@@ -118,17 +169,43 @@ void PageoutDaemon::ReturnFrame(VmPage* page) {
   page->reference = false;
   page->modified = false;
   page->wired = false;
-  free_.EnqueueTail(page, kernel_->clock().now());
+  pool_.Put(page, kernel_->clock().now());
 }
 
 void PageoutDaemon::Activate(VmPage* page) {
+  sim::ScopedLock lock(mu_);
   active_.EnqueueTail(page, kernel_->clock().now());
+}
+
+void PageoutDaemon::ReactivateIfInactive(VmPage* page) {
+  sim::ScopedLock lock(mu_);
+  if (page->queue == &inactive_) {
+    inactive_.Remove(page);
+    active_.EnqueueTail(page, kernel_->clock().now());
+  }
+}
+
+void PageoutDaemon::Unqueue(VmPage* page) {
+  sim::ScopedLock lock(mu_);
+  if (page->queue != nullptr) {
+    page->queue->Remove(page);
+  }
 }
 
 size_t PageoutDaemon::AvailableForManager() const {
   // The last free_min frames are reserved so the kernel's own fault path cannot starve.
-  size_t free = free_.count();
+  size_t free = pool_.count();
   return free > targets_.free_min ? free - targets_.free_min : 0;
+}
+
+size_t PageoutDaemon::active_count() const {
+  sim::ScopedLock lock(mu_);
+  return active_.count();
+}
+
+size_t PageoutDaemon::inactive_count() const {
+  sim::ScopedLock lock(mu_);
+  return inactive_.count();
 }
 
 }  // namespace hipec::mach

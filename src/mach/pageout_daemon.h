@@ -2,12 +2,20 @@
 // default FIFO-with-second-chance replacement policy for non-specific applications (Draves,
 // "Page Replacement and Reference Bit Emulation in Mach"). Under HiPEC it doubles as the
 // substrate the global frame manager draws private frames from (§4.3.1).
+//
+// Concurrency (DESIGN.md §10): the free queue is a ShardedFramePool with per-shard locks;
+// the active/inactive queues and the balancing pass are behind one rank-kDaemon mutex. The
+// memory-pressure notification runs *outside* the daemon lock — it re-enters the HiPEC
+// layer at rank kManager, below kDaemon — preserving the deterministic-mode call order
+// (balance, notify, then dequeue) exactly.
 #ifndef HIPEC_MACH_PAGEOUT_DAEMON_H_
 #define HIPEC_MACH_PAGEOUT_DAEMON_H_
 
 #include <cstdint>
 
+#include "mach/frame_pool.h"
 #include "mach/page_queue.h"
+#include "sim/lock.h"
 #include "sim/stats.h"
 
 namespace hipec::mach {
@@ -26,9 +34,13 @@ struct PageoutTargets {
 
 class PageoutDaemon {
  public:
-  PageoutDaemon(Kernel* kernel, PageoutTargets targets);
+  PageoutDaemon(Kernel* kernel, PageoutTargets targets,
+                size_t free_pool_shards = ShardedFramePool::kDefaultShards);
   PageoutDaemon(const PageoutDaemon&) = delete;
   PageoutDaemon& operator=(const PageoutDaemon&) = delete;
+
+  // Arms the daemon mutex and the pool's shard locks for real-threads mode.
+  void EnableConcurrent();
 
   // Called at boot for every initially free frame.
   void AddBootFrame(VmPage* page);
@@ -41,12 +53,19 @@ class PageoutDaemon {
   // returns false without side effects if `n` frames cannot be freed while keeping free_min.
   bool AllocFramesForManager(size_t n, PageQueue* out, void* owner);
 
-  // Returns a frame to the global free queue (from eviction, task teardown, or a HiPEC
+  // Returns a frame to the global free pool (from eviction, task teardown, or a HiPEC
   // Release).
   void ReturnFrame(VmPage* page);
 
   // Hands a faulted-in page to the daemon's bookkeeping (global active queue).
   void Activate(VmPage* page);
+
+  // Soft-fault support: if `page` sits on the global inactive queue, move it to the active
+  // queue (the second-chance promotion the fault path applies to still-resident pages).
+  void ReactivateIfInactive(VmPage* page);
+
+  // Removes `page` from whichever daemon queue it is on, if any (wire and teardown paths).
+  void Unqueue(VmPage* page);
 
   // Runs one balancing pass of the FIFO-second-chance policy.
   void Balance();
@@ -54,21 +73,29 @@ class PageoutDaemon {
   // Frames the manager could still hand to specific applications right now.
   size_t AvailableForManager() const;
 
-  size_t free_count() const { return free_.count(); }
-  size_t active_count() const { return active_.count(); }
-  size_t inactive_count() const { return inactive_.count(); }
+  size_t free_count() const { return pool_.count(); }
+  size_t active_count() const;
+  size_t inactive_count() const;
   const PageoutTargets& targets() const { return targets_; }
 
-  PageQueue& free_queue() { return free_; }
+  ShardedFramePool& free_pool() { return pool_; }
+  const ShardedFramePool& free_pool() const { return pool_; }
   PageQueue& active_queue() { return active_; }
   PageQueue& inactive_queue() { return inactive_; }
 
   sim::CounterSet& counters() { return counters_; }
 
  private:
+  // The balancing pass with mu_ already held.
+  void BalanceLocked();
+
   Kernel* kernel_;
   PageoutTargets targets_;
-  PageQueue free_;
+  // Guards active_/inactive_ and the balancing pass. Recursive: desperation reclaim and
+  // balance both run under it and call back into EvictPage, which never re-enters the
+  // daemon.
+  mutable sim::OrderedMutex mu_{sim::LockRank::kDaemon};
+  ShardedFramePool pool_;
   PageQueue active_;
   PageQueue inactive_;
   sim::CounterSet counters_;

@@ -4,6 +4,10 @@
 
 namespace hipec::mach {
 
+void Pmap::EnsureTask(Task* task) {
+  maps_[task->id()];
+}
+
 void Pmap::Enter(Task* task, uint64_t vaddr, VmPage* page, bool write_protected) {
   HIPEC_CHECK_MSG(!page->has_mapping,
                   "frame " << page->frame_number << " is already mapped (single-mapping model)");
@@ -13,7 +17,7 @@ void Pmap::Enter(Task* task, uint64_t vaddr, VmPage* page, bool write_protected)
   page->has_mapping = true;
   page->mapped_task = task;
   page->mapped_vaddr = vaddr & ~(kPageSize - 1);
-  ++count_;
+  count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 VmPage* Pmap::Lookup(const Task* task, uint64_t vaddr) const {
@@ -36,7 +40,7 @@ void Pmap::RemovePage(VmPage* page) {
   page->has_mapping = false;
   page->mapped_task = nullptr;
   page->mapped_vaddr = 0;
-  --count_;
+  count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void Pmap::RemoveTask(Task* task) {
@@ -49,9 +53,11 @@ void Pmap::RemoveTask(Task* task) {
     page->has_mapping = false;
     page->mapped_task = nullptr;
     page->mapped_vaddr = 0;
-    --count_;
+    count_.fetch_sub(1, std::memory_order_relaxed);
   }
-  maps_.erase(tm);
+  // Keep the (now empty) outer slot: concurrent lookups in other tasks must never observe
+  // a rehash of the outer table (see class comment in pmap.h).
+  tm->second.clear();
 }
 
 bool Pmap::IsWriteProtected(const VmPage* page) const {

@@ -6,6 +6,7 @@
 #ifndef HIPEC_MACH_PMAP_H_
 #define HIPEC_MACH_PMAP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 
@@ -14,11 +15,21 @@
 
 namespace hipec::mach {
 
+// Thread-safety contract (DESIGN.md §10): translations of a task are guarded by that task's
+// rank-kTask lock, which every mutator of those translations holds (fault path blocking,
+// manager/daemon via try_lock through the page's mapped_task). The outer per-task table is
+// made structurally stable under concurrency by EnsureTask(): the kernel pre-creates each
+// task's slot at CreateTask time and RemoveTask() clears the inner map but keeps the slot,
+// so concurrent lookups never race a rehash of the outer table.
 class Pmap {
  public:
   Pmap() = default;
   Pmap(const Pmap&) = delete;
   Pmap& operator=(const Pmap&) = delete;
+
+  // Pre-creates the (empty) translation table for `task`. Called at CreateTask, before the
+  // task can fault, so Enter/Lookup never insert into the outer table concurrently.
+  void EnsureTask(Task* task);
 
   // Installs a translation. The page must not currently be mapped anywhere.
   // `write_protected` records that writes through this mapping must fault.
@@ -36,7 +47,7 @@ class Pmap {
   // True if writes through the current mapping of `page` must fault.
   bool IsWriteProtected(const VmPage* page) const;
 
-  size_t mapping_count() const { return count_; }
+  size_t mapping_count() const { return count_.load(std::memory_order_relaxed); }
 
  private:
   static uint64_t Vpn(uint64_t vaddr) { return vaddr >> kPageShift; }
@@ -46,9 +57,10 @@ class Pmap {
     bool write_protected;
   };
 
-  // task id -> (virtual page number -> translation)
+  // task id -> (virtual page number -> translation). Outer entries are created by
+  // EnsureTask and never erased (see class comment).
   std::unordered_map<uint64_t, std::unordered_map<uint64_t, Translation>> maps_;
-  size_t count_ = 0;
+  std::atomic<size_t> count_{0};
 };
 
 }  // namespace hipec::mach

@@ -4,11 +4,13 @@
 #ifndef HIPEC_MACH_VM_MAP_H_
 #define HIPEC_MACH_VM_MAP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
 
 #include "mach/vm_object.h"
+#include "sim/lock.h"
 
 namespace hipec::mach {
 
@@ -66,6 +68,12 @@ class VmMap {
 
 // A Mach task: an address space plus termination state. Thread scheduling is handled by the
 // workload models; the kernel only needs the address space and fault accounting here.
+//
+// Concurrency: mutex() (rank kTask) guards the address map, the pmap translations of this
+// task, and pages mapped into it. Fault threads take it blocking at kernel entry; the
+// manager and daemon reach it only via try_lock (DESIGN.md §10). The terminated flag is a
+// relaxed atomic so the checker and other tasks' fault paths can poll it lock-free; the
+// reason string is written once, under the task lock, before the flag is raised.
 class Task {
  public:
   Task(uint64_t id, std::string name) : id_(id), name_(std::move(name)) {}
@@ -77,18 +85,24 @@ class Task {
   VmMap& map() { return map_; }
   const VmMap& map() const { return map_; }
 
-  bool terminated() const { return terminated_; }
+  sim::OrderedMutex& mutex() const { return mu_; }
+
+  bool terminated() const { return terminated_.load(std::memory_order_acquire); }
   const std::string& termination_reason() const { return termination_reason_; }
   void Terminate(const std::string& reason) {
-    terminated_ = true;
+    if (terminated_.load(std::memory_order_relaxed)) {
+      return;
+    }
     termination_reason_ = reason;
+    terminated_.store(true, std::memory_order_release);
   }
 
  private:
   uint64_t id_;
   std::string name_;
+  mutable sim::OrderedMutex mu_{sim::LockRank::kTask};
   VmMap map_;
-  bool terminated_ = false;
+  std::atomic<bool> terminated_{false};
   std::string termination_reason_;
 };
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/check.h"
+#include "sim/lock.h"
 
 namespace hipec::mach {
 
@@ -33,8 +34,13 @@ class Zone {
     // (Destructor must not throw, so this is a best-effort diagnostic only.)
   }
 
+  // Arms the zone's free-list lock (rank kLeaf — zones guard pure storage and call out to
+  // nothing) for real-threads mode.
+  void EnableConcurrent() { mu_.Enable(true); }
+
   template <typename... Args>
   T* Alloc(Args&&... args) {
+    sim::ScopedLock lock(mu_);
     if (free_list_ == nullptr) {
       Grow();
     }
@@ -48,6 +54,7 @@ class Zone {
   void Free(T* object) {
     HIPEC_CHECK_MSG(object != nullptr, "Zone::Free(nullptr) in zone " << name_);
     object->~T();
+    sim::ScopedLock lock(mu_);
     auto* slot = reinterpret_cast<Slot*>(reinterpret_cast<unsigned char*>(object) -
                                          offsetof(Slot, storage));
     slot->next_free = free_list_;
@@ -57,9 +64,18 @@ class Zone {
   }
 
   const std::string& name() const { return name_; }
-  size_t live() const { return live_; }
-  size_t capacity() const { return chunks_.size() * chunk_elements_; }
-  size_t total_allocs() const { return total_allocs_; }
+  size_t live() const {
+    sim::ScopedLock lock(mu_);
+    return live_;
+  }
+  size_t capacity() const {
+    sim::ScopedLock lock(mu_);
+    return chunks_.size() * chunk_elements_;
+  }
+  size_t total_allocs() const {
+    sim::ScopedLock lock(mu_);
+    return total_allocs_;
+  }
 
  private:
   struct Slot {
@@ -78,6 +94,7 @@ class Zone {
 
   std::string name_;
   size_t chunk_elements_;
+  mutable sim::OrderedMutex mu_{sim::LockRank::kLeaf};
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   Slot* free_list_ = nullptr;
   size_t live_ = 0;

@@ -10,6 +10,7 @@ ProbeRegistry& ProbeRegistry::Instance() {
 }
 
 ProbeId ProbeRegistry::Intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(name);
   if (it != index_.end()) {
     return it->second;
@@ -21,8 +22,20 @@ ProbeId ProbeRegistry::Intern(const std::string& name) {
 }
 
 ProbeId ProbeRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(name);
   return it == index_.end() ? kInvalid : it->second;
+}
+
+const std::string& ProbeRegistry::NameOf(ProbeId id) const {
+  // Valid after unlock: names_ is a deque and entries are never erased.
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_[id];
+}
+
+size_t ProbeRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
 }
 
 std::map<std::string, const Histogram*> ProbeSet::all() const {

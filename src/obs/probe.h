@@ -22,8 +22,11 @@
 #ifndef HIPEC_OBS_PROBE_H_
 #define HIPEC_OBS_PROBE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,8 +42,9 @@ namespace hipec::obs {
 
 using ProbeId = uint32_t;
 
-// The process-wide probe name <-> id table. Single-threaded, like CounterRegistry: ids are
-// dense and stable for the process lifetime.
+// The process-wide probe name <-> id table. Thread-safe, like CounterRegistry: ids are
+// dense and stable for the process lifetime; names live in a deque so NameOf() references
+// survive later interning.
 class ProbeRegistry {
  public:
   static ProbeRegistry& Instance();
@@ -51,12 +55,13 @@ class ProbeRegistry {
   static constexpr ProbeId kInvalid = ~ProbeId{0};
   ProbeId Find(const std::string& name) const;
 
-  const std::string& NameOf(ProbeId id) const { return names_[id]; }
-  size_t size() const { return names_.size(); }
+  const std::string& NameOf(ProbeId id) const;
+  size_t size() const;
 
  private:
   ProbeRegistry() = default;
-  std::vector<std::string> names_;
+  mutable std::mutex mu_;
+  std::deque<std::string> names_;
   std::unordered_map<std::string, ProbeId> index_;
 };
 
@@ -69,20 +74,30 @@ constexpr bool ProbesCompiledIn() { return HIPEC_OBS_PROBES != 0; }
 // A subsystem's bag of probe histograms, indexed by ProbeId. The runtime switch is
 // process-wide (one flag flips every probe in every subsystem), matching how the tracer and
 // the legacy-counter A/B switch work.
+// Thread-safety matches Tracer: single-threaded (and lock-free) by default; a set shared by
+// real fault threads calls EnableConcurrent() at construction time, after which Record()
+// serializes on a leaf mutex. The runtime on/off switch is a relaxed atomic either way, so a
+// disabled probe site costs one branch in both modes.
 class ProbeSet {
  public:
-  static void SetEnabled(bool on) { enabled_ = on; }
-  static bool enabled() { return ProbesCompiledIn() && enabled_; }
+  static void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  static bool enabled() {
+    return ProbesCompiledIn() && enabled_.load(std::memory_order_relaxed);
+  }
+
+  void EnableConcurrent() { concurrent_ = true; }
 
   void Record(ProbeId id, int64_t value) {
 #if HIPEC_OBS_PROBES
-    if (!enabled_) [[likely]] {
+    if (!enabled()) [[likely]] {
       return;
     }
-    if (id >= hists_.size()) [[unlikely]] {
-      Grow(id);
+    if (concurrent_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      RecordLocked(id, value);
+      return;
     }
-    hists_[id].Record(value);
+    RecordLocked(id, value);
 #else
     (void)id;
     (void)value;
@@ -103,10 +118,18 @@ class ProbeSet {
   void AppendJson(std::string* out) const;
 
  private:
+  void RecordLocked(ProbeId id, int64_t value) {
+    if (id >= hists_.size()) [[unlikely]] {
+      Grow(id);
+    }
+    hists_[id].Record(value);
+  }
   void Grow(ProbeId id);
 
   std::vector<Histogram> hists_;
-  static inline bool enabled_ = false;
+  bool concurrent_ = false;
+  mutable std::mutex mu_;
+  static inline std::atomic<bool> enabled_{false};
 };
 
 // True when probe instrumentation should compute and record values right now.

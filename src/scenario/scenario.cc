@@ -35,6 +35,8 @@ uint64_t TenantSeed(uint64_t scenario_seed, uint64_t ordinal) {
 // Probe id: virtual time consumed by each tenant scheduling slice.
 const obs::ProbeId kPrbSliceNs = obs::InternProbe("scenario.slice_ns");
 
+}  // namespace
+
 core::PolicyProgram MakePolicy(PolicyKind kind) {
   switch (kind) {
     case PolicyKind::kFifoSecondChance:
@@ -58,6 +60,8 @@ core::PolicyProgram MakePolicy(PolicyKind kind) {
   }
   return GreedyPolicy();
 }
+
+namespace {
 
 // Runtime state for one tenant (specific application).
 struct TenantState {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "hipec/frame_manager.h"
+#include "hipec/program.h"
 #include "sim/clock.h"
 
 namespace hipec::scenario {
@@ -193,6 +194,9 @@ ScenarioResult RunScenario(const ScenarioSpec& spec);
 std::vector<std::pair<uint64_t, bool>> MaterializeTrace(const TenantSpec& tenant,
                                                         uint64_t scenario_seed,
                                                         uint64_t tenant_ordinal);
+
+// The policy program a PolicyKind names. Shared by the deterministic and threaded drivers.
+core::PolicyProgram MakePolicy(PolicyKind kind);
 
 }  // namespace hipec::scenario
 

@@ -1,0 +1,224 @@
+#include "scenario/threaded.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "scenario/invariants.h"
+#include "sim/check.h"
+#include "sim/lock.h"
+
+namespace hipec::scenario {
+
+using mach::kPageSize;
+
+namespace {
+
+// Runtime state for one tenant worker. The thread that runs the trace is the only writer of
+// everything here except the container counters snapshotted into `result` (see Snapshot).
+struct Worker {
+  TenantSpec spec;
+  TenantResult result;
+  std::vector<std::pair<uint64_t, bool>> trace;
+  mach::Task* task = nullptr;
+  core::HipecRegion region;
+  uint64_t addr = 0;
+  uint64_t container_id = 0;
+};
+
+// Copies the container's live counters into the worker's result. Taken under the owning
+// task's lock: a reclaimer on another thread may hold that lock (manager → victim-task is a
+// try-lock edge, DESIGN.md §10) while bumping frames_reclaimed_from, and termination — which
+// frees the container — also happens under it, so the re-check inside the lock makes the
+// container pointer safe to chase.
+void Snapshot(Worker& w) {
+  if (!w.region.ok || w.task == nullptr || w.task->terminated()) {
+    return;
+  }
+  sim::ScopedLock lock(w.task->mutex());
+  if (w.task->terminated()) {
+    return;
+  }
+  core::Container* c = w.region.container;
+  w.result.faults_handled = c->faults_handled;
+  w.result.commands_executed = c->commands_executed;
+  w.result.requests_made = c->requests_made;
+  w.result.requests_rejected = c->requests_rejected;
+  w.result.frames_force_reclaimed = c->frames_force_reclaimed;
+  w.result.frames_reclaimed_from = c->frames_reclaimed_from;
+  w.result.frames_peak = std::max(w.result.frames_peak, c->allocated_frames);
+}
+
+// One tenant thread: runs the whole trace, snapshotting counters every 32 accesses (and once
+// at the end) so the numbers survive a checker kill or a policy-error termination.
+void RunWorker(mach::Kernel* kernel, Worker& w) {
+  while (w.result.accesses_done < w.trace.size()) {
+    if (w.task->terminated()) {
+      break;
+    }
+    const auto& [page, is_write] = w.trace[w.result.accesses_done];
+    if (!kernel->Touch(w.task, w.addr + page * kPageSize, is_write)) {
+      break;  // terminated mid-access (checker kill or policy error)
+    }
+    ++w.result.accesses_done;
+    if ((w.result.accesses_done & 31u) == 0) {
+      Snapshot(w);
+    }
+  }
+  Snapshot(w);
+  if (w.task->terminated()) {
+    w.result.terminated = true;
+  } else if (w.result.accesses_done == w.trace.size()) {
+    w.result.completed = true;
+  }
+}
+
+}  // namespace
+
+ThreadedScenarioResult RunThreadedScenario(const ThreadedScenarioSpec& spec) {
+  mach::KernelParams params;
+  params.total_frames = spec.total_frames;
+  params.kernel_reserved_frames = spec.kernel_reserved_frames;
+  params.hipec_build = true;
+  params.seed = spec.seed;
+  params.exec_mode = sim::ExecMode::kRealThreads;
+  if (spec.free_pool_shards > 0) {
+    params.free_pool_shards = spec.free_pool_shards;
+  }
+  auto kernel = std::make_unique<mach::Kernel>(params);
+  auto engine = std::make_unique<core::HipecEngine>(kernel.get(), spec.manager);
+
+  // The checker thread is already running (the engine constructor started it), but its first
+  // wakeup is >= the minimum interval away, so installing the observer here is safely before
+  // any possible invocation.
+  std::mutex kills_mu;
+  std::unordered_set<uint64_t> killed;
+  engine->checker().SetTimeoutObserver([&kills_mu, &killed](uint64_t container_id) {
+    std::lock_guard<std::mutex> lk(kills_mu);
+    killed.insert(container_id);
+  });
+
+  std::vector<Worker> workers;
+  workers.reserve(spec.tenants.size());
+  uint64_t ordinal = 0;
+  for (const TenantSpec& tenant : spec.tenants) {
+    Worker w;
+    w.spec = tenant;
+    w.result.name = tenant.name;
+    w.trace = MaterializeTrace(tenant, spec.seed, ordinal++);
+    workers.push_back(std::move(w));
+  }
+
+  // Registration is sequential, from this thread: admission against the burst watermark is
+  // decided in spec order even though everything after this point is scheduler-dependent.
+  for (Worker& w : workers) {
+    w.task = kernel->CreateTask(w.spec.name);
+    core::HipecOptions options;
+    options.min_frames = w.spec.min_frames;
+    options.timeout_ns = w.spec.timeout_ns;
+    options.request_size = w.spec.request_size;
+    options.free_target = 4;
+    options.inactive_target = 8;
+    options.reserved_target = 0;
+    if (w.spec.policy == PolicyKind::kTwoQueue) {
+      options.user_queue_count = 2;
+    }
+    w.region = engine->VmAllocateHipec(w.task, w.spec.pages * kPageSize,
+                                       MakePolicy(w.spec.policy), options);
+    w.result.admitted = w.region.ok;
+    if (w.region.ok) {
+      w.addr = w.region.addr;
+      w.container_id = w.region.container->id();
+    } else {
+      // Admission denied: runs non-specific (§4.3.1), still generating global pressure.
+      w.addr = kernel->VmAllocate(w.task, w.spec.pages * kPageSize);
+    }
+  }
+
+  std::atomic<size_t> live{workers.size()};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (Worker& w : workers) {
+    threads.emplace_back([&kernel, &live, &w] {
+      RunWorker(kernel.get(), w);
+      live.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // Stop-the-world audit loop. A violation is recorded, not thrown, so the workers are always
+  // joined before the failure propagates.
+  int64_t audits = 0;
+  std::string violation;
+  while (live.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(spec.audit ? spec.audit_interval_ms : 1));
+    if (!spec.audit || !violation.empty() || live.load(std::memory_order_acquire) == 0) {
+      continue;
+    }
+    sim::ExclusiveWorldGuard world(kernel->world());
+    AuditReport report = AuditFrameInvariants(*engine);
+    if (!report.ok) {
+      violation = report.violation;
+    }
+    ++audits;
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  if (!violation.empty()) {
+    throw sim::CheckFailure("threaded-audit: " + violation);
+  }
+
+  ThreadedScenarioResult result;
+  result.name = spec.name;
+  result.threads = workers.size();
+  for (Worker& w : workers) {
+    Snapshot(w);
+    if (!w.task->terminated()) {
+      kernel->TerminateTask(w.task, "threaded scenario end");
+    }
+    result.total_accesses += w.result.accesses_done;
+  }
+  kernel->disk().DrainWrites();
+
+  // The final audit always runs: every threaded run ends on a proven-consistent machine.
+  {
+    sim::ExclusiveWorldGuard world(kernel->world());
+    AuditReport report = AuditFrameInvariants(*engine);
+    if (!report.ok) {
+      throw sim::CheckFailure("threaded-final-audit: " + report.violation);
+    }
+    ++audits;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(kills_mu);
+    result.checker_kills = static_cast<int64_t>(killed.size());
+    for (Worker& w : workers) {
+      w.result.killed_by_checker = w.container_id != 0 && killed.contains(w.container_id);
+    }
+  }
+  result.audits_run = audits;
+  result.checker_wakeups = engine->checker().wakeups();
+  result.total_faults = engine->counters().Get("engine.faults_handled");
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  if (result.wall_seconds > 0.0) {
+    result.faults_per_sec = static_cast<double>(result.total_faults) / result.wall_seconds;
+    result.accesses_per_sec = static_cast<double>(result.total_accesses) / result.wall_seconds;
+  }
+  for (Worker& w : workers) {
+    result.tenants.push_back(w.result);
+  }
+  return result;
+}
+
+}  // namespace hipec::scenario

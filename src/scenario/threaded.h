@@ -1,0 +1,75 @@
+// The real-threads scenario driver: N tenant threads faulting concurrently against one
+// kernel built in sim::ExecMode::kRealThreads — real std::threads, the lock hierarchy armed
+// (DESIGN.md §10), the security checker running as an actual thread, and host time instead of
+// the virtual clock.
+//
+// This is the concurrency counterpart of scenario.h's deterministic round-robin driver, and
+// deliberately simpler: no injections, no background tasks, no per-decision audit hook
+// (manager decisions complete thousands of times per second across threads). Instead the
+// calling thread periodically stops the world (kernel.world() exclusive, which waits out
+// every in-flight fault) and runs the same AuditFrameInvariants pass the deterministic
+// auditor uses — conservation, no-double-grant, FAFR order, and reserve solvency proven
+// against a quiesced machine while tenants hammer it in between.
+//
+// Nothing here is deterministic except the per-tenant access traces (materialized from the
+// spec seed exactly as the deterministic driver does): interleaving, grant/reject outcomes,
+// and checker kills depend on the host scheduler. Throughput (faults_per_sec) is the point —
+// bench_parallel runs this at 1/2/4/8 threads to measure sharded-pool scaling.
+#ifndef HIPEC_SCENARIO_THREADED_H_
+#define HIPEC_SCENARIO_THREADED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hipec/frame_manager.h"
+#include "scenario/scenario.h"
+
+namespace hipec::scenario {
+
+struct ThreadedScenarioSpec {
+  std::string name;
+  // Kernel shape.
+  uint64_t total_frames = 4096;
+  uint64_t kernel_reserved_frames = 256;
+  uint64_t seed = 0x7EA15;
+  core::FrameManagerConfig manager;
+  // Shards in the global free-frame pool; 0 uses ShardedFramePool's default.
+  size_t free_pool_shards = 0;
+  // Stop-the-world audits while tenants run. audit_interval_ms spaces them; a final audit
+  // always runs after the workers join (even with audit = false the final one runs, so every
+  // threaded run ends with a proven-consistent machine).
+  bool audit = true;
+  int audit_interval_ms = 5;
+  // One worker thread per tenant. Reuses the deterministic driver's TenantSpec; the
+  // scheduling fields (arrival_step/departure_step) are ignored — every tenant starts
+  // immediately and runs its whole trace.
+  std::vector<TenantSpec> tenants;
+};
+
+struct ThreadedScenarioResult {
+  std::string name;
+  size_t threads = 0;
+  int64_t audits_run = 0;
+  int64_t checker_wakeups = 0;
+  int64_t checker_kills = 0;
+  // Aggregate work: every access issued by every worker, and the engine's count of faults
+  // that went through the HiPEC fault path.
+  uint64_t total_accesses = 0;
+  int64_t total_faults = 0;
+  double wall_seconds = 0.0;
+  double faults_per_sec = 0.0;
+  double accesses_per_sec = 0.0;
+  // Reuses the deterministic driver's per-tenant outcome struct (snapshotted under the
+  // owning task's lock, so the numbers are exact even with reclamation running).
+  std::vector<TenantResult> tenants;
+};
+
+// Builds a real-threads kernel, registers every tenant, runs one worker thread per tenant to
+// trace completion, audits, and tears down. Throws sim::CheckFailure if any stop-the-world
+// audit finds an invariant violation.
+ThreadedScenarioResult RunThreadedScenario(const ThreadedScenarioSpec& spec);
+
+}  // namespace hipec::scenario
+
+#endif  // HIPEC_SCENARIO_THREADED_H_

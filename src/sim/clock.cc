@@ -56,6 +56,60 @@ Nanos VirtualClock::next_deadline() const {
   return events_.begin()->first.first;
 }
 
+RealClock::EventId RealClock::ScheduleAt(Nanos when, Callback fn, std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EventId id = next_id_++;
+  events_.emplace(Key{when, next_seq_++}, Event{id, std::move(fn), std::move(label)});
+  return id;
+}
+
+RealClock::EventId RealClock::ScheduleAfter(Nanos delta, Callback fn, std::string label) {
+  HIPEC_CHECK_MSG(delta >= 0, "negative delay for event: " << label);
+  return ScheduleAt(now() + delta, std::move(fn), std::move(label));
+}
+
+bool RealClock::Cancel(EventId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = events_.begin(); it != events_.end(); ++it) {
+    if (it->second.id == id) {
+      events_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t RealClock::pending_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+Nanos RealClock::next_deadline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.empty() ? -1 : events_.begin()->first.first;
+}
+
+size_t RealClock::PollDue(bool fire_all) {
+  // Pop due events one at a time and run each callback outside the internal mutex so
+  // callbacks can schedule or cancel without deadlocking. The caller serializes against
+  // other threads touching the callbacks' state (DESIGN.md §10).
+  size_t fired = 0;
+  for (;;) {
+    Event event;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (events_.empty() || (!fire_all && events_.begin()->first.first > now())) {
+        return fired;
+      }
+      auto it = events_.begin();
+      event = std::move(it->second);
+      events_.erase(it);
+    }
+    event.fn();
+    ++fired;
+  }
+}
+
 void VirtualClock::DispatchDueEvents(Nanos horizon) {
   // Events fired here may schedule new events, possibly also due before `horizon`; the loop
   // re-inspects the queue head every iteration so those fire in correct order too.

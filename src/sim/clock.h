@@ -1,16 +1,29 @@
-// Discrete virtual-time clock.
+// The clock seam: virtual time for deterministic simulation, monotonic host time for the
+// real-threads execution mode.
 //
 // Every cost in the reproduction (syscall entry, command decode, disk service, ...) is charged
-// to a VirtualClock instead of being measured on the host. Components that the paper runs as
-// kernel threads (the security checker, the pageout daemon) and asynchronous completions (disk
-// write-back) are modelled as scheduled events that fire when simulated time passes their
-// deadline.
+// to a clock instead of being measured ad hoc. Components that the paper runs as kernel
+// threads (the security checker, the pageout daemon) and asynchronous completions (disk
+// write-back) are modelled as scheduled events that fire when time passes their deadline.
+//
+// Two implementations sit behind the Clock interface:
+//   * VirtualClock — the deterministic discrete-event clock. Advance() moves time and fires
+//     due events inline; two runs of the same inputs are bit-for-bit identical.
+//   * RealClock — a monotonic wall clock for ExecMode::kRealThreads. Advance() is a no-op
+//     (real time passes by itself); scheduled events are held in a mutex-protected deadline
+//     queue and fired by explicit PollDue() calls from whoever owns the affected state.
+//
+// Hot paths that charge per-command costs keep a raw `VirtualClock*` (null in real mode) so
+// the deterministic mode pays no virtual dispatch: see KernelContext::Charge() in
+// mach/kernel.h.
 #ifndef HIPEC_SIM_CLOCK_H_
 #define HIPEC_SIM_CLOCK_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 
@@ -23,7 +36,64 @@ constexpr Nanos kMicrosecond = 1'000;
 constexpr Nanos kMillisecond = 1'000'000;
 constexpr Nanos kSecond = 1'000'000'000;
 
-// A discrete-event virtual clock.
+// How the kernel executes: the deterministic single-threaded reference mode on a
+// VirtualClock, or real concurrent threads on a RealClock with real locks.
+enum class ExecMode {
+  kDeterministic,  // one thread, virtual time, locks compiled to no-ops, bit-for-bit runs
+  kRealThreads,    // N threads, monotonic time, real mutexes under the documented hierarchy
+};
+
+// The seam both clocks implement. Deadline-queue semantics are shared: events fire in
+// (deadline, scheduling order); a callback may schedule or cancel events but must not advance
+// time itself.
+class Clock {
+ public:
+  using EventId = uint64_t;
+  using Callback = std::function<void()>;
+
+  virtual ~Clock() = default;
+
+  // Current time in nanoseconds (virtual, or monotonic since construction).
+  virtual Nanos now() const = 0;
+
+  // Charges `delta` ns of modelled cost. Virtual mode: moves time forward, firing due events.
+  // Real mode: no-op — host time passes on its own and modelled costs are not re-charged.
+  virtual void Advance(Nanos delta) = 0;
+
+  // Moves time forward to `when` if it is in the future; no-op otherwise (and always a no-op
+  // on a real clock).
+  virtual void AdvanceTo(Nanos when) = 0;
+
+  // Schedules `fn` to run at absolute time `when` (>= now()). Returns an id usable with
+  // Cancel(). `label` is kept for diagnostics.
+  virtual EventId ScheduleAt(Nanos when, Callback fn, std::string label = "") = 0;
+
+  // Schedules `fn` to run `delta` ns from now.
+  virtual EventId ScheduleAfter(Nanos delta, Callback fn, std::string label = "") = 0;
+
+  // Cancels a pending event. Returns false if it already fired or was never scheduled.
+  virtual bool Cancel(EventId id) = 0;
+
+  // Number of events still pending.
+  virtual size_t pending_events() const = 0;
+
+  // Deadline of the earliest pending event, or -1 if none.
+  virtual Nanos next_deadline() const = 0;
+
+  // True for VirtualClock: same inputs, same outputs, single thread.
+  virtual bool deterministic() const = 0;
+
+  // Real clocks: fires events whose deadline has passed (all pending events when
+  // `fire_all`), in deadline order, on the calling thread; returns the number fired. The
+  // caller must hold whatever lock protects the state the callbacks touch. Virtual clocks
+  // fire events from Advance()/AdvanceTo() instead and return 0 here.
+  virtual size_t PollDue(bool fire_all = false) {
+    (void)fire_all;
+    return 0;
+  }
+};
+
+// The deterministic discrete-event clock.
 //
 // The "foreground" computation (an application touching memory, the kernel handling a fault)
 // advances the clock with Advance(); any events whose deadline is crossed fire, in deadline
@@ -31,22 +101,22 @@ constexpr Nanos kSecond = 1'000'000'000;
 // deadline while the callback runs) and may schedule further events, but must not call
 // Advance() themselves — they represent instantaneous occurrences whose costs are modelled by
 // scheduling follow-up events.
-class VirtualClock {
+//
+// `final` matters: hot paths hold a VirtualClock* and the compiler devirtualizes + inlines
+// the Advance() fast path through it.
+class VirtualClock final : public Clock {
  public:
-  using EventId = uint64_t;
-  using Callback = std::function<void()>;
-
   VirtualClock() = default;
   VirtualClock(const VirtualClock&) = delete;
   VirtualClock& operator=(const VirtualClock&) = delete;
 
   // Current virtual time.
-  Nanos now() const { return now_; }
+  Nanos now() const override { return now_; }
 
   // Moves time forward by `delta` (>= 0), firing due events in deadline order. Inlined fast
   // path for the executor's per-command decode charge: when no pending event falls inside the
   // step — the overwhelmingly common case — advancing is a single compare plus an add.
-  void Advance(Nanos delta) {
+  void Advance(Nanos delta) override {
     Nanos when = now_ + delta;
     if (delta >= 0 && !dispatching_ &&
         (events_.empty() || events_.begin()->first.first > when)) [[likely]] {
@@ -56,24 +126,15 @@ class VirtualClock {
     AdvanceSlow(delta);  // due events to fire, or a misuse to diagnose
   }
 
-  // Moves time forward to `when` if it is in the future; no-op otherwise.
-  void AdvanceTo(Nanos when);
+  void AdvanceTo(Nanos when) override;
 
-  // Schedules `fn` to run at absolute virtual time `when` (>= now()). Returns an id usable
-  // with Cancel(). `label` is kept for diagnostics.
-  EventId ScheduleAt(Nanos when, Callback fn, std::string label = "");
+  EventId ScheduleAt(Nanos when, Callback fn, std::string label = "") override;
+  EventId ScheduleAfter(Nanos delta, Callback fn, std::string label = "") override;
+  bool Cancel(EventId id) override;
 
-  // Schedules `fn` to run `delta` ns from now.
-  EventId ScheduleAfter(Nanos delta, Callback fn, std::string label = "");
-
-  // Cancels a pending event. Returns false if it already fired or was never scheduled.
-  bool Cancel(EventId id);
-
-  // Number of events still pending.
-  size_t pending_events() const { return events_.size(); }
-
-  // Deadline of the earliest pending event, or -1 if none.
-  Nanos next_deadline() const;
+  size_t pending_events() const override { return events_.size(); }
+  Nanos next_deadline() const override;
+  bool deterministic() const override { return true; }
 
   // Runs pending events until none remain with deadline <= `until`, advancing time to each
   // event in turn and finally to `until`.
@@ -101,6 +162,54 @@ class VirtualClock {
   bool dispatching_ = false;
   std::map<Key, Event> events_;
   std::unordered_set<EventId> live_ids_;
+};
+
+// Monotonic host clock for the real-threads mode. now() is steady_clock time since
+// construction, so timestamps stay small and comparable with virtual-time constants.
+//
+// The deadline queue is mutex-protected (rank: leaf — see DESIGN.md §10); callbacks fire from
+// PollDue() *outside* the internal mutex, on the polling thread, so a callback may freely
+// schedule or cancel. In this codebase the only real-mode events are disk write completions,
+// polled by the frame manager under the manager lock.
+class RealClock final : public Clock {
+ public:
+  RealClock() : epoch_(std::chrono::steady_clock::now()) {}
+  RealClock(const RealClock&) = delete;
+  RealClock& operator=(const RealClock&) = delete;
+
+  Nanos now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  // Host time passes on its own; modelled costs are not re-charged in real mode.
+  void Advance(Nanos) override {}
+  void AdvanceTo(Nanos) override {}
+
+  EventId ScheduleAt(Nanos when, Callback fn, std::string label = "") override;
+  EventId ScheduleAfter(Nanos delta, Callback fn, std::string label = "") override;
+  bool Cancel(EventId id) override;
+
+  size_t pending_events() const override;
+  Nanos next_deadline() const override;
+  bool deterministic() const override { return false; }
+
+  size_t PollDue(bool fire_all = false) override;
+
+ private:
+  struct Event {
+    EventId id;
+    Callback fn;
+    std::string label;
+  };
+  using Key = std::pair<Nanos, uint64_t>;
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::map<Key, Event> events_;
 };
 
 }  // namespace hipec::sim

@@ -1,0 +1,48 @@
+#include "sim/lock.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/check.h"
+
+namespace hipec::sim {
+namespace {
+
+// Per-thread stack of held locks. Small and append-only in practice (a fault holds at most
+// ~4 locks), so a flat vector beats anything clever.
+struct Held {
+  const OrderedMutex* mu;
+  LockRank rank;
+};
+
+thread_local std::vector<Held> g_held;
+
+}  // namespace
+
+void OrderedMutex::AssertRankFree() {
+  for (const Held& h : g_held) {
+    if (h.mu == this) {
+      return;  // recursion on the same lock is sanctioned
+    }
+  }
+  for (const Held& h : g_held) {
+    HIPEC_CHECK_MSG(static_cast<int>(h.rank) < static_cast<int>(rank_),
+                    "lock-order violation: blocking on rank "
+                        << static_cast<int>(rank_) << " while holding rank "
+                        << static_cast<int>(h.rank) << " (use try_lock for inverted edges)");
+  }
+}
+
+void OrderedMutex::PushRank() { g_held.push_back(Held{this, rank_}); }
+
+void OrderedMutex::PopRank() {
+  // Unlocks are LIFO in practice, but recursive locks may interleave; erase the last match.
+  for (auto it = g_held.rbegin(); it != g_held.rend(); ++it) {
+    if (it->mu == this) {
+      g_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace hipec::sim

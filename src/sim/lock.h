@@ -1,0 +1,189 @@
+// Rank-tagged conditional mutexes: the enforcement half of the lock hierarchy documented in
+// DESIGN.md §10.
+//
+// Every lock in the kernel core is an OrderedMutex carrying a LockRank. In the deterministic
+// execution mode locks are constructed disabled and every operation is a single predictable
+// branch — the reference mode stays bit-for-bit identical to the pre-concurrency code and
+// pays no synchronization cost. In the real-threads mode locks are real recursive mutexes,
+// and (in debug builds) each blocking acquisition asserts that the calling thread holds no
+// lock of an equal or higher rank, so a lock-order inversion fails loudly instead of
+// deadlocking once in a thousand runs.
+//
+// Two deliberate escapes from strict ordering:
+//   * Recursion: the same thread may re-acquire a lock it holds (std::recursive_mutex).
+//     Reclamation terminates a victim whose teardown re-enters the frame manager; the
+//     manager lock must tolerate that re-entry.
+//   * TryLock: try-acquisitions are exempt from the rank check because the caller handles
+//     failure. They are the sanctioned way to take a *lower*-ranked lock while holding a
+//     higher one (e.g. the manager, during reclamation, try-locks a victim task), the same
+//     escape valve Linux shrinkers use.
+#ifndef HIPEC_SIM_LOCK_H_
+#define HIPEC_SIM_LOCK_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace hipec::sim {
+
+// Blocking acquisition order: a thread holding a lock of rank R may only block on locks of
+// rank strictly greater than R (recursion on the same lock excepted). See DESIGN.md §10 for
+// the edge-by-edge justification.
+enum class LockRank : int {
+  kEngine = 1,   // HipecEngine registration state (container ids, zone, task list)
+  kTask = 2,     // one per task/container: address map, pmap entries, container queues
+  kManager = 3,  // GlobalFrameManager: FAFR list, reserve/laundry, burst accounting
+  kDaemon = 4,   // PageoutDaemon: active/inactive queues, balancing
+  kShard = 5,    // one per free-pool shard: that shard's free queue
+  kDisk = 6,     // DiskModel: head position, write queue, latency RNG
+  kLeaf = 7,     // terminal locks that take nothing else: tracer ring, registries, zones
+};
+
+class OrderedMutex {
+ public:
+  // Disabled (deterministic mode) unless `enabled`: lock/unlock are no-ops behind one branch.
+  explicit OrderedMutex(LockRank rank, bool enabled = false)
+      : rank_(rank), enabled_(enabled) {}
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  // Flips a lock live before any thread contends on it (kernel construction time).
+  void Enable(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+  LockRank rank() const { return rank_; }
+
+  void lock() {
+    if (!enabled_) {
+      return;
+    }
+    AssertRankFree();
+    mu_.lock();
+    PushRank();
+  }
+
+  void unlock() {
+    if (!enabled_) {
+      return;
+    }
+    PopRank();
+    mu_.unlock();
+  }
+
+  // Rank-exempt (see header comment); returns true when disabled (the caller "owns" it).
+  bool try_lock() {
+    if (!enabled_) {
+      return true;
+    }
+    if (!mu_.try_lock()) {
+      return false;
+    }
+    PushRank();
+    return true;
+  }
+
+ private:
+  void AssertRankFree();
+  void PushRank();
+  void PopRank();
+
+  std::recursive_mutex mu_;
+  LockRank rank_;
+  bool enabled_;
+};
+
+// Scoped blocking acquisition.
+class ScopedLock {
+ public:
+  explicit ScopedLock(OrderedMutex& mu) : mu_(&mu) { mu_->lock(); }
+  ~ScopedLock() { mu_->unlock(); }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  OrderedMutex* mu_;
+};
+
+// Scoped try-acquisition; check owns() before touching the protected state. Always owns a
+// disabled mutex, so deterministic-mode callers take the success path unchanged.
+class ScopedTryLock {
+ public:
+  explicit ScopedTryLock(OrderedMutex& mu) : mu_(&mu), owns_(mu.try_lock()) {}
+  ~ScopedTryLock() {
+    if (owns_) {
+      mu_->unlock();
+    }
+  }
+  ScopedTryLock(const ScopedTryLock&) = delete;
+  ScopedTryLock& operator=(const ScopedTryLock&) = delete;
+
+  bool owns() const { return owns_; }
+
+ private:
+  OrderedMutex* mu_;
+  bool owns_;
+};
+
+// Stop-the-world lock for the real-threads auditor: fault threads hold it shared around each
+// access; the auditor takes it exclusive, observes a quiesced kernel, and releases. Disabled
+// (all no-ops) in deterministic mode, where per-decision auditing is synchronous anyway.
+// Conceptually rank 0: acquired before any OrderedMutex and never while holding one.
+class WorldLock {
+ public:
+  explicit WorldLock(bool enabled = false) : enabled_(enabled) {}
+
+  // Flip live before any thread contends (kernel construction time).
+  void Enable(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void lock_shared() {
+    if (enabled_) {
+      mu_.lock_shared();
+    }
+  }
+  void unlock_shared() {
+    if (enabled_) {
+      mu_.unlock_shared();
+    }
+  }
+  void lock() {
+    if (enabled_) {
+      mu_.lock();
+    }
+  }
+  void unlock() {
+    if (enabled_) {
+      mu_.unlock();
+    }
+  }
+
+ private:
+  std::shared_mutex mu_;
+  bool enabled_;
+};
+
+// RAII shared hold: a mutator thread inside the kernel.
+class SharedWorldGuard {
+ public:
+  explicit SharedWorldGuard(WorldLock& world) : world_(&world) { world_->lock_shared(); }
+  ~SharedWorldGuard() { world_->unlock_shared(); }
+  SharedWorldGuard(const SharedWorldGuard&) = delete;
+  SharedWorldGuard& operator=(const SharedWorldGuard&) = delete;
+
+ private:
+  WorldLock* world_;
+};
+
+// RAII exclusive hold: the auditor's quiesced window.
+class ExclusiveWorldGuard {
+ public:
+  explicit ExclusiveWorldGuard(WorldLock& world) : world_(&world) { world_->lock(); }
+  ~ExclusiveWorldGuard() { world_->unlock(); }
+  ExclusiveWorldGuard(const ExclusiveWorldGuard&) = delete;
+  ExclusiveWorldGuard& operator=(const ExclusiveWorldGuard&) = delete;
+
+ private:
+  WorldLock* world_;
+};
+
+}  // namespace hipec::sim
+
+#endif  // HIPEC_SIM_LOCK_H_

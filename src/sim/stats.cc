@@ -43,6 +43,7 @@ CounterRegistry& CounterRegistry::Instance() {
 }
 
 CounterId CounterRegistry::Intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = index_.try_emplace(name, static_cast<CounterId>(names_.size()));
   if (inserted) {
     names_.push_back(name);
@@ -51,8 +52,79 @@ CounterId CounterRegistry::Intern(const std::string& name) {
 }
 
 CounterId CounterRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(name);
   return it == index_.end() ? kInvalid : it->second;
+}
+
+const std::string& CounterRegistry::NameOf(CounterId id) const {
+  // The reference stays valid after unlock: names_ is a deque and entries are never erased.
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_[id];
+}
+
+size_t CounterRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+size_t CounterSet::slab_base() const {
+  if (!concurrent_) {
+    return 0;
+  }
+  // Threads are striped round-robin over slabs at first touch; the id is process-global so a
+  // thread lands on the same slab in every set (helpful locality, not a correctness need).
+  static std::atomic<size_t> next_thread{0};
+  thread_local size_t thread_slab = next_thread.fetch_add(1, std::memory_order_relaxed);
+  return stride_ * (thread_slab % slabs_);
+}
+
+void CounterSet::EnableConcurrent() {
+  HIPEC_CHECK_MSG(!concurrent_, "EnableConcurrent called twice");
+  concurrent_ = true;
+  slabs_ = kSlabs;
+  // Size for every id interned so far; later interns take the overflow path.
+  size_t want = PadStride(CounterRegistry::Instance().size());
+  stride_ = want;
+  auto fresh = std::make_unique<std::atomic<int64_t>[]>(slabs_ * stride_);
+  for (size_t i = 0; i < slabs_ * stride_; ++i) {
+    fresh[i].store(0, std::memory_order_relaxed);
+  }
+  // Carry over anything recorded single-threaded before the switch (slab 0).
+  for (size_t i = 0; i < capacity_; ++i) {
+    fresh[i].store(values_[i].load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
+  values_ = std::move(fresh);
+  capacity_ = CounterRegistry::Instance().size();
+}
+
+void CounterSet::AddSlow(CounterId id, int64_t delta) {
+  if (!concurrent_) {
+    Grow(id);
+    values_[id].store(values_[id].load(std::memory_order_relaxed) + delta,
+                      std::memory_order_relaxed);
+    return;
+  }
+  // Growing the slab arrays would race with concurrent writers; park late ids in a map.
+  std::lock_guard<std::mutex> lock(overflow_mu_);
+  overflow_[id] += delta;
+}
+
+int64_t CounterSet::Get(CounterId id) const {
+  int64_t total = 0;
+  if (id < capacity_) {
+    for (size_t s = 0; s < slabs_; ++s) {
+      total += values_[s * stride_ + id].load(std::memory_order_relaxed);
+    }
+  }
+  if (concurrent_) {
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    auto it = overflow_.find(id);
+    if (it != overflow_.end()) {
+      total += it->second;
+    }
+  }
+  return total;
 }
 
 void CounterSet::AddViaLegacyLookup(CounterId id, int64_t delta) {
@@ -63,28 +135,55 @@ void CounterSet::AddViaLegacyLookup(CounterId id, int64_t delta) {
   std::string key(CounterRegistry::Instance().NameOf(id).c_str());
   auto [it, inserted] = legacy_index_.try_emplace(std::move(key), id);
   CounterId slot = it->second;
-  if (slot >= values_.size()) [[unlikely]] {
+  if (slot >= capacity_) [[unlikely]] {
     Grow(slot);
   }
-  values_[slot] += delta;
+  values_[slot].store(values_[slot].load(std::memory_order_relaxed) + delta,
+                      std::memory_order_relaxed);
 }
 
 void CounterSet::Grow(CounterId id) {
-  // Size to the whole registry (not just id+1): after static init the registry rarely grows,
-  // so one resize typically covers every counter this set will ever see.
-  size_t want = std::max<size_t>(CounterRegistry::Instance().size(), static_cast<size_t>(id) + 1);
-  values_.resize(want, 0);
+  // Single-threaded only (concurrent sets size once in EnableConcurrent). Size to the whole
+  // registry (not just id+1): after static init the registry rarely grows, so one resize
+  // typically covers every counter this set will ever see.
+  size_t want =
+      std::max<size_t>(CounterRegistry::Instance().size(), static_cast<size_t>(id) + 1);
+  auto fresh = std::make_unique<std::atomic<int64_t>[]>(want);
+  for (size_t i = 0; i < want; ++i) {
+    fresh[i].store(i < capacity_ ? values_[i].load(std::memory_order_relaxed) : 0,
+                   std::memory_order_relaxed);
+  }
+  values_ = std::move(fresh);
+  capacity_ = want;
+  stride_ = want;
 }
 
 std::map<std::string, int64_t> CounterSet::all() const {
   std::map<std::string, int64_t> out;
   const CounterRegistry& registry = CounterRegistry::Instance();
-  for (CounterId id = 0; id < values_.size(); ++id) {
-    if (values_[id] != 0) {
-      out.emplace(registry.NameOf(id), values_[id]);
+  for (CounterId id = 0; id < capacity_; ++id) {
+    int64_t value = Get(id);
+    if (value != 0) {
+      out.emplace(registry.NameOf(id), value);
+    }
+  }
+  if (concurrent_) {
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    for (const auto& [id, value] : overflow_) {
+      if (value != 0 && id >= capacity_) {
+        out.emplace(registry.NameOf(id), value);
+      }
     }
   }
   return out;
+}
+
+void CounterSet::Clear() {
+  for (size_t i = 0; i < slabs_ * stride_ && capacity_ > 0; ++i) {
+    values_[i].store(0, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(overflow_mu_);
+  overflow_.clear();
 }
 
 std::string CounterSet::ToString() const {

@@ -1,9 +1,20 @@
 // Counters and latency recording for experiments and tests.
+//
+// Concurrency: everything here is single-threaded by default and pays no synchronization —
+// the deterministic execution mode stays exactly as fast and as reproducible as before. A
+// component running under ExecMode::kRealThreads calls EnableConcurrent() on its sets at
+// construction time (before worker threads exist); from then on Add() is a relaxed atomic
+// into a per-thread slab (no cross-core cache-line ping-pong on hot counters) and readers
+// sum the slabs. The registry itself is always thread-safe: interning is rare and cold.
 #ifndef HIPEC_SIM_STATS_H_
 #define HIPEC_SIM_STATS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,19 +26,22 @@ namespace hipec::sim {
 // Accumulates scalar samples and reports summary statistics. Keeps all samples (experiment
 // scale here is modest), so exact percentiles are available. Min/Max are running values
 // maintained by Record — querying them never forces the percentile sort.
+//
+// EnableConcurrent() makes Record() safe from many threads (one leaf mutex; recording sites
+// are far off the per-access hot path). Queries are snapshot-style: call them after the
+// recording threads have quiesced, as the tests and benches do.
 class LatencyRecorder {
  public:
   void Record(Nanos value) {
-    if (samples_.empty() || value < min_) {
-      min_ = value;
+    if (concurrent_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      RecordLocked(value);
+      return;
     }
-    if (samples_.empty() || value > max_) {
-      max_ = value;
-    }
-    samples_.push_back(value);
-    sum_ += value;
-    sorted_ = false;
+    RecordLocked(value);
   }
+
+  void EnableConcurrent() { concurrent_ = true; }
 
   size_t count() const { return samples_.size(); }
   Nanos sum() const { return sum_; }
@@ -45,6 +59,17 @@ class LatencyRecorder {
   }
 
  private:
+  void RecordLocked(Nanos value) {
+    if (samples_.empty() || value < min_) {
+      min_ = value;
+    }
+    if (samples_.empty() || value > max_) {
+      max_ = value;
+    }
+    samples_.push_back(value);
+    sum_ += value;
+    sorted_ = false;
+  }
   void Sort() const;
 
   mutable std::vector<Nanos> samples_;
@@ -52,6 +77,8 @@ class LatencyRecorder {
   Nanos sum_ = 0;
   Nanos min_ = 0;
   Nanos max_ = 0;
+  bool concurrent_ = false;
+  std::mutex mu_;
 };
 
 // A dense counter index. Names are interned into small integers exactly once (normally by a
@@ -59,8 +86,9 @@ class LatencyRecorder {
 // values in a plain array indexed by id — the fault path never touches a string or a tree.
 using CounterId = uint32_t;
 
-// The process-wide name <-> id table. Single-threaded like the rest of the simulation; ids
-// are dense, stable for the process lifetime, and shared by every CounterSet.
+// The process-wide name <-> id table. Thread-safe: ids are dense, stable for the process
+// lifetime, and shared by every CounterSet. Names live in a deque so the references NameOf()
+// hands out stay valid across later interning.
 class CounterRegistry {
  public:
   static CounterRegistry& Instance();
@@ -73,12 +101,13 @@ class CounterRegistry {
   static constexpr CounterId kInvalid = ~CounterId{0};
   CounterId Find(const std::string& name) const;
 
-  const std::string& NameOf(CounterId id) const { return names_[id]; }
-  size_t size() const { return names_.size(); }
+  const std::string& NameOf(CounterId id) const;
+  size_t size() const;
 
  private:
   CounterRegistry() = default;
-  std::vector<std::string> names_;
+  mutable std::mutex mu_;
+  std::deque<std::string> names_;
   std::unordered_map<std::string, CounterId> index_;
 };
 
@@ -94,6 +123,12 @@ inline CounterId InternCounter(const char* name) {
 // The hot path is Add(CounterId): one bounds check (taken only when the registry grew since
 // this set last resized, or never for sets touched after static init) plus an indexed add.
 // The string-keyed API is a thin wrapper kept for tests, ad-hoc probes and ToString().
+//
+// Concurrent mode (EnableConcurrent, flipped before worker threads exist): values live in
+// kSlabs thread-striped copies of the counter array, each slab cacheline-padded from its
+// neighbours; Add() is one relaxed fetch_add into the caller's slab and readers sum across
+// slabs. Counters interned after the arrays were sized fall back to a mutex-protected
+// overflow map — correctness for the rare case, zero cost for the common one.
 class CounterSet {
  public:
   void Add(CounterId id, int64_t delta = 1) {
@@ -101,11 +136,23 @@ class CounterSet {
       AddViaLegacyLookup(id, delta);
       return;
     }
-    if (id >= values_.size()) [[unlikely]] {
-      Grow(id);
+    if (id >= capacity_) [[unlikely]] {
+      AddSlow(id, delta);
+      return;
     }
-    values_[id] += delta;
+    std::atomic<int64_t>& slot = values_[slab_base() + id];
+    if (!concurrent_) {
+      // Single-threaded: plain load/add/store, same codegen as the pre-atomic int64 add.
+      slot.store(slot.load(std::memory_order_relaxed) + delta, std::memory_order_relaxed);
+    } else {
+      slot.fetch_add(delta, std::memory_order_relaxed);
+    }
   }
+
+  // Switches this set to thread-striped storage. Must be called before any thread other than
+  // the caller touches the set (kernel construction time in real-threads mode).
+  void EnableConcurrent();
+  bool concurrent() const { return concurrent_; }
 
   // A/B switch for benchmarking: when enabled, every Add(CounterId) re-does the work the
   // pre-interning implementation did per call — construct the key string and look it up in a
@@ -114,9 +161,9 @@ class CounterSet {
   // configuration turns this on so "faults/sec before interning" is measured, not estimated.
   static void SetLegacyStringLookups(bool enabled) { legacy_string_lookups_ = enabled; }
   static bool legacy_string_lookups() { return legacy_string_lookups_; }
-  int64_t Get(CounterId id) const {
-    return id < values_.size() ? values_[id] : 0;
-  }
+
+  // Sums across slabs (exact once writers quiesce; monotonic-approximate while they run).
+  int64_t Get(CounterId id) const;
 
   // String-keyed wrappers over the interned fast path.
   void Add(const std::string& name, int64_t delta = 1) {
@@ -131,15 +178,29 @@ class CounterSet {
   // indistinguishable from never-touched ones in the dense representation, so they do not
   // appear — Get() still reports 0 for both.
   std::map<std::string, int64_t> all() const;
-  void Clear() { values_.assign(values_.size(), 0); }
+  void Clear();
   // Renders "name=value" lines, sorted by name (non-zero counters only).
   std::string ToString() const;
 
  private:
+  static constexpr size_t kSlabs = 8;
+
+  // Round the per-slab stride up to a full 64-byte cache line of int64s so hot counters in
+  // different slabs never share a line.
+  static size_t PadStride(size_t n) { return (n + 7) & ~size_t{7}; }
+  size_t slab_base() const;
+  void AddSlow(CounterId id, int64_t delta);
   void Grow(CounterId id);
   void AddViaLegacyLookup(CounterId id, int64_t delta);
 
-  std::vector<int64_t> values_;
+  std::unique_ptr<std::atomic<int64_t>[]> values_;
+  size_t capacity_ = 0;  // ids [0, capacity_) hit the dense arrays
+  size_t stride_ = 0;    // padded distance between slabs
+  size_t slabs_ = 1;
+  bool concurrent_ = false;
+  // Ids interned after EnableConcurrent sized the slabs (growth would race with writers).
+  mutable std::mutex overflow_mu_;
+  std::map<CounterId, int64_t> overflow_;
   // Pre-interning cost emulation: name -> id, populated lazily while the legacy switch is on.
   std::unordered_map<std::string, CounterId> legacy_index_;
   static inline bool legacy_string_lookups_ = false;

@@ -38,6 +38,9 @@ std::string TraceEvent::ToString() const {
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
+  // Snapshots are cold (dumps, test assertions); take the ring lock unconditionally so a
+  // concurrent-mode reader never sees a half-written event.
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(events_.size());
   if (events_.size() < capacity_) {

@@ -5,7 +5,9 @@
 #ifndef HIPEC_SIM_TRACE_H_
 #define HIPEC_SIM_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,25 +38,29 @@ struct TraceEvent {
   std::string ToString() const;
 };
 
+// Thread-safety: single-threaded (and lock-free) by default. EnableConcurrent(), called
+// before worker threads exist, routes Record() through a leaf mutex (rank kLeaf, DESIGN.md
+// §10); the enabled check stays a lock-free relaxed load so a disabled tracer costs one
+// branch per hook in either mode.
 class Tracer {
  public:
   explicit Tracer(size_t capacity = 4096) : capacity_(capacity) {}
 
-  bool enabled() const { return enabled_; }
-  void Enable() { enabled_ = true; }
-  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  void EnableConcurrent() { concurrent_ = true; }
 
   void Record(Nanos time, TraceCategory category, uint16_t code, uint64_t a, uint64_t b) {
-    if (!enabled_) {
+    if (!enabled()) {
       return;
     }
-    if (events_.size() < capacity_) {
-      events_.push_back(TraceEvent{time, category, code, a, b});
-    } else {
-      events_[next_] = TraceEvent{time, category, code, a, b};
+    if (concurrent_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      RecordLocked(time, category, code, a, b);
+      return;
     }
-    next_ = (next_ + 1) % capacity_;
-    ++total_recorded_;
+    RecordLocked(time, category, code, a, b);
   }
 
   // Events in chronological order (oldest surviving first).
@@ -76,14 +82,28 @@ class Tracer {
   // Events overwritten because the ring wrapped; Snapshot() can never return them.
   uint64_t dropped() const { return total_recorded_ - events_.size(); }
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     events_.clear();
     next_ = 0;
     total_recorded_ = 0;
   }
 
  private:
+  void RecordLocked(Nanos time, TraceCategory category, uint16_t code, uint64_t a,
+                    uint64_t b) {
+    if (events_.size() < capacity_) {
+      events_.push_back(TraceEvent{time, category, code, a, b});
+    } else {
+      events_[next_] = TraceEvent{time, category, code, a, b};
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++total_recorded_;
+  }
+
   size_t capacity_;
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  bool concurrent_ = false;
+  mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   size_t next_ = 0;
   uint64_t total_recorded_ = 0;

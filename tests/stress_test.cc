@@ -69,7 +69,13 @@ class StressWorld {
     ASSERT_EQ(acc.Sum(), acc.total);
     // Queue counts match traversal.
     auto& daemon = kernel_->daemon();
-    ASSERT_EQ(daemon.free_queue().count(), daemon.free_queue().CountByTraversal());
+    size_t shard_sum = 0;
+    for (size_t i = 0; i < daemon.free_pool().shard_count(); ++i) {
+      const mach::PageQueue& shard = daemon.free_pool().shard_queue(i);
+      ASSERT_EQ(shard.count(), shard.CountByTraversal());
+      shard_sum += shard.count();
+    }
+    ASSERT_EQ(daemon.free_pool().count(), shard_sum);
     ASSERT_EQ(daemon.active_queue().count(), daemon.active_queue().CountByTraversal());
     ASSERT_EQ(daemon.inactive_queue().count(), daemon.inactive_queue().CountByTraversal());
     for (Container* c : engine_->manager().containers()) {

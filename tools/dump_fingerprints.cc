@@ -1,0 +1,31 @@
+// Prints the deterministic ScenarioResult::Fingerprint() of every canned scenario, one per
+// line as `name<TAB>fingerprint`. Used to regenerate tests/golden_fingerprints.inc, which
+// pins the virtual-clock execution mode bit-for-bit across refactors:
+//
+//   build/tools/hipec-fingerprints --inc > tests/golden_fingerprints.inc
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "scenario/canned.h"
+#include "scenario/scenario.h"
+
+int main(int argc, char** argv) {
+  const bool as_inc = argc > 1 && std::strcmp(argv[1], "--inc") == 0;
+  if (as_inc) {
+    std::printf(
+        "// Golden fingerprints of the canned scenarios under the deterministic virtual-clock\n"
+        "// mode. Regenerate with: build/tools/hipec-fingerprints --inc\n"
+        "// Any diff here means virtual-clock execution is no longer bit-for-bit reproducible\n"
+        "// against the recorded baseline -- that is a finding, not a test to update casually.\n");
+  }
+  for (const auto& spec : hipec::scenario::AllCannedScenarios()) {
+    hipec::scenario::ScenarioResult result = hipec::scenario::RunScenario(spec);
+    if (as_inc) {
+      std::printf("{\"%s\",\n \"%s\"},\n", result.name.c_str(), result.Fingerprint().c_str());
+    } else {
+      std::printf("%s\t%s\n", result.name.c_str(), result.Fingerprint().c_str());
+    }
+  }
+  return 0;
+}
