@@ -67,10 +67,13 @@ def extract_metrics(records):
         elif bench == "scenario" and "metric" in rec:
             metrics[f"scenario.{rec['scenario']}.{rec['metric']}"] = rec["value"]
         elif bench == "parallel" and "metric" in rec:
-            # Thread-scaling speedups are only meaningful on hosts with enough hardware
-            # threads; on a 1-core runner they measure the scheduler, not the kernel, so
-            # they are dropped here and the gate skips them (missing metric = skipped).
-            if rec["metric"].startswith("speedup") and rec.get("hardware_threads", 0) < 8:
+            # Thread-scaling speedups and the M:N scheduler churn rate are only meaningful
+            # on hosts with enough hardware threads; on a 1-core runner they measure the
+            # host scheduler, not the kernel, so they are dropped here and the gate skips
+            # them (missing metric = skipped).
+            if (rec["metric"].startswith("speedup")
+                    or rec["metric"].startswith("scheduler.")) \
+                    and rec.get("hardware_threads", 0) < 8:
                 continue
             metrics[f"parallel.{rec['metric']}"] = rec["value"]
         elif bench == "parallel" and "threads" in rec:

@@ -122,7 +122,7 @@ bool UserLevelPager::HandleFault(const mach::FaultContext& ctx) {
       if (!region->resident.empty()) {
         frame = ChooseVictim(region->resident);
         if (frame->queue != nullptr) {
-          frame->queue->Remove(frame);
+          frame->queue.load()->Remove(frame);
         }
         kernel_->EvictPage(frame, /*flush_if_dirty=*/true);
       } else {
@@ -158,7 +158,7 @@ void UserLevelPager::OnRegionTeardown(mach::Task* task, mach::VmMapEntry* entry)
   HIPEC_CHECK(region != nullptr);
   auto give_back = [&](mach::VmPage* page) {
     if (page->queue != nullptr) {
-      page->queue->Remove(page);
+      page->queue.load()->Remove(page);
     }
     if (page->object != nullptr) {
       kernel_->EvictPage(page, /*flush_if_dirty=*/false);

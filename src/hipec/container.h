@@ -90,6 +90,13 @@ class Container {
   // Extension: run the security checker's frame-accounting pass after every event.
   bool strict_accounting = false;
 
+  // Frames the manager wanted from this container but could not collect because its task
+  // lock was busy (RunReclaim's try edge, even after bounded backoff). Repaid on the next
+  // pass that does land — the ask grows by the accumulated debt — so a container that is
+  // perpetually mid-fault cannot dodge reclamation forever while its peers are bled dry.
+  // Atomic: written by whichever thread runs the manager's reclaim pass, read by stats.
+  std::atomic<size_t> reclaim_debt{0};
+
   // Lifetime statistics.
   int64_t faults_handled = 0;
   int64_t commands_executed = 0;

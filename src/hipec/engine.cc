@@ -22,6 +22,15 @@ const sim::CounterId kCtrReusedFrames = sim::InternCounter("engine.reused_frames
 const sim::CounterId kCtrFaultsHandled = sim::InternCounter("engine.faults_handled");
 const sim::CounterId kCtrReclaimFailures = sim::InternCounter("engine.reclaim_failures");
 const sim::CounterId kCtrReclaimsRun = sim::InternCounter("engine.reclaims_run");
+const sim::CounterId kCtrReclaimLockSkips = sim::InternCounter("engine.reclaim_lock_skips");
+const sim::CounterId kCtrReclaimDebtRepaid = sim::InternCounter("engine.reclaim_debt_repaid");
+
+// How many try_lock attempts (with a yield between them) RunReclaim spends on a busy
+// victim before recording the ask as debt and moving on. A victim mid-fault typically
+// frees its task lock within one scheduling quantum, so a handful of yields converts most
+// would-be skips into successful passes without stalling the manager behind a pathological
+// holder.
+constexpr int kReclaimLockAttempts = 4;
 const sim::CounterId kCtrLeaksDetected = sim::InternCounter("engine.leaks_detected");
 const sim::CounterId kCtrMemoryPressure =
     sim::InternCounter("engine.memory_pressure_notifications");
@@ -213,11 +222,28 @@ bool HipecEngine::HandleFault(const mach::FaultContext& ctx) {
 size_t HipecEngine::RunReclaim(Container* container, size_t ask) {
   // The manager calls in holding its own lock; running the victim's policy mutates the
   // victim's container state, which its task lock owns. Manager → task is an inverted edge,
-  // so it must be a try-lock (DESIGN.md §10): a victim mid-fault is simply skipped this
-  // round — the manager walks on to the next candidate or forced reclamation.
-  sim::ScopedTryLock victim_lock(container->task()->mutex());
+  // so it must be a try-acquisition (DESIGN.md §10). A bounded backoff absorbs victims that
+  // are merely mid-fault; a victim that stays busy past the backoff is skipped this round,
+  // but the ask is recorded as reclaim debt and added to the next pass that does land, so
+  // repeated skips defer reclamation instead of cancelling it (the starvation fix).
+  sim::ScopedBackoffTryLock victim_lock(container->task()->mutex(), kReclaimLockAttempts);
   if (!victim_lock.owns()) {
+    // Cap the debt at the victim's current allocation (racy read — advisory only): asking
+    // for more than it holds is meaningless, and the cap keeps the counter from growing
+    // without bound while a hog monopolizes its own lock.
+    size_t cap = container->allocated_frames;
+    size_t debt = container->reclaim_debt.load(std::memory_order_relaxed);
+    while (debt < cap &&
+           !container->reclaim_debt.compare_exchange_weak(
+               debt, std::min(cap, debt + ask), std::memory_order_relaxed)) {
+    }
+    counters_.Add(kCtrReclaimLockSkips);
     return 0;
+  }
+  size_t debt = container->reclaim_debt.exchange(0, std::memory_order_relaxed);
+  if (debt > 0) {
+    ask += debt;
+    counters_.Add(kCtrReclaimDebtRepaid, static_cast<int64_t>(debt));
   }
   container->operands().WriteInt(std_ops::kReclaimCount, static_cast<int64_t>(ask));
   size_t before = container->allocated_frames;

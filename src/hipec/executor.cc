@@ -269,7 +269,7 @@ uint8_t PolicyExecutor::RunEventSwitch(Container* c, int event, int depth, int64
         if (page->queue == nullptr) {
           throw PolicyError("Unlink of a page that is not on a queue");
         }
-        page->queue->Remove(page);
+        page->queue.load()->Remove(page);
         break;
       }
       default:

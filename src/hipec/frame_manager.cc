@@ -446,7 +446,7 @@ size_t GlobalFrameManager::ForcedReclaim(size_t needed, Container* exclude) {
       run_victim = owner->id();
       ++run_frames;
       if (page->queue != nullptr) {
-        page->queue->Remove(page);
+        page->queue.load()->Remove(page);
       }
       // Seize. Dirty contents must be saved; forced reclamation is a desperation path, so the
       // write is charged synchronously to the requester.
@@ -528,7 +528,7 @@ void GlobalFrameManager::RemoveContainer(Container* container) {
     kernel_->ForEachFrame([&](mach::VmPage* page) {
       if (page->owner == container) {
         if (page->queue != nullptr) {
-          page->queue->Remove(page);
+          page->queue.load()->Remove(page);
         }
         if (page->object != nullptr) {
           bool evicted = kernel_->EvictPage(page, /*flush_if_dirty=*/false);

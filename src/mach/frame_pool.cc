@@ -19,6 +19,7 @@ void ShardedFramePool::EnableConcurrent() {
   for (auto& shard : shards_) {
     shard->mu.Enable(true);
   }
+  magazines_mu_.Enable(true);
 }
 
 size_t ShardedFramePool::HomeShard() const {
@@ -59,13 +60,97 @@ void ShardedFramePool::Put(VmPage* page, sim::Nanos now) {
   total_.fetch_add(1, std::memory_order_relaxed);
 }
 
+size_t ShardedFramePool::TakeBatch(size_t n, PageQueue* out, sim::Nanos now) {
+  size_t got = 0;
+  size_t home = HomeShard();
+  for (size_t i = 0; i < shards_.size() && got < n; ++i) {
+    Shard& shard = *shards_[(home + i) % shards_.size()];
+    sim::ScopedLock lock(shard.mu);
+    while (got < n) {
+      VmPage* page = shard.queue.DequeueHead();
+      if (page == nullptr) {
+        break;
+      }
+      total_.fetch_sub(1, std::memory_order_relaxed);
+      out->EnqueueTail(page, now);
+      ++got;
+    }
+  }
+  return got;
+}
+
+void ShardedFramePool::PutBatch(PageQueue* from, size_t n, sim::Nanos now) {
+  Shard& shard = *shards_[HomeShard()];
+  sim::ScopedLock lock(shard.mu);
+  for (size_t i = 0; i < n; ++i) {
+    VmPage* page = from->DequeueHead();
+    if (page == nullptr) {
+      break;
+    }
+    shard.queue.EnqueueTail(page, now);
+    total_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 bool ShardedFramePool::Owns(const PageQueue* q) const {
+  if (q == nullptr) {
+    return false;
+  }
   for (const auto& shard : shards_) {
     if (&shard->queue == q) {
       return true;
     }
   }
+  sim::ScopedLock lock(magazines_mu_);
+  for (const PageQueue* magazine : magazines_) {
+    if (magazine == q) {
+      return true;
+    }
+  }
   return false;
+}
+
+void ShardedFramePool::RegisterMagazine(const PageQueue* q) {
+  sim::ScopedLock lock(magazines_mu_);
+  magazines_.push_back(q);
+}
+
+void ShardedFramePool::UnregisterMagazine(const PageQueue* q) {
+  sim::ScopedLock lock(magazines_mu_);
+  std::erase(magazines_, q);
+}
+
+FrameMagazine::FrameMagazine(ShardedFramePool* pool, size_t capacity, const std::string& name)
+    : pool_(pool), capacity_(capacity < 2 ? 2 : capacity), queue_("magazine_" + name) {
+  pool_->RegisterMagazine(&queue_);
+}
+
+FrameMagazine::~FrameMagazine() {
+  HIPEC_CHECK_MSG(queue_.empty(), "magazine destroyed holding " << queue_.count()
+                                                                << " frame(s); Flush() first");
+  pool_->UnregisterMagazine(&queue_);
+}
+
+VmPage* FrameMagazine::Take(sim::Nanos now) {
+  VmPage* page = queue_.DequeueHead();
+  if (page != nullptr) {
+    return page;
+  }
+  if (pool_->TakeBatch(capacity_ / 2, &queue_, now) == 0) {
+    return nullptr;
+  }
+  return queue_.DequeueHead();
+}
+
+void FrameMagazine::Put(VmPage* page, sim::Nanos now) {
+  queue_.EnqueueTail(page, now);
+  if (queue_.count() > capacity_) {
+    pool_->PutBatch(&queue_, capacity_ / 2, now);
+  }
+}
+
+void FrameMagazine::Flush(sim::Nanos now) {
+  pool_->PutBatch(&queue_, queue_.count(), now);
 }
 
 }  // namespace hipec::mach

@@ -10,6 +10,13 @@
 // heuristics, and the allocation paths below them re-verify under the shard locks (Take()
 // returning nullptr is the authoritative "empty").
 //
+// Magazines: a FrameMagazine is a thread-confined cache of free frames sitting in front of
+// the pool (magazine-allocator style). Take/Put move frames one at a time without any lock;
+// refills and flushes move half a magazine per shard-lock acquisition, so a worker thread
+// that allocates and frees at fault rate amortizes its shard-lock traffic by the batch
+// factor. Magazine queues register with the pool so the accounting layer still classifies
+// cached frames as free (conservation is pool + magazines).
+//
 // Frame conservation — the property the invariant auditor proves — is global: the sum of
 // shard counts plus everything resident/granted must equal total_frames, regardless of how
 // frames are distributed over shards.
@@ -19,6 +26,7 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mach/page_queue.h"
@@ -49,13 +57,27 @@ class ShardedFramePool {
   // Returns a frame to the caller's home shard. `now` stamps the queue entry.
   void Put(VmPage* page, sim::Nanos now);
 
+  // Takes up to `n` frames into `out`, draining whole shards per lock acquisition (home
+  // first, then steal order). Returns how many were taken. The magazine refill path.
+  size_t TakeBatch(size_t n, PageQueue* out, sim::Nanos now);
+
+  // Moves up to `n` frames from `from`'s head to the caller's home shard under one lock
+  // acquisition. The magazine flush path.
+  void PutBatch(PageQueue* from, size_t n, sim::Nanos now);
+
   // Pool-wide free count (relaxed; exact when writers are quiesced, an admission heuristic
-  // while they run).
+  // while they run). Excludes frames checked out into magazines.
   size_t count() const { return total_.load(std::memory_order_relaxed); }
 
-  // True if `q` is one of this pool's shard queues — the accounting layer's "is this frame
-  // free" test, replacing identity comparison against the old single queue.
+  // True if `q` is one of this pool's shard queues or a registered magazine's queue — the
+  // accounting layer's "is this frame free" test, replacing identity comparison against the
+  // old single queue.
   bool Owns(const PageQueue* q) const;
+
+  // Magazine registry (rank-kLeaf lock): lets Owns() classify magazine-cached frames as
+  // free. Registration happens at worker start/exit, never on the fault path.
+  void RegisterMagazine(const PageQueue* q);
+  void UnregisterMagazine(const PageQueue* q);
 
   size_t shard_count() const { return shards_.size(); }
   // Per-shard inspection for tests and the auditor; hold no frames while iterating in real
@@ -76,6 +98,42 @@ class ShardedFramePool {
   std::atomic<size_t> total_{0};
   size_t next_boot_ = 0;
   bool concurrent_ = false;
+  mutable sim::OrderedMutex magazines_mu_{sim::LockRank::kLeaf};
+  std::vector<const PageQueue*> magazines_;
+};
+
+// A thread-confined cache of free frames in front of a ShardedFramePool. No lock of its own:
+// exactly one worker thread Takes/Puts; the pool's shard locks cover the batched refill and
+// flush transfers. Capacity bounds how many frames one idle worker can keep out of
+// circulation; refill pulls capacity/2 frames, Put past capacity flushes capacity/2 back, so
+// a balanced alloc/free workload oscillates around half-full and touches shard locks once
+// per capacity/2 operations.
+class FrameMagazine {
+ public:
+  FrameMagazine(ShardedFramePool* pool, size_t capacity, const std::string& name);
+  ~FrameMagazine();  // must be Flush()ed empty first
+  FrameMagazine(const FrameMagazine&) = delete;
+  FrameMagazine& operator=(const FrameMagazine&) = delete;
+
+  // One cached frame, refilling a half-capacity batch from the pool when empty. Returns
+  // nullptr when the magazine is empty and so is the pool.
+  VmPage* Take(sim::Nanos now);
+
+  // Caches `page`; flushes half the magazine back to the pool when full.
+  void Put(VmPage* page, sim::Nanos now);
+
+  // Returns every cached frame to the pool (worker exit, stop-the-world drains).
+  void Flush(sim::Nanos now);
+
+  size_t count() const { return queue_.count(); }
+  size_t capacity() const { return capacity_; }
+  const PageQueue& queue() const { return queue_; }
+  ShardedFramePool* pool() const { return pool_; }
+
+ private:
+  ShardedFramePool* pool_;
+  size_t capacity_;
+  PageQueue queue_;
 };
 
 }  // namespace hipec::mach

@@ -27,7 +27,9 @@ const sim::CounterId kCtrPageouts = sim::InternCounter("kernel.pageouts");
 
 }  // namespace
 
-Kernel::Kernel(KernelParams params) : params_(params) {
+Kernel::Kernel(KernelParams params) : params_(params), frames_(params_.total_frames) {
+  // frames_ is count-constructed in the init list: VmPage carries atomic members (queue,
+  // busy) and is therefore not movable, so resize() after the fact would not compile.
   HIPEC_CHECK(params_.total_frames > params_.kernel_reserved_frames);
 
   // Exactly one clock, chosen by mode: the virtual clock is also reachable through vclock_
@@ -41,7 +43,8 @@ Kernel::Kernel(KernelParams params) : params_(params) {
   }
 
   disk_ = std::make_unique<disk::DiskModel>(clock_ptr_, params_.disk, params_.seed);
-  daemon_ = std::make_unique<PageoutDaemon>(this, params_.pageout, params_.free_pool_shards);
+  daemon_ = std::make_unique<PageoutDaemon>(this, params_.pageout, params_.free_pool_shards,
+                                            params_.daemon_shards);
 
   if (concurrent()) {
     // Arm every lock before any worker thread can exist (locks must not flip while held).
@@ -59,7 +62,6 @@ Kernel::Kernel(KernelParams params) : params_(params) {
   ctx_.costs = &params_.costs;
   ctx_.mode = params_.exec_mode;
 
-  frames_.resize(params_.total_frames);
   for (uint64_t i = 0; i < params_.total_frames; ++i) {
     frames_[i].frame_number = static_cast<uint32_t>(i);
     if (i < params_.kernel_reserved_frames) {
@@ -80,9 +82,6 @@ Task* Kernel::CreateTask(const std::string& name) {
   if (concurrent()) {
     task->mutex().Enable(true);
   }
-  // Pre-create the pmap slot so the outer translation table never rehashes while other
-  // tasks fault concurrently.
-  pmap_.EnsureTask(task);
   return task;
 }
 
@@ -367,7 +366,8 @@ bool Kernel::EvictPage(VmPage* page, bool flush_if_dirty) {
 }
 
 void Kernel::EvictPageLocked(VmPage* page, bool flush_if_dirty) {
-  HIPEC_CHECK_MSG(page->queue == nullptr, "evicting a page still on a queue");
+  HIPEC_CHECK_MSG(page->queue.load(std::memory_order_relaxed) == nullptr,
+                  "evicting a page still on a queue");
   if (page->has_mapping) {
     pmap_.RemovePage(page);
   }
@@ -411,13 +411,15 @@ FrameAccounting Kernel::ComputeFrameAccounting(const void* manager_owner) const 
   acc.total = frames_.size();
   const ShardedFramePool& pool = daemon_->free_pool();
   for (const VmPage& page : frames_) {
+    const PageQueue* q = page.queue.load(std::memory_order_relaxed);
     if (page.wired) {
       ++acc.wired;
-    } else if (pool.Owns(page.queue)) {
+    } else if (pool.Owns(q)) {
+      // Pool shard queues and registered thread magazines both count as free.
       ++acc.global_free;
-    } else if (page.queue == &daemon_->active_queue()) {
+    } else if (daemon_->OwnsActiveQueue(q)) {
       ++acc.global_active;
-    } else if (page.queue == &daemon_->inactive_queue()) {
+    } else if (daemon_->OwnsInactiveQueue(q)) {
       ++acc.global_inactive;
     } else if (manager_owner != nullptr && page.owner == manager_owner) {
       ++acc.manager_owned;

@@ -46,6 +46,9 @@ struct KernelParams {
   sim::ExecMode exec_mode = sim::ExecMode::kDeterministic;
   // Shards in the global free-frame pool (mach/frame_pool.h).
   size_t free_pool_shards = ShardedFramePool::kDefaultShards;
+  // Shards in the pageout daemon's active/inactive queues (mach/pageout_daemon.h). 0 = pick
+  // the default: 1 in deterministic mode, hardware_concurrency() (clamped) in real-threads.
+  size_t daemon_shards = 0;
 };
 
 // The execution context threaded through every kernel-side component (frame manager,

@@ -13,17 +13,19 @@ PageQueue::~PageQueue() {
   // queue pointers are caught by the Contains() checks.
   for (VmPage* p = head_; p != nullptr;) {
     VmPage* next = p->q_next;
-    p->queue = nullptr;
+    p->queue.store(nullptr, std::memory_order_relaxed);
     p->q_prev = p->q_next = nullptr;
     p = next;
   }
 }
 
 void PageQueue::EnqueueHead(VmPage* page, sim::Nanos now) {
-  HIPEC_CHECK_MSG(page->queue == nullptr,
-                  "page " << page->frame_number << " already on queue "
-                          << page->queue->name() << " while enqueuing to " << name_);
-  page->queue = this;
+  HIPEC_CHECK_MSG(page->queue.load(std::memory_order_relaxed) == nullptr,
+                  "page " << page->frame_number << " already on a queue while enqueuing to "
+                          << name_);
+  // Release: a racing shard-resolver that acquire-loads this pointer must also see the
+  // writer's preceding stores (in particular `busy = true` around daemon-queue transitions).
+  page->queue.store(this, std::memory_order_release);
   page->enqueue_ns = now;
   page->q_prev = nullptr;
   page->q_next = head_;
@@ -37,10 +39,10 @@ void PageQueue::EnqueueHead(VmPage* page, sim::Nanos now) {
 }
 
 void PageQueue::EnqueueTail(VmPage* page, sim::Nanos now) {
-  HIPEC_CHECK_MSG(page->queue == nullptr,
-                  "page " << page->frame_number << " already on queue "
-                          << page->queue->name() << " while enqueuing to " << name_);
-  page->queue = this;
+  HIPEC_CHECK_MSG(page->queue.load(std::memory_order_relaxed) == nullptr,
+                  "page " << page->frame_number << " already on a queue while enqueuing to "
+                          << name_);
+  page->queue.store(this, std::memory_order_release);
   page->enqueue_ns = now;
   page->q_next = nullptr;
   page->q_prev = tail_;
@@ -72,8 +74,8 @@ VmPage* PageQueue::DequeueTail() {
 }
 
 void PageQueue::Remove(VmPage* page) {
-  HIPEC_CHECK_MSG(page->queue == this, "removing page " << page->frame_number
-                                                        << " from wrong queue " << name_);
+  HIPEC_CHECK_MSG(page->queue.load(std::memory_order_relaxed) == this,
+                  "removing page " << page->frame_number << " from wrong queue " << name_);
   if (page->q_prev != nullptr) {
     page->q_prev->q_next = page->q_next;
   } else {
@@ -85,7 +87,9 @@ void PageQueue::Remove(VmPage* page) {
     tail_ = page->q_prev;
   }
   page->q_prev = page->q_next = nullptr;
-  page->queue = nullptr;
+  // Release pairs with the acquire load in PageoutDaemon::Unqueue: seeing nullptr implies
+  // seeing any `busy = true` the remover published first.
+  page->queue.store(nullptr, std::memory_order_release);
   HIPEC_CHECK(count_ > 0);
   --count_;
 }

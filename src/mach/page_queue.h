@@ -28,7 +28,9 @@ class PageQueue {
   // Removes `page`, which must be a member of this queue.
   void Remove(VmPage* page);
 
-  bool Contains(const VmPage* page) const { return page->queue == this; }
+  bool Contains(const VmPage* page) const {
+    return page->queue.load(std::memory_order_relaxed) == this;
+  }
   bool empty() const { return count_ == 0; }
   size_t count() const { return count_; }
   VmPage* head() const { return head_; }

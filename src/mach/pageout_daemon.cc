@@ -1,5 +1,8 @@
 #include "mach/pageout_daemon.h"
 
+#include <algorithm>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "mach/kernel.h"
@@ -19,19 +22,82 @@ const sim::CounterId kCtrAllocForFault = sim::InternCounter("pageout.alloc_for_f
 const sim::CounterId kCtrFramesToManager = sim::InternCounter("pageout.frames_to_manager");
 const sim::CounterId kCtrEvictLockMisses = sim::InternCounter("pageout.evict_lock_misses");
 
+// The calling thread's attached magazine, if any. Keyed by daemon so a thread that outlives
+// one kernel and joins another never serves stale frames.
+thread_local FrameMagazine* tls_magazine = nullptr;
+thread_local const PageoutDaemon* tls_magazine_daemon = nullptr;
+
+size_t ResolveQueueShards(const Kernel* kernel, size_t requested) {
+  if (requested != 0) {
+    return std::min(requested, PageoutDaemon::kMaxQueueShards);
+  }
+  if (!kernel->concurrent()) {
+    // Deterministic mode: one shard, so Balance/AllocForFault walk the exact queue-operation
+    // sequence of the pre-sharding daemon and golden fingerprints stay byte-identical.
+    return 1;
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<size_t>(hw, 1, PageoutDaemon::kMaxQueueShards);
+}
+
 }  // namespace
 
-PageoutDaemon::PageoutDaemon(Kernel* kernel, PageoutTargets targets, size_t free_pool_shards)
-    : kernel_(kernel),
-      targets_(targets),
-      pool_(free_pool_shards),
-      active_("vm_page_queue_active"),
-      inactive_("vm_page_queue_inactive") {}
+PageoutDaemon::QueueShard::QueueShard(size_t index)
+    : mu(sim::LockRank::kDaemon),
+      active("vm_page_queue_active." + std::to_string(index)),
+      inactive("vm_page_queue_inactive." + std::to_string(index)) {}
+
+PageoutDaemon::PageoutDaemon(Kernel* kernel, PageoutTargets targets, size_t free_pool_shards,
+                             size_t queue_shards)
+    : kernel_(kernel), targets_(targets), pool_(free_pool_shards) {
+  size_t n = ResolveQueueShards(kernel, queue_shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<QueueShard>(i));
+  }
+}
 
 void PageoutDaemon::EnableConcurrent() {
-  mu_.Enable(true);
+  concurrent_ = true;
+  for (auto& shard : shards_) {
+    shard->mu.Enable(true);
+  }
   pool_.EnableConcurrent();
   counters_.EnableConcurrent();
+}
+
+size_t PageoutDaemon::HomeShard() const {
+  if (!concurrent_) {
+    // Deterministic mode is single-threaded (and single-sharded): fixed home.
+    return 0;
+  }
+  static std::atomic<size_t> next_thread{0};
+  thread_local size_t thread_stripe = next_thread.fetch_add(1, std::memory_order_relaxed);
+  return thread_stripe % shards_.size();
+}
+
+PageoutDaemon::QueueShard* PageoutDaemon::ShardForQueue(const PageQueue* q) const {
+  for (const auto& shard : shards_) {
+    if (&shard->active == q || &shard->inactive == q) {
+      return shard.get();
+    }
+  }
+  return nullptr;
+}
+
+FrameMagazine* PageoutDaemon::ThreadMagazine() const {
+  return tls_magazine_daemon == this ? tls_magazine : nullptr;
+}
+
+void PageoutDaemon::AttachThreadMagazine(FrameMagazine* magazine) {
+  HIPEC_CHECK_MSG(magazine->pool() == &pool_, "magazine belongs to another pool");
+  tls_magazine = magazine;
+  tls_magazine_daemon = this;
+}
+
+void PageoutDaemon::DetachThreadMagazine() {
+  tls_magazine = nullptr;
+  tls_magazine_daemon = nullptr;
 }
 
 void PageoutDaemon::AddBootFrame(VmPage* page) {
@@ -39,43 +105,71 @@ void PageoutDaemon::AddBootFrame(VmPage* page) {
 }
 
 void PageoutDaemon::Balance() {
-  sim::ScopedLock lock(mu_);
-  BalanceLocked();
-}
-
-void PageoutDaemon::BalanceLocked() {
   sim::Nanos now = kernel_->clock().now();
   size_t examined = 0;
+  size_t home = HomeShard();
 
-  // Refill the inactive queue from the active queue, clearing reference bits so a second
-  // reference can be detected (the "second chance").
-  while (inactive_.count() < targets_.inactive_target && !active_.empty()) {
-    VmPage* page = active_.DequeueHead();
-    page->reference = false;
-    inactive_.EnqueueTail(page, now);
-    ++examined;
+  // Phase 1: refill the inactive queues from the active queues, clearing reference bits so
+  // a second reference can be detected (the "second chance"). The inactive target is global:
+  // each shard contributes until the pooled total reaches it, home shard first, stealing
+  // from siblings' active queues when home runs dry — the free pool's drain discipline.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (inactive_total_.load(std::memory_order_relaxed) >= targets_.inactive_target) {
+      break;
+    }
+    QueueShard& shard = *shards_[(home + i) % shards_.size()];
+    sim::ScopedLock lock(shard.mu);
+    while (inactive_total_.load(std::memory_order_relaxed) < targets_.inactive_target &&
+           !shard.active.empty()) {
+      VmPage* page = shard.active.head();
+      // Busy brackets the off-queue instant between the two queue stores so a racing
+      // Unqueue/ReactivateIfInactive never misreads "queue == nullptr" as off-every-queue.
+      page->busy.store(true, std::memory_order_release);
+      shard.active.Remove(page);
+      active_total_.fetch_sub(1, std::memory_order_relaxed);
+      page->reference = false;
+      shard.inactive.EnqueueTail(page, now);
+      page->busy.store(false, std::memory_order_release);
+      inactive_total_.fetch_add(1, std::memory_order_relaxed);
+      ++examined;
+    }
   }
 
-  // Refill the free pool from the inactive queue.
-  while (pool_.count() < targets_.free_target && !inactive_.empty()) {
-    VmPage* page = inactive_.DequeueHead();
-    ++examined;
-    if (page->reference) {
-      // Referenced while inactive: give it a second chance on the active queue.
-      page->reference = false;
-      active_.EnqueueTail(page, now);
-      counters_.Add(kCtrSecondChances);
-      continue;
+  // Phase 2: refill the free pool from the inactive queues.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (pool_.count() >= targets_.free_target) {
+      break;
     }
-    if (!kernel_->EvictPage(page, /*flush_if_dirty=*/true)) {
-      // Real-threads mode only: the mapping task's lock was busy (try edge). Park the page
-      // on the active queue and move on; the inactive queue shrank, so the loop terminates.
-      active_.EnqueueTail(page, now);
-      counters_.Add(kCtrEvictLockMisses);
-      continue;
+    QueueShard& shard = *shards_[(home + i) % shards_.size()];
+    sim::ScopedLock lock(shard.mu);
+    while (pool_.count() < targets_.free_target && !shard.inactive.empty()) {
+      VmPage* page = shard.inactive.head();
+      page->busy.store(true, std::memory_order_release);
+      shard.inactive.Remove(page);
+      inactive_total_.fetch_sub(1, std::memory_order_relaxed);
+      ++examined;
+      if (page->reference) {
+        // Referenced while inactive: give it a second chance on the active queue.
+        page->reference = false;
+        shard.active.EnqueueTail(page, now);
+        active_total_.fetch_add(1, std::memory_order_relaxed);
+        page->busy.store(false, std::memory_order_release);
+        counters_.Add(kCtrSecondChances);
+        continue;
+      }
+      if (!kernel_->EvictPage(page, /*flush_if_dirty=*/true)) {
+        // Real-threads mode only: the mapping task's lock was busy (try edge). Park the page
+        // on the active queue and move on; the inactive queue shrank, so the loop terminates.
+        shard.active.EnqueueTail(page, now);
+        active_total_.fetch_add(1, std::memory_order_relaxed);
+        page->busy.store(false, std::memory_order_release);
+        counters_.Add(kCtrEvictLockMisses);
+        continue;
+      }
+      pool_.Put(page, now);
+      page->busy.store(false, std::memory_order_release);
+      counters_.Add(kCtrEvictions);
     }
-    pool_.Put(page, now);
-    counters_.Add(kCtrEvictions);
   }
 
   counters_.Add(kCtrBalanceRuns);
@@ -88,35 +182,52 @@ VmPage* PageoutDaemon::AllocForFault() {
     Balance();
     // The free pool ran dry while serving a non-specific fault: that is memory pressure.
     // Tell the HiPEC layer (it may adapt partition_burst and reclaim specific frames).
-    // Deliberately outside mu_: the notification re-enters the frame manager at rank
-    // kManager < kDaemon, which would invert the hierarchy under the daemon lock.
+    // Deliberately outside any daemon lock: the notification re-enters the frame manager at
+    // rank kManager < kDaemon, which would invert the hierarchy under a shard lock.
     kernel_->NotifyMemoryPressure();
   }
-  VmPage* page = pool_.Take();
+  FrameMagazine* magazine = ThreadMagazine();
+  VmPage* page = magazine != nullptr ? magazine->Take(kernel_->clock().now()) : pool_.Take();
   if (page == nullptr) {
-    sim::ScopedLock lock(mu_);
-    BalanceLocked();
+    Balance();
     page = pool_.Take();
     if (page == nullptr) {
-      // Desperation: reclaim ignoring reference bits. EvictPage can fail only in
-      // real-threads mode (task-lock try edge); park such pages on the active queue and
-      // keep scanning — each iteration shortens inactive_ + active_ or succeeds.
-      size_t budget = inactive_.count() + active_.count();
+      // Desperation: reclaim ignoring reference bits, shard by shard from home. EvictPage
+      // can fail only in real-threads mode (task-lock try edge); park such pages on the
+      // active queue and keep scanning. The per-shard budget (snapshot of its population)
+      // bounds the walk: each iteration either succeeds or re-parks a page we will not
+      // re-examine within budget, so the loop terminates.
       sim::Nanos now = kernel_->clock().now();
-      for (size_t i = 0; i < budget && page == nullptr; ++i) {
-        VmPage* victim = inactive_.DequeueHead();
-        if (victim == nullptr) {
-          victim = active_.DequeueHead();
-        }
-        if (victim == nullptr) {
-          break;
-        }
-        if (kernel_->EvictPage(victim, /*flush_if_dirty=*/true)) {
-          counters_.Add(kCtrDesperationReclaims);
-          page = victim;
-        } else {
-          active_.EnqueueTail(victim, now);
-          counters_.Add(kCtrEvictLockMisses);
+      size_t home = HomeShard();
+      for (size_t i = 0; i < shards_.size() && page == nullptr; ++i) {
+        QueueShard& shard = *shards_[(home + i) % shards_.size()];
+        sim::ScopedLock lock(shard.mu);
+        size_t budget = shard.inactive.count() + shard.active.count();
+        for (size_t j = 0; j < budget && page == nullptr; ++j) {
+          bool from_inactive = !shard.inactive.empty();
+          VmPage* victim = from_inactive ? shard.inactive.head() : shard.active.head();
+          if (victim == nullptr) {
+            break;
+          }
+          victim->busy.store(true, std::memory_order_release);
+          (from_inactive ? shard.inactive : shard.active).Remove(victim);
+          if (from_inactive) {
+            inactive_total_.fetch_sub(1, std::memory_order_relaxed);
+          } else {
+            active_total_.fetch_sub(1, std::memory_order_relaxed);
+          }
+          if (kernel_->EvictPage(victim, /*flush_if_dirty=*/true)) {
+            counters_.Add(kCtrDesperationReclaims);
+            page = victim;
+            // Stays busy=false-after-clear but off-queue: it now belongs to the faulting
+            // thread, and nothing else can reach it until it is re-entered into an object.
+            victim->busy.store(false, std::memory_order_release);
+          } else {
+            shard.active.EnqueueTail(victim, now);
+            active_total_.fetch_add(1, std::memory_order_relaxed);
+            victim->busy.store(false, std::memory_order_release);
+            counters_.Add(kCtrEvictLockMisses);
+          }
         }
       }
     }
@@ -128,9 +239,11 @@ VmPage* PageoutDaemon::AllocForFault() {
 }
 
 bool PageoutDaemon::AllocFramesForManager(size_t n, PageQueue* out, void* owner) {
-  sim::ScopedLock lock(mu_);
+  // No daemon-wide lock exists anymore; the GlobalFrameManager's own lock (rank kManager)
+  // serializes every caller of this path, and the collect-commit-rollback below already
+  // tolerated fault threads racing the pool, so nothing further is needed.
   if (AvailableForManager() < n) {
-    BalanceLocked();
+    Balance();
   }
   if (AvailableForManager() < n) {
     return false;
@@ -162,33 +275,95 @@ bool PageoutDaemon::AllocFramesForManager(size_t n, PageQueue* out, void* owner)
 }
 
 void PageoutDaemon::ReturnFrame(VmPage* page) {
-  HIPEC_CHECK_MSG(page->queue == nullptr, "frame still on a queue");
+  HIPEC_CHECK_MSG(page->queue.load(std::memory_order_relaxed) == nullptr,
+                  "frame still on a queue");
   HIPEC_CHECK_MSG(page->object == nullptr, "frame still resident in an object");
   HIPEC_CHECK_MSG(!page->has_mapping, "frame still mapped");
   page->owner = nullptr;
   page->reference = false;
   page->modified = false;
   page->wired = false;
-  pool_.Put(page, kernel_->clock().now());
+  sim::Nanos now = kernel_->clock().now();
+  FrameMagazine* magazine = ThreadMagazine();
+  if (magazine != nullptr) {
+    magazine->Put(page, now);
+  } else {
+    pool_.Put(page, now);
+  }
 }
 
 void PageoutDaemon::Activate(VmPage* page) {
-  sim::ScopedLock lock(mu_);
-  active_.EnqueueTail(page, kernel_->clock().now());
+  QueueShard& shard = *shards_[HomeShard()];
+  sim::ScopedLock lock(shard.mu);
+  shard.active.EnqueueTail(page, kernel_->clock().now());
+  active_total_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void PageoutDaemon::ReactivateIfInactive(VmPage* page) {
-  sim::ScopedLock lock(mu_);
-  if (page->queue == &inactive_) {
-    inactive_.Remove(page);
-    active_.EnqueueTail(page, kernel_->clock().now());
+  for (;;) {
+    PageQueue* q = page->queue.load(std::memory_order_acquire);
+    if (q == nullptr) {
+      if (page->busy.load(std::memory_order_acquire)) {
+        // Mid-transition inside a balance pass; it cannot evict (we hold the mapping task's
+        // lock), so the page lands on a daemon queue momentarily. Wait it out.
+        std::this_thread::yield();
+        continue;
+      }
+      // Stable off-queue (e.g. wired): nothing to reactivate.
+      if (page->queue.load(std::memory_order_acquire) == nullptr) {
+        return;
+      }
+      continue;
+    }
+    QueueShard* shard = ShardForQueue(q);
+    if (shard == nullptr || q != &shard->inactive) {
+      // On an active queue, a container queue, or the free pool: not our business.
+      return;
+    }
+    sim::ScopedLock lock(shard->mu);
+    if (page->queue.load(std::memory_order_relaxed) != q) {
+      continue;  // Moved between the resolve and the lock; retry.
+    }
+    shard->inactive.Remove(page);
+    inactive_total_.fetch_sub(1, std::memory_order_relaxed);
+    shard->active.EnqueueTail(page, kernel_->clock().now());
+    active_total_.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
 }
 
 void PageoutDaemon::Unqueue(VmPage* page) {
-  sim::ScopedLock lock(mu_);
-  if (page->queue != nullptr) {
-    page->queue->Remove(page);
+  for (;;) {
+    PageQueue* q = page->queue.load(std::memory_order_acquire);
+    if (q == nullptr) {
+      if (page->busy.load(std::memory_order_acquire)) {
+        // In flight between daemon queues; the holder cannot evict it (the caller holds the
+        // mapping task's lock), so it will reappear on a queue. Spin past the window.
+        std::this_thread::yield();
+        continue;
+      }
+      if (page->queue.load(std::memory_order_acquire) == nullptr) {
+        return;  // Genuinely off every queue.
+      }
+      continue;
+    }
+    QueueShard* shard = ShardForQueue(q);
+    if (shard == nullptr) {
+      // A container/private queue, which the caller's task lock already guards.
+      q->Remove(page);
+      return;
+    }
+    sim::ScopedLock lock(shard->mu);
+    if (page->queue.load(std::memory_order_relaxed) != q) {
+      continue;  // Raced with a balance move; resolve again.
+    }
+    q->Remove(page);
+    if (q == &shard->active) {
+      active_total_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      inactive_total_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
   }
 }
 
@@ -198,14 +373,28 @@ size_t PageoutDaemon::AvailableForManager() const {
   return free > targets_.free_min ? free - targets_.free_min : 0;
 }
 
-size_t PageoutDaemon::active_count() const {
-  sim::ScopedLock lock(mu_);
-  return active_.count();
+bool PageoutDaemon::OwnsActiveQueue(const PageQueue* q) const {
+  if (q == nullptr) {
+    return false;
+  }
+  for (const auto& shard : shards_) {
+    if (&shard->active == q) {
+      return true;
+    }
+  }
+  return false;
 }
 
-size_t PageoutDaemon::inactive_count() const {
-  sim::ScopedLock lock(mu_);
-  return inactive_.count();
+bool PageoutDaemon::OwnsInactiveQueue(const PageQueue* q) const {
+  if (q == nullptr) {
+    return false;
+  }
+  for (const auto& shard : shards_) {
+    if (&shard->inactive == q) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace hipec::mach

@@ -4,15 +4,11 @@
 
 namespace hipec::mach {
 
-void Pmap::EnsureTask(Task* task) {
-  maps_[task->id()];
-}
-
 void Pmap::Enter(Task* task, uint64_t vaddr, VmPage* page, bool write_protected) {
   HIPEC_CHECK_MSG(!page->has_mapping,
                   "frame " << page->frame_number << " is already mapped (single-mapping model)");
-  auto& task_map = maps_[task->id()];
-  auto [it, inserted] = task_map.emplace(Vpn(vaddr), Translation{page, write_protected});
+  auto [it, inserted] =
+      task->pmap_translations().emplace(Vpn(vaddr), PmapTranslation{page, write_protected});
   HIPEC_CHECK_MSG(inserted, "vaddr already translated");
   page->has_mapping = true;
   page->mapped_task = task;
@@ -21,21 +17,16 @@ void Pmap::Enter(Task* task, uint64_t vaddr, VmPage* page, bool write_protected)
 }
 
 VmPage* Pmap::Lookup(const Task* task, uint64_t vaddr) const {
-  auto tm = maps_.find(task->id());
-  if (tm == maps_.end()) {
-    return nullptr;
-  }
-  auto it = tm->second.find(Vpn(vaddr));
-  return it == tm->second.end() ? nullptr : it->second.page;
+  const auto& table = task->pmap_translations();
+  auto it = table.find(Vpn(vaddr));
+  return it == table.end() ? nullptr : it->second.page;
 }
 
 void Pmap::RemovePage(VmPage* page) {
   if (!page->has_mapping) {
     return;
   }
-  auto tm = maps_.find(page->mapped_task->id());
-  HIPEC_CHECK(tm != maps_.end());
-  size_t erased = tm->second.erase(Vpn(page->mapped_vaddr));
+  size_t erased = page->mapped_task->pmap_translations().erase(Vpn(page->mapped_vaddr));
   HIPEC_CHECK(erased == 1);
   page->has_mapping = false;
   page->mapped_task = nullptr;
@@ -44,30 +35,23 @@ void Pmap::RemovePage(VmPage* page) {
 }
 
 void Pmap::RemoveTask(Task* task) {
-  auto tm = maps_.find(task->id());
-  if (tm == maps_.end()) {
-    return;
-  }
-  for (auto& [vpn, translation] : tm->second) {
+  for (auto& [vpn, translation] : task->pmap_translations()) {
     VmPage* page = translation.page;
     page->has_mapping = false;
     page->mapped_task = nullptr;
     page->mapped_vaddr = 0;
     count_.fetch_sub(1, std::memory_order_relaxed);
   }
-  // Keep the (now empty) outer slot: concurrent lookups in other tasks must never observe
-  // a rehash of the outer table (see class comment in pmap.h).
-  tm->second.clear();
+  task->pmap_translations().clear();
 }
 
 bool Pmap::IsWriteProtected(const VmPage* page) const {
   if (!page->has_mapping) {
     return false;
   }
-  auto tm = maps_.find(page->mapped_task->id());
-  HIPEC_CHECK(tm != maps_.end());
-  auto it = tm->second.find(Vpn(page->mapped_vaddr));
-  HIPEC_CHECK(it != tm->second.end());
+  const auto& table = page->mapped_task->pmap_translations();
+  auto it = table.find(Vpn(page->mapped_vaddr));
+  HIPEC_CHECK(it != table.end());
   return it->second.write_protected;
 }
 

@@ -8,7 +8,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <unordered_map>
 
 #include "mach/vm_map.h"
 #include "mach/vm_page.h"
@@ -17,19 +16,16 @@ namespace hipec::mach {
 
 // Thread-safety contract (DESIGN.md §10): translations of a task are guarded by that task's
 // rank-kTask lock, which every mutator of those translations holds (fault path blocking,
-// manager/daemon via try_lock through the page's mapped_task). The outer per-task table is
-// made structurally stable under concurrency by EnsureTask(): the kernel pre-creates each
-// task's slot at CreateTask time and RemoveTask() clears the inner map but keeps the slot,
-// so concurrent lookups never race a rehash of the outer table.
+// manager/daemon via try_lock through the page's mapped_task). The tables themselves live
+// inside each Task (Task::pmap_translations), so there is no shared pmap-wide structure:
+// task creation — which happens mid-run under the M:N scheduler — never resizes anything a
+// concurrent fault in another task could be reading. This class is just the protocol
+// (single-mapping checks, the VmPage mapping back-pointers, the global mapping count).
 class Pmap {
  public:
   Pmap() = default;
   Pmap(const Pmap&) = delete;
   Pmap& operator=(const Pmap&) = delete;
-
-  // Pre-creates the (empty) translation table for `task`. Called at CreateTask, before the
-  // task can fault, so Enter/Lookup never insert into the outer table concurrently.
-  void EnsureTask(Task* task);
 
   // Installs a translation. The page must not currently be mapped anywhere.
   // `write_protected` records that writes through this mapping must fault.
@@ -38,7 +34,8 @@ class Pmap {
   // Translation lookup; nullptr on miss.
   VmPage* Lookup(const Task* task, uint64_t vaddr) const;
 
-  // Tears down the translation for `page` (no-op if unmapped).
+  // Tears down the translation for `page` (no-op if unmapped). Resolves the owning task
+  // through the page's mapping back-pointer; the caller holds that task's lock.
   void RemovePage(VmPage* page);
 
   // Tears down all translations of a task; pages become unmapped but stay resident.
@@ -52,14 +49,6 @@ class Pmap {
  private:
   static uint64_t Vpn(uint64_t vaddr) { return vaddr >> kPageShift; }
 
-  struct Translation {
-    VmPage* page;
-    bool write_protected;
-  };
-
-  // task id -> (virtual page number -> translation). Outer entries are created by
-  // EnsureTask and never erased (see class comment).
-  std::unordered_map<uint64_t, std::unordered_map<uint64_t, Translation>> maps_;
   std::atomic<size_t> count_{0};
 };
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 
 #include "mach/vm_object.h"
 #include "sim/lock.h"
@@ -74,6 +75,16 @@ class VmMap {
 // manager and daemon reach it only via try_lock (DESIGN.md §10). The terminated flag is a
 // relaxed atomic so the checker and other tasks' fault paths can poll it lock-free; the
 // reason string is written once, under the task lock, before the flag is raised.
+// One virtual-to-physical translation (mach/pmap.h). Stored inside the owning Task rather
+// than in a shared pmap-wide table: tasks are created while other tasks fault concurrently
+// (the M:N scheduler admits tenants throughout a run), and a shared id-keyed outer map would
+// rehash under readers. Per-task storage is guarded by the task's own kTask lock like the
+// rest of its address-space state, and needs no global structure at all.
+struct PmapTranslation {
+  VmPage* page;
+  bool write_protected;
+};
+
 class Task {
  public:
   Task(uint64_t id, std::string name) : id_(id), name_(std::move(name)) {}
@@ -84,6 +95,15 @@ class Task {
   const std::string& name() const { return name_; }
   VmMap& map() { return map_; }
   const VmMap& map() const { return map_; }
+
+  // The task's translation table (virtual page number -> translation), written only by
+  // Pmap with this task's mutex held.
+  std::unordered_map<uint64_t, PmapTranslation>& pmap_translations() {
+    return pmap_translations_;
+  }
+  const std::unordered_map<uint64_t, PmapTranslation>& pmap_translations() const {
+    return pmap_translations_;
+  }
 
   sim::OrderedMutex& mutex() const { return mu_; }
 
@@ -102,6 +122,7 @@ class Task {
   std::string name_;
   mutable sim::OrderedMutex mu_{sim::LockRank::kTask};
   VmMap map_;
+  std::unordered_map<uint64_t, PmapTranslation> pmap_translations_;
   std::atomic<bool> terminated_{false};
   std::string termination_reason_;
 };

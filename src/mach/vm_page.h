@@ -7,6 +7,7 @@
 #ifndef HIPEC_MACH_VM_PAGE_H_
 #define HIPEC_MACH_VM_PAGE_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "sim/clock.h"
@@ -28,14 +29,23 @@ struct VmPage {
   VmObject* object = nullptr;
   uint64_t offset = 0;  // page-aligned byte offset within `object`
 
-  // Replacement-queue linkage (intrusive, owned by PageQueue).
+  // Replacement-queue linkage (intrusive, owned by PageQueue). `queue` is atomic because the
+  // sharded pageout daemon resolves a page's shard from it *before* taking that shard's lock
+  // (then re-checks under the lock); the links themselves are only ever touched under the
+  // lock guarding the owning queue. All PageQueue-internal accesses are relaxed — the shard
+  // mutexes order the transitions; the atomic only makes the pre-lock read well-defined.
   VmPage* q_prev = nullptr;
   VmPage* q_next = nullptr;
-  PageQueue* queue = nullptr;
+  std::atomic<PageQueue*> queue{nullptr};
 
   // State bits.
   bool wired = false;     // never paged (kernel memory, command buffers, pinned tables)
-  bool busy = false;      // I/O in flight
+  // In flight between daemon queues: set (release) by a balance/desperation pass that holds a
+  // page off-queue momentarily while deciding its fate, cleared (release) once the page has
+  // landed. Unqueue() — called with the mapping task's lock held, which pins the page's
+  // residency — spins on it so "queue == nullptr" is never mistaken for "off every queue"
+  // while a concurrent balance pass is mid-transition.
+  std::atomic<bool> busy{false};
   bool reference = false;  // pmap-emulated reference bit
   bool modified = false;   // pmap-emulated modify (dirty) bit
 

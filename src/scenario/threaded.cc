@@ -22,7 +22,8 @@ using mach::kPageSize;
 namespace {
 
 // Runtime state for one tenant worker. The thread that runs the trace is the only writer of
-// everything here except the container counters snapshotted into `result` (see Snapshot).
+// everything here except the container counters snapshotted into `result` (see Snapshot) and
+// teardown_requested, which the control loop sets from the main thread.
 struct Worker {
   TenantSpec spec;
   TenantResult result;
@@ -31,6 +32,7 @@ struct Worker {
   core::HipecRegion region;
   uint64_t addr = 0;
   uint64_t container_id = 0;
+  std::atomic<bool> teardown_requested{false};
 };
 
 // Copies the container's live counters into the worker's result. Taken under the owning
@@ -57,10 +59,19 @@ void Snapshot(Worker& w) {
 }
 
 // One tenant thread: runs the whole trace, snapshotting counters every 32 accesses (and once
-// at the end) so the numbers survive a checker kill or a policy-error termination.
+// at the end) so the numbers survive a checker kill or a policy-error termination. A
+// mid-scenario teardown injection deallocates the region from this thread — the address
+// becomes invalid, so the control loop only sets the flag and the owner acts on it.
 void RunWorker(mach::Kernel* kernel, Worker& w) {
   while (w.result.accesses_done < w.trace.size()) {
     if (w.task->terminated()) {
+      break;
+    }
+    if (w.teardown_requested.load(std::memory_order_acquire)) {
+      Snapshot(w);
+      sim::SharedWorldGuard world(kernel->world());
+      kernel->VmDeallocate(w.task, w.addr);
+      w.result.torn_down = true;
       break;
     }
     const auto& [page, is_write] = w.trace[w.result.accesses_done];
@@ -78,6 +89,56 @@ void RunWorker(mach::Kernel* kernel, Worker& w) {
   } else if (w.result.accesses_done == w.trace.size()) {
     w.result.completed = true;
   }
+}
+
+// Registers one tenant: task, specific region (or the non-specific fallback), trace. Under
+// the world lock when called with workers already running (injections).
+void RegisterWorker(mach::Kernel* kernel, core::HipecEngine* engine, Worker& w) {
+  w.task = kernel->CreateTask(w.spec.name);
+  core::HipecOptions options;
+  options.min_frames = w.spec.min_frames;
+  options.timeout_ns = w.spec.timeout_ns;
+  options.request_size = w.spec.request_size;
+  options.free_target = 4;
+  options.inactive_target = 8;
+  options.reserved_target = 0;
+  if (w.spec.policy == PolicyKind::kTwoQueue) {
+    options.user_queue_count = 2;
+  }
+  w.region = engine->VmAllocateHipec(w.task, w.spec.pages * kPageSize,
+                                     MakePolicy(w.spec.policy), options);
+  w.result.admitted = w.region.ok;
+  if (w.region.ok) {
+    w.addr = w.region.addr;
+    w.container_id = w.region.container->id();
+  } else {
+    // Admission denied: runs non-specific (§4.3.1), still generating global pressure.
+    w.addr = kernel->VmAllocate(w.task, w.spec.pages * kPageSize);
+  }
+}
+
+// The spec an injected tenant materializes as; mirrors the deterministic driver's
+// SetUpTenants so both injection layers perturb with the same tenant shapes.
+TenantSpec InjectedTenantSpec(const InjectionSpec& inj, int ordinal) {
+  TenantSpec spec;
+  if (inj.kind == InjectionKind::kPolicyLoop) {
+    spec.name = "inject-loop-" + std::to_string(ordinal);
+    spec.policy = PolicyKind::kLooping;
+    spec.pattern = PatternKind::kSequential;
+    spec.write_fraction = 0.0;
+    // A looping policy only ends via the security checker; a short fuse lands the kill
+    // within the scenario instead of after every honest tenant has finished.
+    spec.timeout_ns = 50 * sim::kMillisecond;
+  } else {
+    spec.name = "inject-flusher-" + std::to_string(ordinal);
+    spec.policy = PolicyKind::kGreedy;
+    spec.pattern = PatternKind::kBursty;
+    spec.write_fraction = 0.95;
+  }
+  spec.pages = inj.pages;
+  spec.min_frames = inj.min_frames;
+  spec.accesses = inj.accesses;
+  return spec;
 }
 
 }  // namespace
@@ -105,61 +166,122 @@ ThreadedScenarioResult RunThreadedScenario(const ThreadedScenarioSpec& spec) {
     killed.insert(container_id);
   });
 
-  std::vector<Worker> workers;
-  workers.reserve(spec.tenants.size());
+  // unique_ptrs: Worker carries an atomic (teardown_requested) and must stay put once its
+  // thread holds a reference; injected workers are appended while others run.
+  std::vector<std::unique_ptr<Worker>> workers;
+  size_t injected_slots = 0;
+  for (const InjectionSpec& inj : spec.injections) {
+    if (inj.kind == InjectionKind::kPolicyLoop ||
+        inj.kind == InjectionKind::kReserveStarvation) {
+      ++injected_slots;
+    }
+  }
+  workers.reserve(spec.tenants.size() + injected_slots);
   uint64_t ordinal = 0;
   for (const TenantSpec& tenant : spec.tenants) {
-    Worker w;
-    w.spec = tenant;
-    w.result.name = tenant.name;
-    w.trace = MaterializeTrace(tenant, spec.seed, ordinal++);
+    auto w = std::make_unique<Worker>();
+    w->spec = tenant;
+    w->result.name = tenant.name;
+    w->trace = MaterializeTrace(tenant, spec.seed, ordinal++);
     workers.push_back(std::move(w));
   }
 
   // Registration is sequential, from this thread: admission against the burst watermark is
   // decided in spec order even though everything after this point is scheduler-dependent.
-  for (Worker& w : workers) {
-    w.task = kernel->CreateTask(w.spec.name);
-    core::HipecOptions options;
-    options.min_frames = w.spec.min_frames;
-    options.timeout_ns = w.spec.timeout_ns;
-    options.request_size = w.spec.request_size;
-    options.free_target = 4;
-    options.inactive_target = 8;
-    options.reserved_target = 0;
-    if (w.spec.policy == PolicyKind::kTwoQueue) {
-      options.user_queue_count = 2;
-    }
-    w.region = engine->VmAllocateHipec(w.task, w.spec.pages * kPageSize,
-                                       MakePolicy(w.spec.policy), options);
-    w.result.admitted = w.region.ok;
-    if (w.region.ok) {
-      w.addr = w.region.addr;
-      w.container_id = w.region.container->id();
-    } else {
-      // Admission denied: runs non-specific (§4.3.1), still generating global pressure.
-      w.addr = kernel->VmAllocate(w.task, w.spec.pages * kPageSize);
-    }
+  for (auto& w : workers) {
+    RegisterWorker(kernel.get(), engine.get(), *w);
   }
 
   std::atomic<size_t> live{workers.size()};
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
-  threads.reserve(workers.size());
-  for (Worker& w : workers) {
-    threads.emplace_back([&kernel, &live, &w] {
-      RunWorker(kernel.get(), w);
+  threads.reserve(workers.size() + injected_slots);
+  for (auto& w : workers) {
+    Worker& worker = *w;
+    threads.emplace_back([&kernel, &live, &worker] {
+      RunWorker(kernel.get(), worker);
       live.fetch_sub(1, std::memory_order_release);
     });
   }
 
-  // Stop-the-world audit loop. A violation is recorded, not thrown, so the workers are always
-  // joined before the failure propagates.
+  // Injection schedule: wall-clock events (ms since start), replayed by the control loop.
+  struct Event {
+    int at_ms;
+    bool clear_spike;
+    const InjectionSpec* inj;
+    int ordinal;
+  };
+  std::vector<Event> events;
+  int inject_ordinal = 0;
+  for (const InjectionSpec& inj : spec.injections) {
+    int ord = -1;
+    if (inj.kind == InjectionKind::kPolicyLoop ||
+        inj.kind == InjectionKind::kReserveStarvation) {
+      ord = inject_ordinal++;
+    }
+    events.push_back({inj.at_step, false, &inj, ord});
+    if (inj.kind == InjectionKind::kDiskLatencySpike) {
+      events.push_back({inj.at_step + inj.duration_steps, true, &inj, -1});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.at_ms < b.at_ms; });
+  size_t next_event = 0;
+  auto elapsed_ms = [&start] {
+    return static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+  };
+
+  // Control loop: injections + stop-the-world audits. A violation is recorded, not thrown,
+  // so the workers are always joined before the failure propagates.
   int64_t audits = 0;
   std::string violation;
-  while (live.load(std::memory_order_acquire) > 0) {
+  while (live.load(std::memory_order_acquire) > 0 || next_event < events.size()) {
     std::this_thread::sleep_for(
-        std::chrono::milliseconds(spec.audit ? spec.audit_interval_ms : 1));
+        std::chrono::milliseconds(std::max(1, spec.audit ? spec.audit_interval_ms : 1)));
+    bool workers_done = live.load(std::memory_order_acquire) == 0;
+    while (next_event < events.size() && events[next_event].at_ms <= elapsed_ms()) {
+      const Event& ev = events[next_event++];
+      if (ev.clear_spike) {
+        kernel->disk().InjectReadLatency(0);
+        continue;
+      }
+      switch (ev.inj->kind) {
+        case InjectionKind::kDiskLatencySpike:
+          kernel->disk().InjectReadLatency(ev.inj->extra_latency_ns);
+          break;
+        case InjectionKind::kTeardown:
+          if (ev.inj->tenant_index < workers.size()) {
+            workers[ev.inj->tenant_index]->teardown_requested.store(
+                true, std::memory_order_release);
+          }
+          break;
+        case InjectionKind::kPolicyLoop:
+        case InjectionKind::kReserveStarvation: {
+          if (workers_done) {
+            break;  // nobody left to perturb; don't spawn tenants into an ending run
+          }
+          auto w = std::make_unique<Worker>();
+          w->spec = InjectedTenantSpec(*ev.inj, ev.ordinal);
+          w->result.name = w->spec.name;
+          w->result.injected = true;
+          w->trace = MaterializeTrace(w->spec, spec.seed, ordinal++);
+          Worker& worker = *w;
+          {
+            sim::SharedWorldGuard world(kernel->world());
+            RegisterWorker(kernel.get(), engine.get(), worker);
+          }
+          live.fetch_add(1, std::memory_order_release);
+          workers.push_back(std::move(w));
+          threads.emplace_back([&kernel, &live, &worker] {
+            RunWorker(kernel.get(), worker);
+            live.fetch_sub(1, std::memory_order_release);
+          });
+          break;
+        }
+      }
+    }
     if (!spec.audit || !violation.empty() || live.load(std::memory_order_acquire) == 0) {
       continue;
     }
@@ -170,6 +292,7 @@ ThreadedScenarioResult RunThreadedScenario(const ThreadedScenarioSpec& spec) {
     }
     ++audits;
   }
+  kernel->disk().InjectReadLatency(0);  // never let a spike outlive the schedule
   for (std::thread& t : threads) {
     t.join();
   }
@@ -181,12 +304,12 @@ ThreadedScenarioResult RunThreadedScenario(const ThreadedScenarioSpec& spec) {
   ThreadedScenarioResult result;
   result.name = spec.name;
   result.threads = workers.size();
-  for (Worker& w : workers) {
-    Snapshot(w);
-    if (!w.task->terminated()) {
-      kernel->TerminateTask(w.task, "threaded scenario end");
+  for (auto& w : workers) {
+    Snapshot(*w);
+    if (!w->task->terminated()) {
+      kernel->TerminateTask(w->task, "threaded scenario end");
     }
-    result.total_accesses += w.result.accesses_done;
+    result.total_accesses += w->result.accesses_done;
   }
   kernel->disk().DrainWrites();
 
@@ -203,8 +326,8 @@ ThreadedScenarioResult RunThreadedScenario(const ThreadedScenarioSpec& spec) {
   {
     std::lock_guard<std::mutex> lk(kills_mu);
     result.checker_kills = static_cast<int64_t>(killed.size());
-    for (Worker& w : workers) {
-      w.result.killed_by_checker = w.container_id != 0 && killed.contains(w.container_id);
+    for (auto& w : workers) {
+      w->result.killed_by_checker = w->container_id != 0 && killed.contains(w->container_id);
     }
   }
   result.audits_run = audits;
@@ -215,8 +338,8 @@ ThreadedScenarioResult RunThreadedScenario(const ThreadedScenarioSpec& spec) {
     result.faults_per_sec = static_cast<double>(result.total_faults) / result.wall_seconds;
     result.accesses_per_sec = static_cast<double>(result.total_accesses) / result.wall_seconds;
   }
-  for (Worker& w : workers) {
-    result.tenants.push_back(w.result);
+  for (auto& w : workers) {
+    result.tenants.push_back(w->result);
   }
   return result;
 }

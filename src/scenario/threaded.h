@@ -4,7 +4,7 @@
 // the virtual clock.
 //
 // This is the concurrency counterpart of scenario.h's deterministic round-robin driver, and
-// deliberately simpler: no injections, no background tasks, no per-decision audit hook
+// deliberately simpler: no background tasks, no per-decision audit hook
 // (manager decisions complete thousands of times per second across threads). Instead the
 // calling thread periodically stops the world (kernel.world() exclusive, which waits out
 // every in-flight fault) and runs the same AuditFrameInvariants pass the deterministic
@@ -45,6 +45,11 @@ struct ThreadedScenarioSpec {
   // scheduling fields (arrival_step/departure_step) are ignored — every tenant starts
   // immediately and runs its whole trace.
   std::vector<TenantSpec> tenants;
+  // Fault injections, reinterpreted for wall-clock execution: at_step and duration_steps
+  // are milliseconds since the workers started. kDiskLatencySpike and kTeardown perturb the
+  // running system from the audit/control loop; kPolicyLoop and kReserveStarvation
+  // materialize an injected tenant at fire time, running on a freshly spawned thread.
+  std::vector<InjectionSpec> injections;
 };
 
 struct ThreadedScenarioResult {

@@ -22,20 +22,29 @@
 
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
 
 namespace hipec::sim {
 
 // Blocking acquisition order: a thread holding a lock of rank R may only block on locks of
 // rank strictly greater than R (recursion on the same lock excepted). See DESIGN.md §10 for
 // the edge-by-edge justification.
+//
+// Ranks shared by a family of peer locks (kDaemon's queue shards, kShard's free-pool shards,
+// kRunQueue's per-worker run queues) carry an implicit extra rule: peers never block on each
+// other. A thread holds at most one lock of such a rank at a time; taking a sibling is
+// either a fresh acquisition (nothing of the rank held — fine) or a try-lock (steal paths).
 enum class LockRank : int {
-  kEngine = 1,   // HipecEngine registration state (container ids, zone, task list)
-  kTask = 2,     // one per task/container: address map, pmap entries, container queues
-  kManager = 3,  // GlobalFrameManager: FAFR list, reserve/laundry, burst accounting
-  kDaemon = 4,   // PageoutDaemon: active/inactive queues, balancing
-  kShard = 5,    // one per free-pool shard: that shard's free queue
-  kDisk = 6,     // DiskModel: head position, write queue, latency RNG
-  kLeaf = 7,     // terminal locks that take nothing else: tracer ring, registries, zones
+  kEngine = 1,    // HipecEngine registration state (container ids, zone, task list)
+  kTask = 2,      // one per task/container: address map, pmap entries, container queues
+  kManager = 3,   // GlobalFrameManager: FAFR list, reserve/laundry, burst accounting
+  kDaemon = 4,    // one per pageout-daemon queue shard: that shard's active/inactive queues
+  kShard = 5,     // one per free-pool shard: that shard's free queue
+  kDisk = 6,      // DiskModel: head position, write queue, latency RNG
+  kLeaf = 7,      // terminal locks that take nothing else: tracer ring, registries, zones
+  kRunQueue = 8,  // one per M:N scheduler worker: its run queue. Terminal by construction —
+                  // a worker pops/pushes under it and NEVER calls into the kernel while
+                  // holding it; steals take a sibling via try-lock only.
 };
 
 class OrderedMutex {
@@ -114,6 +123,35 @@ class ScopedTryLock {
   }
   ScopedTryLock(const ScopedTryLock&) = delete;
   ScopedTryLock& operator=(const ScopedTryLock&) = delete;
+
+  bool owns() const { return owns_; }
+
+ private:
+  OrderedMutex* mu_;
+  bool owns_;
+};
+
+// Try-acquisition with bounded backoff: up to `attempts` try_locks with a scheduler yield
+// between them. Still rank-exempt — the caller handles failure — but a victim that is merely
+// *briefly* busy (mid-fault on another thread) no longer causes an instant skip, which is
+// the reclamation-starvation fix: a hot container cannot dodge every reclaim pass forever
+// just because single try_locks keep landing inside its fault windows. On a disabled mutex
+// (deterministic mode) the first attempt owns, exactly like ScopedTryLock.
+class ScopedBackoffTryLock {
+ public:
+  ScopedBackoffTryLock(OrderedMutex& mu, int attempts) : mu_(&mu), owns_(mu.try_lock()) {
+    for (int i = 1; !owns_ && i < attempts; ++i) {
+      std::this_thread::yield();
+      owns_ = mu_->try_lock();
+    }
+  }
+  ~ScopedBackoffTryLock() {
+    if (owns_) {
+      mu_->unlock();
+    }
+  }
+  ScopedBackoffTryLock(const ScopedBackoffTryLock&) = delete;
+  ScopedBackoffTryLock& operator=(const ScopedBackoffTryLock&) = delete;
 
   bool owns() const { return owns_; }
 

@@ -12,6 +12,11 @@
 #include <thread>
 #include <vector>
 
+#include <random>
+
+#include "mach/frame_pool.h"
+#include "mach/kernel.h"
+#include "mach/pageout_daemon.h"
 #include "obs/probe.h"
 #include "sim/clock.h"
 #include "sim/lock.h"
@@ -237,6 +242,226 @@ TEST(RealClockTest, ConcurrentScheduleCancelPollIsSafeAndExact) {
     clock.PollDue(/*fire_all=*/true);
   }
   EXPECT_EQ(fired.load(), static_cast<int>(expected));
+}
+
+// --- Sharded pageout daemon ----------------------------------------------------------------
+//
+// The daemon's active/inactive queues are sharded like the free pool (one OrderedMutex per
+// shard); these tests pin the shard-count policy, the magazine frame cache, and — the real
+// point — that 8 threads racing the fault/return/activate/balance paths never lose a frame.
+
+mach::KernelParams RealThreadsParams(uint64_t total_frames, uint64_t reserved) {
+  mach::KernelParams params;
+  params.total_frames = total_frames;
+  params.kernel_reserved_frames = reserved;
+  params.exec_mode = sim::ExecMode::kRealThreads;
+  return params;
+}
+
+// Checks per-shard queue sanity and that the lock-free count accessors match the queues.
+void ExpectDaemonQueuesConsistent(mach::PageoutDaemon& daemon) {
+  size_t active_sum = 0;
+  size_t inactive_sum = 0;
+  for (size_t i = 0; i < daemon.queue_shard_count(); ++i) {
+    ASSERT_EQ(daemon.active_queue(i).count(), daemon.active_queue(i).CountByTraversal());
+    ASSERT_EQ(daemon.inactive_queue(i).count(), daemon.inactive_queue(i).CountByTraversal());
+    active_sum += daemon.active_queue(i).count();
+    inactive_sum += daemon.inactive_queue(i).count();
+  }
+  EXPECT_EQ(daemon.active_count(), active_sum);
+  EXPECT_EQ(daemon.inactive_count(), inactive_sum);
+}
+
+TEST(PageoutDaemonShardingTest, DeterministicModeCollapsesToOneShard) {
+  // Byte-identical golden fingerprints depend on the deterministic build reproducing the
+  // single-queue daemon exactly; the shard-count default must therefore be 1 there.
+  mach::KernelParams params;
+  params.total_frames = 256;
+  params.kernel_reserved_frames = 32;
+  mach::Kernel kernel(params);
+  EXPECT_EQ(kernel.daemon().queue_shard_count(), 1u);
+}
+
+TEST(PageoutDaemonShardingTest, RealThreadsModeHonorsAndClampsShardRequests) {
+  {
+    mach::KernelParams params = RealThreadsParams(256, 32);
+    params.daemon_shards = 4;
+    mach::Kernel kernel(params);
+    EXPECT_EQ(kernel.daemon().queue_shard_count(), 4u);
+  }
+  {
+    mach::KernelParams params = RealThreadsParams(256, 32);
+    params.daemon_shards = 1024;  // absurd request clamps to the compile-time ceiling
+    mach::Kernel kernel(params);
+    EXPECT_EQ(kernel.daemon().queue_shard_count(), mach::PageoutDaemon::kMaxQueueShards);
+  }
+  {
+    mach::KernelParams params = RealThreadsParams(256, 32);
+    params.daemon_shards = 0;  // default: hardware_concurrency, clamped to [1, ceiling]
+    mach::Kernel kernel(params);
+    EXPECT_GE(kernel.daemon().queue_shard_count(), 1u);
+    EXPECT_LE(kernel.daemon().queue_shard_count(), mach::PageoutDaemon::kMaxQueueShards);
+  }
+}
+
+TEST(FrameMagazineTest, TakePutFlushConservesFrames) {
+  mach::KernelParams params = RealThreadsParams(256, 32);
+  mach::Kernel kernel(params);
+  mach::ShardedFramePool& pool = kernel.daemon().free_pool();
+  const size_t boot_free = pool.count();
+  const sim::Nanos now = kernel.clock().now();
+
+  mach::FrameMagazine magazine(&pool, /*capacity=*/8, "conctest_magazine");
+  // An empty magazine refills a half-capacity batch from the pool on the first Take.
+  mach::VmPage* page = magazine.Take(now);
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(magazine.count() + pool.count() + 1, boot_free);
+  magazine.Put(page, now);
+  // Cached frames still count as global_free in the conservation snapshot — the magazine
+  // registry lets Owns() classify them.
+  mach::FrameAccounting acc = kernel.ComputeFrameAccounting();
+  EXPECT_EQ(acc.unaccounted, 0u);
+  EXPECT_EQ(acc.global_free, boot_free);
+
+  // Overfilling past capacity spills half back to the pool instead of growing unbounded.
+  std::vector<mach::VmPage*> held;
+  while (mach::VmPage* p = pool.Take()) {
+    held.push_back(p);
+  }
+  for (mach::VmPage* p : held) {
+    magazine.Put(p, now);
+    EXPECT_LE(magazine.count(), magazine.capacity());
+  }
+  magazine.Flush(now);
+  EXPECT_EQ(magazine.count(), 0u);
+  EXPECT_EQ(pool.count(), boot_free);
+}
+
+TEST(PageoutDaemonShardingTest, EightThreadDirectAllocReturnBalanceHammer) {
+  // Races the daemon's raw entry points (no tasks, no mappings): AllocForFault,
+  // ReturnFrame, Activate, Balance, plus per-thread magazines on half the threads. Every
+  // frame must be back on a daemon-visible queue when the dust settles.
+  mach::KernelParams params = RealThreadsParams(512, 32);
+  params.daemon_shards = 4;
+  params.pageout.free_target = 64;
+  params.pageout.inactive_target = 128;
+  mach::Kernel kernel(params);
+  mach::PageoutDaemon& daemon = kernel.daemon();
+  const size_t boot_free = daemon.free_count();
+
+  HammerFromThreads(kThreads, [&](int t) {
+    std::unique_ptr<mach::FrameMagazine> magazine;
+    if (t % 2 == 0) {
+      magazine = std::make_unique<mach::FrameMagazine>(
+          &daemon.free_pool(), /*capacity=*/16, "hammer_magazine." + std::to_string(t));
+      daemon.AttachThreadMagazine(magazine.get());
+    }
+    std::mt19937_64 rng(static_cast<uint64_t>(t) * 7919 + 1);
+    std::vector<mach::VmPage*> held;
+    for (int i = 0; i < 4000; ++i) {
+      switch (rng() % 8) {
+        case 0:
+        case 1:
+        case 2:
+          if (mach::VmPage* p = daemon.AllocForFault()) {
+            held.push_back(p);
+          }
+          break;
+        case 3:
+        case 4:
+          if (!held.empty()) {
+            daemon.ReturnFrame(held.back());
+            held.pop_back();
+          }
+          break;
+        case 5:
+        case 6:
+          if (!held.empty()) {
+            // Hand the frame to the daemon's LRU queues; Balance cycles it back to the
+            // pool eventually (no mapping, so eviction always succeeds).
+            daemon.Activate(held.back());
+            held.pop_back();
+          }
+          break;
+        default:
+          daemon.Balance();
+          break;
+      }
+    }
+    for (mach::VmPage* p : held) {
+      daemon.ReturnFrame(p);
+    }
+    if (magazine != nullptr) {
+      daemon.DetachThreadMagazine();
+      magazine->Flush(kernel.clock().now());
+    }
+  });
+
+  ExpectDaemonQueuesConsistent(daemon);
+  EXPECT_EQ(daemon.free_count() + daemon.active_count() + daemon.inactive_count(),
+            boot_free);
+  mach::FrameAccounting acc = kernel.ComputeFrameAccounting();
+  EXPECT_EQ(acc.unaccounted, 0u);
+  EXPECT_EQ(acc.Sum(), acc.total);
+}
+
+TEST(PageoutDaemonShardingTest, EightTenantFaultEvictionChurnKeepsAccountingExact) {
+  // The full kernel paths under memory oversubscription: 8 tasks fault 1536 pages against
+  // 448 free frames, so every thread is simultaneously faulting (AllocForFault), evicting
+  // other tenants' pages (Balance + desperation), wiring (Unqueue), soft-faulting
+  // (ReactivateIfInactive), and tearing down regions mid-run.
+  mach::KernelParams params = RealThreadsParams(512, 64);
+  params.daemon_shards = 4;
+  params.pageout.free_target = 32;
+  params.pageout.free_min = 8;
+  params.pageout.inactive_target = 64;
+  mach::Kernel kernel(params);
+  using mach::kPageSize;
+
+  constexpr int kTenants = 8;
+  constexpr uint64_t kPagesPerTenant = 192;
+  std::vector<mach::Task*> tasks(kTenants);
+  std::vector<uint64_t> addrs(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    tasks[t] = kernel.CreateTask("hammer." + std::to_string(t));
+    addrs[t] = kernel.VmAllocate(tasks[t], kPagesPerTenant * kPageSize);
+  }
+
+  HammerFromThreads(kTenants, [&](int t) {
+    std::mt19937_64 rng(static_cast<uint64_t>(t) * 104729 + 7);
+    for (int i = 0; i < 3000 && !tasks[t]->terminated(); ++i) {
+      const uint64_t page = rng() % kPagesPerTenant;
+      kernel.Touch(tasks[t], addrs[t] + page * kPageSize, (rng() & 1) != 0);
+      if (i % 512 == 100) {
+        kernel.daemon().Balance();
+      }
+      if (i % 512 == 300) {
+        kernel.VmWire(tasks[t], addrs[t] + (rng() % kPagesPerTenant) * kPageSize,
+                      kPageSize);
+      }
+      if (i % 1024 == 700) {
+        kernel.VmDeallocate(tasks[t], addrs[t]);
+        addrs[t] = kernel.VmAllocate(tasks[t], kPagesPerTenant * kPageSize);
+      }
+    }
+  });
+
+  ExpectDaemonQueuesConsistent(kernel.daemon());
+  mach::FrameAccounting acc = kernel.ComputeFrameAccounting();
+  EXPECT_EQ(acc.unaccounted, 0u);
+  EXPECT_EQ(acc.Sum(), acc.total);
+
+  for (int t = 0; t < kTenants; ++t) {
+    if (!tasks[t]->terminated()) {
+      kernel.TerminateTask(tasks[t], "hammer done");
+    }
+  }
+  acc = kernel.ComputeFrameAccounting();
+  EXPECT_EQ(acc.unaccounted, 0u);
+  EXPECT_EQ(acc.Sum(), acc.total);
+  // Every frame came home: nothing is wired or queued once the tenants are gone.
+  EXPECT_EQ(kernel.daemon().free_count(),
+            params.total_frames - params.kernel_reserved_frames);
 }
 
 }  // namespace

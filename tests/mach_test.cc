@@ -429,7 +429,7 @@ TEST(KernelTest, SoftFaultAfterUnmapIsCheap) {
   VmPage* page = kernel.pmap().Lookup(task, addr);
   ASSERT_NE(page, nullptr);
   kernel.pmap().RemovePage(page);
-  page->queue->Remove(page);
+  page->queue.load()->Remove(page);
   kernel.daemon().inactive_queue().EnqueueTail(page, kernel.clock().now());
   int64_t soft_before = kernel.counters().Get("kernel.soft_faults");
   EXPECT_TRUE(kernel.Touch(task, addr, false));

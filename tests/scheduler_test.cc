@@ -1,0 +1,235 @@
+// The M:N tenant scheduler (src/scenario/scheduler.h): churn populations multiplexed over a
+// fixed worker pool against one real-threads kernel, the threaded injection schedule, and
+// the reclaim-debt fix for the victim-skip starvation in HipecEngine::RunReclaim.
+//
+// These runs are nondeterministic by design (host scheduling decides interleavings and
+// steal counts); the assertions are conservation-style — every tenant retires exactly once,
+// audits stay green, injected tenants are accounted — not golden outputs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "policies/policies.h"
+#include "scenario/scheduler.h"
+#include "sim/lock.h"
+#include "sim/stats.h"
+
+namespace hipec::scenario {
+namespace {
+
+using mach::kPageSize;
+
+// A small mixed population: every policy/pattern family, some writers, some departures.
+TenantSpec ChurnTenant(int i) {
+  TenantSpec t;
+  t.name = "churn." + std::to_string(i);
+  switch (i % 5) {
+    case 0:
+      t.policy = PolicyKind::kFifoSecondChance;
+      t.pattern = PatternKind::kHotCold;
+      break;
+    case 1:
+      t.policy = PolicyKind::kLru;
+      t.pattern = PatternKind::kZipf;
+      break;
+    case 2:
+      t.policy = PolicyKind::kGreedy;
+      t.pattern = PatternKind::kBursty;
+      break;
+    case 3:
+      t.policy = PolicyKind::kFifo;
+      t.pattern = PatternKind::kSequential;
+      break;
+    default:
+      t.policy = PolicyKind::kClock;
+      t.pattern = PatternKind::kUniform;
+      break;
+  }
+  t.pages = 48 + (i % 3) * 16;
+  t.min_frames = 8;
+  t.accesses = 160;
+  t.write_fraction = (i % 4 == 0) ? 0.3 : 0.0;
+  if (i % 7 == 3) {
+    t.departure_step = 1;  // departs after one scheduling slice
+  }
+  return t;
+}
+
+TEST(SchedulerTest, ChurnPopulationRetiresEveryTenantWithAuditsGreen) {
+  SchedulerSpec spec;
+  spec.name = "sched_churn_small";
+  spec.total_frames = 2048;
+  spec.kernel_reserved_frames = 256;
+  spec.workers = 4;
+  spec.slice_accesses = 64;
+  spec.max_live_tenants = 24;
+  spec.audit_interval_ms = 5;
+  for (int i = 0; i < 300; ++i) {
+    spec.tenants.push_back(ChurnTenant(i));
+  }
+
+  SchedulerResult result = RunScheduledScenario(spec);  // throws on audit violation
+
+  EXPECT_EQ(result.tenants_total, 300u);
+  // Every tenant was started (admitted or fell back to non-specific) and retired exactly
+  // once, through exactly one of the four exits.
+  EXPECT_EQ(result.admitted + result.denied, 300u);
+  EXPECT_EQ(result.completed + result.departed + result.terminated + result.torn_down, 300u);
+  EXPECT_GT(result.departed, 0u);  // the i%7==3 cohort left early
+  EXPECT_GT(result.slices, 0);
+  EXPECT_GT(result.total_accesses, 0u);
+  EXPECT_GT(result.total_faults, 0);
+  EXPECT_GT(result.audits_run, 0);
+  EXPECT_EQ(result.flight_recorder_dumps, 0);
+  EXPECT_EQ(result.tenants.size(), 300u);
+  EXPECT_GT(result.tenants_per_sec, 0.0);
+}
+
+TEST(SchedulerTest, MagazinesOffAndSingleWorkerStillRetireEveryone) {
+  // Degenerate pool shapes: one worker (pure serial admission) and no per-worker frame
+  // magazines — both must still drain the population.
+  SchedulerSpec spec;
+  spec.name = "sched_one_worker";
+  spec.total_frames = 1024;
+  spec.kernel_reserved_frames = 128;
+  spec.workers = 1;
+  spec.magazine_capacity = 0;
+  spec.max_live_tenants = 8;
+  for (int i = 0; i < 40; ++i) {
+    spec.tenants.push_back(ChurnTenant(i));
+  }
+  SchedulerResult result = RunScheduledScenario(spec);
+  EXPECT_EQ(result.admitted + result.denied, 40u);
+  EXPECT_EQ(result.completed + result.departed + result.terminated + result.torn_down, 40u);
+  EXPECT_EQ(result.steals, 0);  // nobody to steal from
+}
+
+TEST(SchedulerTest, InjectionsFireUnderTheWorkerPool) {
+  SchedulerSpec spec;
+  spec.name = "sched_injections";
+  spec.total_frames = 2048;
+  spec.kernel_reserved_frames = 256;
+  spec.workers = 4;
+  spec.slice_accesses = 32;
+  spec.max_live_tenants = 16;
+  for (int i = 0; i < 40; ++i) {
+    TenantSpec t = ChurnTenant(i);
+    t.departure_step = -1;
+    spec.tenants.push_back(t);
+  }
+  // Tenant 0 runs (nominally) forever so the mid-run teardown finds it live; the teardown
+  // is also what ends it.
+  spec.tenants[0].accesses = 2'000'000;
+
+  InjectionSpec spike;
+  spike.kind = InjectionKind::kDiskLatencySpike;
+  spike.at_step = 5;  // ms since start
+  spike.duration_steps = 20;
+  spike.extra_latency_ns = 2 * sim::kMillisecond;
+  InjectionSpec loop;
+  loop.kind = InjectionKind::kPolicyLoop;
+  loop.at_step = 10;
+  InjectionSpec flusher;
+  flusher.kind = InjectionKind::kReserveStarvation;
+  flusher.at_step = 15;
+  flusher.accesses = 256;
+  InjectionSpec teardown;
+  teardown.kind = InjectionKind::kTeardown;
+  teardown.at_step = 30;
+  teardown.tenant_index = 0;
+  spec.injections = {spike, loop, flusher, teardown};
+
+  SchedulerResult result = RunScheduledScenario(spec);
+
+  EXPECT_EQ(result.tenants_total, 42u);  // 40 listed + looping + flusher arrivals
+  EXPECT_EQ(result.completed + result.departed + result.terminated + result.torn_down,
+            result.admitted + result.denied);
+  // The security checker killed the looping policy (its 50 ms TimeOut fuse).
+  EXPECT_GE(result.checker_kills, 1);
+  // The teardown removed tenant 0's region mid-run.
+  EXPECT_EQ(result.torn_down, 1u);
+  EXPECT_EQ(result.flight_recorder_dumps, 0);
+}
+
+// Regression test for the RunReclaim victim-skip starvation: when the manager's reclamation
+// pass cannot take a victim's task lock (bounded backoff try-lock), the skipped ask must
+// accrue as reclaim debt on the container and be repaid — added to the next successful
+// pass's ask — instead of being dropped on the floor forever.
+TEST(ReclaimDebtTest, SkippedVictimAccruesDebtAndRepaysOnNextPass) {
+  mach::KernelParams params;
+  params.exec_mode = sim::ExecMode::kRealThreads;
+  params.total_frames = 512;
+  params.kernel_reserved_frames = 64;
+  mach::Kernel kernel(params);
+  core::FrameManagerConfig config;
+  config.partition_burst_fraction = 0.3;  // burst ~134 of 448 post-boot frames
+  config.reserve_frames = 16;
+  core::HipecEngine engine(&kernel, config);
+
+  // Victim A: admitted small, then granted a surplus (NormalReclaim only asks containers
+  // holding more than their minFrame guarantee).
+  mach::Task* task_a = kernel.CreateTask("victim");
+  core::HipecOptions opt_a;
+  opt_a.min_frames = 16;
+  core::HipecRegion region_a =
+      engine.VmAllocateHipec(task_a, 128 * kPageSize,
+                             policies::FifoPolicy(policies::CommandStyle::kSimple), opt_a);
+  ASSERT_TRUE(region_a.ok) << region_a.error;
+  ASSERT_TRUE(engine.manager().RequestFrames(region_a.container, 48,
+                                             &region_a.container->free_q()));
+
+  mach::Task* task_b = kernel.CreateTask("requester");
+  core::HipecOptions opt_b;
+  opt_b.min_frames = 16;
+  core::HipecRegion region_b =
+      engine.VmAllocateHipec(task_b, 128 * kPageSize,
+                             policies::FifoPolicy(policies::CommandStyle::kSimple), opt_b);
+  ASSERT_TRUE(region_b.ok) << region_b.error;
+
+  const sim::CounterId skips = sim::InternCounter("engine.reclaim_lock_skips");
+  const sim::CounterId repaid = sim::InternCounter("engine.reclaim_debt_repaid");
+  ASSERT_EQ(engine.counters().Get(skips), 0);
+
+  // Hold A's task lock from another thread for the whole first request.
+  std::atomic<bool> locked{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    sim::ScopedLock lock(task_a->mutex());
+    locked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!locked.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  // total_specific (16+48+16) + 60 exceeds the burst, so the request must reclaim from A —
+  // whose lock is unavailable. The pass skips A, records the skip, and banks the ask.
+  engine.manager().RequestFrames(region_b.container, 60, &region_b.container->free_q());
+  EXPECT_GT(engine.counters().Get(skips), 0);
+  EXPECT_GT(region_a.container->reclaim_debt.load(std::memory_order_relaxed), 0u);
+
+  release.store(true, std::memory_order_release);
+  holder.join();
+
+  // Lock released: the next reclamation pass reaches A, repays the banked debt (its ask is
+  // inflated by it), and clears the container's debt.
+  engine.manager().RequestFrames(region_b.container, 60, &region_b.container->free_q());
+  EXPECT_GT(engine.counters().Get(repaid), 0);
+  EXPECT_EQ(region_a.container->reclaim_debt.load(std::memory_order_relaxed), 0u);
+
+  kernel.TerminateTask(task_a, "done");
+  kernel.TerminateTask(task_b, "done");
+  mach::FrameAccounting acc = kernel.ComputeFrameAccounting();
+  EXPECT_EQ(acc.unaccounted, 0u);
+  EXPECT_EQ(acc.Sum(), acc.total);
+}
+
+}  // namespace
+}  // namespace hipec::scenario

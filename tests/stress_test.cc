@@ -76,8 +76,16 @@ class StressWorld {
       shard_sum += shard.count();
     }
     ASSERT_EQ(daemon.free_pool().count(), shard_sum);
-    ASSERT_EQ(daemon.active_queue().count(), daemon.active_queue().CountByTraversal());
-    ASSERT_EQ(daemon.inactive_queue().count(), daemon.inactive_queue().CountByTraversal());
+    size_t active_sum = 0;
+    size_t inactive_sum = 0;
+    for (size_t i = 0; i < daemon.queue_shard_count(); ++i) {
+      ASSERT_EQ(daemon.active_queue(i).count(), daemon.active_queue(i).CountByTraversal());
+      ASSERT_EQ(daemon.inactive_queue(i).count(), daemon.inactive_queue(i).CountByTraversal());
+      active_sum += daemon.active_queue(i).count();
+      inactive_sum += daemon.inactive_queue(i).count();
+    }
+    ASSERT_EQ(daemon.active_count(), active_sum);
+    ASSERT_EQ(daemon.inactive_count(), inactive_sum);
     for (Container* c : engine_->manager().containers()) {
       ASSERT_EQ(c->free_q().count(), c->free_q().CountByTraversal());
       ASSERT_EQ(c->active_q().count(), c->active_q().CountByTraversal());

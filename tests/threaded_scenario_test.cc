@@ -148,6 +148,57 @@ TEST(ThreadedScenarioTest, FinalAuditRunsEvenWithPeriodicAuditingOff) {
   EXPECT_GT(r.faults_per_sec, 0.0);
 }
 
+TEST(ThreadedScenarioTest, InjectionScheduleFiresAgainstRunningWorkers) {
+  // The deterministic driver's fault-injection schedule, reinterpreted for wall-clock
+  // execution: a disk-latency spike and a mid-run teardown perturb running workers from the
+  // control loop, while a looping-policy tenant materializes on a freshly spawned thread and
+  // must die to the checker's TimeOut fuse — all with audits green throughout.
+  ThreadedScenarioSpec spec;
+  spec.name = "threaded-injections";
+  spec.total_frames = 1024;
+  spec.kernel_reserved_frames = 128;
+  spec.audit_interval_ms = 2;
+  for (int i = 0; i < 4; ++i) {
+    TenantSpec t;
+    t.name = "steady-" + std::to_string(i);
+    t.policy = PolicyKind::kFifoSecondChance;
+    t.pattern = PatternKind::kHotCold;
+    t.pages = 96;
+    t.min_frames = 24;
+    t.accesses = (i == 0) ? 2'000'000 : 4000;  // tenant 0 outlives the teardown that ends it
+    t.write_fraction = 0.1;
+    spec.tenants.push_back(t);
+  }
+
+  InjectionSpec spike;
+  spike.kind = InjectionKind::kDiskLatencySpike;
+  spike.at_step = 3;  // milliseconds since the workers started
+  spike.duration_steps = 10;
+  spike.extra_latency_ns = 1 * sim::kMillisecond;
+  InjectionSpec loop;
+  loop.kind = InjectionKind::kPolicyLoop;
+  loop.at_step = 5;
+  InjectionSpec teardown;
+  teardown.kind = InjectionKind::kTeardown;
+  teardown.at_step = 20;
+  teardown.tenant_index = 0;
+  spec.injections = {spike, loop, teardown};
+
+  ThreadedScenarioResult r = RunThreadedScenario(spec);
+  ASSERT_EQ(r.tenants.size(), 5u);  // 4 listed + the injected looper
+  EXPECT_GE(r.checker_kills, 1);
+  size_t injected = 0;
+  size_t torn_down = 0;
+  for (const TenantResult& t : r.tenants) {
+    injected += t.injected ? 1 : 0;
+    torn_down += t.torn_down ? 1 : 0;
+    // Every worker ended through a real exit — completion, termination, or teardown.
+    EXPECT_TRUE(t.completed || t.terminated || t.torn_down) << t.name;
+  }
+  EXPECT_EQ(injected, 1u);
+  EXPECT_EQ(torn_down, 1u);
+}
+
 TEST(ThreadedScenarioTest, AdmissionIsSpecOrderedEvenThoughExecutionIsNot) {
   // Registration happens sequentially before the worker threads spawn, so admission
   // verdicts are reproducible: with min_frames sized to exhaust the burst watermark,
