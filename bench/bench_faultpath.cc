@@ -3,11 +3,14 @@
 // model — for the Table 2 policy set, and reports faults/sec plus an ns/fault breakdown as
 // one JSON object per line (grep for lines starting with '{').
 //
-// Three interpreter configurations are compared:
+// Four dispatch configurations are compared:
 //   production   decoded IR, superinstruction fusion, computed-goto dispatch (the default)
 //   pre_pr       decoded IR as it was before the fusion/threading work: unfused stream,
 //                dense-switch dispatch
 //   reference    the retained pre-IR decode-per-event switch interpreter
+//   jit          install-time template JIT (native code per event, jit.h); on hosts where
+//                the JIT is unavailable this layer silently measures the IR fallback, and
+//                the jit_* metrics are emitted with available=0 so CI skips them
 //
 // The breakdown attributes the production ns/fault to layers by measuring each layer in
 // isolation (policy execution via a bare ExecuteEvent on the free-list path, frame manager
@@ -30,6 +33,7 @@
 #include "hipec/builder.h"
 #include "hipec/engine.h"
 #include "hipec/executor.h"
+#include "hipec/jit.h"
 #include "mach/kernel.h"
 #include "obs/probe.h"
 #include "policies/policies.h"
@@ -59,7 +63,14 @@ constexpr PathConfig kConfigs[] = {
      /*legacy_counters=*/true},
     {"reference", core::DispatchMode::kReferenceSwitch, /*threaded=*/false, /*fuse=*/true,
      /*legacy_counters=*/false},
+    {"jit", core::DispatchMode::kJit, /*threaded=*/true, /*fuse=*/true,
+     /*legacy_counters=*/false},
 };
+constexpr size_t kNumConfigs = sizeof(kConfigs) / sizeof(kConfigs[0]);
+constexpr size_t kProductionIdx = 0;
+constexpr size_t kPrePrIdx = 1;
+constexpr size_t kReferenceIdx = 2;
+constexpr size_t kJitIdx = 3;
 
 struct PolicyCase {
   const char* name;
@@ -236,12 +247,23 @@ double MeasurePolicyNs(const PolicyCase& policy, const PathConfig& config) {
       return 0;
     }
   }
+  // Best of five windows (more than the storm's three): the jit_policy_speedup gate divides
+  // two of these numbers, so scheduler noise on either side shows up directly in the gated
+  // ratio, and the windows are short enough (~0.5 ms) that extra ones are nearly free.
   constexpr int kEvents = 20'000;
-  auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < kEvents; ++i) {
-    run_one();
+  constexpr int kWindows = 5;
+  double best_ns = 0;
+  for (int window = 0; window < kWindows; ++window) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kEvents; ++i) {
+      run_one();
+    }
+    const double ns = 1e9 * Seconds(start) / kEvents;
+    if (best_ns == 0 || ns < best_ns) {
+      best_ns = ns;
+    }
   }
-  return 1e9 * Seconds(start) / kEvents;
+  return best_ns;
 }
 
 // Frame-manager Request/Release cycle cost (global pool bookkeeping, queue moves).
@@ -342,7 +364,7 @@ double MeasureCalibrationScore() {
 int main() {
   bench::Title("bench_faultpath: whole-fault microbenchmark (host time)");
   bench::Note("configs: production (fused IR, computed-goto), pre_pr (unfused IR, switch),");
-  bench::Note("         reference (pre-IR decode-per-event interpreter)");
+  bench::Note("         reference (pre-IR decode-per-event interpreter), jit (template JIT)");
   bench::Rule();
 
   const double io_ns = MeasureIoNs();
@@ -353,10 +375,11 @@ int main() {
       .Num("value", MeasureCalibrationScore(), 0).Emit();
 
   double log_speedup_sum = 0;
+  double log_jit_speedup_sum = 0;
   int policy_count = 0;
   for (const PolicyCase& policy : Table2Policies()) {
-    double per_config[3] = {0, 0, 0};
-    for (size_t ci = 0; ci < 3; ++ci) {
+    double per_config[kNumConfigs] = {};
+    for (size_t ci = 0; ci < kNumConfigs; ++ci) {
       const PathConfig& config = kConfigs[ci];
       // Calibrate adjacent in time to the storm it normalizes: shared machines drift by tens
       // of percent over the run, and a single up-front score would bake that drift into the
@@ -376,7 +399,7 @@ int main() {
           .Num("normalized_score", storm.faults_per_sec / calibration, 6)
           .Emit();
 
-      if (ci == 0) {
+      if (ci == kProductionIdx) {
         // ns/fault breakdown for the production path.
         double policy_ns = MeasurePolicyNs(policy, config);
         double io_share_ns = io_ns * storm.disk_fills_per_fault;
@@ -392,11 +415,11 @@ int main() {
             .Emit();
       }
     }
-    double speedup = per_config[0] / per_config[1];
+    double speedup = per_config[kProductionIdx] / per_config[kPrePrIdx];
     log_speedup_sum += std::log(speedup);
     ++policy_count;
     std::printf("%-20s speedup vs pre_pr: %.2fx, vs reference: %.2fx\n", policy.name,
-                speedup, per_config[0] / per_config[2]);
+                speedup, per_config[kProductionIdx] / per_config[kReferenceIdx]);
     json.Str("bench", "faultpath")
         .Str("policy", policy.name)
         .Str("metric", "speedup_vs_pre_pr")
@@ -405,15 +428,44 @@ int main() {
     json.Str("bench", "faultpath")
         .Str("policy", policy.name)
         .Str("metric", "speedup_vs_reference")
-        .Num("value", per_config[0] / per_config[2])
+        .Num("value", per_config[kProductionIdx] / per_config[kReferenceIdx])
+        .Emit();
+
+    // Policy-layer JIT speedup: isolated ExecuteEvent (free-list fast path), compiled code
+    // vs the production computed-goto IR loop. This is the number the JIT work is gated on —
+    // the whole-fault ratio above dilutes it with kernel entry, page installation and I/O,
+    // which the JIT does not touch. On non-x86-64 hosts the jit config runs the IR fallback,
+    // so the ratio is ~1.0 and meaningless; available=0 tells the regression gate to skip it.
+    const double ir_policy_ns = MeasurePolicyNs(policy, kConfigs[kProductionIdx]);
+    const double jit_policy_ns = MeasurePolicyNs(policy, kConfigs[kJitIdx]);
+    const double jit_speedup =
+        jit_policy_ns > 0 ? ir_policy_ns / jit_policy_ns : 0.0;
+    if (jit_speedup > 0) {
+      log_jit_speedup_sum += std::log(jit_speedup);
+    }
+    std::printf("%-20s jit policy layer: %.0f -> %.0f ns/event (%.2fx)\n", policy.name,
+                ir_policy_ns, jit_policy_ns, jit_speedup);
+    json.Str("bench", "faultpath")
+        .Str("policy", policy.name)
+        .Str("metric", "jit_policy_speedup")
+        .Num("value", jit_speedup)
+        .Num("ir_policy_ns", ir_policy_ns, 1)
+        .Num("jit_policy_ns", jit_policy_ns, 1)
+        .Int("available", core::jit::Available() ? 1 : 0)
         .Emit();
   }
 
   double geomean = std::exp(log_speedup_sum / policy_count);
+  double jit_geomean = std::exp(log_jit_speedup_sum / policy_count);
   bench::Rule();
   std::printf("geomean speedup (production vs pre_pr): %.2fx\n", geomean);
+  std::printf("geomean jit policy-layer speedup (jit vs production): %.2fx\n", jit_geomean);
   json.Str("bench", "faultpath").Str("metric", "geomean_speedup_vs_pre_pr")
       .Num("value", geomean).Emit();
+  json.Str("bench", "faultpath").Str("metric", "jit_speedup")
+      .Num("value", jit_geomean)
+      .Int("available", core::jit::Available() ? 1 : 0)
+      .Emit();
 
   // Observability-probe overhead on the production path: the storms above ran with probes
   // compiled in but runtime-disabled (the default, gated by the CI regression check against
@@ -425,11 +477,11 @@ int main() {
     StormResult probes_on;
     {
       obs::ScopedProbes scoped(false);
-      probes_off = RunFaultStorm(probe_policy, kConfigs[0]);
+      probes_off = RunFaultStorm(probe_policy, kConfigs[kProductionIdx]);
     }
     {
       obs::ScopedProbes scoped(true);
-      probes_on = RunFaultStorm(probe_policy, kConfigs[0]);
+      probes_on = RunFaultStorm(probe_policy, kConfigs[kProductionIdx]);
     }
     double overhead_pct =
         probes_off.ns_per_fault > 0

@@ -20,12 +20,23 @@ run, only narrows the comparison):
     Fails when current < factor * baseline.
   * faultpath speedup_vs_pre_pr per policy and the geomean: same-run relative numbers,
     immune to machine speed. Fails when current < factor * baseline.
+  * faultpath jit_speedup per policy and the geomean (policy-layer JIT vs the computed-goto
+    IR loop): same-run relative. Skipped when the run reports available=0 (no JIT emitter
+    on the host), compared against the baseline floors otherwise.
   * interpreter ir_speedup: same-run relative. Fails when current < factor * baseline.
   * scenario metrics (bench_scenario): recorded as scenario.<name>.<metric>; compared only
     if a baseline entry exists.
 
+Config provenance: every bench JSON line carries cfg_* fields (dispatch variant, JIT
+default, probes compiled in/out, sanitizer — see bench/bench_util.h). The gate refuses to
+run when the input records disagree with each other on any cfg_* value (two .out files
+from different builds), or when a value contradicts the baseline's "_config" object (a
+sanitizer or probes-compiled-out run being compared against release floors). Records
+without cfg_* fields (hipec-report output, older captures) don't participate in the check.
+
 Exit status 0 when every compared metric passes (including the degenerate case where
-nothing overlapped the baseline), 1 on a regression or unreadable input.
+nothing overlapped the baseline), 1 on a regression, mismatched configuration, or
+unreadable input.
 """
 
 import argparse
@@ -58,10 +69,25 @@ def extract_metrics(records):
             policy = rec["policy"]
             if "normalized_score" in rec:
                 metrics[f"faultpath.normalized.{policy}"] = rec["normalized_score"]
+        elif bench == "faultpath" and rec.get("config") == "jit":
+            # Whole-fault throughput with the JIT dispatch layer. On hosts without an
+            # emitter this measures the interpreter fallback, which is never slower than
+            # production, so conservative floors hold either way.
+            if "normalized_score" in rec:
+                metrics[f"faultpath.jit.normalized.{rec['policy']}"] = rec["normalized_score"]
         elif bench == "faultpath" and rec.get("metric") == "speedup_vs_pre_pr":
             metrics[f"faultpath.speedup_vs_pre_pr.{rec['policy']}"] = rec["value"]
         elif bench == "faultpath" and rec.get("metric") == "geomean_speedup_vs_pre_pr":
             metrics["faultpath.geomean_speedup_vs_pre_pr"] = rec["value"]
+        elif bench == "faultpath" and rec.get("metric") == "jit_policy_speedup":
+            # available=0 means the host has no JIT emitter and the "jit" config measured
+            # the interpreter fallback: the ratio is ~1.0 and meaningless, so it is dropped
+            # here and the gate skips it (missing metric = skipped, per the rules above).
+            if rec.get("available", 1):
+                metrics[f"faultpath.jit_speedup.{rec['policy']}"] = rec["value"]
+        elif bench == "faultpath" and rec.get("metric") == "jit_speedup":
+            if rec.get("available", 1):
+                metrics["faultpath.jit_speedup"] = rec["value"]
         elif bench == "executor_arith_loop" and rec.get("metric") == "ir_speedup":
             metrics["interpreter.ir_speedup"] = rec["value"]
         elif bench == "scenario" and "metric" in rec:
@@ -81,6 +107,35 @@ def extract_metrics(records):
             # and it keeps the metric set non-empty when the speedups are dropped above.
             metrics[f"parallel.faults_per_sec.{rec['threads']}t"] = rec["faults_per_sec"]
     return metrics
+
+
+def check_config(records, baseline):
+    """Refuses mismatched configurations. Returns an error string, or None when coherent.
+
+    Two checks: every record that carries cfg_* provenance must agree with every other
+    record (mixing .out files from different builds/environments), and must agree with the
+    baseline's optional "_config" object (comparing a sanitizer or probes-stripped run
+    against floors recorded on a release build). Records without cfg_* fields are exempt —
+    they predate the provenance stamp or came through hipec-report.
+    """
+    seen = {}  # cfg key -> (value, first record's bench name)
+    for rec in records:
+        for key, value in rec.items():
+            if not key.startswith("cfg_"):
+                continue
+            if key in seen and seen[key][0] != value:
+                return (f"inputs disagree on {key}: {seen[key][0]!r} (from bench "
+                        f"{seen[key][1]!r}) vs {value!r} (from bench {rec.get('bench')!r}) "
+                        "— these runs came from different build configurations")
+            seen.setdefault(key, (value, rec.get("bench")))
+    expected = baseline.get("_config")
+    if isinstance(expected, dict):
+        for key, want in expected.items():
+            if key in seen and seen[key][0] != want:
+                return (f"run config {key}={seen[key][0]!r} does not match the baseline's "
+                        f"_config expectation {want!r} — these floors were recorded under "
+                        "a different configuration")
+    return None
 
 
 def main():
@@ -106,6 +161,10 @@ def main():
     records = []
     for path in args.input:
         records.extend(parse_json_lines(path))
+    config_error = check_config(records, baseline)
+    if config_error:
+        print(f"check_perf_regression: {config_error}", file=sys.stderr)
+        return 1
     current = extract_metrics(records)
     for path in args.report:
         with open(path, encoding="utf-8") as fh:

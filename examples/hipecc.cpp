@@ -9,8 +9,14 @@
 // pass the kernel applies at registration (against a placeholder of the standard operand
 // layout), so a policy can be vetted offline before it is ever installed.
 //
-// Usage: hipecc [--hex] [--disasm] [--check] [file.hp]   (reads stdin without a file;
-//                                                         both outputs by default)
+// With --emit=jit the decoded program is handed to the install-time template JIT exactly as
+// the kernel would do it, and the result is dumped as a fragment map (per command slot:
+// dispatch kind, code offset) with a hexdump of each fragment's native bytes — the debugging
+// view of what actually runs when DispatchMode::kJit is active. On hosts without an emitter
+// it reports that and succeeds, mirroring the kernel's interpreter fallback.
+//
+// Usage: hipecc [--hex] [--disasm] [--check] [--emit=jit] [file.hp]
+//        (reads stdin without a file; hex + disasm by default)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,8 +28,10 @@
 
 #include "hipec/checker.h"
 #include "hipec/engine.h"
+#include "hipec/jit.h"
 #include "lang/assembler.h"
 #include "lang/compiler.h"
+#include "sim/cost_model.h"
 
 namespace {
 
@@ -78,6 +86,7 @@ int main(int argc, char** argv) {
   bool want_hex = false;
   bool want_disasm = false;
   bool want_check = false;
+  bool want_jit = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hex") == 0) {
@@ -86,14 +95,16 @@ int main(int argc, char** argv) {
       want_disasm = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
       want_check = true;
+    } else if (std::strcmp(argv[i], "--emit=jit") == 0) {
+      want_jit = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--hex] [--disasm] [--check] [file.hp]\n", argv[0]);
+      std::printf("usage: %s [--hex] [--disasm] [--check] [--emit=jit] [file.hp]\n", argv[0]);
       return 0;
     } else {
       path = argv[i];
     }
   }
-  if (!want_hex && !want_disasm && !want_check) {
+  if (!want_hex && !want_disasm && !want_check && !want_jit) {
     want_hex = want_disasm = true;
   }
 
@@ -139,6 +150,27 @@ int main(int argc, char** argv) {
       }
       std::printf("# check: ok (%zu words decode and verify against the standard layout)\n",
                   compiled.program.TotalWords());
+    }
+    if (want_jit) {
+      // Same pipeline as the kernel's install path: decode + fuse against the standard
+      // layout, then hand the IR to the template JIT with the default cost model baked in.
+      std::vector<std::unique_ptr<hipec::mach::PageQueue>> queues;
+      core::OperandArray layout = PlaceholderLayout(compiled.options, &queues);
+      core::DecodedProgram decoded = core::DecodePolicy(compiled.program, layout);
+      core::jit::CompileOptions jit_options;
+      hipec::sim::CostModel costs;
+      jit_options.deterministic = true;
+      jit_options.decode_ns = costs.command_decode_ns;
+      jit_options.complex_ns = costs.complex_command_ns;
+      std::unique_ptr<core::jit::JitProgram> jit_program =
+          core::jit::Compile(decoded, layout, jit_options);
+      if (jit_program == nullptr) {
+        std::printf("# emit=jit: no template emitter on this host (%s); the kernel would "
+                    "fall back to the IR interpreter\n",
+                    core::jit::Available() ? "compile failed" : "unsupported architecture");
+      } else {
+        std::printf("%s", core::jit::DumpJit(*jit_program).c_str());
+      }
     }
   } catch (const hipec::lang::CompileError& e) {
     std::fprintf(stderr, "hipecc: %s\n", e.what());

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "hipec/decoded.h"
+#include "hipec/jit.h"
 #include "hipec/operand.h"
 #include "hipec/program.h"
 #include "mach/page_queue.h"
@@ -55,6 +56,17 @@ class Container {
   }
   void AdoptDecodedProgram(DecodedProgram decoded) {
     decoded_ = std::make_unique<DecodedProgram>(std::move(decoded));
+  }
+
+  // The compiled policy (jit.h), cached beside the IR. The engine's install path compiles
+  // eagerly when the kernel runs with jit_mode; direct harnesses get a lazy compile from
+  // RunEventJit. `jit_compile_attempted` distinguishes "not compiled yet" from "compile
+  // returned null (unsupported host)" so the fallback is decided once, not per fault.
+  const jit::JitProgram* jit_program() const { return jit_.get(); }
+  bool jit_compile_attempted() const { return jit_attempted_; }
+  void AdoptJitProgram(std::unique_ptr<jit::JitProgram> jit) {
+    jit_ = std::move(jit);
+    jit_attempted_ = true;
   }
 
   // Private frame lists.
@@ -120,6 +132,8 @@ class Container {
   std::vector<std::unique_ptr<mach::PageQueue>> user_queues_;
   OperandArray operands_;
   std::unique_ptr<DecodedProgram> decoded_;
+  std::unique_ptr<jit::JitProgram> jit_;
+  bool jit_attempted_ = false;
 };
 
 }  // namespace hipec::core

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "hipec/jit.h"
+
 namespace hipec::core {
 namespace {
 
@@ -316,9 +318,18 @@ DecodedProgram DecodePolicy(const PolicyProgram& program, const OperandArray& op
   DecodedProgram decoded;
   decoded.events.resize(static_cast<size_t>(program.event_limit()));
   for (int ev = 0; ev < program.event_limit(); ++ev) {
-    decoded.events[static_cast<size_t>(ev)] = EventDecoder(program, operands, ev, diags).Run();
+    DecodedEvent& event = decoded.events[static_cast<size_t>(ev)];
+    event = EventDecoder(program, operands, ev, diags).Run();
     if (fuse_superinstructions) {
-      FuseEvent(&decoded.events[static_cast<size_t>(ev)]);
+      FuseEvent(&event);
+    }
+    // Eligibility is judged on the final (post-fusion) stream: what the JIT would compile.
+    event.jit_eligible = event.present();
+    for (const DecodedInst& inst : event.insts) {
+      if (!jit::KindSupported(inst.kind)) {
+        event.jit_eligible = false;
+        break;
+      }
     }
   }
   return decoded;

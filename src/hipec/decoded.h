@@ -43,8 +43,9 @@ namespace hipec::core {
 // Dense dispatch indices. Operator code and sub-operation flag are fused (Arith/Comp/Logic/
 // Set/DeQueue/EnQueue each expand), and type-dependent commands (Release) split by the
 // decode-time operand class. Adding an opcode: extend Opcode, kNames (instruction.cc), the
-// classifier in decoded.cc, the dispatch loop in executor.cc, and kKeepsCondition below —
-// the static_asserts at each site fire if any of them desynchronize.
+// classifier in decoded.cc, the dispatch loop in executor.cc, kKeepsCondition below, and the
+// JIT (a template in jit_x86_64.cc or a bridge in jit.cc, plus DispatchKindName) — the
+// static_asserts at each site fire if any of them desynchronize.
 enum class DispatchKind : uint8_t {
   kReturn = 0,
   kJump,
@@ -184,6 +185,11 @@ struct DecodedEvent {
   std::vector<DecodedInst> insts;
   // Messages for kTrapError slots, indexed by DecodedInst::target.
   std::vector<std::string> traps;
+  // Every kind in this event has a native JIT template (jit::KindSupported). Set by the
+  // decoder so install-time tooling (hipecc, the validator summary) can report eligibility
+  // without linking the emitter. Currently every kind is supported, so this is true for all
+  // present events; it exists so a future interpreter-only kind degrades gracefully.
+  bool jit_eligible = false;
 
   bool present() const { return !insts.empty(); }
 };

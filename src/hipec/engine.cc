@@ -130,6 +130,19 @@ HipecRegion HipecEngine::Register(mach::Task* task, mach::VmObject* object,
   }
   container->AdoptDecodedProgram(std::move(decoded.program));
 
+  // Install-time compilation: translate the freshly decoded IR to native code while the
+  // application is still inside the (already expensive) registration syscall, so the first
+  // fault pays nothing. Compile() returns null on hosts without an emitter; the executor
+  // then falls back to the interpreter per event.
+  if (kernel_->params().jit_mode) {
+    jit::CompileOptions jit_opts;
+    jit_opts.deterministic = kernel_->ctx().vclock != nullptr;
+    jit_opts.decode_ns = kernel_->costs().command_decode_ns;
+    jit_opts.complex_ns = kernel_->costs().complex_command_ns;
+    container->AdoptJitProgram(
+        jit::Compile(container->decoded_program(), container->operands(), jit_opts));
+  }
+
   // minFrame admission.
   if (!manager_.AdmitContainer(container)) {
     container_zone_.Free(container);

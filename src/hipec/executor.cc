@@ -24,6 +24,10 @@ const sim::CounterId kCtrTimeouts = sim::InternCounter("executor.timeouts");
 const sim::CounterId kCtrEvents = sim::InternCounter("executor.events");
 const sim::CounterId kCtrCommands = sim::InternCounter("executor.commands");
 const sim::CounterId kCtrPolicyCommands = sim::InternCounter("executor.policy_commands");
+// JIT-path bookkeeping: events that entered RunEventJit, and the subset that fell back to
+// the interpreter (no compiled code: unsupported host, masked kind, compile failure).
+const sim::CounterId kCtrJitEvents = sim::InternCounter("executor.jit_events");
+const sim::CounterId kCtrJitFallbacks = sim::InternCounter("executor.jit_fallbacks");
 
 // Probe ids: histograms of per-event virtual latency and command counts. Recording is gated
 // behind obs::ProbesEnabled() so the fault path pays one predicted branch when observability
@@ -60,7 +64,20 @@ inline mach::VmPage* RequirePage(uint8_t index, const OperandEntry& e) {
 thread_local bool PolicyExecutor::condition_ = false;
 
 PolicyExecutor::PolicyExecutor(mach::Kernel* kernel, GlobalFrameManager* manager)
-    : kernel_(kernel), manager_(manager) {}
+    : kernel_(kernel), manager_(manager) {
+  // No jit::Available() gate here: on hosts without an emitter Compile() returns null and
+  // every event takes the (counted, test-covered) per-event fallback to the interpreter.
+  if (kernel_->params().jit_mode) {
+    mode_ = DispatchMode::kJit;
+  }
+  // In real-threads mode the security checker is a wall-clock thread and must win the race
+  // against a runaway policy; at the JIT's ~1-2 ns/command the deterministic-mode default of
+  // 50M commands would fire around the checker's 50 ms fuse and steal its kill. Seconds of
+  // host CPU on any engine, still a real backstop.
+  if (kernel_->concurrent()) {
+    max_commands_ = 2'000'000'000;
+  }
+}
 
 void PolicyExecutor::EnableConcurrent() {
   counters_.EnableConcurrent();
@@ -72,9 +89,15 @@ ExecResult PolicyExecutor::ExecuteEvent(Container* container, int event) {
   // Dispatch: container lookup, CC reset, timestamp write (§4.3.2).
   kernel_->ctx().Charge(kernel_->costs().policy_invoke_ns);
   const sim::Nanos start_ns = kernel_->ctx().now();
-  container->exec_start_ns = start_ns;
-  container->executing_event = event;
-  container->kill_requested = false;
+  // Relaxed stores: these fields are watchdog state the security checker polls from another
+  // thread (real-threads mode) or reads in-thread (deterministic mode). The checker's
+  // runaway detection is a heuristic over a racing snapshot by design, so it needs the
+  // values to arrive, not an ordering — and the default seq_cst stores cost a full fence
+  // each on x86, which at five stores per event was the single largest slice of the
+  // per-event dispatch overhead.
+  container->exec_start_ns.store(start_ns, std::memory_order_relaxed);
+  container->executing_event.store(event, std::memory_order_relaxed);
+  container->kill_requested.store(false, std::memory_order_relaxed);
 
   // Nested executions (a Request triggering another container's ReclaimFrame) share this
   // executor; keep their condition flags independent.
@@ -83,9 +106,17 @@ ExecResult PolicyExecutor::ExecuteEvent(Container* container, int event) {
 
   int64_t budget = max_commands_;
   try {
-    result.return_operand = mode_ == DispatchMode::kDecodedIr
-                                ? RunEventIr(container, event, /*depth=*/0, &budget)
-                                : RunEventSwitch(container, event, /*depth=*/0, &budget);
+    switch (mode_) {
+      case DispatchMode::kDecodedIr:
+        result.return_operand = RunEventIr(container, event, /*depth=*/0, &budget);
+        break;
+      case DispatchMode::kJit:
+        result.return_operand = RunEventJit(container, event, /*depth=*/0, &budget);
+        break;
+      case DispatchMode::kReferenceSwitch:
+        result.return_operand = RunEventSwitch(container, event, /*depth=*/0, &budget);
+        break;
+    }
   } catch (const PolicyError& e) {
     result.outcome = ExecOutcome::kError;
     result.error = e.what();
@@ -103,11 +134,16 @@ ExecResult PolicyExecutor::ExecuteEvent(Container* container, int event) {
     probes_.Record(kPrbEventNs, kernel_->ctx().now() - start_ns);
     probes_.Record(kPrbEventCommands, result.commands_executed);
   }
-  container->exec_start_ns = -1;
-  container->executing_event = -1;
-  kernel_->tracer().Record(kernel_->ctx().now(), sim::TraceCategory::kPolicy,
-                           static_cast<uint16_t>(result.outcome), container->id(),
-                           static_cast<uint64_t>(event));
+  container->exec_start_ns.store(-1, std::memory_order_relaxed);
+  container->executing_event.store(-1, std::memory_order_relaxed);
+  // The tracer is off unless a test/scenario enabled it; evaluating Record's arguments costs
+  // a clock read, so gate the whole call rather than relying on its internal enabled check.
+  sim::Tracer& tracer = kernel_->tracer();
+  if (tracer.enabled()) [[unlikely]] {
+    tracer.Record(kernel_->ctx().now(), sim::TraceCategory::kPolicy,
+                  static_cast<uint16_t>(result.outcome), container->id(),
+                  static_cast<uint64_t>(event));
+  }
   counters_.Add(kCtrEvents);
   counters_.Add(kCtrCommands, result.commands_executed);
   return result;
@@ -145,6 +181,83 @@ uint8_t PolicyExecutor::RunEventIr(Container* c, int event, int depth, int64_t* 
   }
 #endif
   return RunEventIrSwitch(c, event, depth, budget);
+}
+
+// ----------------------------------------------------------------------------------------
+// JIT path: runs install-time-compiled native code (jit.h), falling back to the IR
+// interpreter when the container has no compiled code for the event. The compiled code
+// returns a JitStatus that this wrapper converts back into the interpreter's control flow —
+// normal return, PolicyError, TimeoutSignal — so callers cannot tell the paths apart.
+// ----------------------------------------------------------------------------------------
+
+uint8_t PolicyExecutor::RunEventJit(Container* c, int event, int depth, int64_t* budget) {
+  if (depth > 8) {
+    throw PolicyError("Activate recursion too deep");
+  }
+  const jit::JitProgram* jp = c->jit_program();
+  if (jp == nullptr && !c->jit_compile_attempted()) [[unlikely]] {
+    // Direct harnesses (tests, benchmarks) that never went through the engine's install
+    // path: compile lazily, mirroring the container's lazy decode. decoded_program() forces
+    // that decode if it has not happened yet.
+    const DecodedProgram& program = c->decoded_program();
+    jit::CompileOptions opts;
+    opts.deterministic = kernel_->ctx().vclock != nullptr;
+    opts.decode_ns = kernel_->costs().command_decode_ns;
+    opts.complex_ns = kernel_->costs().complex_command_ns;
+    c->AdoptJitProgram(jit::Compile(program, c->operands(), opts));
+    jp = c->jit_program();
+  }
+  counters_.Add(kCtrJitEvents);
+  const jit::JitEventCode* code = jp != nullptr ? jp->Code(event) : nullptr;
+  if (code == nullptr) {
+    // No compiled code: event absent or ineligible, kind masked out, or no emitter on this
+    // host. The interpreter re-runs the event-presence check, so an Activate of an undefined
+    // event raises the identical PolicyError it always did.
+    counters_.Add(kCtrJitFallbacks);
+    return RunEventIr(c, event, depth, budget);
+  }
+
+  sim::VirtualClock* vclock = kernel_->ctx().vclock;
+  jit::JitFrame frame;
+  frame.slots = c->operands().slots();
+  frame.budget = budget;
+  frame.condition = &condition_;
+  frame.kill = &c->kill_requested;
+  frame.trace = trace_;
+  frame.executor = this;
+  frame.container = c;
+  frame.event = event;
+  frame.depth = depth;
+  if (vclock != nullptr) {
+    frame.now_addr = vclock->now_storage();
+    frame.horizon = vclock->charge_horizon();
+  }
+
+  const uint64_t status = code->entry(&frame);
+  switch (static_cast<jit::JitStatus>(status)) {
+    case jit::JitStatus::kReturn:
+      return static_cast<uint8_t>(frame.return_operand);
+    case jit::JitStatus::kBudget:
+      // The interpreter's budget guard sets the kill flag before throwing (dispatch_loop.inc
+      // treats exhaustion exactly like a checker kill); match it.
+      c->kill_requested = true;
+      [[fallthrough]];
+    case jit::JitStatus::kKill:
+      throw TimeoutSignal{};
+    case jit::JitStatus::kException:
+      std::rethrow_exception(frame.pending);
+    case jit::JitStatus::kErrorStatic:
+      throw PolicyError(frame.error_msg);
+    case jit::JitStatus::kErrorOperand: {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "operand 0x%x: %s", frame.error_operand,
+                    frame.error_msg);
+      throw PolicyError(buf);
+    }
+    case jit::JitStatus::kErrorTrap:
+      throw PolicyError(c->decoded_program().event(event).traps[frame.trap_index]);
+  }
+  throw PolicyError("JIT returned an unknown status");
 }
 
 // ----------------------------------------------------------------------------------------

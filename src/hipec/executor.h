@@ -28,6 +28,10 @@
 
 namespace hipec::core {
 
+namespace jit {
+struct ExecutorAccess;
+}  // namespace jit
+
 enum class ExecOutcome {
   kOk,
   kTimeout,  // killed by the security checker (or the runaway backstop)
@@ -44,12 +48,15 @@ struct ExecResult {
   bool ok() const { return outcome == ExecOutcome::kOk; }
 };
 
-// Which interpreter runs the policy. kDecodedIr is the production path; kReferenceSwitch is
-// the pre-IR decode-per-event loop kept for dual-path equivalence testing and before/after
-// benchmarking.
+// Which engine runs the policy. kDecodedIr is the interpreter production path;
+// kReferenceSwitch is the pre-IR decode-per-event loop kept for dual-path equivalence testing
+// and before/after benchmarking; kJit runs install-time-compiled native code (jit.h) and
+// falls back to kDecodedIr per event when no compiled code exists (unsupported host, masked
+// kind, compile failure) — the fallbacks are counted in executor.jit_fallbacks.
 enum class DispatchMode {
   kDecodedIr,
   kReferenceSwitch,
+  kJit,
 };
 
 // One executed command, as observed by an attached trace sink: the CC and operator code of
@@ -111,6 +118,12 @@ class PolicyExecutor {
   uint8_t RunEventIrThreaded(Container* container, int event, int depth, int64_t* budget);
 #endif
   uint8_t RunEventSwitch(Container* container, int event, int depth, int64_t* budget);
+  // Runs compiled code for the event if the container has any (compiling lazily on first
+  // use), decoding the JitStatus back into the interpreter's control flow; falls back to
+  // RunEventIr otherwise. The JIT's Activate bridge re-enters here via jit::ExecutorAccess.
+  uint8_t RunEventJit(Container* container, int event, int depth, int64_t* budget);
+
+  friend struct jit::ExecutorAccess;
 
   // Reference-path command implementations (decode-per-event interpreter only).
   void DoArith(Container* c, const Instruction& inst);

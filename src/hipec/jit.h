@@ -1,0 +1,208 @@
+// The install-time template JIT (ROADMAP item 5).
+//
+// At InstallPolicy time — after the decode-and-verify pass has produced the DecodedProgram IR
+// and the fusion pass has folded superinstructions — Compile() translates each event's
+// instruction stream into contiguous native code: one hand-written machine-code fragment per
+// DispatchKind, stitched together with resolved jump targets. Hot state is pinned in
+// registers for the whole event — the operand-slot base, the condition-flag and kill-flag
+// addresses, and (as live VALUES, spilled around bridge calls) the command budget and the
+// virtual time itself, so the per-command prologue touches no memory beyond two compares.
+// Cheap kinds (arith, comp, logic, jump, the fused pairs, page-bit ops) and the intrusive
+// queue mutations (EnQueue/DeQueue, the paper's hottest commands) are fully inlined; the
+// heavy kinds (Request, Flush, the replacement-policy scans) call into the existing
+// frame-manager helpers through small C++ bridge functions.
+//
+// Semantics contract: compiled code is observably identical to RunEventIr — same traces (one
+// ExecTrace per original command, same CC/opcode/condition values), same counters, same error
+// strings, same virtual-time charging order (the per-command decode charge inlines
+// VirtualClock::Advance's fast path against a cached deadline horizon and bridges out on the
+// slow path), same kill/budget semantics. The dual-path tests and the differential fuzzer
+// assert this byte-for-byte against the interpreter, which stays as the reference oracle.
+//
+// Exception discipline: no C++ exception ever unwinds through a JIT frame (the generated code
+// has no unwind tables). Bridges catch everything into JitFrame::pending and return a status;
+// the generated code exits with a JitStatus and PolicyExecutor::RunEventJit rethrows — so a
+// PolicyError raised three calls deep inside the frame manager surfaces exactly as it does
+// under the interpreter.
+//
+// Executable memory is W^X: the buffer is mmap'd read-write, filled, then flipped to
+// read-execute; it is never writable and executable at the same time. One buffer per
+// compiled program, cached on the Container beside the IR and unmapped with it.
+//
+// Fallback matrix: x86_64 hosts compile every kind; on every other architecture Available()
+// is false and Compile() returns null, so DispatchMode::kJit degrades per event to
+// RunEventIr (counted in executor.jit_fallbacks). The same per-event fallback covers kinds
+// masked out via SetUnsupportedKindForTesting, which is how the fallback path is exercised
+// by tests on x86_64.
+#ifndef HIPEC_HIPEC_JIT_H_
+#define HIPEC_HIPEC_JIT_H_
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hipec/decoded.h"
+
+namespace hipec::sim {
+class VirtualClock;
+}  // namespace hipec::sim
+
+namespace hipec::mach {
+struct KernelContext;
+}  // namespace hipec::mach
+
+namespace hipec::core {
+
+class PolicyExecutor;
+class Container;
+class GlobalFrameManager;
+struct ExecTrace;
+struct OperandEntry;
+class OperandArray;
+
+namespace jit {
+
+// Why compiled code stopped. The executor's RunEventJit wrapper converts these back into the
+// interpreter's control flow (normal return, PolicyError, TimeoutSignal).
+enum class JitStatus : uint64_t {
+  kReturn = 0,        // Return executed; JitFrame::return_operand holds the operand index
+  kKill = 1,          // the security checker's kill flag was observed at a command prologue
+  kBudget = 2,        // the host command budget hit zero (wrapper sets kill_requested)
+  kException = 3,     // a bridge captured a C++ exception into JitFrame::pending
+  kErrorStatic = 4,   // inline PolicyError; JitFrame::error_msg is a static string
+  kErrorOperand = 5,  // inline PolicyError in "operand 0x%x: %s" form (error_operand + msg)
+  kErrorTrap = 6,     // a kTrapError slot fired; JitFrame::trap_index names the message
+};
+
+// The execution frame handed to compiled code (pinned in a register for the whole event).
+// Field order is load-bearing only in that the emitter computes every displacement at run
+// time from a probe object — nothing here requires standard layout.
+struct JitFrame {
+  // --- hot state, loaded into registers by the event prologue ---
+  OperandEntry* slots = nullptr;
+  int64_t* budget = nullptr;
+  bool* condition = nullptr;           // &PolicyExecutor::condition_ (this thread's copy)
+  const void* kill = nullptr;          // &Container::kill_requested (a 1-byte atomic flag)
+  int64_t* now_addr = nullptr;         // &VirtualClock::now_, or null in real-threads mode
+  // Earliest pending clock deadline (INT64_MAX if none, INT64_MIN while the clock is
+  // dispatching, so every charge takes the bridge and hits the same misuse CHECK the
+  // interpreter would). Bridges refresh it before returning — any of them may schedule.
+  int64_t horizon = 0;
+  std::vector<ExecTrace>* trace = nullptr;  // null when tracing is off
+
+  // --- bridge context --- (the bridges derive the frame manager, kernel context and clock
+  // from `executor`, keeping the per-event frame setup to the fields compiled code reads)
+  PolicyExecutor* executor = nullptr;
+  Container* container = nullptr;
+  int event = 0;
+  int depth = 0;
+
+  // --- results ---
+  uint64_t return_operand = 0;
+  const char* error_msg = nullptr;
+  uint32_t error_operand = 0;
+  uint32_t trap_index = 0;
+  std::exception_ptr pending;
+
+  // Recomputes `horizon` from the clock. Called by every bridge that can advance time or
+  // schedule events, so the inlined charge fast path stays valid.
+  void RefreshHorizon();
+};
+
+// Entry point of one compiled event. Returns a JitStatus.
+using JitEntry = uint64_t (*)(JitFrame*);
+
+struct JitEventCode {
+  JitEntry entry = nullptr;  // null: event absent, ineligible, or masked out
+  uint32_t code_offset = 0;  // into JitProgram::buffer()
+  uint32_t code_size = 0;
+};
+
+// One emitted fragment, for the --emit=jit dump: which slot of which event produced the
+// bytes at [offset, offset+size). Pseudo-slots: cc 0xfffe is the event prologue, cc 0xffff
+// the shared exit stubs.
+struct JitFragment {
+  int event = 0;
+  uint16_t cc = 0;
+  DispatchKind kind = DispatchKind::kTrapOutside;
+  uint32_t offset = 0;
+  uint32_t size = 0;
+};
+
+// A compiled policy program: one W^X native-code buffer holding every compiled event, cached
+// on the Container beside the DecodedProgram. Immutable after construction (the buffer is
+// read-execute); safe to run from multiple threads.
+class JitProgram {
+ public:
+  JitProgram(void* buffer, size_t size, std::vector<JitEventCode> events,
+             std::vector<JitFragment> fragments)
+      : buffer_(buffer), size_(size), events_(std::move(events)),
+        fragments_(std::move(fragments)) {}
+  JitProgram(const JitProgram&) = delete;
+  JitProgram& operator=(const JitProgram&) = delete;
+  ~JitProgram();  // munmaps the code buffer
+
+  // The compiled code for `event`, or null if that event must run on the interpreter.
+  const JitEventCode* Code(int event) const {
+    if (event < 0 || event >= static_cast<int>(events_.size()) ||
+        events_[static_cast<size_t>(event)].entry == nullptr) {
+      return nullptr;
+    }
+    return &events_[static_cast<size_t>(event)];
+  }
+
+  const uint8_t* buffer() const { return static_cast<const uint8_t*>(buffer_); }
+  size_t buffer_size() const { return size_; }
+  const std::vector<JitFragment>& fragments() const { return fragments_; }
+
+ private:
+  void* buffer_;
+  size_t size_;
+  std::vector<JitEventCode> events_;
+  std::vector<JitFragment> fragments_;
+};
+
+struct CompileOptions {
+  // Deterministic mode inlines the virtual-clock charge fast path; real-threads mode emits
+  // no charge code at all (KernelContext::Charge is a no-op there).
+  bool deterministic = true;
+  // Per-command decode cost and the replacement-policy surcharge, baked into the emitted
+  // charge sequences (sim::CostModel::command_decode_ns / complex_command_ns).
+  int64_t decode_ns = 0;
+  int64_t complex_ns = 0;
+};
+
+// True when this host has a template emitter (x86_64). Everything else falls back to the
+// interpreter — shipping untested machine code for unexercisable architectures is worse than
+// an honest fallback, and the fallback path itself is test-covered.
+bool Available();
+
+// True when `kind` has a native template. Currently every kind does on a supported host;
+// the decoder mirrors this into DecodedEvent::jit_eligible so install-time tooling can
+// report eligibility without linking the emitter.
+constexpr bool KindSupported(DispatchKind kind) {
+  return static_cast<uint8_t>(kind) < kDispatchKindCount;
+}
+
+// Test hook: pretend `kind` has no template, forcing events that contain it onto the
+// interpreter fallback. Process-global; tests must reset what they set.
+void SetUnsupportedKindForTesting(DispatchKind kind, bool unsupported);
+
+// Compiles every present, eligible event of `program` against the operand layout `operands`
+// (the same layout the decoder classified against — operand types are baked into the
+// fragments). Returns null when the host has no emitter. Events containing masked-out kinds
+// get a null entry and fall back at run time.
+std::unique_ptr<JitProgram> Compile(const DecodedProgram& program,
+                                    const OperandArray& operands,
+                                    const CompileOptions& options);
+
+// Human-readable dump for hipecc --emit=jit: per event, the fragment map (slot, kind, code
+// offset) with a hexdump of each fragment's bytes.
+std::string DumpJit(const JitProgram& program);
+
+}  // namespace jit
+}  // namespace hipec::core
+
+#endif  // HIPEC_HIPEC_JIT_H_

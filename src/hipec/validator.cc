@@ -53,6 +53,9 @@ DecodeResult DecodeAndValidate(const PolicyProgram& program, const OperandArray&
     if (!has_return) {
       result.errors.push_back(ValidationError{ev, 0, "no Return command in event stream"});
     }
+    if (!result.program.event(ev).jit_eligible) {
+      result.jit_ineligible_events.push_back(ev);
+    }
   }
   return result;
 }

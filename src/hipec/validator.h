@@ -43,6 +43,11 @@ struct ValidationError {
 struct DecodeResult {
   DecodedProgram program;
   std::vector<ValidationError> errors;
+  // Events whose (post-fusion) stream contains a kind with no native JIT template
+  // (DecodedEvent::jit_eligible false despite being present). Such events are legal — they
+  // run on the interpreter — but install-time tooling reports them so a policy author knows
+  // which events won't get the compiled fast path.
+  std::vector<int> jit_ineligible_events;
 };
 
 // Decodes and validates `program` against the operand-array layout it will run with — the

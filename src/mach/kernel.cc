@@ -1,10 +1,17 @@
 #include "mach/kernel.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "sim/check.h"
 
 namespace hipec::mach {
+
+bool DefaultJitMode() {
+  const char* env = std::getenv("HIPEC_JIT");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 namespace {
 
 // Interned once at startup; the fault path then bumps counters with an array index instead

@@ -30,6 +30,11 @@
 
 namespace hipec::mach {
 
+// True when the HIPEC_JIT environment variable selects the policy JIT (set and not "0").
+// Read once per KernelParams construction so a test or CI job flips the whole suite's
+// dispatch engine without touching call sites.
+bool DefaultJitMode();
+
 struct KernelParams {
   // 64 MB machine, like the paper's Acer Altos 10000.
   uint64_t total_frames = 16384;
@@ -49,6 +54,10 @@ struct KernelParams {
   // Shards in the pageout daemon's active/inactive queues (mach/pageout_daemon.h). 0 = pick
   // the default: 1 in deterministic mode, hardware_concurrency() (clamped) in real-threads.
   size_t daemon_shards = 0;
+  // Run policies through the install-time template JIT (hipec/jit.h) instead of the IR
+  // interpreter. Safe to enable anywhere: hosts without an emitter fall back to the
+  // interpreter per event. Defaults from the HIPEC_JIT environment variable.
+  bool jit_mode = DefaultJitMode();
 };
 
 // The execution context threaded through every kernel-side component (frame manager,

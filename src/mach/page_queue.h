@@ -33,6 +33,16 @@ class PageQueue {
   }
   bool empty() const { return count_ == 0; }
   size_t count() const { return count_; }
+  // Stable address of the element count, for the policy JIT's inlined EmptyQ and queue-count
+  // loads. Strictly read-only through this pointer.
+  const size_t* count_addr() const { return &count_; }
+  // Stable member addresses for the policy JIT's inlined EnQueue/DeQueue templates
+  // (jit_x86_64.cc), which splice the intrusive links and maintain the count exactly as the
+  // methods above do — the templates are only reached after the same membership checks the
+  // interpreter performs, so the HIPEC_CHECKs above cannot be bypassed by them.
+  VmPage** head_storage() { return &head_; }
+  VmPage** tail_storage() { return &tail_; }
+  size_t* count_storage() { return &count_; }
   VmPage* head() const { return head_; }
   VmPage* tail() const { return tail_; }
   const std::string& name() const { return name_; }

@@ -143,6 +143,24 @@ class VirtualClock final : public Clock {
   // True while an event callback is executing (Advance() is then forbidden).
   bool dispatching() const { return dispatching_; }
 
+  // Stable address of the current virtual time, for the policy JIT's inlined charge fast
+  // path. A store through it must satisfy the same precondition as the Advance() fast path:
+  // delta >= 0, not dispatching, and no pending event with deadline <= the new time. The JIT
+  // guards this with a cached charge_horizon() and bridges into Advance() otherwise.
+  Nanos* now_storage() { return &now_; }
+
+  // The guard value for that cached-horizon check: the earliest pending deadline (INT64_MAX
+  // when none — any charge is safe), or INT64_MIN while an event callback is dispatching so
+  // that every charge bridges into AdvanceSlow and hits the same misuse CHECK the
+  // interpreter's Advance() would. Inline (and the class final) because the JIT entry path
+  // recomputes it per event.
+  Nanos charge_horizon() const {
+    if (dispatching_) [[unlikely]] {
+      return INT64_MIN;
+    }
+    return events_.empty() ? INT64_MAX : events_.begin()->first.first;
+  }
+
  private:
   struct Event {
     EventId id;

@@ -68,10 +68,7 @@ size_t CounterRegistry::size() const {
   return names_.size();
 }
 
-size_t CounterSet::slab_base() const {
-  if (!concurrent_) {
-    return 0;
-  }
+size_t CounterSet::ConcurrentSlabBase() const {
   // Threads are striped round-robin over slabs at first touch; the id is process-global so a
   // thread lands on the same slab in every set (helpful locality, not a correctness need).
   static std::atomic<size_t> next_thread{0};

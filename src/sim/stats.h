@@ -188,7 +188,15 @@ class CounterSet {
   // Round the per-slab stride up to a full 64-byte cache line of int64s so hot counters in
   // different slabs never share a line.
   static size_t PadStride(size_t n) { return (n + 7) & ~size_t{7}; }
-  size_t slab_base() const;
+  // Inline because Add() runs several times per fault; the thread-striping arithmetic only
+  // matters once EnableConcurrent has switched the set over.
+  size_t slab_base() const {
+    if (!concurrent_) [[likely]] {
+      return 0;
+    }
+    return ConcurrentSlabBase();
+  }
+  size_t ConcurrentSlabBase() const;
   void AddSlow(CounterId id, int64_t delta);
   void Grow(CounterId id);
   void AddViaLegacyLookup(CounterId id, int64_t delta);
