@@ -106,6 +106,19 @@ def extract_metrics(records):
             # Absolute throughput is machine-dependent: informational (never baselined),
             # and it keeps the metric set non-empty when the speedups are dropped above.
             metrics[f"parallel.faults_per_sec.{rec['threads']}t"] = rec["faults_per_sec"]
+        elif bench == "server" and "metric" in rec:
+            # bench_server's per-core service rate. Like the parallel speedups, a 1-core
+            # runner time-slices the daemon's drain pool against its own forked clients and
+            # measures the host scheduler, so the gated metric is dropped below 8 hardware
+            # threads and the gate skips it (missing metric = skipped).
+            if (rec["metric"] == "requests_per_sec_per_core"
+                    and rec.get("hardware_threads", 0) < 8):
+                continue
+            metrics[f"server.{rec['metric']}"] = rec["value"]
+        elif bench == "server" and "clients" in rec and "requests_per_sec" in rec:
+            # Informational per-phase throughput (never baselined): keeps the metric set
+            # non-empty on small hosts where the per-core metric is dropped above.
+            metrics[f"server.requests_per_sec.{rec['clients']}c"] = rec["requests_per_sec"]
     return metrics
 
 

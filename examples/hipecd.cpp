@@ -1,0 +1,241 @@
+// hipecd: the HiPEC policy-server daemon (docs/SERVER.md).
+//
+// One process owns the kernel + engine; any number of client processes connect over a
+// Unix-domain socket, install their caching policies through the usual validate + JIT +
+// admission path, and stream touch/flush requests over per-client shared-memory rings.
+//
+//   ./build/examples/hipecd --socket=/tmp/hipec.sock            # serve until SIGINT/SIGTERM
+//   ./build/examples/hipecd --socket=/tmp/h.sock --duration-ms=500
+//   ./build/examples/hipecd --selfcheck                          # in-process smoke test
+//
+// --selfcheck starts a server, forks a few real client processes against it (one of which
+// is SIGKILLed mid-burst to exercise the death path), then runs the frame-invariant auditor
+// and exits nonzero on any violation. CI runs it as a ctest smoke.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "policies/policies.h"
+#include "scenario/invariants.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "sim/lock.h"
+
+using namespace hipec;  // NOLINT: example
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+bool ParseU64(const char* arg, const char* prefix, uint64_t* out) {
+  size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) {
+    return false;
+  }
+  *out = std::strtoull(arg + n, nullptr, 10);
+  return true;
+}
+
+bool ParseStr(const char* arg, const char* prefix, std::string* out) {
+  size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) {
+    return false;
+  }
+  *out = arg + n;
+  return true;
+}
+
+// One forked client process: install FIFO-second-chance, touch a working set larger than
+// min_frames so the policy actually evicts, reap everything, leave orderly.
+int RunSelfcheckClient(const std::string& socket_path, int index, bool orderly_exit) {
+  server::Client client;
+  std::string error;
+  if (!client.Connect(socket_path, "selfcheck#" + std::to_string(index), 1, &error)) {
+    std::fprintf(stderr, "client %d: connect: %s\n", index, error.c_str());
+    return 1;
+  }
+  server::ClientInstallOptions options;
+  options.region_pages = 64;
+  options.min_frames = 16;
+  options.free_target = 4;
+  options.inactive_target = 8;
+  if (!client.Install(policies::FifoSecondChancePolicy(), options, &error)) {
+    std::fprintf(stderr, "client %d: install: %s\n", index, error.c_str());
+    return 1;
+  }
+  for (int pass = 0; pass < 4; ++pass) {
+    for (uint32_t page = 0; page < 64; ++page) {
+      if (!client.SubmitTouch(page, (page % 4) == 0)) {
+        std::fprintf(stderr, "client %d: submit stalled out\n", index);
+        return 1;
+      }
+    }
+  }
+  if (!client.WaitForCompletions(5'000'000'000ull)) {
+    std::fprintf(stderr, "client %d: completions timed out\n", index);
+    return 1;
+  }
+  if (client.completed_ok() == 0) {
+    std::fprintf(stderr, "client %d: nothing completed ok\n", index);
+    return 1;
+  }
+  if (orderly_exit) {
+    client.Goodbye();
+  }
+  // Non-orderly clients just _exit; the daemon sees EOF and reclaims.
+  return 0;
+}
+
+int RunSelfcheck() {
+  std::string socket_path =
+      "/tmp/hipecd-selfcheck-" + std::to_string(getpid()) + ".sock";
+  server::ServerConfig config;
+  config.socket_path = socket_path;
+  config.drain_threads = 2;
+  config.heartbeat_timeout_ns = 2'000'000'000ull;
+  server::Server daemon(config);
+  std::string error;
+  if (!daemon.Start(&error)) {
+    std::fprintf(stderr, "selfcheck: start: %s\n", error.c_str());
+    return 1;
+  }
+
+  constexpr int kClients = 4;
+  pid_t pids[kClients];
+  for (int i = 0; i < kClients; ++i) {
+    pid_t pid = fork();
+    if (pid == 0) {
+      // Child: real client process. _exit so the parent's kernel state is untouched.
+      _exit(RunSelfcheckClient(socket_path, i, /*orderly_exit=*/i % 2 == 0));
+    }
+    pids[i] = pid;
+  }
+  // Kill one client mid-burst: the daemon must reclaim its frames like a checker kill.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  kill(pids[kClients - 1], SIGKILL);
+
+  int failures = 0;
+  for (int i = 0; i < kClients; ++i) {
+    int status = 0;
+    waitpid(pids[i], &status, 0);
+    if (i == kClients - 1) {
+      continue;  // the SIGKILLed one
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "selfcheck: client %d failed\n", i);
+      ++failures;
+    }
+  }
+  // Let the daemon notice the killed client's EOF and finish the teardown.
+  for (int spin = 0; spin < 500 && daemon.LiveSessionCount() > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  {
+    sim::ExclusiveWorldGuard world(daemon.kernel().world());
+    scenario::AuditReport audit = scenario::AuditFrameInvariants(daemon.engine());
+    if (!audit.ok) {
+      std::fprintf(stderr, "selfcheck: auditor: %s\n", audit.violation.c_str());
+      ++failures;
+    }
+  }
+  int64_t deaths = daemon.counters().Get("server.client_deaths");
+  int64_t completions = daemon.counters().Get("server.completions");
+  daemon.Stop();
+  if (deaths < 1) {
+    std::fprintf(stderr, "selfcheck: expected at least one client death, saw %lld\n",
+                 static_cast<long long>(deaths));
+    ++failures;
+  }
+  if (failures != 0) {
+    return 1;
+  }
+  std::printf("hipecd selfcheck ok: %d clients, %lld completions, %lld death(s), auditor green\n",
+              kClients, static_cast<long long>(completions),
+              static_cast<long long>(deaths));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerConfig config;
+  config.socket_path = "/tmp/hipec.sock";
+  uint64_t duration_ms = 0;
+  uint64_t heartbeat_ms = 1000;
+  bool selfcheck = false;
+  bool probes = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t v;
+    if (std::strcmp(arg, "--selfcheck") == 0) {
+      selfcheck = true;
+    } else if (std::strcmp(arg, "--probes") == 0) {
+      probes = true;
+    } else if (ParseStr(arg, "--socket=", &config.socket_path)) {
+    } else if (ParseU64(arg, "--frames=", &v)) {
+      config.total_frames = v;
+    } else if (ParseU64(arg, "--drain-threads=", &v)) {
+      config.drain_threads = static_cast<size_t>(v);
+    } else if (ParseU64(arg, "--ring-slots=", &v)) {
+      config.ring_slots = static_cast<uint32_t>(v);
+    } else if (ParseU64(arg, "--max-clients=", &v)) {
+      config.max_clients = static_cast<uint32_t>(v);
+    } else if (ParseU64(arg, "--heartbeat-ms=", &v)) {
+      heartbeat_ms = v;
+    } else if (ParseU64(arg, "--duration-ms=", &v)) {
+      duration_ms = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: hipecd [--socket=PATH] [--frames=N] [--drain-threads=N]\n"
+                   "              [--ring-slots=N] [--max-clients=N] [--heartbeat-ms=N]\n"
+                   "              [--duration-ms=N] [--probes] [--selfcheck]\n");
+      return 2;
+    }
+  }
+  if (selfcheck) {
+    return RunSelfcheck();
+  }
+  if (probes) {
+    obs::ProbeSet::SetEnabled(true);
+  }
+  config.heartbeat_timeout_ns = heartbeat_ms * 1'000'000ull;
+
+  signal(SIGINT, OnSignal);
+  signal(SIGTERM, OnSignal);
+  server::Server daemon(config);
+  std::string error;
+  if (!daemon.Start(&error)) {
+    std::fprintf(stderr, "hipecd: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "hipecd: serving on %s (%zu drain threads, %u-slot rings)\n",
+               config.socket_path.c_str(), config.drain_threads, config.ring_slots);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(duration_ms);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (duration_ms > 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+  }
+  daemon.Stop();
+  std::fprintf(stderr, "hipecd: final counters\n%s", daemon.counters().ToString().c_str());
+  {
+    sim::ExclusiveWorldGuard world(daemon.kernel().world());
+    scenario::AuditReport audit = scenario::AuditFrameInvariants(daemon.engine());
+    if (!audit.ok) {
+      std::fprintf(stderr, "hipecd: AUDIT VIOLATION: %s\n", audit.violation.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -97,6 +97,9 @@ class Container {
   uint64_t buffer_vaddr = 0;
   uint64_t buffer_size = 0;
 
+  // QoS weight copied from HipecOptions at registration; consumed by the hipecd drain
+  // scheduler (src/server), not by the in-process fault path.
+  uint32_t qos_weight = 1;
   // Extension (§6 future work): whether other applications may Migrate frames to this one.
   bool accepts_migration = false;
   // Extension: run the security checker's frame-accounting pass after every event.

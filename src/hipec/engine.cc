@@ -156,6 +156,7 @@ HipecRegion HipecEngine::Register(mach::Task* task, mach::VmObject* object,
   container->buffer_vaddr = kernel_->MapWiredRegion(task, std::max<uint64_t>(buffer_bytes, 1));
   container->buffer_size = buffer_bytes;
 
+  container->qos_weight = options.qos_weight == 0 ? 1 : options.qos_weight;
   container->accepts_migration = options.accepts_migration;
   container->strict_accounting = options.strict_accounting;
 

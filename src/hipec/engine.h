@@ -36,6 +36,10 @@ struct HipecOptions {
   int64_t inactive_target = 0;
   int64_t reserved_target = 0;
   int64_t request_size = 16;
+  // QoS weight for front-ends that multiplex many applications over one engine (the hipecd
+  // drain scheduler): a weight-w client's ring gets w× the per-pass drain budget of a
+  // weight-1 client. Ignored by the in-process fault path.
+  uint32_t qos_weight = 1;
   // Extra user-defined operands, placed from std_ops::kUserBase: first the queues, then
   // integer scratch variables (initialized to 0), then page variables.
   size_t user_queue_count = 0;

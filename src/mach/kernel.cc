@@ -299,6 +299,23 @@ bool Kernel::TouchRange(Task* task, uint64_t vaddr, uint64_t size_bytes, bool is
   return true;
 }
 
+bool Kernel::FlushAddress(Task* task, uint64_t vaddr) {
+  if (task->terminated()) {
+    return false;
+  }
+  sim::SharedWorldGuard world(world_);
+  sim::ScopedLock task_lock(task->mutex());
+  if (task->terminated()) {
+    return false;
+  }
+  ctx_.Charge(params_.costs.memory_access_ns);
+  VmPage* page = pmap_.Lookup(task, vaddr);
+  if (page != nullptr && page->modified) {
+    FlushPageAsync(page);
+  }
+  return true;
+}
+
 void Kernel::DefaultFault(Task* task, VmMapEntry* entry, uint64_t vaddr, bool is_write) {
   VmObject* object = entry->object;
   uint64_t offset = entry->OffsetOf(vaddr);

@@ -182,6 +182,12 @@ class Kernel {
   // Touches every page of [vaddr, vaddr+size) once.
   bool TouchRange(Task* task, uint64_t vaddr, uint64_t size_bytes, bool is_write);
 
+  // Asynchronously writes back the page mapped at `vaddr` if it is resident and dirty.
+  // Takes the same world/task locks as Touch, so external front-ends (hipecd's drain loop)
+  // may call it from any thread. Returns false only if the task is terminated; a clean or
+  // non-resident page is a successful no-op.
+  bool FlushAddress(Task* task, uint64_t vaddr);
+
   // --- Services used by the daemon and the HiPEC engine ---------------------------------------
 
   // Unmaps, optionally flushes (if dirty), and removes the page from its object. The page must

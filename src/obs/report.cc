@@ -110,6 +110,30 @@ Report BuildReport(const std::vector<JsonValue>& records) {
     } else if (bench == "executor_arith_loop" &&
                rec.StringOr("metric", "") == "ir_speedup") {
       report.metrics["interpreter.ir_speedup"] = rec.NumberOr("value", 0.0);
+    } else if (bench == "server" && has_metric) {
+      // bench_server's gated per-core rate. Mirror the extractor's hardware_threads filter
+      // so a report from a small host never smuggles the metric past the gate.
+      if (rec.StringOr("metric", "") == "requests_per_sec_per_core" &&
+          rec.IntOr("hardware_threads", 0) < 8) {
+        continue;
+      }
+      report.metrics["server." + rec.StringOr("metric", "?")] = rec.NumberOr("value", 0.0);
+    } else if (bench == "server" && rec.Get("client") != nullptr) {
+      // Per-client latency summary from the daemon's drain-loop probes.
+      ServerClientSummary c;
+      c.name = rec.StringOr("client", "?");
+      c.completions = rec.IntOr("completions", 0);
+      c.lat_count = rec.IntOr("lat_count", 0);
+      c.lat_mean_ns = rec.NumberOr("lat_mean_ns", 0.0);
+      c.lat_p50_ns = rec.IntOr("lat_p50_ns", 0);
+      c.lat_p99_ns = rec.IntOr("lat_p99_ns", 0);
+      report.server_clients.push_back(std::move(c));
+    } else if (bench == "server" && rec.Get("clients") != nullptr &&
+               rec.Get("requests_per_sec") != nullptr) {
+      // Informational per-phase throughput, same naming as the extractor.
+      report.metrics["server.requests_per_sec." +
+                     std::to_string(rec.IntOr("clients", 0)) + "c"] =
+          rec.NumberOr("requests_per_sec", 0.0);
     }
   }
   return report;
@@ -138,6 +162,20 @@ std::string RenderReportTable(const Report& report) {
                     static_cast<long long>(s.flush_sync),
                     static_cast<long long>(s.checker_kills), s.virtual_sec,
                     static_cast<long long>(s.trace_dropped));
+      os << buf;
+    }
+  }
+
+  if (!report.server_clients.empty()) {
+    std::snprintf(buf, sizeof(buf), "\n%-24s %12s %12s %12s %10s %10s\n", "server client",
+                  "completions", "lat_count", "mean_ns", "p50_ns", "p99_ns");
+    os << buf;
+    for (const ServerClientSummary& c : report.server_clients) {
+      std::snprintf(buf, sizeof(buf), "%-24s %12lld %12lld %12.1f %10lld %10lld\n",
+                    c.name.c_str(), static_cast<long long>(c.completions),
+                    static_cast<long long>(c.lat_count), c.lat_mean_ns,
+                    static_cast<long long>(c.lat_p50_ns),
+                    static_cast<long long>(c.lat_p99_ns));
       os << buf;
     }
   }
@@ -201,6 +239,24 @@ std::string RenderReportJson(const Report& report) {
                   static_cast<long long>(s.trace_dropped), s.virtual_sec, s.host_sec);
     out += buf;
   }
+  out += "],\"server_clients\":[";
+  first = true;
+  for (const ServerClientSummary& c : report.server_clients) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    char buf[256];
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, c.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"completions\":%lld,\"lat_count\":%lld,\"lat_mean_ns\":%.1f,"
+                  "\"lat_p50_ns\":%lld,\"lat_p99_ns\":%lld}",
+                  static_cast<long long>(c.completions), static_cast<long long>(c.lat_count),
+                  c.lat_mean_ns, static_cast<long long>(c.lat_p50_ns),
+                  static_cast<long long>(c.lat_p99_ns));
+    out += buf;
+  }
   out += "],\"warnings\":[";
   first = true;
   for (const ReportWarning& w : report.warnings) {
@@ -245,6 +301,14 @@ bool SelfCheck(std::string* diagnostics) {
       "\"value\":2.210}\n"
       "{\"bench\":\"faultpath\",\"metric\":\"probe_overhead_pct\",\"value\":3.100}\n"
       "{\"bench\":\"executor_arith_loop\",\"metric\":\"ir_speedup\",\"value\":2.900}\n"
+      "{\"bench\":\"server\",\"metric\":\"requests_per_sec_per_core\",\"value\":90000,"
+      "\"hardware_threads\":16,\"clients\":4}\n"
+      "{\"bench\":\"server\",\"metric\":\"requests_per_sec_per_core\",\"value\":11,"
+      "\"hardware_threads\":1,\"clients\":4}\n"
+      "{\"bench\":\"server\",\"clients\":4,\"hardware_threads\":16,\"requests\":8000,"
+      "\"wall_sec\":0.1,\"requests_per_sec\":80000,\"ok\":1}\n"
+      "{\"bench\":\"server\",\"client\":\"bench#0\",\"completions\":2000,"
+      "\"lat_count\":2000,\"lat_mean_ns\":640.5,\"lat_p50_ns\":440,\"lat_p99_ns\":2040}\n"
       "{this line is corrupt json\n";
 
   std::istringstream in(kSample);
@@ -252,8 +316,8 @@ bool SelfCheck(std::string* diagnostics) {
   size_t ignored = 0;
   std::vector<ReportWarning> parse_warnings;
   ParseJsonLines(in, &records, &ignored, &parse_warnings);
-  if (records.size() != 6) {
-    return fail("expected 6 records, parsed " + std::to_string(records.size()));
+  if (records.size() != 10) {
+    return fail("expected 10 records, parsed " + std::to_string(records.size()));
   }
   if (ignored != 1) {
     return fail("expected 1 ignored line, saw " + std::to_string(ignored));
@@ -285,8 +349,17 @@ bool SelfCheck(std::string* diagnostics) {
       !metric_is("faultpath.normalized.fifo", 0.004321) ||
       !metric_is("faultpath.speedup_vs_pre_pr.fifo", 2.210) ||
       !metric_is("faultpath.probe_overhead_pct", 3.100) ||
-      !metric_is("interpreter.ir_speedup", 2.900)) {
+      !metric_is("interpreter.ir_speedup", 2.900) ||
+      !metric_is("server.requests_per_sec_per_core", 90000) ||
+      !metric_is("server.requests_per_sec.4c", 80000)) {
     return fail("flattened metrics do not match the sample");
+  }
+  // The small-host server record (hardware_threads 1, value 11) must have been dropped —
+  // had it landed, the 90000 from the 16-thread record would have been overwritten.
+  if (report.server_clients.size() != 1 || report.server_clients[0].name != "bench#0" ||
+      report.server_clients[0].completions != 2000 ||
+      report.server_clients[0].lat_p99_ns != 2040) {
+    return fail("server client latency summary does not match the sample");
   }
   bool dropped_flagged = false;
   for (const ReportWarning& w : report.warnings) {

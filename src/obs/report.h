@@ -50,8 +50,20 @@ struct ScenarioSummary {
   double host_sec = 0.0;
 };
 
+// One bench_server per-client latency record (the daemon's probe-fed service-time
+// histogram, summarized per session).
+struct ServerClientSummary {
+  std::string name;
+  int64_t completions = 0;
+  int64_t lat_count = 0;
+  double lat_mean_ns = 0.0;
+  int64_t lat_p50_ns = 0;
+  int64_t lat_p99_ns = 0;
+};
+
 struct Report {
   std::vector<ScenarioSummary> scenarios;
+  std::vector<ServerClientSummary> server_clients;
   // Flattened metric map, check_perf_regression.py naming.
   std::map<std::string, double> metrics;
   std::vector<ReportWarning> warnings;

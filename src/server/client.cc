@@ -1,0 +1,347 @@
+#include "server/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "server/sockio.h"
+
+namespace hipec::server {
+
+namespace {
+
+// Submission backoff: up to kSubmitAttempts rounds of 10us before SubmitX reports failure.
+// Each round is one recorded backpressure stall.
+constexpr int kSubmitAttempts = 100'000;  // ~1s worst case
+
+}  // namespace
+
+WireProgram ToWireProgram(const core::PolicyProgram& program) {
+  WireProgram wire;
+  wire.events.resize(static_cast<size_t>(program.event_limit()));
+  for (int e = 0; e < program.event_limit(); ++e) {
+    if (program.HasEvent(e)) {
+      wire.events[static_cast<size_t>(e)] = program.event(e).words;
+    }
+  }
+  return wire;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (sock_ >= 0) {
+    close(sock_);
+    sock_ = -1;
+  }
+  ring_.Close();
+  installed_ = false;
+}
+
+void Client::Goodbye() {
+  if (sock_ >= 0) {
+    GoodbyeMsg msg;
+    std::string out;
+    EncodeGoodbye(msg, &out);
+    WriteAll(sock_, out.data(), out.size());
+  }
+  Close();
+}
+
+bool Client::ReadFrame(DecodedFrame* frame, int* captured_fd, std::string* error) {
+  int fd = -1;
+  uint8_t header_bytes[kFrameHeaderBytes];
+  if (!ReadFullCaptureFd(sock_, header_bytes, sizeof(header_bytes), &fd)) {
+    *error = "connection closed";
+    return false;
+  }
+  FrameHeader header;
+  DecodeStatus status = DecodeFrameHeader(header_bytes, sizeof(header_bytes), &header);
+  if (status != DecodeStatus::kOk) {
+    if (fd >= 0) {
+      close(fd);
+    }
+    *error = std::string("bad frame from server: ") + DecodeStatusName(status);
+    return false;
+  }
+  std::vector<uint8_t> payload(header.length);
+  if (header.length > 0) {
+    int fd2 = -1;
+    bool ok = ReadFullCaptureFd(sock_, payload.data(), payload.size(), &fd2);
+    if (fd < 0) {
+      fd = fd2;
+    } else if (fd2 >= 0) {
+      close(fd2);
+    }
+    if (!ok) {
+      if (fd >= 0) {
+        close(fd);
+      }
+      *error = "connection closed mid-frame";
+      return false;
+    }
+  }
+  status = DecodePayload(header, payload.data(), payload.size(), frame);
+  if (status != DecodeStatus::kOk) {
+    if (fd >= 0) {
+      close(fd);
+    }
+    *error = std::string("bad payload from server: ") + DecodeStatusName(status);
+    return false;
+  }
+  if (captured_fd != nullptr) {
+    *captured_fd = fd;
+  } else if (fd >= 0) {
+    close(fd);
+  }
+  return true;
+}
+
+bool Client::Connect(const std::string& socket_path, const std::string& name,
+                     uint32_t qos_weight, std::string* error) {
+  if (sock_ >= 0) {
+    *error = "already connected";
+    return false;
+  }
+  sock_ = ConnectUnix(socket_path, error);
+  if (sock_ < 0) {
+    return false;
+  }
+  HelloMsg hello;
+  hello.client_pid = static_cast<uint64_t>(getpid());
+  hello.qos_weight = qos_weight;
+  hello.client_name = name;
+  std::string out;
+  EncodeHello(hello, &out);
+  if (!WriteAll(sock_, out.data(), out.size())) {
+    *error = "write failed during handshake";
+    Close();
+    return false;
+  }
+  DecodedFrame frame;
+  if (!ReadFrame(&frame, nullptr, error)) {
+    Close();
+    return false;
+  }
+  if (frame.type == MsgType::kError) {
+    *error = "server rejected hello: " + frame.error.message;
+    Close();
+    return false;
+  }
+  if (frame.type != MsgType::kHelloAck || frame.hello_ack.version != kWireVersion) {
+    *error = "handshake failed (unexpected reply)";
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::Install(const core::PolicyProgram& program, const ClientInstallOptions& options,
+                     std::string* error) {
+  if (sock_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  if (installed_) {
+    *error = "already installed";
+    return false;
+  }
+  InstallMsg msg;
+  msg.region_pages = options.region_pages;
+  msg.min_frames = options.min_frames;
+  msg.qos_weight = options.qos_weight;
+  msg.timeout_ns = options.timeout_ns;
+  msg.free_target = options.free_target;
+  msg.inactive_target = options.inactive_target;
+  msg.reserved_target = options.reserved_target;
+  msg.request_size = options.request_size;
+  msg.user_queue_count = options.user_queue_count;
+  msg.program = ToWireProgram(program);
+  std::string out;
+  EncodeInstall(msg, &out);
+  if (!WriteAll(sock_, out.data(), out.size())) {
+    *error = "write failed";
+    return false;
+  }
+  DecodedFrame frame;
+  int ring_fd = -1;
+  if (!ReadFrame(&frame, &ring_fd, error)) {
+    return false;
+  }
+  if (frame.type == MsgType::kError) {
+    if (ring_fd >= 0) {
+      close(ring_fd);
+    }
+    *error = "server error: " + frame.error.message;
+    return false;
+  }
+  if (frame.type != MsgType::kInstallAck) {
+    if (ring_fd >= 0) {
+      close(ring_fd);
+    }
+    *error = "unexpected reply to install";
+    return false;
+  }
+  if (frame.install_ack.ok == 0) {
+    if (ring_fd >= 0) {
+      close(ring_fd);
+    }
+    *error = "install rejected: " + frame.install_ack.error;
+    return false;
+  }
+  if (ring_fd < 0) {
+    *error = "install ack carried no ring descriptor";
+    return false;
+  }
+  if (!ring_.Attach(ring_fd, error)) {
+    return false;
+  }
+  if (ring_.slots() != frame.install_ack.ring_slots) {
+    *error = "ring slot count disagrees with the install ack";
+    ring_.Close();
+    return false;
+  }
+  container_id_ = frame.install_ack.container_id;
+  region_pages_ = msg.region_pages;
+  installed_ = true;
+  ring_.header()->client_beat_ns.store(MonotonicNowNs(), std::memory_order_relaxed);
+  return true;
+}
+
+bool Client::SubmitRaw(const Request& request) {
+  if (!installed_) {
+    return false;
+  }
+  for (int attempt = 0; attempt < kSubmitAttempts; ++attempt) {
+    if (ring_.TryPushRequest(request)) {
+      ++submitted_;
+      ring_.header()->client_beat_ns.store(MonotonicNowNs(), std::memory_order_relaxed);
+      return true;
+    }
+    // Ring full: bounded backoff, publishing the stall where the daemon can see it. Reap a
+    // few completions while waiting — the usual reason the submission ring is full is that
+    // the completion ring is too.
+    ++stalls_;
+    ring_.header()->sub_stalls.fetch_add(1, std::memory_order_relaxed);
+    Completion reaped[16];
+    if (PollCompletions(reaped, 16) == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(10));
+    }
+  }
+  return false;
+}
+
+bool Client::SubmitTouch(uint32_t page, bool is_write) {
+  Request request;
+  request.seq = next_seq_++;
+  request.op = kOpTouch;
+  request.flags = is_write ? kReqFlagWrite : 0;
+  request.page = page;
+  return SubmitRaw(request);
+}
+
+bool Client::SubmitFlush(uint32_t page) {
+  Request request;
+  request.seq = next_seq_++;
+  request.op = kOpFlush;
+  request.page = page;
+  return SubmitRaw(request);
+}
+
+bool Client::SubmitNop() {
+  Request request;
+  request.seq = next_seq_++;
+  request.op = kOpNop;
+  return SubmitRaw(request);
+}
+
+void Client::AccountCompletion(const Completion& completion) {
+  ++completed_;
+  if (completion.status == kStatusOk) {
+    ++completed_ok_;
+  } else {
+    ++completed_rejected_;
+  }
+}
+
+size_t Client::PollCompletions(Completion* out, size_t max) {
+  if (!installed_) {
+    return 0;
+  }
+  size_t n = ring_.PopCompletions(out, max);
+  for (size_t i = 0; i < n; ++i) {
+    AccountCompletion(out[i]);
+  }
+  return n;
+}
+
+bool Client::WaitForCompletions(uint64_t timeout_ns) {
+  Completion batch[64];
+  uint64_t last_progress = MonotonicNowNs();
+  while (completed_ < submitted_) {
+    size_t n = PollCompletions(batch, sizeof(batch) / sizeof(batch[0]));
+    if (n > 0) {
+      last_progress = MonotonicNowNs();
+      continue;
+    }
+    if (MonotonicNowNs() - last_progress > timeout_ns) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+  return true;
+}
+
+bool Client::Ping(std::string* error) {
+  if (sock_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  PingMsg ping{next_ping_++};
+  std::string out;
+  EncodePing(ping, &out);
+  if (!WriteAll(sock_, out.data(), out.size())) {
+    *error = "write failed";
+    return false;
+  }
+  DecodedFrame frame;
+  if (!ReadFrame(&frame, nullptr, error)) {
+    return false;
+  }
+  if (frame.type != MsgType::kPong || frame.pong.seq != ping.seq) {
+    *error = "bad pong";
+    return false;
+  }
+  return true;
+}
+
+bool Client::Teardown(std::string* error) {
+  if (sock_ < 0 || !installed_) {
+    *error = "nothing to tear down";
+    return false;
+  }
+  TeardownMsg msg{container_id_};
+  std::string out;
+  EncodeTeardown(msg, &out);
+  if (!WriteAll(sock_, out.data(), out.size())) {
+    *error = "write failed";
+    return false;
+  }
+  DecodedFrame frame;
+  if (!ReadFrame(&frame, nullptr, error)) {
+    return false;
+  }
+  if (frame.type != MsgType::kTeardownAck || frame.teardown_ack.ok == 0) {
+    *error = frame.type == MsgType::kTeardownAck ? frame.teardown_ack.error
+                                                 : "unexpected reply to teardown";
+    return false;
+  }
+  installed_ = false;
+  ring_.Close();
+  return true;
+}
+
+}  // namespace hipec::server

@@ -1,0 +1,111 @@
+// hipec::server::Client — the library an application links to talk to hipecd
+// (docs/SERVER.md). Wraps the control socket (handshake, policy install, teardown,
+// heartbeat) and the shared-memory ring (submissions, completions, bounded-backoff
+// backpressure) behind a blocking-friendly API. One Client == one connection == at most one
+// installed region; not thread-safe (the ring is SPSC per side by construction).
+#ifndef HIPEC_SERVER_CLIENT_H_
+#define HIPEC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hipec/program.h"
+#include "server/ring.h"
+#include "server/wire.h"
+
+namespace hipec::server {
+
+// Converts an in-process policy program to its wire form (raw per-event words).
+WireProgram ToWireProgram(const core::PolicyProgram& program);
+
+// Mirrors the InstallMsg knobs a client chooses; the program rides alongside.
+struct ClientInstallOptions {
+  uint64_t region_pages = 0;
+  uint32_t min_frames = 0;
+  uint32_t qos_weight = 0;  // 0 = inherit the hello weight
+  int64_t timeout_ns = 0;
+  int64_t free_target = 0;
+  int64_t inactive_target = 0;
+  int64_t reserved_target = 0;
+  int64_t request_size = 16;
+  uint32_t user_queue_count = 0;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects and completes the hello/version handshake.
+  bool Connect(const std::string& socket_path, const std::string& name, uint32_t qos_weight,
+               std::string* error);
+
+  // Installs `program` over a fresh region; attaches the ring fd from the ack. At most one
+  // install per connection.
+  bool Install(const core::PolicyProgram& program, const ClientInstallOptions& options,
+               std::string* error);
+
+  // --- data plane ----------------------------------------------------------------------------
+
+  // Submits one record, spinning with bounded backoff while the ring is full (each backoff
+  // round bumps the shared sub_stalls counter the daemon aggregates). False if the ring
+  // stayed full past the bound or the client is not installed.
+  bool SubmitTouch(uint32_t page, bool is_write);
+  bool SubmitFlush(uint32_t page);
+  bool SubmitNop();
+  // Raw-record submission for tests that craft malformed requests deliberately.
+  bool SubmitRaw(const Request& request);
+
+  // Pops up to `max` completions immediately available.
+  size_t PollCompletions(Completion* out, size_t max);
+
+  // Reaps completions until every submitted request has completed or `timeout_ns` of no
+  // progress elapses. Returns true when fully drained.
+  bool WaitForCompletions(uint64_t timeout_ns);
+
+  // --- control plane -------------------------------------------------------------------------
+
+  bool Ping(std::string* error);
+  // Tears the installed container down (frames reclaimed server-side).
+  bool Teardown(std::string* error);
+  // Orderly disconnect: goodbye + close. Without this, the daemon counts a client death.
+  void Goodbye();
+  // Hard close, no goodbye — from the daemon's view, a crash.
+  void Close();
+
+  bool connected() const { return sock_ >= 0; }
+  bool installed() const { return installed_; }
+  uint64_t container_id() const { return container_id_; }
+  uint64_t region_pages() const { return region_pages_; }
+  uint64_t submitted() const { return submitted_; }
+  uint64_t completed() const { return completed_; }
+  // Completions that came back kStatusOk / other.
+  uint64_t completed_ok() const { return completed_ok_; }
+  uint64_t completed_rejected() const { return completed_rejected_; }
+  // Submission-side backpressure stalls this client has burned through.
+  uint64_t backpressure_stalls() const { return stalls_; }
+
+ private:
+  // Reads one frame (optionally capturing a passed fd), decoding into `frame`.
+  bool ReadFrame(DecodedFrame* frame, int* captured_fd, std::string* error);
+  void AccountCompletion(const Completion& completion);
+
+  int sock_ = -1;
+  bool installed_ = false;
+  RingPair ring_;
+  uint64_t container_id_ = 0;
+  uint64_t region_pages_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t next_ping_ = 1;
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t completed_ok_ = 0;
+  uint64_t completed_rejected_ = 0;
+  uint64_t stalls_ = 0;
+};
+
+}  // namespace hipec::server
+
+#endif  // HIPEC_SERVER_CLIENT_H_

@@ -1,0 +1,220 @@
+#include "server/ring.h"
+
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hipec::server {
+
+namespace {
+
+constexpr uint32_t kMaxRingSlots = 1u << 16;
+
+bool IsPowerOfTwo(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+size_t AlignUp(size_t v, size_t a) { return (v + a - 1) & ~(a - 1); }
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+RingLayout RingLayout::For(uint32_t slots) {
+  RingLayout layout;
+  layout.header_bytes = AlignUp(sizeof(RingHeader), 64);
+  layout.sub_offset = layout.header_bytes;
+  layout.comp_offset = AlignUp(layout.sub_offset + slots * sizeof(Request), 64);
+  layout.total_bytes =
+      AlignUp(layout.comp_offset + slots * sizeof(Completion),
+              static_cast<size_t>(sysconf(_SC_PAGESIZE) > 0 ? sysconf(_SC_PAGESIZE) : 4096));
+  return layout;
+}
+
+RingPair::~RingPair() { Close(); }
+
+RingPair::RingPair(RingPair&& other) noexcept { *this = std::move(other); }
+
+RingPair& RingPair::operator=(RingPair&& other) noexcept {
+  if (this != &other) {
+    Close();
+    header_ = std::exchange(other.header_, nullptr);
+    sub_ = std::exchange(other.sub_, nullptr);
+    comp_ = std::exchange(other.comp_, nullptr);
+    mapped_bytes_ = std::exchange(other.mapped_bytes_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void RingPair::Close() {
+  if (header_ != nullptr) {
+    munmap(header_, mapped_bytes_);
+    header_ = nullptr;
+    sub_ = nullptr;
+    comp_ = nullptr;
+    mapped_bytes_ = 0;
+  }
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool RingPair::Create(uint32_t slots, std::string* error) {
+  Close();
+  if (!IsPowerOfTwo(slots) || slots > kMaxRingSlots) {
+    *error = "ring slot count must be a power of two <= 65536";
+    return false;
+  }
+  RingLayout layout = RingLayout::For(slots);
+  int fd = memfd_create("hipec-ring", MFD_CLOEXEC);
+  if (fd < 0) {
+    *error = Errno("memfd_create");
+    return false;
+  }
+  if (ftruncate(fd, static_cast<off_t>(layout.total_bytes)) != 0) {
+    *error = Errno("ftruncate");
+    close(fd);
+    return false;
+  }
+  void* map = mmap(nullptr, layout.total_bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) {
+    *error = Errno("mmap");
+    close(fd);
+    return false;
+  }
+  fd_ = fd;
+  mapped_bytes_ = layout.total_bytes;
+  header_ = new (map) RingHeader();
+  header_->magic = kRingMagic;
+  header_->version = kRingVersion;
+  header_->slots = slots;
+  sub_ = reinterpret_cast<Request*>(static_cast<uint8_t*>(map) + layout.sub_offset);
+  comp_ = reinterpret_cast<Completion*>(static_cast<uint8_t*>(map) + layout.comp_offset);
+  return true;
+}
+
+bool RingPair::Attach(int fd, std::string* error) {
+  Close();
+  fd_ = fd;  // owned from here on, including on failure
+  if (fd < 0) {
+    *error = "attach: invalid fd";
+    return false;
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    *error = Errno("fstat");
+    return false;
+  }
+  if (st.st_size < static_cast<off_t>(sizeof(RingHeader))) {
+    *error = "attach: segment smaller than the ring header";
+    return false;
+  }
+  size_t total = static_cast<size_t>(st.st_size);
+  void* map = mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) {
+    *error = Errno("mmap");
+    return false;
+  }
+  RingHeader* header = static_cast<RingHeader*>(map);
+  if (header->magic != kRingMagic || header->version != kRingVersion) {
+    *error = "attach: ring magic/version mismatch";
+    munmap(map, total);
+    return false;
+  }
+  uint32_t slots = header->slots;
+  if (!IsPowerOfTwo(slots) || slots > kMaxRingSlots) {
+    *error = "attach: bad slot count";
+    munmap(map, total);
+    return false;
+  }
+  RingLayout layout = RingLayout::For(slots);
+  if (total < layout.total_bytes) {
+    *error = "attach: segment smaller than its header claims";
+    munmap(map, total);
+    return false;
+  }
+  header_ = header;
+  mapped_bytes_ = total;
+  sub_ = reinterpret_cast<Request*>(static_cast<uint8_t*>(map) + layout.sub_offset);
+  comp_ = reinterpret_cast<Completion*>(static_cast<uint8_t*>(map) + layout.comp_offset);
+  return true;
+}
+
+bool RingPair::TryPushRequest(const Request& request) {
+  const uint32_t slots = header_->slots;
+  uint32_t tail = header_->sub_tail.load(std::memory_order_relaxed);
+  uint32_t head = header_->sub_head.load(std::memory_order_acquire);
+  if (tail - head >= slots) {
+    return false;
+  }
+  sub_[tail & (slots - 1)] = request;
+  header_->sub_tail.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+size_t RingPair::PopRequests(Request* out, size_t max) {
+  const uint32_t slots = header_->slots;
+  uint32_t head = header_->sub_head.load(std::memory_order_relaxed);
+  uint32_t tail = header_->sub_tail.load(std::memory_order_acquire);
+  size_t avail = tail - head;
+  size_t n = avail < max ? avail : max;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = sub_[(head + i) & (slots - 1)];
+  }
+  if (n > 0) {
+    header_->sub_head.store(head + static_cast<uint32_t>(n), std::memory_order_release);
+  }
+  return n;
+}
+
+uint32_t RingPair::PendingRequests() const {
+  return header_->sub_tail.load(std::memory_order_acquire) -
+         header_->sub_head.load(std::memory_order_acquire);
+}
+
+bool RingPair::TryPushCompletion(const Completion& completion) {
+  const uint32_t slots = header_->slots;
+  uint32_t tail = header_->comp_tail.load(std::memory_order_relaxed);
+  uint32_t head = header_->comp_head.load(std::memory_order_acquire);
+  if (tail - head >= slots) {
+    return false;
+  }
+  comp_[tail & (slots - 1)] = completion;
+  header_->comp_tail.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+size_t RingPair::PopCompletions(Completion* out, size_t max) {
+  const uint32_t slots = header_->slots;
+  uint32_t head = header_->comp_head.load(std::memory_order_relaxed);
+  uint32_t tail = header_->comp_tail.load(std::memory_order_acquire);
+  size_t avail = tail - head;
+  size_t n = avail < max ? avail : max;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = comp_[(head + i) & (slots - 1)];
+  }
+  if (n > 0) {
+    header_->comp_head.store(head + static_cast<uint32_t>(n), std::memory_order_release);
+  }
+  return n;
+}
+
+uint32_t RingPair::PendingCompletions() const {
+  return header_->comp_tail.load(std::memory_order_acquire) -
+         header_->comp_head.load(std::memory_order_acquire);
+}
+
+uint64_t MonotonicNowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull + static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace hipec::server

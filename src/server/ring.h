@@ -1,0 +1,136 @@
+// The per-client data plane: one shared-memory segment holding a pair of lock-free SPSC
+// rings (docs/SERVER.md).
+//
+//   * submission ring  — client produces wire::Request records, the daemon's drain loop
+//     consumes them in batches;
+//   * completion ring  — the daemon produces wire::Completion records, the client consumes.
+//
+// Each ring has exactly one producer and one consumer process, so two monotonically
+// increasing position counters per ring (acquire/release atomics) are the whole protocol —
+// no CAS, no locks, no syscalls on the fast path. Positions are free-running uint32s;
+// `pos & (slots - 1)` indexes the slot array (slots is a power of two).
+//
+// The segment is created by the daemon with memfd_create, sized, mapped on both sides, and
+// passed to the client as a file descriptor riding an SCM_RIGHTS control message on the
+// install ack — no global name, no cleanup problem: the segment dies with its last mapping,
+// even if the client is SIGKILLed mid-burst.
+//
+// Attachment is defensive: the daemon wrote the header, but a client maps bytes it must not
+// trust blindly either (version skew), so Attach() validates magic, version, slot counts and
+// segment size before touching a ring.
+#ifndef HIPEC_SERVER_RING_H_
+#define HIPEC_SERVER_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "server/wire.h"
+
+namespace hipec::server {
+
+inline constexpr uint32_t kRingMagic = 0x48525131;  // "HRQ1"
+inline constexpr uint32_t kRingVersion = 1;
+inline constexpr uint32_t kDefaultRingSlots = 1024;
+
+// The shared segment's header page. All cross-process state lives here; the Request and
+// Completion slot arrays follow at the offsets RingLayout computes.
+struct RingHeader {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t slots = 0;  // per-direction slot count, power of two
+  uint32_t reserved = 0;
+
+  // Submission ring positions (client produces, daemon consumes).
+  alignas(64) std::atomic<uint32_t> sub_tail{0};  // next slot the producer will fill
+  alignas(64) std::atomic<uint32_t> sub_head{0};  // next slot the consumer will read
+  // Completion ring positions (daemon produces, client consumes).
+  alignas(64) std::atomic<uint32_t> comp_tail{0};
+  alignas(64) std::atomic<uint32_t> comp_head{0};
+
+  // Producer-side bounded-backoff stalls, published where the other side can read them:
+  // the client bumps sub_stalls when the submission ring stays full through its backoff
+  // window; the daemon bumps comp_stalls for the completion ring. The daemon aggregates
+  // both into its server.backpressure_stalls counter.
+  alignas(64) std::atomic<uint64_t> sub_stalls{0};
+  std::atomic<uint64_t> comp_stalls{0};
+
+  // Heartbeat: CLOCK_MONOTONIC nanoseconds of the client's last sign of life (submission,
+  // ping, or explicit beat). The daemon's reaper compares it against the heartbeat timeout.
+  std::atomic<uint64_t> client_beat_ns{0};
+};
+
+static_assert(std::atomic<uint32_t>::is_always_lock_free,
+              "ring positions must be lock-free across processes");
+static_assert(std::atomic<uint64_t>::is_always_lock_free,
+              "ring counters must be lock-free across processes");
+
+// Byte layout of a segment with `slots` slots per direction.
+struct RingLayout {
+  size_t header_bytes = 0;
+  size_t sub_offset = 0;
+  size_t comp_offset = 0;
+  size_t total_bytes = 0;
+
+  static RingLayout For(uint32_t slots);
+};
+
+// A mapped ring pair. The same class serves both sides; which ring a side produces into is
+// fixed by the calling code (client: PushRequest/PopCompletion; daemon: PopRequests/
+// PushCompletion). Not thread-safe per side: one producer thread, one consumer thread.
+class RingPair {
+ public:
+  RingPair() = default;
+  ~RingPair();
+  RingPair(const RingPair&) = delete;
+  RingPair& operator=(const RingPair&) = delete;
+  RingPair(RingPair&& other) noexcept;
+  RingPair& operator=(RingPair&& other) noexcept;
+
+  // Daemon side: creates an anonymous memfd segment, maps it, and formats the header.
+  // On success owns both the mapping and the fd (DetachFd hands the fd to the install ack).
+  bool Create(uint32_t slots, std::string* error);
+
+  // Either side: maps an existing segment from `fd` and validates the header. Takes
+  // ownership of `fd` on success and failure alike.
+  bool Attach(int fd, std::string* error);
+
+  void Close();
+
+  bool valid() const { return header_ != nullptr; }
+  uint32_t slots() const { return header_ == nullptr ? 0 : header_->slots; }
+  RingHeader* header() { return header_; }
+  // The segment fd, or -1. Still owned by the RingPair.
+  int fd() const { return fd_; }
+
+  // --- submission ring (Request records) -----------------------------------------------------
+
+  // Producer: false when the ring is full (caller decides how to back off).
+  bool TryPushRequest(const Request& request);
+  // Consumer: pops up to `max` records; returns how many were read.
+  size_t PopRequests(Request* out, size_t max);
+  // Records currently queued (racy snapshot; exact for the side that owns an end).
+  uint32_t PendingRequests() const;
+
+  // --- completion ring (Completion records) --------------------------------------------------
+
+  bool TryPushCompletion(const Completion& completion);
+  size_t PopCompletions(Completion* out, size_t max);
+  uint32_t PendingCompletions() const;
+
+ private:
+  RingHeader* header_ = nullptr;
+  Request* sub_ = nullptr;
+  Completion* comp_ = nullptr;
+  size_t mapped_bytes_ = 0;
+  int fd_ = -1;
+};
+
+// Current CLOCK_MONOTONIC in nanoseconds — the heartbeat and latency timebase shared by the
+// client library and the daemon's drain loop.
+uint64_t MonotonicNowNs();
+
+}  // namespace hipec::server
+
+#endif  // HIPEC_SERVER_RING_H_

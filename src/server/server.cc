@@ -1,0 +1,658 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "server/sockio.h"
+
+namespace hipec::server {
+
+namespace {
+
+// Control plane.
+const sim::CounterId kCtrConnections = sim::InternCounter("server.connections");
+const sim::CounterId kCtrConnRejects = sim::InternCounter("server.connection_rejects");
+const sim::CounterId kCtrMalformedFrames = sim::InternCounter("server.malformed_frames");
+const sim::CounterId kCtrInstalls = sim::InternCounter("server.installs");
+const sim::CounterId kCtrInstallRejects = sim::InternCounter("server.install_rejects");
+const sim::CounterId kCtrTeardowns = sim::InternCounter("server.teardowns");
+const sim::CounterId kCtrPings = sim::InternCounter("server.pings");
+const sim::CounterId kCtrClientDeaths = sim::InternCounter("server.client_deaths");
+const sim::CounterId kCtrHeartbeatTimeouts = sim::InternCounter("server.heartbeat_timeouts");
+// Data plane.
+const sim::CounterId kCtrRequests = sim::InternCounter("server.requests");
+const sim::CounterId kCtrCompletions = sim::InternCounter("server.completions");
+const sim::CounterId kCtrMalformedRequests = sim::InternCounter("server.malformed_requests");
+const sim::CounterId kCtrBackpressureStalls =
+    sim::InternCounter("server.backpressure_stalls");
+
+const obs::ProbeId kProbeServiceNs = obs::InternProbe("server.drain.service_ns");
+const obs::ProbeId kProbeBatch = obs::InternProbe("server.drain.batch");
+const obs::ProbeId kProbeRingOccupancy = obs::InternProbe("server.drain.ring_occupancy");
+
+constexpr uint32_t kMaxQosWeight = 64;
+constexpr uint64_t kMaxRegionPages = 1u << 22;  // 16 GB of 4K pages — far above any test
+constexpr size_t kMaxUserQueues = 8;
+// Completion-push backoff: this many failed attempts (10us apart) before the record spills
+// into the session's overflow queue and the pass stops popping new work.
+constexpr int kPushAttempts = 64;
+
+// Error codes in kError replies (diagnostic only; clients key off the message).
+constexpr uint32_t kErrProtocol = 400;
+constexpr uint32_t kErrVersion = 401;
+constexpr uint32_t kErrState = 409;
+constexpr uint32_t kErrCapacity = 503;
+
+uint64_t NowNs() { return MonotonicNowNs(); }
+
+}  // namespace
+
+Server::Server(const ServerConfig& config) : config_(config) {
+  mach::KernelParams params;
+  params.total_frames = config_.total_frames;
+  params.kernel_reserved_frames = config_.kernel_reserved_frames;
+  params.hipec_build = true;
+  params.exec_mode = sim::ExecMode::kRealThreads;
+  params.jit_mode = config_.jit_mode;
+  kernel_ = std::make_unique<mach::Kernel>(params);
+  engine_ = std::make_unique<core::HipecEngine>(kernel_.get(), config_.manager);
+  counters_.EnableConcurrent();
+  probes_.EnableConcurrent();
+  if (config_.drain_threads == 0) {
+    config_.drain_threads = 1;
+  }
+}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start(std::string* error) {
+  listen_fd_ = ListenUnix(config_.socket_path, error);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  drain_threads_.reserve(config_.drain_threads);
+  for (size_t i = 0; i < config_.drain_threads; ++i) {
+    drain_threads_.emplace_back(&Server::DrainLoop, this);
+  }
+  if (config_.heartbeat_timeout_ns > 0) {
+    reaper_thread_ = std::thread(&Server::ReaperLoop, this);
+  }
+  return true;
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Wake the accept thread, then every control thread; their exit paths run the teardown.
+  shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  close(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions = sessions_;
+  }
+  for (auto& session : sessions) {
+    shutdown(session->sock, SHUT_RDWR);
+  }
+  for (auto& session : sessions) {
+    if (session->control_thread.joinable()) {
+      session->control_thread.join();
+    }
+  }
+  // Control threads are gone (every session torn down); now the data-plane threads.
+  for (std::thread& t : drain_threads_) {
+    t.join();
+  }
+  drain_threads_.clear();
+  if (reaper_thread_.joinable()) {
+    reaper_thread_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.clear();
+  }
+  unlink(config_.socket_path.c_str());
+}
+
+// ---------------------------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------------------------
+
+void Server::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int sock = accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (sock < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // listener shut down
+    }
+    counters_.Add(kCtrConnections);
+    auto session = std::make_shared<Session>();
+    session->sock = sock;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      if (sessions_.size() >= config_.max_clients) {
+        counters_.Add(kCtrConnRejects);
+        ErrorMsg err{kErrCapacity, "server full"};
+        std::string frame;
+        EncodeError(err, &frame);
+        WriteAll(sock, frame.data(), frame.size());
+        close(sock);
+        continue;
+      }
+      session->id = next_session_id_++;
+      session->name = "client#" + std::to_string(session->id);
+      sessions_.push_back(session);
+      session->control_thread = std::thread(&Server::ControlLoop, this, session);
+    }
+  }
+}
+
+void Server::ControlLoop(std::shared_ptr<Session> session) {
+  Session& s = *session;
+  bool orderly = false;
+  for (;;) {
+    uint8_t header_bytes[kFrameHeaderBytes];
+    if (!ReadFull(s.sock, header_bytes, sizeof(header_bytes))) {
+      break;  // EOF, error, or shutdown() from Stop/reaper
+    }
+    FrameHeader header;
+    DecodeStatus status = DecodeFrameHeader(header_bytes, sizeof(header_bytes), &header);
+    if (status != DecodeStatus::kOk) {
+      // A bad header means the stream is out of sync; there is no way to find the next
+      // frame boundary, so reject and disconnect.
+      counters_.Add(kCtrMalformedFrames);
+      SendError(s, kErrProtocol,
+                std::string("bad frame header: ") + DecodeStatusName(status));
+      break;
+    }
+    std::vector<uint8_t> payload(header.length);
+    if (header.length > 0 && !ReadFull(s.sock, payload.data(), payload.size())) {
+      break;
+    }
+    if (!HandleFrame(s, header, payload, &orderly)) {
+      break;
+    }
+  }
+  // Whatever ended the loop, the teardown is the same as a checker kill. EOF without a
+  // goodbye while the server is running is a client death.
+  if (!orderly && running_.load(std::memory_order_acquire)) {
+    counters_.Add(kCtrClientDeaths);
+    TeardownSession(s, "client died (connection lost)");
+  } else {
+    TeardownSession(s, orderly ? "client goodbye" : "server shutdown");
+  }
+  shutdown(s.sock, SHUT_RDWR);
+  close(s.sock);
+  s.sock = -1;
+}
+
+bool Server::HandleFrame(Session& s, const FrameHeader& header,
+                         const std::vector<uint8_t>& payload, bool* orderly) {
+  DecodedFrame frame;
+  DecodeStatus status = DecodePayload(header, payload.data(), payload.size(), &frame);
+  if (status != DecodeStatus::kOk) {
+    // The payload was fully consumed, so framing is intact: reject and keep serving.
+    counters_.Add(kCtrMalformedFrames);
+    SendError(s, kErrProtocol, std::string("bad ") + std::to_string(header.type) +
+                                   " payload: " + DecodeStatusName(status));
+    return true;
+  }
+  if (!s.hello_done && frame.type != MsgType::kHello) {
+    counters_.Add(kCtrMalformedFrames);
+    SendError(s, kErrState, "expected hello");
+    return false;
+  }
+  switch (frame.type) {
+    case MsgType::kHello: {
+      if (s.hello_done) {
+        counters_.Add(kCtrMalformedFrames);
+        SendError(s, kErrState, "duplicate hello");
+        return true;
+      }
+      if (frame.hello.version != kWireVersion) {
+        SendError(s, kErrVersion,
+                  "unsupported wire version " + std::to_string(frame.hello.version));
+        return false;
+      }
+      if (!frame.hello.client_name.empty()) {
+        s.name = frame.hello.client_name;
+      }
+      s.qos_weight = std::clamp<uint32_t>(frame.hello.qos_weight, 1, kMaxQosWeight);
+      s.hello_done = true;
+      s.last_beat_ns.store(NowNs(), std::memory_order_relaxed);
+      HelloAckMsg ack;
+      ack.server_pid = static_cast<uint64_t>(getpid());
+      ack.max_clients = config_.max_clients;
+      std::string out;
+      EncodeHelloAck(ack, &out);
+      return WriteAll(s.sock, out.data(), out.size());
+    }
+    case MsgType::kInstall:
+      HandleInstall(s, frame.install);
+      return true;
+    case MsgType::kTeardown:
+      HandleTeardown(s, frame.teardown);
+      return true;
+    case MsgType::kPing: {
+      counters_.Add(kCtrPings);
+      s.last_beat_ns.store(NowNs(), std::memory_order_relaxed);
+      PongMsg pong{frame.ping.seq};
+      std::string out;
+      EncodePong(pong, &out);
+      return WriteAll(s.sock, out.data(), out.size());
+    }
+    case MsgType::kGoodbye:
+      *orderly = true;
+      return false;
+    default:
+      // Server->client message types arriving from a client are protocol violations.
+      counters_.Add(kCtrMalformedFrames);
+      SendError(s, kErrProtocol, "unexpected message type from client");
+      return true;
+  }
+}
+
+void Server::HandleInstall(Session& s, const InstallMsg& msg) {
+  InstallAckMsg ack;
+  int ring_fd = -1;
+  mach::Task* task = nullptr;
+  do {
+    if (s.installed.load(std::memory_order_relaxed) || s.torn_down) {
+      ack.error = "session already has a container";
+      break;
+    }
+    if (msg.region_pages == 0 || msg.region_pages > kMaxRegionPages) {
+      ack.error = "region_pages out of range";
+      break;
+    }
+    core::PolicyProgram program;
+    bool program_ok = true;
+    for (size_t e = 0; e < msg.program.events.size(); ++e) {
+      if (msg.program.events[e].empty()) {
+        continue;
+      }
+      if (e >= kMaxProgramEvents) {
+        program_ok = false;
+        break;
+      }
+      program.SetEventRaw(static_cast<int>(e), msg.program.events[e]);
+    }
+    if (!program_ok) {
+      ack.error = "program event index out of range";
+      break;
+    }
+    core::HipecOptions options;
+    options.min_frames = static_cast<size_t>(msg.min_frames);
+    options.timeout_ns = msg.timeout_ns;
+    options.free_target = msg.free_target;
+    options.inactive_target = msg.inactive_target;
+    options.reserved_target = msg.reserved_target;
+    options.request_size = msg.request_size;
+    options.user_queue_count =
+        std::min<size_t>(static_cast<size_t>(msg.user_queue_count), kMaxUserQueues);
+    options.qos_weight =
+        std::clamp<uint32_t>(msg.qos_weight != 0 ? msg.qos_weight : s.qos_weight, 1,
+                             kMaxQosWeight);
+    task = kernel_->CreateTask("hipecd:" + s.name);
+    core::HipecRegion region;
+    {
+      // Registration runs concurrently with other sessions' faults: hold the world shared
+      // for the kernel entry, exactly like an in-process thread calling the syscall.
+      sim::SharedWorldGuard world(kernel_->world());
+      region =
+          engine_->VmAllocateHipec(task, msg.region_pages * mach::kPageSize, program, options);
+    }
+    if (!region.ok) {
+      // The validator or admission said no. The task never got a region; retire it.
+      counters_.Add(kCtrInstallRejects);
+      {
+        sim::SharedWorldGuard world(kernel_->world());
+        kernel_->TerminateTask(task, "install rejected: " + region.error);
+      }
+      ack.error = region.error;
+      break;
+    }
+    std::string ring_error;
+    if (!s.ring.Create(config_.ring_slots, &ring_error)) {
+      counters_.Add(kCtrInstallRejects);
+      {
+        sim::SharedWorldGuard world(kernel_->world());
+        kernel_->TerminateTask(task, "ring allocation failed");
+      }
+      ack.error = ring_error;
+      break;
+    }
+    s.ring_ready.store(true, std::memory_order_release);
+    s.task = task;
+    s.container_id = region.container->id();
+    s.region_addr = region.addr;
+    s.region_pages = msg.region_pages;
+    s.qos_weight = options.qos_weight;
+    s.ring.header()->client_beat_ns.store(NowNs(), std::memory_order_relaxed);
+    counters_.Add(kCtrInstalls);
+    ack.ok = 1;
+    ack.container_id = s.container_id;
+    ack.region_addr = s.region_addr;
+    ack.ring_slots = s.ring.slots();
+    ring_fd = s.ring.fd();
+    // Publish to the drain threads only after every field above is in place.
+    s.installed.store(true, std::memory_order_release);
+  } while (false);
+  std::string out;
+  EncodeInstallAck(ack, &out);
+  WriteAllWithFd(s.sock, out.data(), out.size(), ring_fd);
+}
+
+void Server::HandleTeardown(Session& s, const TeardownMsg& msg) {
+  TeardownAckMsg ack;
+  if (!s.installed.load(std::memory_order_relaxed) || msg.container_id != s.container_id) {
+    ack.error = "no such container";
+  } else {
+    TeardownSession(s, "client teardown request");
+    counters_.Add(kCtrTeardowns);
+    ack.ok = 1;
+  }
+  std::string out;
+  EncodeTeardownAck(ack, &out);
+  WriteAll(s.sock, out.data(), out.size());
+}
+
+void Server::TeardownSession(Session& s, const std::string& reason) {
+  if (s.task == nullptr) {
+    s.dead.store(true, std::memory_order_release);
+    return;
+  }
+  // Unpublish, then wait out any in-flight drain claim so no drain thread touches the ring
+  // or the task while we reclaim. New claims stop at the installed/dead checks.
+  s.installed.store(false, std::memory_order_release);
+  s.dead.store(true, std::memory_order_release);
+  while (s.draining.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  s.torn_down = true;
+  {
+    // The checker-kill path: terminate the task; region teardown returns every private
+    // frame through OnRegionTeardown -> RemoveContainer.
+    sim::SharedWorldGuard world(kernel_->world());
+    if (!s.task->terminated()) {
+      kernel_->TerminateTask(s.task, reason);
+    }
+  }
+  // The ring mapping is NOT unmapped here: stats snapshots and the reaper read its header
+  // racily against teardown, so the segment lives until the Session itself is destroyed
+  // (RingPair's destructor). One page-sized mapping per departed client until Stop().
+}
+
+void Server::SendError(Session& s, uint32_t code, const std::string& message) {
+  ErrorMsg err{code, message};
+  std::string out;
+  EncodeError(err, &out);
+  WriteAll(s.sock, out.data(), out.size());
+}
+
+// ---------------------------------------------------------------------------------------------
+// Data plane
+// ---------------------------------------------------------------------------------------------
+
+void Server::DrainLoop() {
+  std::vector<std::shared_ptr<Session>> snapshot;
+  while (running_.load(std::memory_order_acquire)) {
+    if (drain_paused_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      snapshot = sessions_;
+    }
+    size_t done = 0;
+    for (auto& session : snapshot) {
+      Session& s = *session;
+      if (!s.installed.load(std::memory_order_acquire) ||
+          s.dead.load(std::memory_order_acquire)) {
+        continue;
+      }
+      if (s.draining.exchange(true, std::memory_order_acq_rel)) {
+        continue;  // another drain thread owns this session right now
+      }
+      if (s.installed.load(std::memory_order_acquire) &&
+          !s.dead.load(std::memory_order_acquire)) {
+        done += DrainSession(s);
+      }
+      s.draining.store(false, std::memory_order_release);
+    }
+    if (done == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+size_t Server::DrainSession(Session& s) {
+  // Deliver leftovers first: completion-ring pressure must reach the submission ring, so a
+  // client that stops reaping cannot force unbounded daemon-side buffering.
+  while (!s.overflow.empty()) {
+    if (!s.ring.TryPushCompletion(s.overflow.front())) {
+      return 0;
+    }
+    s.overflow.pop_front();
+    counters_.Add(kCtrCompletions);
+    s.completions_done.fetch_add(1, std::memory_order_relaxed);
+  }
+  const bool probes_on = obs::ProbesEnabled();
+  size_t budget = config_.drain_batch * s.qos_weight;
+  if (probes_on) {
+    probes_.Record(kProbeRingOccupancy, s.ring.PendingRequests());
+  }
+  size_t done = 0;
+  Request batch[64];
+  while (budget > 0) {
+    size_t want = std::min<size_t>(budget, sizeof(batch) / sizeof(batch[0]));
+    size_t n = s.ring.PopRequests(batch, want);
+    if (n == 0) {
+      break;
+    }
+    counters_.Add(kCtrRequests, static_cast<int64_t>(n));
+    if (probes_on) {
+      probes_.Record(kProbeBatch, static_cast<int64_t>(n));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      Completion completion = ExecuteRequest(s, batch[i]);
+      if (!DeliverCompletion(s, completion)) {
+        return done;
+      }
+    }
+    done += n;
+    s.requests_done += n;
+    budget -= n;
+  }
+  return done;
+}
+
+Completion Server::ExecuteRequest(Session& s, const Request& request) {
+  Completion completion;
+  completion.seq = request.seq;
+  completion.op = request.op;
+  const bool probes_on = obs::ProbesEnabled();
+  const uint64_t start_ns = probes_on ? NowNs() : 0;
+  if (request.op >= kOpLimit || request.arg != 0 ||
+      (request.op != kOpNop && request.page >= s.region_pages)) {
+    // Semantic validation of the shared-memory record: unknown opcode, nonzero reserved
+    // field, or a page outside the installed region. Reject, never crash.
+    completion.status = kStatusBadRequest;
+    counters_.Add(kCtrMalformedRequests);
+    s.malformed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    switch (request.op) {
+      case kOpNop:
+        completion.status = kStatusOk;
+        break;
+      case kOpTouch: {
+        uint64_t vaddr = s.region_addr + static_cast<uint64_t>(request.page) * mach::kPageSize;
+        bool ok = kernel_->Touch(s.task, vaddr, (request.flags & kReqFlagWrite) != 0);
+        completion.status = ok ? kStatusOk : kStatusTerminated;
+        break;
+      }
+      case kOpFlush: {
+        uint64_t vaddr = s.region_addr + static_cast<uint64_t>(request.page) * mach::kPageSize;
+        bool ok = kernel_->FlushAddress(s.task, vaddr);
+        completion.status = ok ? kStatusOk : kStatusTerminated;
+        break;
+      }
+      default:
+        completion.status = kStatusBadRequest;
+        break;
+    }
+  }
+  if (probes_on) {
+    completion.service_ns = NowNs() - start_ns;
+    probes_.Record(kProbeServiceNs, static_cast<int64_t>(completion.service_ns));
+    std::lock_guard<std::mutex> lock(s.lat_mu);
+    s.latency.Record(static_cast<int64_t>(completion.service_ns));
+  }
+  return completion;
+}
+
+bool Server::DeliverCompletion(Session& s, const Completion& completion) {
+  for (int attempt = 0; attempt < kPushAttempts; ++attempt) {
+    if (s.ring.TryPushCompletion(completion)) {
+      counters_.Add(kCtrCompletions);
+      s.completions_done.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (s.dead.load(std::memory_order_acquire) ||
+        !running_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    counters_.Add(kCtrBackpressureStalls);
+    s.ring.header()->comp_stalls.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(10));
+  }
+  // The client is not reaping. Spill and let the next pass retry before new work.
+  s.overflow.push_back(completion);
+  return true;
+}
+
+void Server::ReaperLoop() {
+  const uint64_t timeout = config_.heartbeat_timeout_ns;
+  const auto interval =
+      std::chrono::nanoseconds(std::max<uint64_t>(timeout / 4, 1'000'000));
+  std::vector<std::shared_ptr<Session>> snapshot;
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(interval);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      snapshot = sessions_;
+    }
+    const uint64_t now = NowNs();
+    for (auto& session : snapshot) {
+      Session& s = *session;
+      if (!s.installed.load(std::memory_order_acquire) ||
+          s.dead.load(std::memory_order_acquire) ||
+          s.reaped.load(std::memory_order_acquire)) {
+        continue;
+      }
+      uint64_t beat = s.last_beat_ns.load(std::memory_order_relaxed);
+      beat = std::max(beat, s.ring.header()->client_beat_ns.load(std::memory_order_relaxed));
+      if (beat != 0 && now > beat && now - beat > timeout) {
+        // Wedged or silently-gone client: force the death path. The control thread's read
+        // fails once the socket shuts down and runs the same teardown as an EOF.
+        counters_.Add(kCtrHeartbeatTimeouts);
+        s.reaped.store(true, std::memory_order_release);
+        shutdown(s.sock, SHUT_RDWR);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------------------------
+
+std::vector<ClientStats> Server::ClientStatsSnapshot() {
+  std::vector<std::shared_ptr<Session>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    snapshot = sessions_;
+  }
+  std::vector<ClientStats> out;
+  out.reserve(snapshot.size());
+  for (auto& session : snapshot) {
+    Session& s = *session;
+    ClientStats stats;
+    stats.id = s.id;
+    stats.name = s.name;
+    stats.qos_weight = s.qos_weight;
+    stats.completions = s.completions_done.load(std::memory_order_relaxed);
+    stats.malformed = s.malformed.load(std::memory_order_relaxed);
+    stats.installed = s.installed.load(std::memory_order_acquire);
+    stats.dead = s.dead.load(std::memory_order_acquire);
+    if (s.ring_ready.load(std::memory_order_acquire)) {
+      RingHeader* header = s.ring.header();
+      stats.backpressure_stalls = header->sub_stalls.load(std::memory_order_relaxed) +
+                                  header->comp_stalls.load(std::memory_order_relaxed);
+    }
+    // Every delivered completion answered exactly one request.
+    stats.requests = stats.completions;
+    {
+      std::lock_guard<std::mutex> lock(s.lat_mu);
+      stats.latency = s.latency;
+    }
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+size_t Server::LiveSessionCount() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  size_t live = 0;
+  for (auto& session : sessions_) {
+    if (session->installed.load(std::memory_order_acquire) &&
+        !session->dead.load(std::memory_order_acquire)) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+size_t Server::DrainSessionOnceForTest(uint64_t session_id) {
+  std::shared_ptr<Session> target;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& session : sessions_) {
+      if (session->id == session_id) {
+        target = session;
+        break;
+      }
+    }
+  }
+  if (target == nullptr || !target->installed.load(std::memory_order_acquire) ||
+      target->dead.load(std::memory_order_acquire)) {
+    return 0;
+  }
+  // Claim like a drain thread would; spin-wait if one currently owns the session.
+  while (target->draining.exchange(true, std::memory_order_acq_rel)) {
+    std::this_thread::yield();
+  }
+  size_t done = 0;
+  if (target->installed.load(std::memory_order_acquire) &&
+      !target->dead.load(std::memory_order_acquire)) {
+    done = DrainSession(*target);
+  }
+  target->draining.store(false, std::memory_order_release);
+  return done;
+}
+
+}  // namespace hipec::server

@@ -1,0 +1,196 @@
+// hipecd's core: one kernel + HiPEC engine serving many client processes (docs/SERVER.md).
+//
+// Control plane: a Unix-domain stream socket. Each accepted connection gets a control
+// thread that speaks the framed protocol in wire.h — hello/version handshake, policy
+// install (through the engine's existing validate + JIT + admission path), container
+// teardown, heartbeat pings. The daemon's contract with untrusted clients is
+// reject-and-reply: malformed frames bump counters and produce kError replies (or a
+// disconnect when the stream cannot be re-synced), never an assert or a crash.
+//
+// Data plane: a per-client shared-memory ring pair (ring.h). A pool of drain threads scans
+// installed sessions, claims each with an atomic flag (preserving the ring's single-consumer
+// contract with more than one drain thread), and executes up to
+// `drain_batch * qos_weight` requests per claim — the per-client QoS weight is exactly a
+// drain-budget multiplier, so a weight-4 client gets 4x the service of a weight-1 client
+// under contention and no more than it can submit otherwise. Requests map to the same
+// kernel entry points an in-process application would use (`Kernel::Touch`,
+// `Kernel::FlushAddress`), so admission, burst-watermark rejection, FAFR reclamation and
+// the Flush reserve all apply unchanged.
+//
+// Client death: socket EOF, a failed write, or a heartbeat timeout all funnel into the same
+// teardown — `Kernel::TerminateTask` under a shared world guard, the identical path a
+// security-checker kill takes — so every private frame is reclaimed and the invariant
+// auditor stays green no matter how a client leaves.
+#ifndef HIPEC_SERVER_SERVER_H_
+#define HIPEC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hipec/engine.h"
+#include "mach/kernel.h"
+#include "obs/histogram.h"
+#include "obs/probe.h"
+#include "server/ring.h"
+#include "server/wire.h"
+
+namespace hipec::server {
+
+struct ServerConfig {
+  // Filesystem path of the listening socket (sockaddr_un, so keep it short).
+  std::string socket_path;
+  // Kernel shape (same knobs as mach::KernelParams).
+  uint64_t total_frames = 16384;
+  uint64_t kernel_reserved_frames = 2048;
+  core::FrameManagerConfig manager;
+  bool jit_mode = mach::DefaultJitMode();
+  // Data-plane shape.
+  size_t drain_threads = 2;
+  uint32_t ring_slots = kDefaultRingSlots;
+  // Requests executed per QoS-weight unit each time a drain thread claims a session.
+  size_t drain_batch = 64;
+  // A client whose last heartbeat (submission, ping, or explicit beat) is older than this is
+  // treated as dead. 0 disables the reaper.
+  uint64_t heartbeat_timeout_ns = 0;
+  uint32_t max_clients = 64;
+};
+
+// Per-client counters + latency distribution, snapshotted for reports and tests.
+struct ClientStats {
+  uint64_t id = 0;
+  std::string name;
+  uint32_t qos_weight = 1;
+  uint64_t requests = 0;
+  uint64_t completions = 0;
+  uint64_t malformed = 0;
+  uint64_t backpressure_stalls = 0;  // both sides' producer stalls, from the shared header
+  bool installed = false;
+  bool dead = false;
+  obs::Histogram latency;  // per-request service time; populated only while probes are on
+};
+
+class Server {
+ public:
+  explicit Server(const ServerConfig& config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the socket and spawns the accept, drain, and reaper threads.
+  bool Start(std::string* error);
+  // Tears every session down (not counted as client deaths) and joins all threads.
+  // Idempotent; the destructor calls it.
+  void Stop();
+
+  mach::Kernel& kernel() { return *kernel_; }
+  core::HipecEngine& engine() { return *engine_; }
+  sim::CounterSet& counters() { return counters_; }
+  obs::ProbeSet& probes() { return probes_; }
+  const ServerConfig& config() const { return config_; }
+
+  std::vector<ClientStats> ClientStatsSnapshot();
+  // Sessions currently installed and not dead.
+  size_t LiveSessionCount();
+
+  // --- test hooks ----------------------------------------------------------------------------
+  // Parks the drain threads so a test can step the data plane deterministically.
+  void SetDrainPausedForTest(bool paused) {
+    drain_paused_.store(paused, std::memory_order_release);
+  }
+  // Claims session `session_id` and runs one weighted drain pass (exactly what a drain
+  // thread would do). Returns requests executed, or 0 if the session is unknown/idle.
+  size_t DrainSessionOnceForTest(uint64_t session_id);
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    int sock = -1;
+    std::string name;
+    std::thread control_thread;
+
+    // Handshake / lifecycle state, owned by the control thread.
+    bool hello_done = false;
+    bool torn_down = false;
+
+    // Data-plane state. Fields below are written by the control thread before the
+    // `installed` release-store and read by drain threads after an acquire-load.
+    uint32_t qos_weight = 1;
+    RingPair ring;
+    mach::Task* task = nullptr;
+    uint64_t container_id = 0;
+    uint64_t region_addr = 0;
+    uint64_t region_pages = 0;
+    std::atomic<bool> installed{false};
+    // True once `ring` is created and mapped; never reset (the mapping lives until the
+    // Session is destroyed), so stats readers can safely touch the header after teardown.
+    std::atomic<bool> ring_ready{false};
+    std::atomic<bool> dead{false};
+    // Drain-claim flag: whichever thread flips false->true owns both rings' daemon ends
+    // (and `overflow`/`requests_done`) until it stores false.
+    std::atomic<bool> draining{false};
+    // Completions that outlasted the bounded push backoff; delivered before new requests
+    // are popped, so completion-ring pressure propagates back to the submission ring.
+    std::deque<Completion> overflow;
+    uint64_t requests_done = 0;
+    std::atomic<uint64_t> completions_done{0};
+    std::atomic<uint64_t> malformed{0};
+    // Control-plane heartbeat (pings); the ring header carries the data-plane one.
+    std::atomic<uint64_t> last_beat_ns{0};
+    std::atomic<bool> reaped{false};
+
+    // Latency histogram; leaf mutex because the report reads while a drain thread writes.
+    std::mutex lat_mu;
+    obs::Histogram latency;
+  };
+
+  void AcceptLoop();
+  void ControlLoop(std::shared_ptr<Session> session);
+  void DrainLoop();
+  void ReaperLoop();
+
+  // One frame dispatched; false ends the connection (protocol desync or goodbye).
+  bool HandleFrame(Session& session, const FrameHeader& header,
+                   const std::vector<uint8_t>& payload, bool* orderly);
+  void HandleInstall(Session& session, const InstallMsg& msg);
+  void HandleTeardown(Session& session, const TeardownMsg& msg);
+
+  // Runs one weighted drain pass against a claimed session. Returns requests executed.
+  size_t DrainSession(Session& session);
+  Completion ExecuteRequest(Session& session, const Request& request);
+  // Bounded-backoff completion delivery; spills to `session.overflow` when the ring stays
+  // full. Returns false only when the session died mid-push.
+  bool DeliverCompletion(Session& session, const Completion& completion);
+
+  // Terminates the session's task (frame reclamation == checker-kill path) after waiting
+  // out any in-flight drain claim. Safe to call repeatedly.
+  void TeardownSession(Session& session, const std::string& reason);
+
+  void SendError(Session& session, uint32_t code, const std::string& message);
+
+  ServerConfig config_;
+  std::unique_ptr<mach::Kernel> kernel_;
+  std::unique_ptr<core::HipecEngine> engine_;
+  sim::CounterSet counters_;
+  obs::ProbeSet probes_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> drain_paused_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> drain_threads_;
+  std::thread reaper_thread_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+};
+
+}  // namespace hipec::server
+
+#endif  // HIPEC_SERVER_SERVER_H_

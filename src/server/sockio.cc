@@ -1,0 +1,168 @@
+#include "server/sockio.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hipec::server {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool FillAddr(const std::string& path, struct sockaddr_un* addr, std::string* error) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    *error = "socket path empty or too long for sockaddr_un";
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+int ListenUnix(const std::string& path, std::string* error) {
+  struct sockaddr_un addr;
+  if (!FillAddr(path, &addr, error)) {
+    return -1;
+  }
+  int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = Errno("socket");
+    return -1;
+  }
+  unlink(path.c_str());
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = Errno("bind");
+    close(fd);
+    return -1;
+  }
+  if (listen(fd, 128) != 0) {
+    *error = Errno("listen");
+    close(fd);
+    unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectUnix(const std::string& path, std::string* error) {
+  struct sockaddr_un addr;
+  if (!FillAddr(path, &addr, error)) {
+    return -1;
+  }
+  int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = Errno("socket");
+    return -1;
+  }
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = Errno("connect");
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool ReadFull(int fd, void* buf, size_t len) {
+  int ignored = -1;
+  bool ok = ReadFullCaptureFd(fd, buf, len, &ignored);
+  if (ignored >= 0) {
+    close(ignored);  // unexpected descriptor on a plain read — do not leak it
+  }
+  return ok;
+}
+
+bool ReadFullCaptureFd(int fd, void* buf, size_t len, int* captured_fd) {
+  *captured_fd = -1;
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t got = 0;
+  while (got < len) {
+    struct iovec iov;
+    iov.iov_base = p + got;
+    iov.iov_len = len - got;
+    alignas(struct cmsghdr) char control[CMSG_SPACE(sizeof(int))];
+    struct msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof(control);
+    ssize_t n = recvmsg(fd, &msg, MSG_CMSG_CLOEXEC);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (n == 0) {
+      return false;  // EOF
+    }
+    for (struct cmsghdr* c = CMSG_FIRSTHDR(&msg); c != nullptr; c = CMSG_NXTHDR(&msg, c)) {
+      if (c->cmsg_level == SOL_SOCKET && c->cmsg_type == SCM_RIGHTS) {
+        int passed;
+        std::memcpy(&passed, CMSG_DATA(c), sizeof(int));
+        if (*captured_fd >= 0) {
+          close(passed);  // keep at most one; the protocol never sends more
+        } else {
+          *captured_fd = passed;
+        }
+      }
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const void* buf, size_t len) {
+  return WriteAllWithFd(fd, buf, len, -1);
+}
+
+bool WriteAllWithFd(int fd, const void* buf, size_t len, int pass_fd) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t sent = 0;
+  bool fd_pending = pass_fd >= 0;
+  while (sent < len) {
+    struct iovec iov;
+    iov.iov_base = const_cast<uint8_t*>(p + sent);
+    iov.iov_len = len - sent;
+    struct msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    alignas(struct cmsghdr) char control[CMSG_SPACE(sizeof(int))];
+    if (fd_pending) {
+      std::memset(control, 0, sizeof(control));
+      msg.msg_control = control;
+      msg.msg_controllen = sizeof(control);
+      struct cmsghdr* c = CMSG_FIRSTHDR(&msg);
+      c->cmsg_level = SOL_SOCKET;
+      c->cmsg_type = SCM_RIGHTS;
+      c->cmsg_len = CMSG_LEN(sizeof(int));
+      std::memcpy(CMSG_DATA(c), &pass_fd, sizeof(int));
+    }
+    ssize_t n = sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (n > 0) {
+      fd_pending = false;  // the descriptor travels with the first accepted segment
+    }
+    sent += static_cast<size_t>(n);
+  }
+  // Frames are never empty (the 12-byte header always travels), so a pending descriptor
+  // cannot survive the loop.
+  return true;
+}
+
+}  // namespace hipec::server

@@ -1,0 +1,36 @@
+// Blocking Unix-domain socket I/O shared by the daemon and the client library: full-length
+// reads/writes (EINTR-restarted) and SCM_RIGHTS file-descriptor passing for the ring fd
+// that rides the install ack.
+#ifndef HIPEC_SERVER_SOCKIO_H_
+#define HIPEC_SERVER_SOCKIO_H_
+
+#include <cstddef>
+#include <string>
+
+namespace hipec::server {
+
+// Binds and listens on a fresh socket at `path` (any stale file is unlinked first).
+// Returns the listening fd, or -1 with `error` set.
+int ListenUnix(const std::string& path, std::string* error);
+
+// Connects to the daemon at `path`. Returns the connected fd, or -1 with `error` set.
+int ConnectUnix(const std::string& path, std::string* error);
+
+// Reads exactly `len` bytes. False on EOF or error (a short read never escapes).
+bool ReadFull(int fd, void* buf, size_t len);
+
+// ReadFull that also captures one SCM_RIGHTS descriptor if the peer attached one to any of
+// the received segments. `*captured_fd` is -1 when no descriptor arrived; the caller owns
+// a captured descriptor either way.
+bool ReadFullCaptureFd(int fd, void* buf, size_t len, int* captured_fd);
+
+// Writes exactly `len` bytes (SIGPIPE suppressed via MSG_NOSIGNAL). False on error.
+bool WriteAll(int fd, const void* buf, size_t len);
+
+// WriteAll that attaches `pass_fd` as an SCM_RIGHTS control message to the first segment.
+// `pass_fd < 0` degrades to a plain WriteAll.
+bool WriteAllWithFd(int fd, const void* buf, size_t len, int pass_fd);
+
+}  // namespace hipec::server
+
+#endif  // HIPEC_SERVER_SOCKIO_H_

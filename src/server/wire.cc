@@ -1,0 +1,353 @@
+#include "server/wire.h"
+
+namespace hipec::server {
+
+namespace {
+
+// --- writers ---------------------------------------------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v & 0xff));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v & 0xffff));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutI64(std::string* out, int64_t v) { PutU64(out, static_cast<uint64_t>(v)); }
+
+void PutStr(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Writes the frame header for `payload` then the payload itself.
+void Frame(MsgType type, const std::string& payload, std::string* out) {
+  PutU32(out, kWireMagic);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU16(out, static_cast<uint16_t>(type));
+  PutU16(out, 0);
+  out->append(payload);
+}
+
+// --- bounds-checked reader -------------------------------------------------------------------
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > len_) {
+      return false;
+    }
+    *v = data_[pos_++];
+    return true;
+  }
+  bool U16(uint16_t* v) {
+    if (pos_ + 2 > len_) {
+      return false;
+    }
+    *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    uint16_t lo;
+    uint16_t hi;
+    if (!U16(&lo) || !U16(&hi)) {
+      return false;
+    }
+    *v = static_cast<uint32_t>(lo) | (static_cast<uint32_t>(hi) << 16);
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    uint32_t lo;
+    uint32_t hi;
+    if (!U32(&lo) || !U32(&hi)) {
+      return false;
+    }
+    *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+    return true;
+  }
+  bool I64(int64_t* v) {
+    uint64_t u;
+    if (!U64(&u)) {
+      return false;
+    }
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  // Length-prefixed string, capped so a hostile length cannot force a huge allocation.
+  bool Str(std::string* s, bool* malformed) {
+    uint32_t n;
+    if (!U32(&n)) {
+      return false;
+    }
+    if (n > kMaxWireString) {
+      *malformed = true;
+      return false;
+    }
+    if (pos_ + n > len_) {
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool done() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+// Shared tail handling: a reader that ran dry mid-message is kTruncated (or kMalformed if a
+// cap tripped); leftover bytes are kTrailingBytes.
+DecodeStatus Finish(const Reader& r, bool ok, bool malformed) {
+  if (!ok) {
+    return malformed ? DecodeStatus::kMalformed : DecodeStatus::kTruncated;
+  }
+  if (!r.done()) {
+    return DecodeStatus::kTrailingBytes;
+  }
+  return DecodeStatus::kOk;
+}
+
+void PutProgram(const WireProgram& program, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(program.events.size()));
+  for (const std::vector<uint32_t>& words : program.events) {
+    PutU32(out, static_cast<uint32_t>(words.size()));
+    for (uint32_t w : words) {
+      PutU32(out, w);
+    }
+  }
+}
+
+bool ReadProgram(Reader* r, WireProgram* program, bool* malformed) {
+  uint32_t events;
+  if (!r->U32(&events)) {
+    return false;
+  }
+  if (events > kMaxProgramEvents) {
+    *malformed = true;
+    return false;
+  }
+  program->events.clear();
+  program->events.reserve(events);
+  for (uint32_t e = 0; e < events; ++e) {
+    uint32_t count;
+    if (!r->U32(&count)) {
+      return false;
+    }
+    if (count > kMaxEventWords) {
+      *malformed = true;
+      return false;
+    }
+    std::vector<uint32_t> words;
+    words.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t w;
+      if (!r->U32(&w)) {
+        return false;
+      }
+      words.push_back(w);
+    }
+    program->events.push_back(std::move(words));
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* DecodeStatusName(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kTruncated:
+      return "truncated";
+    case DecodeStatus::kBadMagic:
+      return "bad-magic";
+    case DecodeStatus::kBadType:
+      return "bad-type";
+    case DecodeStatus::kBadLength:
+      return "bad-length";
+    case DecodeStatus::kMalformed:
+      return "malformed";
+    case DecodeStatus::kTrailingBytes:
+      return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+void EncodeHello(const HelloMsg& msg, std::string* out) {
+  std::string p;
+  PutU32(&p, msg.version);
+  PutU64(&p, msg.client_pid);
+  PutU32(&p, msg.qos_weight);
+  PutStr(&p, msg.client_name);
+  Frame(MsgType::kHello, p, out);
+}
+
+void EncodeHelloAck(const HelloAckMsg& msg, std::string* out) {
+  std::string p;
+  PutU32(&p, msg.version);
+  PutU64(&p, msg.server_pid);
+  PutU32(&p, msg.max_clients);
+  Frame(MsgType::kHelloAck, p, out);
+}
+
+void EncodeInstall(const InstallMsg& msg, std::string* out) {
+  std::string p;
+  PutU64(&p, msg.region_pages);
+  PutU32(&p, msg.min_frames);
+  PutU32(&p, msg.qos_weight);
+  PutI64(&p, msg.timeout_ns);
+  PutI64(&p, msg.free_target);
+  PutI64(&p, msg.inactive_target);
+  PutI64(&p, msg.reserved_target);
+  PutI64(&p, msg.request_size);
+  PutU32(&p, msg.user_queue_count);
+  PutProgram(msg.program, &p);
+  Frame(MsgType::kInstall, p, out);
+}
+
+void EncodeInstallAck(const InstallAckMsg& msg, std::string* out) {
+  std::string p;
+  PutU8(&p, msg.ok);
+  PutStr(&p, msg.error);
+  PutU64(&p, msg.container_id);
+  PutU64(&p, msg.region_addr);
+  PutU32(&p, msg.ring_slots);
+  Frame(MsgType::kInstallAck, p, out);
+}
+
+void EncodeTeardown(const TeardownMsg& msg, std::string* out) {
+  std::string p;
+  PutU64(&p, msg.container_id);
+  Frame(MsgType::kTeardown, p, out);
+}
+
+void EncodeTeardownAck(const TeardownAckMsg& msg, std::string* out) {
+  std::string p;
+  PutU8(&p, msg.ok);
+  PutStr(&p, msg.error);
+  Frame(MsgType::kTeardownAck, p, out);
+}
+
+void EncodePing(const PingMsg& msg, std::string* out) {
+  std::string p;
+  PutU64(&p, msg.seq);
+  Frame(MsgType::kPing, p, out);
+}
+
+void EncodePong(const PongMsg& msg, std::string* out) {
+  std::string p;
+  PutU64(&p, msg.seq);
+  Frame(MsgType::kPong, p, out);
+}
+
+void EncodeGoodbye(const GoodbyeMsg&, std::string* out) { Frame(MsgType::kGoodbye, "", out); }
+
+void EncodeError(const ErrorMsg& msg, std::string* out) {
+  std::string p;
+  PutU32(&p, msg.code);
+  PutStr(&p, msg.message);
+  Frame(MsgType::kError, p, out);
+}
+
+DecodeStatus DecodeFrameHeader(const uint8_t* data, size_t len, FrameHeader* out) {
+  if (len < kFrameHeaderBytes) {
+    return DecodeStatus::kTruncated;
+  }
+  Reader r(data, kFrameHeaderBytes);
+  bool ok = r.U32(&out->magic) && r.U32(&out->length) && r.U16(&out->type) &&
+            r.U16(&out->reserved);
+  if (!ok) {
+    return DecodeStatus::kTruncated;
+  }
+  if (out->magic != kWireMagic) {
+    return DecodeStatus::kBadMagic;
+  }
+  if (out->length > kMaxFramePayload) {
+    return DecodeStatus::kBadLength;
+  }
+  if (out->type < static_cast<uint16_t>(MsgType::kHello) ||
+      out->type > static_cast<uint16_t>(MsgType::kError)) {
+    return DecodeStatus::kBadType;
+  }
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus DecodePayload(const FrameHeader& header, const uint8_t* data, size_t len,
+                           DecodedFrame* out) {
+  if (len != header.length) {
+    return DecodeStatus::kBadLength;
+  }
+  Reader r(data, len);
+  bool malformed = false;
+  out->type = static_cast<MsgType>(header.type);
+  switch (out->type) {
+    case MsgType::kHello: {
+      HelloMsg& m = out->hello;
+      bool ok = r.U32(&m.version) && r.U64(&m.client_pid) && r.U32(&m.qos_weight) &&
+                r.Str(&m.client_name, &malformed);
+      return Finish(r, ok, malformed);
+    }
+    case MsgType::kHelloAck: {
+      HelloAckMsg& m = out->hello_ack;
+      bool ok = r.U32(&m.version) && r.U64(&m.server_pid) && r.U32(&m.max_clients);
+      return Finish(r, ok, malformed);
+    }
+    case MsgType::kInstall: {
+      InstallMsg& m = out->install;
+      bool ok = r.U64(&m.region_pages) && r.U32(&m.min_frames) && r.U32(&m.qos_weight) &&
+                r.I64(&m.timeout_ns) && r.I64(&m.free_target) && r.I64(&m.inactive_target) &&
+                r.I64(&m.reserved_target) && r.I64(&m.request_size) &&
+                r.U32(&m.user_queue_count) && ReadProgram(&r, &m.program, &malformed);
+      return Finish(r, ok, malformed);
+    }
+    case MsgType::kInstallAck: {
+      InstallAckMsg& m = out->install_ack;
+      bool ok = r.U8(&m.ok) && r.Str(&m.error, &malformed) && r.U64(&m.container_id) &&
+                r.U64(&m.region_addr) && r.U32(&m.ring_slots);
+      return Finish(r, ok, malformed);
+    }
+    case MsgType::kTeardown: {
+      bool ok = r.U64(&out->teardown.container_id);
+      return Finish(r, ok, malformed);
+    }
+    case MsgType::kTeardownAck: {
+      TeardownAckMsg& m = out->teardown_ack;
+      bool ok = r.U8(&m.ok) && r.Str(&m.error, &malformed);
+      return Finish(r, ok, malformed);
+    }
+    case MsgType::kPing: {
+      bool ok = r.U64(&out->ping.seq);
+      return Finish(r, ok, malformed);
+    }
+    case MsgType::kPong: {
+      bool ok = r.U64(&out->pong.seq);
+      return Finish(r, ok, malformed);
+    }
+    case MsgType::kGoodbye:
+      return Finish(r, true, malformed);
+    case MsgType::kError: {
+      ErrorMsg& m = out->error;
+      bool ok = r.U32(&m.code) && r.Str(&m.message, &malformed);
+      return Finish(r, ok, malformed);
+    }
+  }
+  return DecodeStatus::kBadType;
+}
+
+}  // namespace hipec::server

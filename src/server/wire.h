@@ -1,0 +1,221 @@
+// The hipecd wire protocol: what crosses the process boundary between a client and the
+// policy server (docs/SERVER.md).
+//
+// Two planes, two encodings:
+//
+//   * Control plane — length-prefixed frames over a Unix-domain stream socket. Explicit
+//     little-endian serialization (no struct dumps), every decoder bounds-checked: a
+//     malformed or truncated frame yields a DecodeStatus, never undefined behaviour. This is
+//     the surface an untrusted client can attack, so the decoders are fuzzed
+//     (tests/server_wire_test.cc) and the daemon's contract is reject-and-reply, never
+//     crash.
+//   * Data plane — fixed-size Request/Completion records in the shared-memory rings
+//     (ring.h). These are plain PODs because both sides map the same bytes; validation
+//     happens semantically at drain time (unknown opcode, page outside the region), not at
+//     the byte level.
+#ifndef HIPEC_SERVER_WIRE_H_
+#define HIPEC_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace hipec::server {
+
+// ---------------------------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------------------------
+
+inline constexpr uint32_t kWireMagic = 0x48504331;  // "HPC1"
+inline constexpr uint32_t kWireVersion = 1;
+// Hard ceiling on a control frame's payload. A policy program is at most a few thousand
+// words; anything larger is a malformed (or hostile) length prefix and is rejected before
+// allocation.
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;
+// Ceiling on embedded strings and program word counts, far above anything legitimate.
+inline constexpr uint32_t kMaxWireString = 4096;
+inline constexpr uint32_t kMaxProgramEvents = 64;
+inline constexpr uint32_t kMaxEventWords = 65536;
+
+enum class MsgType : uint16_t {
+  kHello = 1,        // client -> server: version handshake
+  kHelloAck = 2,     // server -> client
+  kInstall = 3,      // client -> server: policy program + region shape + QoS class
+  kInstallAck = 4,   // server -> client: container id / error; ring fd rides via SCM_RIGHTS
+  kTeardown = 5,     // client -> server: tear the region/container down
+  kTeardownAck = 6,  // server -> client
+  kPing = 7,         // client -> server: heartbeat
+  kPong = 8,         // server -> client
+  kGoodbye = 9,      // client -> server: orderly disconnect
+  kError = 10,       // server -> client: protocol-level rejection (connection stays up)
+};
+
+// Frame = header then payload. `length` counts payload bytes only.
+struct FrameHeader {
+  uint32_t magic = kWireMagic;
+  uint32_t length = 0;
+  uint16_t type = 0;
+  uint16_t reserved = 0;
+};
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+struct HelloMsg {
+  uint32_t version = kWireVersion;
+  uint64_t client_pid = 0;
+  uint32_t qos_weight = 1;
+  std::string client_name;
+};
+
+struct HelloAckMsg {
+  uint32_t version = kWireVersion;
+  uint64_t server_pid = 0;
+  uint32_t max_clients = 0;
+};
+
+// The serialized form of a core::PolicyProgram: per-event raw word vectors (word 0 of a
+// non-empty event is the HiPEC magic). The server re-validates everything through the
+// engine's decode-and-verify pass — this carries bytes, it does not vouch for them.
+struct WireProgram {
+  std::vector<std::vector<uint32_t>> events;
+};
+
+struct InstallMsg {
+  uint64_t region_pages = 0;
+  uint32_t min_frames = 0;
+  uint32_t qos_weight = 1;
+  int64_t timeout_ns = 0;
+  int64_t free_target = 0;
+  int64_t inactive_target = 0;
+  int64_t reserved_target = 0;
+  int64_t request_size = 16;
+  uint32_t user_queue_count = 0;
+  WireProgram program;
+};
+
+struct InstallAckMsg {
+  uint8_t ok = 0;
+  std::string error;
+  uint64_t container_id = 0;
+  uint64_t region_addr = 0;
+  uint32_t ring_slots = 0;  // per-direction slot count of the ring whose fd accompanies this
+};
+
+struct TeardownMsg {
+  uint64_t container_id = 0;
+};
+
+struct TeardownAckMsg {
+  uint8_t ok = 0;
+  std::string error;
+};
+
+struct PingMsg {
+  uint64_t seq = 0;
+};
+
+struct PongMsg {
+  uint64_t seq = 0;
+};
+
+struct GoodbyeMsg {};
+
+struct ErrorMsg {
+  uint32_t code = 0;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------------------------
+// Encoding / decoding
+// ---------------------------------------------------------------------------------------------
+
+enum class DecodeStatus {
+  kOk,
+  kTruncated,      // fewer bytes than the encoding claims
+  kBadMagic,       // header magic mismatch
+  kBadType,        // unknown MsgType
+  kBadLength,      // length prefix exceeds limits or disagrees with the payload
+  kMalformed,      // payload structure invalid (oversized string, word-count overflow, ...)
+  kTrailingBytes,  // payload longer than the message's encoding
+};
+
+const char* DecodeStatusName(DecodeStatus status);
+
+// Appends one full frame (header + payload) for the message to `out`.
+void EncodeHello(const HelloMsg& msg, std::string* out);
+void EncodeHelloAck(const HelloAckMsg& msg, std::string* out);
+void EncodeInstall(const InstallMsg& msg, std::string* out);
+void EncodeInstallAck(const InstallAckMsg& msg, std::string* out);
+void EncodeTeardown(const TeardownMsg& msg, std::string* out);
+void EncodeTeardownAck(const TeardownAckMsg& msg, std::string* out);
+void EncodePing(const PingMsg& msg, std::string* out);
+void EncodePong(const PongMsg& msg, std::string* out);
+void EncodeGoodbye(const GoodbyeMsg& msg, std::string* out);
+void EncodeError(const ErrorMsg& msg, std::string* out);
+
+// Parses a frame header from the first kFrameHeaderBytes of `data`. kTruncated if shorter.
+DecodeStatus DecodeFrameHeader(const uint8_t* data, size_t len, FrameHeader* out);
+
+// One fully decoded control frame. Exactly the member matching `type` is meaningful.
+struct DecodedFrame {
+  MsgType type = MsgType::kError;
+  HelloMsg hello;
+  HelloAckMsg hello_ack;
+  InstallMsg install;
+  InstallAckMsg install_ack;
+  TeardownMsg teardown;
+  TeardownAckMsg teardown_ack;
+  PingMsg ping;
+  PongMsg pong;
+  GoodbyeMsg goodbye;
+  ErrorMsg error;
+};
+
+// Decodes the payload of a frame whose header already passed DecodeFrameHeader. `data`/`len`
+// are the payload bytes (exactly header.length of them).
+DecodeStatus DecodePayload(const FrameHeader& header, const uint8_t* data, size_t len,
+                           DecodedFrame* out);
+
+// ---------------------------------------------------------------------------------------------
+// Data plane (shared-memory ring records)
+// ---------------------------------------------------------------------------------------------
+
+enum RequestOp : uint16_t {
+  kOpNop = 0,    // completes immediately (latency probe / heartbeat)
+  kOpTouch = 1,  // one reference to `page`; kReqFlagWrite selects a store
+  kOpFlush = 2,  // asynchronous write-back of `page` if resident and dirty
+  kOpLimit = 3,  // first invalid opcode — anything >= this is malformed
+};
+
+inline constexpr uint16_t kReqFlagWrite = 1u << 0;
+
+struct Request {
+  uint64_t seq = 0;   // client-assigned; echoed in the completion
+  uint16_t op = kOpNop;
+  uint16_t flags = 0;
+  uint32_t page = 0;  // page index within the client's region
+  uint64_t arg = 0;   // op-specific (unused today; must be 0)
+};
+static_assert(sizeof(Request) == 24, "Request is part of the shared-memory ABI");
+
+enum CompletionStatus : uint32_t {
+  kStatusOk = 0,
+  kStatusBadRequest = 1,  // malformed record: unknown op, page out of range, nonzero arg
+  kStatusTerminated = 2,  // the task died mid-request (checker kill, policy error)
+  kStatusShutdown = 3,    // server is shutting down; request was not executed
+};
+
+inline constexpr uint32_t kCompFlagFaulted = 1u << 0;  // the touch took a page fault
+
+struct Completion {
+  uint64_t seq = 0;
+  uint32_t status = kStatusOk;
+  uint16_t op = kOpNop;
+  uint16_t flags = 0;
+  uint64_t service_ns = 0;  // host-clock service latency observed by the drain loop
+};
+static_assert(sizeof(Completion) == 24, "Completion is part of the shared-memory ABI");
+
+}  // namespace hipec::server
+
+#endif  // HIPEC_SERVER_WIRE_H_

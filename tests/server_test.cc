@@ -1,0 +1,483 @@
+// End-to-end tests for the hipecd policy server (src/server/server.h): install/drain/
+// teardown over real Unix sockets and shared-memory rings, the reject-never-crash contract
+// for malformed control frames and data-plane records, QoS drain proportionality,
+// completion-ring backpressure, heartbeat reaping, and the client-death teardown path
+// (SIGKILL mid-burst -> frames reclaimed, auditor green, survivors progress).
+//
+// The server runs in-process; clients are either in-process Client objects (their ring side
+// works the same mapped or passed) or genuinely forked processes where death semantics are
+// the point of the test.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "policies/policies.h"
+#include "scenario/invariants.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/sockio.h"
+#include "sim/lock.h"
+
+namespace hipec::server {
+namespace {
+
+std::string TestSocketPath(const char* tag) {
+  return "/tmp/hipec-test-" + std::string(tag) + "-" + std::to_string(getpid()) + ".sock";
+}
+
+ClientInstallOptions SmallRegion(uint64_t pages = 64) {
+  ClientInstallOptions options;
+  options.region_pages = pages;
+  options.min_frames = 16;
+  options.free_target = 4;
+  options.inactive_target = 8;
+  return options;
+}
+
+// Spins until `cond` holds or ~2s elapse. Wall-clock polling, not a sync primitive: every
+// use below waits on a daemon-side thread the test cannot join directly.
+template <typename Cond>
+bool SpinUntil(Cond cond) {
+  for (int i = 0; i < 1000; ++i) {
+    if (cond()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return cond();
+}
+
+void ExpectAuditGreen(Server& daemon) {
+  sim::ExclusiveWorldGuard world(daemon.kernel().world());
+  scenario::AuditReport audit = scenario::AuditFrameInvariants(daemon.engine());
+  EXPECT_TRUE(audit.ok) << audit.violation;
+}
+
+TEST(Server, InstallDrainTeardownLifecycle) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("lifecycle");
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect(config.socket_path, "lifecycle", 1, &error)) << error;
+  ASSERT_TRUE(client.Ping(&error)) << error;
+  ASSERT_TRUE(client.Install(policies::FifoSecondChancePolicy(), SmallRegion(), &error))
+      << error;
+  EXPECT_EQ(daemon.LiveSessionCount(), 1u);
+  EXPECT_GT(client.container_id(), 0u);
+
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint32_t page = 0; page < 64; ++page) {
+      ASSERT_TRUE(client.SubmitTouch(page, (page % 4) == 0));
+    }
+    ASSERT_TRUE(client.SubmitFlush(pass));
+  }
+  ASSERT_TRUE(client.WaitForCompletions(5'000'000'000ull));
+  EXPECT_EQ(client.completed(), client.submitted());
+  EXPECT_EQ(client.completed_ok(), client.submitted());
+  EXPECT_GE(daemon.counters().Get("server.requests"),
+            static_cast<int64_t>(client.submitted()));
+  EXPECT_GE(daemon.counters().Get("server.completions"),
+            static_cast<int64_t>(client.completed()));
+
+  ASSERT_TRUE(client.Teardown(&error)) << error;
+  EXPECT_TRUE(SpinUntil([&] { return daemon.LiveSessionCount() == 0; }));
+  EXPECT_EQ(daemon.counters().Get("server.teardowns"), 1);
+  ExpectAuditGreen(daemon);
+  client.Goodbye();
+  // An orderly goodbye is not a client death.
+  EXPECT_TRUE(
+      SpinUntil([&] { return daemon.counters().Get("server.connections") == 1; }));
+  EXPECT_EQ(daemon.counters().Get("server.client_deaths"), 0);
+  daemon.Stop();
+}
+
+// Garbage where a frame header belongs desyncs the stream: the daemon replies with an error
+// frame, counts it, disconnects that client — and keeps serving everyone else.
+TEST(Server, MalformedHeaderDisconnectsWithoutCrash) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("badheader");
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  int sock = ConnectUnix(config.socket_path, &error);
+  ASSERT_GE(sock, 0) << error;
+  const char garbage[16] = "not a frame!!!!";
+  ASSERT_TRUE(WriteAll(sock, garbage, sizeof(garbage)));
+  // The daemon's reply is an error frame, then EOF.
+  uint8_t reply[kFrameHeaderBytes];
+  EXPECT_TRUE(ReadFull(sock, reply, sizeof(reply)));
+  FrameHeader header;
+  ASSERT_EQ(DecodeFrameHeader(reply, sizeof(reply), &header), DecodeStatus::kOk);
+  EXPECT_EQ(header.type, static_cast<uint16_t>(MsgType::kError));
+  std::vector<uint8_t> payload(header.length);
+  EXPECT_TRUE(ReadFull(sock, payload.data(), payload.size()));
+  char one;
+  EXPECT_FALSE(ReadFull(sock, &one, 1));  // disconnected
+  close(sock);
+
+  EXPECT_TRUE(
+      SpinUntil([&] { return daemon.counters().Get("server.malformed_frames") >= 1; }));
+  // The daemon survived: a well-behaved client still gets full service.
+  Client client;
+  ASSERT_TRUE(client.Connect(config.socket_path, "after-garbage", 1, &error)) << error;
+  ASSERT_TRUE(client.Install(policies::LruPolicy(), SmallRegion(), &error)) << error;
+  ASSERT_TRUE(client.SubmitTouch(0, false));
+  ASSERT_TRUE(client.WaitForCompletions(5'000'000'000ull));
+  client.Goodbye();
+  daemon.Stop();
+}
+
+// A frame whose header is fine but whose payload is broken keeps the stream in sync: the
+// daemon rejects with an error frame and the connection stays useful.
+TEST(Server, MalformedPayloadIsRejectedConnectionSurvives) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("badpayload");
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  int sock = ConnectUnix(config.socket_path, &error);
+  ASSERT_GE(sock, 0) << error;
+  // A hello frame truncated at the payload level: header claims 4 bytes, hello needs 20+.
+  std::string frame;
+  {
+    std::string full;
+    HelloMsg hello;
+    hello.client_name = "x";
+    EncodeHello(hello, &full);
+    frame = full.substr(0, kFrameHeaderBytes);
+    const uint32_t lying_len = 4;
+    std::memcpy(&frame[4], &lying_len, sizeof(lying_len));
+    frame += full.substr(kFrameHeaderBytes, lying_len);
+  }
+  ASSERT_TRUE(WriteAll(sock, frame.data(), frame.size()));
+  // Error reply arrives and the connection is still open: a correct hello now succeeds.
+  uint8_t reply[kFrameHeaderBytes];
+  ASSERT_TRUE(ReadFull(sock, reply, sizeof(reply)));
+  FrameHeader header;
+  ASSERT_EQ(DecodeFrameHeader(reply, sizeof(reply), &header), DecodeStatus::kOk);
+  EXPECT_EQ(header.type, static_cast<uint16_t>(MsgType::kError));
+  std::vector<uint8_t> payload(header.length);
+  ASSERT_TRUE(ReadFull(sock, payload.data(), payload.size()));
+  {
+    std::string hello_frame;
+    HelloMsg hello;
+    hello.client_pid = static_cast<uint64_t>(getpid());
+    hello.client_name = "recovered";
+    EncodeHello(hello, &hello_frame);
+    ASSERT_TRUE(WriteAll(sock, hello_frame.data(), hello_frame.size()));
+    ASSERT_TRUE(ReadFull(sock, reply, sizeof(reply)));
+    ASSERT_EQ(DecodeFrameHeader(reply, sizeof(reply), &header), DecodeStatus::kOk);
+    EXPECT_EQ(header.type, static_cast<uint16_t>(MsgType::kHelloAck));
+    std::vector<uint8_t> ack(header.length);
+    ASSERT_TRUE(ReadFull(sock, ack.data(), ack.size()));
+  }
+  EXPECT_GE(daemon.counters().Get("server.malformed_frames"), 1);
+  close(sock);
+  daemon.Stop();
+}
+
+// A policy program the validator rejects must produce a not-ok install ack — and leave the
+// connection (and the daemon) fully functional.
+TEST(Server, InvalidProgramRejectedAtInstall) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("badprogram");
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect(config.socket_path, "bad-program", 1, &error)) << error;
+  core::PolicyProgram garbage;
+  garbage.SetEventRaw(0, {0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu});
+  EXPECT_FALSE(client.Install(garbage, SmallRegion(), &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_GE(daemon.counters().Get("server.install_rejects"), 1);
+  EXPECT_EQ(daemon.LiveSessionCount(), 0u);
+  // Connection survives the rejection; a valid program then installs.
+  ASSERT_TRUE(client.Ping(&error)) << error;
+  ASSERT_TRUE(client.Install(policies::ClockPolicy(), SmallRegion(), &error)) << error;
+  EXPECT_EQ(daemon.LiveSessionCount(), 1u);
+  ExpectAuditGreen(daemon);
+  client.Goodbye();
+  daemon.Stop();
+}
+
+// Malformed data-plane records (unknown opcode, out-of-range page, nonzero arg) complete
+// with kStatusBadRequest and bump the malformed counters; the session keeps serving.
+TEST(Server, MalformedRingRequestsRejectedNotFatal) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("badring");
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect(config.socket_path, "bad-ring", 1, &error)) << error;
+  ASSERT_TRUE(client.Install(policies::FifoPolicy(), SmallRegion(64), &error)) << error;
+
+  Request bad_op;
+  bad_op.seq = 9001;
+  bad_op.op = kOpLimit;  // first invalid opcode
+  ASSERT_TRUE(client.SubmitRaw(bad_op));
+  Request bad_page;
+  bad_page.seq = 9002;
+  bad_page.op = kOpTouch;
+  bad_page.page = 64;  // one past the region
+  ASSERT_TRUE(client.SubmitRaw(bad_page));
+  Request bad_arg;
+  bad_arg.seq = 9003;
+  bad_arg.op = kOpTouch;
+  bad_arg.page = 0;
+  bad_arg.arg = 0xDEAD;  // must be zero today
+  ASSERT_TRUE(client.SubmitRaw(bad_arg));
+  ASSERT_TRUE(client.SubmitTouch(1, false));  // a good one rides along
+
+  ASSERT_TRUE(client.WaitForCompletions(5'000'000'000ull));
+  EXPECT_EQ(client.completed(), 4u);
+  EXPECT_EQ(client.completed_rejected(), 3u);
+  EXPECT_EQ(client.completed_ok(), 1u);
+  EXPECT_EQ(daemon.counters().Get("server.malformed_requests"), 3);
+  // Still alive and serving.
+  ASSERT_TRUE(client.SubmitTouch(2, true));
+  ASSERT_TRUE(client.WaitForCompletions(5'000'000'000ull));
+  ExpectAuditGreen(daemon);
+  client.Goodbye();
+  daemon.Stop();
+}
+
+// QoS weight is a drain-budget multiplier: with both rings loaded, one deterministic drain
+// pass executes drain_batch requests for a weight-1 client and 4x that for a weight-4 one.
+TEST(Server, QosWeightScalesTheDrainBudget) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("qos");
+  config.drain_batch = 32;
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+  daemon.SetDrainPausedForTest(true);
+
+  Client light;
+  ASSERT_TRUE(light.Connect(config.socket_path, "light", 1, &error)) << error;
+  ASSERT_TRUE(light.Install(policies::FifoSecondChancePolicy(), SmallRegion(), &error))
+      << error;
+  Client heavy;
+  ASSERT_TRUE(heavy.Connect(config.socket_path, "heavy", 4, &error)) << error;
+  ASSERT_TRUE(heavy.Install(policies::FifoSecondChancePolicy(), SmallRegion(), &error))
+      << error;
+
+  // Load both rings well past either budget.
+  for (uint32_t i = 0; i < 256; ++i) {
+    ASSERT_TRUE(light.SubmitTouch(i % 64, false));
+    ASSERT_TRUE(heavy.SubmitTouch(i % 64, false));
+  }
+
+  uint64_t light_id = 0;
+  uint64_t heavy_id = 0;
+  for (const ClientStats& stats : daemon.ClientStatsSnapshot()) {
+    if (stats.name == "light") {
+      light_id = stats.id;
+    } else if (stats.name == "heavy") {
+      heavy_id = stats.id;
+    }
+  }
+  ASSERT_NE(light_id, 0u);
+  ASSERT_NE(heavy_id, 0u);
+
+  EXPECT_EQ(daemon.DrainSessionOnceForTest(light_id), 32u);   // drain_batch * 1
+  EXPECT_EQ(daemon.DrainSessionOnceForTest(heavy_id), 128u);  // drain_batch * 4
+
+  daemon.SetDrainPausedForTest(false);
+  ASSERT_TRUE(light.WaitForCompletions(5'000'000'000ull));
+  ASSERT_TRUE(heavy.WaitForCompletions(5'000'000'000ull));
+  light.Goodbye();
+  heavy.Goodbye();
+  daemon.Stop();
+}
+
+// Completion-ring backpressure: with a tiny ring and a client that refuses to reap, the
+// daemon's bounded push backoff trips, spills to the overflow queue, and counts stalls —
+// and every completion is still delivered once the client drains.
+TEST(Server, CompletionBackpressureSpillsAndRecovers) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("backpressure");
+  config.ring_slots = 8;
+  config.drain_batch = 16;
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+  daemon.SetDrainPausedForTest(true);
+
+  Client client;
+  ASSERT_TRUE(client.Connect(config.socket_path, "stubborn-reader", 1, &error)) << error;
+  ASSERT_TRUE(client.Install(policies::FifoPolicy(), SmallRegion(8), &error)) << error;
+  uint64_t session_id = daemon.ClientStatsSnapshot().at(0).id;
+
+  // Fill the 8-slot submission ring, drain it (8 completions fill the completion ring
+  // exactly), then fill and drain again while the client refuses to reap: the second
+  // batch's completions cannot fit and must spill.
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.SubmitTouch(i % 8, false));
+  }
+  EXPECT_EQ(daemon.DrainSessionOnceForTest(session_id), 8u);
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.SubmitTouch(i % 8, false));
+  }
+  EXPECT_EQ(daemon.DrainSessionOnceForTest(session_id), 8u);
+  EXPECT_GE(daemon.counters().Get("server.backpressure_stalls"), 1);
+
+  // The client finally reads; the overflow is delivered ahead of new work.
+  daemon.SetDrainPausedForTest(false);
+  ASSERT_TRUE(client.WaitForCompletions(5'000'000'000ull));
+  EXPECT_EQ(client.completed(), 16u);
+  EXPECT_EQ(client.completed_ok(), 16u);
+  client.Goodbye();
+  daemon.Stop();
+}
+
+// A client that installs and then falls silent past the heartbeat timeout is reaped: full
+// container teardown, frames reclaimed, auditor green.
+TEST(Server, HeartbeatTimeoutReapsSilentClient) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("heartbeat");
+  config.heartbeat_timeout_ns = 100'000'000ull;  // 100ms
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect(config.socket_path, "sleeper", 1, &error)) << error;
+  ASSERT_TRUE(client.Install(policies::LruPolicy(), SmallRegion(), &error)) << error;
+  ASSERT_TRUE(client.SubmitTouch(0, true));
+  ASSERT_TRUE(client.WaitForCompletions(5'000'000'000ull));
+  EXPECT_EQ(daemon.LiveSessionCount(), 1u);
+
+  // Silence. The reaper must notice and tear the session down.
+  EXPECT_TRUE(SpinUntil([&] { return daemon.LiveSessionCount() == 0; }));
+  EXPECT_GE(daemon.counters().Get("server.heartbeat_timeouts"), 1);
+  EXPECT_GE(daemon.counters().Get("server.client_deaths"), 1);
+  ExpectAuditGreen(daemon);
+  daemon.Stop();
+  client.Close();
+}
+
+// The satellite's core scenario: SIGKILL a forked client mid-burst. The daemon must tear
+// its container down exactly like a checker kill — frames reclaimed, auditor green — while
+// a surviving client keeps making progress.
+TEST(Server, SigkilledClientReclaimedSurvivorsProgress) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("sigkill");
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  Client survivor;
+  ASSERT_TRUE(survivor.Connect(config.socket_path, "survivor", 1, &error)) << error;
+  ASSERT_TRUE(survivor.Install(policies::FifoSecondChancePolicy(), SmallRegion(), &error))
+      << error;
+
+  pid_t victim = fork();
+  if (victim == 0) {
+    // Child: connect, install, then submit forever until killed.
+    Client doomed;
+    std::string child_error;
+    if (!doomed.Connect(config.socket_path, "doomed", 2, &child_error) ||
+        !doomed.Install(policies::FifoSecondChancePolicy(), SmallRegion(128),
+                        &child_error)) {
+      _exit(3);
+    }
+    for (uint64_t i = 0;; ++i) {
+      if (!doomed.SubmitTouch(static_cast<uint32_t>(i % 128), (i % 3) == 0)) {
+        _exit(4);
+      }
+      Completion reaped[32];
+      doomed.PollCompletions(reaped, 32);
+    }
+  }
+  ASSERT_GT(victim, 0);
+  // Let the victim get well into its burst, then kill it cold.
+  ASSERT_TRUE(SpinUntil([&] { return daemon.LiveSessionCount() == 2; }));
+  ASSERT_TRUE(
+      SpinUntil([&] { return daemon.counters().Get("server.requests") > 64; }));
+  kill(victim, SIGKILL);
+  int status = 0;
+  waitpid(victim, &status, 0);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // The daemon notices EOF, runs the death teardown, and the world is consistent again.
+  EXPECT_TRUE(SpinUntil([&] { return daemon.LiveSessionCount() == 1; }));
+  EXPECT_TRUE(
+      SpinUntil([&] { return daemon.counters().Get("server.client_deaths") >= 1; }));
+  ExpectAuditGreen(daemon);
+
+  // The survivor never noticed.
+  for (uint32_t page = 0; page < 64; ++page) {
+    ASSERT_TRUE(survivor.SubmitTouch(page, false));
+  }
+  ASSERT_TRUE(survivor.WaitForCompletions(5'000'000'000ull));
+  EXPECT_EQ(survivor.completed_ok(), survivor.submitted());
+  ASSERT_TRUE(survivor.Teardown(&error)) << error;
+  survivor.Goodbye();
+  ExpectAuditGreen(daemon);
+  daemon.Stop();
+}
+
+// max_clients is enforced at accept time with a clean error, not a hang.
+TEST(Server, ServerFullRejectsExtraClients) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("full");
+  config.max_clients = 1;
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  Client first;
+  ASSERT_TRUE(first.Connect(config.socket_path, "first", 1, &error)) << error;
+  Client second;
+  EXPECT_FALSE(second.Connect(config.socket_path, "second", 1, &error));
+  EXPECT_GE(daemon.counters().Get("server.connection_rejects"), 1);
+  first.Goodbye();
+  daemon.Stop();
+}
+
+// Stop() with live installed sessions must not count deaths, must reclaim everything, and
+// must leave the invariants intact — the shutdown analogue of the death path.
+TEST(Server, StopWithLiveClientsIsClean) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("stop");
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  Client a;
+  ASSERT_TRUE(a.Connect(config.socket_path, "a", 1, &error)) << error;
+  ASSERT_TRUE(a.Install(policies::ClockPolicy(), SmallRegion(), &error)) << error;
+  Client b;
+  ASSERT_TRUE(b.Connect(config.socket_path, "b", 2, &error)) << error;
+  ASSERT_TRUE(b.Install(policies::MruPolicy(), SmallRegion(), &error)) << error;
+  for (uint32_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(a.SubmitTouch(i % 64, false));
+    ASSERT_TRUE(b.SubmitTouch(i % 64, true));
+  }
+  ASSERT_TRUE(a.WaitForCompletions(5'000'000'000ull));
+  ASSERT_TRUE(b.WaitForCompletions(5'000'000'000ull));
+
+  daemon.Stop();
+  EXPECT_EQ(daemon.counters().Get("server.client_deaths"), 0);
+  ExpectAuditGreen(daemon);
+  a.Close();
+  b.Close();
+}
+
+}  // namespace
+}  // namespace hipec::server
