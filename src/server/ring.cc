@@ -1,5 +1,6 @@
 #include "server/ring.h"
 
+#include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <time.h>
@@ -73,13 +74,22 @@ bool RingPair::Create(uint32_t slots, std::string* error) {
     return false;
   }
   RingLayout layout = RingLayout::For(slots);
-  int fd = memfd_create("hipec-ring", MFD_CLOEXEC);
+  int fd = memfd_create("hipec-ring", MFD_CLOEXEC | MFD_ALLOW_SEALING);
   if (fd < 0) {
     *error = Errno("memfd_create");
     return false;
   }
   if (ftruncate(fd, static_cast<off_t>(layout.total_bytes)) != 0) {
     *error = Errno("ftruncate");
+    close(fd);
+    return false;
+  }
+  // The fd crosses the trust boundary writable (the client must map and write its ring
+  // side), so freeze the segment's size before it leaves this process: without the seals a
+  // hostile client could ftruncate the segment and SIGBUS the daemon's next ring access.
+  // F_SEAL_WRITE is deliberately absent — writes are the whole point.
+  if (fcntl(fd, F_ADD_SEALS, F_SEAL_SHRINK | F_SEAL_GROW | F_SEAL_SEAL) != 0) {
+    *error = Errno("F_ADD_SEALS");
     close(fd);
     return false;
   }

@@ -10,10 +10,12 @@
 // no CAS, no locks, no syscalls on the fast path. Positions are free-running uint32s;
 // `pos & (slots - 1)` indexes the slot array (slots is a power of two).
 //
-// The segment is created by the daemon with memfd_create, sized, mapped on both sides, and
-// passed to the client as a file descriptor riding an SCM_RIGHTS control message on the
-// install ack — no global name, no cleanup problem: the segment dies with its last mapping,
-// even if the client is SIGKILLed mid-burst.
+// The segment is created by the daemon with memfd_create, sized, sealed against resizing
+// (F_SEAL_SHRINK | F_SEAL_GROW | F_SEAL_SEAL — the fd goes to an untrusted process, and an
+// unsealed segment could be ftruncated out from under the daemon's mapping), mapped on both
+// sides, and passed to the client as a file descriptor riding an SCM_RIGHTS control message
+// on the install ack — no global name, no cleanup problem: the segment dies with its last
+// mapping, even if the client is SIGKILLed mid-burst.
 //
 // Attachment is defensive: the daemon wrote the header, but a client maps bytes it must not
 // trust blindly either (version skew), so Attach() validates magic, version, slot counts and

@@ -103,7 +103,10 @@ void Server::Stop() {
     sessions = sessions_;
   }
   for (auto& session : sessions) {
-    shutdown(session->sock, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(session->sock_mu);
+    if (session->sock >= 0) {
+      shutdown(session->sock, SHUT_RDWR);
+    }
   }
   for (auto& session : sessions) {
     if (session->control_thread.joinable()) {
@@ -118,6 +121,8 @@ void Server::Stop() {
   if (reaper_thread_.joinable()) {
     reaper_thread_.join();
   }
+  // Sessions that retired before the snapshot above are on zombies_; join the stragglers.
+  ReapZombieSessions();
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions_.clear();
@@ -139,8 +144,12 @@ void Server::AcceptLoop() {
       break;  // listener shut down
     }
     counters_.Add(kCtrConnections);
+    ReapZombieSessions();
     auto session = std::make_shared<Session>();
     session->sock = sock;
+    // The heartbeat clock starts at accept: a connection holds a max_clients slot from here
+    // on, so a client that never hellos or never installs still times out (ReaperLoop).
+    session->last_beat_ns.store(NowNs(), std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
       if (sessions_.size() >= config_.max_clients) {
@@ -194,9 +203,36 @@ void Server::ControlLoop(std::shared_ptr<Session> session) {
   } else {
     TeardownSession(s, orderly ? "client goodbye" : "server shutdown");
   }
-  shutdown(s.sock, SHUT_RDWR);
-  close(s.sock);
-  s.sock = -1;
+  {
+    std::lock_guard<std::mutex> lock(s.sock_mu);
+    shutdown(s.sock, SHUT_RDWR);
+    close(s.sock);
+    s.sock = -1;
+  }
+  // Retire the session: out of sessions_ so its max_clients slot frees immediately, onto
+  // zombies_ so the next accept (or Stop) joins this thread. One locked transition, so
+  // every session is always on exactly one of the two lists.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), session),
+                    sessions_.end());
+    zombies_.push_back(std::move(session));
+  }
+}
+
+void Server::ReapZombieSessions() {
+  std::vector<std::shared_ptr<Session>> zombies;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    zombies.swap(zombies_);
+  }
+  for (auto& session : zombies) {
+    // A zombie parked itself as its control thread's last act, so this join is immediate.
+    // joinable() guards sessions Stop already joined through its own snapshot.
+    if (session->control_thread.joinable()) {
+      session->control_thread.join();
+    }
+  }
 }
 
 bool Server::HandleFrame(Session& s, const FrameHeader& header,
@@ -393,7 +429,8 @@ void Server::TeardownSession(Session& s, const std::string& reason) {
   }
   // The ring mapping is NOT unmapped here: stats snapshots and the reaper read its header
   // racily against teardown, so the segment lives until the Session itself is destroyed
-  // (RingPair's destructor). One page-sized mapping per departed client until Stop().
+  // (RingPair's destructor, once the last snapshot shared_ptr drops after the control
+  // thread retires the session from sessions_).
 }
 
 void Server::SendError(Session& s, uint32_t code, const std::string& message) {
@@ -559,19 +596,27 @@ void Server::ReaperLoop() {
     const uint64_t now = NowNs();
     for (auto& session : snapshot) {
       Session& s = *session;
-      if (!s.installed.load(std::memory_order_acquire) ||
-          s.dead.load(std::memory_order_acquire) ||
+      if (s.dead.load(std::memory_order_acquire) ||
           s.reaped.load(std::memory_order_acquire)) {
         continue;
       }
+      // The clock starts at accept (AcceptLoop seeds last_beat_ns), so a session that
+      // never hellos or never installs is reaped too — it holds a max_clients slot the
+      // moment it connects, and without this it would hold it forever.
       uint64_t beat = s.last_beat_ns.load(std::memory_order_relaxed);
-      beat = std::max(beat, s.ring.header()->client_beat_ns.load(std::memory_order_relaxed));
+      if (s.ring_ready.load(std::memory_order_acquire)) {
+        beat = std::max(beat,
+                        s.ring.header()->client_beat_ns.load(std::memory_order_relaxed));
+      }
       if (beat != 0 && now > beat && now - beat > timeout) {
         // Wedged or silently-gone client: force the death path. The control thread's read
         // fails once the socket shuts down and runs the same teardown as an EOF.
         counters_.Add(kCtrHeartbeatTimeouts);
         s.reaped.store(true, std::memory_order_release);
-        shutdown(s.sock, SHUT_RDWR);
+        std::lock_guard<std::mutex> lock(s.sock_mu);
+        if (s.sock >= 0) {
+          shutdown(s.sock, SHUT_RDWR);
+        }
       }
     }
   }

@@ -111,6 +111,10 @@ class Server {
   struct Session {
     uint64_t id = 0;
     int sock = -1;
+    // Serializes the control thread's close() against shutdown() from the reaper/Stop.
+    // Only the control thread closes; everyone else takes the lock, checks sock >= 0, and
+    // calls shutdown — so a wakeup can never land on a recycled descriptor.
+    std::mutex sock_mu;
     std::string name;
     std::thread control_thread;
 
@@ -171,6 +175,10 @@ class Server {
   // out any in-flight drain claim. Safe to call repeatedly.
   void TeardownSession(Session& session, const std::string& reason);
 
+  // Joins the control threads of sessions that retired themselves (a thread cannot join
+  // itself, so ControlLoop parks the session on zombies_ for the accept loop or Stop).
+  void ReapZombieSessions();
+
   void SendError(Session& session, uint32_t code, const std::string& message);
 
   ServerConfig config_;
@@ -187,7 +195,10 @@ class Server {
   std::thread reaper_thread_;
 
   std::mutex sessions_mu_;
+  // Live connections only: a departing control thread erases its session here (freeing its
+  // max_clients slot) and moves it to zombies_, which just awaits a thread join.
   std::vector<std::shared_ptr<Session>> sessions_;
+  std::vector<std::shared_ptr<Session>> zombies_;
   uint64_t next_session_id_ = 1;
 };
 

@@ -450,6 +450,69 @@ TEST(Server, ServerFullRejectsExtraClients) {
   daemon.Stop();
 }
 
+// A departed client releases its max_clients slot: connect/goodbye churn several times
+// deeper than max_clients keeps succeeding, and retired sessions leave the session table
+// (no leaked Session, ring mapping, or control thread per departure).
+TEST(Server, DepartedClientsReleaseTheirSlots) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("slotreuse");
+  config.max_clients = 1;
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  for (int round = 0; round < 4; ++round) {
+    Client client;
+    // The previous client's control thread may still be mid-retirement; the slot frees the
+    // moment its session leaves the table, so a brief "server full" window is legal.
+    ASSERT_TRUE(SpinUntil([&] {
+      std::string retry_error;
+      return client.Connect(config.socket_path, "churn", 1, &retry_error);
+    })) << "round " << round;
+    ASSERT_TRUE(client.Install(policies::FifoPolicy(), SmallRegion(), &error))
+        << "round " << round << ": " << error;
+    ASSERT_TRUE(client.SubmitTouch(0, false));
+    ASSERT_TRUE(client.WaitForCompletions(5'000'000'000ull));
+    client.Goodbye();
+  }
+  // Every departed session was pruned, not just flagged dead.
+  EXPECT_TRUE(SpinUntil([&] { return daemon.ClientStatsSnapshot().empty(); }));
+  ExpectAuditGreen(daemon);
+  daemon.Stop();
+}
+
+// A connection that never completes install still holds a max_clients slot, so the reaper
+// must evict it on the same heartbeat timeout — the clock starts at accept, not install.
+TEST(Server, ReaperEvictsClientsThatNeverInstall) {
+  ServerConfig config;
+  config.socket_path = TestSocketPath("preinstall");
+  config.heartbeat_timeout_ns = 100'000'000ull;  // 100ms
+  config.max_clients = 1;
+  Server daemon(config);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  // A raw connection that never even says hello.
+  int idle = ConnectUnix(config.socket_path, &error);
+  ASSERT_GE(idle, 0) << error;
+  EXPECT_TRUE(SpinUntil(
+      [&] { return daemon.counters().Get("server.heartbeat_timeouts") >= 1; }));
+  // The daemon hung up on the idler...
+  char one;
+  EXPECT_FALSE(ReadFull(idle, &one, 1));
+  close(idle);
+  // ...and the slot is usable again by a real client.
+  Client client;
+  EXPECT_TRUE(SpinUntil([&] {
+    std::string retry_error;
+    return client.Connect(config.socket_path, "after-idler", 1, &retry_error);
+  }));
+  ASSERT_TRUE(client.Install(policies::LruPolicy(), SmallRegion(), &error)) << error;
+  EXPECT_EQ(daemon.LiveSessionCount(), 1u);
+  client.Goodbye();
+  daemon.Stop();
+}
+
 // Stop() with live installed sessions must not count deaths, must reclaim everything, and
 // must leave the invariants intact — the shutdown analogue of the death path.
 TEST(Server, StopWithLiveClientsIsClean) {

@@ -3,8 +3,10 @@
 // frames (oversized strings, program caps, trailing bytes), and a seeded bit-flip fuzz —
 // the decoders' contract is a DecodeStatus for every input, never UB or a crash. Plus the
 // shared-memory ring's SPSC unit behaviour (capacity, wrap-around, attach validation).
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <random>
 #include <string>
@@ -472,6 +474,32 @@ TEST(Ring, AttachSharesTheSameMemory) {
   ASSERT_EQ(server_side.PopRequests(popped, 4), 1u);
   EXPECT_EQ(popped[0].seq, 7u);
   EXPECT_EQ(popped[0].page, 3u);
+}
+
+// The segment fd is handed writable to an untrusted client; the seals applied at creation
+// are what stop that client from ftruncating the segment and SIGBUSing the daemon.
+TEST(Ring, SegmentIsSealedAgainstResize) {
+  RingPair ring;
+  std::string error;
+  ASSERT_TRUE(ring.Create(16, &error)) << error;
+  int seals = fcntl(ring.fd(), F_GET_SEALS);
+  ASSERT_GE(seals, 0) << std::strerror(errno);
+  EXPECT_TRUE(seals & F_SEAL_SHRINK);
+  EXPECT_TRUE(seals & F_SEAL_GROW);
+  EXPECT_TRUE(seals & F_SEAL_SEAL);  // and the seal set itself is frozen
+  // What the hostile client would do — exactly what must fail.
+  errno = 0;
+  EXPECT_EQ(ftruncate(ring.fd(), 0), -1);
+  EXPECT_EQ(errno, EPERM);
+  RingLayout layout = RingLayout::For(16);
+  EXPECT_EQ(ftruncate(ring.fd(), static_cast<off_t>(layout.total_bytes * 2)), -1);
+  // The mapped ring still works: sealing must not block MAP_SHARED writes.
+  Request r;
+  r.seq = 5;
+  ASSERT_TRUE(ring.TryPushRequest(r));
+  Request popped[2];
+  EXPECT_EQ(ring.PopRequests(popped, 2), 1u);
+  EXPECT_EQ(popped[0].seq, 5u);
 }
 
 TEST(Ring, CreateAndAttachRejectGarbage) {
