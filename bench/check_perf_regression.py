@@ -171,27 +171,33 @@ def main():
         print("check_perf_regression: need at least one --input or --report", file=sys.stderr)
         return 1
 
+    # Input problems accumulate instead of short-circuiting: one run reports every bad
+    # report file and any config mismatch together, so a broken CI capture is diagnosed
+    # in a single pass rather than one re-run per problem.
+    errors = []
     records = []
     for path in args.input:
         records.extend(parse_json_lines(path))
     config_error = check_config(records, baseline)
     if config_error:
-        print(f"check_perf_regression: {config_error}", file=sys.stderr)
-        return 1
+        errors.append(config_error)
     current = extract_metrics(records)
     for path in args.report:
         with open(path, encoding="utf-8") as fh:
             report = json.load(fh)
         metrics = report.get("metrics")
         if not isinstance(metrics, dict):
-            print(f"check_perf_regression: {path} has no 'metrics' object "
-                  "(expected hipec-report --json output)", file=sys.stderr)
-            return 1
+            errors.append(f"{path} has no 'metrics' object "
+                          "(expected hipec-report --json output)")
+            continue
         for name, value in metrics.items():
             if isinstance(value, (int, float)):
                 current[name] = value
-    if not current:
-        print("check_perf_regression: no bench JSON lines found in inputs", file=sys.stderr)
+    if not current and not errors:
+        errors.append("no bench JSON lines found in inputs")
+    if errors:
+        for message in errors:
+            print(f"check_perf_regression: {message}", file=sys.stderr)
         return 1
 
     failures = 0

@@ -98,6 +98,23 @@ class EventBuilder {
     return Emit({Opcode::kMigrate, page, target_id_op, 0});
   }
   EventBuilder& Unlink(uint8_t page) { return Emit({Opcode::kUnlink, page, 0, 0}); }
+  EventBuilder& WeightedSelectMin(uint8_t queue, uint8_t dst) {
+    return Emit({Opcode::kWeightedSelect, queue, dst, static_cast<uint8_t>(SelectMode::kMin)});
+  }
+  EventBuilder& WeightedSelectMax(uint8_t queue, uint8_t dst) {
+    return Emit({Opcode::kWeightedSelect, queue, dst, static_cast<uint8_t>(SelectMode::kMax)});
+  }
+  // dst = saturating dot product of the n weights at [base, base+n) with the n features at
+  // [base+n, base+2n).
+  EventBuilder& SatDotProduct(uint8_t dst, uint8_t base, uint8_t n) {
+    return Emit({Opcode::kSatDotProduct, dst, base, n});
+  }
+  EventBuilder& PageWordLoad(uint8_t page, uint8_t dst) {
+    return Emit({Opcode::kPageWord, page, dst, static_cast<uint8_t>(PageWordOp::kLoad)});
+  }
+  EventBuilder& PageWordStore(uint8_t page, uint8_t src) {
+    return Emit({Opcode::kPageWord, page, src, static_cast<uint8_t>(PageWordOp::kStore)});
+  }
 
   // Resolves labels and returns the command stream.
   std::vector<Instruction> Build() {

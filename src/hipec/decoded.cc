@@ -241,6 +241,43 @@ class EventDecoder {
         out_.kind = DispatchKind::kUnlink;
         WantPage(inst_.op1, "Unlink");
         break;
+      case Opcode::kWeightedSelect:
+        WantQueue(inst_.op1, "WeightedSelect queue");
+        WantPage(inst_.op2, "WeightedSelect dst");
+        FuseFlag(DispatchKind::kWeightedSelectMin, inst_.op3, 1, 2, "WeightedSelect mode");
+        break;
+      case Opcode::kSatDotProduct: {
+        WantIntWritable(inst_.op1, "SatDotProduct dst");
+        int n = WantFlagRange(inst_.op3, 1, static_cast<uint8_t>(kMaxDotWidth),
+                              "SatDotProduct width");
+        if (n >= 0) {
+          out_.kind = DispatchKind::kSatDotProduct;
+          // The width rides in `target` so the executor and JIT never re-read the raw word.
+          out_.target = inst_.op3;
+          // 2n consecutive slots starting at op2: n weights then n features. The range must
+          // stay inside the operand array and every slot must be a readable integer.
+          if (static_cast<int>(inst_.op2) + 2 * inst_.op3 > 256) {
+            Error("SatDotProduct operands: vector runs past the operand array");
+          } else {
+            for (int i = 0; i < 2 * inst_.op3; ++i) {
+              if (!IsIntReadable(static_cast<uint8_t>(inst_.op2 + i))) {
+                Error("SatDotProduct operands: operand is not an integer");
+                break;
+              }
+            }
+          }
+        }
+        break;
+      }
+      case Opcode::kPageWord:
+        WantPage(inst_.op1, "PageWord page");
+        FuseFlag(DispatchKind::kPageWordLoad, inst_.op3, 1, 2, "PageWord op");
+        if (inst_.op3 == static_cast<uint8_t>(PageWordOp::kLoad)) {
+          WantIntWritable(inst_.op2, "PageWord dst");
+        } else if (inst_.op3 == static_cast<uint8_t>(PageWordOp::kStore)) {
+          WantIntReadable(inst_.op2, "PageWord src");
+        }
+        break;
     }
   }
 

@@ -87,6 +87,16 @@ enum class DispatchKind : uint8_t {
   kMru,
   kMigrate,
   kUnlink,
+  // WeightedSelect splits on the SelectMode flag at decode time, mirroring DeQueue/EnQueue.
+  // a is the queue, b the destination page variable.
+  kWeightedSelectMin,
+  kWeightedSelectMax,
+  // a is the destination int, b the base slot; the width n rides in DecodedInst::target.
+  kSatDotProduct,
+  // Per-page scratch-word access, split on the PageWordOp flag. a is the page variable, b the
+  // integer operand.
+  kPageWordLoad,
+  kPageWordStore,
   // --- superinstructions -----------------------------------------------------------------
   // Adjacent command pairs the fusion pass (DecodePolicy with fuse_superinstructions) folds
   // into one dispatch, halving loop overhead on the dominant fault-path idioms. The fused

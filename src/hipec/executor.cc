@@ -13,7 +13,7 @@ struct TimeoutSignal {};
 
 // The dispatch loop (dispatch_loop.inc) has a case and a jump-table entry per DispatchKind;
 // this fires when someone grows the IR without teaching the interpreter the new kind.
-static_assert(kDispatchKindCount == 51,
+static_assert(kDispatchKindCount == 56,
               "new DispatchKind: add a handler (and jump-table entry) to dispatch_loop.inc "
               "and update this tripwire");
 
@@ -60,6 +60,45 @@ inline mach::VmPage* RequirePage(uint8_t index, const OperandEntry& e) {
 }
 
 }  // namespace
+
+// Saturating arithmetic, written against unsigned wraparound (well-defined) plus explicit
+// overflow detection so it compiles cleanly under UBSan on every supported compiler.
+int64_t SatAdd64(int64_t a, int64_t b) {
+  uint64_t ua = static_cast<uint64_t>(a);
+  uint64_t ub = static_cast<uint64_t>(b);
+  uint64_t sum = ua + ub;
+  // Overflow iff the operands share a sign the result does not.
+  if (((ua ^ sum) & (ub ^ sum)) >> 63 != 0) {
+    return a < 0 ? INT64_MIN : INT64_MAX;
+  }
+  return static_cast<int64_t>(sum);
+}
+
+int64_t SatMul64(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  // The two cases where the post-hoc division check below would itself overflow.
+  if ((a == -1 && b == INT64_MIN) || (b == -1 && a == INT64_MIN)) {
+    return INT64_MAX;
+  }
+  uint64_t up = static_cast<uint64_t>(a) * static_cast<uint64_t>(b);
+  int64_t p = static_cast<int64_t>(up);
+  if (p / a != b) {
+    return ((a < 0) != (b < 0)) ? INT64_MIN : INT64_MAX;
+  }
+  return p;
+}
+
+int64_t SatDotSlots(const OperandEntry* slots, uint8_t base, int n) {
+  int64_t acc = 0;
+  for (int i = 0; i < n; ++i) {
+    int64_t weight = LoadInt(slots[base + i]);
+    int64_t feature = LoadInt(slots[base + n + i]);
+    acc = SatAdd64(acc, SatMul64(weight, feature));
+  }
+  return acc;
+}
 
 thread_local bool PolicyExecutor::condition_ = false;
 
@@ -385,6 +424,16 @@ uint8_t PolicyExecutor::RunEventSwitch(Container* c, int event, int depth, int64
         page->queue.load()->Remove(page);
         break;
       }
+      case Opcode::kWeightedSelect:
+        kernel_->ctx().Charge(costs.complex_command_ns);
+        DoWeightedSelect(c, inst);
+        break;
+      case Opcode::kSatDotProduct:
+        DoSatDotProduct(c, inst);
+        break;
+      case Opcode::kPageWord:
+        DoPageWord(c, inst);
+        break;
       default:
         throw PolicyError("invalid operator code reached the executor");
     }
@@ -598,6 +647,63 @@ void PolicyExecutor::DoFind(Container* c, const Instruction& inst) {
   }
   c->operands().WritePage(inst.op1, page);
   condition_ = page != nullptr && page->owner == c;
+}
+
+void PolicyExecutor::DoWeightedSelect(Container* c, const Instruction& inst) {
+  mach::PageQueue* queue = c->operands().ReadQueue(inst.op1);
+  auto mode = static_cast<SelectMode>(inst.op3);
+  if (mode != SelectMode::kMin && mode != SelectMode::kMax) {
+    // Same text the decode-time classifier traps with, so the dual paths agree.
+    throw PolicyError("WeightedSelect mode: flag out of range");
+  }
+  if (queue->empty()) {
+    throw PolicyError("replacement-policy command on an empty queue");
+  }
+  mach::VmPage* best = nullptr;
+  queue->ForEach([&](mach::VmPage* p) {
+    if (best == nullptr ||
+        (mode == SelectMode::kMin ? p->user_word < best->user_word
+                                  : p->user_word > best->user_word)) {
+      best = p;  // strict comparison: ties keep the page nearest the head
+    }
+    return true;
+  });
+  queue->Remove(best);
+  c->operands().WritePage(inst.op2, best);
+  counters_.Add(kCtrPolicyCommands);
+}
+
+void PolicyExecutor::DoSatDotProduct(Container* c, const Instruction& inst) {
+  OperandArray& ops = c->operands();
+  int n = inst.op3;
+  if (n < 1 || n > kMaxDotWidth) {
+    throw PolicyError("SatDotProduct width: flag out of range");
+  }
+  if (static_cast<int>(inst.op2) + 2 * n > 256) {
+    throw PolicyError("SatDotProduct operands: vector runs past the operand array");
+  }
+  int64_t acc = 0;
+  for (int i = 0; i < n; ++i) {
+    int64_t weight = ops.ReadInt(static_cast<uint8_t>(inst.op2 + i));
+    int64_t feature = ops.ReadInt(static_cast<uint8_t>(inst.op2 + n + i));
+    acc = SatAdd64(acc, SatMul64(weight, feature));
+  }
+  ops.WriteInt(inst.op1, acc);
+}
+
+void PolicyExecutor::DoPageWord(Container* c, const Instruction& inst) {
+  OperandArray& ops = c->operands();
+  mach::VmPage* page = ops.ReadPage(inst.op1);
+  switch (static_cast<PageWordOp>(inst.op3)) {
+    case PageWordOp::kLoad:
+      ops.WriteInt(inst.op2, page->user_word);
+      break;
+    case PageWordOp::kStore:
+      page->user_word = ops.ReadInt(inst.op2);
+      break;
+    default:
+      throw PolicyError("PageWord op: flag out of range");
+  }
 }
 
 void PolicyExecutor::DoReplacementPolicy(Container* c, const Instruction& inst) {

@@ -71,6 +71,16 @@ struct ExecTrace {
   bool operator==(const ExecTrace&) const = default;
 };
 
+// Saturating 64-bit arithmetic used by the SatDotProduct command. One definition shared by
+// the IR interpreter, the reference interpreter and the JIT bridge, so the three paths
+// cannot drift at the overflow boundaries the differential suite probes.
+int64_t SatAdd64(int64_t a, int64_t b);
+int64_t SatMul64(int64_t a, int64_t b);
+// The SatDotProduct kernel: saturating sum over i in [0, n) of
+// slots[base + i] * slots[base + n + i]. The decoder guaranteed every slot is a readable
+// integer and the range stays inside the 256-entry array.
+int64_t SatDotSlots(const OperandEntry* slots, uint8_t base, int n);
+
 class PolicyExecutor {
  public:
   PolicyExecutor(mach::Kernel* kernel, GlobalFrameManager* manager);
@@ -127,6 +137,9 @@ class PolicyExecutor {
 
   // Reference-path command implementations (decode-per-event interpreter only).
   void DoArith(Container* c, const Instruction& inst);
+  void DoWeightedSelect(Container* c, const Instruction& inst);
+  void DoSatDotProduct(Container* c, const Instruction& inst);
+  void DoPageWord(Container* c, const Instruction& inst);
   void DoComp(Container* c, const Instruction& inst);
   void DoLogic(Container* c, const Instruction& inst);
   void DoSet(Container* c, const Instruction& inst);

@@ -311,6 +311,7 @@ mach::VmPage* GlobalFrameManager::FlushExchange(Container* container, mach::VmPa
   // Exchange: the dirty frame joins the laundry and is written back later; the clean reserve
   // frame takes its place in the application's allocation.
   replacement->owner = container;
+  replacement->user_word = 0;  // reserve frames may carry a previous owner's score
   UntrackAlloc(page);
   TrackAlloc(replacement);
   page->owner = this;
@@ -358,6 +359,7 @@ bool GlobalFrameManager::MigrateFrame(Container* from, mach::VmPage* page, uint6
   --from->allocated_frames;
   ++target->allocated_frames;  // total_specific_ unchanged: the frame stays specific
   page->owner = target;
+  page->user_word = 0;  // the source policy's score means nothing to the target
   target->free_q().EnqueueTail(page, kernel_->clock().now());
   counters_.Add(kCtrMigrations);
   NotifyDecision("migrate");

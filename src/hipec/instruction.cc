@@ -10,7 +10,7 @@ constexpr std::array<const char*, kOpcodeCount> kNames = {
     "Return", "Arith",   "Comp",    "Logic", "EmptyQ", "InQ",  "Jump",
     "DeQueue", "EnQueue", "Request", "Release", "Flush", "Set",  "Ref",
     "Mod",     "Find",    "Activate", "FIFO",  "LRU",    "MRU",
-    "Migrate", "Unlink",
+    "Migrate", "Unlink",  "WeightedSelect", "SatDotProduct", "PageWord",
 };
 
 // kOpcodeCount is derived from the enum; a new opcode that is not given a name here would

@@ -55,12 +55,29 @@ enum class Opcode : uint8_t {
   // policy can segregate pages into user-defined queues (e.g. a DBMS buffer manager keeping
   // index and heap pages apart).
   kUnlink = 0x15,
+  // --- rank/score eviction commands (ROADMAP item 4: policy zoo) -----------------------------
+  // Scan queue op1 and dequeue the page whose per-page scratch word is smallest (flag op3 = 1)
+  // or largest (flag op3 = 2), writing it into page-var op2. The scratch word is the one
+  // kPageWord reads and writes; ties keep the page nearest the head (stable). Charged as a
+  // complex command like FIFO/LRU/MRU; executing it on an empty queue terminates the policy.
+  kWeightedSelect = 0x16,
+  // Saturating dot product for perceptron-style scoring: int operand op1 (writable) receives
+  // sum over i in [0, n) of slots[op2 + i] * slots[op2 + n + i], where n = flag op3 in [1, 8].
+  // The n weight slots and n feature slots must all be readable integers. Every multiply and
+  // accumulate saturates to [INT64_MIN, INT64_MAX] instead of wrapping, so a runaway weight
+  // cannot flip a score's sign.
+  kSatDotProduct = 0x17,
+  // Per-page scratch-word access: flag op3 = 1 loads the scratch word of the page in page-var
+  // op1 into writable int operand op2; flag op3 = 2 stores readable int operand op2 into the
+  // page's scratch word. The scratch word lives on the frame (VmPage::user_word), survives
+  // queue moves, and is zeroed when the frame is recycled to a new owner.
+  kPageWord = 0x18,
 };
 
 // Derived from the enum (last opcode + 1) so adding a command cannot silently desynchronize
 // the name table or the decoder's dispatch mapping; static_asserts in instruction.cc and the
-// exhaustive classifier switch in decoded.cc both key off this. Keep kUnlink the last member.
-inline constexpr int kOpcodeCount = static_cast<int>(Opcode::kUnlink) + 1;
+// exhaustive classifier switch in decoded.cc both key off this. Keep kPageWord the last member.
+inline constexpr int kOpcodeCount = static_cast<int>(Opcode::kPageWord) + 1;
 // Commands 0x00..0x13 are the paper's original set (Table 1).
 inline constexpr int kPaperOpcodeCount = 20;
 
@@ -104,6 +121,22 @@ enum class PageBit : uint8_t {
   kReference = 1,
   kModify = 2,
 };
+
+// Scan direction flag for WeightedSelect.
+enum class SelectMode : uint8_t {
+  kMin = 1,
+  kMax = 2,
+};
+
+// Access flag for PageWord.
+enum class PageWordOp : uint8_t {
+  kLoad = 1,
+  kStore = 2,
+};
+
+// The widest dot product kSatDotProduct accepts (n = flag op3). Bounds the operand-range
+// check in the decoder and the per-command cost the SecurityChecker's static scan assumes.
+inline constexpr int kMaxDotWidth = 8;
 
 struct Instruction {
   Opcode op = Opcode::kReturn;

@@ -24,7 +24,7 @@ namespace hipec::core::jit {
 // The emitter has a template per DispatchKind; this fires when someone grows the IR without
 // teaching the JIT the new kind (add a case to jit_x86_64.cc or mark it unsupported in
 // KindSupported so affected events fall back to the interpreter).
-static_assert(kDispatchKindCount == 51,
+static_assert(kDispatchKindCount == 56,
               "new DispatchKind: add a native template to jit_x86_64.cc (or exclude the kind "
               "in KindSupported) and update this tripwire");
 
@@ -100,6 +100,7 @@ const HostOffsets& Offsets() {
     o.pg_q_next = delta(&pg, &pg.q_next);
     o.pg_owner = delta(&pg, &pg.owner);
     o.pg_enqueue_ns = delta(&pg, &pg.enqueue_ns);
+    o.pg_user_word = delta(&pg, &pg.user_word);
     return o;
   }();
   return offsets;
@@ -353,6 +354,46 @@ extern "C" uint64_t HipecJitBridgeUnlink(JitFrame* f, uint64_t a, uint64_t, uint
   });
 }
 
+extern "C" uint64_t HipecJitBridgeWeightedSelect(JitFrame* f, uint64_t a, uint64_t b,
+                                                 uint64_t is_max) {
+  return Guarded(f, [&]() -> uint64_t {
+    // Charge order matches the interpreter: surcharge first, then the empty-queue check.
+    Kctx(f).Charge(Kctx(f).costs->complex_command_ns);
+    mach::PageQueue* queue = f->slots[a].queue;
+    if (queue->empty()) {
+      throw PolicyError("replacement-policy command on an empty queue");
+    }
+    mach::VmPage* best = nullptr;
+    if (is_max != 0) {
+      queue->ForEach([&](mach::VmPage* p) {
+        if (best == nullptr || p->user_word > best->user_word) {
+          best = p;
+        }
+        return true;
+      });
+    } else {
+      queue->ForEach([&](mach::VmPage* p) {
+        if (best == nullptr || p->user_word < best->user_word) {
+          best = p;
+        }
+        return true;
+      });
+    }
+    queue->Remove(best);
+    f->slots[b].page = best;
+    f->executor->counters().Add(kCtrPolicyCommands);
+    return 0;
+  });
+}
+
+extern "C" uint64_t HipecJitBridgeSatDot(JitFrame* f, uint64_t a, uint64_t b, uint64_t n) {
+  return Guarded(f, [&]() -> uint64_t {
+    f->slots[a].int_value =
+        SatDotSlots(f->slots, static_cast<uint8_t>(b), static_cast<int>(n));
+    return 0;
+  });
+}
+
 }  // namespace internal
 
 void JitFrame::RefreshHorizon() {
@@ -464,6 +505,8 @@ const char* DispatchKindName(DispatchKind kind) {
       "ReleasePage",    "Flush",          "SetReference",   "SetModify",
       "RefBit",         "ModBit",         "Find",           "Fifo",
       "Lru",            "Mru",            "Migrate",        "Unlink",
+      "WeightedSelectMin", "WeightedSelectMax", "SatDotProduct", "PageWordLoad",
+      "PageWordStore",
       "FusedCompGtJump", "FusedCompLtJump", "FusedCompEqJump", "FusedCompNeJump",
       "FusedCompGeJump", "FusedCompLeJump", "FusedDeqHeadEnqHead", "FusedDeqHeadEnqTail",
       "FusedLoadImmArith", "TrapError",    "TrapOutside",

@@ -26,6 +26,7 @@ struct HostOffsets {
   uint32_t q_count, q_head, q_tail;
   uint32_t pg_queue, pg_reference, pg_modified;
   uint32_t pg_q_prev, pg_q_next, pg_owner, pg_enqueue_ns;
+  uint32_t pg_user_word;
 };
 const HostOffsets& Offsets();
 
@@ -57,6 +58,12 @@ uint64_t HipecJitBridgeFind(JitFrame* f, uint64_t a, uint64_t b, uint64_t);
 uint64_t HipecJitBridgeReplacement(JitFrame* f, uint64_t a, uint64_t b, uint64_t kind);
 uint64_t HipecJitBridgeMigrate(JitFrame* f, uint64_t a, uint64_t b, uint64_t);
 uint64_t HipecJitBridgeUnlink(JitFrame* f, uint64_t a, uint64_t, uint64_t);
+// kWeightedSelectMin/Max — queue slot a, destination page slot b, is_max selects the
+// direction; charges the complex-command surcharge like the other replacement commands.
+uint64_t HipecJitBridgeWeightedSelect(JitFrame* f, uint64_t a, uint64_t b, uint64_t is_max);
+// kSatDotProduct — destination int slot a, vector base slot b, width n (from the decoded
+// record's target field).
+uint64_t HipecJitBridgeSatDot(JitFrame* f, uint64_t a, uint64_t b, uint64_t n);
 }
 
 // ---- per-arch emitters --------------------------------------------------------------------

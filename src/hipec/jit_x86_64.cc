@@ -679,6 +679,44 @@ bool EmitEventX86(const DecodedEvent& stream, const OperandArray& operands,
         NonTestTail(cc16, d.raw_op);
         break;
 
+      case DispatchKind::kWeightedSelectMin:
+      case DispatchKind::kWeightedSelectMax:
+        EmitGuards();
+        EmitBridge(HipecJitBridgeWeightedSelect, d.a, d.b,
+                   d.kind == DispatchKind::kWeightedSelectMax ? 1 : 0);
+        EmitStatusCheck();
+        NonTestTail(cc16, d.raw_op);
+        break;
+
+      case DispatchKind::kSatDotProduct:
+        // A bridge call: the saturating kernel is shared with the interpreter (SatDotSlots),
+        // so the two paths cannot drift at the overflow boundaries.
+        EmitGuards();
+        EmitBridge(HipecJitBridgeSatDot, d.a, d.b, d.target);
+        EmitStatusCheck();
+        NonTestTail(cc16, d.raw_op);
+        break;
+
+      case DispatchKind::kPageWordLoad:
+        EmitGuards();
+        a.MovRM(RCX, RBX, SlotDisp(d.a, off.op_page));
+        a.TestRR(RCX, RCX);
+        a.Jcc(CC_Z, OperandError("page variable is empty", d.a));
+        a.MovRM(RAX, RCX, static_cast<int32_t>(off.pg_user_word));
+        a.MovMR(RBX, SlotDisp(d.b, off.op_int), RAX);
+        NonTestTail(cc16, d.raw_op);
+        break;
+
+      case DispatchKind::kPageWordStore:
+        EmitGuards();
+        a.MovRM(RCX, RBX, SlotDisp(d.a, off.op_page));
+        a.TestRR(RCX, RCX);
+        a.Jcc(CC_Z, OperandError("page variable is empty", d.a));
+        LoadIntTo(RAX, d.b);
+        a.MovMR(RCX, static_cast<int32_t>(off.pg_user_word), RAX);
+        NonTestTail(cc16, d.raw_op);
+        break;
+
       // --- superinstructions: both halves inline, with the inter-command prologue between —
       // trace/flag/charge order is byte-identical to the unfused stream. -------------------
       case DispatchKind::kFusedCompGtJump:

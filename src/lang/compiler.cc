@@ -28,7 +28,8 @@ constexpr int kTempPages = 1;
 
 bool IsPageProducer(const std::string& callee) {
   return callee == "de_queue_head" || callee == "de_queue_tail" || callee == "fifo" ||
-         callee == "lru" || callee == "mru" || callee == "find";
+         callee == "lru" || callee == "mru" || callee == "find" ||
+         callee == "weighted_min" || callee == "weighted_max";
 }
 
 class Compiler {
@@ -392,6 +393,12 @@ class Compiler {
     } else if (call.name == "find") {
       want_args(1);
       builder_->Find(dst, GenInt(*call.args[0]));
+    } else if (call.name == "weighted_min") {
+      want_args(1);
+      builder_->WeightedSelectMin(QueueOf(*call.args[0]), dst);
+    } else if (call.name == "weighted_max") {
+      want_args(1);
+      builder_->WeightedSelectMax(QueueOf(*call.args[0]), dst);
     } else {
       throw CompileError(call.line, "'" + call.name + "' does not produce a page");
     }
@@ -585,6 +592,10 @@ class Compiler {
     } else if (call.name == "unlink") {
       want_args(1, 1);
       builder_->Unlink(PageOf(*call.args[0]));
+    } else if (call.name == "set_page_word") {
+      want_args(2, 2);
+      uint8_t page = PageOf(*call.args[0]);
+      builder_->PageWordStore(page, GenInt(*call.args[1]));
     } else if (IsPageProducer(call.name)) {
       // Result discarded into the default page variable.
       GenPageProducer(call, ops::kPage);
@@ -615,6 +626,33 @@ class Compiler {
           }
         } else if (rhs.kind == Expr::Kind::kIdent) {
           builder_->Arith(sym.index, GenInt(rhs), ArithOp::kMov);
+        } else if (rhs.kind == Expr::Kind::kCall && rhs.name == "page_word") {
+          if (rhs.args.size() != 1) {
+            throw CompileError(rhs.line, "page_word expects one page variable");
+          }
+          builder_->PageWordLoad(PageOf(*rhs.args[0]), sym.index);
+        } else if (rhs.kind == Expr::Kind::kCall && rhs.name == "sat_dot") {
+          // sat_dot(first, N): the N weights live in the N consecutive operand slots
+          // starting at `first`, the N features in the N slots after those. The compiler
+          // lays user integers out in first-appearance order, so declaring the weights and
+          // features contiguously (e.g. via consts) gives the layout this command needs;
+          // the install-time validator rejects any slot that is not a readable integer.
+          if (rhs.args.size() != 2 || rhs.args[0]->kind != Expr::Kind::kIdent ||
+              rhs.args[1]->kind != Expr::Kind::kInt) {
+            throw CompileError(rhs.line,
+                               "sat_dot expects (first_operand_name, width_literal)");
+          }
+          const Symbol& base = Lookup(rhs.args[0]->name, rhs.args[0]->line);
+          if (base.kind != SymKind::kInt && base.kind != SymKind::kReadOnlyInt) {
+            throw CompileError(rhs.line,
+                               "'" + rhs.args[0]->name + "' is not an integer");
+          }
+          int64_t n = rhs.args[1]->int_value;
+          if (n < 1 || n > core::kMaxDotWidth) {
+            throw CompileError(rhs.line, "sat_dot width must be between 1 and " +
+                                             std::to_string(core::kMaxDotWidth));
+          }
+          builder_->SatDotProduct(sym.index, base.index, static_cast<uint8_t>(n));
         } else if (rhs.kind == Expr::Kind::kBinary) {
           uint8_t lhs_idx = GenInt(*rhs.lhs);
           uint8_t rhs_idx = GenInt(*rhs.rhs);

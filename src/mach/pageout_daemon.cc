@@ -268,6 +268,7 @@ bool PageoutDaemon::AllocFramesForManager(size_t n, PageQueue* out, void* owner)
   }
   for (VmPage* page : got) {
     page->owner = owner;
+    page->user_word = 0;  // policy scratch must not leak between owners
     out->EnqueueTail(page, now);
   }
   counters_.Add(kCtrFramesToManager, static_cast<int64_t>(n));

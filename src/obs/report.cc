@@ -107,6 +107,16 @@ Report BuildReport(const std::vector<JsonValue>& records) {
                      rec.StringOr("policy", "?")] = rec.NumberOr("value", 0.0);
     } else if (bench == "faultpath" && has_metric) {
       report.metrics["faultpath." + rec.StringOr("metric", "?")] = rec.NumberOr("value", 0.0);
+    } else if (bench == "tournament" && rec.Get("workload") != nullptr) {
+      // One leaderboard cell from bench_tournament: flatten every gate-able number under
+      // tournament.<field>.<policy>.<workload> so check_tournament.py and run-to-run diffs
+      // can reference cells by name.
+      const std::string suffix =
+          rec.StringOr("policy", "?") + "." + rec.StringOr("workload", "?");
+      report.metrics["tournament.hit_ratio." + suffix] = rec.NumberOr("hit_ratio", 0.0);
+      report.metrics["tournament.ns_per_fault." + suffix] = rec.NumberOr("ns_per_fault", 0.0);
+      report.metrics["tournament.kills." + suffix] = rec.NumberOr("kills", 0.0);
+      report.metrics["tournament.rejects." + suffix] = rec.NumberOr("rejects", 0.0);
     } else if (bench == "executor_arith_loop" &&
                rec.StringOr("metric", "") == "ir_speedup") {
       report.metrics["interpreter.ir_speedup"] = rec.NumberOr("value", 0.0);
@@ -301,6 +311,9 @@ bool SelfCheck(std::string* diagnostics) {
       "\"value\":2.210}\n"
       "{\"bench\":\"faultpath\",\"metric\":\"probe_overhead_pct\",\"value\":3.100}\n"
       "{\"bench\":\"executor_arith_loop\",\"metric\":\"ir_speedup\",\"value\":2.900}\n"
+      "{\"bench\":\"tournament\",\"policy\":\"awrp\",\"workload\":\"hot_cold\","
+      "\"accesses\":8000,\"faults\":640,\"hit_ratio\":0.9200,\"ns_per_fault\":5125.0,"
+      "\"kills\":0,\"rejects\":0}\n"
       "{\"bench\":\"server\",\"metric\":\"requests_per_sec_per_core\",\"value\":90000,"
       "\"hardware_threads\":16,\"clients\":4}\n"
       "{\"bench\":\"server\",\"metric\":\"requests_per_sec_per_core\",\"value\":11,"
@@ -316,8 +329,8 @@ bool SelfCheck(std::string* diagnostics) {
   size_t ignored = 0;
   std::vector<ReportWarning> parse_warnings;
   ParseJsonLines(in, &records, &ignored, &parse_warnings);
-  if (records.size() != 10) {
-    return fail("expected 10 records, parsed " + std::to_string(records.size()));
+  if (records.size() != 11) {
+    return fail("expected 11 records, parsed " + std::to_string(records.size()));
   }
   if (ignored != 1) {
     return fail("expected 1 ignored line, saw " + std::to_string(ignored));
@@ -350,6 +363,8 @@ bool SelfCheck(std::string* diagnostics) {
       !metric_is("faultpath.speedup_vs_pre_pr.fifo", 2.210) ||
       !metric_is("faultpath.probe_overhead_pct", 3.100) ||
       !metric_is("interpreter.ir_speedup", 2.900) ||
+      !metric_is("tournament.hit_ratio.awrp.hot_cold", 0.9200) ||
+      !metric_is("tournament.ns_per_fault.awrp.hot_cold", 5125.0) ||
       !metric_is("server.requests_per_sec_per_core", 90000) ||
       !metric_is("server.requests_per_sec.4c", 80000)) {
     return fail("flattened metrics do not match the sample");

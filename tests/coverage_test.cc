@@ -26,14 +26,27 @@ namespace ops = core::std_ops;
 TEST(ExtensionOpcodeTest, BinaryValuesFollowTableOne) {
   EXPECT_EQ(static_cast<uint8_t>(Opcode::kMigrate), 0x14);
   EXPECT_EQ(static_cast<uint8_t>(Opcode::kUnlink), 0x15);
-  EXPECT_EQ(core::kOpcodeCount, 22);
+  EXPECT_EQ(static_cast<uint8_t>(Opcode::kWeightedSelect), 0x16);
+  EXPECT_EQ(static_cast<uint8_t>(Opcode::kSatDotProduct), 0x17);
+  EXPECT_EQ(static_cast<uint8_t>(Opcode::kPageWord), 0x18);
+  EXPECT_EQ(core::kOpcodeCount, 25);
   EXPECT_EQ(core::kPaperOpcodeCount, 20);
   EXPECT_TRUE(core::IsValidOpcode(0x15));
-  EXPECT_FALSE(core::IsValidOpcode(0x16));
+  EXPECT_TRUE(core::IsValidOpcode(0x16));
+  EXPECT_TRUE(core::IsValidOpcode(0x17));
+  EXPECT_TRUE(core::IsValidOpcode(0x18));
+  EXPECT_FALSE(core::IsValidOpcode(0x19));
   EXPECT_EQ(*core::OpcodeName(Opcode::kMigrate), "Migrate");
   EXPECT_EQ(*core::OpcodeName(Opcode::kUnlink), "Unlink");
+  EXPECT_EQ(*core::OpcodeName(Opcode::kWeightedSelect), "WeightedSelect");
+  EXPECT_EQ(*core::OpcodeName(Opcode::kSatDotProduct), "SatDotProduct");
+  EXPECT_EQ(*core::OpcodeName(Opcode::kPageWord), "PageWord");
   EXPECT_TRUE(core::SetsCondition(Opcode::kMigrate));   // success is testable
   EXPECT_FALSE(core::SetsCondition(Opcode::kUnlink));
+  // The rank/score family is all non-test: results land in operands, not the flag.
+  EXPECT_FALSE(core::SetsCondition(Opcode::kWeightedSelect));
+  EXPECT_FALSE(core::SetsCondition(Opcode::kSatDotProduct));
+  EXPECT_FALSE(core::SetsCondition(Opcode::kPageWord));
 }
 
 core::OperandArray StdLayout() {
@@ -81,6 +94,113 @@ TEST(ExtensionValidatorTest, UnlinkRequiresPage) {
   auto errors = core::ValidatePolicy(WrapFault(bad.Build()), layout);
   ASSERT_FALSE(errors.empty());
   EXPECT_NE(core::FormatErrors(errors).find("not a page"), std::string::npos);
+}
+
+TEST(ExtensionValidatorTest, WeightedSelectOperandTypes) {
+  core::OperandArray layout = StdLayout();
+  // Good: queue + page destination, both modes.
+  EventBuilder good;
+  good.WeightedSelectMin(ops::kFreeQueue, ops::kPage)
+      .WeightedSelectMax(ops::kActiveQueue, ops::kPage)
+      .Return(0);
+  EXPECT_TRUE(core::ValidatePolicy(WrapFault(good.Build()), layout).empty());
+  // Bad: page where a queue is required.
+  EventBuilder bad1;
+  bad1.WeightedSelectMin(ops::kPage, ops::kPage).Return(0);
+  EXPECT_FALSE(core::ValidatePolicy(WrapFault(bad1.Build()), layout).empty());
+  // Bad: queue where the page destination is required.
+  EventBuilder bad2;
+  bad2.WeightedSelectMin(ops::kFreeQueue, ops::kActiveQueue).Return(0);
+  EXPECT_FALSE(core::ValidatePolicy(WrapFault(bad2.Build()), layout).empty());
+  // Bad: mode byte outside {kMin, kMax}.
+  EventBuilder bad3;
+  bad3.Emit({Opcode::kWeightedSelect, ops::kFreeQueue, ops::kPage, 3}).Return(0);
+  EXPECT_FALSE(core::ValidatePolicy(WrapFault(bad3.Build()), layout).empty());
+}
+
+TEST(ExtensionValidatorTest, SatDotProductOperandRules) {
+  core::OperandArray layout = StdLayout();
+  layout.DefineInt(ops::kResult, 0);
+  layout.DefineInt(ops::kScratch1, 0);
+  // Good: kResult..kScratch1 is a two-int run, enough for width 1.
+  EventBuilder good;
+  good.SatDotProduct(ops::kScratch0, ops::kResult, 1).Return(0);
+  EXPECT_TRUE(core::ValidatePolicy(WrapFault(good.Build()), layout).empty());
+  // Bad: width 0 and width > kMaxDotWidth.
+  EventBuilder bad1;
+  bad1.SatDotProduct(ops::kScratch0, ops::kResult, 0).Return(0);
+  EXPECT_FALSE(core::ValidatePolicy(WrapFault(bad1.Build()), layout).empty());
+  EventBuilder bad2;
+  bad2.SatDotProduct(ops::kScratch0, ops::kResult,
+                     static_cast<uint8_t>(core::kMaxDotWidth + 1))
+      .Return(0);
+  EXPECT_FALSE(core::ValidatePolicy(WrapFault(bad2.Build()), layout).empty());
+  // Bad: the vector run walks into a non-int slot (kScratch0's neighbor is a queue).
+  EventBuilder bad3;
+  bad3.SatDotProduct(ops::kResult, ops::kScratch0, 1).Return(0);
+  EXPECT_FALSE(core::ValidatePolicy(WrapFault(bad3.Build()), layout).empty());
+  // Bad: destination is not writable (queue slot).
+  EventBuilder bad4;
+  bad4.SatDotProduct(ops::kFreeQueue, ops::kResult, 1).Return(0);
+  EXPECT_FALSE(core::ValidatePolicy(WrapFault(bad4.Build()), layout).empty());
+}
+
+TEST(ExtensionValidatorTest, PageWordOperandRules) {
+  core::OperandArray layout = StdLayout();
+  // Good: load into a writable int, store from a readable int.
+  EventBuilder good;
+  good.PageWordLoad(ops::kPage, ops::kScratch0)
+      .PageWordStore(ops::kPage, ops::kScratch0)
+      .Return(0);
+  EXPECT_TRUE(core::ValidatePolicy(WrapFault(good.Build()), layout).empty());
+  // Bad: queue where the page is required.
+  EventBuilder bad1;
+  bad1.PageWordLoad(ops::kFreeQueue, ops::kScratch0).Return(0);
+  EXPECT_FALSE(core::ValidatePolicy(WrapFault(bad1.Build()), layout).empty());
+  // Bad: load destination is not an int.
+  EventBuilder bad2;
+  bad2.PageWordLoad(ops::kPage, ops::kFreeQueue).Return(0);
+  EXPECT_FALSE(core::ValidatePolicy(WrapFault(bad2.Build()), layout).empty());
+  // Bad: flag byte outside {kLoad, kStore}.
+  EventBuilder bad3;
+  bad3.Emit({Opcode::kPageWord, ops::kPage, ops::kScratch0, 0}).Return(0);
+  EXPECT_FALSE(core::ValidatePolicy(WrapFault(bad3.Build()), layout).empty());
+}
+
+// ------------------------------------------------------- saturating arithmetic kernels
+
+TEST(SaturatingArithmeticTest, AddBoundaries) {
+  EXPECT_EQ(core::SatAdd64(INT64_MAX, 1), INT64_MAX);
+  EXPECT_EQ(core::SatAdd64(INT64_MAX, INT64_MAX), INT64_MAX);
+  EXPECT_EQ(core::SatAdd64(INT64_MIN, -1), INT64_MIN);
+  EXPECT_EQ(core::SatAdd64(INT64_MIN, INT64_MIN), INT64_MIN);
+  EXPECT_EQ(core::SatAdd64(INT64_MAX, INT64_MIN), -1);  // exact, no saturation
+  EXPECT_EQ(core::SatAdd64(-5, 3), -2);
+}
+
+TEST(SaturatingArithmeticTest, MulBoundaries) {
+  EXPECT_EQ(core::SatMul64(INT64_MAX, 2), INT64_MAX);
+  EXPECT_EQ(core::SatMul64(INT64_MIN, 2), INT64_MIN);
+  EXPECT_EQ(core::SatMul64(INT64_MIN, -1), INT64_MAX);  // the -INT64_MIN overflow corner
+  EXPECT_EQ(core::SatMul64(-1, INT64_MIN), INT64_MAX);
+  EXPECT_EQ(core::SatMul64(INT64_MIN, 0), 0);
+  EXPECT_EQ(core::SatMul64(INT64_MAX, -1), INT64_MIN + 1);  // exact
+  EXPECT_EQ(core::SatMul64(-3, 7), -21);
+  EXPECT_EQ(core::SatMul64(1LL << 32, 1LL << 32), INT64_MAX);
+}
+
+TEST(SaturatingArithmeticTest, DotProductSaturatesPerTermAndPerSum) {
+  core::OperandEntry slots[4] = {};
+  slots[0].int_value = INT64_MAX;
+  slots[1].int_value = 2;  // weights
+  slots[2].int_value = 2;
+  slots[3].int_value = INT64_MAX;  // features
+  // w0*f0 saturates high; w1*f1 saturates high; the saturating sum stays pinned.
+  EXPECT_EQ(core::SatDotSlots(slots, 0, 2), INT64_MAX);
+  slots[0].int_value = INT64_MIN;
+  slots[3].int_value = 1;
+  // INT64_MIN*2 pins low, 2*1 nudges up: the sum must saturate per step, not wrap.
+  EXPECT_EQ(core::SatDotSlots(slots, 0, 2), INT64_MIN + 2);
 }
 
 // ---------------------------------------------------------------- disk details

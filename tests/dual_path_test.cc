@@ -755,6 +755,11 @@ std::vector<Instruction> OnePerOpcode() {
       Instruction{Opcode::kMru, ops::kFreeQueue, ops::kPage, 0},
       Instruction{Opcode::kMigrate, ops::kPage, ops::kScratch0, 0},
       Instruction{Opcode::kUnlink, ops::kPage, 0, 0},
+      Instruction{Opcode::kWeightedSelect, ops::kFreeQueue, ops::kPage,
+                  static_cast<uint8_t>(SelectMode::kMin)},
+      Instruction{Opcode::kSatDotProduct, ops::kScratch0, ops::kResult, 1},
+      Instruction{Opcode::kPageWord, ops::kPage, ops::kScratch0,
+                  static_cast<uint8_t>(PageWordOp::kLoad)},
       Instruction{Opcode::kReturn, 0, 0, 0},
   };
 }

@@ -92,7 +92,7 @@ Instruction RandomInstruction(std::mt19937_64& rng, int n_commands) {
   const uint8_t queue_op = pick({ops::kFreeQueue, ops::kActiveQueue, ops::kInactiveQueue});
   const uint8_t target = static_cast<uint8_t>(1 + rng() % static_cast<uint64_t>(n_commands));
 
-  switch (rng() % 14) {
+  switch (rng() % 17) {
     case 0:
       return Instruction{Opcode::kArith, writable_int, static_cast<uint8_t>(rng() % 256),
                          static_cast<uint8_t>(ArithOp::kLoadImm)};
@@ -134,6 +134,23 @@ Instruction RandomInstruction(std::mt19937_64& rng, int n_commands) {
       static constexpr Opcode kReplacement[3] = {Opcode::kFifo, Opcode::kLru, Opcode::kMru};
       return Instruction{kReplacement[rng() % 3], queue_op, ops::kPage, 0};
     }
+    case 13:
+      // Mode 3 is decode-illegal: the trap must fire identically in both engines.
+      return Instruction{Opcode::kWeightedSelect, queue_op, ops::kPage,
+                         pick({1, 1, 2, 2, 3})};
+    case 14:
+      // kInactiveCount (0x06) and kFaultAddr (0x0C) each head a contiguous int run long
+      // enough for width 2; kScratch0's neighbor is a queue, so that draw decode-traps —
+      // identically in both engines.
+      return Instruction{Opcode::kSatDotProduct, writable_int,
+                         pick({ops::kInactiveCount, ops::kFaultAddr, ops::kScratch0}),
+                         static_cast<uint8_t>(1 + rng() % 2)};
+    case 15:
+      // Loads need a writable destination, stores any readable source; an empty page
+      // variable is a runtime error both engines must report at the same command.
+      return Instruction{Opcode::kPageWord, ops::kPage,
+                         rng() % 2 == 0 ? writable_int : int_op,
+                         static_cast<uint8_t>(1 + rng() % 2)};
     default:
       return Instruction{Opcode::kFind, ops::kPage, ops::kFaultAddr, 0};
   }

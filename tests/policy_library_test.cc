@@ -119,6 +119,53 @@ TEST(TwoQueuePolicyTest, SurvivesQueueExhaustion) {
   EXPECT_GT(faults, 96);
 }
 
+TEST(AwrpPolicyTest, ConvergesOnColdStartLoopWhereFifoThrashes) {
+  // A cyclic scan one-eighth larger than the pool: FIFO (and LRU/CLOCK) evict every page
+  // just before its next use and miss on every access. AWRP's newest-on-tie eviction lets
+  // a stable resident set form from a cold start, so most accesses hit from loop two on.
+  auto trace = workloads::CyclicScan(36, 12);
+  int64_t awrp = RunTrace(trace, 32, AwrpPolicy());
+  int64_t fifo = RunTrace(trace, 32, FifoPolicy(CommandStyle::kSimple));
+  EXPECT_EQ(fifo, static_cast<int64_t>(trace.size()));  // the classic 0% hit ratio
+  EXPECT_LT(awrp, fifo / 2);
+}
+
+TEST(AwrpPolicyTest, HotSetOutScoresColdChurn) {
+  // 90% of references hit 16 hot pages; the cold tail streams through. The hot pages earn
+  // +64 per rotation and are never the WeightedSelectMin victim, so hot evictions should be
+  // rarer than under FIFO's age-only ordering.
+  auto trace = workloads::HotColdTrace(128, 16, 0.9, 3000, 7);
+  int64_t awrp = RunTrace(trace, 32, AwrpPolicy());
+  int64_t fifo = RunTrace(trace, 32, FifoPolicy(CommandStyle::kSimple));
+  EXPECT_LT(awrp, fifo);
+}
+
+TEST(PerceptronPolicyTest, BeatsFifoOnLoopAndTrainsOnline) {
+  auto trace = workloads::CyclicScan(36, 12);
+  int64_t fifo = RunTrace(trace, 32, FifoPolicy(CommandStyle::kSimple));
+
+  mach::Kernel kernel(SmallParams());
+  HipecEngine engine(&kernel);
+  mach::Task* task = kernel.CreateTask("app");
+  HipecOptions options = PerceptronOptions();
+  options.min_frames = 32;
+  HipecRegion region =
+      engine.VmAllocateHipec(task, 512 * kPageSize, PerceptronPolicy(), options);
+  ASSERT_TRUE(region.ok) << region.error;
+  for (uint64_t page : trace) {
+    ASSERT_TRUE(kernel.Touch(task, region.addr + page * kPageSize, false))
+        << task->termination_reason();
+  }
+  int64_t perceptron = engine.counters().Get("engine.faults_handled");
+  EXPECT_LT(perceptron, fifo);
+  // The referenced-feature weight starts at 64 and moves by +-1 on every reuse
+  // misprediction; thousands of rotations over a churning loop must have touched it.
+  int64_t w0 = region.container->operands().ReadInt(core::std_ops::kUserBase);
+  EXPECT_NE(w0, 64);
+  EXPECT_GE(w0, 1);
+  EXPECT_LE(w0, 96);
+}
+
 TEST(PolicyLibraryTest, AllPoliciesValidateAgainstTheirOptions) {
   struct Case {
     core::PolicyProgram program;
@@ -131,6 +178,8 @@ TEST(PolicyLibraryTest, AllPoliciesValidateAgainstTheirOptions) {
   cases.push_back({MruPolicy(CommandStyle::kSimple), {}});
   cases.push_back({ClockPolicy(), {}});
   cases.push_back({TwoQueuePolicy(), TwoQueueOptions()});
+  cases.push_back({AwrpPolicy(), {}});
+  cases.push_back({PerceptronPolicy(), PerceptronOptions()});
   for (Case& c : cases) {
     mach::Kernel kernel(SmallParams());
     HipecEngine engine(&kernel);

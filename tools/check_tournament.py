@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Tournament gate: validate bench_tournament's leaderboard and enforce the policy floors.
+
+Usage:
+    check_tournament.py tournament.out [--min-policies 5] [--min-workloads 5]
+
+The input is bench_tournament's raw stdout (human table plus one JSON object per line);
+anything that does not parse as a JSON object with bench == "tournament" is ignored.
+
+Checks, all reported in one pass (no stop-at-first):
+  * schema — every leaderboard record carries policy, workload, accesses, faults,
+    hit_ratio, ns_per_fault, kills, rejects with sane ranges (0 <= hit_ratio <= 1,
+    faults <= accesses, non-negative counts);
+  * coverage — at least --min-policies policies and --min-workloads workloads, and the
+    grid is complete (every policy ran every workload);
+  * health — no cell was killed by the security checker or rejected at registration;
+  * floors — the score-based policies must beat FIFO where score-based eviction is the
+    point: awrp and perceptron each need a strictly higher hit ratio than fifo on the
+    hot_cold and looping workloads.
+
+Exit status 0 when everything holds, 1 otherwise (every violation is listed).
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_FIELDS = ("policy", "workload", "accesses", "faults", "hit_ratio",
+                   "ns_per_fault", "kills", "rejects")
+FLOOR_POLICIES = ("awrp", "perceptron")
+FLOOR_WORKLOADS = ("hot_cold", "looping")
+BASELINE_POLICY = "fifo"
+
+
+def parse_leaderboard(path):
+    cells = {}
+    errors = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(rec, dict) or rec.get("bench") != "tournament":
+                continue
+            missing = [f for f in REQUIRED_FIELDS if f not in rec]
+            if missing:
+                errors.append(f"line {lineno}: missing field(s) {', '.join(missing)}")
+                continue
+            key = (rec["policy"], rec["workload"])
+            if key in cells:
+                errors.append(f"line {lineno}: duplicate cell {key[0]}/{key[1]}")
+                continue
+            cells[key] = rec
+    return cells, errors
+
+
+def check_cell(rec):
+    policy, workload = rec["policy"], rec["workload"]
+    where = f"{policy}/{workload}"
+    errors = []
+    if not 0.0 <= rec["hit_ratio"] <= 1.0:
+        errors.append(f"{where}: hit_ratio {rec['hit_ratio']} outside [0, 1]")
+    if rec["accesses"] <= 0:
+        errors.append(f"{where}: non-positive accesses {rec['accesses']}")
+    if rec["faults"] < 0 or rec["faults"] > rec["accesses"]:
+        errors.append(f"{where}: faults {rec['faults']} outside [0, accesses]")
+    if rec["ns_per_fault"] < 0:
+        errors.append(f"{where}: negative ns_per_fault {rec['ns_per_fault']}")
+    if rec["kills"] != 0:
+        errors.append(f"{where}: policy was killed mid-run (kills={rec['kills']})")
+    if rec["rejects"] != 0:
+        errors.append(f"{where}: registration rejected (rejects={rec['rejects']})")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("leaderboard", help="bench_tournament stdout capture")
+    parser.add_argument("--min-policies", type=int, default=5)
+    parser.add_argument("--min-workloads", type=int, default=5)
+    args = parser.parse_args()
+
+    cells, errors = parse_leaderboard(args.leaderboard)
+    policies = sorted({p for p, _ in cells})
+    workloads = sorted({w for _, w in cells})
+
+    if not cells:
+        errors.append("no tournament records found in the input")
+    if len(policies) < args.min_policies:
+        errors.append(f"only {len(policies)} policies ({', '.join(policies)}); "
+                      f"need at least {args.min_policies}")
+    if len(workloads) < args.min_workloads:
+        errors.append(f"only {len(workloads)} workloads ({', '.join(workloads)}); "
+                      f"need at least {args.min_workloads}")
+    for policy in policies:
+        for workload in workloads:
+            if (policy, workload) not in cells:
+                errors.append(f"incomplete grid: no cell for {policy}/{workload}")
+
+    for rec in cells.values():
+        errors.extend(check_cell(rec))
+
+    # The acceptance floors: score-based eviction must pay off where it is supposed to.
+    for workload in FLOOR_WORKLOADS:
+        base = cells.get((BASELINE_POLICY, workload))
+        if base is None:
+            errors.append(f"floor check impossible: no {BASELINE_POLICY}/{workload} cell")
+            continue
+        for policy in FLOOR_POLICIES:
+            rec = cells.get((policy, workload))
+            if rec is None:
+                errors.append(f"floor check impossible: no {policy}/{workload} cell")
+                continue
+            if rec["hit_ratio"] <= base["hit_ratio"]:
+                errors.append(
+                    f"floor violated: {policy} hit_ratio {rec['hit_ratio']:.4f} does not "
+                    f"beat {BASELINE_POLICY} {base['hit_ratio']:.4f} on {workload}")
+            else:
+                print(f"floor ok: {policy} {rec['hit_ratio']:.4f} > "
+                      f"{BASELINE_POLICY} {base['hit_ratio']:.4f} on {workload}")
+
+    print(f"check_tournament: {len(cells)} cells, {len(policies)} policies, "
+          f"{len(workloads)} workloads")
+    if errors:
+        for message in errors:
+            print(f"check_tournament: {message}", file=sys.stderr)
+        print(f"check_tournament: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_tournament: leaderboard complete, all floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
