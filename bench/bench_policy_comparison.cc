@@ -2,14 +2,19 @@
 // canonical access patterns, each through the full HiPEC stack (bytecode interpretation on
 // every fault). This is the practical payoff the paper argues for: no single row of this
 // table wins every column, so applications must be able to choose — and with HiPEC they can.
+//
+// The columns come from the shared workload registry (workloads/registry.h), the same
+// generator configurations every other bench enumerates.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
 #include "hipec/engine.h"
 #include "mach/kernel.h"
 #include "policies/policies.h"
-#include "workloads/access_patterns.h"
+#include "workloads/registry.h"
+#include "workloads/workload_source.h"
 
 namespace {
 
@@ -18,10 +23,9 @@ using mach::kPageSize;
 using policies::CommandStyle;
 
 constexpr size_t kFrames = 128;
-constexpr uint64_t kRegionPages = 256;
 
 int64_t Run(const core::PolicyProgram& program, core::HipecOptions options,
-            const std::vector<uint64_t>& trace) {
+            const workloads::WorkloadSource& source) {
   mach::KernelParams params;
   params.total_frames = 1024;
   params.kernel_reserved_frames = 128;
@@ -30,14 +34,16 @@ int64_t Run(const core::PolicyProgram& program, core::HipecOptions options,
   core::HipecEngine engine(&kernel);
   mach::Task* task = kernel.CreateTask("app");
   options.min_frames = kFrames;
-  core::HipecRegion region =
-      engine.VmAllocateHipec(task, kRegionPages * kPageSize, program, options);
+  core::HipecRegion region = engine.VmAllocateHipec(
+      task, source.region_pages() * kPageSize, program, options);
   if (!region.ok) {
     std::fprintf(stderr, "registration failed: %s\n", region.error.c_str());
     return -1;
   }
-  for (uint64_t page : trace) {
-    if (!kernel.Touch(task, region.addr + page * kPageSize, false)) {
+  std::unique_ptr<workloads::WorkloadSource> stream = source.Clone();
+  workloads::Access access;
+  while (stream->Next(&access)) {
+    if (!kernel.Touch(task, region.addr + access.vpage * kPageSize, access.is_write())) {
       std::fprintf(stderr, "terminated: %s\n", task->termination_reason().c_str());
       return -1;
     }
@@ -57,24 +63,9 @@ int main() {
   bench::Title("Policy library — faults by policy and access pattern");
   bench::Note("256-page region, 128-frame private pool, every fault interpreted in bytecode.");
 
-  // Patterns. Mixed = Zipf lookups with an interleaved one-shot scan (the 2Q showcase).
-  std::vector<uint64_t> cyclic = workloads::CyclicScan(192, 6);
-  std::vector<uint64_t> zipf = workloads::ZipfTrace(kRegionPages, 4000, 0.9, 17);
-  std::vector<uint64_t> uniform = workloads::UniformRandom(kRegionPages, 4000, 23);
-  std::vector<uint64_t> mixed;
-  {
-    sim::ZipfGenerator hot(96, 0.9, 31);
-    for (int i = 0; i < 1200; ++i) {
-      mixed.push_back(hot.Next());
-    }
-    for (uint64_t s = 96; s < 246; ++s) {
-      mixed.push_back(s);
-      mixed.push_back(hot.Next());
-    }
-    for (int i = 0; i < 1200; ++i) {
-      mixed.push_back(hot.Next());
-    }
-  }
+  // Columns: cyclic, zipf, uniform, mixed (Zipf lookups with an interleaved one-shot scan,
+  // the 2Q showcase) — the registry's comparison grid.
+  std::vector<workloads::NamedWorkload> columns = workloads::ComparisonWorkloads();
 
   std::vector<PolicyRow> rows;
   rows.push_back({"FIFO", policies::FifoPolicy(CommandStyle::kSimple), {}});
@@ -86,17 +77,22 @@ int main() {
   rows.push_back({"MRU", policies::MruPolicy(CommandStyle::kComplex), {}});
 
   bench::Rule();
-  std::printf("%-22s %10s %10s %10s %10s\n", "policy", "cyclic", "zipf", "uniform", "mixed");
+  std::printf("%-22s", "policy");
+  for (const workloads::NamedWorkload& column : columns) {
+    std::printf(" %10s", column.name.c_str());
+  }
+  std::printf("\n");
   bench::Rule();
   for (PolicyRow& row : rows) {
     core::HipecOptions options = row.options;
     options.free_target = 4;
     options.inactive_target = 16;
-    std::printf("%-22s %10lld %10lld %10lld %10lld\n", row.name,
-                static_cast<long long>(Run(row.program, options, cyclic)),
-                static_cast<long long>(Run(row.program, options, zipf)),
-                static_cast<long long>(Run(row.program, options, uniform)),
-                static_cast<long long>(Run(row.program, options, mixed)));
+    std::printf("%-22s", row.name);
+    for (const workloads::NamedWorkload& column : columns) {
+      std::printf(" %10lld",
+                  static_cast<long long>(Run(row.program, options, *column.source)));
+    }
+    std::printf("\n");
   }
   bench::Rule();
   bench::Note("Expected shape: MRU wins the cyclic column by a wide margin and loses the");

@@ -1,14 +1,19 @@
 // Multi-tenant scenario benchmark: runs the canned contention scenarios (scenario/canned.h)
 // end to end — invariant auditing on — and reports per-tenant fault throughput, Request
 // reject rates, and forced-reclamation counts, as a human table and as JSON lines for the CI
-// perf-smoke gate.
+// perf-smoke gate. With --replay DIR, each canned .hpt capture in DIR additionally runs as a
+// contention scenario: two tenants under different policies replay the same trace (clones
+// share the record storage — the WorkloadSource fan-out path) against a uniform background
+// task.
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "scenario/canned.h"
 #include "scenario/scenario.h"
+#include "workloads/registry.h"
 
 namespace {
 
@@ -102,23 +107,70 @@ void RunOne(ScenarioSpec spec, const std::string& trace_dir) {
   }
 }
 
+// One contention scenario per canned trace: two tenants replay the same capture under
+// different policies (LRU vs FIFO), sharing the record storage via Workload::Shared, while
+// a uniform background task keeps global pressure on the frame manager.
+ScenarioSpec ReplayScenario(const hipec::workloads::NamedWorkload& trace) {
+  namespace ws = hipec::scenario;
+  ScenarioSpec spec;
+  spec.name = "replay-";
+  spec.name += trace.name;
+  spec.slice_accesses = 64;
+  spec.steps = static_cast<int>(trace.source->size() / spec.slice_accesses) + 2;
+  ws::TenantSpec lru;
+  lru.name = "lru-replay";
+  lru.policy = ws::PolicyKind::kLru;
+  lru.workload = hipec::workloads::Workload::Shared(trace.source);
+  lru.min_frames = 64;
+  ws::TenantSpec fifo = lru;
+  fifo.name = "fifo-replay";
+  fifo.policy = ws::PolicyKind::kFifo;
+  spec.tenants.push_back(std::move(lru));
+  spec.tenants.push_back(std::move(fifo));
+  ws::BackgroundSpec bg;
+  bg.name = "bg-uniform";
+  bg.pages = 256;
+  bg.accesses = 4000;
+  spec.background.push_back(std::move(bg));
+  return spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // --trace-dir DIR: also export each scenario as Chrome trace-event JSON (Perfetto-loadable)
   // into DIR, one <scenario>.trace.json per canned scenario.
+  // --replay DIR: additionally run a replay contention scenario per .hpt capture in DIR.
   std::string trace_dir;
+  std::string replay_dir;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--trace-dir" && i + 1 < argc) {
       trace_dir = argv[++i];
+    } else if (arg == "--replay" && i + 1 < argc) {
+      replay_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--trace-dir DIR]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--trace-dir DIR] [--replay DIR]\n", argv[0]);
       return 2;
     }
   }
   for (const ScenarioSpec& spec : hipec::scenario::AllCannedScenarios()) {
     RunOne(spec, trace_dir);
+  }
+  if (!replay_dir.empty()) {
+    std::string error;
+    std::vector<hipec::workloads::NamedWorkload> traces =
+        hipec::workloads::LoadTraceDir(replay_dir, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "trace load: %s\n", error.c_str());
+    }
+    if (traces.empty()) {
+      std::fprintf(stderr, "no replayable traces in %s\n", replay_dir.c_str());
+      return 2;
+    }
+    for (const hipec::workloads::NamedWorkload& trace : traces) {
+      RunOne(ReplayScenario(trace), trace_dir);
+    }
   }
   return 0;
 }

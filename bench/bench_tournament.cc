@@ -8,8 +8,18 @@
 // tournament-smoke job and tools/check_tournament.py enforces the floors: the score-based
 // policies (AWRP, perceptron) must beat FIFO on the hot/cold and looping workloads, which
 // is the whole point of the WeightedSelect/SatDotProduct opcode family.
+//
+// The synthetic grid comes from the shared workload registry (workloads/registry.h), so
+// "zipf" here and "zipf" anywhere else in the tree are the same generator configuration.
+// With --traces DIR, every canned .hpt capture in DIR joins the grid as extra columns
+// (source "trace"), and each trace cell additionally emits a bench:"replay" record whose
+// fields are all virtual-machine facts (records replayed, faults, hit ratio, virtual fault
+// time) — deterministic across runs and across interpreter/JIT, which the replay-smoke CI
+// job asserts cell for cell.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,7 +27,8 @@
 #include "hipec/engine.h"
 #include "mach/kernel.h"
 #include "policies/policies.h"
-#include "workloads/access_patterns.h"
+#include "workloads/registry.h"
+#include "workloads/workload_source.h"
 
 namespace {
 
@@ -25,25 +36,26 @@ using namespace hipec;  // NOLINT: bench driver
 using mach::kPageSize;
 using policies::CommandStyle;
 
-// 256 private frames over a 512-page region: large enough that the looping workload
-// (288 pages) overflows the pool — the configuration where FIFO/LRU collapse to ~0%
-// hits and a frequency-with-decay policy can hold a stable resident set.
+// 256 private frames: large enough that the looping workload (288 pages) overflows the
+// pool — the configuration where FIFO/LRU collapse to ~0% hits and a frequency-with-decay
+// policy can hold a stable resident set. Canned traces replay against the same pool so
+// leaderboard columns stay comparable.
 constexpr size_t kFrames = 256;
-constexpr uint64_t kRegionPages = 512;
 
 struct CellResult {
   int64_t accesses = 0;
   int64_t faults = 0;
   double hit_ratio = 0.0;
-  double ns_per_fault = 0.0;
+  double ns_per_fault = 0.0;     // host timing: excluded from determinism comparisons
+  int64_t virtual_ns = 0;        // virtual clock at end of replay: deterministic
   int64_t kills = 0;    // task terminated mid-run (checker or policy error)
   int64_t rejects = 0;  // registration refused by the validator/admission path
 };
 
 CellResult Run(const core::PolicyProgram& program, core::HipecOptions options,
-               const std::vector<uint64_t>& trace) {
+               const workloads::WorkloadSource& source) {
   CellResult r;
-  r.accesses = static_cast<int64_t>(trace.size());
+  r.accesses = static_cast<int64_t>(source.size());
   mach::KernelParams params;
   params.total_frames = 1024;
   params.kernel_reserved_frames = 128;
@@ -54,16 +66,18 @@ CellResult Run(const core::PolicyProgram& program, core::HipecOptions options,
   options.min_frames = kFrames;
   options.free_target = 4;
   options.inactive_target = 16;
-  core::HipecRegion region =
-      engine.VmAllocateHipec(task, kRegionPages * kPageSize, program, options);
+  core::HipecRegion region = engine.VmAllocateHipec(
+      task, source.region_pages() * kPageSize, program, options);
   if (!region.ok) {
     std::fprintf(stderr, "registration rejected: %s\n", region.error.c_str());
     r.rejects = 1;
     return r;
   }
+  std::unique_ptr<workloads::WorkloadSource> stream = source.Clone();
   auto start = std::chrono::steady_clock::now();
-  for (uint64_t page : trace) {
-    if (!kernel.Touch(task, region.addr + page * kPageSize, false)) {
+  workloads::Access access;
+  while (stream->Next(&access)) {
+    if (!kernel.Touch(task, region.addr + access.vpage * kPageSize, access.is_write())) {
       std::fprintf(stderr, "terminated: %s\n", task->termination_reason().c_str());
       r.kills = 1;
       break;
@@ -71,6 +85,7 @@ CellResult Run(const core::PolicyProgram& program, core::HipecOptions options,
   }
   auto end = std::chrono::steady_clock::now();
   r.faults = engine.counters().Get("engine.faults_handled");
+  r.virtual_ns = static_cast<int64_t>(kernel.clock().now());
   if (r.accesses > 0) {
     r.hit_ratio = 1.0 - static_cast<double>(r.faults) / static_cast<double>(r.accesses);
   }
@@ -88,14 +103,19 @@ struct PolicyEntry {
   core::HipecOptions options;
 };
 
-struct WorkloadEntry {
-  const char* name;
-  std::vector<uint64_t> trace;
-};
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--traces DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::Title("Eviction tournament — every policy x every workload");
   bench::Note("512-page region, 256-frame private pool; one JSON leaderboard record per cell.");
 
@@ -110,51 +130,42 @@ int main() {
   entries.push_back(
       {"perceptron", policies::PerceptronPolicy(), policies::PerceptronOptions()});
 
-  // The events. hot_cold and looping carry the acceptance floors: the score-based
-  // policies must beat FIFO on both.
-  //   hot_cold — 64 hot pages take 90% of references; the cold tail spans the region.
-  //   looping  — 288-page cyclic scan over 256 frames: 32 pages don't fit, so FIFO/LRU
-  //              evict every page just before its next use (the classic worst case).
-  //   zipf     — skewed lookups, the database-index pattern.
-  //   uniform  — no structure at all; every policy converges to the same miss rate.
-  //   scan_mix — Zipf hot set with an interleaved one-shot scan (the 2Q showcase).
-  std::vector<WorkloadEntry> workloads;
-  workloads.push_back({"hot_cold", workloads::HotColdTrace(kRegionPages, 64, 0.9, 8000, 11)});
-  workloads.push_back({"looping", workloads::CyclicScan(288, 24)});
-  workloads.push_back({"zipf", workloads::ZipfTrace(kRegionPages, 8000, 0.9, 17)});
-  workloads.push_back({"uniform", workloads::UniformRandom(kRegionPages, 8000, 23)});
-  {
-    std::vector<uint64_t> mixed;
-    sim::ZipfGenerator hot(128, 0.9, 31);
-    for (int i = 0; i < 2400; ++i) {
-      mixed.push_back(hot.Next());
+  // The events: the registry's synthetic grid (hot_cold and looping carry the acceptance
+  // floors), plus every canned capture under --traces DIR.
+  std::vector<workloads::NamedWorkload> grid = workloads::TournamentWorkloads();
+  if (!trace_dir.empty()) {
+    std::string error;
+    std::vector<workloads::NamedWorkload> traces =
+        workloads::LoadTraceDir(trace_dir, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "trace load: %s\n", error.c_str());
     }
-    for (uint64_t s = 128; s < 428; ++s) {
-      mixed.push_back(s);
-      mixed.push_back(hot.Next());
+    if (traces.empty()) {
+      std::fprintf(stderr, "no replayable traces in %s\n", trace_dir.c_str());
+      return 2;
     }
-    for (int i = 0; i < 2400; ++i) {
-      mixed.push_back(hot.Next());
+    for (auto& t : traces) {
+      grid.push_back(std::move(t));
     }
-    workloads.push_back({"scan_mix", std::move(mixed)});
   }
 
   bench::Rule();
-  std::printf("%-12s %-10s %10s %10s %10s %12s %6s %7s\n", "policy", "workload", "accesses",
+  std::printf("%-12s %-14s %10s %10s %10s %12s %6s %7s\n", "policy", "workload", "accesses",
               "faults", "hit%", "ns/fault", "kills", "rejects");
   bench::Rule();
 
   bench::JsonLine json;
   for (PolicyEntry& entry : entries) {
-    for (WorkloadEntry& workload : workloads) {
-      CellResult r = Run(entry.program, entry.options, workload.trace);
-      std::printf("%-12s %-10s %10lld %10lld %9.1f%% %12.0f %6lld %7lld\n", entry.name,
-                  workload.name, static_cast<long long>(r.accesses),
+    for (const workloads::NamedWorkload& workload : grid) {
+      CellResult r = Run(entry.program, entry.options, *workload.source);
+      std::printf("%-12s %-14s %10lld %10lld %9.1f%% %12.0f %6lld %7lld\n", entry.name,
+                  workload.name.c_str(), static_cast<long long>(r.accesses),
                   static_cast<long long>(r.faults), 100.0 * r.hit_ratio, r.ns_per_fault,
                   static_cast<long long>(r.kills), static_cast<long long>(r.rejects));
       json.Str("bench", "tournament")
           .Str("policy", entry.name)
           .Str("workload", workload.name)
+          .Str("source", workload.trace ? "trace" : "synthetic")
           .Int("accesses", r.accesses)
           .Int("faults", r.faults)
           .Num("hit_ratio", r.hit_ratio, 4)
@@ -162,6 +173,21 @@ int main() {
           .Int("kills", r.kills)
           .Int("rejects", r.rejects);
       json.Emit();
+      if (workload.trace) {
+        // The replay record: virtual-machine facts only (ns_per_fault, the lone
+        // host-timing field, stays out), so the line is byte-identical run to run and
+        // every field but the cfg_jit provenance stamp matches across HIPEC_JIT=0/1.
+        json.Str("bench", "replay")
+            .Str("policy", entry.name)
+            .Str("trace", workload.name)
+            .Int("records", r.accesses)
+            .Int("faults", r.faults)
+            .Num("hit_ratio", r.hit_ratio, 4)
+            .Int("virtual_fault_ns", r.virtual_ns)
+            .Int("kills", r.kills)
+            .Int("rejects", r.rejects);
+        json.Emit();
+      }
     }
   }
   bench::Rule();

@@ -111,7 +111,7 @@ class JsonLine {
   // Returns the finished object and resets for reuse (tests use this instead of Emit).
   std::string Finish() {
     std::string out = buf_ + "}";
-    buf_ = "{";
+    Reset();
     return out;
   }
 
@@ -123,11 +123,18 @@ class JsonLine {
     }
     out += ConfigProvenanceFields();
     out += '}';
-    buf_ = "{";
+    Reset();
     return out;
   }
 
  private:
+  // clear+push_back instead of assigning a literal: GCC 12's -Wrestrict false-positives on
+  // the inlined const char* assignment when Emit() is called from some loop shapes.
+  void Reset() {
+    buf_.clear();
+    buf_.push_back('{');
+  }
+
   void Key(const char* key) {
     if (buf_.size() > 1) {
       buf_ += ',';

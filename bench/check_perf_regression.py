@@ -12,9 +12,10 @@ directly. Alternatively (or additionally), --report accepts machine-readable rep
 produced by `hipec-report --json`, whose top-level "metrics" object uses the same
 flattened names as extract_metrics below; both sources merge into one metric set.
 
-Gate rules (a metric missing from either side is skipped, never a failure — so feeding a
-bench that baseline.json knows nothing about, or a baseline entry for a bench that was not
-run, only narrows the comparison):
+Gate rules (a metric missing from either side is never a failure — so feeding a bench
+that baseline.json knows nothing about, or a baseline entry for a bench that was not run,
+only narrows the comparison; metrics with no baseline entry are printed as informational
+rows and summarized in a stderr warning so a silently-narrowed gate is visible):
   * faultpath normalized production throughput per policy: faults_per_sec divided by the
     run's own calibration score, so the comparison tolerates machines of different speeds.
     Fails when current < factor * baseline.
@@ -26,6 +27,9 @@ run, only narrows the comparison):
   * interpreter ir_speedup: same-run relative. Fails when current < factor * baseline.
   * scenario metrics (bench_scenario): recorded as scenario.<name>.<metric>; compared only
     if a baseline entry exists.
+  * trace-replay metrics (bench_tournament --traces): recorded as
+    replay.<field>.<policy>.<trace> from the deterministic virtual-machine facts
+    (hit_ratio, faults, records, virtual_fault_ns); compared only if baselined.
 
 Config provenance: every bench JSON line carries cfg_* fields (dispatch variant, JIT
 default, probes compiled in/out, sanitizer — see bench/bench_util.h). The gate refuses to
@@ -92,6 +96,15 @@ def extract_metrics(records):
             metrics["interpreter.ir_speedup"] = rec["value"]
         elif bench == "scenario" and "metric" in rec:
             metrics[f"scenario.{rec['scenario']}.{rec['metric']}"] = rec["value"]
+        elif bench == "replay" and "trace" in rec:
+            # Trace-replay cells (bench_tournament --traces): only the deterministic
+            # virtual-machine facts — identical run to run and across JIT modes — so they
+            # can be baselined exactly. Host timing (ns_per_fault) is excluded on purpose.
+            suffix = f"{rec['policy']}.{rec['trace']}"
+            metrics[f"replay.hit_ratio.{suffix}"] = rec["hit_ratio"]
+            metrics[f"replay.faults.{suffix}"] = rec["faults"]
+            metrics[f"replay.records.{suffix}"] = rec["records"]
+            metrics[f"replay.virtual_fault_ns.{suffix}"] = rec["virtual_fault_ns"]
         elif bench == "parallel" and "metric" in rec:
             # Thread-scaling speedups and the M:N scheduler churn rate are only meaningful
             # on hosts with enough hardware threads; on a 1-core runner they measure the
@@ -215,8 +228,17 @@ def main():
         print(f"{name:<45} {base:>12.4f} {cur:>12.4f} {floor:>12.4f}  "
               f"{'ok' if ok else 'REGRESSION'}")
 
-    for name in sorted(set(current) - set(baseline)):
+    # Metrics the run produced but the baseline does not know: informational, never a
+    # failure — but loudly flagged on stderr, so a metric that silently fell out of
+    # baseline.json (a rename, a dropped recording step) is noticed instead of the gate
+    # quietly narrowing.
+    unbaselined = sorted(set(current) - set(baseline))
+    for name in unbaselined:
         print(f"{name:<45} {'(no baseline)':>12} {current[name]:>12.4f}")
+    if unbaselined:
+        print(f"check_perf_regression: warning: {len(unbaselined)} metric(s) have no "
+              "baseline entry and were not gated: " + ", ".join(unbaselined),
+              file=sys.stderr)
 
     if compared == 0:
         # Benches with no baseline entry are informational, not failures: a newly added

@@ -117,6 +117,18 @@ Report BuildReport(const std::vector<JsonValue>& records) {
       report.metrics["tournament.ns_per_fault." + suffix] = rec.NumberOr("ns_per_fault", 0.0);
       report.metrics["tournament.kills." + suffix] = rec.NumberOr("kills", 0.0);
       report.metrics["tournament.rejects." + suffix] = rec.NumberOr("rejects", 0.0);
+    } else if (bench == "replay" && rec.Get("trace") != nullptr) {
+      // One trace-replay cell (bench_tournament --traces): only the deterministic
+      // virtual-machine facts, flattened under replay.<field>.<policy>.<trace> — these
+      // must be byte-identical run to run and across JIT modes, so the CI replay gate can
+      // diff them directly. Host timing (ns_per_fault) is deliberately excluded.
+      const std::string suffix =
+          rec.StringOr("policy", "?") + "." + rec.StringOr("trace", "?");
+      report.metrics["replay.hit_ratio." + suffix] = rec.NumberOr("hit_ratio", 0.0);
+      report.metrics["replay.faults." + suffix] = rec.NumberOr("faults", 0.0);
+      report.metrics["replay.records." + suffix] = rec.NumberOr("records", 0.0);
+      report.metrics["replay.virtual_fault_ns." + suffix] =
+          rec.NumberOr("virtual_fault_ns", 0.0);
     } else if (bench == "executor_arith_loop" &&
                rec.StringOr("metric", "") == "ir_speedup") {
       report.metrics["interpreter.ir_speedup"] = rec.NumberOr("value", 0.0);
@@ -294,7 +306,7 @@ bool SelfCheck(std::string* diagnostics) {
 
   // A miniature bench capture: a human table line, a scenario summary with dropped events,
   // a scenario metric, faultpath production + speedup + bare-metric lines, an interpreter
-  // line, and one corrupt JSON line.
+  // line, tournament and trace-replay cells, and one corrupt JSON line.
   static const char kSample[] =
       "scenario: sample — human table line, must be skipped\n"
       "{\"bench\":\"scenario\",\"scenario\":\"sample\",\"tenants\":3,\"background\":1,"
@@ -314,6 +326,9 @@ bool SelfCheck(std::string* diagnostics) {
       "{\"bench\":\"tournament\",\"policy\":\"awrp\",\"workload\":\"hot_cold\","
       "\"accesses\":8000,\"faults\":640,\"hit_ratio\":0.9200,\"ns_per_fault\":5125.0,"
       "\"kills\":0,\"rejects\":0}\n"
+      "{\"bench\":\"replay\",\"policy\":\"awrp\",\"trace\":\"kv_store\","
+      "\"records\":8600,\"faults\":2070,\"hit_ratio\":0.7590,"
+      "\"virtual_fault_ns\":20700000,\"kills\":0,\"rejects\":0}\n"
       "{\"bench\":\"server\",\"metric\":\"requests_per_sec_per_core\",\"value\":90000,"
       "\"hardware_threads\":16,\"clients\":4}\n"
       "{\"bench\":\"server\",\"metric\":\"requests_per_sec_per_core\",\"value\":11,"
@@ -329,8 +344,8 @@ bool SelfCheck(std::string* diagnostics) {
   size_t ignored = 0;
   std::vector<ReportWarning> parse_warnings;
   ParseJsonLines(in, &records, &ignored, &parse_warnings);
-  if (records.size() != 11) {
-    return fail("expected 11 records, parsed " + std::to_string(records.size()));
+  if (records.size() != 12) {
+    return fail("expected 12 records, parsed " + std::to_string(records.size()));
   }
   if (ignored != 1) {
     return fail("expected 1 ignored line, saw " + std::to_string(ignored));
@@ -365,6 +380,9 @@ bool SelfCheck(std::string* diagnostics) {
       !metric_is("interpreter.ir_speedup", 2.900) ||
       !metric_is("tournament.hit_ratio.awrp.hot_cold", 0.9200) ||
       !metric_is("tournament.ns_per_fault.awrp.hot_cold", 5125.0) ||
+      !metric_is("replay.hit_ratio.awrp.kv_store", 0.7590) ||
+      !metric_is("replay.records.awrp.kv_store", 8600) ||
+      !metric_is("replay.virtual_fault_ns.awrp.kv_store", 20700000) ||
       !metric_is("server.requests_per_sec_per_core", 90000) ||
       !metric_is("server.requests_per_sec.4c", 80000)) {
     return fail("flattened metrics do not match the sample");

@@ -15,8 +15,7 @@
 #include "policies/policies.h"
 #include "scenario/invariants.h"
 #include "scenario/tenant_policies.h"
-#include "sim/random.h"
-#include "workloads/access_patterns.h"
+#include "workloads/workload_source.h"
 
 namespace hipec::scenario {
 
@@ -67,12 +66,12 @@ namespace {
 struct TenantState {
   TenantSpec spec;
   TenantResult result;
-  std::vector<std::pair<uint64_t, bool>> trace;
+  std::unique_ptr<workloads::WorkloadSource> source;
+  uint64_t region_pages = 0;  // allocated region: max(spec.pages, source->region_pages())
   mach::Task* task = nullptr;
   core::HipecRegion region;
   uint64_t addr = 0;
   uint64_t container_id = 0;
-  size_t pos = 0;
   bool arrived = false;
   bool done = false;  // no further slices (completed, terminated, departed, or torn down)
 };
@@ -80,10 +79,9 @@ struct TenantState {
 struct BackgroundState {
   BackgroundSpec spec;
   BackgroundResult result;
-  std::vector<std::pair<uint64_t, bool>> trace;
+  std::unique_ptr<workloads::WorkloadSource> source;
   mach::Task* task = nullptr;
   uint64_t addr = 0;
-  size_t pos = 0;
   bool done = false;
 };
 
@@ -168,7 +166,8 @@ class ScenarioRun {
       TenantState t;
       t.spec = spec;
       t.result.name = spec.name;
-      t.trace = MaterializeTrace(spec, spec_.seed, ordinal++);
+      t.source = MaterializeSource(spec, spec_.seed, ordinal++);
+      t.region_pages = std::max(spec.pages, t.source->region_pages());
       tenants_.push_back(std::move(t));
     }
     // The fault-injection layer materializes its loop/flusher tenants up front so the
@@ -197,7 +196,8 @@ class ScenarioRun {
       t.spec = spec;
       t.result.name = spec.name;
       t.result.injected = true;
-      t.trace = MaterializeTrace(spec, spec_.seed, ordinal++);
+      t.source = MaterializeSource(spec, spec_.seed, ordinal++);
+      t.region_pages = std::max(spec.pages, t.source->region_pages());
       tenants_.push_back(std::move(t));
     }
     for (const BackgroundSpec& spec : spec_.background) {
@@ -205,15 +205,19 @@ class ScenarioRun {
       b.spec = spec;
       b.result.name = spec.name;
       uint64_t seed = TenantSeed(spec_.seed, ordinal++);
-      std::vector<uint64_t> pages =
-          workloads::UniformRandom(spec.pages, spec.accesses, seed);
-      sim::Rng write_rng(seed + 1);
-      b.trace.reserve(pages.size());
-      for (uint64_t page : pages) {
-        b.trace.emplace_back(page, write_rng.Chance(spec.write_fraction));
+      if (spec.workload.set()) {
+        b.source = spec.workload.Instantiate(seed);
+      } else {
+        workloads::SyntheticSpec synth;
+        synth.kind = workloads::PatternKind::kUniform;
+        synth.pages = spec.pages;
+        synth.accesses = spec.accesses;
+        synth.write_fraction = spec.write_fraction;
+        b.source = workloads::MakePatternSource(synth, seed, spec.name);
       }
       b.task = kernel_->CreateTask(spec.name);
-      b.addr = kernel_->VmAllocate(b.task, spec.pages * kPageSize);
+      uint64_t region_pages = std::max(spec.pages, b.source->region_pages());
+      b.addr = kernel_->VmAllocate(b.task, region_pages * kPageSize);
       background_.push_back(std::move(b));
     }
   }
@@ -231,7 +235,7 @@ class ScenarioRun {
     if (t.spec.policy == PolicyKind::kTwoQueue) {
       options.user_queue_count = 2;
     }
-    t.region = engine_->VmAllocateHipec(t.task, t.spec.pages * kPageSize,
+    t.region = engine_->VmAllocateHipec(t.task, t.region_pages * kPageSize,
                                         MakePolicy(t.spec.policy), options);
     t.result.admitted = t.region.ok;
     if (t.region.ok) {
@@ -240,7 +244,7 @@ class ScenarioRun {
     } else {
       // Admission denied: "can either run as a non-specific application or terminate and
       // retry later" (§4.3.1). The scenario keeps it running non-specific.
-      t.addr = kernel_->VmAllocate(t.task, t.spec.pages * kPageSize);
+      t.addr = kernel_->VmAllocate(t.task, t.region_pages * kPageSize);
     }
   }
 
@@ -272,15 +276,18 @@ class ScenarioRun {
       return;
     }
     const sim::Nanos slice_start_ns = kernel_->clock().now();
-    for (size_t i = 0; i < spec_.slice_accesses && t.pos < t.trace.size(); ++i) {
+    workloads::Access access;
+    for (size_t i = 0; i < spec_.slice_accesses && t.source->pos() < t.source->size(); ++i) {
       if (t.task->terminated()) {
         break;
       }
-      const auto& [page, is_write] = t.trace[t.pos];
-      if (!kernel_->Touch(t.task, t.addr + page * kPageSize, is_write)) {
-        break;  // terminated mid-access (checker kill or policy error)
+      t.source->Next(&access);
+      if (!kernel_->Touch(t.task, t.addr + access.vpage * kPageSize, access.is_write())) {
+        // Terminated mid-access (checker kill or policy error); rewind so the counter
+        // semantics match the pre-source engine (the failed access was never issued).
+        t.source->Seek(t.source->pos() - 1);
+        break;
       }
-      ++t.pos;
       ++t.result.accesses_done;
       Snapshot(t);
     }
@@ -290,7 +297,7 @@ class ScenarioRun {
     if (t.task->terminated()) {
       t.result.terminated = true;
       t.done = true;
-    } else if (t.pos == t.trace.size()) {
+    } else if (t.source->pos() == t.source->size()) {
       t.result.completed = true;
       t.done = true;
     }
@@ -300,17 +307,18 @@ class ScenarioRun {
     if (b.done) {
       return;
     }
-    for (size_t i = 0; i < spec_.slice_accesses && b.pos < b.trace.size(); ++i) {
-      const auto& [page, is_write] = b.trace[b.pos];
-      if (!kernel_->Touch(b.task, b.addr + page * kPageSize, is_write)) {
+    workloads::Access access;
+    for (size_t i = 0; i < spec_.slice_accesses && b.source->pos() < b.source->size(); ++i) {
+      b.source->Next(&access);
+      if (!kernel_->Touch(b.task, b.addr + access.vpage * kPageSize, access.is_write())) {
+        b.source->Seek(b.source->pos() - 1);
         break;
       }
-      ++b.pos;
       ++b.result.accesses_done;
     }
     if (b.task->terminated()) {
       b.done = true;
-    } else if (b.pos == b.trace.size()) {
+    } else if (b.source->pos() == b.source->size()) {
       b.result.completed = true;
       b.done = true;
     }
@@ -407,47 +415,37 @@ class ScenarioRun {
 
 }  // namespace
 
+std::unique_ptr<workloads::WorkloadSource> MaterializeSource(const TenantSpec& tenant,
+                                                             uint64_t scenario_seed,
+                                                             uint64_t tenant_ordinal) {
+  uint64_t seed = TenantSeed(scenario_seed, tenant_ordinal);
+  if (tenant.workload.set()) {
+    return tenant.workload.Instantiate(seed);
+  }
+  workloads::SyntheticSpec synth;
+  synth.kind = tenant.pattern;
+  synth.pages = tenant.pages;
+  synth.accesses = tenant.accesses;
+  synth.write_fraction = tenant.write_fraction;
+  synth.zipf_theta = tenant.zipf_theta;
+  synth.stride = tenant.stride;
+  synth.hot_pages = tenant.hot_pages;
+  synth.hot_fraction = tenant.hot_fraction;
+  synth.burst_phase = tenant.burst_phase;
+  synth.cyclic_loops = tenant.cyclic_loops;
+  return workloads::MakePatternSource(synth, seed, tenant.name);
+}
+
 std::vector<std::pair<uint64_t, bool>> MaterializeTrace(const TenantSpec& tenant,
                                                         uint64_t scenario_seed,
                                                         uint64_t tenant_ordinal) {
-  uint64_t seed = TenantSeed(scenario_seed, tenant_ordinal);
-  std::vector<uint64_t> pages;
-  switch (tenant.pattern) {
-    case PatternKind::kSequential:
-      pages = workloads::StridedScan(tenant.pages, 1, tenant.accesses);
-      break;
-    case PatternKind::kCyclic: {
-      pages = workloads::CyclicScan(tenant.pages, tenant.cyclic_loops);
-      // Pad or truncate to the requested length by continuing the cycle.
-      size_t n = pages.size();
-      pages.resize(tenant.accesses);
-      for (size_t i = n; i < pages.size(); ++i) {
-        pages[i] = pages[i % std::max<size_t>(n, 1)];
-      }
-      break;
-    }
-    case PatternKind::kUniform:
-      pages = workloads::UniformRandom(tenant.pages, tenant.accesses, seed);
-      break;
-    case PatternKind::kZipf:
-      pages = workloads::ZipfTrace(tenant.pages, tenant.accesses, tenant.zipf_theta, seed);
-      break;
-    case PatternKind::kStrided:
-      pages = workloads::StridedScan(tenant.pages, tenant.stride, tenant.accesses);
-      break;
-    case PatternKind::kHotCold:
-      pages = workloads::HotColdTrace(tenant.pages, tenant.hot_pages, tenant.hot_fraction,
-                                      tenant.accesses, seed);
-      break;
-    case PatternKind::kBursty:
-      pages = workloads::BurstyTrace(tenant.pages, tenant.burst_phase, tenant.accesses, seed);
-      break;
-  }
-  sim::Rng write_rng(seed + 1);
+  std::unique_ptr<workloads::WorkloadSource> source =
+      MaterializeSource(tenant, scenario_seed, tenant_ordinal);
   std::vector<std::pair<uint64_t, bool>> trace;
-  trace.reserve(pages.size());
-  for (uint64_t page : pages) {
-    trace.emplace_back(page, write_rng.Chance(tenant.write_fraction));
+  trace.reserve(source->size());
+  workloads::Access access;
+  while (source->Next(&access)) {
+    trace.emplace_back(access.vpage, access.is_write());
   }
   return trace;
 }

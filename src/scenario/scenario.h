@@ -20,12 +20,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hipec/frame_manager.h"
 #include "hipec/program.h"
 #include "sim/clock.h"
+#include "workloads/workload_source.h"
 
 namespace hipec::scenario {
 
@@ -42,23 +44,21 @@ enum class PolicyKind {
   kLooping,   // PageFault never returns; only the security checker ends it
 };
 
-// Which synthetic reference trace drives a tenant.
-enum class PatternKind {
-  kSequential,
-  kCyclic,
-  kUniform,
-  kZipf,
-  kStrided,
-  kHotCold,
-  kBursty,
-};
+// The synthetic pattern family now lives in the workload layer (workloads/workload_source.h);
+// the alias keeps every existing spec-building call site compiling unchanged.
+using PatternKind = workloads::PatternKind;
 
-// One specific (HiPEC-controlled) application.
+// One specific (HiPEC-controlled) application. Its reference stream comes from `workload`
+// when set (a loaded trace or an explicit synthetic spec); otherwise the legacy
+// pattern/parameter fields below describe a synthetic stream, routed through the single
+// PatternKind compatibility adapter (workloads::MakePatternSource) — byte-identical to the
+// pre-workload-layer generation, so golden scenario fingerprints do not move.
 struct TenantSpec {
   std::string name;
   PolicyKind policy = PolicyKind::kGreedy;
+  workloads::Workload workload;  // when set, overrides the pattern fields below
   PatternKind pattern = PatternKind::kHotCold;
-  uint64_t pages = 128;        // region size in pages
+  uint64_t pages = 128;        // region size in pages (traces may widen it, see region_pages)
   size_t min_frames = 16;      // minFrame admission grant
   size_t accesses = 2000;      // total references issued over the scenario
   double write_fraction = 0.0;
@@ -66,7 +66,7 @@ struct TenantSpec {
   int departure_step = -1;     // round at which it is terminated (-1: runs to completion)
   sim::Nanos timeout_ns = 0;   // security-checker TimeOut (0: cost-model default)
   int64_t request_size = 16;   // frames per Request command
-  // Pattern parameters.
+  // Pattern parameters (compatibility path; ignored when `workload` is set).
   double zipf_theta = 0.9;
   uint64_t stride = 8;
   uint64_t hot_pages = 32;
@@ -78,6 +78,7 @@ struct TenantSpec {
 // One non-specific Mach task (paged by the default daemon; generates global pressure).
 struct BackgroundSpec {
   std::string name;
+  workloads::Workload workload;  // when set, overrides the uniform default below
   uint64_t pages = 256;
   size_t accesses = 2000;
   double write_fraction = 0.0;
@@ -189,8 +190,16 @@ struct ScenarioResult {
 // Throws sim::CheckFailure if the invariant auditor finds a violation.
 ScenarioResult RunScenario(const ScenarioSpec& spec);
 
-// The access trace a tenant spec materializes into: (page index, is_write) pairs. Exposed
-// for tests that want to reason about a tenant's reference string.
+// The reference stream a tenant spec names, as a pull source with its own cursor: the
+// tenant's `workload` when set, else the legacy pattern fields via the compatibility
+// adapter. Every driver (deterministic, threaded, M:N scheduler) builds tenant streams
+// through this one function.
+std::unique_ptr<workloads::WorkloadSource> MaterializeSource(const TenantSpec& tenant,
+                                                             uint64_t scenario_seed,
+                                                             uint64_t tenant_ordinal);
+
+// The same stream flattened into (page index, is_write) pairs. Exposed for tests that want
+// to reason about a tenant's reference string.
 std::vector<std::pair<uint64_t, bool>> MaterializeTrace(const TenantSpec& tenant,
                                                         uint64_t scenario_seed,
                                                         uint64_t tenant_ordinal);

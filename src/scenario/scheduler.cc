@@ -43,7 +43,8 @@ int64_t HostNowNs() {
 struct TenantRun {
   TenantSpec spec;
   TenantResult result;
-  std::vector<std::pair<uint64_t, bool>> trace;  // materialized at admission, freed at retire
+  std::unique_ptr<workloads::WorkloadSource> source;  // built at admission, freed at retire
+  uint64_t region_pages = 0;  // max(spec.pages, source->region_pages())
   mach::Task* task = nullptr;
   core::HipecRegion region;
   uint64_t addr = 0;
@@ -144,7 +145,8 @@ class Scheduler {
 
   void Register(TenantRun& run, uint64_t ordinal) {
     int64_t t0 = obs::ProbesEnabled() ? HostNowNs() : 0;
-    run.trace = MaterializeTrace(run.spec, spec_.seed, ordinal);
+    run.source = MaterializeSource(run.spec, spec_.seed, ordinal);
+    run.region_pages = std::max(run.spec.pages, run.source->region_pages());
     sim::SharedWorldGuard world(kernel_->world());
     run.task = kernel_->CreateTask(run.spec.name);
     core::HipecOptions options;
@@ -157,7 +159,7 @@ class Scheduler {
     if (run.spec.policy == PolicyKind::kTwoQueue) {
       options.user_queue_count = 2;
     }
-    run.region = engine_->VmAllocateHipec(run.task, run.spec.pages * kPageSize,
+    run.region = engine_->VmAllocateHipec(run.task, run.region_pages * kPageSize,
                                           MakePolicy(run.spec.policy), options);
     run.result.admitted = run.region.ok;
     if (run.region.ok) {
@@ -165,7 +167,7 @@ class Scheduler {
       run.container_id = run.region.container->id();
     } else {
       // Admission denied: runs non-specific (§4.3.1), still generating global pressure.
-      run.addr = kernel_->VmAllocate(run.task, run.spec.pages * kPageSize);
+      run.addr = kernel_->VmAllocate(run.task, run.region_pages * kPageSize);
     }
     if (obs::ProbesEnabled()) {
       probes_.Record(kPrbAdmitNs, HostNowNs() - t0);
@@ -198,9 +200,9 @@ class Scheduler {
       sim::SharedWorldGuard world(kernel_->world());
       kernel_->TerminateTask(run.task, "scheduler retire");
     }
-    // Free the trace now: live memory scales with max_live_tenants, not the population.
-    run.trace.clear();
-    run.trace.shrink_to_fit();
+    // Free the source now: live memory scales with max_live_tenants, not the population
+    // (synthetic sources own their records; trace clones only drop a refcount).
+    run.source.reset();
     retired_.fetch_add(1, std::memory_order_relaxed);
     live_.fetch_sub(1, std::memory_order_release);
   }
@@ -220,13 +222,17 @@ class Scheduler {
       Retire(run);
       return false;
     }
-    size_t end = std::min(run.result.accesses_done + spec_.slice_accesses, run.trace.size());
+    size_t end = std::min<size_t>(run.result.accesses_done + spec_.slice_accesses,
+                                  run.source->size());
+    workloads::Access access;
     while (run.result.accesses_done < end) {
       if (run.task->terminated()) {
         break;
       }
-      const auto& [page, is_write] = run.trace[run.result.accesses_done];
-      if (!kernel_->Touch(run.task, run.addr + page * kPageSize, is_write)) {
+      run.source->Next(&access);
+      if (!kernel_->Touch(run.task, run.addr + access.vpage * kPageSize,
+                          access.is_write())) {
+        run.source->Seek(run.source->pos() - 1);
         break;  // terminated mid-access (checker kill or policy error)
       }
       ++run.result.accesses_done;
@@ -241,7 +247,7 @@ class Scheduler {
       Retire(run);
       return false;
     }
-    if (run.result.accesses_done == run.trace.size()) {
+    if (run.result.accesses_done == run.source->size()) {
       run.result.completed = true;
       Retire(run);
       return false;

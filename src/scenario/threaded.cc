@@ -27,13 +27,21 @@ namespace {
 struct Worker {
   TenantSpec spec;
   TenantResult result;
-  std::vector<std::pair<uint64_t, bool>> trace;
+  std::unique_ptr<workloads::WorkloadSource> source;
+  uint64_t region_pages = 0;  // max(spec.pages, source->region_pages())
   mach::Task* task = nullptr;
   core::HipecRegion region;
   uint64_t addr = 0;
   uint64_t container_id = 0;
   std::atomic<bool> teardown_requested{false};
 };
+
+// Materializes the worker's reference stream and the region it implies. Traces may span a
+// wider region than the spec's page count, so the allocation covers both.
+void MaterializeWorker(Worker& w, uint64_t scenario_seed, uint64_t ordinal) {
+  w.source = MaterializeSource(w.spec, scenario_seed, ordinal);
+  w.region_pages = std::max(w.spec.pages, w.source->region_pages());
+}
 
 // Copies the container's live counters into the worker's result. Taken under the owning
 // task's lock: a reclaimer on another thread may hold that lock (manager → victim-task is a
@@ -63,7 +71,8 @@ void Snapshot(Worker& w) {
 // mid-scenario teardown injection deallocates the region from this thread — the address
 // becomes invalid, so the control loop only sets the flag and the owner acts on it.
 void RunWorker(mach::Kernel* kernel, Worker& w) {
-  while (w.result.accesses_done < w.trace.size()) {
+  workloads::Access access;
+  while (w.source->pos() < w.source->size()) {
     if (w.task->terminated()) {
       break;
     }
@@ -74,8 +83,8 @@ void RunWorker(mach::Kernel* kernel, Worker& w) {
       w.result.torn_down = true;
       break;
     }
-    const auto& [page, is_write] = w.trace[w.result.accesses_done];
-    if (!kernel->Touch(w.task, w.addr + page * kPageSize, is_write)) {
+    w.source->Next(&access);
+    if (!kernel->Touch(w.task, w.addr + access.vpage * kPageSize, access.is_write())) {
       break;  // terminated mid-access (checker kill or policy error)
     }
     ++w.result.accesses_done;
@@ -86,7 +95,7 @@ void RunWorker(mach::Kernel* kernel, Worker& w) {
   Snapshot(w);
   if (w.task->terminated()) {
     w.result.terminated = true;
-  } else if (w.result.accesses_done == w.trace.size()) {
+  } else if (w.result.accesses_done == w.source->size()) {
     w.result.completed = true;
   }
 }
@@ -105,7 +114,7 @@ void RegisterWorker(mach::Kernel* kernel, core::HipecEngine* engine, Worker& w) 
   if (w.spec.policy == PolicyKind::kTwoQueue) {
     options.user_queue_count = 2;
   }
-  w.region = engine->VmAllocateHipec(w.task, w.spec.pages * kPageSize,
+  w.region = engine->VmAllocateHipec(w.task, w.region_pages * kPageSize,
                                      MakePolicy(w.spec.policy), options);
   w.result.admitted = w.region.ok;
   if (w.region.ok) {
@@ -113,7 +122,7 @@ void RegisterWorker(mach::Kernel* kernel, core::HipecEngine* engine, Worker& w) 
     w.container_id = w.region.container->id();
   } else {
     // Admission denied: runs non-specific (§4.3.1), still generating global pressure.
-    w.addr = kernel->VmAllocate(w.task, w.spec.pages * kPageSize);
+    w.addr = kernel->VmAllocate(w.task, w.region_pages * kPageSize);
   }
 }
 
@@ -182,7 +191,7 @@ ThreadedScenarioResult RunThreadedScenario(const ThreadedScenarioSpec& spec) {
     auto w = std::make_unique<Worker>();
     w->spec = tenant;
     w->result.name = tenant.name;
-    w->trace = MaterializeTrace(tenant, spec.seed, ordinal++);
+    MaterializeWorker(*w, spec.seed, ordinal++);
     workers.push_back(std::move(w));
   }
 
@@ -266,7 +275,7 @@ ThreadedScenarioResult RunThreadedScenario(const ThreadedScenarioSpec& spec) {
           w->spec = InjectedTenantSpec(*ev.inj, ev.ordinal);
           w->result.name = w->spec.name;
           w->result.injected = true;
-          w->trace = MaterializeTrace(w->spec, spec.seed, ordinal++);
+          MaterializeWorker(*w, spec.seed, ordinal++);
           Worker& worker = *w;
           {
             sim::SharedWorldGuard world(kernel->world());

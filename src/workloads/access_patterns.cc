@@ -89,4 +89,22 @@ std::vector<uint64_t> BurstyTrace(uint64_t pages, size_t phase_len, size_t count
   return trace;
 }
 
+std::vector<uint64_t> ScanMixTrace(uint64_t hot_pages, double theta, uint64_t seed,
+                                   size_t warm, uint64_t scan_pages, size_t tail) {
+  sim::ZipfGenerator hot(hot_pages, theta, seed);
+  std::vector<uint64_t> trace;
+  trace.reserve(warm + 2 * scan_pages + tail);
+  for (size_t i = 0; i < warm; ++i) {
+    trace.push_back(hot.Next());
+  }
+  for (uint64_t s = hot_pages; s < hot_pages + scan_pages; ++s) {
+    trace.push_back(s);
+    trace.push_back(hot.Next());
+  }
+  for (size_t i = 0; i < tail; ++i) {
+    trace.push_back(hot.Next());
+  }
+  return trace;
+}
+
 }  // namespace hipec::workloads

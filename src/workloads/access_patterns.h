@@ -35,6 +35,13 @@ std::vector<uint64_t> HotColdTrace(uint64_t pages, uint64_t hot_pages, double ho
 // thundering-herd / churn pattern).
 std::vector<uint64_t> BurstyTrace(uint64_t pages, size_t phase_len, size_t count, uint64_t seed);
 
+// Zipf hot set with an interleaved one-shot sequential scan (the 2Q showcase): `warm` Zipf
+// draws over [0, hot_pages), then the scan pages [hot_pages, hot_pages + scan_pages) each
+// followed by one more hot draw, then `tail` hot draws. One generator instance drives every
+// draw, so the stream is fully determined by (hot_pages, theta, seed, warm, scan_pages, tail).
+std::vector<uint64_t> ScanMixTrace(uint64_t hot_pages, double theta, uint64_t seed,
+                                   size_t warm, uint64_t scan_pages, size_t tail);
+
 }  // namespace hipec::workloads
 
 #endif  // HIPEC_WORKLOADS_ACCESS_PATTERNS_H_

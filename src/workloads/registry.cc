@@ -1,0 +1,105 @@
+#include "workloads/registry.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "workloads/access_patterns.h"
+#include "workloads/trace_format.h"
+
+namespace hipec::workloads {
+
+namespace {
+
+NamedWorkload FromPages(std::string name, uint64_t region_pages,
+                        std::vector<uint64_t> pages) {
+  auto records = std::make_shared<std::vector<Access>>();
+  records->reserve(pages.size());
+  for (uint64_t page : pages) {
+    Access a;
+    a.vpage = page;
+    records->push_back(a);
+  }
+  NamedWorkload w;
+  w.name = name;
+  w.region_pages = region_pages;
+  w.source =
+      std::make_shared<MaterializedSource>(std::move(name), region_pages, std::move(records));
+  return w;
+}
+
+}  // namespace
+
+std::vector<NamedWorkload> TournamentWorkloads() {
+  // The grid bench_tournament has always run (same generators, parameters, and seeds, so
+  // leaderboard history stays comparable):
+  //   hot_cold — 64 hot pages take 90% of references; the cold tail spans the region.
+  //   looping  — 288-page cyclic scan over 256 frames: 32 pages don't fit, so FIFO/LRU
+  //              evict every page just before its next use (the classic worst case).
+  //   zipf     — skewed lookups, the database-index pattern.
+  //   uniform  — no structure at all; every policy converges to the same miss rate.
+  //   scan_mix — Zipf hot set with an interleaved one-shot scan (the 2Q showcase).
+  constexpr uint64_t kRegionPages = 512;
+  std::vector<NamedWorkload> out;
+  out.push_back(
+      FromPages("hot_cold", kRegionPages, HotColdTrace(kRegionPages, 64, 0.9, 8000, 11)));
+  out.push_back(FromPages("looping", kRegionPages, CyclicScan(288, 24)));
+  out.push_back(FromPages("zipf", kRegionPages, ZipfTrace(kRegionPages, 8000, 0.9, 17)));
+  out.push_back(
+      FromPages("uniform", kRegionPages, UniformRandom(kRegionPages, 8000, 23)));
+  out.push_back(
+      FromPages("scan_mix", kRegionPages, ScanMixTrace(128, 0.9, 31, 2400, 300, 2400)));
+  return out;
+}
+
+std::vector<NamedWorkload> ComparisonWorkloads() {
+  constexpr uint64_t kRegionPages = 256;
+  std::vector<NamedWorkload> out;
+  out.push_back(FromPages("cyclic", kRegionPages, CyclicScan(192, 6)));
+  out.push_back(FromPages("zipf", kRegionPages, ZipfTrace(kRegionPages, 4000, 0.9, 17)));
+  out.push_back(
+      FromPages("uniform", kRegionPages, UniformRandom(kRegionPages, 4000, 23)));
+  out.push_back(
+      FromPages("mixed", kRegionPages, ScanMixTrace(96, 0.9, 31, 1200, 150, 1200)));
+  return out;
+}
+
+std::vector<NamedWorkload> LoadTraceDir(const std::string& dir, std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<NamedWorkload> out;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    if (error != nullptr) {
+      *error = dir + ": not a directory";
+    }
+    return out;
+  }
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec) && entry.path().extension() == ".hpt") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    TraceData trace;
+    std::string load_error;
+    if (LoadTraceFile(path, &trace, &load_error) != TraceStatus::kOk) {
+      if (error != nullptr) {
+        if (!error->empty()) {
+          *error += "; ";
+        }
+        *error += load_error;
+      }
+      continue;
+    }
+    NamedWorkload w;
+    w.name = trace.name.empty() ? fs::path(path).stem().string() : trace.name;
+    w.region_pages = trace.region_pages;
+    w.trace = true;
+    w.source = MakeTraceSource(std::move(trace));
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace hipec::workloads

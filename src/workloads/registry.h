@@ -1,0 +1,39 @@
+// The shared workload registry: the canonical named workload lists every bench enumerates,
+// so "zipf" (and friends) mean exactly one generator configuration across the tree, plus
+// discovery of canned .hpt traces from a directory.
+#ifndef HIPEC_WORKLOADS_REGISTRY_H_
+#define HIPEC_WORKLOADS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload_source.h"
+
+namespace hipec::workloads {
+
+// One registry entry: a name (the leaderboard/metric key), the region a replay must
+// allocate, and a shared source (clone per consumer).
+struct NamedWorkload {
+  std::string name;
+  uint64_t region_pages = 0;
+  bool trace = false;  // true: replayed real evidence (.hpt); false: synthetic
+  std::shared_ptr<const WorkloadSource> source;
+};
+
+// The eviction-tournament grid (bench_tournament): hot_cold, looping, zipf, uniform,
+// scan_mix over a 512-page region. hot_cold and looping carry the CI policy floors.
+std::vector<NamedWorkload> TournamentWorkloads();
+
+// bench_policy_comparison's four columns (cyclic, zipf, uniform, mixed) over a 256-page
+// region — the paper's "no row wins every column" table.
+std::vector<NamedWorkload> ComparisonWorkloads();
+
+// Loads every *.hpt directly inside `dir` (sorted by filename for a stable grid order).
+// Unreadable or malformed files append to *error (semicolon-joined) and are skipped; an
+// unreadable directory yields an empty list with *error set.
+std::vector<NamedWorkload> LoadTraceDir(const std::string& dir, std::string* error);
+
+}  // namespace hipec::workloads
+
+#endif  // HIPEC_WORKLOADS_REGISTRY_H_

@@ -1,0 +1,349 @@
+#include "workloads/trace_format.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace hipec::workloads {
+
+namespace {
+
+// --- writers ---------------------------------------------------------------------------------
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v & 0xffff));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutUvarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// --- bounds-checked reader -------------------------------------------------------------------
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > len_) {
+      return false;
+    }
+    *v = data_[pos_++];
+    return true;
+  }
+  bool U16(uint16_t* v) {
+    if (pos_ + 2 > len_) {
+      return false;
+    }
+    *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    uint16_t lo;
+    uint16_t hi;
+    if (!U16(&lo) || !U16(&hi)) {
+      return false;
+    }
+    *v = static_cast<uint32_t>(lo) | (static_cast<uint32_t>(hi) << 16);
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    uint32_t lo;
+    uint32_t hi;
+    if (!U32(&lo) || !U32(&hi)) {
+      return false;
+    }
+    *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+    return true;
+  }
+  // LEB128, at most 10 bytes; an unterminated or over-long varint is malformed rather than
+  // truncated only when the continuation run itself is illegal — running off the end of the
+  // buffer stays a truncation so prefix sweeps report the honest status.
+  bool Uvarint(uint64_t* v, bool* malformed) {
+    uint64_t result = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      uint8_t byte;
+      if (!U8(&byte)) {
+        return false;
+      }
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        if (shift == 63 && (byte & 0x7e) != 0) {
+          *malformed = true;  // bits beyond 64 set
+          return false;
+        }
+        *v = result;
+        return true;
+      }
+    }
+    *malformed = true;  // 10 continuation bytes: no terminator inside a u64
+    return false;
+  }
+  // Raw bytes, length already validated by the caller against its own cap.
+  bool Bytes(std::string* s, size_t n) {
+    if (pos_ + n > len_) {
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool done() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+bool PowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+const char* TraceStatusName(TraceStatus status) {
+  switch (status) {
+    case TraceStatus::kOk:
+      return "ok";
+    case TraceStatus::kTruncated:
+      return "truncated";
+    case TraceStatus::kBadMagic:
+      return "bad-magic";
+    case TraceStatus::kBadVersion:
+      return "bad-version";
+    case TraceStatus::kMalformed:
+      return "malformed";
+    case TraceStatus::kTrailingBytes:
+      return "trailing-bytes";
+    case TraceStatus::kIoError:
+      return "io-error";
+  }
+  return "?";
+}
+
+TraceStatus DecodeTrace(const uint8_t* data, size_t len, TraceData* out) {
+  Reader r(data, len);
+  uint32_t magic;
+  if (!r.U32(&magic)) {
+    return TraceStatus::kTruncated;
+  }
+  if (magic != kTraceMagic) {
+    return TraceStatus::kBadMagic;
+  }
+  uint32_t version;
+  if (!r.U32(&version)) {
+    return TraceStatus::kTruncated;
+  }
+  if (version != kTraceVersion) {
+    return TraceStatus::kBadVersion;
+  }
+  uint32_t page_size;
+  uint32_t flags;
+  uint64_t region_pages;
+  uint64_t record_count;
+  uint16_t name_len;
+  if (!r.U32(&page_size) || !r.U32(&flags) || !r.U64(&region_pages) ||
+      !r.U64(&record_count) || !r.U16(&name_len)) {
+    return TraceStatus::kTruncated;
+  }
+  if (!PowerOfTwo(page_size) || page_size < 512 || page_size > 65536 || flags != 0 ||
+      region_pages == 0 || region_pages > kMaxTraceRegionPages ||
+      record_count > kMaxTraceRecords || name_len > kMaxTraceName) {
+    return TraceStatus::kMalformed;
+  }
+  // A hostile record_count cannot force a huge allocation past this point: every record is
+  // at least 2 bytes on the wire, so the remaining length bounds the claimable count.
+  if (record_count > len) {
+    return TraceStatus::kTruncated;
+  }
+  std::string name;
+  if (!r.Bytes(&name, name_len)) {
+    return TraceStatus::kTruncated;
+  }
+
+  std::vector<Access> records;
+  records.reserve(record_count);
+  uint64_t prev_vpage = 0;
+  uint32_t prev_tenant = 0;
+  bool malformed = false;
+  for (uint64_t i = 0; i < record_count; ++i) {
+    uint8_t tag;
+    if (!r.U8(&tag)) {
+      return TraceStatus::kTruncated;
+    }
+    if ((tag & ~0x07u) != 0) {
+      return TraceStatus::kMalformed;
+    }
+    Access a;
+    a.op = (tag & 0x01) ? AccessOp::kWrite : AccessOp::kRead;
+    if (tag & 0x02) {
+      uint64_t tenant;
+      if (!r.Uvarint(&tenant, &malformed)) {
+        return malformed ? TraceStatus::kMalformed : TraceStatus::kTruncated;
+      }
+      if (tenant >= kMaxTraceTenant) {
+        return TraceStatus::kMalformed;
+      }
+      prev_tenant = static_cast<uint32_t>(tenant);
+    }
+    a.tenant = prev_tenant;
+    uint64_t zz;
+    if (!r.Uvarint(&zz, &malformed)) {
+      return malformed ? TraceStatus::kMalformed : TraceStatus::kTruncated;
+    }
+    uint64_t vpage = prev_vpage + static_cast<uint64_t>(UnZigZag(zz));
+    if (vpage >= region_pages) {
+      return TraceStatus::kMalformed;
+    }
+    a.vpage = vpage;
+    prev_vpage = vpage;
+    if (tag & 0x04) {
+      uint64_t think;
+      if (!r.Uvarint(&think, &malformed)) {
+        return malformed ? TraceStatus::kMalformed : TraceStatus::kTruncated;
+      }
+      if (think > UINT32_MAX) {
+        return TraceStatus::kMalformed;
+      }
+      a.think_ns = static_cast<uint32_t>(think);
+    }
+    records.push_back(a);
+  }
+  if (!r.done()) {
+    return TraceStatus::kTrailingBytes;
+  }
+  out->name = std::move(name);
+  out->page_size = page_size;
+  out->region_pages = region_pages;
+  out->records = std::move(records);
+  return TraceStatus::kOk;
+}
+
+std::string EncodeTrace(const TraceData& trace) {
+  if (!PowerOfTwo(trace.page_size) || trace.page_size < 512 || trace.page_size > 65536 ||
+      trace.region_pages == 0 || trace.region_pages > kMaxTraceRegionPages ||
+      trace.records.size() > kMaxTraceRecords || trace.name.size() > kMaxTraceName) {
+    return {};
+  }
+  for (const Access& a : trace.records) {
+    if (a.vpage >= trace.region_pages || a.tenant >= kMaxTraceTenant) {
+      return {};
+    }
+  }
+  std::string out;
+  PutU32(&out, kTraceMagic);
+  PutU32(&out, kTraceVersion);
+  PutU32(&out, trace.page_size);
+  PutU32(&out, 0);
+  PutU64(&out, trace.region_pages);
+  PutU64(&out, trace.records.size());
+  PutU16(&out, static_cast<uint16_t>(trace.name.size()));
+  out.append(trace.name);
+  uint64_t prev_vpage = 0;
+  uint32_t prev_tenant = 0;
+  for (const Access& a : trace.records) {
+    uint8_t tag = a.op == AccessOp::kWrite ? 0x01 : 0x00;
+    if (a.tenant != prev_tenant) {
+      tag |= 0x02;
+    }
+    if (a.think_ns != 0) {
+      tag |= 0x04;
+    }
+    out.push_back(static_cast<char>(tag));
+    if (tag & 0x02) {
+      PutUvarint(&out, a.tenant);
+      prev_tenant = a.tenant;
+    }
+    PutUvarint(&out, ZigZag(static_cast<int64_t>(a.vpage) -
+                            static_cast<int64_t>(prev_vpage)));
+    prev_vpage = a.vpage;
+    if (tag & 0x04) {
+      PutUvarint(&out, a.think_ns);
+    }
+  }
+  return out;
+}
+
+TraceStatus LoadTraceFile(const std::string& path, TraceData* out, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = path + ": cannot open";
+    }
+    return TraceStatus::kIoError;
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    if (error != nullptr) {
+      *error = path + ": read error";
+    }
+    return TraceStatus::kIoError;
+  }
+  TraceStatus status =
+      DecodeTrace(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size(), out);
+  if (status != TraceStatus::kOk && error != nullptr) {
+    *error = path + ": " + TraceStatusName(status);
+  }
+  return status;
+}
+
+bool WriteTraceFile(const std::string& path, const TraceData& trace, std::string* error) {
+  std::string bytes = EncodeTrace(trace);
+  if (bytes.empty()) {
+    if (error != nullptr) {
+      *error = path + ": trace violates format caps (region/tenant/name/count)";
+    }
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = path + ": cannot open for writing";
+    }
+    return false;
+  }
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok && error != nullptr) {
+    *error = path + ": write error";
+  }
+  return ok;
+}
+
+std::shared_ptr<const WorkloadSource> MakeTraceSource(TraceData trace) {
+  auto records =
+      std::make_shared<std::vector<Access>>(std::move(trace.records));
+  return std::make_shared<MaterializedSource>(std::move(trace.name), trace.region_pages,
+                                              std::move(records));
+}
+
+}  // namespace hipec::workloads

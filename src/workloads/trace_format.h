@@ -1,0 +1,85 @@
+// The .hpt captured-trace format: a versioned little-endian binary container for real
+// programs' page-access streams, produced by tools/hipec-capture + tools/hipec-trace and
+// replayed through any WorkloadSource consumer (tournament, scenario engine, benches).
+//
+// Layout (all integers little-endian):
+//   u32 magic        'H' 'P' 'T' '1'  (0x31545048)
+//   u32 version      1
+//   u32 page_size    power of two in [512, 65536]
+//   u32 flags        reserved, must be 0
+//   u64 region_pages exclusive vpage bound, in (0, 2^40]
+//   u64 record_count number of records, <= 2^28
+//   u16 name_len     then name bytes (<= 256)
+//   records, delta-encoded:
+//     u8 tag         bit0 = write, bit1 = tenant follows, bit2 = think follows,
+//                    bits 3..7 reserved (must be 0)
+//     [tenant]       uvarint (LEB128), present when bit1; else previous record's tenant
+//                    (first record defaults to tenant 0)
+//     vpage delta    svarint (zigzag LEB128) against the previous record's vpage
+//                    (first record deltas against 0)
+//     [think_ns]     uvarint, present when bit2; else 0
+//
+// The decoder follows the server/wire.cc discipline: every read is bounds-checked, every
+// length/count field is capped before allocation, every decoded vpage/tenant is validated
+// against the header, and malformed input yields a typed status — never a crash, throw, or
+// overrun (the truncation-sweep and bit-flip fuzz suites in tests/trace_format_test.cc hold
+// this under ASan/UBSan).
+#ifndef HIPEC_WORKLOADS_TRACE_FORMAT_H_
+#define HIPEC_WORKLOADS_TRACE_FORMAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload_source.h"
+
+namespace hipec::workloads {
+
+inline constexpr uint32_t kTraceMagic = 0x31545048u;  // "HPT1"
+inline constexpr uint32_t kTraceVersion = 1;
+inline constexpr uint64_t kMaxTraceRecords = 1ull << 28;
+inline constexpr uint64_t kMaxTraceRegionPages = 1ull << 40;
+inline constexpr uint32_t kMaxTraceTenant = 1u << 20;
+inline constexpr size_t kMaxTraceName = 256;
+
+enum class TraceStatus {
+  kOk,
+  kTruncated,     // input ended mid-header or mid-record
+  kBadMagic,      // not an .hpt file at all
+  kBadVersion,    // a version this build does not speak
+  kMalformed,     // a cap or validity rule tripped (hostile or corrupt input)
+  kTrailingBytes, // all records decoded but bytes remain
+  kIoError,       // file could not be read/written
+};
+
+const char* TraceStatusName(TraceStatus status);
+
+// A decoded (or to-be-encoded) trace.
+struct TraceData {
+  std::string name;
+  uint32_t page_size = 4096;
+  uint64_t region_pages = 0;
+  std::vector<Access> records;
+};
+
+// Decodes `len` bytes. On kOk, *out holds the trace; on any other status *out is
+// unspecified but the call never crashes or reads out of bounds.
+TraceStatus DecodeTrace(const uint8_t* data, size_t len, TraceData* out);
+
+// Encodes a trace; the inverse of DecodeTrace. Records with vpage >= region_pages,
+// tenant >= kMaxTraceTenant, or an oversized name make encoding fail (returns empty) —
+// the writer refuses to produce files the loader would reject.
+std::string EncodeTrace(const TraceData& trace);
+
+// File wrappers. LoadTraceFile reports decode failures through the returned status and
+// fills *error with a human-readable message (path + status).
+TraceStatus LoadTraceFile(const std::string& path, TraceData* out, std::string* error);
+bool WriteTraceFile(const std::string& path, const TraceData& trace, std::string* error);
+
+// Wraps a decoded trace as a shareable source (clones share the record storage).
+std::shared_ptr<const WorkloadSource> MakeTraceSource(TraceData trace);
+
+}  // namespace hipec::workloads
+
+#endif  // HIPEC_WORKLOADS_TRACE_FORMAT_H_

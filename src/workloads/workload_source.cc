@@ -1,0 +1,95 @@
+#include "workloads/workload_source.h"
+
+#include <algorithm>
+
+#include "sim/random.h"
+#include "workloads/access_patterns.h"
+
+namespace hipec::workloads {
+
+namespace {
+
+const char* PatternName(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kSequential:
+      return "sequential";
+    case PatternKind::kCyclic:
+      return "cyclic";
+    case PatternKind::kUniform:
+      return "uniform";
+    case PatternKind::kZipf:
+      return "zipf";
+    case PatternKind::kStrided:
+      return "strided";
+    case PatternKind::kHotCold:
+      return "hot_cold";
+    case PatternKind::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+// The page stream a SyntheticSpec names. Byte-compatibility contract: these are exactly the
+// generator calls (and the kCyclic pad rule) the scenario engine made before the workload
+// layer existed — changing any of them moves golden scenario fingerprints.
+std::vector<uint64_t> PatternPages(const SyntheticSpec& spec, uint64_t seed) {
+  switch (spec.kind) {
+    case PatternKind::kSequential:
+      return StridedScan(spec.pages, 1, spec.accesses);
+    case PatternKind::kCyclic: {
+      std::vector<uint64_t> pages = CyclicScan(spec.pages, spec.cyclic_loops);
+      // Pad or truncate to the requested length by continuing the cycle.
+      size_t n = pages.size();
+      pages.resize(spec.accesses);
+      for (size_t i = n; i < pages.size(); ++i) {
+        pages[i] = pages[i % std::max<size_t>(n, 1)];
+      }
+      return pages;
+    }
+    case PatternKind::kUniform:
+      return UniformRandom(spec.pages, spec.accesses, seed);
+    case PatternKind::kZipf:
+      return ZipfTrace(spec.pages, spec.accesses, spec.zipf_theta, seed);
+    case PatternKind::kStrided:
+      return StridedScan(spec.pages, spec.stride, spec.accesses);
+    case PatternKind::kHotCold:
+      return HotColdTrace(spec.pages, spec.hot_pages, spec.hot_fraction, spec.accesses,
+                          seed);
+    case PatternKind::kBursty:
+      return BurstyTrace(spec.pages, spec.burst_phase, spec.accesses, seed);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::unique_ptr<WorkloadSource> MakePatternSource(const SyntheticSpec& spec, uint64_t seed,
+                                                  std::string name) {
+  std::vector<uint64_t> pages = PatternPages(spec, seed);
+  sim::Rng write_rng(seed + 1);
+  auto records = std::make_shared<std::vector<Access>>();
+  records->reserve(pages.size());
+  for (uint64_t page : pages) {
+    Access a;
+    a.vpage = page;
+    a.op = write_rng.Chance(spec.write_fraction) ? AccessOp::kWrite : AccessOp::kRead;
+    records->push_back(a);
+  }
+  if (name.empty()) {
+    name = PatternName(spec.kind);
+  }
+  return std::make_unique<MaterializedSource>(std::move(name), spec.pages,
+                                              std::move(records));
+}
+
+std::unique_ptr<WorkloadSource> Workload::Instantiate(uint64_t seed) const {
+  if (shared_ != nullptr) {
+    return shared_->Clone();
+  }
+  if (synthetic_.has_value()) {
+    return MakePatternSource(*synthetic_, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace hipec::workloads

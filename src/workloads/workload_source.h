@@ -1,0 +1,169 @@
+// The one workload layer: every reference stream in the tree — synthetic generators, the
+// scenario engine's per-tenant patterns, and captured real-program traces — is produced
+// behind the WorkloadSource interface. Sources are pull-based (Next), seekable (Seek), and
+// cheaply cloneable (Clone shares the underlying record storage), so one trace can fan out
+// to thousands of tenants without duplicating its records.
+//
+// Synthetic streams are described by a SyntheticSpec (the PatternKind family the scenario
+// engine has always shipped) and materialized by MakePatternSource, which is the ONLY
+// consumer of the per-pattern generators in access_patterns.h: the compatibility contract is
+// that MakePatternSource(spec, seed) yields byte-identical streams to the pre-refactor
+// scenario::MaterializeTrace, so golden scenario fingerprints do not move.
+//
+// The Workload handle is the value type specs carry: either a SyntheticSpec (seeded at
+// Instantiate time, so per-tenant ordinals keep streams independent) or a shared
+// already-built source such as a loaded .hpt trace (seed-ignored; every tenant replays the
+// same evidence).
+#ifndef HIPEC_WORKLOADS_WORKLOAD_SOURCE_H_
+#define HIPEC_WORKLOADS_WORKLOAD_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hipec::workloads {
+
+enum class AccessOp : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+// One reference-stream record. think_ns is the modelled gap before the access (captured
+// traces carry real inter-access time; synthetic streams leave it 0).
+struct Access {
+  uint64_t vpage = 0;
+  uint32_t tenant = 0;
+  uint32_t think_ns = 0;
+  AccessOp op = AccessOp::kRead;
+
+  bool is_write() const { return op == AccessOp::kWrite; }
+  bool operator==(const Access& other) const {
+    return vpage == other.vpage && tenant == other.tenant && think_ns == other.think_ns &&
+           op == other.op;
+  }
+};
+
+// Pull-based, seekable, cheaply cloneable reference stream.
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+
+  virtual const std::string& name() const = 0;
+  // Exclusive upper bound on the vpage values this source emits (the region size a replay
+  // must allocate).
+  virtual uint64_t region_pages() const = 0;
+  // Total records in the stream.
+  virtual uint64_t size() const = 0;
+  // Current cursor (records already returned by Next since the last Seek/construction).
+  virtual uint64_t pos() const = 0;
+  // Moves the cursor; position is clamped to [0, size()].
+  virtual void Seek(uint64_t pos) = 0;
+  void Reset() { Seek(0); }
+  // Pulls the next record. Returns false at end of stream (out untouched).
+  virtual bool Next(Access* out) = 0;
+  // A new source over the same stream with its own cursor at 0. Clones share the backing
+  // record storage, so cloning is O(1) regardless of stream length.
+  virtual std::unique_ptr<WorkloadSource> Clone() const = 0;
+};
+
+// The concrete source every producer in the tree currently uses: a shared immutable record
+// vector plus a cursor. Loaded traces and materialized synthetic streams are both served
+// from this.
+class MaterializedSource : public WorkloadSource {
+ public:
+  MaterializedSource(std::string name, uint64_t region_pages,
+                     std::shared_ptr<const std::vector<Access>> records)
+      : name_(std::move(name)),
+        region_pages_(region_pages),
+        records_(std::move(records)) {}
+
+  const std::string& name() const override { return name_; }
+  uint64_t region_pages() const override { return region_pages_; }
+  uint64_t size() const override { return records_->size(); }
+  uint64_t pos() const override { return pos_; }
+  void Seek(uint64_t pos) override { pos_ = pos < records_->size() ? pos : records_->size(); }
+  bool Next(Access* out) override {
+    if (pos_ >= records_->size()) {
+      return false;
+    }
+    *out = (*records_)[pos_++];
+    return true;
+  }
+  std::unique_ptr<WorkloadSource> Clone() const override {
+    return std::make_unique<MaterializedSource>(name_, region_pages_, records_);
+  }
+
+  // Exposed so tests can prove Clone shares storage instead of copying it.
+  const std::vector<Access>* records() const { return records_.get(); }
+
+ private:
+  std::string name_;
+  uint64_t region_pages_;
+  std::shared_ptr<const std::vector<Access>> records_;
+  uint64_t pos_ = 0;
+};
+
+// The synthetic pattern family. This enum is the scenario engine's PatternKind, moved to the
+// workload layer so every consumer shares one definition (scenario keeps an alias).
+enum class PatternKind {
+  kSequential,
+  kCyclic,
+  kUniform,
+  kZipf,
+  kStrided,
+  kHotCold,
+  kBursty,
+};
+
+// Shape of one synthetic stream; field defaults match the pre-refactor TenantSpec defaults.
+struct SyntheticSpec {
+  PatternKind kind = PatternKind::kHotCold;
+  uint64_t pages = 128;
+  size_t accesses = 2000;
+  double write_fraction = 0.0;
+  double zipf_theta = 0.9;
+  uint64_t stride = 8;
+  uint64_t hot_pages = 32;
+  double hot_fraction = 0.9;
+  size_t burst_phase = 64;
+  int cyclic_loops = 4;
+};
+
+// Materializes a synthetic stream. This is the PatternKind compatibility adapter: for every
+// kind it reproduces the pre-refactor scenario::MaterializeTrace byte for byte (same
+// generator calls from access_patterns.h, same write-flag derivation from seed + 1).
+std::unique_ptr<WorkloadSource> MakePatternSource(const SyntheticSpec& spec, uint64_t seed,
+                                                  std::string name = "");
+
+// Copyable handle describing a tenant's reference stream. Either a synthetic spec (seeded
+// per-tenant at Instantiate) or a shared pre-built source (seed ignored — trace fan-out).
+class Workload {
+ public:
+  Workload() = default;
+
+  static Workload Pattern(const SyntheticSpec& spec) {
+    Workload w;
+    w.synthetic_ = spec;
+    return w;
+  }
+  static Workload Shared(std::shared_ptr<const WorkloadSource> source) {
+    Workload w;
+    w.shared_ = std::move(source);
+    return w;
+  }
+
+  bool set() const { return synthetic_.has_value() || shared_ != nullptr; }
+
+  // Builds a source with its own cursor. `seed` feeds synthetic generation only.
+  std::unique_ptr<WorkloadSource> Instantiate(uint64_t seed) const;
+
+ private:
+  std::optional<SyntheticSpec> synthetic_;
+  std::shared_ptr<const WorkloadSource> shared_;
+};
+
+}  // namespace hipec::workloads
+
+#endif  // HIPEC_WORKLOADS_WORKLOAD_SOURCE_H_

@@ -1,0 +1,251 @@
+// .hpt trace-format tests (workloads/trace_format.h), mirroring server_wire_test.cc's
+// discipline: round-trips for representative traces, a truncation sweep over every strict
+// prefix of a valid encoding, hand-crafted hostile headers and records (oversized
+// region/count fields, reserved bits, out-of-range pages), and a seeded bit-flip fuzz —
+// the decoder's contract is a typed TraceStatus for every input, never UB or a crash
+// (ASan/UBSan hold this in CI).
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "workloads/trace_format.h"
+#include "workloads/workload_source.h"
+
+namespace hipec::workloads {
+namespace {
+
+TraceData SampleTrace() {
+  TraceData t;
+  t.name = "sample";
+  t.page_size = 4096;
+  t.region_pages = 4096;
+  uint64_t page = 100;
+  for (int i = 0; i < 200; ++i) {
+    Access a;
+    // Jump around: negative and positive deltas, multi-byte varints.
+    page = (page + 2641) % 4096;
+    a.vpage = page;
+    a.tenant = (i % 7 == 0) ? static_cast<uint32_t>(i) : 0;
+    a.think_ns = (i % 5 == 0) ? 1000u * static_cast<uint32_t>(i) : 0;
+    a.op = (i % 3 == 0) ? AccessOp::kWrite : AccessOp::kRead;
+    t.records.push_back(a);
+  }
+  return t;
+}
+
+TraceStatus Decode(const std::string& bytes, TraceData* out) {
+  return DecodeTrace(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size(), out);
+}
+
+TEST(TraceRoundTrip, PreservesEveryField) {
+  TraceData t = SampleTrace();
+  std::string bytes = EncodeTrace(t);
+  ASSERT_FALSE(bytes.empty());
+  TraceData back;
+  ASSERT_EQ(Decode(bytes, &back), TraceStatus::kOk);
+  EXPECT_EQ(back.name, t.name);
+  EXPECT_EQ(back.page_size, t.page_size);
+  EXPECT_EQ(back.region_pages, t.region_pages);
+  ASSERT_EQ(back.records.size(), t.records.size());
+  for (size_t i = 0; i < t.records.size(); ++i) {
+    EXPECT_EQ(back.records[i], t.records[i]) << "record " << i;
+  }
+}
+
+TEST(TraceRoundTrip, EmptyRecordListIsValid) {
+  TraceData t;
+  t.name = "empty";
+  t.region_pages = 8;
+  std::string bytes = EncodeTrace(t);
+  ASSERT_FALSE(bytes.empty());
+  TraceData back;
+  ASSERT_EQ(Decode(bytes, &back), TraceStatus::kOk);
+  EXPECT_TRUE(back.records.empty());
+  EXPECT_EQ(back.region_pages, 8u);
+}
+
+TEST(TraceRoundTrip, FileRoundTrip) {
+  TraceData t = SampleTrace();
+  std::string path = testing::TempDir() + "/trace_format_test.hpt";
+  std::string error;
+  ASSERT_TRUE(WriteTraceFile(path, t, &error)) << error;
+  TraceData back;
+  ASSERT_EQ(LoadTraceFile(path, &back, &error), TraceStatus::kOk) << error;
+  EXPECT_EQ(back.records.size(), t.records.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceRoundTrip, MissingFileIsIoError) {
+  TraceData out;
+  std::string error;
+  EXPECT_EQ(LoadTraceFile("/nonexistent/definitely/not/here.hpt", &out, &error),
+            TraceStatus::kIoError);
+  EXPECT_FALSE(error.empty());
+}
+
+// Every strict prefix of a valid encoding must be rejected cleanly — and since records are
+// only missing from the end, the status must always be kTruncated (never a crash, never a
+// bogus kOk).
+TEST(TraceHostile, TruncationSweepEveryStrictPrefix) {
+  std::string bytes = EncodeTrace(SampleTrace());
+  ASSERT_FALSE(bytes.empty());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    TraceData out;
+    TraceStatus status = Decode(bytes.substr(0, len), &out);
+    EXPECT_EQ(status, TraceStatus::kTruncated) << "prefix length " << len;
+  }
+}
+
+TEST(TraceHostile, TrailingBytesDetected) {
+  std::string bytes = EncodeTrace(SampleTrace());
+  bytes += '\0';
+  TraceData out;
+  EXPECT_EQ(Decode(bytes, &out), TraceStatus::kTrailingBytes);
+}
+
+TEST(TraceHostile, BadMagicAndVersion) {
+  std::string bytes = EncodeTrace(SampleTrace());
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  TraceData out;
+  EXPECT_EQ(Decode(wrong_magic, &out), TraceStatus::kBadMagic);
+  std::string wrong_version = bytes;
+  wrong_version[4] = 9;
+  EXPECT_EQ(Decode(wrong_version, &out), TraceStatus::kBadVersion);
+}
+
+// Hand-crafts a header with a chosen field patched, on top of a minimal valid trace.
+std::string PatchedHeader(size_t offset, const std::vector<uint8_t>& value) {
+  TraceData t;
+  t.name = "x";
+  t.region_pages = 16;
+  Access a;
+  a.vpage = 3;
+  t.records.push_back(a);
+  std::string bytes = EncodeTrace(t);
+  for (size_t i = 0; i < value.size(); ++i) {
+    bytes[offset + i] = static_cast<char>(value[i]);
+  }
+  return bytes;
+}
+
+TEST(TraceHostile, OversizedAndInvalidHeaderFields) {
+  TraceData out;
+  // page_size (offset 8): not a power of two.
+  EXPECT_EQ(Decode(PatchedHeader(8, {0x01, 0x30, 0, 0}), &out), TraceStatus::kMalformed);
+  // page_size: power of two but out of range (2^20).
+  EXPECT_EQ(Decode(PatchedHeader(8, {0, 0, 0x10, 0}), &out), TraceStatus::kMalformed);
+  // flags (offset 12): reserved bits set.
+  EXPECT_EQ(Decode(PatchedHeader(12, {1, 0, 0, 0}), &out), TraceStatus::kMalformed);
+  // region_pages (offset 16): zero.
+  EXPECT_EQ(Decode(PatchedHeader(16, {0, 0, 0, 0, 0, 0, 0, 0}), &out),
+            TraceStatus::kMalformed);
+  // region_pages: 2^41 > cap.
+  EXPECT_EQ(Decode(PatchedHeader(16, {0, 0, 0, 0, 0, 2, 0, 0}), &out),
+            TraceStatus::kMalformed);
+  // record_count (offset 24): 16M — under the format cap but vastly larger than the
+  // buffer. The allocation guard must trip (truncated), not reserve gigabytes.
+  EXPECT_EQ(Decode(PatchedHeader(24, {0xff, 0xff, 0xff, 0, 0, 0, 0, 0}), &out),
+            TraceStatus::kTruncated);
+  // record_count beyond the format cap entirely.
+  EXPECT_EQ(Decode(PatchedHeader(24, {0, 0, 0, 0, 1, 0, 0, 0}), &out),
+            TraceStatus::kMalformed);
+  // name_len (offset 32): 0xffff > kMaxTraceName.
+  EXPECT_EQ(Decode(PatchedHeader(32, {0xff, 0xff}), &out), TraceStatus::kMalformed);
+}
+
+TEST(TraceHostile, HostileRecords) {
+  TraceData out;
+  // Header is 34 bytes + 1 name byte; the single record starts at 35.
+  // Tag with reserved bits set.
+  EXPECT_EQ(Decode(PatchedHeader(35, {0x80}), &out), TraceStatus::kMalformed);
+  // vpage delta (offset 36, after the tag): zigzag(16) = 32 → vpage 16 >= region 16.
+  EXPECT_EQ(Decode(PatchedHeader(36, {32}), &out), TraceStatus::kMalformed);
+  // Overlong varint: 10 continuation bytes never terminating inside a u64. Rebuild with a
+  // record long enough to hold it: tag says tenant follows, then the hostile varint.
+  std::string bytes = PatchedHeader(35, {0x02});
+  bytes.resize(36);
+  for (int i = 0; i < 10; ++i) {
+    bytes += static_cast<char>(0x80 | (i + 1));
+  }
+  EXPECT_EQ(Decode(bytes, &out), TraceStatus::kMalformed);
+}
+
+TEST(TraceHostile, SeededBitFlipFuzzNeverCrashes) {
+  std::string valid = EncodeTrace(SampleTrace());
+  std::mt19937_64 rng(0xF00D);
+  int ok = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string mutated = valid;
+    int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      size_t byte = rng() % mutated.size();
+      mutated[byte] ^= static_cast<char>(1u << (rng() % 8));
+    }
+    TraceData out;
+    if (Decode(mutated, &out) == TraceStatus::kOk) {
+      ++ok;  // a flip in the name bytes (or a no-op pair) can legally survive
+    }
+  }
+  // The point is the loop finished without UB; a small survivor count is expected.
+  EXPECT_LT(ok, 4000);
+}
+
+TEST(TraceHostile, RandomGarbageNeverCrashes) {
+  std::mt19937_64 rng(0xBEEF);
+  for (int iter = 0; iter < 2000; ++iter) {
+    size_t len = rng() % 300;
+    std::string garbage(len, '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng());
+    }
+    TraceData out;
+    TraceStatus status = Decode(garbage, &out);
+    EXPECT_NE(status, TraceStatus::kIoError);  // decode never reports I/O
+  }
+}
+
+TEST(TraceEncode, RefusesCapViolations) {
+  TraceData bad = SampleTrace();
+  bad.records[0].vpage = bad.region_pages;  // out of region
+  EXPECT_TRUE(EncodeTrace(bad).empty());
+
+  bad = SampleTrace();
+  bad.name.assign(kMaxTraceName + 1, 'n');
+  EXPECT_TRUE(EncodeTrace(bad).empty());
+
+  bad = SampleTrace();
+  bad.page_size = 1000;  // not a power of two
+  EXPECT_TRUE(EncodeTrace(bad).empty());
+
+  bad = SampleTrace();
+  bad.records[0].tenant = kMaxTraceTenant;
+  EXPECT_TRUE(EncodeTrace(bad).empty());
+}
+
+TEST(TraceSource, WrapsRecordsAndSharesOnClone) {
+  TraceData t = SampleTrace();
+  size_t n = t.records.size();
+  std::shared_ptr<const WorkloadSource> source = MakeTraceSource(std::move(t));
+  EXPECT_EQ(source->size(), n);
+  EXPECT_EQ(source->region_pages(), 4096u);
+  EXPECT_EQ(source->name(), "sample");
+  auto a = source->Clone();
+  auto b = source->Clone();
+  // Clones share the record storage: same backing vector, independent cursors.
+  auto* ma = dynamic_cast<MaterializedSource*>(a.get());
+  auto* mb = dynamic_cast<MaterializedSource*>(b.get());
+  ASSERT_NE(ma, nullptr);
+  ASSERT_NE(mb, nullptr);
+  EXPECT_EQ(ma->records(), mb->records());
+  Access first;
+  ASSERT_TRUE(a->Next(&first));
+  EXPECT_EQ(a->pos(), 1u);
+  EXPECT_EQ(b->pos(), 0u);
+}
+
+}  // namespace
+}  // namespace hipec::workloads

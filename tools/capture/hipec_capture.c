@@ -1,0 +1,320 @@
+/*
+ * hipec-capture: LD_PRELOAD interposition shim that records the page-level I/O of a real,
+ * unmodified program into a raw capture stream, later converted to a .hpt trace by
+ * tools/hipec-trace convert.
+ *
+ * Usage:
+ *   HIPEC_CAPTURE_OUT=/tmp/run.raw LD_PRELOAD=$BUILD/tools/libhipec_capture.so g++ -c foo.cc
+ *
+ * What it records: every open/read/write/pread/pwrite/mmap (POSIX) and fopen/fread/fwrite
+ * (stdio) is reduced to fixed 24-byte records {file_id, op, page, mono_ns}, one per 4 KiB
+ * page the operation spans. The capture output itself is opened O_APPEND, so child
+ * processes that inherit LD_PRELOAD (g++ spawning cc1plus and as) append to the same
+ * stream without coordination; file ids are FNV-1a hashes of the path, so the same file
+ * gets the same id in every process.
+ *
+ * What it deliberately does not do: follow page-cache hits vs misses (that's the replay
+ * engine's job), capture mmap'ed *accesses* (a SIGSEGV-tracker is out of scope — an mmap
+ * is recorded as a read of its first page so the mapping at least appears in the stream),
+ * or try to be complete for io_uring/AIO. It is a workload sketcher, not an auditor.
+ */
+#define _GNU_SOURCE
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <pthread.h>
+#include <stdarg.h>
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <time.h>
+#include <unistd.h>
+
+#define CAP_PAGE_SIZE 4096ULL
+#define CAP_MAX_FDS 4096
+#define CAP_MAX_PAGES_PER_OP 64 /* bound record volume for huge reads */
+
+typedef struct {
+  uint32_t file_id;
+  uint8_t op; /* 0 = read, 1 = write */
+  uint8_t pad[3];
+  uint64_t page;
+  uint64_t ns;
+} cap_record;
+
+/* ---- real libc entry points ---------------------------------------------------------- */
+
+static int (*real_open)(const char *, int, ...);
+static int (*real_open64)(const char *, int, ...);
+static int (*real_openat)(int, const char *, int, ...);
+static int (*real_close)(int);
+static ssize_t (*real_read)(int, void *, size_t);
+static ssize_t (*real_write)(int, const void *, size_t);
+static ssize_t (*real_pread)(int, void *, size_t, off_t);
+static ssize_t (*real_pwrite)(int, const void *, size_t, off_t);
+static off_t (*real_lseek)(int, off_t, int);
+static void *(*real_mmap)(void *, size_t, int, int, int, off_t);
+static FILE *(*real_fopen)(const char *, const char *);
+static FILE *(*real_fopen64)(const char *, const char *);
+
+static pthread_mutex_t cap_mu = PTHREAD_MUTEX_INITIALIZER;
+static int cap_out_fd = -1; /* -1: unresolved, -2: disabled */
+
+/* Per-fd state. Indexed by fd; fds >= CAP_MAX_FDS are ignored. */
+static struct {
+  uint32_t file_id; /* 0: untracked */
+  uint64_t offset;
+} cap_fds[CAP_MAX_FDS];
+
+static void cap_resolve(void) {
+  if (real_open != NULL) {
+    return;
+  }
+  real_open = dlsym(RTLD_NEXT, "open");
+  real_open64 = dlsym(RTLD_NEXT, "open64");
+  real_openat = dlsym(RTLD_NEXT, "openat");
+  real_close = dlsym(RTLD_NEXT, "close");
+  real_read = dlsym(RTLD_NEXT, "read");
+  real_write = dlsym(RTLD_NEXT, "write");
+  real_pread = dlsym(RTLD_NEXT, "pread");
+  real_pwrite = dlsym(RTLD_NEXT, "pwrite");
+  real_lseek = dlsym(RTLD_NEXT, "lseek");
+  real_mmap = dlsym(RTLD_NEXT, "mmap");
+  real_fopen = dlsym(RTLD_NEXT, "fopen");
+  real_fopen64 = dlsym(RTLD_NEXT, "fopen64");
+}
+
+static uint32_t cap_hash_path(const char *path) {
+  /* FNV-1a, folded to 32 bits; id 0 is reserved for "untracked". */
+  uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char *p = (const unsigned char *)path; *p != 0; ++p) {
+    h ^= *p;
+    h *= 1099511628211ULL;
+  }
+  uint32_t id = (uint32_t)(h ^ (h >> 32));
+  return id == 0 ? 1 : id;
+}
+
+static int cap_interesting(const char *path) {
+  /* Skip the pseudo filesystems and the terminal: they are chatter, not workload. */
+  if (path == NULL) {
+    return 0;
+  }
+  if (strncmp(path, "/proc/", 6) == 0 || strncmp(path, "/sys/", 5) == 0 ||
+      strncmp(path, "/dev/", 5) == 0) {
+    return 0;
+  }
+  const char *out = getenv("HIPEC_CAPTURE_OUT");
+  if (out != NULL && strcmp(path, out) == 0) {
+    return 0; /* never trace our own output */
+  }
+  return 1;
+}
+
+static uint64_t cap_now_ns(void) {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (uint64_t)ts.tv_sec * 1000000000ULL + (uint64_t)ts.tv_nsec;
+}
+
+static void cap_emit(uint32_t file_id, int is_write, uint64_t offset, uint64_t len) {
+  if (file_id == 0 || len == 0) {
+    return;
+  }
+  pthread_mutex_lock(&cap_mu);
+  if (cap_out_fd == -1) {
+    const char *out = getenv("HIPEC_CAPTURE_OUT");
+    if (out == NULL || out[0] == 0) {
+      cap_out_fd = -2;
+    } else {
+      cap_out_fd = real_open(out, O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (cap_out_fd < 0) {
+        cap_out_fd = -2;
+      }
+    }
+  }
+  if (cap_out_fd < 0) {
+    pthread_mutex_unlock(&cap_mu);
+    return;
+  }
+  cap_record recs[CAP_MAX_PAGES_PER_OP];
+  uint64_t first = offset / CAP_PAGE_SIZE;
+  uint64_t last = (offset + len - 1) / CAP_PAGE_SIZE;
+  uint64_t n = last - first + 1;
+  if (n > CAP_MAX_PAGES_PER_OP) {
+    n = CAP_MAX_PAGES_PER_OP;
+  }
+  uint64_t ns = cap_now_ns();
+  for (uint64_t i = 0; i < n; ++i) {
+    memset(&recs[i], 0, sizeof(recs[i]));
+    recs[i].file_id = file_id;
+    recs[i].op = is_write ? 1 : 0;
+    recs[i].page = first + i;
+    recs[i].ns = ns;
+  }
+  /* One O_APPEND write per op: atomic enough that concurrent children interleave at
+   * record granularity in practice (each op is <= 1536 bytes, far below PIPE_BUF-ish
+   * append atomicity on regular files for this use). */
+  ssize_t ignored = real_write(cap_out_fd, recs, (size_t)(n * sizeof(cap_record)));
+  (void)ignored;
+  pthread_mutex_unlock(&cap_mu);
+}
+
+static void cap_track(int fd, const char *path) {
+  if (fd < 0 || fd >= CAP_MAX_FDS || !cap_interesting(path)) {
+    return;
+  }
+  pthread_mutex_lock(&cap_mu);
+  cap_fds[fd].file_id = cap_hash_path(path);
+  cap_fds[fd].offset = 0;
+  pthread_mutex_unlock(&cap_mu);
+}
+
+/* ---- POSIX wrappers ------------------------------------------------------------------ */
+
+int open(const char *path, int flags, ...) {
+  cap_resolve();
+  mode_t mode = 0;
+  if (flags & O_CREAT) {
+    va_list ap;
+    va_start(ap, flags);
+    mode = va_arg(ap, mode_t);
+    va_end(ap);
+  }
+  int fd = real_open(path, flags, mode);
+  cap_track(fd, path);
+  return fd;
+}
+
+int open64(const char *path, int flags, ...) {
+  cap_resolve();
+  mode_t mode = 0;
+  if (flags & O_CREAT) {
+    va_list ap;
+    va_start(ap, flags);
+    mode = va_arg(ap, mode_t);
+    va_end(ap);
+  }
+  int fd = real_open64 != NULL ? real_open64(path, flags, mode)
+                               : real_open(path, flags, mode);
+  cap_track(fd, path);
+  return fd;
+}
+
+int openat(int dirfd, const char *path, int flags, ...) {
+  cap_resolve();
+  mode_t mode = 0;
+  if (flags & O_CREAT) {
+    va_list ap;
+    va_start(ap, flags);
+    mode = va_arg(ap, mode_t);
+    va_end(ap);
+  }
+  int fd = real_openat(dirfd, path, flags, mode);
+  /* Only absolute paths (or AT_FDCWD-relative) hash stably across processes. */
+  if (dirfd == AT_FDCWD || path[0] == '/') {
+    cap_track(fd, path);
+  }
+  return fd;
+}
+
+int close(int fd) {
+  cap_resolve();
+  if (fd >= 0 && fd < CAP_MAX_FDS) {
+    pthread_mutex_lock(&cap_mu);
+    cap_fds[fd].file_id = 0;
+    pthread_mutex_unlock(&cap_mu);
+  }
+  return real_close(fd);
+}
+
+ssize_t read(int fd, void *buf, size_t count) {
+  cap_resolve();
+  ssize_t n = real_read(fd, buf, count);
+  if (n > 0 && fd >= 0 && fd < CAP_MAX_FDS && cap_fds[fd].file_id != 0) {
+    cap_emit(cap_fds[fd].file_id, 0, cap_fds[fd].offset, (uint64_t)n);
+    cap_fds[fd].offset += (uint64_t)n;
+  }
+  return n;
+}
+
+ssize_t write(int fd, const void *buf, size_t count) {
+  cap_resolve();
+  ssize_t n = real_write(fd, buf, count);
+  if (n > 0 && fd >= 0 && fd < CAP_MAX_FDS && cap_fds[fd].file_id != 0) {
+    cap_emit(cap_fds[fd].file_id, 1, cap_fds[fd].offset, (uint64_t)n);
+    cap_fds[fd].offset += (uint64_t)n;
+  }
+  return n;
+}
+
+ssize_t pread(int fd, void *buf, size_t count, off_t offset) {
+  cap_resolve();
+  ssize_t n = real_pread(fd, buf, count, offset);
+  if (n > 0 && fd >= 0 && fd < CAP_MAX_FDS && cap_fds[fd].file_id != 0) {
+    cap_emit(cap_fds[fd].file_id, 0, (uint64_t)offset, (uint64_t)n);
+  }
+  return n;
+}
+
+ssize_t pwrite(int fd, const void *buf, size_t count, off_t offset) {
+  cap_resolve();
+  ssize_t n = real_pwrite(fd, buf, count, offset);
+  if (n > 0 && fd >= 0 && fd < CAP_MAX_FDS && cap_fds[fd].file_id != 0) {
+    cap_emit(cap_fds[fd].file_id, 1, (uint64_t)offset, (uint64_t)n);
+  }
+  return n;
+}
+
+off_t lseek(int fd, off_t offset, int whence) {
+  cap_resolve();
+  off_t pos = real_lseek(fd, offset, whence);
+  if (pos >= 0 && fd >= 0 && fd < CAP_MAX_FDS && cap_fds[fd].file_id != 0) {
+    cap_fds[fd].offset = (uint64_t)pos;
+  }
+  return pos;
+}
+
+void *mmap(void *addr, size_t length, int prot, int flags, int fd, off_t offset) {
+  cap_resolve();
+  void *p = real_mmap(addr, length, prot, flags, fd, offset);
+  if (p != MAP_FAILED && fd >= 0 && fd < CAP_MAX_FDS && cap_fds[fd].file_id != 0) {
+    /* The mapping's first page stands in for accesses we cannot see. */
+    cap_emit(cap_fds[fd].file_id, (prot & PROT_WRITE) != 0, (uint64_t)offset,
+             CAP_PAGE_SIZE);
+  }
+  return p;
+}
+
+/* ---- stdio wrappers ------------------------------------------------------------------
+ * glibc's fread/fwrite drive the underlying file with internal calls that bypass the PLT,
+ * so interposing read()/write() does not see them. Interposing fopen and marking the
+ * FILE's fd is enough: fileno() gives us the descriptor, and the actual I/O lands in the
+ * records via the stream's own buffered refills... which we cannot see either. So fopen
+ * emits a single page-0 read (the open itself touches the file head), and programs whose
+ * I/O matters for capture should use POSIX I/O (the canned workload programs in
+ * tools/workloads do). Compiler captures still work because cc1plus reads sources and
+ * headers via open+read. */
+
+FILE *fopen(const char *path, const char *mode) {
+  cap_resolve();
+  FILE *f = real_fopen(path, mode);
+  if (f != NULL && cap_interesting(path)) {
+    cap_track(fileno(f), path);
+    cap_emit(cap_hash_path(path), mode != NULL && mode[0] != 'r', 0, 1);
+  }
+  return f;
+}
+
+FILE *fopen64(const char *path, const char *mode) {
+  cap_resolve();
+  FILE *f = real_fopen64 != NULL ? real_fopen64(path, mode) : real_fopen(path, mode);
+  if (f != NULL && cap_interesting(path)) {
+    cap_track(fileno(f), path);
+    cap_emit(cap_hash_path(path), mode != NULL && mode[0] != 'r', 0, 1);
+  }
+  return f;
+}

@@ -3,20 +3,28 @@
 
 Usage:
     check_tournament.py tournament.out [--min-policies 5] [--min-workloads 5]
+                        [--require-traces N]
 
 The input is bench_tournament's raw stdout (human table plus one JSON object per line);
-anything that does not parse as a JSON object with bench == "tournament" is ignored.
+anything that does not parse as a JSON object with bench == "tournament" or
+bench == "replay" is ignored.
 
 Checks, all reported in one pass (no stop-at-first):
   * schema — every leaderboard record carries policy, workload, accesses, faults,
     hit_ratio, ns_per_fault, kills, rejects with sane ranges (0 <= hit_ratio <= 1,
-    faults <= accesses, non-negative counts);
+    faults <= accesses, non-negative counts); every replay record carries policy, trace,
+    records, faults, hit_ratio, virtual_fault_ns, kills, rejects under the same ranges;
   * coverage — at least --min-policies policies and --min-workloads workloads, and the
-    grid is complete (every policy ran every workload);
+    grid is complete (every policy ran every workload, synthetic and trace-backed alike);
   * health — no cell was killed by the security checker or rejected at registration;
+  * consistency — a trace's replay record and its tournament cell describe the same run
+    (equal faults and record counts), and "source" tags match the replay rows;
   * floors — the score-based policies must beat FIFO where score-based eviction is the
     point: awrp and perceptron each need a strictly higher hit ratio than fifo on the
-    hot_cold and looping workloads.
+    hot_cold and looping workloads;
+  * traces — with --require-traces N: at least N distinct replayed traces, a full
+    policy x trace replay grid, and at least one learned policy (awrp or perceptron)
+    strictly beating fifo's hit ratio on at least one real trace.
 
 Exit status 0 when everything holds, 1 otherwise (every violation is listed).
 """
@@ -27,6 +35,8 @@ import sys
 
 REQUIRED_FIELDS = ("policy", "workload", "accesses", "faults", "hit_ratio",
                    "ns_per_fault", "kills", "rejects")
+REPLAY_REQUIRED_FIELDS = ("policy", "trace", "records", "faults", "hit_ratio",
+                          "virtual_fault_ns", "kills", "rejects")
 FLOOR_POLICIES = ("awrp", "perceptron")
 FLOOR_WORKLOADS = ("hot_cold", "looping")
 BASELINE_POLICY = "fifo"
@@ -34,6 +44,7 @@ BASELINE_POLICY = "fifo"
 
 def parse_leaderboard(path):
     cells = {}
+    replays = {}
     errors = []
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
@@ -44,18 +55,31 @@ def parse_leaderboard(path):
                 rec = json.loads(line)
             except json.JSONDecodeError:
                 continue
-            if not isinstance(rec, dict) or rec.get("bench") != "tournament":
+            if not isinstance(rec, dict):
                 continue
-            missing = [f for f in REQUIRED_FIELDS if f not in rec]
-            if missing:
-                errors.append(f"line {lineno}: missing field(s) {', '.join(missing)}")
-                continue
-            key = (rec["policy"], rec["workload"])
-            if key in cells:
-                errors.append(f"line {lineno}: duplicate cell {key[0]}/{key[1]}")
-                continue
-            cells[key] = rec
-    return cells, errors
+            bench = rec.get("bench")
+            if bench == "tournament":
+                missing = [f for f in REQUIRED_FIELDS if f not in rec]
+                if missing:
+                    errors.append(f"line {lineno}: missing field(s) {', '.join(missing)}")
+                    continue
+                key = (rec["policy"], rec["workload"])
+                if key in cells:
+                    errors.append(f"line {lineno}: duplicate cell {key[0]}/{key[1]}")
+                    continue
+                cells[key] = rec
+            elif bench == "replay":
+                missing = [f for f in REPLAY_REQUIRED_FIELDS if f not in rec]
+                if missing:
+                    errors.append(
+                        f"line {lineno}: replay missing field(s) {', '.join(missing)}")
+                    continue
+                key = (rec["policy"], rec["trace"])
+                if key in replays:
+                    errors.append(f"line {lineno}: duplicate replay {key[0]}/{key[1]}")
+                    continue
+                replays[key] = rec
+    return cells, replays, errors
 
 
 def check_cell(rec):
@@ -70,6 +94,27 @@ def check_cell(rec):
         errors.append(f"{where}: faults {rec['faults']} outside [0, accesses]")
     if rec["ns_per_fault"] < 0:
         errors.append(f"{where}: negative ns_per_fault {rec['ns_per_fault']}")
+    if rec.get("source") not in (None, "trace", "synthetic"):
+        errors.append(f"{where}: unknown source tag {rec['source']!r}")
+    if rec["kills"] != 0:
+        errors.append(f"{where}: policy was killed mid-run (kills={rec['kills']})")
+    if rec["rejects"] != 0:
+        errors.append(f"{where}: registration rejected (rejects={rec['rejects']})")
+    return errors
+
+
+def check_replay(rec):
+    policy, trace = rec["policy"], rec["trace"]
+    where = f"replay {policy}/{trace}"
+    errors = []
+    if not 0.0 <= rec["hit_ratio"] <= 1.0:
+        errors.append(f"{where}: hit_ratio {rec['hit_ratio']} outside [0, 1]")
+    if rec["records"] <= 0:
+        errors.append(f"{where}: non-positive records {rec['records']}")
+    if rec["faults"] < 0 or rec["faults"] > rec["records"]:
+        errors.append(f"{where}: faults {rec['faults']} outside [0, records]")
+    if rec["virtual_fault_ns"] < 0:
+        errors.append(f"{where}: negative virtual_fault_ns {rec['virtual_fault_ns']}")
     if rec["kills"] != 0:
         errors.append(f"{where}: policy was killed mid-run (kills={rec['kills']})")
     if rec["rejects"] != 0:
@@ -82,11 +127,15 @@ def main():
     parser.add_argument("leaderboard", help="bench_tournament stdout capture")
     parser.add_argument("--min-policies", type=int, default=5)
     parser.add_argument("--min-workloads", type=int, default=5)
+    parser.add_argument("--require-traces", type=int, default=0,
+                        help="require at least N replayed real traces, a full "
+                             "policy x trace grid, and a learned-policy win")
     args = parser.parse_args()
 
-    cells, errors = parse_leaderboard(args.leaderboard)
+    cells, replays, errors = parse_leaderboard(args.leaderboard)
     policies = sorted({p for p, _ in cells})
     workloads = sorted({w for _, w in cells})
+    traces = sorted({t for _, t in replays})
 
     if not cells:
         errors.append("no tournament records found in the input")
@@ -103,6 +152,25 @@ def main():
 
     for rec in cells.values():
         errors.extend(check_cell(rec))
+    for rec in replays.values():
+        errors.extend(check_replay(rec))
+
+    # Consistency: a replay row and its tournament cell describe the same run — the trace
+    # appears in the grid under its trace name with source == "trace", and the
+    # deterministic counts agree.
+    for (policy, trace), rec in sorted(replays.items()):
+        cell = cells.get((policy, trace))
+        if cell is None:
+            errors.append(f"replay {policy}/{trace} has no matching tournament cell")
+            continue
+        if cell.get("source") != "trace":
+            errors.append(f"cell {policy}/{trace}: replayed but source is "
+                          f"{cell.get('source')!r}, expected 'trace'")
+        if cell["faults"] != rec["faults"] or cell["accesses"] != rec["records"]:
+            errors.append(
+                f"replay {policy}/{trace} disagrees with its tournament cell "
+                f"(faults {rec['faults']} vs {cell['faults']}, "
+                f"records {rec['records']} vs {cell['accesses']})")
 
     # The acceptance floors: score-based eviction must pay off where it is supposed to.
     for workload in FLOOR_WORKLOADS:
@@ -123,8 +191,35 @@ def main():
                 print(f"floor ok: {policy} {rec['hit_ratio']:.4f} > "
                       f"{BASELINE_POLICY} {base['hit_ratio']:.4f} on {workload}")
 
+    # Trace requirements: real evidence must be present, fully replayed, and at least one
+    # learned policy has to win somewhere on it.
+    if args.require_traces > 0:
+        if len(traces) < args.require_traces:
+            errors.append(f"only {len(traces)} replayed trace(s) ({', '.join(traces)}); "
+                          f"need at least {args.require_traces}")
+        for policy in policies:
+            for trace in traces:
+                if (policy, trace) not in replays:
+                    errors.append(f"incomplete replay grid: no {policy}/{trace} replay")
+        learned_wins = []
+        for trace in traces:
+            base = replays.get((BASELINE_POLICY, trace))
+            if base is None:
+                continue
+            for policy in FLOOR_POLICIES:
+                rec = replays.get((policy, trace))
+                if rec is not None and rec["hit_ratio"] > base["hit_ratio"]:
+                    learned_wins.append(
+                        f"{policy} {rec['hit_ratio']:.4f} > {BASELINE_POLICY} "
+                        f"{base['hit_ratio']:.4f} on {trace}")
+        if traces and not learned_wins:
+            errors.append("no learned policy (" + ", ".join(FLOOR_POLICIES) +
+                          f") beats {BASELINE_POLICY} on any replayed trace")
+        for win in learned_wins:
+            print(f"replay floor ok: {win}")
+
     print(f"check_tournament: {len(cells)} cells, {len(policies)} policies, "
-          f"{len(workloads)} workloads")
+          f"{len(workloads)} workloads, {len(traces)} replayed traces")
     if errors:
         for message in errors:
             print(f"check_tournament: {message}", file=sys.stderr)

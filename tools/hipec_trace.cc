@@ -1,0 +1,231 @@
+// hipec-trace: the .hpt trace toolbox.
+//
+//   hipec-trace convert RAW OUT.hpt --name NAME [--page-size N] [--max-records N]
+//       Converts a raw hipec-capture stream (fixed 24-byte records appended by the
+//       LD_PRELOAD shim, tools/capture/hipec_capture.c) into a canonical .hpt trace:
+//       (file_id, page) pairs are remapped to a dense vpage space in first-touch order,
+//       think time is derived from the captured monotonic timestamps (delta to the
+//       previous record, clamped to 1 ms so a capture-side stall never dominates replay),
+//       and the result is delta-encoded by workloads::EncodeTrace.
+//
+//   hipec-trace inspect FILE.hpt        header + decode status
+//   hipec-trace stats FILE.hpt          record counts, r/w mix, unique pages, hottest pages
+//   hipec-trace truncate IN.hpt N OUT.hpt   keep the first N records
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workloads/trace_format.h"
+
+namespace {
+
+using hipec::workloads::Access;
+using hipec::workloads::AccessOp;
+using hipec::workloads::LoadTraceFile;
+using hipec::workloads::TraceData;
+using hipec::workloads::TraceStatus;
+using hipec::workloads::TraceStatusName;
+using hipec::workloads::WriteTraceFile;
+
+// The raw record the capture shim appends; layout must match hipec_capture.c.
+struct RawRecord {
+  uint32_t file_id;
+  uint8_t op;
+  uint8_t pad[3];
+  uint64_t page;
+  uint64_t ns;
+};
+static_assert(sizeof(RawRecord) == 24, "raw capture record layout");
+
+constexpr uint64_t kMaxThinkNs = 1000000;  // 1 ms: capture stalls don't dominate replay
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hipec-trace convert RAW OUT.hpt --name NAME [--page-size N] "
+               "[--max-records N]\n"
+               "       hipec-trace inspect FILE.hpt\n"
+               "       hipec-trace stats FILE.hpt\n"
+               "       hipec-trace truncate IN.hpt N OUT.hpt\n");
+  return 2;
+}
+
+int Convert(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string raw_path = argv[0];
+  std::string out_path = argv[1];
+  std::string name;
+  uint32_t page_size = 4096;
+  uint64_t max_records = 1ull << 20;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+      name = argv[++i];
+    } else if (std::strcmp(argv[i], "--page-size") == 0 && i + 1 < argc) {
+      page_size = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-records") == 0 && i + 1 < argc) {
+      max_records = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+  std::FILE* f = std::fopen(raw_path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "hipec-trace: cannot open %s\n", raw_path.c_str());
+    return 1;
+  }
+  TraceData trace;
+  trace.name = name.empty() ? out_path : name;
+  trace.page_size = page_size;
+  // Dense first-touch remap: the replayed region is exactly the set of distinct pages the
+  // program touched, in discovery order — file boundaries disappear, access structure
+  // (reuse distances, scan runs) survives.
+  std::unordered_map<uint64_t, uint64_t> remap;
+  RawRecord rec;
+  uint64_t prev_ns = 0;
+  uint64_t dropped_tail = 0;
+  while (std::fread(&rec, sizeof(rec), 1, f) == 1) {
+    if (trace.records.size() >= max_records) {
+      ++dropped_tail;
+      continue;
+    }
+    uint64_t key = (static_cast<uint64_t>(rec.file_id) << 32) ^ rec.page;
+    auto [it, fresh] = remap.try_emplace(key, remap.size());
+    Access a;
+    a.vpage = it->second;
+    a.op = rec.op != 0 ? AccessOp::kWrite : AccessOp::kRead;
+    if (prev_ns != 0 && rec.ns > prev_ns) {
+      a.think_ns = static_cast<uint32_t>(std::min(rec.ns - prev_ns, kMaxThinkNs));
+    }
+    prev_ns = rec.ns;
+    trace.records.push_back(a);
+  }
+  std::fclose(f);
+  trace.region_pages = remap.size();
+  if (trace.records.empty()) {
+    std::fprintf(stderr, "hipec-trace: %s holds no capture records\n", raw_path.c_str());
+    return 1;
+  }
+  std::string error;
+  if (!WriteTraceFile(out_path, trace, &error)) {
+    std::fprintf(stderr, "hipec-trace: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu records, %llu-page region (%llu capture records beyond cap dropped)\n",
+              out_path.c_str(), trace.records.size(),
+              static_cast<unsigned long long>(trace.region_pages),
+              static_cast<unsigned long long>(dropped_tail));
+  return 0;
+}
+
+int Inspect(const char* path) {
+  TraceData trace;
+  std::string error;
+  TraceStatus status = LoadTraceFile(path, &trace, &error);
+  if (status != TraceStatus::kOk) {
+    std::fprintf(stderr, "hipec-trace: %s (%s)\n", error.c_str(), TraceStatusName(status));
+    return 1;
+  }
+  std::printf("file:          %s\n", path);
+  std::printf("name:          %s\n", trace.name.c_str());
+  std::printf("page size:     %u\n", trace.page_size);
+  std::printf("region pages:  %llu\n", static_cast<unsigned long long>(trace.region_pages));
+  std::printf("records:       %zu\n", trace.records.size());
+  return 0;
+}
+
+int Stats(const char* path) {
+  TraceData trace;
+  std::string error;
+  TraceStatus status = LoadTraceFile(path, &trace, &error);
+  if (status != TraceStatus::kOk) {
+    std::fprintf(stderr, "hipec-trace: %s (%s)\n", error.c_str(), TraceStatusName(status));
+    return 1;
+  }
+  uint64_t writes = 0;
+  uint64_t think_total = 0;
+  std::unordered_map<uint64_t, uint64_t> touches;
+  for (const Access& a : trace.records) {
+    writes += a.is_write() ? 1 : 0;
+    think_total += a.think_ns;
+    ++touches[a.vpage];
+  }
+  std::printf("%s: %zu records over %llu pages (%zu touched)\n", trace.name.c_str(),
+              trace.records.size(), static_cast<unsigned long long>(trace.region_pages),
+              touches.size());
+  std::printf("  writes:      %llu (%.1f%%)\n", static_cast<unsigned long long>(writes),
+              trace.records.empty()
+                  ? 0.0
+                  : 100.0 * static_cast<double>(writes) /
+                        static_cast<double>(trace.records.size()));
+  std::printf("  think total: %.3f ms\n", static_cast<double>(think_total) / 1e6);
+  std::vector<std::pair<uint64_t, uint64_t>> hot(touches.begin(), touches.end());
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::printf("  hottest pages:");
+  for (size_t i = 0; i < hot.size() && i < 8; ++i) {
+    std::printf(" %llu(x%llu)", static_cast<unsigned long long>(hot[i].first),
+                static_cast<unsigned long long>(hot[i].second));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Truncate(const char* in_path, const char* count_str, const char* out_path) {
+  TraceData trace;
+  std::string error;
+  TraceStatus status = LoadTraceFile(in_path, &trace, &error);
+  if (status != TraceStatus::kOk) {
+    std::fprintf(stderr, "hipec-trace: %s (%s)\n", error.c_str(), TraceStatusName(status));
+    return 1;
+  }
+  uint64_t keep = std::strtoull(count_str, nullptr, 10);
+  if (keep == 0) {
+    std::fprintf(stderr, "hipec-trace: truncate count must be positive\n");
+    return 1;
+  }
+  if (keep < trace.records.size()) {
+    trace.records.resize(keep);
+  }
+  // Tighten the region to the surviving pages so replays size their pools honestly.
+  uint64_t max_page = 0;
+  for (const Access& a : trace.records) {
+    max_page = std::max(max_page, a.vpage);
+  }
+  trace.region_pages = max_page + 1;
+  if (!WriteTraceFile(out_path, trace, &error)) {
+    std::fprintf(stderr, "hipec-trace: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: kept %zu records, %llu-page region\n", out_path, trace.records.size(),
+              static_cast<unsigned long long>(trace.region_pages));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string cmd = argv[1];
+  if (cmd == "convert" && argc >= 4) {
+    return Convert(argc - 2, argv + 2);
+  }
+  if (cmd == "inspect" && argc == 3) {
+    return Inspect(argv[2]);
+  }
+  if (cmd == "stats" && argc == 3) {
+    return Stats(argv[2]);
+  }
+  if (cmd == "truncate" && argc == 5) {
+    return Truncate(argv[2], argv[3], argv[4]);
+  }
+  return Usage();
+}

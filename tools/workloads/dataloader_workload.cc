@@ -1,0 +1,83 @@
+// dataloader_workload: an ML-style data loader — the capture target behind the canned
+// "dataloader" trace. A dataset of N fixed-size samples (one 4 KiB page each) is read for
+// E epochs; within each epoch the sample order is a full Fisher-Yates shuffle, so every
+// page is touched exactly once per epoch in a different order — the classic
+// cache-adversarial pattern (reuse distance ~= dataset size; LRU gets nothing, and a
+// policy has to notice that nothing is worth keeping).
+//
+//   dataloader_workload FILE [samples] [epochs] [seed]
+//
+// Plain POSIX pread so the hipec-capture shim sees every sample fetch.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+constexpr size_t kPage = 4096;
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE [samples] [epochs] [seed]\n", argv[0]);
+    return 2;
+  }
+  const char* path = argv[1];
+  uint64_t samples = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500;
+  uint64_t epochs = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4;
+  uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 7;
+
+  int fd = open(path, O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    std::perror("open");
+    return 1;
+  }
+  std::vector<char> page(kPage, 0);
+  // Materialize the dataset (the writes are part of the captured workload: a
+  // preprocessing pass before training).
+  for (uint64_t s = 0; s < samples; ++s) {
+    std::memcpy(page.data(), &s, sizeof(s));
+    if (pwrite(fd, page.data(), kPage, static_cast<off_t>(s * kPage)) !=
+        static_cast<ssize_t>(kPage)) {
+      std::perror("pwrite");
+      return 1;
+    }
+  }
+  std::vector<uint64_t> order(samples);
+  std::iota(order.begin(), order.end(), 0);
+  uint64_t checksum = 0;
+  for (uint64_t e = 0; e < epochs; ++e) {
+    // Fisher-Yates reshuffle per epoch.
+    for (uint64_t i = samples; i > 1; --i) {
+      uint64_t j = SplitMix64(&seed) % i;
+      std::swap(order[i - 1], order[j]);
+    }
+    for (uint64_t s : order) {
+      if (pread(fd, page.data(), kPage, static_cast<off_t>(s * kPage)) < 0) {
+        std::perror("pread");
+        return 1;
+      }
+      checksum += static_cast<unsigned char>(page[0]);
+    }
+  }
+  close(fd);
+  std::printf("dataloader_workload: %llu samples x %llu epochs (checksum %llu)\n",
+              static_cast<unsigned long long>(samples),
+              static_cast<unsigned long long>(epochs),
+              static_cast<unsigned long long>(checksum));
+  return 0;
+}

@@ -1,0 +1,132 @@
+// kv_workload: a miniature key-value store exercised with a skewed get/put mix — the
+// capture target behind the canned "kv" trace. Values live in one flat file at
+// key * 4 KiB; gets pread the value page, puts pwrite it. Keys are drawn from a Zipf
+// distribution (Gray et al. incremental method, same construction as sim::ZipfGenerator)
+// so the page stream has a hot set over a long cold tail — the access shape a database
+// index gives its buffer pool.
+//
+//   kv_workload FILE [keys] [ops] [theta] [write_pct] [seed]
+//
+// Plain POSIX I/O on purpose: the hipec-capture shim interposes open/pread/pwrite, so
+// every operation lands in the raw capture stream.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace {
+
+constexpr size_t kPage = 4096;
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double NextDouble(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * (1.0 / 9007199254740992.0);
+}
+
+// Zipf over [0, n) with parameter theta, Gray et al. "Quickly generating billion-record
+// synthetic databases" method.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta, uint64_t seed) : n_(n), theta_(theta), state_(seed) {
+    for (uint64_t i = 1; i <= n_; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - (1.0 / std::pow(2.0, theta_)) / zetan_ * 2.0);
+    threshold_ = 1.0 + std::pow(0.5, theta_);
+  }
+
+  uint64_t Next() {
+    double u = NextDouble(&state_);
+    double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < threshold_) {
+      return 1;
+    }
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  uint64_t state_;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+  double threshold_ = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE [keys] [ops] [theta] [write_pct] [seed]\n",
+                 argv[0]);
+    return 2;
+  }
+  const char* path = argv[1];
+  uint64_t keys = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 600;
+  uint64_t ops = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 8000;
+  double theta = argc > 4 ? std::strtod(argv[4], nullptr) : 0.9;
+  uint64_t write_pct = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 10;
+  uint64_t seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 42;
+
+  int fd = open(path, O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    std::perror("open");
+    return 1;
+  }
+  std::vector<char> page(kPage, 0);
+  // Load phase: populate every key so gets always hit allocated pages.
+  for (uint64_t k = 0; k < keys; ++k) {
+    std::memcpy(page.data(), &k, sizeof(k));
+    if (pwrite(fd, page.data(), kPage, static_cast<off_t>(k * kPage)) !=
+        static_cast<ssize_t>(kPage)) {
+      std::perror("pwrite");
+      return 1;
+    }
+  }
+  // Serve phase: zipf-skewed get/put mix.
+  Zipf zipf(keys, theta, seed);
+  uint64_t rng = seed ^ 0xD1B54A32D192ED03ULL;
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  for (uint64_t i = 0; i < ops; ++i) {
+    uint64_t k = zipf.Next() % keys;
+    if (SplitMix64(&rng) % 100 < write_pct) {
+      std::memcpy(page.data(), &i, sizeof(i));
+      if (pwrite(fd, page.data(), kPage, static_cast<off_t>(k * kPage)) < 0) {
+        std::perror("pwrite");
+        return 1;
+      }
+      ++puts;
+    } else {
+      if (pread(fd, page.data(), kPage, static_cast<off_t>(k * kPage)) < 0) {
+        std::perror("pread");
+        return 1;
+      }
+      ++gets;
+    }
+  }
+  close(fd);
+  std::printf("kv_workload: %llu keys loaded, %llu gets, %llu puts\n",
+              static_cast<unsigned long long>(keys), static_cast<unsigned long long>(gets),
+              static_cast<unsigned long long>(puts));
+  return 0;
+}
